@@ -1,0 +1,40 @@
+// Ablation — Model Checker cost versus model size and rule count.
+#include <benchmark/benchmark.h>
+
+#include "prophet/check/checker.hpp"
+#include "prophet/prophet.hpp"
+
+namespace {
+
+void BM_Check_FullRuleSet(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const prophet::check::ModelChecker checker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(model));
+  }
+  state.counters["elements"] = static_cast<double>(model.element_count());
+}
+BENCHMARK(BM_Check_FullRuleSet)
+    ->Args({4, 8})
+    ->Args({16, 16})
+    ->Args({64, 32});
+
+void BM_Check_StructuralRulesOnly(benchmark::State& state) {
+  // MCF-style configuration: disable the expression-heavy rules to isolate
+  // the structural pass.
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  prophet::check::ModelChecker checker;
+  checker.set_enabled("expression-tags", false);
+  checker.set_enabled("expression-visibility", false);
+  checker.set_enabled("cost-functions", false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(model));
+  }
+}
+BENCHMARK(BM_Check_StructuralRulesOnly)->Args({16, 16})->Args({64, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

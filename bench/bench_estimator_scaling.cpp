@@ -1,0 +1,81 @@
+// Ablation — Performance Estimator scaling: evaluation cost and predicted
+// time across system-parameter sweeps (the SP element of Fig. 2).  The
+// predicted_s counters reproduce the speedup-curve *series* the companion
+// papers plot.
+#include <benchmark/benchmark.h>
+
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+
+namespace {
+
+void BM_Estimate_SampleModel_ProcessSweep(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const prophet::uml::Model model = prophet::models::sample_model();
+  prophet::interp::Interpreter interpreter(model);
+  prophet::machine::SystemParameters params;
+  params.processes = np;
+  params.nodes = np;
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  double predicted = 0;
+  for (auto _ : state) {
+    predicted = manager.run(interpreter).predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Estimate_SampleModel_ProcessSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+void BM_Estimate_PingPong_MessageSizeSweep(benchmark::State& state) {
+  const double bytes = static_cast<double>(state.range(0));
+  const prophet::uml::Model model =
+      prophet::models::pingpong_model(bytes, 10);
+  prophet::interp::Interpreter interpreter(model);
+  prophet::machine::SystemParameters params;
+  params.processes = 2;
+  params.nodes = 2;
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  double predicted = 0;
+  for (auto _ : state) {
+    predicted = manager.run(interpreter).predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Estimate_PingPong_MessageSizeSweep)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1048576);
+
+void BM_Estimate_Oversubscription(benchmark::State& state) {
+  // More processes than processors: the node facility queues and the
+  // prediction grows — the contention effect the machine model exists
+  // to expose.
+  const int np = static_cast<int>(state.range(0));
+  const prophet::uml::Model model = prophet::models::sample_model();
+  prophet::interp::Interpreter interpreter(model);
+  prophet::machine::SystemParameters params;
+  params.processes = np;
+  params.nodes = 1;
+  params.processors_per_node = 2;
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  double predicted = 0;
+  for (auto _ : state) {
+    predicted = manager.run(interpreter).predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Estimate_Oversubscription)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Ablation — the cost-function expression language: parsing throughput
+// and the interpreted-vs-native evaluation gap that underlies the paper's
+// machine-efficiency argument at the expression level.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "prophet/expr/eval.hpp"
+#include "prophet/expr/parser.hpp"
+
+namespace expr = prophet::expr;
+
+namespace {
+
+constexpr const char* kCostFunction =
+    "0.000001 * P * P + 0.001 + sqrt(P) / (np + 1)";
+
+void BM_Expr_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::parse(kCostFunction));
+  }
+}
+BENCHMARK(BM_Expr_Parse);
+
+void BM_Expr_InterpretedEval(benchmark::State& state) {
+  const expr::ExprPtr parsed = expr::parse(kCostFunction);
+  expr::MapEnvironment env;
+  env.set("P", 16.0);
+  env.set("np", 4.0);
+  double total = 0;
+  for (auto _ : state) {
+    total += expr::evaluate(*parsed, env);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Expr_InterpretedEval);
+
+void BM_Expr_NativeEval(benchmark::State& state) {
+  // The same arithmetic as compiled C++ (what the generated cost
+  // functions of Fig. 8a execute).
+  const double P = 16.0;
+  const double np = 4.0;
+  double total = 0;
+  for (auto _ : state) {
+    total += 0.000001 * P * P + 0.001 + std::sqrt(P) / (np + 1);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Expr_NativeEval);
+
+void BM_Expr_GuardEval(benchmark::State& state) {
+  const expr::ExprPtr guard = expr::parse("GV > 0 && pid < np - 1");
+  expr::MapEnvironment env;
+  env.set("GV", 3.0);
+  env.set("pid", 1.0);
+  env.set("np", 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::evaluate(*guard, env));
+  }
+}
+BENCHMARK(BM_Expr_GuardEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Fig. 3 — from program code to UML performance model.
+//
+// The paper collapses the detailed kernel-6 loop nest (Fig. 3b) into one
+// <<action+>> with cost function FK6 (Fig. 3c) because "we are interested
+// on the rough performance estimation" — i.e. the detailed model costs
+// far more to *evaluate* for the same prediction.  This bench quantifies
+// that: evaluation time of the collapsed vs the detailed model across N,
+// next to the native kernel itself.
+#include <benchmark/benchmark.h>
+
+#include "prophet/kernels/livermore.hpp"
+#include "prophet/prophet.hpp"
+
+namespace {
+
+constexpr double kOpTime = 2e-9;
+constexpr std::int64_t kM = 4;
+
+void BM_Kernel6_CollapsedModel(benchmark::State& state) {
+  const auto n = state.range(0);
+  const prophet::Prophet prophet(
+      prophet::models::kernel6_model(n, kM, kOpTime));
+  double predicted = 0;
+  for (auto _ : state) {
+    const auto report = prophet.estimate({});
+    predicted = report.predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Kernel6_CollapsedModel)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Kernel6_DetailedModel(benchmark::State& state) {
+  const auto n = state.range(0);
+  const prophet::Prophet prophet(
+      prophet::models::kernel6_detailed_model(n, kM, kOpTime));
+  double predicted = 0;
+  for (auto _ : state) {
+    const auto report = prophet.estimate({});
+    predicted = report.predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Kernel6_DetailedModel)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Kernel6_NativeKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double checksum = 0;
+  for (auto _ : state) {
+    const auto result =
+        prophet::kernels::kernel6(n, static_cast<std::size_t>(kM));
+    checksum = result.checksum;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["ops"] = static_cast<double>(
+      prophet::kernels::kernel6_operations(n, static_cast<std::size_t>(kM)));
+}
+BENCHMARK(BM_Kernel6_NativeKernel)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

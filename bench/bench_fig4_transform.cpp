@@ -1,0 +1,52 @@
+// Fig. 4 — from the UML representation to the C++ representation.
+//
+// Measures the whole-model transformation (the Transformer::transform
+// entry point) across model sizes; the expectation, confirmed by the
+// per-element counter, is linear scaling in the number of modeling
+// elements.
+#include <benchmark/benchmark.h>
+
+#include "prophet/codegen/transformer.hpp"
+#include "prophet/prophet.hpp"
+
+namespace {
+
+void BM_Transform_WholeModel(benchmark::State& state) {
+  const int activities = static_cast<int>(state.range(0));
+  const int actions = static_cast<int>(state.range(1));
+  const prophet::uml::Model model =
+      prophet::models::synthetic_model(activities, actions);
+  const prophet::codegen::Transformer transformer;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string cpp = transformer.transform(model);
+    bytes = cpp.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["elements"] =
+      static_cast<double>(model.element_count());
+  state.counters["output_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.element_count()));
+}
+BENCHMARK(BM_Transform_WholeModel)
+    ->Args({1, 8})
+    ->Args({4, 16})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({64, 64});
+
+void BM_Transform_Kernel6(benchmark::State& state) {
+  // The paper's Fig. 4 example itself.
+  const prophet::uml::Model model =
+      prophet::models::kernel6_model(100, 10, 1e-9);
+  const prophet::codegen::Transformer transformer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transformer.transform(model));
+  }
+}
+BENCHMARK(BM_Transform_Kernel6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Fig. 6 — the model traversing procedure.
+//
+// Measures the Traverser protocol (navigationCommand -> getCurrentElement
+// -> visitElement) with both shipped navigators and two handlers, across
+// model sizes; reports elements visited per second.
+#include <benchmark/benchmark.h>
+
+#include "prophet/prophet.hpp"
+#include "prophet/traverse/traverse.hpp"
+
+namespace {
+
+void BM_Traverse_DepthFirst(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  prophet::traverse::Traverser traverser;
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    prophet::traverse::DepthFirstNavigator navigator;
+    prophet::traverse::CountingHandler handler;
+    visited = traverser.traverse(model, navigator, handler);
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(visited));
+}
+BENCHMARK(BM_Traverse_DepthFirst)
+    ->Args({4, 8})
+    ->Args({16, 16})
+    ->Args({64, 32});
+
+void BM_Traverse_BreadthFirst(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  prophet::traverse::Traverser traverser;
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    prophet::traverse::BreadthFirstNavigator navigator;
+    prophet::traverse::CountingHandler handler;
+    visited = traverser.traverse(model, navigator, handler);
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(visited));
+}
+BENCHMARK(BM_Traverse_BreadthFirst)
+    ->Args({4, 8})
+    ->Args({16, 16})
+    ->Args({64, 32});
+
+void BM_Traverse_OutlineHandler(benchmark::State& state) {
+  // A handler that builds output (like a code generator would).
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  prophet::traverse::Traverser traverser;
+  for (auto _ : state) {
+    prophet::traverse::DepthFirstNavigator navigator;
+    prophet::traverse::OutlineHandler handler;
+    traverser.traverse(model, navigator, handler);
+    benchmark::DoNotOptimize(handler.text());
+  }
+}
+BENCHMARK(BM_Traverse_OutlineHandler)->Args({16, 16})->Args({64, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

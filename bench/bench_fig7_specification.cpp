@@ -1,0 +1,70 @@
+// Fig. 7 — UML-based specification of the sample model.
+//
+// Measures the specification-side costs: programmatic model construction
+// (the builder that stands in for the Teuta GUI), model checking, and the
+// XMI persistence round trip that backs the `Models (XML)` store of
+// Fig. 2.
+#include <benchmark/benchmark.h>
+
+#include "prophet/check/checker.hpp"
+#include "prophet/prophet.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace {
+
+void BM_Specify_SampleModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prophet::models::sample_model());
+  }
+}
+BENCHMARK(BM_Specify_SampleModel);
+
+void BM_Specify_SyntheticModel(benchmark::State& state) {
+  const int activities = static_cast<int>(state.range(0));
+  const int actions = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prophet::models::synthetic_model(activities, actions));
+  }
+}
+BENCHMARK(BM_Specify_SyntheticModel)->Args({4, 8})->Args({64, 32});
+
+void BM_Check_SampleModel(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::sample_model();
+  const prophet::check::ModelChecker checker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(model));
+  }
+}
+BENCHMARK(BM_Check_SampleModel);
+
+void BM_Xmi_Write(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string xml = prophet::xmi::to_xml(model);
+    bytes = xml.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Xmi_Write)->Args({4, 8})->Args({64, 32});
+
+void BM_Xmi_RoundTrip(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::synthetic_model(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const std::string xml = prophet::xmi::to_xml(model);
+  for (auto _ : state) {
+    const prophet::uml::Model reloaded = prophet::xmi::from_xml(xml);
+    benchmark::DoNotOptimize(reloaded.element_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_Xmi_RoundTrip)->Args({4, 8})->Args({64, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Fig. 8 — the C++ representation of the sample model, and the paper's
+// machine-efficiency claim.
+//
+// The whole point of the transformation is that "while the UML
+// representation is suitable as human-usable notation for performance
+// model specification, it is not adequate for an efficient model
+// evaluation" (Sec. 3).  This bench evaluates the *same* sample model two
+// ways:
+//   * interpreted — walking the UML tree, re-evaluating expression ASTs;
+//   * compiled    — the transformer's actual output (regenerated at build
+//                   time into generated/sample_pmp.cpp and compiled into
+//                   this binary).
+// The compiled path should win by a large factor; both must predict the
+// same time (asserted here, not just benchmarked).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+
+// Provided by the generated translation unit (generated/sample_pmp.cpp).
+prophet::estimator::FunctionModel prophet_program();
+
+namespace {
+
+prophet::machine::SystemParameters bench_params() {
+  prophet::machine::SystemParameters params;
+  params.nodes = 2;
+  params.processors_per_node = 2;
+  params.processes = 4;
+  return params;
+}
+
+void BM_Evaluate_InterpretedUml(benchmark::State& state) {
+  const prophet::uml::Model model = prophet::models::sample_model();
+  prophet::interp::Interpreter interpreter(model);
+  const prophet::estimator::SimulationManager manager(
+      bench_params(), {.collect_trace = false});
+  double predicted = 0;
+  for (auto _ : state) {
+    predicted = manager.run(interpreter).predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Evaluate_InterpretedUml);
+
+void BM_Evaluate_GeneratedCpp(benchmark::State& state) {
+  auto program = prophet_program();
+  const prophet::estimator::SimulationManager manager(
+      bench_params(), {.collect_trace = false});
+  double predicted = 0;
+  for (auto _ : state) {
+    predicted = manager.run(program).predicted_time;
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["predicted_s"] = predicted;
+}
+BENCHMARK(BM_Evaluate_GeneratedCpp);
+
+void BM_Evaluate_InterpretedKernel6Detailed(benchmark::State& state) {
+  // A heavier interpreted workload: the detailed kernel-6 loop model.
+  const prophet::uml::Model model =
+      prophet::models::kernel6_detailed_model(48, 2, 1e-9);
+  prophet::interp::Interpreter interpreter(model);
+  const prophet::estimator::SimulationManager manager(
+      {}, {.collect_trace = false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.run(interpreter).predicted_time);
+  }
+}
+BENCHMARK(BM_Evaluate_InterpretedKernel6Detailed);
+
+/// Both paths must agree before any timing is meaningful.
+void verify_agreement() {
+  const prophet::uml::Model model = prophet::models::sample_model();
+  prophet::interp::Interpreter interpreter(model);
+  auto program = prophet_program();
+  const prophet::estimator::SimulationManager manager(
+      bench_params(), {.collect_trace = false});
+  const double interpreted = manager.run(interpreter).predicted_time;
+  const double generated = manager.run(program).predicted_time;
+  if (std::abs(interpreted - generated) > 1e-12) {
+    std::fprintf(stderr,
+                 "FATAL: interpreted (%.12f) and generated (%.12f) "
+                 "predictions disagree\n",
+                 interpreted, generated);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify_agreement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Ablation — the CSIM-substitute simulation engine.
+//
+// Raw event throughput (hold loops), facility contention, mailbox
+// traffic, and barrier synchronization; these bound how large a model the
+// Performance Estimator can evaluate per second.
+#include <benchmark/benchmark.h>
+
+#include "prophet/sim/engine.hpp"
+#include "prophet/sim/facility.hpp"
+#include "prophet/sim/mailbox.hpp"
+#include "prophet/workload/runtime.hpp"
+
+namespace sim = prophet::sim;
+
+namespace {
+
+sim::Process holder(sim::Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await engine.hold(1.0);
+  }
+}
+
+void BM_Engine_HoldEvents(benchmark::State& state) {
+  const int processes = static_cast<int>(state.range(0));
+  const int hops = static_cast<int>(state.range(1));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int p = 0; p < processes; ++p) {
+      engine.spawn(holder(engine, hops));
+    }
+    engine.run();
+    events = engine.events_processed();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Engine_HoldEvents)
+    ->Args({1, 10000})
+    ->Args({100, 100})
+    ->Args({1000, 100})
+    ->Args({10000, 10});
+
+sim::Process facility_user(sim::Engine& engine, sim::Facility& facility,
+                           int uses) {
+  for (int i = 0; i < uses; ++i) {
+    co_await facility.acquire();
+    co_await engine.hold(0.5);
+    facility.release();
+  }
+}
+
+void BM_Engine_FacilityContention(benchmark::State& state) {
+  const int customers = static_cast<int>(state.range(0));
+  const int servers = static_cast<int>(state.range(1));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Facility facility(engine, "cpu", servers);
+    for (int c = 0; c < customers; ++c) {
+      engine.spawn(facility_user(engine, facility, 50));
+    }
+    engine.run();
+    events = engine.events_processed();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Engine_FacilityContention)
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({256, 4})
+    ->Args({256, 64});
+
+sim::Process producer(sim::Engine& engine, sim::Mailbox& mailbox,
+                      int messages) {
+  for (int i = 0; i < messages; ++i) {
+    co_await engine.hold(0.1);
+    mailbox.send({0, 0, 64.0, 0, 0});
+  }
+}
+
+sim::Process consumer(sim::Mailbox& mailbox, int messages) {
+  for (int i = 0; i < messages; ++i) {
+    co_await mailbox.receive();
+  }
+}
+
+void BM_Engine_MailboxTraffic(benchmark::State& state) {
+  const int messages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Mailbox mailbox(engine, "queue");
+    engine.spawn(producer(engine, mailbox, messages));
+    engine.spawn(consumer(mailbox, messages));
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          messages);
+}
+BENCHMARK(BM_Engine_MailboxTraffic)->Arg(1000)->Arg(100000);
+
+sim::Process barrier_worker(sim::Engine& engine,
+                            prophet::workload::BarrierGate& gate,
+                            int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await engine.hold(0.01);
+    co_await gate.arrive();
+  }
+}
+
+void BM_Engine_BarrierRounds(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Engine engine;
+    prophet::workload::BarrierGate gate(engine, participants);
+    for (int p = 0; p < participants; ++p) {
+      engine.spawn(barrier_worker(engine, gate, rounds));
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(participants) * rounds);
+}
+BENCHMARK(BM_Engine_BarrierRounds)->Args({8, 100})->Args({256, 20});
+
+}  // namespace
+
+BENCHMARK_MAIN();

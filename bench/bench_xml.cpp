@@ -1,0 +1,71 @@
+// Ablation — the XML substrate (model files, MCF, CF, SP of Fig. 2).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "prophet/xml/parser.hpp"
+#include "prophet/xml/writer.hpp"
+
+namespace xml = prophet::xml;
+
+namespace {
+
+std::string synthetic_document(int width, int depth) {
+  xml::Document doc = xml::Document::with_root("root");
+  xml::Element* level = &doc.root();
+  for (int d = 0; d < depth; ++d) {
+    xml::Element* next = nullptr;
+    for (int w = 0; w < width; ++w) {
+      auto& child = level->add_element("node");
+      child.set_attr("id", std::to_string(d * width + w));
+      child.set_attr("kind", "action");
+      child.add_text("payload " + std::to_string(w));
+      if (next == nullptr) {
+        next = &child;
+      }
+    }
+    level = next;
+  }
+  return xml::to_string(doc);
+}
+
+void BM_Xml_Parse(benchmark::State& state) {
+  const std::string text = synthetic_document(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const xml::Document doc = xml::parse(text);
+    benchmark::DoNotOptimize(doc.root().subtree_size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Xml_Parse)->Args({10, 5})->Args({100, 10})->Args({1000, 10});
+
+void BM_Xml_Write(benchmark::State& state) {
+  const std::string text = synthetic_document(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const xml::Document doc = xml::parse(text);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = xml::to_string(doc);
+    bytes = out.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Xml_Write)->Args({10, 5})->Args({100, 10})->Args({1000, 10});
+
+void BM_Xml_Escape(benchmark::State& state) {
+  const std::string text(1024, '<');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::escape(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Xml_Escape);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Shared-memory scenario: an OpenMP-style parallel region with a
+// workshared loop and a critical section — the intra-node side of the
+// paper's UML extension ("OpenMP is used to express the intra-node
+// parallelism", Sec. 3).
+//
+// The model: a parallel region of nt threads; each thread runs its share
+// of a workshared loop (<<ompfor>>, static schedule), then updates a
+// shared accumulator inside a named critical section (<<ompcritical>>).
+// The sweep shows (a) near-linear speedup while compute dominates and
+// (b) the serialization knee once the critical section does.
+#include <cstdio>
+#include <sstream>
+
+#include "prophet/prophet.hpp"
+
+namespace {
+
+std::string num(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+prophet::uml::Model openmp_model(double iterations, double iter_cost,
+                                 double critical_cost) {
+  using namespace prophet::uml;
+  ModelBuilder mb("OpenMPPipeline");
+  mb.global("NITER", VariableType::Real, num(iterations));
+  mb.global("cIter", VariableType::Real, num(iter_cost));
+  mb.global("cCrit", VariableType::Real, num(critical_cost));
+
+  // Critical-section body: one shared-accumulator update.
+  DiagramBuilder crit_body = mb.diagram("crit_body");
+  {
+    NodeRef init = crit_body.initial();
+    NodeRef update = crit_body.action("Update").cost("cCrit");
+    NodeRef fin = crit_body.final_node();
+    crit_body.sequence({init, update, fin});
+  }
+
+  // Region body: workshared loop then the critical update.
+  DiagramBuilder body = mb.diagram("body");
+  {
+    NodeRef init = body.initial();
+    NodeRef work = body.omp_for("Work", "NITER", "cIter", "static");
+    NodeRef crit = body.omp_critical("Accumulate", crit_body, "sum");
+    NodeRef fin = body.final_node();
+    body.sequence({init, work, crit, fin});
+  }
+
+  DiagramBuilder main = mb.diagram("main");
+  {
+    NodeRef init = main.initial();
+    NodeRef region = main.omp_parallel("Region", body, "nt");
+    NodeRef fin = main.final_node();
+    main.sequence({init, region, fin});
+  }
+  Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  return model;
+}
+
+void sweep(const char* label, double critical_cost) {
+  const double iterations = 1e6;
+  const double iter_cost = 2e-8;  // 20 ns per loop iteration
+  prophet::Prophet prophet(
+      openmp_model(iterations, iter_cost, critical_cost));
+  const auto diagnostics = prophet.check();
+  if (!diagnostics.ok()) {
+    std::printf("%s", diagnostics.to_string().c_str());
+    return;
+  }
+  std::printf("%s (critical section: %.0f us)\n", label,
+              critical_cost * 1e6);
+  std::printf("%8s %14s %9s %11s\n", "threads", "predicted (s)", "speedup",
+              "efficiency");
+  double t1 = 0;
+  for (int nt = 1; nt <= 16; nt *= 2) {
+    prophet::machine::SystemParameters params;
+    params.threads_per_process = nt;
+    params.processors_per_node = nt;  // one core per thread
+    const auto report = prophet.estimate(params);
+    if (nt == 1) {
+      t1 = report.predicted_time;
+    }
+    const double speedup = t1 / report.predicted_time;
+    std::printf("%8d %14.6f %9.2f %10.1f%%\n", nt, report.predicted_time,
+                speedup, 100.0 * speedup / nt);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  sweep("cheap critical section", 1e-6);
+  sweep("expensive critical section", 5e-3);
+  return 0;
+}

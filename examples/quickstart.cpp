@@ -1,0 +1,68 @@
+// Quickstart: the complete Performance Prophet pipeline in ~60 lines.
+//
+// 1. Specify a performance model with the builder (the Teuta GUI's role).
+// 2. Run the Model Checker.
+// 3. Transform the UML representation to C++ (the Fig. 5 algorithm).
+// 4. Evaluate the model by simulation (the Performance Estimator).
+#include <cstdio>
+
+#include "prophet/prophet.hpp"
+
+int main() {
+  using namespace prophet;
+
+  // --- 1. Specify the model -----------------------------------------------
+  // A two-phase program: Setup, then a Compute block whose cost is a
+  // function of the number of processes (np is a system parameter).
+  uml::ModelBuilder mb("Quickstart");
+  mb.global("WORK", uml::VariableType::Real, "1.0");
+  mb.function("FSetup", {}, "0.005");
+  mb.function("FCompute", {}, "WORK / np + 0.001");
+
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef setup = main.action("Setup").cost("FSetup()");
+  uml::NodeRef compute = main.action("Compute").cost("FCompute()");
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, setup, compute, fin});
+
+  Prophet prophet(std::move(mb).build());
+
+  // --- 2. Check ------------------------------------------------------------
+  const auto diagnostics = prophet.check();
+  std::printf("model check: %zu error(s), %zu warning(s)\n",
+              diagnostics.error_count(), diagnostics.warning_count());
+  if (!diagnostics.ok()) {
+    std::printf("%s", diagnostics.to_string().c_str());
+    return 1;
+  }
+
+  // --- 3. Transform to the machine-efficient C++ representation ----------
+  const std::string cpp = prophet.transform();
+  std::printf("\n-- generated C++ (%zu bytes) — first lines --\n",
+              cpp.size());
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < cpp.size() && shown < 12; ++i) {
+    std::putchar(cpp[i]);
+    if (cpp[i] == '\n') {
+      ++shown;
+    }
+  }
+
+  // --- 4. Estimate across machine sizes -----------------------------------
+  std::printf("\n-- predicted execution times --\n");
+  std::printf("%10s %14s %10s\n", "processes", "predicted (s)", "speedup");
+  double t1 = 0;
+  for (int np = 1; np <= 16; np *= 2) {
+    machine::SystemParameters params;
+    params.processes = np;
+    params.nodes = np;  // one process per node
+    const auto report = prophet.estimate(params);
+    if (np == 1) {
+      t1 = report.predicted_time;
+    }
+    std::printf("%10d %14.6f %10.2f\n", np, report.predicted_time,
+                t1 / report.predicted_time);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// C++ emission for cost-function expressions.
+//
+// This is the expression-level piece of the paper's UML -> C++
+// transformation: tagged-value strings become C++ expressions inside the
+// generated cost-function definitions of Fig. 8a (lines 31-54), e.g.
+//   double FA1() { return 0.000001 * P * P + 0.001; }
+// Built-ins map to <cmath> (`sqrt` -> `std::sqrt`, `%` -> `std::fmod`);
+// user cost functions are emitted as plain calls so the definitions the
+// transformer writes earlier in the file resolve them.
+#pragma once
+
+#include <string>
+
+#include "prophet/expr/ast.hpp"
+
+namespace prophet::expr {
+
+/// Renders `expr` as a C++ expression (parenthesized only where needed).
+[[nodiscard]] std::string to_cpp(const Expr& expr);
+
+}  // namespace prophet::expr

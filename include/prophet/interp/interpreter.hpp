@@ -1,0 +1,87 @@
+// Direct interpreter of UML performance models.
+//
+// This is the *human-usable* evaluation path the paper contrasts with the
+// machine-efficient generated C++: it walks the UML model tree at
+// simulation time, re-evaluating guards, cost expressions and code
+// fragments through the expression evaluator.  Its semantics define the
+// reference behaviour the code generator must reproduce; differential
+// tests (tests/integration) pit the two against each other, and
+// bench/bench_fig8_evaluation.cpp measures the efficiency gap that
+// motivates the paper's transformation.
+//
+// Semantics (matched exactly by generated code):
+//  * global variables are shared by all modeled processes of a run
+//    (generated code holds them in file-scope variables);
+//  * local variables live per process (function-scope variables);
+//  * loop variables are scoped to their loop statement;
+//  * guards are evaluated in edge insertion order, first truthy guard
+//    wins, the "else" edge fires when none holds;
+//  * code fragments are lists of `name = expression;` assignments
+//    executed before the element's execute() call (Fig. 8b lines 72-76).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/expr/ast.hpp"
+#include "prophet/uml/model.hpp"
+#include "prophet/workload/runtime.hpp"
+
+namespace prophet::interp {
+
+/// Error thrown when a model cannot be interpreted (unparseable
+/// expression, unknown variable at runtime, malformed structure, ...).
+/// Running the model checker first catches nearly all of these statically.
+class InterpretError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses and executes a UML model.  Construction pre-parses every
+/// expression (cost tags, guards, initializers, cost-function bodies,
+/// code fragments) so the per-run cost is evaluation only.
+class Interpreter final : public estimator::ProgramModel {
+ public:
+  /// Borrows `model`; it must outlive the interpreter.  Throws
+  /// InterpretError when any expression fails to parse or a referenced
+  /// diagram is missing.
+  explicit Interpreter(const uml::Model& model);
+
+  /// Takes ownership of `model` (safe with temporaries).
+  explicit Interpreter(uml::Model&& model);
+  ~Interpreter() override;
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // --- estimator::ProgramModel ---------------------------------------------
+  void on_run_start(const machine::SystemParameters& params) override;
+  [[nodiscard]] sim::Process process_main(
+      workload::ModelContext ctx) override;
+
+  // --- Introspection ---------------------------------------------------------
+
+  /// Value of a global variable after/during a run.
+  [[nodiscard]] double global(const std::string& name) const;
+
+  /// Evaluates a named cost function with the given arguments under the
+  /// current global state (used by tests and by cost-function benches).
+  [[nodiscard]] double call_cost_function(const std::string& name,
+                                          const std::vector<double>& args,
+                                          int pid = 0, int tid = 0,
+                                          int uid = 0) const;
+
+  /// The numeric uid assigned to a node (tag `id` if present, otherwise a
+  /// stable 1-based index).
+  [[nodiscard]] int uid_of(const std::string& node_id) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prophet::interp

@@ -1,0 +1,48 @@
+// C++ ports of Livermore Fortran kernels [McMahon 1986], used to ground
+// the paper's running example (kernel 6, Fig. 3a) in measurable code.
+//
+// The examples use these to *calibrate* cost functions: run the real
+// kernel, divide measured time by operation count, and feed the per-op
+// time into the model's FK6 — the measurement-based workflow the paper
+// describes ("We may identify, for an existing program, code blocks that
+// determine the overall program performance by using a profiling tool",
+// Sec. 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prophet::kernels {
+
+/// Result of one timed kernel run.
+struct KernelResult {
+  double seconds = 0;       // wall time of the kernel body
+  double checksum = 0;      // value depending on every output element
+  std::uint64_t operations = 0;  // inner-loop operation count
+};
+
+/// Kernel 1 — hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+[[nodiscard]] KernelResult kernel1(std::size_t n, int repetitions);
+
+/// Kernel 2 — ICCG (incomplete Cholesky conjugate gradient) fragment.
+[[nodiscard]] KernelResult kernel2(std::size_t n, int repetitions);
+
+/// Kernel 3 — inner product: q += z[k]*x[k].
+[[nodiscard]] KernelResult kernel3(std::size_t n, int repetitions);
+
+/// Kernel 6 — general linear recurrence equations (the paper's Fig. 3a):
+///   DO L = 1, M
+///     DO i = 2, N
+///       DO k = 1, i-1
+///         W(i) = W(i) + B(i,k) * W(i-k)
+[[nodiscard]] KernelResult kernel6(std::size_t n, std::size_t m);
+
+/// Inner-loop operation count of kernel 6: m * n*(n-1)/2.
+[[nodiscard]] std::uint64_t kernel6_operations(std::size_t n, std::size_t m);
+
+/// Measures kernel 6 at a calibration size and returns seconds per
+/// inner-loop operation (the `c` fed into FK6).
+[[nodiscard]] double calibrate_kernel6_op_time(std::size_t n = 256,
+                                               std::size_t m = 16);
+
+}  // namespace prophet::kernels

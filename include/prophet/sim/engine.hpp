@@ -1,0 +1,284 @@
+// Process-oriented discrete-event simulation engine.
+//
+// This is the reproduction's substitute for the commercial CSIM engine the
+// Performance Estimator uses in Fig. 2 of the paper.  CSIM models a system
+// as a set of processes that hold (consume simulated time), use facilities
+// (queued servers) and exchange messages through mailboxes; this engine
+// offers the same primitives with C++20 coroutines standing in for CSIM's
+// stackful threads:
+//
+//   sim::Process worker(sim::Engine& engine) {
+//     co_await engine.hold(1.5);              // consume simulated time
+//     co_await other_process(engine);         // run a sub-process inline
+//   }
+//   sim::Engine engine;
+//   engine.spawn(worker(engine));
+//   engine.run();
+//
+// The engine is single-threaded and deterministic: events at equal times
+// fire in schedule order (stable FIFO), so a fixed model and seed always
+// produce the same trace.
+#pragma once
+
+#include <cmath>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace prophet::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// +infinity: run() until the event calendar drains.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+class Engine;
+
+namespace detail {
+
+/// Shared completion state of a spawned process, used for joining.
+struct ProcessState {
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+}  // namespace detail
+
+/// Handle to a spawned process; co_await it to join.
+class ProcessRef {
+ public:
+  ProcessRef() = default;
+  explicit ProcessRef(std::shared_ptr<detail::ProcessState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+
+  // Awaiting a ProcessRef suspends until the process completes.  If the
+  // process terminated with an exception, it is rethrown at the join
+  // point (and is then considered handled).
+  struct JoinAwaiter {
+    std::shared_ptr<detail::ProcessState> state;
+    [[nodiscard]] bool await_ready() const noexcept { return state->done; }
+    void await_suspend(std::coroutine_handle<> handle) const {
+      state->waiters.push_back(handle);
+    }
+    void await_resume() const {
+      if (state->error) {
+        std::exception_ptr error = state->error;
+        state->error = nullptr;
+        std::rethrow_exception(error);
+      }
+    }
+  };
+  [[nodiscard]] JoinAwaiter operator co_await() const {
+    if (!state_) {
+      throw std::logic_error("joining an empty ProcessRef");
+    }
+    return JoinAwaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+/// A simulation process: a coroutine scheduled by the Engine.
+///
+/// Processes either run as sub-processes (`co_await child(...)`, which
+/// executes the child inline at the current simulated time) or as
+/// independent concurrent processes (`engine.spawn(child(...))`).
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Engine* engine = nullptr;
+    std::coroutine_handle<> continuation;  // set when awaited as sub-process
+    std::shared_ptr<detail::ProcessState> state;  // set when spawned
+    std::exception_ptr error;
+
+    Process get_return_object() {
+      return Process(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle handle) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Process() = default;
+  explicit Process(Handle handle) : handle_(handle) {}
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+
+  /// Releases ownership of the coroutine (used by Engine::spawn).
+  Handle release() {
+    Handle handle = handle_;
+    handle_ = nullptr;
+    return handle;
+  }
+
+  /// Awaiting a Process runs it inline as a sub-process: the child starts
+  /// immediately at the current simulated time and the parent resumes when
+  /// the child finishes.  This is how composite model elements (nested
+  /// activity diagrams, Fig. 8b lines 79-82) execute their content.
+  /// (Defined after the class; it holds a Process by value.)
+  struct CallAwaiter;
+  [[nodiscard]] CallAwaiter operator co_await() &&;
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+struct Process::CallAwaiter {
+  Process child;  // owns the child coroutine for the await's duration
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> caller) noexcept {
+    child.handle_.promise().engine = caller.promise().engine;
+    child.handle_.promise().continuation = caller;
+    return child.handle_;  // symmetric transfer into the child
+  }
+  void await_resume() {
+    if (child.handle_.promise().error) {
+      std::rethrow_exception(child.handle_.promise().error);
+    }
+  }
+};
+
+inline Process::CallAwaiter Process::operator co_await() && {
+  if (!handle_) {
+    throw std::logic_error("awaiting an empty Process");
+  }
+  return CallAwaiter{std::move(*this)};
+}
+
+/// The event calendar + clock + run loop.
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Number of events processed so far.
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Number of live (spawned, unfinished) processes.
+  [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
+
+  /// Schedules a raw coroutine resume at absolute time `when`.
+  /// Throws std::logic_error when `when` precedes the current time.
+  void schedule(std::coroutine_handle<> handle, Time when);
+
+  /// Spawns an independent process starting at the current time.
+  ProcessRef spawn(Process process) {
+    return spawn_at(now_, std::move(process));
+  }
+
+  /// Spawns an independent process starting at absolute time `when`.
+  ProcessRef spawn_at(Time when, Process process);
+
+  /// Awaitable that consumes `delay` of simulated time.
+  struct HoldAwaiter {
+    Engine* engine;
+    Time delay;
+    [[nodiscard]] bool await_ready() const noexcept { return delay <= 0; }
+    void await_suspend(std::coroutine_handle<> handle) const {
+      engine->schedule(handle, engine->now_ + delay);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] HoldAwaiter hold(Time delay) {
+    if (delay < 0 || std::isnan(delay)) {
+      throw std::invalid_argument("hold() with negative or NaN delay");
+    }
+    return HoldAwaiter{this, delay};
+  }
+
+  /// Runs until the calendar drains or the clock would pass `until`.
+  /// Returns the number of events processed by this call.  An exception
+  /// escaping a spawned process that nobody has joined aborts the run and
+  /// is rethrown here.
+  std::uint64_t run(Time until = kTimeInfinity);
+
+  /// Processes a single event; returns false when the calendar is empty.
+  bool step();
+
+  /// True when no events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  // --- internal hooks (used by the Process machinery) ----------------------
+  void defer_destroy(std::coroutine_handle<> handle);
+  void record_error(std::exception_ptr error) {
+    if (!pending_error_) {
+      pending_error_ = error;
+    }
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void drain_destroy_list();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<>> to_destroy_;
+  std::vector<std::coroutine_handle<>> live_;  // spawned, unfinished
+  std::exception_ptr pending_error_;
+};
+
+}  // namespace prophet::sim

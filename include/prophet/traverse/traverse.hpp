@@ -1,0 +1,168 @@
+// Model traversing — the Navigator / Traverser / ContentHandler triad of
+// Fig. 6 of the paper.
+//
+// "During the model traversing procedure, first, the Traverser sends the
+// navigation command to the Navigator. Then, the Traverser obtains the
+// current element ce from the Navigator. Finally, the Traverser asks the
+// ContentHandler to visit the element ce and generate the corresponding
+// code."  The three components meet only through these interfaces, so
+// "each implementation of one of these components can be combined with any
+// implementation of the other two" (Sec. 3).  The library ships default
+// implementations (depth-first and breadth-first navigators, and several
+// handlers); generating a new model representation only requires a new
+// ContentHandler, exactly as the paper prescribes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prophet/uml/model.hpp"
+
+namespace prophet::traverse {
+
+/// What kind of model entity the navigator is currently positioned on.
+enum class EntityKind {
+  Model,
+  Variable,
+  CostFunction,
+  Diagram,
+  Node,
+  Edge,
+};
+
+/// Whether the entity is being entered, left, or visited as a leaf.
+/// Container entities (Model, Diagram) produce Enter/Leave pairs;
+/// leaf entities (nodes, edges, variables, cost functions) produce Visit.
+enum class Phase {
+  Enter,
+  Leave,
+  Visit,
+};
+
+[[nodiscard]] std::string_view to_string(EntityKind kind);
+[[nodiscard]] std::string_view to_string(Phase phase);
+
+/// The "current element ce" of Fig. 6: a typed view onto one entity of the
+/// model tree.  Only the pointer matching `kind` is non-null.
+struct Entity {
+  EntityKind kind = EntityKind::Model;
+  Phase phase = Phase::Visit;
+  const uml::Model* model = nullptr;
+  const uml::ActivityDiagram* diagram = nullptr;  // enclosing or self
+  const uml::Node* node = nullptr;
+  const uml::ControlFlow* edge = nullptr;
+  const uml::Variable* variable = nullptr;
+  const uml::CostFunction* cost_function = nullptr;
+
+  /// Identifier of the entity for diagnostics (element id, variable name,
+  /// ...).
+  [[nodiscard]] std::string label() const;
+};
+
+/// Supplies the model tree one element at a time (Fig. 6 :Navigator).
+class Navigator {
+ public:
+  virtual ~Navigator() = default;
+
+  /// Positions the navigator at the start of `model`.
+  virtual void start(const uml::Model& model) = 0;
+
+  /// The navigation command: advances to the next element.  Returns false
+  /// when the traversal is exhausted.
+  virtual bool advance() = 0;
+
+  /// The element the navigator currently points at.  Only valid after a
+  /// successful advance().
+  [[nodiscard]] virtual const Entity& current() const = 0;
+};
+
+/// Consumes elements and generates a model representation
+/// (Fig. 6 :ContentHandler).
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  /// Visits one element.  Called once per successful navigator advance.
+  virtual void visit(const Entity& entity) = 0;
+};
+
+/// Drives the traversal protocol (Fig. 6 :Traverser): for every step it
+/// (1) sends the navigation command, (2) obtains the current element, and
+/// (3) asks the handler to visit it.
+class Traverser {
+ public:
+  /// Runs the full protocol; returns the number of elements visited.
+  std::size_t traverse(const uml::Model& model, Navigator& navigator,
+                       ContentHandler& handler);
+};
+
+// --- Default navigators ------------------------------------------------------
+
+/// Pre/post-order depth-first walk over the model tree:
+/// Model(Enter), each Variable, each CostFunction, then per diagram:
+/// Diagram(Enter), nodes in insertion order, edges in insertion order,
+/// Diagram(Leave); finally Model(Leave).
+class DepthFirstNavigator final : public Navigator {
+ public:
+  void start(const uml::Model& model) override;
+  bool advance() override;
+  [[nodiscard]] const Entity& current() const override;
+
+ private:
+  std::vector<Entity> sequence_;
+  std::size_t position_ = 0;
+  bool started_ = false;
+};
+
+/// Breadth-first over diagram contents: all diagrams (Enter) first, then
+/// all nodes of all diagrams, then all edges, then diagram Leaves.  Useful
+/// for handlers that want all declarations before any flow.
+class BreadthFirstNavigator final : public Navigator {
+ public:
+  void start(const uml::Model& model) override;
+  bool advance() override;
+  [[nodiscard]] const Entity& current() const override;
+
+ private:
+  std::vector<Entity> sequence_;
+  std::size_t position_ = 0;
+  bool started_ = false;
+};
+
+// --- Default handlers -------------------------------------------------------
+
+/// Records the visit sequence (labels + phases); used by protocol tests.
+class RecordingHandler final : public ContentHandler {
+ public:
+  void visit(const Entity& entity) override;
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  std::vector<std::string> log_;
+};
+
+/// Counts visited entities per kind.
+class CountingHandler final : public ContentHandler {
+ public:
+  void visit(const Entity& entity) override;
+  [[nodiscard]] std::size_t count(EntityKind kind) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  std::size_t counts_[6] = {};
+  std::size_t total_ = 0;
+};
+
+/// Renders a human-readable outline of the model (one line per entity).
+class OutlineHandler final : public ContentHandler {
+ public:
+  void visit(const Entity& entity) override;
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+  int depth_ = 0;
+};
+
+}  // namespace prophet::traverse

@@ -1,0 +1,177 @@
+// Programmatic model construction — the reproduction's stand-in for the
+// Teuta graphical editor.
+//
+// The paper's user "specifies graphically the performance model using
+// UML" (Sec. 1); everything the GUI produces is a model tree, which this
+// builder constructs directly:
+//
+//   ModelBuilder mb("SampleModel");
+//   mb.global("GV", uml::VariableType::Real, "0");
+//   mb.function("FA1", {}, "0.000001*P*P + 0.001");
+//   DiagramBuilder main = mb.diagram("main");
+//   NodeRef init = main.initial();
+//   NodeRef a1 = main.action("A1").cost("FA1()").code("GV = 3;");
+//   main.flow(init, a1);
+//   ...
+//   uml::Model model = std::move(mb).build();
+//
+// Element ids are generated deterministically (n1, n2, ... / f1, f2, ... /
+// d1, d2, ...) so models built the same way serialize identically.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/uml/model.hpp"
+
+namespace prophet::uml {
+
+class ModelBuilder;
+class DiagramBuilder;
+
+/// Lightweight handle to a node under construction; setters chain.
+class NodeRef {
+ public:
+  NodeRef(Node* node) : node_(node) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] const std::string& id() const { return node_->id(); }
+  [[nodiscard]] Node& node() const { return *node_; }
+
+  /// Associates a cost expression (tag `cost`) — Fig. 7c.
+  NodeRef& cost(std::string expr);
+  /// Associates a verbatim code fragment (tag `code`) — Fig. 7b.
+  NodeRef& code(std::string fragment);
+  /// Sets the `type` tag (Fig. 1b: type = SAMPLE).
+  NodeRef& type(std::string value);
+  /// Sets the `time` tag (measured/estimated execution time) — Fig. 1.
+  NodeRef& time(double seconds);
+  /// Sets an arbitrary tagged value.
+  NodeRef& tag(std::string_view name, TagValue value);
+
+ private:
+  Node* node_;
+};
+
+/// Builds one activity diagram.
+class DiagramBuilder {
+ public:
+  DiagramBuilder(ModelBuilder* owner, ActivityDiagram* diagram)
+      : owner_(owner), diagram_(diagram) {}
+
+  [[nodiscard]] const std::string& id() const { return diagram_->id(); }
+
+  // --- Control nodes -----------------------------------------------------
+
+  NodeRef initial();
+  NodeRef final_node();
+  NodeRef decision(std::string name = {});
+  NodeRef merge(std::string name = {});
+  NodeRef fork(std::string name = {});
+  NodeRef join(std::string name = {});
+
+  // --- Performance modeling elements --------------------------------------
+
+  /// <<action+>>: a single-entry single-exit code region (Fig. 3c).
+  NodeRef action(std::string name);
+
+  /// <<activity+>>: composite element whose content is `subdiagram`
+  /// (Fig. 7a's SA).
+  NodeRef activity(std::string name, const DiagramBuilder& subdiagram);
+  NodeRef activity(std::string name, std::string subdiagram_id);
+
+  /// <<loop+>>: repeats `body` `iterations` times; `var` is visible in
+  /// expressions inside the body (0-based iteration index).
+  NodeRef loop(std::string name, const DiagramBuilder& body,
+               std::string iterations, std::string var = "i");
+  NodeRef loop(std::string name, std::string body_diagram_id,
+               std::string iterations, std::string var = "i");
+
+  // --- Message-passing elements (MPI-style, inter-node) -------------------
+
+  NodeRef send(std::string name, std::string dest_expr,
+               std::string size_expr, std::int64_t msg_tag = 0);
+  NodeRef recv(std::string name, std::string source_expr,
+               std::string size_expr, std::int64_t msg_tag = 0);
+  NodeRef barrier(std::string name = "Barrier");
+  NodeRef broadcast(std::string name, std::string root_expr,
+                    std::string size_expr);
+  NodeRef reduce(std::string name, std::string root_expr,
+                 std::string size_expr, std::string op = "sum");
+  NodeRef allreduce(std::string name, std::string size_expr,
+                    std::string op = "sum");
+  NodeRef scatter(std::string name, std::string root_expr,
+                  std::string size_expr);
+  NodeRef gather(std::string name, std::string root_expr,
+                 std::string size_expr);
+
+  // --- Shared-memory elements (OpenMP-style, intra-node) ------------------
+
+  /// <<ompparallel>>: body executes once per thread, implicit barrier.
+  NodeRef omp_parallel(std::string name, const DiagramBuilder& body,
+                       std::string num_threads_expr);
+  /// <<ompfor>>: `iterations` split across the threads of the enclosing
+  /// parallel region; each iteration costs `itercost` (expression).
+  NodeRef omp_for(std::string name, std::string iterations,
+                  std::string itercost, std::string schedule = "static",
+                  std::int64_t chunk = 0);
+  /// <<ompcritical>>: body executes under a named mutual-exclusion lock.
+  NodeRef omp_critical(std::string name, const DiagramBuilder& body,
+                       std::string critical_name = "default");
+  NodeRef omp_barrier(std::string name = "OmpBarrier");
+
+  // --- Edges ---------------------------------------------------------------
+
+  /// Adds a control-flow edge; `guard` is a boolean expression or "else".
+  ControlFlow& flow(const NodeRef& from, const NodeRef& to,
+                    std::string guard = {});
+  ControlFlow& flow(std::string_view from_id, std::string_view to_id,
+                    std::string guard = {});
+
+  /// Adds unguarded edges chaining the given nodes in order.
+  void sequence(std::initializer_list<NodeRef> nodes);
+
+ private:
+  NodeRef add_node(NodeKind kind, std::string name,
+                   std::string_view stereotype = {});
+
+  ModelBuilder* owner_;
+  ActivityDiagram* diagram_;
+};
+
+/// Builds a complete model.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name);
+
+  /// Declares a global variable (visible to all expressions & codegen).
+  ModelBuilder& global(std::string name, VariableType type = VariableType::Real,
+                       std::string initializer = {});
+  /// Declares a local variable (emitted inside the model function).
+  ModelBuilder& local(std::string name, VariableType type = VariableType::Real,
+                      std::string initializer = {});
+
+  /// Defines a named cost function.
+  ModelBuilder& function(std::string name, std::vector<std::string> parameters,
+                         std::string body);
+
+  /// Creates a diagram; the first created diagram becomes the main one.
+  DiagramBuilder diagram(std::string name);
+
+  /// Finalizes and returns the model. The builder is consumed.
+  [[nodiscard]] Model build() &&;
+
+  /// Access to the model under construction (used by DiagramBuilder).
+  [[nodiscard]] Model& model() { return model_; }
+
+  /// Generates the next unique id with the given prefix ("n", "f", "d").
+  [[nodiscard]] std::string next_id(std::string_view prefix);
+
+ private:
+  Model model_;
+  std::size_t next_node_ = 1;
+  std::size_t next_edge_ = 1;
+  std::size_t next_diagram_ = 1;
+};
+
+}  // namespace prophet::uml

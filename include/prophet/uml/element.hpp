@@ -1,0 +1,63 @@
+// Base class for all identifiable model elements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/uml/tags.hpp"
+
+namespace prophet::uml {
+
+/// A model element: unique id, display name, optional applied stereotype
+/// and its tagged values.  The model "forms a tree data structure"
+/// (Sec. 3); Element instances are the tree's payloads.
+class Element {
+ public:
+  Element(std::string id, std::string name)
+      : id_(std::move(id)), name_(std::move(name)) {}
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Stereotype application -------------------------------------------
+
+  /// Name of the applied stereotype ("action+", ...), empty when none.
+  [[nodiscard]] const std::string& stereotype() const { return stereotype_; }
+  void set_stereotype(std::string name) { stereotype_ = std::move(name); }
+  [[nodiscard]] bool has_stereotype() const { return !stereotype_.empty(); }
+
+  // --- Tagged values ------------------------------------------------------
+
+  [[nodiscard]] const std::vector<TaggedValue>& tags() const { return tags_; }
+
+  /// Sets (or replaces) a tagged value.
+  void set_tag(std::string_view name, TagValue value);
+
+  /// Reads a tagged value, or nullopt.
+  [[nodiscard]] std::optional<TagValue> tag(std::string_view name) const;
+
+  /// Reads a string tag; empty string when absent or not a string.
+  [[nodiscard]] std::string tag_string(std::string_view name) const;
+
+  /// Reads a numeric tag as double (Integer and Real both convert);
+  /// nullopt when absent or non-numeric.
+  [[nodiscard]] std::optional<double> tag_number(std::string_view name) const;
+
+  [[nodiscard]] bool has_tag(std::string_view name) const;
+  bool remove_tag(std::string_view name);
+
+ private:
+  std::string id_;
+  std::string name_;
+  std::string stereotype_;
+  std::vector<TaggedValue> tags_;
+};
+
+}  // namespace prophet::uml

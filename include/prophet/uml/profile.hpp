@@ -1,0 +1,143 @@
+// Stereotypes and profiles — the UML customization of Sec. 2.1.
+//
+// A Stereotype specializes a UML metaclass (its `base`) with tag
+// definitions; a Profile is a named collection of stereotypes.  The
+// standard Performance Prophet profile (standard_profile()) provides the
+// building blocks of the paper and of the authors' earlier UML extension
+// [17,18]: <<action+>> / <<activity+>> for sequential code regions, the
+// message-passing elements (send, recv, barrier, broadcast, reduce, ...)
+// and the shared-memory elements (ompparallel, ompfor, ompcritical, ...).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/uml/tags.hpp"
+
+namespace prophet::uml {
+
+/// Base metaclasses our activity-diagram subset supports.
+enum class Metaclass {
+  Action,        // UML ActionNode
+  Activity,      // UML StructuredActivityNode / CallBehaviorAction
+  ControlFlow,   // UML ActivityEdge
+};
+
+[[nodiscard]] std::string_view to_string(Metaclass metaclass);
+
+/// One tag definition inside a stereotype (Fig. 1a: `time : Double`).
+struct TagDefinition {
+  std::string name;
+  TagType type = TagType::String;
+  bool required = false;
+};
+
+/// A stereotype: named subclass of a metaclass with tag definitions.
+class Stereotype {
+ public:
+  Stereotype(std::string name, Metaclass base,
+             std::vector<TagDefinition> tags = {})
+      : name_(std::move(name)), base_(base), tags_(std::move(tags)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Metaclass base() const { return base_; }
+  [[nodiscard]] const std::vector<TagDefinition>& tags() const {
+    return tags_;
+  }
+
+  /// Finds a tag definition by name, or nullptr.
+  [[nodiscard]] const TagDefinition* tag(std::string_view name) const;
+
+  void add_tag(TagDefinition tag) { tags_.push_back(std::move(tag)); }
+
+ private:
+  std::string name_;
+  Metaclass base_;
+  std::vector<TagDefinition> tags_;
+};
+
+/// A named collection of stereotypes.
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Stereotype>& stereotypes() const {
+    return stereotypes_;
+  }
+
+  /// Adds a stereotype; returns a reference to the stored copy.
+  Stereotype& add(Stereotype stereotype);
+
+  /// Finds a stereotype by name, or nullptr.
+  [[nodiscard]] const Stereotype* find(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const { return stereotypes_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<Stereotype> stereotypes_;
+};
+
+// --- The Performance Prophet standard profile ---------------------------
+
+/// Canonical stereotype names used throughout the library.  Using
+/// constants avoids stringly-typed drift between builder, checker,
+/// interpreter and code generator.
+namespace stereo {
+inline constexpr std::string_view kActionPlus = "action+";
+inline constexpr std::string_view kActivityPlus = "activity+";
+inline constexpr std::string_view kLoopPlus = "loop+";
+// Message passing (inter-node parallelism; MPI in the paper's setting).
+inline constexpr std::string_view kSend = "send";
+inline constexpr std::string_view kRecv = "recv";
+inline constexpr std::string_view kBarrier = "barrier";
+inline constexpr std::string_view kBroadcast = "broadcast";
+inline constexpr std::string_view kReduce = "reduce";
+inline constexpr std::string_view kAllReduce = "allreduce";
+inline constexpr std::string_view kScatter = "scatter";
+inline constexpr std::string_view kGather = "gather";
+// Shared memory (intra-node parallelism; OpenMP in the paper's setting).
+inline constexpr std::string_view kOmpParallel = "ompparallel";
+inline constexpr std::string_view kOmpFor = "ompfor";
+inline constexpr std::string_view kOmpCritical = "ompcritical";
+inline constexpr std::string_view kOmpBarrier = "ompbarrier";
+}  // namespace stereo
+
+/// Canonical tag names.
+namespace tag {
+inline constexpr std::string_view kId = "id";
+inline constexpr std::string_view kType = "type";
+inline constexpr std::string_view kTime = "time";
+inline constexpr std::string_view kCost = "cost";          // expression
+inline constexpr std::string_view kCode = "code";          // C++ fragment
+inline constexpr std::string_view kDiagram = "diagram";    // sub-diagram id
+inline constexpr std::string_view kIterations = "iterations";  // expression
+inline constexpr std::string_view kLoopVar = "var";
+inline constexpr std::string_view kDest = "dest";          // expression
+inline constexpr std::string_view kSource = "source";      // expression
+inline constexpr std::string_view kSize = "size";          // expression, bytes
+inline constexpr std::string_view kMsgTag = "tag";
+inline constexpr std::string_view kRoot = "root";          // expression
+inline constexpr std::string_view kOp = "op";              // reduce op name
+inline constexpr std::string_view kNumThreads = "num_threads";  // expression
+inline constexpr std::string_view kSchedule = "schedule";  // static|dynamic
+inline constexpr std::string_view kChunk = "chunk";
+inline constexpr std::string_view kIterCost = "itercost";  // expression
+inline constexpr std::string_view kCriticalName = "name";
+}  // namespace tag
+
+/// Returns the standard profile (a fresh copy; profiles are mutable).
+[[nodiscard]] Profile standard_profile();
+
+/// Names of the tags that hold cost-language expressions for a given
+/// stereotype (e.g. `cost` for <<action+>>, `dest`/`size` for <<send>>).
+/// Shared by the model checker (parse validation), the interpreter
+/// (evaluation) and the code generator (C++ emission).
+[[nodiscard]] std::vector<std::string_view> expression_tags(
+    std::string_view stereotype);
+
+}  // namespace prophet::uml

@@ -1,0 +1,33 @@
+// System-parameter vocabulary shared by the checker, interpreter and code
+// generator.
+//
+// The paper's SP element carries "the number of computational nodes, the
+// number of processors per node, the number of processes, and the number
+// of threads" (Sec. 2.2), and cost functions may use "properties of system
+// components (such as number of processors, or the ID of process)" —
+// Fig. 8a's FSA2(pid).  These names are implicitly visible in every
+// cost-language expression.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace prophet::uml {
+
+namespace sysparam {
+inline constexpr std::string_view kProcessId = "pid";   // 0-based process id
+inline constexpr std::string_view kThreadId = "tid";    // 0-based thread id
+inline constexpr std::string_view kElementUid = "uid";  // element unique id
+inline constexpr std::string_view kProcesses = "np";    // #processes
+inline constexpr std::string_view kThreads = "nt";      // #threads/process
+inline constexpr std::string_view kNodes = "nn";        // #computational nodes
+inline constexpr std::string_view kProcessorsPerNode = "ppn";
+}  // namespace sysparam
+
+/// All implicitly visible system-parameter names.
+[[nodiscard]] std::span<const std::string_view> system_parameter_names();
+
+/// True when `name` is a system parameter.
+[[nodiscard]] bool is_system_parameter(std::string_view name);
+
+}  // namespace prophet::uml

@@ -1,0 +1,51 @@
+// Tagged values — the UML extension mechanism's metaattributes.
+//
+// Fig. 1 of the paper defines the stereotype <<action+>> with tag
+// definitions `id : Integer`, `type : String`, `time : Double`, and notes
+// that "the set of tag definitions ... can be arbitrarily extended to meet
+// the modeling objective".  TagValue is the typed value carried by an
+// applied stereotype; TagType is its declared type in the profile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace prophet::uml {
+
+/// Declared type of a tag in a stereotype definition.
+enum class TagType {
+  Integer,
+  Real,
+  String,
+  Boolean,
+};
+
+[[nodiscard]] std::string_view to_string(TagType type);
+[[nodiscard]] std::optional<TagType> tag_type_from_string(
+    std::string_view text);
+
+/// A typed tag value.  Alternative index order matches TagType.
+using TagValue = std::variant<std::int64_t, double, std::string, bool>;
+
+/// The TagType a TagValue currently holds.
+[[nodiscard]] TagType type_of(const TagValue& value);
+
+/// Serializes a value for XMI storage / display ("10", "3.5", "SAMPLE",
+/// "true").
+[[nodiscard]] std::string to_string(const TagValue& value);
+
+/// Parses a value of the given declared type; nullopt if the text does not
+/// conform (e.g. "abc" as Integer).
+[[nodiscard]] std::optional<TagValue> parse_tag_value(TagType type,
+                                                      std::string_view text);
+
+/// A name/value pair applied to a model element.
+struct TaggedValue {
+  std::string name;
+  TagValue value;
+};
+
+}  // namespace prophet::uml

@@ -1,0 +1,234 @@
+// Lightweight XML document object model.
+//
+// This is the XML substrate used throughout Performance Prophet for the
+// model files of Fig. 2 of the paper (the `Models (XML)` store, the model
+// checking file MCF and the configuration files CF), and for the XMI
+// serialization of UML models (see prophet/xmi).  C++ has no widely
+// deployed, dependency-free XMI stack, so the reproduction ships its own
+// small, well-tested DOM.
+//
+// Design notes:
+//  * Elements own their children through std::unique_ptr; the tree is a
+//    strict hierarchy (no parent back-pointers needed by the library).
+//  * Attribute order is preserved (models round-trip byte-stably).
+//  * Mixed content is supported through Node kinds (Element, Text,
+//    Comment, CData); UML models mostly use elements and attributes, but
+//    associated code fragments (Fig. 7b of the paper) travel as CDATA.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prophet::xml {
+
+class Element;
+
+/// Kind discriminator for nodes in the DOM tree.
+enum class NodeKind {
+  Element,
+  Text,
+  Comment,
+  CData,
+};
+
+/// Returns a human-readable name for a node kind (for diagnostics).
+std::string_view to_string(NodeKind kind);
+
+/// Base class of all DOM nodes.
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_element() const { return kind_ == NodeKind::Element; }
+
+  /// Deep copy of this node and its subtree.
+  [[nodiscard]] virtual std::unique_ptr<Node> clone() const = 0;
+
+ private:
+  NodeKind kind_;
+};
+
+/// A run of character data (already entity-decoded).
+class TextNode final : public Node {
+ public:
+  explicit TextNode(std::string text)
+      : Node(NodeKind::Text), text_(std::move(text)) {}
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const override {
+    return std::make_unique<TextNode>(text_);
+  }
+
+ private:
+  std::string text_;
+};
+
+/// An XML comment (without the `<!--`/`-->` delimiters).
+class CommentNode final : public Node {
+ public:
+  explicit CommentNode(std::string text)
+      : Node(NodeKind::Comment), text_(std::move(text)) {}
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const override {
+    return std::make_unique<CommentNode>(text_);
+  }
+
+ private:
+  std::string text_;
+};
+
+/// A CDATA section (verbatim character data).
+class CDataNode final : public Node {
+ public:
+  explicit CDataNode(std::string text)
+      : Node(NodeKind::CData), text_(std::move(text)) {}
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const override {
+    return std::make_unique<CDataNode>(text_);
+  }
+
+ private:
+  std::string text_;
+};
+
+/// A single name="value" attribute. Order within an element is preserved.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// An XML element: name, ordered attributes, ordered children.
+class Element final : public Node {
+ public:
+  explicit Element(std::string name)
+      : Node(NodeKind::Element), name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Attributes -------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Attribute>& attributes() const {
+    return attributes_;
+  }
+
+  /// Sets (or overwrites) an attribute; insertion order is kept for new
+  /// attributes.
+  void set_attr(std::string_view name, std::string_view value);
+
+  /// Returns the attribute value, or std::nullopt if absent.
+  [[nodiscard]] std::optional<std::string_view> attr(
+      std::string_view name) const;
+
+  /// Returns the attribute value, or `fallback` if absent.
+  [[nodiscard]] std::string attr_or(std::string_view name,
+                                    std::string_view fallback) const;
+
+  [[nodiscard]] bool has_attr(std::string_view name) const;
+
+  /// Removes an attribute if present; returns true when removed.
+  bool remove_attr(std::string_view name);
+
+  // --- Children ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child node and returns a reference to it.
+  Node& add_child(std::unique_ptr<Node> child);
+
+  /// Creates, appends, and returns a new child element.
+  Element& add_element(std::string name);
+
+  /// Appends a text child.
+  TextNode& add_text(std::string text);
+
+  /// Appends a CDATA child.
+  CDataNode& add_cdata(std::string text);
+
+  /// Appends a comment child.
+  CommentNode& add_comment(std::string text);
+
+  /// First child element with the given name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view name) const;
+  [[nodiscard]] Element* child(std::string_view name);
+
+  /// All child elements (in document order), optionally filtered by name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<const Element*> child_elements() const;
+
+  /// Concatenated text content of this element's Text/CData children
+  /// (direct children only).
+  [[nodiscard]] std::string text() const;
+
+  /// Number of child elements (not counting text/comments).
+  [[nodiscard]] std::size_t element_count() const;
+
+  /// Total number of elements in this subtree, including this one.
+  [[nodiscard]] std::size_t subtree_size() const;
+
+  /// Finds the first descendant element (depth-first, pre-order) matching
+  /// a `/`-separated path of element names, e.g. "model/diagrams/diagram".
+  /// An empty path returns this element.
+  [[nodiscard]] const Element* find(std::string_view path) const;
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed XML document: prolog information plus the single root element.
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  /// Creates a document with a fresh root element of the given name.
+  static Document with_root(std::string root_name);
+
+  [[nodiscard]] bool has_root() const { return root_ != nullptr; }
+  [[nodiscard]] const Element& root() const { return *root_; }
+  [[nodiscard]] Element& root() { return *root_; }
+  void set_root(std::unique_ptr<Element> root) { root_ = std::move(root); }
+
+  /// XML declaration fields (defaulted when absent from input).
+  [[nodiscard]] const std::string& version() const { return version_; }
+  [[nodiscard]] const std::string& encoding() const { return encoding_; }
+  void set_version(std::string v) { version_ = std::move(v); }
+  void set_encoding(std::string e) { encoding_ = std::move(e); }
+
+  [[nodiscard]] Document clone() const;
+
+ private:
+  std::string version_ = "1.0";
+  std::string encoding_ = "UTF-8";
+  std::unique_ptr<Element> root_;
+};
+
+/// Structural equality of two subtrees (names, attributes incl. order,
+/// children incl. order and kinds). Comments are compared too.
+[[nodiscard]] bool deep_equal(const Node& a, const Node& b);
+[[nodiscard]] bool deep_equal(const Document& a, const Document& b);
+
+}  // namespace prophet::xml

@@ -1,0 +1,39 @@
+// Recursive-descent XML parser producing a prophet::xml::Document.
+//
+// Supported: prolog (<?xml ... ?>), elements, attributes with single or
+// double quotes, character data, the five predefined entities plus decimal
+// and hexadecimal character references, comments, CDATA sections, and
+// processing instructions (skipped).  Not supported (rejected with a
+// diagnostic): DOCTYPE/DTD internal subsets — model files never use them.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "prophet/xml/dom.hpp"
+
+namespace prophet::xml {
+
+/// Error thrown on malformed input; carries 1-based line/column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Parses a complete XML document from text. Throws ParseError.
+[[nodiscard]] Document parse(std::string_view text);
+
+/// Parses the file at `path`. Throws ParseError (or std::runtime_error if
+/// the file cannot be read).
+[[nodiscard]] Document parse_file(const std::string& path);
+
+}  // namespace prophet::xml

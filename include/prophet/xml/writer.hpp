@@ -1,0 +1,35 @@
+// XML serialization: escaping plus compact and pretty-printed output.
+#pragma once
+
+#include <string>
+
+#include "prophet/xml/dom.hpp"
+
+namespace prophet::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// When true, nested elements are placed on their own lines and indented.
+  bool pretty = true;
+  /// Indentation width (spaces) used when pretty-printing.
+  int indent = 2;
+  /// When true, emit the `<?xml version=... encoding=...?>` declaration.
+  bool declaration = true;
+};
+
+/// Escapes `&`, `<`, `>`, `"`, `'` for use in character data / attributes.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Serializes a subtree rooted at `node`.
+[[nodiscard]] std::string to_string(const Node& node,
+                                    const WriteOptions& options = {});
+
+/// Serializes a whole document.
+[[nodiscard]] std::string to_string(const Document& doc,
+                                    const WriteOptions& options = {});
+
+/// Writes a document to a file. Throws std::runtime_error on I/O failure.
+void write_file(const Document& doc, const std::string& path,
+                const WriteOptions& options = {});
+
+}  // namespace prophet::xml

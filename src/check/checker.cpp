@@ -1,0 +1,1014 @@
+#include "prophet/check/checker.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "prophet/expr/analysis.hpp"
+#include "prophet/expr/parser.hpp"
+#include "prophet/uml/sysparams.hpp"
+
+namespace prophet::check {
+namespace {
+
+using uml::ActivityDiagram;
+using uml::ControlFlow;
+using uml::Model;
+using uml::Node;
+using uml::NodeKind;
+
+std::string loc_diagram(const ActivityDiagram& diagram) {
+  return "diagram " + diagram.id() + " (" + diagram.name() + ")";
+}
+
+std::string loc_node(const ActivityDiagram& diagram, const Node& node) {
+  std::string out = loc_diagram(diagram) + " / node " + node.id();
+  if (!node.name().empty()) {
+    out += " (" + node.name() + ")";
+  }
+  return out;
+}
+
+std::string loc_edge(const ActivityDiagram& diagram, const ControlFlow& edge) {
+  return loc_diagram(diagram) + " / edge " + edge.id();
+}
+
+bool is_identifier(std::string_view text) {
+  if (text.empty()) {
+    return false;
+  }
+  if (!std::isalpha(static_cast<unsigned char>(text[0])) && text[0] != '_') {
+    return false;
+  }
+  return std::all_of(text.begin(), text.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+/// A node that carries performance semantics (selected by the Fig. 5
+/// algorithm's stereotype filter, lines 1-8).
+bool is_performance_element(const Node& node) {
+  return node.has_stereotype();
+}
+
+/// Loop variables visible inside each diagram, accounting for nesting: a
+/// diagram used as a loop body sees the loop's variable plus everything
+/// visible at the loop's site.  Computed by fixpoint propagation so deeply
+/// nested loop bodies accumulate all enclosing variables.
+std::map<std::string, std::set<std::string>> visible_loop_vars(
+    const Model& model) {
+  std::map<std::string, std::set<std::string>> visible;
+  for (const auto& diagram : model.diagrams()) {
+    visible[diagram->id()];  // ensure entry
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        const std::string sub = node->subdiagram_id();
+        if (sub.empty() || visible.find(sub) == visible.end()) {
+          continue;
+        }
+        std::set<std::string> wanted = visible[diagram->id()];
+        if (node->kind() == NodeKind::Loop) {
+          const std::string var = node->tag_string(uml::tag::kLoopVar);
+          if (!var.empty()) {
+            wanted.insert(var);
+          }
+        }
+        auto& target = visible[sub];
+        for (const auto& name : wanted) {
+          if (target.insert(name).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return visible;
+}
+
+// --- Rules -------------------------------------------------------------------
+
+class MainDiagramRule final : public Rule {
+ public:
+  MainDiagramRule()
+      : Rule("main-diagram", "the model has a resolvable main diagram",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    if (model.diagrams().empty()) {
+      ctx.report("model " + model.name(), "model contains no diagrams");
+      return;
+    }
+    if (model.main_diagram_id().empty()) {
+      ctx.report("model " + model.name(), "no main diagram designated");
+      return;
+    }
+    if (model.main_diagram() == nullptr) {
+      ctx.report("model " + model.name(),
+                 "main diagram '" + model.main_diagram_id() + "' not found");
+    }
+  }
+};
+
+class UniqueIdsRule final : public Rule {
+ public:
+  UniqueIdsRule()
+      : Rule("unique-ids",
+             "diagram, node and edge ids are unique across the model",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    std::map<std::string, std::string> seen;  // id -> location
+    auto claim = [&](const std::string& id, std::string location) {
+      auto [it, inserted] = seen.emplace(id, location);
+      if (!inserted) {
+        ctx.report(std::move(location),
+                   "id '" + id + "' already used at " + it->second);
+      }
+    };
+    for (const auto& diagram : model.diagrams()) {
+      claim(diagram->id(), loc_diagram(*diagram));
+      for (const auto& node : diagram->nodes()) {
+        claim(node->id(), loc_node(*diagram, *node));
+      }
+      for (const auto& edge : diagram->edges()) {
+        claim(edge->id(), loc_edge(*diagram, *edge));
+      }
+    }
+  }
+};
+
+class InitialNodeRule final : public Rule {
+ public:
+  InitialNodeRule()
+      : Rule("initial-node", "each diagram has exactly one initial node",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      std::size_t count = 0;
+      for (const auto& node : diagram->nodes()) {
+        if (node->kind() == NodeKind::Initial) {
+          ++count;
+        }
+      }
+      if (count == 0) {
+        ctx.report(loc_diagram(*diagram), "diagram has no initial node");
+      } else if (count > 1) {
+        ctx.report(loc_diagram(*diagram),
+                   "diagram has " + std::to_string(count) +
+                       " initial nodes; exactly one is required");
+      }
+    }
+  }
+};
+
+class InitialFinalEdgesRule final : public Rule {
+ public:
+  InitialFinalEdgesRule()
+      : Rule("initial-final-edges",
+             "initial nodes have one outgoing and no incoming edge; final "
+             "nodes have no outgoing edges",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        const auto in = diagram->incoming(node->id()).size();
+        const auto out = diagram->outgoing(node->id()).size();
+        if (node->kind() == NodeKind::Initial) {
+          if (in != 0) {
+            ctx.report(loc_node(*diagram, *node),
+                       "initial node has incoming edges");
+          }
+          if (out != 1) {
+            ctx.report(loc_node(*diagram, *node),
+                       "initial node must have exactly one outgoing edge, "
+                       "has " +
+                           std::to_string(out));
+          }
+        } else if (node->kind() == NodeKind::Final && out != 0) {
+          ctx.report(loc_node(*diagram, *node),
+                     "final node has outgoing edges");
+        }
+      }
+    }
+  }
+};
+
+class EdgeEndpointsRule final : public Rule {
+ public:
+  EdgeEndpointsRule()
+      : Rule("edge-endpoints",
+             "every edge connects two nodes of its own diagram",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& edge : diagram->edges()) {
+        if (diagram->node(edge->source()) == nullptr) {
+          ctx.report(loc_edge(*diagram, *edge),
+                     "source '" + edge->source() + "' not in diagram");
+        }
+        if (diagram->node(edge->target()) == nullptr) {
+          ctx.report(loc_edge(*diagram, *edge),
+                     "target '" + edge->target() + "' not in diagram");
+        }
+        if (edge->source() == edge->target()) {
+          ctx.report(Severity::Warning, loc_edge(*diagram, *edge),
+                     "self-loop edge");
+        }
+      }
+    }
+  }
+};
+
+class ConnectivityRule final : public Rule {
+ public:
+  ConnectivityRule()
+      : Rule("connectivity",
+             "non-initial nodes have predecessors; non-final nodes have "
+             "successors",
+             Severity::Warning) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        const auto in = diagram->incoming(node->id()).size();
+        const auto out = diagram->outgoing(node->id()).size();
+        if (node->kind() != NodeKind::Initial && in == 0) {
+          ctx.report(loc_node(*diagram, *node), "node has no incoming edge");
+        }
+        if (node->kind() != NodeKind::Final && out == 0) {
+          ctx.report(loc_node(*diagram, *node), "node has no outgoing edge");
+        }
+      }
+    }
+  }
+};
+
+class ReachabilityRule final : public Rule {
+ public:
+  ReachabilityRule()
+      : Rule("node-reachable",
+             "every node is reachable from the diagram's initial node",
+             Severity::Warning) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      const Node* initial = diagram->initial();
+      if (initial == nullptr) {
+        continue;  // initial-node rule reports this
+      }
+      std::set<std::string> reached;
+      std::vector<std::string> frontier{initial->id()};
+      reached.insert(initial->id());
+      while (!frontier.empty()) {
+        const std::string id = std::move(frontier.back());
+        frontier.pop_back();
+        for (const auto* edge : diagram->outgoing(id)) {
+          if (reached.insert(edge->target()).second) {
+            frontier.push_back(edge->target());
+          }
+        }
+      }
+      for (const auto& node : diagram->nodes()) {
+        if (reached.find(node->id()) == reached.end()) {
+          ctx.report(loc_node(*diagram, *node),
+                     "node unreachable from initial node");
+        }
+      }
+    }
+  }
+};
+
+class DecisionGuardsRule final : public Rule {
+ public:
+  DecisionGuardsRule()
+      : Rule("decision-guards",
+             "decision nodes have >=2 guarded outgoing edges, at most one "
+             "'else', and parseable guards",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (node->kind() != NodeKind::Decision) {
+          continue;
+        }
+        const auto outgoing = diagram->outgoing(node->id());
+        if (outgoing.size() < 2) {
+          ctx.report(loc_node(*diagram, *node),
+                     "decision node needs at least two outgoing edges, has " +
+                         std::to_string(outgoing.size()));
+        }
+        std::size_t else_count = 0;
+        for (const auto* edge : outgoing) {
+          if (!edge->has_guard()) {
+            ctx.report(loc_edge(*diagram, *edge),
+                       "edge leaving a decision node lacks a guard");
+            continue;
+          }
+          if (edge->is_else()) {
+            ++else_count;
+            continue;
+          }
+          if (!expr::parses(edge->guard())) {
+            ctx.report(loc_edge(*diagram, *edge),
+                       "guard '" + edge->guard() + "' does not parse");
+          }
+        }
+        if (else_count > 1) {
+          ctx.report(loc_node(*diagram, *node),
+                     "decision node has multiple 'else' edges");
+        }
+        if (else_count == 0) {
+          ctx.report(Severity::Warning, loc_node(*diagram, *node),
+                     "decision node has no 'else' edge; execution stalls when "
+                     "no guard holds");
+        }
+      }
+    }
+  }
+};
+
+class GuardContextRule final : public Rule {
+ public:
+  GuardContextRule()
+      : Rule("guard-context",
+             "guards only appear on edges leaving decision nodes",
+             Severity::Warning) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& edge : diagram->edges()) {
+        if (!edge->has_guard()) {
+          continue;
+        }
+        const Node* source = diagram->node(edge->source());
+        if (source != nullptr && source->kind() != NodeKind::Decision) {
+          ctx.report(loc_edge(*diagram, *edge),
+                     "guard on edge leaving a non-decision node is ignored");
+        }
+      }
+    }
+  }
+};
+
+class StereotypeKnownRule final : public Rule {
+ public:
+  StereotypeKnownRule()
+      : Rule("stereotype-known",
+             "applied stereotypes are defined in the model's profile",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (node->has_stereotype() &&
+            model.profile().find(node->stereotype()) == nullptr) {
+          ctx.report(loc_node(*diagram, *node),
+                     "stereotype <<" + node->stereotype() +
+                         ">> not defined in profile '" +
+                         model.profile().name() + "'");
+        }
+      }
+    }
+  }
+};
+
+class TagConformanceRule final : public Rule {
+ public:
+  TagConformanceRule()
+      : Rule("tag-conformance",
+             "tagged values conform to the stereotype's tag definitions",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (!node->has_stereotype()) {
+          continue;
+        }
+        const uml::Stereotype* stereotype =
+            model.profile().find(node->stereotype());
+        if (stereotype == nullptr) {
+          continue;  // stereotype-known rule reports this
+        }
+        for (const auto& tagged : node->tags()) {
+          const uml::TagDefinition* definition = stereotype->tag(tagged.name);
+          if (definition == nullptr) {
+            ctx.report(Severity::Warning, loc_node(*diagram, *node),
+                       "tag '" + tagged.name + "' not defined for <<" +
+                           node->stereotype() + ">>");
+            continue;
+          }
+          if (uml::type_of(tagged.value) != definition->type) {
+            ctx.report(loc_node(*diagram, *node),
+                       "tag '" + tagged.name + "' has type " +
+                           std::string(uml::to_string(
+                               uml::type_of(tagged.value))) +
+                           ", profile declares " +
+                           std::string(uml::to_string(definition->type)));
+          }
+        }
+        for (const auto& definition : stereotype->tags()) {
+          if (definition.required && !node->has_tag(definition.name)) {
+            ctx.report(loc_node(*diagram, *node),
+                       "required tag '" + definition.name + "' of <<" +
+                           node->stereotype() + ">> is missing");
+          }
+        }
+      }
+    }
+  }
+};
+
+class ExpressionTagsRule final : public Rule {
+ public:
+  ExpressionTagsRule()
+      : Rule("expression-tags",
+             "expression-valued tags contain parseable expressions",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        for (const auto tag_name : uml::expression_tags(node->stereotype())) {
+          if (!node->has_tag(tag_name)) {
+            continue;
+          }
+          const std::string text = node->tag_string(tag_name);
+          if (text.empty()) {
+            continue;
+          }
+          try {
+            (void)expr::parse(text);
+          } catch (const expr::SyntaxError& error) {
+            ctx.report(loc_node(*diagram, *node),
+                       "tag '" + std::string(tag_name) + "' = '" + text +
+                           "': " + error.what());
+          }
+        }
+      }
+    }
+  }
+};
+
+class ExpressionVisibilityRule final : public Rule {
+ public:
+  ExpressionVisibilityRule()
+      : Rule("expression-visibility",
+             "identifiers used by element expressions are declared variables, "
+             "loop variables, system parameters, or defined cost functions",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    const auto loop_vars = visible_loop_vars(model);
+    for (const auto& diagram : model.diagrams()) {
+      const auto vars_it = loop_vars.find(diagram->id());
+      for (const auto& node : diagram->nodes()) {
+        for (const auto tag_name : uml::expression_tags(node->stereotype())) {
+          check_expression(model, *diagram, *node,
+                           node->tag_string(tag_name),
+                           vars_it == loop_vars.end()
+                               ? std::set<std::string>{}
+                               : vars_it->second,
+                           ctx);
+        }
+      }
+      // Guards use the same namespace.
+      for (const auto& edge : diagram->edges()) {
+        if (edge->has_guard() && !edge->is_else()) {
+          check_guard(model, *diagram, *edge,
+                      vars_it == loop_vars.end() ? std::set<std::string>{}
+                                                 : vars_it->second,
+                      ctx);
+        }
+      }
+    }
+  }
+
+ private:
+  static bool visible_variable(const Model& model,
+                               const std::set<std::string>& loop_vars,
+                               const std::string& name) {
+    return model.variable(name) != nullptr ||
+           uml::is_system_parameter(name) ||
+           loop_vars.find(name) != loop_vars.end();
+  }
+
+  void check_names(const Model& model, const std::string& location,
+                   const std::string& text,
+                   const std::set<std::string>& loop_vars,
+                   RuleContext& ctx) const {
+    expr::ExprPtr parsed;
+    try {
+      parsed = expr::parse(text);
+    } catch (const expr::SyntaxError&) {
+      return;  // expression-tags rule reports this
+    }
+    for (const auto& name : expr::free_variables(*parsed)) {
+      if (!visible_variable(model, loop_vars, name)) {
+        ctx.report(location, "unknown variable '" + name + "' in '" + text +
+                                 "'");
+      }
+    }
+    for (const auto& name : expr::called_user_functions(*parsed)) {
+      if (model.cost_function(name) == nullptr) {
+        ctx.report(location,
+                   "undefined cost function '" + name + "' in '" + text +
+                       "'");
+      }
+    }
+  }
+
+  void check_expression(const Model& model, const ActivityDiagram& diagram,
+                        const Node& node, const std::string& text,
+                        const std::set<std::string>& loop_vars,
+                        RuleContext& ctx) const {
+    if (text.empty()) {
+      return;
+    }
+    check_names(model, loc_node(diagram, node), text, loop_vars, ctx);
+  }
+
+  void check_guard(const Model& model, const ActivityDiagram& diagram,
+                   const ControlFlow& edge, const std::set<std::string>& vars,
+                   RuleContext& ctx) const {
+    check_names(model, loc_edge(diagram, edge), edge.guard(), vars, ctx);
+  }
+};
+
+class CostFunctionsRule final : public Rule {
+ public:
+  CostFunctionsRule()
+      : Rule("cost-functions",
+             "cost-function bodies parse, reference only parameters, "
+             "globals, system parameters and other cost functions, and have "
+             "no cyclic dependencies",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    std::map<std::string, std::set<std::string>> calls;
+    std::set<std::string> names;
+    for (const auto& fn : model.cost_functions()) {
+      if (!names.insert(fn.name).second) {
+        ctx.report("function " + fn.name, "duplicate cost-function name");
+      }
+    }
+    for (const auto& fn : model.cost_functions()) {
+      const std::string location = "function " + fn.name;
+      if (!is_identifier(fn.name)) {
+        ctx.report(location, "name is not a valid identifier");
+      }
+      expr::ExprPtr body;
+      try {
+        body = expr::parse(fn.body);
+      } catch (const expr::SyntaxError& error) {
+        ctx.report(location, std::string("body does not parse: ") +
+                                 error.what());
+        continue;
+      }
+      for (const auto& name : expr::free_variables(*body)) {
+        const bool is_param =
+            std::find(fn.parameters.begin(), fn.parameters.end(), name) !=
+            fn.parameters.end();
+        const uml::Variable* variable = model.variable(name);
+        // Generated cost functions live at file scope (Fig. 8a) and can
+        // only see globals, never the model function's locals.
+        const bool is_global =
+            variable != nullptr &&
+            variable->scope == uml::VariableScope::Global;
+        if (!is_param && !is_global && !uml::is_system_parameter(name)) {
+          if (variable != nullptr) {
+            ctx.report(location, "references local variable '" + name +
+                                     "'; cost functions can only use globals "
+                                     "and parameters");
+          } else {
+            ctx.report(location, "unknown variable '" + name + "'");
+          }
+        }
+      }
+      auto& callees = calls[fn.name];
+      for (const auto& name : expr::called_user_functions(*body)) {
+        if (model.cost_function(name) == nullptr) {
+          ctx.report(location, "calls undefined function '" + name + "'");
+        } else {
+          callees.insert(name);
+        }
+      }
+    }
+    // Cycle detection over the call graph (iterative DFS with colors).
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    for (const auto& fn : model.cost_functions()) {
+      if (color[fn.name] != 0) {
+        continue;
+      }
+      std::vector<std::pair<std::string, std::size_t>> stack{{fn.name, 0}};
+      color[fn.name] = 1;
+      while (!stack.empty()) {
+        auto& [name, next] = stack.back();
+        const auto& callees = calls[name];
+        if (next >= callees.size()) {
+          color[name] = 2;
+          stack.pop_back();
+          continue;
+        }
+        auto it = callees.begin();
+        std::advance(it, next);
+        ++next;
+        const std::string& callee = *it;
+        if (color[callee] == 1) {
+          ctx.report("function " + name,
+                     "cyclic cost-function dependency via '" + callee + "'");
+        } else if (color[callee] == 0) {
+          color[callee] = 1;
+          stack.push_back({callee, 0});
+        }
+      }
+    }
+  }
+};
+
+class SubdiagramsRule final : public Rule {
+ public:
+  SubdiagramsRule()
+      : Rule("subdiagrams",
+             "composite nodes reference existing diagrams and the diagram "
+             "hierarchy is acyclic",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    // diagram id -> set of sub-diagram ids referenced from it
+    std::map<std::string, std::set<std::string>> references;
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        const bool composite = node->kind() == NodeKind::Activity ||
+                               node->kind() == NodeKind::Loop;
+        const std::string sub = node->subdiagram_id();
+        if (!composite) {
+          continue;
+        }
+        if (sub.empty()) {
+          ctx.report(loc_node(*diagram, *node),
+                     "composite node lacks a 'diagram' tag");
+          continue;
+        }
+        if (model.diagram(sub) == nullptr) {
+          ctx.report(loc_node(*diagram, *node),
+                     "references unknown diagram '" + sub + "'");
+          continue;
+        }
+        references[diagram->id()].insert(sub);
+      }
+    }
+    // Cycle check over diagram references.
+    std::map<std::string, int> color;
+    for (const auto& diagram : model.diagrams()) {
+      if (color[diagram->id()] != 0) {
+        continue;
+      }
+      std::vector<std::pair<std::string, std::size_t>> stack{
+          {diagram->id(), 0}};
+      color[diagram->id()] = 1;
+      while (!stack.empty()) {
+        auto& [id, next] = stack.back();
+        const auto& subs = references[id];
+        if (next >= subs.size()) {
+          color[id] = 2;
+          stack.pop_back();
+          continue;
+        }
+        auto it = subs.begin();
+        std::advance(it, next);
+        ++next;
+        if (color[*it] == 1) {
+          ctx.report("diagram " + id,
+                     "cyclic diagram nesting via '" + *it + "'");
+        } else if (color[*it] == 0) {
+          color[*it] = 1;
+          stack.push_back({*it, 0});
+        }
+      }
+    }
+  }
+};
+
+class ForkJoinRule final : public Rule {
+ public:
+  ForkJoinRule()
+      : Rule("fork-join",
+             "forks have >=2 outgoing edges, joins >=2 incoming, and each "
+             "diagram balances forks with joins",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    for (const auto& diagram : model.diagrams()) {
+      std::size_t forks = 0;
+      std::size_t joins = 0;
+      for (const auto& node : diagram->nodes()) {
+        if (node->kind() == NodeKind::Fork) {
+          ++forks;
+          const auto out = diagram->outgoing(node->id()).size();
+          if (out < 2) {
+            ctx.report(loc_node(*diagram, *node),
+                       "fork needs at least two outgoing edges, has " +
+                           std::to_string(out));
+          }
+        } else if (node->kind() == NodeKind::Join) {
+          ++joins;
+          const auto in = diagram->incoming(node->id()).size();
+          if (in < 2) {
+            ctx.report(loc_node(*diagram, *node),
+                       "join needs at least two incoming edges, has " +
+                           std::to_string(in));
+          }
+        }
+      }
+      if (forks != joins) {
+        ctx.report(Severity::Warning, loc_diagram(*diagram),
+                   "diagram has " + std::to_string(forks) + " fork(s) but " +
+                       std::to_string(joins) + " join(s)");
+      }
+    }
+  }
+};
+
+class VariablesRule final : public Rule {
+ public:
+  VariablesRule()
+      : Rule("variables",
+             "variable names are unique, valid identifiers, do not shadow "
+             "system parameters, and initializers parse",
+             Severity::Error) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    std::set<std::string> seen;
+    for (const auto& variable : model.variables()) {
+      const std::string location = "variable " + variable.name;
+      if (!is_identifier(variable.name)) {
+        ctx.report(location, "name is not a valid identifier");
+      }
+      if (!seen.insert(variable.name).second) {
+        ctx.report(location, "duplicate variable name");
+      }
+      if (uml::is_system_parameter(variable.name)) {
+        ctx.report(location, "name shadows system parameter '" +
+                                 variable.name + "'");
+      }
+      if (model.cost_function(variable.name) != nullptr) {
+        ctx.report(location, "name collides with a cost function");
+      }
+      if (!variable.initializer.empty() &&
+          !expr::parses(variable.initializer)) {
+        ctx.report(location, "initializer '" + variable.initializer +
+                                 "' does not parse");
+      }
+    }
+  }
+};
+
+class ElementNamesRule final : public Rule {
+ public:
+  ElementNamesRule()
+      : Rule("element-names",
+             "performance modeling elements have non-empty, distinct names "
+             "(they become C++ identifiers)",
+             Severity::Warning) {}
+  void run(const Model& model, RuleContext& ctx) const override {
+    std::map<std::string, std::string> seen;  // name -> location
+    for (const auto& diagram : model.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (!is_performance_element(*node)) {
+          continue;
+        }
+        if (node->name().empty()) {
+          ctx.report(loc_node(*diagram, *node),
+                     "performance modeling element has no name");
+          continue;
+        }
+        auto [it, inserted] = seen.emplace(node->name(),
+                                           loc_node(*diagram, *node));
+        if (!inserted) {
+          ctx.report(loc_node(*diagram, *node),
+                     "element name '" + node->name() +
+                         "' also used at " + it->second +
+                         "; generated identifiers will be disambiguated");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Error:
+      return "error";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Info:
+      return "info";
+  }
+  return "unknown";
+}
+
+std::optional<Severity> severity_from_string(std::string_view text) {
+  if (text == "error") {
+    return Severity::Error;
+  }
+  if (text == "warning") {
+    return Severity::Warning;
+  }
+  if (text == "info") {
+    return Severity::Info;
+  }
+  return std::nullopt;
+}
+
+std::string Diagnostic::to_string() const {
+  return std::string(check::to_string(severity)) + " [" + rule + "] " +
+         location + ": " + message;
+}
+
+void Diagnostics::add(Diagnostic diagnostic) {
+  items_.push_back(std::move(diagnostic));
+}
+
+std::size_t Diagnostics::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      }));
+}
+
+std::size_t Diagnostics::warning_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Warning;
+      }));
+}
+
+std::vector<const Diagnostic*> Diagnostics::from_rule(
+    std::string_view rule) const {
+  std::vector<const Diagnostic*> result;
+  for (const auto& diagnostic : items_) {
+    if (diagnostic.rule == rule) {
+      result.push_back(&diagnostic);
+    }
+  }
+  return result;
+}
+
+std::string Diagnostics::to_string() const {
+  std::ostringstream out;
+  for (const auto& diagnostic : items_) {
+    out << diagnostic.to_string() << '\n';
+  }
+  return out.str();
+}
+
+void RuleContext::report(std::string location, std::string message) {
+  report(severity_, std::move(location), std::move(message));
+}
+
+void RuleContext::report(Severity severity, std::string location,
+                         std::string message) {
+  // An MCF override to a *lower* severity also caps explicit reports, so
+  // demoting a rule to "warning" reliably silences its errors.
+  if (severity < severity_) {
+    severity = severity_;
+  }
+  sink_->add(Diagnostic{severity, rule_, std::move(location),
+                        std::move(message)});
+}
+
+ModelChecker::ModelChecker() : ModelChecker(true) {}
+
+ModelChecker::ModelChecker(bool load_standard_rules) {
+  if (load_standard_rules) {
+    register_standard_rules(*this);
+  }
+}
+
+ModelChecker ModelChecker::empty() { return ModelChecker(false); }
+
+void ModelChecker::add(std::unique_ptr<Rule> rule) {
+  for (auto& entry : entries_) {
+    if (entry.rule->name() == rule->name()) {
+      entry.rule = std::move(rule);
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(rule), true, std::nullopt});
+}
+
+bool ModelChecker::set_enabled(std::string_view rule, bool enabled) {
+  for (auto& entry : entries_) {
+    if (entry.rule->name() == rule) {
+      entry.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ModelChecker::set_severity(std::string_view rule, Severity severity) {
+  for (auto& entry : entries_) {
+    if (entry.rule->name() == rule) {
+      entry.severity_override = severity;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ModelChecker::is_enabled(std::string_view rule) const {
+  for (const auto& entry : entries_) {
+    if (entry.rule->name() == rule) {
+      return entry.enabled;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ModelChecker::rule_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    names.push_back(entry.rule->name());
+  }
+  return names;
+}
+
+void ModelChecker::configure(const xml::Document& mcf) {
+  if (!mcf.has_root() || mcf.root().name() != "mcf") {
+    configuration_notes_.push_back("MCF root element must be <mcf>");
+    return;
+  }
+  for (const auto* rule : mcf.root().children_named("rule")) {
+    const std::string name = rule->attr_or("name", "");
+    if (name.empty()) {
+      configuration_notes_.push_back("MCF <rule> without name attribute");
+      continue;
+    }
+    bool known = false;
+    if (auto enabled = rule->attr("enabled")) {
+      known = set_enabled(name, *enabled == "true");
+    }
+    if (auto severity_text = rule->attr("severity")) {
+      if (auto severity = severity_from_string(*severity_text)) {
+        known = set_severity(name, *severity) || known;
+      } else {
+        configuration_notes_.push_back("MCF rule '" + name +
+                                       "': unknown severity '" +
+                                       std::string(*severity_text) + "'");
+      }
+    }
+    if (!known && !rule->has_attr("enabled") &&
+        !rule->has_attr("severity")) {
+      known = is_enabled(name);
+    }
+    if (!known) {
+      bool exists = false;
+      for (const auto& entry : entries_) {
+        exists = exists || entry.rule->name() == name;
+      }
+      if (!exists) {
+        configuration_notes_.push_back("MCF references unknown rule '" +
+                                       name + "'");
+      }
+    }
+  }
+}
+
+Diagnostics ModelChecker::check(const uml::Model& model) const {
+  Diagnostics diagnostics;
+  for (const auto& note : configuration_notes_) {
+    diagnostics.add(Diagnostic{Severity::Info, "mcf", "configuration", note});
+  }
+  for (const auto& entry : entries_) {
+    if (!entry.enabled) {
+      continue;
+    }
+    const Severity severity =
+        entry.severity_override.value_or(entry.rule->default_severity());
+    RuleContext ctx(diagnostics, entry.rule->name(), severity);
+    entry.rule->run(model, ctx);
+  }
+  return diagnostics;
+}
+
+void register_standard_rules(ModelChecker& checker) {
+  checker.add(std::make_unique<MainDiagramRule>());
+  checker.add(std::make_unique<UniqueIdsRule>());
+  checker.add(std::make_unique<InitialNodeRule>());
+  checker.add(std::make_unique<InitialFinalEdgesRule>());
+  checker.add(std::make_unique<EdgeEndpointsRule>());
+  checker.add(std::make_unique<ConnectivityRule>());
+  checker.add(std::make_unique<ReachabilityRule>());
+  checker.add(std::make_unique<DecisionGuardsRule>());
+  checker.add(std::make_unique<GuardContextRule>());
+  checker.add(std::make_unique<StereotypeKnownRule>());
+  checker.add(std::make_unique<TagConformanceRule>());
+  checker.add(std::make_unique<ExpressionTagsRule>());
+  checker.add(std::make_unique<ExpressionVisibilityRule>());
+  checker.add(std::make_unique<CostFunctionsRule>());
+  checker.add(std::make_unique<SubdiagramsRule>());
+  checker.add(std::make_unique<ForkJoinRule>());
+  checker.add(std::make_unique<VariablesRule>());
+  checker.add(std::make_unique<ElementNamesRule>());
+}
+
+}  // namespace prophet::check

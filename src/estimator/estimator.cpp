@@ -1,0 +1,67 @@
+#include "prophet/estimator/estimator.hpp"
+
+#include <sstream>
+
+namespace prophet::estimator {
+
+std::string PredictionReport::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(12);
+  out << "predicted time: " << predicted_time << " s\n";
+  out << "processes:      " << processes << '\n';
+  out << "engine events:  " << events << '\n';
+  for (const auto& [pid, finish] : per_process_finish) {
+    out << "  p" << pid << " finished at " << finish << " s\n";
+  }
+  if (!machine_report.empty()) {
+    out << "-- machine --\n" << machine_report;
+  }
+  return out.str();
+}
+
+SimulationManager::SimulationManager(machine::SystemParameters params,
+                                     EstimationOptions options)
+    : params_(params), options_(options) {
+  params_.validate();
+}
+
+PredictionReport SimulationManager::run(ProgramModel& model) const {
+  sim::Engine engine;
+  machine::MachineModel machine(engine, params_);
+  workload::Communicator comm(engine, machine);
+  PredictionReport report;
+  report.processes = params_.processes;
+
+  model.on_run_start(params_);
+
+  // One wrapper process per modeled process records its finish time.
+  std::map<int, double> finish;
+  auto wrapper = [&model, &finish](workload::ModelContext ctx)
+      -> sim::Process {
+    const int pid = ctx.pid;
+    co_await model.process_main(ctx);
+    finish[pid] = ctx.engine->now();
+  };
+
+  for (int pid = 0; pid < params_.processes; ++pid) {
+    workload::ModelContext ctx;
+    ctx.engine = &engine;
+    ctx.machine = &machine;
+    ctx.comm = &comm;
+    ctx.trace = options_.collect_trace ? &report.trace : nullptr;
+    ctx.pid = pid;
+    ctx.tid = 0;
+    engine.spawn(wrapper(ctx));
+  }
+
+  engine.run();
+
+  report.predicted_time = engine.now();
+  report.per_process_finish = std::move(finish);
+  report.events = engine.events_processed();
+  report.machine_report = machine.utilization_report();
+  return report;
+}
+
+}  // namespace prophet::estimator

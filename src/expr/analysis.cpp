@@ -1,0 +1,74 @@
+#include "prophet/expr/analysis.hpp"
+
+#include "prophet/expr/eval.hpp"
+
+namespace prophet::expr {
+namespace {
+
+void walk(const Expr& expr, std::set<std::string>* variables,
+          std::set<std::string>* functions) {
+  switch (expr.kind()) {
+    case ExprKind::Number:
+      break;
+    case ExprKind::Variable:
+      if (variables != nullptr) {
+        variables->insert(static_cast<const VariableExpr&>(expr).name());
+      }
+      break;
+    case ExprKind::Unary:
+      walk(static_cast<const UnaryExpr&>(expr).operand(), variables,
+           functions);
+      break;
+    case ExprKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      walk(binary.lhs(), variables, functions);
+      walk(binary.rhs(), variables, functions);
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (functions != nullptr) {
+        functions->insert(call.callee());
+      }
+      for (const auto& arg : call.args()) {
+        walk(*arg, variables, functions);
+      }
+      break;
+    }
+    case ExprKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      walk(cond.cond(), variables, functions);
+      walk(cond.then_branch(), variables, functions);
+      walk(cond.else_branch(), variables, functions);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> free_variables(const Expr& expr) {
+  std::set<std::string> variables;
+  walk(expr, &variables, nullptr);
+  return variables;
+}
+
+std::set<std::string> called_functions(const Expr& expr) {
+  std::set<std::string> functions;
+  walk(expr, nullptr, &functions);
+  return functions;
+}
+
+std::set<std::string> called_user_functions(const Expr& expr) {
+  std::set<std::string> functions = called_functions(expr);
+  for (auto it = functions.begin(); it != functions.end();) {
+    if (builtin_arity(*it).has_value()) {
+      it = functions.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return functions;
+}
+
+}  // namespace prophet::expr

@@ -1,0 +1,219 @@
+#include "prophet/expr/ast.hpp"
+
+#include <sstream>
+
+namespace prophet::expr {
+namespace {
+
+/// Precedence levels used for minimal parenthesization; larger binds
+/// tighter.  Mirrors the parser's grammar.
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Or:
+      return 1;
+    case BinaryOp::And:
+      return 2;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return 3;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 4;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 5;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return 6;
+  }
+  return 0;
+}
+
+constexpr int kUnaryPrecedence = 7;
+constexpr int kTernaryPrecedence = 0;
+
+std::string format_number(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+void render(const Expr& expr, std::ostream& out, int parent_precedence);
+
+void render_binary(const BinaryExpr& expr, std::ostream& out,
+                   int parent_precedence) {
+  const int prec = precedence(expr.op());
+  const bool needs_parens = prec < parent_precedence;
+  if (needs_parens) {
+    out << '(';
+  }
+  render(expr.lhs(), out, prec);
+  out << ' ' << to_string(expr.op()) << ' ';
+  // All binary operators in the language are left-associative, so the
+  // right operand needs parens at equal precedence.
+  render(expr.rhs(), out, prec + 1);
+  if (needs_parens) {
+    out << ')';
+  }
+}
+
+void render(const Expr& expr, std::ostream& out, int parent_precedence) {
+  switch (expr.kind()) {
+    case ExprKind::Number:
+      out << format_number(static_cast<const NumberExpr&>(expr).value());
+      break;
+    case ExprKind::Variable:
+      out << static_cast<const VariableExpr&>(expr).name();
+      break;
+    case ExprKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      const bool needs_parens = kUnaryPrecedence < parent_precedence;
+      if (needs_parens) {
+        out << '(';
+      }
+      out << to_string(unary.op());
+      render(unary.operand(), out, kUnaryPrecedence);
+      if (needs_parens) {
+        out << ')';
+      }
+      break;
+    }
+    case ExprKind::Binary:
+      render_binary(static_cast<const BinaryExpr&>(expr), out,
+                    parent_precedence);
+      break;
+    case ExprKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      out << call.callee() << '(';
+      bool first = true;
+      for (const auto& arg : call.args()) {
+        if (!first) {
+          out << ", ";
+        }
+        first = false;
+        render(*arg, out, 0);
+      }
+      out << ')';
+      break;
+    }
+    case ExprKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      const bool needs_parens = kTernaryPrecedence < parent_precedence;
+      if (needs_parens) {
+        out << '(';
+      }
+      render(cond.cond(), out, 1);
+      out << " ? ";
+      render(cond.then_branch(), out, 0);
+      out << " : ";
+      render(cond.else_branch(), out, 0);
+      if (needs_parens) {
+        out << ')';
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+      return "+";
+    case BinaryOp::Sub:
+      return "-";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::Mod:
+      return "%";
+    case BinaryOp::Lt:
+      return "<";
+    case BinaryOp::Le:
+      return "<=";
+    case BinaryOp::Gt:
+      return ">";
+    case BinaryOp::Ge:
+      return ">=";
+    case BinaryOp::Eq:
+      return "==";
+    case BinaryOp::Ne:
+      return "!=";
+    case BinaryOp::And:
+      return "&&";
+    case BinaryOp::Or:
+      return "||";
+  }
+  return "?";
+}
+
+std::string_view to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Negate:
+      return "-";
+    case UnaryOp::Not:
+      return "!";
+  }
+  return "?";
+}
+
+std::string to_source(const Expr& expr) {
+  std::ostringstream out;
+  render(expr, out, 0);
+  return out.str();
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case ExprKind::Number:
+      return static_cast<const NumberExpr&>(a).value() ==
+             static_cast<const NumberExpr&>(b).value();
+    case ExprKind::Variable:
+      return static_cast<const VariableExpr&>(a).name() ==
+             static_cast<const VariableExpr&>(b).name();
+    case ExprKind::Unary: {
+      const auto& ua = static_cast<const UnaryExpr&>(a);
+      const auto& ub = static_cast<const UnaryExpr&>(b);
+      return ua.op() == ub.op() && equal(ua.operand(), ub.operand());
+    }
+    case ExprKind::Binary: {
+      const auto& ba = static_cast<const BinaryExpr&>(a);
+      const auto& bb = static_cast<const BinaryExpr&>(b);
+      return ba.op() == bb.op() && equal(ba.lhs(), bb.lhs()) &&
+             equal(ba.rhs(), bb.rhs());
+    }
+    case ExprKind::Call: {
+      const auto& ca = static_cast<const CallExpr&>(a);
+      const auto& cb = static_cast<const CallExpr&>(b);
+      if (ca.callee() != cb.callee() ||
+          ca.args().size() != cb.args().size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < ca.args().size(); ++i) {
+        if (!equal(*ca.args()[i], *cb.args()[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::Conditional: {
+      const auto& ca = static_cast<const ConditionalExpr&>(a);
+      const auto& cb = static_cast<const ConditionalExpr&>(b);
+      return equal(ca.cond(), cb.cond()) &&
+             equal(ca.then_branch(), cb.then_branch()) &&
+             equal(ca.else_branch(), cb.else_branch());
+    }
+  }
+  return false;
+}
+
+}  // namespace prophet::expr

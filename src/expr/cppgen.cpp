@@ -1,0 +1,159 @@
+#include "prophet/expr/cppgen.hpp"
+
+#include <sstream>
+
+#include "prophet/expr/eval.hpp"
+
+namespace prophet::expr {
+namespace {
+
+// Precedence table mirrors C++ so emitted code keeps the source meaning
+// with minimal parentheses.
+int cpp_precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Or:
+      return 1;
+    case BinaryOp::And:
+      return 2;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return 3;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 4;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 5;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      return 6;
+    case BinaryOp::Mod:
+      return 7;  // emitted as std::fmod(...) — a call, effectively primary
+  }
+  return 0;
+}
+
+constexpr int kUnaryPrec = 7;
+
+std::string cpp_number(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  std::string text = out.str();
+  // Ensure the literal is a double literal, not an int literal, so that
+  // e.g. 1 / P performs floating division in the generated code exactly
+  // as the interpreter does.
+  if (text.find_first_of(".eEnN") == std::string::npos) {
+    text += ".0";
+  }
+  return text;
+}
+
+/// Maps a built-in function name to its <cmath> spelling.
+std::string cpp_builtin(const std::string& name) {
+  if (name == "abs") {
+    return "std::fabs";
+  }
+  if (name == "min") {
+    return "std::fmin";
+  }
+  if (name == "max") {
+    return "std::fmax";
+  }
+  return "std::" + name;
+}
+
+void render(const Expr& expr, std::ostream& out, int parent_prec);
+
+void render_binary(const BinaryExpr& expr, std::ostream& out,
+                   int parent_prec) {
+  if (expr.op() == BinaryOp::Mod) {
+    out << "std::fmod(";
+    render(expr.lhs(), out, 0);
+    out << ", ";
+    render(expr.rhs(), out, 0);
+    out << ')';
+    return;
+  }
+  const int prec = cpp_precedence(expr.op());
+  const bool parens = prec < parent_prec;
+  if (parens) {
+    out << '(';
+  }
+  render(expr.lhs(), out, prec);
+  out << ' ' << to_string(expr.op()) << ' ';
+  render(expr.rhs(), out, prec + 1);
+  if (parens) {
+    out << ')';
+  }
+}
+
+void render(const Expr& expr, std::ostream& out, int parent_prec) {
+  switch (expr.kind()) {
+    case ExprKind::Number:
+      out << cpp_number(static_cast<const NumberExpr&>(expr).value());
+      break;
+    case ExprKind::Variable:
+      out << static_cast<const VariableExpr&>(expr).name();
+      break;
+    case ExprKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      const bool parens = kUnaryPrec < parent_prec;
+      if (parens) {
+        out << '(';
+      }
+      out << to_string(unary.op());
+      render(unary.operand(), out, kUnaryPrec);
+      if (parens) {
+        out << ')';
+      }
+      break;
+    }
+    case ExprKind::Binary:
+      render_binary(static_cast<const BinaryExpr&>(expr), out, parent_prec);
+      break;
+    case ExprKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      const bool builtin = builtin_arity(call.callee()).has_value();
+      out << (builtin ? cpp_builtin(call.callee()) : call.callee()) << '(';
+      bool first = true;
+      for (const auto& arg : call.args()) {
+        if (!first) {
+          out << ", ";
+        }
+        first = false;
+        render(*arg, out, 0);
+      }
+      out << ')';
+      break;
+    }
+    case ExprKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      const bool parens = parent_prec > 0;
+      if (parens) {
+        out << '(';
+      }
+      render(cond.cond(), out, 1);
+      out << " ? ";
+      render(cond.then_branch(), out, 0);
+      out << " : ";
+      render(cond.else_branch(), out, 0);
+      if (parens) {
+        out << ')';
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_cpp(const Expr& expr) {
+  std::ostringstream out;
+  render(expr, out, 0);
+  return out.str();
+}
+
+}  // namespace prophet::expr

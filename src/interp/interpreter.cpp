@@ -1,0 +1,822 @@
+#include "prophet/interp/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "prophet/expr/eval.hpp"
+#include "prophet/expr/parser.hpp"
+#include "prophet/uml/sysparams.hpp"
+
+namespace prophet::interp {
+namespace {
+
+using uml::ActivityDiagram;
+using uml::Model;
+using uml::Node;
+using uml::NodeKind;
+using workload::ModelContext;
+
+/// One `name = expression;` assignment of an associated code fragment.
+struct Assignment {
+  std::string target;
+  expr::ExprPtr value;
+};
+
+/// Pre-parsed cost function.
+struct ParsedFunction {
+  std::vector<std::string> parameters;
+  expr::ExprPtr body;
+};
+
+/// Pre-parsed variable declaration.
+struct ParsedVariable {
+  std::string name;
+  uml::VariableScope scope = uml::VariableScope::Global;
+  uml::VariableType type = uml::VariableType::Real;
+  expr::ExprPtr initializer;  // may be null (zero-init)
+};
+
+/// Integer-typed model variables truncate on assignment, exactly like the
+/// `long` variables the code generator emits.
+double coerce(uml::VariableType type, double value) {
+  if (type == uml::VariableType::Integer) {
+    return std::trunc(value);
+  }
+  return value;
+}
+
+/// Lexical scope of a model walker: shared locals + walker-private loop
+/// bindings (see interpreter.hpp for the exact sharing rules).
+struct Scope {
+  std::map<std::string, double>* locals = nullptr;
+  std::vector<std::pair<std::string, double>> loop_bindings;
+};
+
+/// Splits a code fragment into `name = expr` assignments.
+std::vector<Assignment> parse_code_fragment(const std::string& text,
+                                            const std::string& where) {
+  std::vector<Assignment> assignments;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find(';', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string statement = text.substr(start, end - start);
+    start = end + 1;
+    // Trim whitespace.
+    const auto first = statement.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const auto last = statement.find_last_not_of(" \t\r\n");
+    statement = statement.substr(first, last - first + 1);
+    const auto equals = statement.find('=');
+    // Reject '==' and missing '='.
+    if (equals == std::string::npos || equals + 1 >= statement.size() ||
+        statement[equals + 1] == '=') {
+      throw InterpretError("code fragment at " + where +
+                           ": statement '" + statement +
+                           "' is not an assignment");
+    }
+    std::string target = statement.substr(0, equals);
+    const auto target_end = target.find_last_not_of(" \t\r\n");
+    target = target.substr(0, target_end + 1);
+    try {
+      assignments.push_back(
+          {target, expr::parse(statement.substr(equals + 1))});
+    } catch (const expr::SyntaxError& error) {
+      throw InterpretError("code fragment at " + where + ": " +
+                           error.what());
+    }
+  }
+  return assignments;
+}
+
+}  // namespace
+
+struct Interpreter::Impl {
+  std::optional<Model> owned;  // set by the owning constructor
+  const Model* model = nullptr;
+
+  // Pre-parsed expressions, keyed by element/edge id and tag name.
+  std::map<std::string, std::map<std::string, expr::ExprPtr>> node_exprs;
+  std::map<std::string, expr::ExprPtr> guards;  // edge id -> guard
+  std::map<std::string, std::vector<Assignment>> fragments;
+  std::map<std::string, ParsedFunction> functions;
+  std::vector<ParsedVariable> variables;
+  std::map<std::string, int> uids;
+
+  // Per-run state.
+  std::map<std::string, double> globals;  // shared across processes
+  double np = 1, nt = 1, nn = 1, ppn = 1;
+  mutable int call_depth = 0;
+
+  // ---------------------------------------------------------------------
+  // Construction-time parsing
+  // ---------------------------------------------------------------------
+
+  explicit Impl(const Model& m) : model(&m) {
+    for (const auto& variable : m.variables()) {
+      ParsedVariable parsed;
+      parsed.name = variable.name;
+      parsed.scope = variable.scope;
+      parsed.type = variable.type;
+      if (!variable.initializer.empty()) {
+        parsed.initializer = parse_checked(
+            variable.initializer, "initializer of variable " + variable.name);
+      }
+      variables.push_back(std::move(parsed));
+    }
+    for (const auto& fn : m.cost_functions()) {
+      functions.emplace(
+          fn.name,
+          ParsedFunction{fn.parameters,
+                         parse_checked(fn.body, "cost function " + fn.name)});
+    }
+    // uid assignment: explicit `id` tags win; the rest get sequential
+    // numbers skipping claimed values.
+    std::set<int> claimed;
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (auto id = node->tag(uml::tag::kId)) {
+          if (const auto* value = std::get_if<std::int64_t>(&*id)) {
+            uids[node->id()] = static_cast<int>(*value);
+            claimed.insert(static_cast<int>(*value));
+          }
+        }
+      }
+    }
+    int next = 1;
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (uids.find(node->id()) != uids.end()) {
+          continue;
+        }
+        while (claimed.find(next) != claimed.end()) {
+          ++next;
+        }
+        uids[node->id()] = next;
+        claimed.insert(next);
+      }
+      for (const auto& edge : diagram->edges()) {
+        if (edge->has_guard() && !edge->is_else()) {
+          guards.emplace(edge->id(),
+                         parse_checked(edge->guard(),
+                                       "guard of edge " + edge->id()));
+        }
+      }
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        for (const auto tag_name :
+             uml::expression_tags(node->stereotype())) {
+          if (!node->has_tag(tag_name)) {
+            continue;
+          }
+          const std::string text = node->tag_string(tag_name);
+          if (text.empty()) {
+            continue;
+          }
+          node_exprs[node->id()].emplace(
+              std::string(tag_name),
+              parse_checked(text, "tag '" + std::string(tag_name) +
+                                      "' of node " + node->id()));
+        }
+        // <<action+>> cost tag is optional rather than an expression tag
+        // with fixed semantics — handled by expression_tags already.
+        if (node->has_tag(uml::tag::kCode)) {
+          const std::string code = node->tag_string(uml::tag::kCode);
+          if (!code.empty()) {
+            fragments.emplace(node->id(),
+                              parse_code_fragment(code, "node " +
+                                                            node->id()));
+          }
+        }
+        // Composite nodes must reference existing diagrams.
+        if ((node->kind() == NodeKind::Activity ||
+             node->kind() == NodeKind::Loop) &&
+            m.diagram(node->subdiagram_id()) == nullptr) {
+          throw InterpretError("node " + node->id() +
+                               " references unknown diagram '" +
+                               node->subdiagram_id() + "'");
+        }
+      }
+    }
+    if (m.main_diagram() == nullptr) {
+      throw InterpretError("model has no resolvable main diagram");
+    }
+  }
+
+  static expr::ExprPtr parse_checked(const std::string& text,
+                                     const std::string& where) {
+    try {
+      return expr::parse(text);
+    } catch (const expr::SyntaxError& error) {
+      throw InterpretError(where + ": " + error.what());
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Expression evaluation
+  // ---------------------------------------------------------------------
+
+  /// Environment for element-level expressions (cost tags, guards,
+  /// code-fragment right-hand sides).
+  class NodeEnv final : public expr::Environment {
+   public:
+    NodeEnv(const Impl& impl, const Scope& scope, int pid, int tid, int uid)
+        : impl_(&impl), scope_(&scope), pid_(pid), tid_(tid), uid_(uid) {}
+
+    [[nodiscard]] std::optional<double> variable(
+        std::string_view name) const override {
+      // Innermost loop binding wins.
+      const auto& bindings = scope_->loop_bindings;
+      for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+        if (it->first == name) {
+          return it->second;
+        }
+      }
+      if (scope_->locals != nullptr) {
+        if (const auto it = scope_->locals->find(std::string(name));
+            it != scope_->locals->end()) {
+          return it->second;
+        }
+      }
+      if (const auto it = impl_->globals.find(std::string(name));
+          it != impl_->globals.end()) {
+        return it->second;
+      }
+      return impl_->system_parameter(name, pid_, tid_, uid_);
+    }
+
+    [[nodiscard]] std::optional<double> call(
+        std::string_view name, std::span<const double> args) const override {
+      return impl_->call_function(name, args);
+    }
+
+   private:
+    const Impl* impl_;
+    const Scope* scope_;
+    int pid_;
+    int tid_;
+    int uid_;
+  };
+
+  /// Environment inside a cost-function body: parameters, globals and the
+  /// structural system parameters only (pid/tid/uid must be passed as
+  /// parameters, mirroring the file-scope C++ functions of Fig. 8a).
+  class FunctionEnv final : public expr::Environment {
+   public:
+    FunctionEnv(const Impl& impl, const ParsedFunction& fn,
+                std::span<const double> args)
+        : impl_(&impl), fn_(&fn), args_(args) {}
+
+    [[nodiscard]] std::optional<double> variable(
+        std::string_view name) const override {
+      for (std::size_t i = 0; i < fn_->parameters.size(); ++i) {
+        if (fn_->parameters[i] == name) {
+          return i < args_.size() ? args_[i] : 0.0;
+        }
+      }
+      if (const auto it = impl_->globals.find(std::string(name));
+          it != impl_->globals.end()) {
+        return it->second;
+      }
+      return impl_->structural_parameter(name);
+    }
+
+    [[nodiscard]] std::optional<double> call(
+        std::string_view name, std::span<const double> args) const override {
+      return impl_->call_function(name, args);
+    }
+
+   private:
+    const Impl* impl_;
+    const ParsedFunction* fn_;
+    std::span<const double> args_;
+  };
+
+  [[nodiscard]] std::optional<double> structural_parameter(
+      std::string_view name) const {
+    if (name == uml::sysparam::kProcesses) {
+      return np;
+    }
+    if (name == uml::sysparam::kThreads) {
+      return nt;
+    }
+    if (name == uml::sysparam::kNodes) {
+      return nn;
+    }
+    if (name == uml::sysparam::kProcessorsPerNode) {
+      return ppn;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<double> system_parameter(std::string_view name,
+                                                       int pid, int tid,
+                                                       int uid) const {
+    if (name == uml::sysparam::kProcessId) {
+      return static_cast<double>(pid);
+    }
+    if (name == uml::sysparam::kThreadId) {
+      return static_cast<double>(tid);
+    }
+    if (name == uml::sysparam::kElementUid) {
+      return static_cast<double>(uid);
+    }
+    return structural_parameter(name);
+  }
+
+  [[nodiscard]] std::optional<double> call_function(
+      std::string_view name, std::span<const double> args) const {
+    const auto it = functions.find(std::string(name));
+    if (it == functions.end()) {
+      return std::nullopt;  // fall back to expr built-ins
+    }
+    if (call_depth > 64) {
+      throw InterpretError("cost-function call depth exceeded (cycle?)");
+    }
+    ++call_depth;
+    const FunctionEnv env(*this, it->second, args);
+    const double result = expr::evaluate(*it->second.body, env);
+    --call_depth;
+    return result;
+  }
+
+  [[nodiscard]] double eval_node_expr(const Node& node,
+                                      std::string_view tag_name,
+                                      const Scope& scope,
+                                      const ModelContext& ctx) const {
+    const auto node_it = node_exprs.find(node.id());
+    if (node_it == node_exprs.end()) {
+      return 0.0;
+    }
+    const auto tag_it = node_it->second.find(std::string(tag_name));
+    if (tag_it == node_it->second.end()) {
+      return 0.0;
+    }
+    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, uids.at(node.id()));
+    try {
+      return expr::evaluate(*tag_it->second, env);
+    } catch (const expr::EvalError& error) {
+      throw InterpretError("node " + node.id() + ", tag '" +
+                           std::string(tag_name) + "': " + error.what());
+    }
+  }
+
+  [[nodiscard]] bool has_node_expr(const Node& node,
+                                   std::string_view tag_name) const {
+    const auto node_it = node_exprs.find(node.id());
+    return node_it != node_exprs.end() &&
+           node_it->second.find(std::string(tag_name)) !=
+               node_it->second.end();
+  }
+
+  void run_fragment(const Node& node, Scope& scope, const ModelContext& ctx) {
+    const auto it = fragments.find(node.id());
+    if (it == fragments.end()) {
+      return;
+    }
+    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, uids.at(node.id()));
+    for (const auto& assignment : it->second) {
+      double value = 0;
+      try {
+        value = expr::evaluate(*assignment.value, env);
+      } catch (const expr::EvalError& error) {
+        throw InterpretError("code fragment at node " + node.id() + ": " +
+                             error.what());
+      }
+      const uml::Variable* declared = model->variable(assignment.target);
+      if (declared != nullptr) {
+        value = coerce(declared->type, value);
+      }
+      if (scope.locals != nullptr) {
+        if (const auto local = scope.locals->find(assignment.target);
+            local != scope.locals->end()) {
+          local->second = value;
+          continue;
+        }
+      }
+      if (const auto global = globals.find(assignment.target);
+          global != globals.end()) {
+        global->second = value;
+        continue;
+      }
+      throw InterpretError("code fragment at node " + node.id() +
+                           " assigns undeclared variable '" +
+                           assignment.target + "'");
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Run-time walking
+  // ---------------------------------------------------------------------
+
+  void start_run(const machine::SystemParameters& params) {
+    np = params.processes;
+    nt = params.threads_per_process;
+    nn = params.nodes;
+    ppn = params.processors_per_node;
+    globals.clear();
+    Scope scope;  // no locals during global initialization
+    for (const auto& variable : variables) {
+      if (variable.scope != uml::VariableScope::Global) {
+        continue;
+      }
+      double value = 0;
+      if (variable.initializer != nullptr) {
+        const NodeEnv env(*this, scope, 0, 0, 0);
+        value = expr::evaluate(*variable.initializer, env);
+      }
+      globals[variable.name] = coerce(variable.type, value);
+    }
+  }
+
+  sim::Process run_process(ModelContext ctx) {
+    // Per-process locals, initialized in declaration order.
+    std::map<std::string, double> locals;
+    Scope scope;
+    scope.locals = &locals;
+    for (const auto& variable : variables) {
+      if (variable.scope != uml::VariableScope::Local) {
+        continue;
+      }
+      double value = 0;
+      if (variable.initializer != nullptr) {
+        const NodeEnv env(*this, scope, ctx.pid, ctx.tid, 0);
+        value = expr::evaluate(*variable.initializer, env);
+      }
+      locals[variable.name] = coerce(variable.type, value);
+    }
+    co_await run_diagram(ctx, *model->main_diagram(), scope);
+  }
+
+  /// Walks a diagram from its initial node to a final node (or a dead
+  /// end).  `scope` is taken by value: loop bindings are snapshot,
+  /// locals stay shared through the pointer.
+  sim::Process run_diagram(ModelContext ctx, const ActivityDiagram& diagram,
+                           Scope scope) {
+    const Node* initial = diagram.initial();
+    if (initial == nullptr) {
+      throw InterpretError("diagram " + diagram.id() + " has no initial node");
+    }
+    co_await walk(ctx, diagram, *initial, scope, nullptr);
+  }
+
+  /// Walks from `start` until a Final node (stop == nullptr) or until a
+  /// Join node is reached (its id is written to *stop, and the join node
+  /// is not executed).  Used both for whole diagrams and fork branches.
+  sim::Process walk(ModelContext ctx, const ActivityDiagram& diagram,
+                    const Node& start, Scope scope, std::string* stop) {
+    const Node* node = &start;
+    // Guard against unstructured cycles (the checker warns; the
+    // interpreter must not hang).
+    std::uint64_t steps = 0;
+    const std::uint64_t limit =
+        1000000ULL + 1000ULL * diagram.node_count();
+    while (node != nullptr) {
+      if (++steps > limit) {
+        throw InterpretError("diagram " + diagram.id() +
+                             ": walk exceeded step limit (unstructured "
+                             "cycle without <<loop+>>?)");
+      }
+      if (stop != nullptr && node->kind() == NodeKind::Join) {
+        *stop = node->id();
+        co_return;
+      }
+      if (node->kind() == NodeKind::Fork) {
+        // Run the branches to their common join, then continue from the
+        // join's successor.
+        std::string join_id;
+        co_await execute_fork(ctx, diagram, *node, scope, &join_id);
+        const Node* join = diagram.node(join_id);
+        const auto after = diagram.outgoing(join->id());
+        if (after.empty()) {
+          co_return;
+        }
+        if (after.size() > 1) {
+          throw InterpretError("join " + join->id() +
+                               " has multiple outgoing edges");
+        }
+        node = diagram.node(after[0]->target());
+        continue;
+      }
+      co_await execute_node(ctx, diagram, *node, scope);
+      if (node->kind() == NodeKind::Final) {
+        co_return;
+      }
+      node = next_node(ctx, diagram, *node, scope);
+    }
+  }
+
+  const Node* next_node(const ModelContext& ctx,
+                        const ActivityDiagram& diagram, const Node& node,
+                        const Scope& scope) {
+    const auto outgoing = diagram.outgoing(node.id());
+    if (node.kind() == NodeKind::Decision) {
+      const uml::ControlFlow* chosen = nullptr;
+      const uml::ControlFlow* fallback = nullptr;
+      for (const auto* edge : outgoing) {
+        if (edge->is_else()) {
+          if (fallback == nullptr) {
+            fallback = edge;
+          }
+          continue;
+        }
+        const auto guard_it = guards.find(edge->id());
+        if (guard_it == guards.end()) {
+          continue;  // unguarded edge out of a decision: never taken
+        }
+        const NodeEnv env(*this, scope, ctx.pid, ctx.tid,
+                          uids.at(node.id()));
+        if (expr::truthy(expr::evaluate(*guard_it->second, env))) {
+          chosen = edge;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        chosen = fallback;
+      }
+      if (chosen == nullptr) {
+        throw InterpretError("decision " + node.id() +
+                             ": no guard holds and no 'else' edge");
+      }
+      return diagram.node(chosen->target());
+    }
+    if (outgoing.empty()) {
+      return nullptr;  // dead end; connectivity rule warns about this
+    }
+    if (outgoing.size() > 1) {
+      throw InterpretError("node " + node.id() +
+                           " has multiple unguarded outgoing edges");
+    }
+    return diagram.node(outgoing[0]->target());
+  }
+
+  sim::Process execute_node(ModelContext ctx,
+                            [[maybe_unused]] const ActivityDiagram& diagram,
+                            const Node& node, Scope& scope) {
+    switch (node.kind()) {
+      case NodeKind::Initial:
+      case NodeKind::Final:
+      case NodeKind::Merge:
+      case NodeKind::Join:
+      case NodeKind::Decision:
+        co_return;
+      case NodeKind::Fork:
+        co_return;  // handled inline by walk()
+      case NodeKind::Action:
+        co_await execute_action(ctx, node, scope);
+        co_return;
+      case NodeKind::Activity:
+        co_await execute_activity(ctx, node, scope);
+        co_return;
+      case NodeKind::Loop:
+        co_await execute_loop(ctx, node, scope);
+        co_return;
+    }
+  }
+
+  sim::Process execute_fork(ModelContext ctx, const ActivityDiagram& diagram,
+                            const Node& node, Scope& scope,
+                            std::string* join_out) {
+    const auto outgoing = diagram.outgoing(node.id());
+    std::vector<std::string> joins(outgoing.size());
+    std::vector<sim::ProcessRef> branches;
+    branches.reserve(outgoing.size());
+    for (std::size_t i = 0; i < outgoing.size(); ++i) {
+      const Node* target = diagram.node(outgoing[i]->target());
+      if (target == nullptr) {
+        throw InterpretError("fork " + node.id() + ": dangling edge");
+      }
+      // Branches share locals (generated code captures them by
+      // reference) and snapshot the loop bindings.
+      branches.push_back(ctx.engine->spawn(
+          walk(ctx, diagram, *target, scope, &joins[i])));
+    }
+    for (const auto& branch : branches) {
+      co_await branch;
+    }
+    for (std::size_t i = 1; i < joins.size(); ++i) {
+      if (joins[i] != joins[0]) {
+        throw InterpretError("fork " + node.id() +
+                             ": branches reach different joins ('" +
+                             joins[0] + "' vs '" + joins[i] + "')");
+      }
+    }
+    if (joins.empty() || joins[0].empty()) {
+      throw InterpretError("fork " + node.id() +
+                           ": branches do not reach a join");
+    }
+    *join_out = joins[0];
+  }
+
+  sim::Process execute_action(ModelContext ctx, const Node& node,
+                              Scope& scope) {
+    run_fragment(node, scope, ctx);
+    const int uid = uids.at(node.id());
+    const std::string& stereotype = node.stereotype();
+    if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
+      double cost = 0;
+      if (has_node_expr(node, uml::tag::kCost)) {
+        cost = eval_node_expr(node, uml::tag::kCost, scope, ctx);
+      } else if (auto time = node.tag_number(uml::tag::kTime)) {
+        cost = *time;
+      }
+      workload::ActionPlus element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid, cost);
+    } else if (stereotype == uml::stereo::kSend) {
+      const int dest = static_cast<int>(
+          eval_node_expr(node, uml::tag::kDest, scope, ctx));
+      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const int tag = static_cast<int>(
+          node.tag_number(uml::tag::kMsgTag).value_or(0));
+      workload::SendElement element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid, dest, bytes, tag);
+    } else if (stereotype == uml::stereo::kRecv) {
+      const int source = static_cast<int>(
+          eval_node_expr(node, uml::tag::kSource, scope, ctx));
+      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const int tag = static_cast<int>(
+          node.tag_number(uml::tag::kMsgTag).value_or(0));
+      workload::RecvElement element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid, source, bytes, tag);
+    } else if (stereotype == uml::stereo::kBarrier) {
+      workload::BarrierElement element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid);
+    } else if (stereotype == uml::stereo::kBroadcast ||
+               stereotype == uml::stereo::kReduce ||
+               stereotype == uml::stereo::kAllReduce ||
+               stereotype == uml::stereo::kScatter ||
+               stereotype == uml::stereo::kGather) {
+      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const int root =
+          node.has_tag(uml::tag::kRoot)
+              ? static_cast<int>(
+                    eval_node_expr(node, uml::tag::kRoot, scope, ctx))
+              : 0;
+      workload::CollectiveElement element(ctx, node.name(),
+                                          collective_kind(stereotype));
+      co_await element.execute(uid, ctx.pid, ctx.tid, bytes, root);
+    } else if (stereotype == uml::stereo::kOmpFor) {
+      const double iterations =
+          eval_node_expr(node, uml::tag::kIterations, scope, ctx);
+      const double itercost =
+          eval_node_expr(node, uml::tag::kIterCost, scope, ctx);
+      std::string schedule = node.tag_string(uml::tag::kSchedule);
+      if (schedule.empty()) {
+        schedule = "static";
+      }
+      const auto chunk = static_cast<std::int64_t>(
+          node.tag_number(uml::tag::kChunk).value_or(0));
+      workload::WorkshareElement element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid, iterations, itercost,
+                               schedule, chunk);
+    } else if (stereotype == uml::stereo::kOmpBarrier) {
+      workload::OmpBarrierElement element(ctx, node.name());
+      co_await element.execute(uid, ctx.pid, ctx.tid);
+    } else {
+      throw InterpretError("node " + node.id() + ": unsupported stereotype <<" +
+                           stereotype + ">> on an action node");
+    }
+  }
+
+  static workload::CollectiveKind collective_kind(
+      const std::string& stereotype) {
+    if (stereotype == uml::stereo::kBroadcast) {
+      return workload::CollectiveKind::Broadcast;
+    }
+    if (stereotype == uml::stereo::kReduce) {
+      return workload::CollectiveKind::Reduce;
+    }
+    if (stereotype == uml::stereo::kAllReduce) {
+      return workload::CollectiveKind::AllReduce;
+    }
+    if (stereotype == uml::stereo::kScatter) {
+      return workload::CollectiveKind::Scatter;
+    }
+    return workload::CollectiveKind::Gather;
+  }
+
+  sim::Process execute_activity(ModelContext ctx, const Node& node,
+                                Scope& scope) {
+    run_fragment(node, scope, ctx);
+    const int uid = uids.at(node.id());
+    const ActivityDiagram* sub = model->diagram(node.subdiagram_id());
+    const std::string& stereotype = node.stereotype();
+    if (stereotype == uml::stereo::kOmpParallel) {
+      const int threads =
+          node.has_tag(uml::tag::kNumThreads) &&
+                  !node.tag_string(uml::tag::kNumThreads).empty()
+              ? static_cast<int>(eval_node_expr(node, uml::tag::kNumThreads,
+                                                scope, ctx))
+              : static_cast<int>(nt);
+      Scope body_scope = scope;  // loop-binding snapshot; shared locals
+      co_await workload::parallel_region(
+          ctx, threads, uid, node.name(),
+          [this, sub, body_scope](ModelContext tctx) -> sim::Process {
+            return run_diagram(tctx, *sub, body_scope);
+          });
+    } else if (stereotype == uml::stereo::kOmpCritical) {
+      std::string lock = node.tag_string(uml::tag::kCriticalName);
+      if (lock.empty()) {
+        lock = "default";
+      }
+      workload::CriticalElement element(ctx, node.name(), lock);
+      Scope body_scope = scope;
+      ModelContext body_ctx = ctx;
+      co_await element.execute(uid, ctx.pid, ctx.tid,
+                               [this, sub, body_scope,
+                                body_ctx]() -> sim::Process {
+                                 return run_diagram(body_ctx, *sub,
+                                                    body_scope);
+                               });
+    } else {
+      // <<activity+>> (or unstereotyped composite): run content inline,
+      // recording a region span (ActivityPlus).
+      workload::ActivityPlus element(ctx, node.name());
+      const double started = element.begin(uid);
+      co_await run_diagram(ctx, *sub, scope);
+      element.end(uid, started);
+    }
+  }
+
+  sim::Process execute_loop(ModelContext ctx, const Node& node,
+                            Scope& scope) {
+    run_fragment(node, scope, ctx);
+    const ActivityDiagram* body = model->diagram(node.subdiagram_id());
+    const double raw =
+        eval_node_expr(node, uml::tag::kIterations, scope, ctx);
+    if (std::isnan(raw) || raw < 0) {
+      throw InterpretError("loop " + node.id() +
+                           ": iteration count is negative or NaN");
+    }
+    const auto iterations = static_cast<std::int64_t>(raw);
+    std::string var = node.tag_string(uml::tag::kLoopVar);
+    if (var.empty()) {
+      var = "i";
+    }
+    Scope iteration_scope = scope;
+    iteration_scope.loop_bindings.emplace_back(var, 0.0);
+    for (std::int64_t k = 0; k < iterations; ++k) {
+      iteration_scope.loop_bindings.back().second = static_cast<double>(k);
+      co_await run_diagram(ctx, *body, iteration_scope);
+    }
+  }
+};
+
+Interpreter::Interpreter(const uml::Model& model)
+    : impl_(std::make_unique<Impl>(model)) {}
+
+Interpreter::Interpreter(uml::Model&& model) {
+  auto owned = std::make_unique<uml::Model>(std::move(model));
+  impl_ = std::make_unique<Impl>(*owned);
+  impl_->owned.emplace(std::move(*owned));
+  impl_->model = &*impl_->owned;
+}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::on_run_start(const machine::SystemParameters& params) {
+  impl_->start_run(params);
+}
+
+sim::Process Interpreter::process_main(workload::ModelContext ctx) {
+  return impl_->run_process(std::move(ctx));
+}
+
+double Interpreter::global(const std::string& name) const {
+  const auto it = impl_->globals.find(name);
+  if (it == impl_->globals.end()) {
+    throw InterpretError("unknown global '" + name + "'");
+  }
+  return it->second;
+}
+
+double Interpreter::call_cost_function(const std::string& name,
+                                       const std::vector<double>& args,
+                                       int pid, int tid, int uid) const {
+  (void)pid;
+  (void)tid;
+  (void)uid;
+  const auto result = impl_->call_function(name, args);
+  if (!result) {
+    throw InterpretError("unknown cost function '" + name + "'");
+  }
+  return *result;
+}
+
+int Interpreter::uid_of(const std::string& node_id) const {
+  const auto it = impl_->uids.find(node_id);
+  if (it == impl_->uids.end()) {
+    throw InterpretError("unknown node id '" + node_id + "'");
+  }
+  return it->second;
+}
+
+}  // namespace prophet::interp

@@ -1,0 +1,135 @@
+#include "prophet/kernels/livermore.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace prophet::kernels {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+KernelResult kernel1(std::size_t n, int repetitions) {
+  std::vector<double> x(n, 0.0);
+  std::vector<double> y(n, 0.5);
+  std::vector<double> z(n + 11, 0.25);
+  const double q = 0.05;
+  const double r = 0.02;
+  const double t = 0.01;
+  const auto start = Clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t k = 0; k < n; ++k) {
+      x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+  }
+  KernelResult result;
+  result.seconds = seconds_since(start);
+  for (const double value : x) {
+    result.checksum += value;
+  }
+  result.operations =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(repetitions);
+  return result;
+}
+
+KernelResult kernel2(std::size_t n, int repetitions) {
+  // ICCG excerpt: the classic kernel halves the active vector each pass.
+  std::vector<double> x(2 * n, 0.01);
+  std::vector<double> v(2 * n, 0.002);
+  std::uint64_t operations = 0;
+  const auto start = Clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    std::size_t ipntp = 0;
+    std::size_t ii = n;
+    while (ii > 1) {
+      const std::size_t ipnt = ipntp;
+      ipntp += ii;
+      ii /= 2;
+      std::size_t i = ipntp;
+      for (std::size_t k = ipnt + 1; k < ipntp; k += 2) {
+        ++i;
+        if (i < x.size() && k + 1 < x.size()) {
+          x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+          ++operations;
+        }
+      }
+    }
+  }
+  KernelResult result;
+  result.seconds = seconds_since(start);
+  for (const double value : x) {
+    result.checksum += value;
+  }
+  result.operations = operations;
+  return result;
+}
+
+KernelResult kernel3(std::size_t n, int repetitions) {
+  std::vector<double> x(n, 0.5);
+  std::vector<double> z(n, 0.25);
+  double q = 0;
+  const auto start = Clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t k = 0; k < n; ++k) {
+      q += z[k] * x[k];
+    }
+  }
+  KernelResult result;
+  result.seconds = seconds_since(start);
+  result.checksum = q;
+  result.operations =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(repetitions);
+  return result;
+}
+
+KernelResult kernel6(std::size_t n, std::size_t m) {
+  // Row-major B, initialized small so W stays finite.
+  std::vector<double> w(n, 0.0);
+  std::vector<double> b(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1e-4 * static_cast<double>(i + 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      b[i * n + k] = 1e-6 * static_cast<double>((i + k) % 7 + 1);
+    }
+  }
+  const auto start = Clock::now();
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t i = 1; i < n; ++i) {
+      double acc = w[i];
+      const double* row = &b[i * n];
+      for (std::size_t k = 0; k < i; ++k) {
+        acc += row[k] * w[i - k - 1];
+      }
+      w[i] = acc;
+    }
+  }
+  KernelResult result;
+  result.seconds = seconds_since(start);
+  for (const double value : w) {
+    result.checksum += value;
+  }
+  result.operations = kernel6_operations(n, m);
+  return result;
+}
+
+std::uint64_t kernel6_operations(std::size_t n, std::size_t m) {
+  return static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(n - 1) / 2;
+}
+
+double calibrate_kernel6_op_time(std::size_t n, std::size_t m) {
+  // Warm up once, then measure.
+  (void)kernel6(n, m);
+  const KernelResult result = kernel6(n, m);
+  if (result.operations == 0) {
+    return 0;
+  }
+  return result.seconds / static_cast<double>(result.operations);
+}
+
+}  // namespace prophet::kernels

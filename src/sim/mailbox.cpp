@@ -1,0 +1,36 @@
+#include "prophet/sim/mailbox.hpp"
+
+namespace prophet::sim {
+
+Mailbox::Mailbox(Engine& engine, std::string name)
+    : engine_(&engine), name_(std::move(name)) {}
+
+void Mailbox::send(Message message) {
+  const Time now = engine_->now();
+  message.sent_at = now;
+  ++sent_;
+  if (!waiters_.empty()) {
+    Waiter waiter = waiters_.front();
+    waiters_.pop_front();
+    waiter.awaiter->message = message;
+    ++received_;
+    engine_->schedule(waiter.handle, now);
+    return;
+  }
+  messages_.push_back(message);
+  pending_stat_.set(static_cast<double>(messages_.size()), now);
+}
+
+Message Mailbox::take() {
+  Message message = messages_.front();
+  messages_.pop_front();
+  pending_stat_.set(static_cast<double>(messages_.size()), engine_->now());
+  ++received_;
+  return message;
+}
+
+double Mailbox::mean_pending() const {
+  return pending_stat_.mean(engine_->now());
+}
+
+}  // namespace prophet::sim

@@ -1,0 +1,26 @@
+#include "prophet/sim/stats.hpp"
+
+#include <sstream>
+
+namespace prophet::sim {
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto count : counts_) {
+    peak = std::max(peak, count);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    out << bin_lo(i) << " | ";
+    const std::size_t bar = counts_[i] * width / peak;
+    for (std::size_t j = 0; j < bar; ++j) {
+      out << '#';
+    }
+    out << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace prophet::sim

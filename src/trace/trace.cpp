@@ -1,0 +1,294 @@
+#include "prophet/trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace prophet::trace {
+namespace {
+
+constexpr std::string_view kHeader = "# prophet-trace 1";
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+double parse_double(std::string_view text) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') {
+    throw std::runtime_error("trace: bad number '" + copy + "'");
+  }
+  return value;
+}
+
+int parse_int(std::string_view text) {
+  return static_cast<int>(parse_double(text));
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Compute:
+      return "compute";
+    case EventKind::Send:
+      return "send";
+    case EventKind::Receive:
+      return "recv";
+    case EventKind::Collective:
+      return "collective";
+    case EventKind::Barrier:
+      return "barrier";
+    case EventKind::Region:
+      return "region";
+  }
+  return "unknown";
+}
+
+std::optional<EventKind> event_kind_from_string(std::string_view text) {
+  static constexpr std::pair<std::string_view, EventKind> kMap[] = {
+      {"compute", EventKind::Compute},       {"send", EventKind::Send},
+      {"recv", EventKind::Receive},          {"collective", EventKind::Collective},
+      {"barrier", EventKind::Barrier},       {"region", EventKind::Region},
+  };
+  for (const auto& [name, kind] : kMap) {
+    if (name == text) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+void Trace::add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+double Trace::makespan() const {
+  double makespan = 0;
+  for (const auto& event : events_) {
+    makespan = std::max(makespan, event.end);
+  }
+  return makespan;
+}
+
+std::map<std::string, ElementStats> Trace::by_element() const {
+  std::map<std::string, ElementStats> stats;
+  for (const auto& event : events_) {
+    if (event.kind == EventKind::Region) {
+      continue;  // container spans would double-count their content
+    }
+    auto& entry = stats[event.element];
+    const double duration = event.duration();
+    if (entry.count == 0) {
+      entry.min = duration;
+      entry.max = duration;
+    } else {
+      entry.min = std::min(entry.min, duration);
+      entry.max = std::max(entry.max, duration);
+    }
+    ++entry.count;
+    entry.total += duration;
+  }
+  return stats;
+}
+
+std::map<int, double> Trace::per_process_finish() const {
+  std::map<int, double> finish;
+  for (const auto& event : events_) {
+    auto& value = finish[event.pid];
+    value = std::max(value, event.end);
+  }
+  return finish;
+}
+
+std::map<int, double> Trace::per_process_busy() const {
+  std::map<int, double> busy;
+  for (const auto& event : events_) {
+    if (event.kind == EventKind::Compute) {
+      busy[event.pid] += event.duration();
+    }
+  }
+  return busy;
+}
+
+std::string Trace::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "events:   " << events_.size() << '\n';
+  out << "makespan: " << makespan() << " s\n";
+  out << "-- elements (by total time) --\n";
+  const auto stats = by_element();
+  std::vector<std::pair<std::string, ElementStats>> rows(stats.begin(),
+                                                         stats.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+  for (const auto& [name, element] : rows) {
+    out << "  " << name << ": count " << element.count << ", total "
+        << element.total << " s, mean " << element.mean() << " s\n";
+  }
+  out << "-- processes --\n";
+  const auto finish = per_process_finish();
+  const auto busy = per_process_busy();
+  for (const auto& [pid, end] : finish) {
+    const auto busy_it = busy.find(pid);
+    const double busy_time = busy_it == busy.end() ? 0.0 : busy_it->second;
+    out << "  p" << pid << ": finish " << end << " s, busy " << busy_time
+        << " s\n";
+  }
+  return out.str();
+}
+
+std::string Trace::gantt(std::size_t width) const {
+  const double total = makespan();
+  if (total <= 0 || events_.empty()) {
+    return "(empty trace)\n";
+  }
+  // Lanes keyed by (pid, tid).
+  std::map<std::pair<int, int>, std::string> lanes;
+  for (const auto& event : events_) {
+    lanes.try_emplace({event.pid, event.tid},
+                      std::string(width, '.'));
+  }
+  auto glyph = [](EventKind kind) {
+    switch (kind) {
+      case EventKind::Compute:
+        return '#';
+      case EventKind::Send:
+        return '>';
+      case EventKind::Receive:
+        return '<';
+      case EventKind::Collective:
+        return '*';
+      case EventKind::Barrier:
+        return '|';
+      case EventKind::Region:
+        return '.';
+    }
+    return '?';
+  };
+  for (const auto& event : events_) {
+    if (event.kind == EventKind::Region) {
+      continue;
+    }
+    auto& lane = lanes[{event.pid, event.tid}];
+    auto clamp = [&](double t) {
+      return std::min<std::size_t>(
+          width - 1,
+          static_cast<std::size_t>(t / total * static_cast<double>(width)));
+    };
+    const std::size_t from = clamp(event.start);
+    const std::size_t to = std::max(from, clamp(event.end));
+    for (std::size_t i = from; i <= to; ++i) {
+      lane[i] = glyph(event.kind);
+    }
+  }
+  std::ostringstream out;
+  out << "time 0 .. " << total << " s   (#=compute >=send <=recv "
+      << "*=collective |=barrier)\n";
+  for (const auto& [key, lane] : lanes) {
+    out << 'p' << key.first << '.' << 't' << key.second << " [" << lane
+        << "]\n";
+  }
+  return out.str();
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "start,end,pid,tid,uid,element,kind\n";
+  out.precision(12);
+  for (const auto& event : events_) {
+    out << event.start << ',' << event.end << ',' << event.pid << ','
+        << event.tid << ',' << event.uid << ',' << event.element << ','
+        << to_string(event.kind) << '\n';
+  }
+  return out.str();
+}
+
+std::string Trace::serialize() const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out.precision(17);
+  for (const auto& event : events_) {
+    out << event.start << '\t' << event.end << '\t' << event.pid << '\t'
+        << event.tid << '\t' << event.uid << '\t' << to_string(event.kind)
+        << '\t' << event.element << '\n';
+  }
+  return out.str();
+}
+
+Trace Trace::deserialize(std::string_view text) {
+  Trace trace;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = text.size();
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    if (first) {
+      if (line != kHeader) {
+        throw std::runtime_error("trace: missing header line");
+      }
+      first = false;
+      continue;
+    }
+    const auto fields = split_tabs(line);
+    if (fields.size() != 7) {
+      throw std::runtime_error("trace: malformed record '" +
+                               std::string(line) + "'");
+    }
+    TraceEvent event;
+    event.start = parse_double(fields[0]);
+    event.end = parse_double(fields[1]);
+    event.pid = parse_int(fields[2]);
+    event.tid = parse_int(fields[3]);
+    event.uid = parse_int(fields[4]);
+    const auto kind = event_kind_from_string(fields[5]);
+    if (!kind) {
+      throw std::runtime_error("trace: unknown event kind '" +
+                               std::string(fields[5]) + "'");
+    }
+    event.kind = *kind;
+    event.element = std::string(fields[6]);
+    trace.add(std::move(event));
+  }
+  return trace;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  out << serialize();
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace prophet::trace

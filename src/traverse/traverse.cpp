@@ -1,0 +1,262 @@
+#include "prophet/traverse/traverse.hpp"
+
+namespace prophet::traverse {
+namespace {
+
+Entity model_entity(const uml::Model& model, Phase phase) {
+  Entity entity;
+  entity.kind = EntityKind::Model;
+  entity.phase = phase;
+  entity.model = &model;
+  return entity;
+}
+
+Entity diagram_entity(const uml::Model& model,
+                      const uml::ActivityDiagram& diagram, Phase phase) {
+  Entity entity;
+  entity.kind = EntityKind::Diagram;
+  entity.phase = phase;
+  entity.model = &model;
+  entity.diagram = &diagram;
+  return entity;
+}
+
+Entity node_entity(const uml::Model& model,
+                   const uml::ActivityDiagram& diagram,
+                   const uml::Node& node) {
+  Entity entity;
+  entity.kind = EntityKind::Node;
+  entity.phase = Phase::Visit;
+  entity.model = &model;
+  entity.diagram = &diagram;
+  entity.node = &node;
+  return entity;
+}
+
+Entity edge_entity(const uml::Model& model,
+                   const uml::ActivityDiagram& diagram,
+                   const uml::ControlFlow& edge) {
+  Entity entity;
+  entity.kind = EntityKind::Edge;
+  entity.phase = Phase::Visit;
+  entity.model = &model;
+  entity.diagram = &diagram;
+  entity.edge = &edge;
+  return entity;
+}
+
+Entity variable_entity(const uml::Model& model,
+                       const uml::Variable& variable) {
+  Entity entity;
+  entity.kind = EntityKind::Variable;
+  entity.phase = Phase::Visit;
+  entity.model = &model;
+  entity.variable = &variable;
+  return entity;
+}
+
+Entity function_entity(const uml::Model& model,
+                       const uml::CostFunction& fn) {
+  Entity entity;
+  entity.kind = EntityKind::CostFunction;
+  entity.phase = Phase::Visit;
+  entity.model = &model;
+  entity.cost_function = &fn;
+  return entity;
+}
+
+}  // namespace
+
+std::string_view to_string(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::Model:
+      return "model";
+    case EntityKind::Variable:
+      return "variable";
+    case EntityKind::CostFunction:
+      return "function";
+    case EntityKind::Diagram:
+      return "diagram";
+    case EntityKind::Node:
+      return "node";
+    case EntityKind::Edge:
+      return "edge";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::Enter:
+      return "enter";
+    case Phase::Leave:
+      return "leave";
+    case Phase::Visit:
+      return "visit";
+  }
+  return "unknown";
+}
+
+std::string Entity::label() const {
+  switch (kind) {
+    case EntityKind::Model:
+      return model != nullptr ? model->name() : "";
+    case EntityKind::Variable:
+      return variable != nullptr ? variable->name : "";
+    case EntityKind::CostFunction:
+      return cost_function != nullptr ? cost_function->name : "";
+    case EntityKind::Diagram:
+      return diagram != nullptr ? diagram->id() : "";
+    case EntityKind::Node:
+      return node != nullptr ? node->id() : "";
+    case EntityKind::Edge:
+      return edge != nullptr ? edge->id() : "";
+  }
+  return "";
+}
+
+std::size_t Traverser::traverse(const uml::Model& model, Navigator& navigator,
+                                ContentHandler& handler) {
+  navigator.start(model);
+  std::size_t visited = 0;
+  // The Fig. 6 protocol, one element per iteration:
+  //   1: navigationCommand()        -> navigator.advance()
+  //   2: ce := getCurrentElement()  -> navigator.current()
+  //   3: visitElement(ce)           -> handler.visit(ce)
+  while (navigator.advance()) {
+    const Entity& ce = navigator.current();
+    handler.visit(ce);
+    ++visited;
+  }
+  return visited;
+}
+
+void DepthFirstNavigator::start(const uml::Model& model) {
+  sequence_.clear();
+  position_ = 0;
+  started_ = false;
+  sequence_.push_back(model_entity(model, Phase::Enter));
+  for (const auto& variable : model.variables()) {
+    sequence_.push_back(variable_entity(model, variable));
+  }
+  for (const auto& fn : model.cost_functions()) {
+    sequence_.push_back(function_entity(model, fn));
+  }
+  for (const auto& diagram : model.diagrams()) {
+    sequence_.push_back(diagram_entity(model, *diagram, Phase::Enter));
+    for (const auto& node : diagram->nodes()) {
+      sequence_.push_back(node_entity(model, *diagram, *node));
+    }
+    for (const auto& edge : diagram->edges()) {
+      sequence_.push_back(edge_entity(model, *diagram, *edge));
+    }
+    sequence_.push_back(diagram_entity(model, *diagram, Phase::Leave));
+  }
+  sequence_.push_back(model_entity(model, Phase::Leave));
+}
+
+bool DepthFirstNavigator::advance() {
+  if (!started_) {
+    started_ = true;
+    return !sequence_.empty();
+  }
+  if (position_ + 1 >= sequence_.size()) {
+    return false;
+  }
+  ++position_;
+  return true;
+}
+
+const Entity& DepthFirstNavigator::current() const {
+  return sequence_[position_];
+}
+
+void BreadthFirstNavigator::start(const uml::Model& model) {
+  sequence_.clear();
+  position_ = 0;
+  started_ = false;
+  sequence_.push_back(model_entity(model, Phase::Enter));
+  for (const auto& variable : model.variables()) {
+    sequence_.push_back(variable_entity(model, variable));
+  }
+  for (const auto& fn : model.cost_functions()) {
+    sequence_.push_back(function_entity(model, fn));
+  }
+  for (const auto& diagram : model.diagrams()) {
+    sequence_.push_back(diagram_entity(model, *diagram, Phase::Enter));
+  }
+  for (const auto& diagram : model.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      sequence_.push_back(node_entity(model, *diagram, *node));
+    }
+  }
+  for (const auto& diagram : model.diagrams()) {
+    for (const auto& edge : diagram->edges()) {
+      sequence_.push_back(edge_entity(model, *diagram, *edge));
+    }
+  }
+  for (const auto& diagram : model.diagrams()) {
+    sequence_.push_back(diagram_entity(model, *diagram, Phase::Leave));
+  }
+  sequence_.push_back(model_entity(model, Phase::Leave));
+}
+
+bool BreadthFirstNavigator::advance() {
+  if (!started_) {
+    started_ = true;
+    return !sequence_.empty();
+  }
+  if (position_ + 1 >= sequence_.size()) {
+    return false;
+  }
+  ++position_;
+  return true;
+}
+
+const Entity& BreadthFirstNavigator::current() const {
+  return sequence_[position_];
+}
+
+void RecordingHandler::visit(const Entity& entity) {
+  log_.push_back(std::string(to_string(entity.phase)) + " " +
+                 std::string(to_string(entity.kind)) + " " + entity.label());
+}
+
+void CountingHandler::visit(const Entity& entity) {
+  counts_[static_cast<int>(entity.kind)] += 1;
+  ++total_;
+}
+
+std::size_t CountingHandler::count(EntityKind kind) const {
+  return counts_[static_cast<int>(kind)];
+}
+
+void OutlineHandler::visit(const Entity& entity) {
+  if (entity.phase == Phase::Leave) {
+    --depth_;
+    return;
+  }
+  for (int i = 0; i < depth_; ++i) {
+    text_ += "  ";
+  }
+  text_ += to_string(entity.kind);
+  text_ += ' ';
+  text_ += entity.label();
+  if (entity.kind == EntityKind::Node && entity.node != nullptr) {
+    text_ += " (";
+    text_ += to_string(entity.node->kind());
+    if (entity.node->has_stereotype()) {
+      text_ += " <<" + entity.node->stereotype() + ">>";
+    }
+    text_ += ')';
+    if (!entity.node->name().empty()) {
+      text_ += " \"" + entity.node->name() + "\"";
+    }
+  }
+  text_ += '\n';
+  if (entity.phase == Phase::Enter) {
+    ++depth_;
+  }
+}
+
+}  // namespace prophet::traverse

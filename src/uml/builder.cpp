@@ -1,0 +1,267 @@
+#include "prophet/uml/builder.hpp"
+
+namespace prophet::uml {
+
+NodeRef& NodeRef::cost(std::string expr) {
+  node_->set_tag(tag::kCost, TagValue(std::move(expr)));
+  return *this;
+}
+
+NodeRef& NodeRef::code(std::string fragment) {
+  node_->set_tag(tag::kCode, TagValue(std::move(fragment)));
+  return *this;
+}
+
+NodeRef& NodeRef::type(std::string value) {
+  node_->set_tag(tag::kType, TagValue(std::move(value)));
+  return *this;
+}
+
+NodeRef& NodeRef::time(double seconds) {
+  node_->set_tag(tag::kTime, TagValue(seconds));
+  return *this;
+}
+
+NodeRef& NodeRef::tag(std::string_view name, TagValue value) {
+  node_->set_tag(name, std::move(value));
+  return *this;
+}
+
+NodeRef DiagramBuilder::add_node(NodeKind kind, std::string name,
+                                 std::string_view stereotype) {
+  auto node = std::make_unique<Node>(owner_->next_id("n"), std::move(name),
+                                     kind);
+  if (!stereotype.empty()) {
+    node->set_stereotype(std::string(stereotype));
+  }
+  return NodeRef(&diagram_->add_node(std::move(node)));
+}
+
+NodeRef DiagramBuilder::initial() {
+  return add_node(NodeKind::Initial, "Initial");
+}
+
+NodeRef DiagramBuilder::final_node() {
+  return add_node(NodeKind::Final, "Final");
+}
+
+NodeRef DiagramBuilder::decision(std::string name) {
+  return add_node(NodeKind::Decision,
+                  name.empty() ? "Decision" : std::move(name));
+}
+
+NodeRef DiagramBuilder::merge(std::string name) {
+  return add_node(NodeKind::Merge, name.empty() ? "Merge" : std::move(name));
+}
+
+NodeRef DiagramBuilder::fork(std::string name) {
+  return add_node(NodeKind::Fork, name.empty() ? "Fork" : std::move(name));
+}
+
+NodeRef DiagramBuilder::join(std::string name) {
+  return add_node(NodeKind::Join, name.empty() ? "Join" : std::move(name));
+}
+
+NodeRef DiagramBuilder::action(std::string name) {
+  return add_node(NodeKind::Action, std::move(name), stereo::kActionPlus);
+}
+
+NodeRef DiagramBuilder::activity(std::string name,
+                                 const DiagramBuilder& subdiagram) {
+  return activity(std::move(name), subdiagram.id());
+}
+
+NodeRef DiagramBuilder::activity(std::string name,
+                                 std::string subdiagram_id) {
+  NodeRef ref =
+      add_node(NodeKind::Activity, std::move(name), stereo::kActivityPlus);
+  ref.tag(tag::kDiagram, TagValue(std::move(subdiagram_id)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::loop(std::string name, const DiagramBuilder& body,
+                             std::string iterations, std::string var) {
+  return loop(std::move(name), body.id(), std::move(iterations),
+              std::move(var));
+}
+
+NodeRef DiagramBuilder::loop(std::string name, std::string body_diagram_id,
+                             std::string iterations, std::string var) {
+  NodeRef ref = add_node(NodeKind::Loop, std::move(name), stereo::kLoopPlus);
+  ref.tag(tag::kDiagram, TagValue(std::move(body_diagram_id)));
+  ref.tag(tag::kIterations, TagValue(std::move(iterations)));
+  ref.tag(tag::kLoopVar, TagValue(std::move(var)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::send(std::string name, std::string dest_expr,
+                             std::string size_expr, std::int64_t msg_tag) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kSend);
+  ref.tag(tag::kDest, TagValue(std::move(dest_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  ref.tag(tag::kMsgTag, TagValue(msg_tag));
+  return ref;
+}
+
+NodeRef DiagramBuilder::recv(std::string name, std::string source_expr,
+                             std::string size_expr, std::int64_t msg_tag) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kRecv);
+  ref.tag(tag::kSource, TagValue(std::move(source_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  ref.tag(tag::kMsgTag, TagValue(msg_tag));
+  return ref;
+}
+
+NodeRef DiagramBuilder::barrier(std::string name) {
+  return add_node(NodeKind::Action, std::move(name), stereo::kBarrier);
+}
+
+NodeRef DiagramBuilder::broadcast(std::string name, std::string root_expr,
+                                  std::string size_expr) {
+  NodeRef ref =
+      add_node(NodeKind::Action, std::move(name), stereo::kBroadcast);
+  ref.tag(tag::kRoot, TagValue(std::move(root_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::reduce(std::string name, std::string root_expr,
+                               std::string size_expr, std::string op) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kReduce);
+  ref.tag(tag::kRoot, TagValue(std::move(root_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  ref.tag(tag::kOp, TagValue(std::move(op)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::allreduce(std::string name, std::string size_expr,
+                                  std::string op) {
+  NodeRef ref =
+      add_node(NodeKind::Action, std::move(name), stereo::kAllReduce);
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  ref.tag(tag::kOp, TagValue(std::move(op)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::scatter(std::string name, std::string root_expr,
+                                std::string size_expr) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kScatter);
+  ref.tag(tag::kRoot, TagValue(std::move(root_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::gather(std::string name, std::string root_expr,
+                               std::string size_expr) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kGather);
+  ref.tag(tag::kRoot, TagValue(std::move(root_expr)));
+  ref.tag(tag::kSize, TagValue(std::move(size_expr)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::omp_parallel(std::string name,
+                                     const DiagramBuilder& body,
+                                     std::string num_threads_expr) {
+  NodeRef ref =
+      add_node(NodeKind::Activity, std::move(name), stereo::kOmpParallel);
+  ref.tag(tag::kDiagram, TagValue(body.id()));
+  ref.tag(tag::kNumThreads, TagValue(std::move(num_threads_expr)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::omp_for(std::string name, std::string iterations,
+                                std::string itercost, std::string schedule,
+                                std::int64_t chunk) {
+  NodeRef ref = add_node(NodeKind::Action, std::move(name), stereo::kOmpFor);
+  ref.tag(tag::kIterations, TagValue(std::move(iterations)));
+  ref.tag(tag::kIterCost, TagValue(std::move(itercost)));
+  ref.tag(tag::kSchedule, TagValue(std::move(schedule)));
+  ref.tag(tag::kChunk, TagValue(chunk));
+  return ref;
+}
+
+NodeRef DiagramBuilder::omp_critical(std::string name,
+                                     const DiagramBuilder& body,
+                                     std::string critical_name) {
+  NodeRef ref =
+      add_node(NodeKind::Activity, std::move(name), stereo::kOmpCritical);
+  ref.tag(tag::kDiagram, TagValue(body.id()));
+  ref.tag(tag::kCriticalName, TagValue(std::move(critical_name)));
+  return ref;
+}
+
+NodeRef DiagramBuilder::omp_barrier(std::string name) {
+  return add_node(NodeKind::Action, std::move(name), stereo::kOmpBarrier);
+}
+
+ControlFlow& DiagramBuilder::flow(const NodeRef& from, const NodeRef& to,
+                                  std::string guard) {
+  return flow(from.id(), to.id(), std::move(guard));
+}
+
+ControlFlow& DiagramBuilder::flow(std::string_view from_id,
+                                  std::string_view to_id, std::string guard) {
+  auto edge = std::make_unique<ControlFlow>(
+      owner_->next_id("f"), std::string(from_id), std::string(to_id),
+      std::move(guard));
+  return diagram_->add_edge(std::move(edge));
+}
+
+void DiagramBuilder::sequence(std::initializer_list<NodeRef> nodes) {
+  const NodeRef* previous = nullptr;
+  for (const NodeRef& node : nodes) {
+    if (previous != nullptr) {
+      flow(*previous, node);
+    }
+    previous = &node;
+  }
+}
+
+ModelBuilder::ModelBuilder(std::string name) : model_(std::move(name)) {
+  model_.set_profile(standard_profile());
+}
+
+ModelBuilder& ModelBuilder::global(std::string name, VariableType type,
+                                   std::string initializer) {
+  model_.add_variable(Variable{std::move(name), type, VariableScope::Global,
+                               std::move(initializer)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::local(std::string name, VariableType type,
+                                  std::string initializer) {
+  model_.add_variable(Variable{std::move(name), type, VariableScope::Local,
+                               std::move(initializer)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::function(std::string name,
+                                     std::vector<std::string> parameters,
+                                     std::string body) {
+  model_.add_cost_function(
+      CostFunction{std::move(name), std::move(parameters), std::move(body)});
+  return *this;
+}
+
+DiagramBuilder ModelBuilder::diagram(std::string name) {
+  auto diagram =
+      std::make_unique<ActivityDiagram>(next_id("d"), std::move(name));
+  ActivityDiagram& stored = model_.add_diagram(std::move(diagram));
+  return DiagramBuilder(this, &stored);
+}
+
+Model ModelBuilder::build() && { return std::move(model_); }
+
+std::string ModelBuilder::next_id(std::string_view prefix) {
+  std::size_t* counter = nullptr;
+  if (prefix == "n") {
+    counter = &next_node_;
+  } else if (prefix == "f") {
+    counter = &next_edge_;
+  } else {
+    counter = &next_diagram_;
+  }
+  return std::string(prefix) + std::to_string((*counter)++);
+}
+
+}  // namespace prophet::uml

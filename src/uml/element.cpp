@@ -1,0 +1,61 @@
+#include "prophet/uml/element.hpp"
+
+#include <algorithm>
+
+namespace prophet::uml {
+
+void Element::set_tag(std::string_view name, TagValue value) {
+  for (auto& tagged : tags_) {
+    if (tagged.name == name) {
+      tagged.value = std::move(value);
+      return;
+    }
+  }
+  tags_.push_back({std::string(name), std::move(value)});
+}
+
+std::optional<TagValue> Element::tag(std::string_view name) const {
+  for (const auto& tagged : tags_) {
+    if (tagged.name == name) {
+      return tagged.value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Element::tag_string(std::string_view name) const {
+  if (auto value = tag(name)) {
+    if (const auto* text = std::get_if<std::string>(&*value)) {
+      return *text;
+    }
+  }
+  return {};
+}
+
+std::optional<double> Element::tag_number(std::string_view name) const {
+  if (auto value = tag(name)) {
+    if (const auto* real = std::get_if<double>(&*value)) {
+      return *real;
+    }
+    if (const auto* integer = std::get_if<std::int64_t>(&*value)) {
+      return static_cast<double>(*integer);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Element::has_tag(std::string_view name) const {
+  return tag(name).has_value();
+}
+
+bool Element::remove_tag(std::string_view name) {
+  auto it = std::find_if(tags_.begin(), tags_.end(),
+                         [&](const TaggedValue& t) { return t.name == name; });
+  if (it == tags_.end()) {
+    return false;
+  }
+  tags_.erase(it);
+  return true;
+}
+
+}  // namespace prophet::uml

@@ -1,0 +1,143 @@
+#include "prophet/uml/profile.hpp"
+
+namespace prophet::uml {
+
+std::string_view to_string(Metaclass metaclass) {
+  switch (metaclass) {
+    case Metaclass::Action:
+      return "Action";
+    case Metaclass::Activity:
+      return "Activity";
+    case Metaclass::ControlFlow:
+      return "ControlFlow";
+  }
+  return "Unknown";
+}
+
+const TagDefinition* Stereotype::tag(std::string_view name) const {
+  for (const auto& definition : tags_) {
+    if (definition.name == name) {
+      return &definition;
+    }
+  }
+  return nullptr;
+}
+
+Stereotype& Profile::add(Stereotype stereotype) {
+  stereotypes_.push_back(std::move(stereotype));
+  return stereotypes_.back();
+}
+
+const Stereotype* Profile::find(std::string_view name) const {
+  for (const auto& stereotype : stereotypes_) {
+    if (stereotype.name() == name) {
+      return &stereotype;
+    }
+  }
+  return nullptr;
+}
+
+Profile standard_profile() {
+  Profile profile("PerformanceProphet");
+
+  auto str = [](std::string_view name, bool required = false) {
+    return TagDefinition{std::string(name), TagType::String, required};
+  };
+  auto integer = [](std::string_view name, bool required = false) {
+    return TagDefinition{std::string(name), TagType::Integer, required};
+  };
+  auto real = [](std::string_view name, bool required = false) {
+    return TagDefinition{std::string(name), TagType::Real, required};
+  };
+
+  // Fig. 1a: <<action+>> with id/type/time, extended with the cost and
+  // code associations of Fig. 7b/7c.
+  profile.add(Stereotype(std::string(stereo::kActionPlus), Metaclass::Action,
+                         {integer(tag::kId), str(tag::kType), real(tag::kTime),
+                          str(tag::kCost), str(tag::kCode)}));
+
+  profile.add(Stereotype(std::string(stereo::kActivityPlus),
+                         Metaclass::Activity,
+                         {integer(tag::kId), str(tag::kType), real(tag::kTime),
+                          str(tag::kDiagram, /*required=*/true)}));
+
+  profile.add(Stereotype(std::string(stereo::kLoopPlus), Metaclass::Activity,
+                         {str(tag::kDiagram, /*required=*/true),
+                          str(tag::kIterations, /*required=*/true),
+                          str(tag::kLoopVar)}));
+
+  // Message-passing building blocks [17,18].
+  profile.add(Stereotype(std::string(stereo::kSend), Metaclass::Action,
+                         {str(tag::kDest, /*required=*/true),
+                          str(tag::kSize, /*required=*/true),
+                          integer(tag::kMsgTag)}));
+  profile.add(Stereotype(std::string(stereo::kRecv), Metaclass::Action,
+                         {str(tag::kSource, /*required=*/true),
+                          str(tag::kSize, /*required=*/true),
+                          integer(tag::kMsgTag)}));
+  profile.add(
+      Stereotype(std::string(stereo::kBarrier), Metaclass::Action, {}));
+  profile.add(Stereotype(std::string(stereo::kBroadcast), Metaclass::Action,
+                         {str(tag::kRoot, /*required=*/true),
+                          str(tag::kSize, /*required=*/true)}));
+  profile.add(Stereotype(std::string(stereo::kReduce), Metaclass::Action,
+                         {str(tag::kRoot, /*required=*/true),
+                          str(tag::kSize, /*required=*/true), str(tag::kOp)}));
+  profile.add(Stereotype(std::string(stereo::kAllReduce), Metaclass::Action,
+                         {str(tag::kSize, /*required=*/true), str(tag::kOp)}));
+  profile.add(Stereotype(std::string(stereo::kScatter), Metaclass::Action,
+                         {str(tag::kRoot, /*required=*/true),
+                          str(tag::kSize, /*required=*/true)}));
+  profile.add(Stereotype(std::string(stereo::kGather), Metaclass::Action,
+                         {str(tag::kRoot, /*required=*/true),
+                          str(tag::kSize, /*required=*/true)}));
+
+  // Shared-memory building blocks [17,18].
+  profile.add(Stereotype(std::string(stereo::kOmpParallel),
+                         Metaclass::Activity,
+                         {str(tag::kDiagram, /*required=*/true),
+                          str(tag::kNumThreads)}));
+  profile.add(Stereotype(std::string(stereo::kOmpFor), Metaclass::Action,
+                         {str(tag::kIterations, /*required=*/true),
+                          str(tag::kIterCost, /*required=*/true),
+                          str(tag::kSchedule), integer(tag::kChunk)}));
+  profile.add(Stereotype(std::string(stereo::kOmpCritical),
+                         Metaclass::Activity,
+                         {str(tag::kDiagram, /*required=*/true),
+                          str(tag::kCriticalName)}));
+  profile.add(
+      Stereotype(std::string(stereo::kOmpBarrier), Metaclass::Action, {}));
+
+  return profile;
+}
+
+std::vector<std::string_view> expression_tags(std::string_view stereotype) {
+  if (stereotype == stereo::kActionPlus) {
+    return {tag::kCost};
+  }
+  if (stereotype == stereo::kLoopPlus) {
+    return {tag::kIterations};
+  }
+  if (stereotype == stereo::kSend) {
+    return {tag::kDest, tag::kSize};
+  }
+  if (stereotype == stereo::kRecv) {
+    return {tag::kSource, tag::kSize};
+  }
+  if (stereotype == stereo::kBroadcast || stereotype == stereo::kReduce ||
+      stereotype == stereo::kScatter || stereotype == stereo::kGather) {
+    return {tag::kRoot, tag::kSize};
+  }
+  if (stereotype == stereo::kAllReduce) {
+    return {tag::kSize};
+  }
+  if (stereotype == stereo::kOmpParallel) {
+    return {tag::kNumThreads};
+  }
+  if (stereotype == stereo::kOmpFor) {
+    return {tag::kIterations, tag::kIterCost};
+  }
+  return {};
+}
+
+}  // namespace prophet::uml

@@ -1,0 +1,26 @@
+#include "prophet/uml/sysparams.hpp"
+
+#include <array>
+
+namespace prophet::uml {
+
+namespace {
+constexpr std::array<std::string_view, 7> kNames{
+    sysparam::kProcessId, sysparam::kThreadId,  sysparam::kElementUid,
+    sysparam::kProcesses, sysparam::kThreads,   sysparam::kNodes,
+    sysparam::kProcessorsPerNode,
+};
+}  // namespace
+
+std::span<const std::string_view> system_parameter_names() { return kNames; }
+
+bool is_system_parameter(std::string_view name) {
+  for (const auto candidate : kNames) {
+    if (candidate == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prophet::uml

@@ -1,0 +1,93 @@
+#include "prophet/uml/tags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace prophet::uml {
+
+std::string_view to_string(TagType type) {
+  switch (type) {
+    case TagType::Integer:
+      return "Integer";
+    case TagType::Real:
+      return "Real";
+    case TagType::String:
+      return "String";
+    case TagType::Boolean:
+      return "Boolean";
+  }
+  return "Unknown";
+}
+
+std::optional<TagType> tag_type_from_string(std::string_view text) {
+  if (text == "Integer") {
+    return TagType::Integer;
+  }
+  if (text == "Real" || text == "Double") {
+    return TagType::Real;
+  }
+  if (text == "String") {
+    return TagType::String;
+  }
+  if (text == "Boolean") {
+    return TagType::Boolean;
+  }
+  return std::nullopt;
+}
+
+TagType type_of(const TagValue& value) {
+  return static_cast<TagType>(value.index());
+}
+
+std::string to_string(const TagValue& value) {
+  switch (type_of(value)) {
+    case TagType::Integer:
+      return std::to_string(std::get<std::int64_t>(value));
+    case TagType::Real: {
+      std::ostringstream out;
+      out.precision(17);
+      out << std::get<double>(value);
+      return out.str();
+    }
+    case TagType::String:
+      return std::get<std::string>(value);
+    case TagType::Boolean:
+      return std::get<bool>(value) ? "true" : "false";
+  }
+  return {};
+}
+
+std::optional<TagValue> parse_tag_value(TagType type, std::string_view text) {
+  const std::string copy(text);
+  switch (type) {
+    case TagType::Integer: {
+      char* end = nullptr;
+      const long long value = std::strtoll(copy.c_str(), &end, 10);
+      if (end == copy.c_str() || *end != '\0') {
+        return std::nullopt;
+      }
+      return TagValue(static_cast<std::int64_t>(value));
+    }
+    case TagType::Real: {
+      char* end = nullptr;
+      const double value = std::strtod(copy.c_str(), &end);
+      if (end == copy.c_str() || *end != '\0') {
+        return std::nullopt;
+      }
+      return TagValue(value);
+    }
+    case TagType::String:
+      return TagValue(copy);
+    case TagType::Boolean:
+      if (copy == "true" || copy == "1") {
+        return TagValue(true);
+      }
+      if (copy == "false" || copy == "0") {
+        return TagValue(false);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prophet::uml

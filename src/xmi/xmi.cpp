@@ -1,0 +1,313 @@
+#include "prophet/xmi/xmi.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "prophet/xml/parser.hpp"
+#include "prophet/xml/writer.hpp"
+
+namespace prophet::xmi {
+namespace {
+
+using uml::Metaclass;
+using uml::TagType;
+
+std::string join(const std::vector<std::string>& parts, char separator) {
+  std::string out;
+  for (const auto& part : parts) {
+    if (!out.empty()) {
+      out += separator;
+    }
+    out += part;
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      if (start < text.size()) {
+        parts.emplace_back(text.substr(start));
+      }
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::optional<Metaclass> metaclass_from_string(std::string_view text) {
+  if (text == "Action") {
+    return Metaclass::Action;
+  }
+  if (text == "Activity") {
+    return Metaclass::Activity;
+  }
+  if (text == "ControlFlow") {
+    return Metaclass::ControlFlow;
+  }
+  return std::nullopt;
+}
+
+// --- Writing ---------------------------------------------------------------
+
+void write_profile(xml::Element& parent, const uml::Profile& profile) {
+  auto& node = parent.add_element("profile");
+  node.set_attr("name", profile.name());
+  for (const auto& stereotype : profile.stereotypes()) {
+    auto& st = node.add_element("stereotype");
+    st.set_attr("name", stereotype.name());
+    st.set_attr("base", uml::to_string(stereotype.base()));
+    for (const auto& tag : stereotype.tags()) {
+      auto& td = st.add_element("tagdef");
+      td.set_attr("name", tag.name);
+      td.set_attr("type", uml::to_string(tag.type));
+      if (tag.required) {
+        td.set_attr("required", "true");
+      }
+    }
+  }
+}
+
+void write_tags(xml::Element& parent, const uml::Element& element) {
+  for (const auto& tagged : element.tags()) {
+    auto& tag = parent.add_element("tag");
+    tag.set_attr("name", tagged.name);
+    tag.set_attr("type", uml::to_string(uml::type_of(tagged.value)));
+    const std::string text = uml::to_string(tagged.value);
+    // Code fragments may contain markup-significant characters and
+    // meaningful whitespace; CDATA keeps them byte-exact.
+    if (text.find_first_of("<>&\n") != std::string::npos) {
+      tag.add_cdata(text);
+    } else if (!text.empty()) {
+      tag.add_text(text);
+    }
+  }
+}
+
+void write_diagram(xml::Element& parent, const uml::ActivityDiagram& diagram) {
+  auto& node = parent.add_element("diagram");
+  node.set_attr("id", diagram.id());
+  node.set_attr("name", diagram.name());
+  for (const auto& n : diagram.nodes()) {
+    auto& element = node.add_element("node");
+    element.set_attr("id", n->id());
+    element.set_attr("kind", uml::to_string(n->kind()));
+    element.set_attr("name", n->name());
+    if (n->has_stereotype()) {
+      element.set_attr("stereotype", n->stereotype());
+    }
+    write_tags(element, *n);
+  }
+  for (const auto& e : diagram.edges()) {
+    auto& element = node.add_element("edge");
+    element.set_attr("id", e->id());
+    element.set_attr("source", e->source());
+    element.set_attr("target", e->target());
+    if (e->has_guard()) {
+      element.set_attr("guard", e->guard());
+    }
+    write_tags(element, *e);
+  }
+}
+
+// --- Reading ---------------------------------------------------------------
+
+[[noreturn]] void fail(const std::string& message) { throw XmiError(message); }
+
+std::string required_attr(const xml::Element& element, std::string_view name) {
+  if (auto value = element.attr(name)) {
+    return std::string(*value);
+  }
+  fail("element <" + element.name() + "> lacks required attribute '" +
+       std::string(name) + "'");
+}
+
+uml::Profile read_profile(const xml::Element& node) {
+  uml::Profile profile(node.attr_or("name", ""));
+  for (const auto* st : node.children_named("stereotype")) {
+    const std::string name = required_attr(*st, "name");
+    const std::string base_text = required_attr(*st, "base");
+    const auto base = metaclass_from_string(base_text);
+    if (!base) {
+      fail("unknown metaclass '" + base_text + "' in stereotype '" + name +
+           "'");
+    }
+    uml::Stereotype stereotype(name, *base);
+    for (const auto* td : st->children_named("tagdef")) {
+      const std::string tag_name = required_attr(*td, "name");
+      const std::string type_text = required_attr(*td, "type");
+      const auto type = uml::tag_type_from_string(type_text);
+      if (!type) {
+        fail("unknown tag type '" + type_text + "' in stereotype '" + name +
+             "'");
+      }
+      stereotype.add_tag(
+          {tag_name, *type, td->attr_or("required", "false") == "true"});
+    }
+    profile.add(std::move(stereotype));
+  }
+  return profile;
+}
+
+void read_tags(const xml::Element& node, uml::Element& element) {
+  for (const auto* tag : node.children_named("tag")) {
+    const std::string name = required_attr(*tag, "name");
+    const std::string type_text = required_attr(*tag, "type");
+    const auto type = uml::tag_type_from_string(type_text);
+    if (!type) {
+      fail("unknown tag type '" + type_text + "' on tag '" + name + "'");
+    }
+    const auto value = uml::parse_tag_value(*type, tag->text());
+    if (!value) {
+      fail("tag '" + name + "' value '" + tag->text() +
+           "' does not parse as " + type_text);
+    }
+    element.set_tag(name, *value);
+  }
+}
+
+std::unique_ptr<uml::ActivityDiagram> read_diagram(const xml::Element& node) {
+  auto diagram = std::make_unique<uml::ActivityDiagram>(
+      required_attr(node, "id"), node.attr_or("name", ""));
+  for (const auto* child : node.child_elements()) {
+    if (child->name() == "node") {
+      const std::string kind_text = required_attr(*child, "kind");
+      const auto kind = uml::node_kind_from_string(kind_text);
+      if (!kind) {
+        fail("unknown node kind '" + kind_text + "'");
+      }
+      auto n = std::make_unique<uml::Node>(required_attr(*child, "id"),
+                                           child->attr_or("name", ""), *kind);
+      if (auto stereotype = child->attr("stereotype")) {
+        n->set_stereotype(std::string(*stereotype));
+      }
+      read_tags(*child, *n);
+      diagram->add_node(std::move(n));
+    } else if (child->name() == "edge") {
+      auto e = std::make_unique<uml::ControlFlow>(
+          required_attr(*child, "id"), required_attr(*child, "source"),
+          required_attr(*child, "target"), child->attr_or("guard", ""));
+      read_tags(*child, *e);
+      diagram->add_edge(std::move(e));
+    } else {
+      fail("unexpected element <" + child->name() + "> inside <diagram>");
+    }
+  }
+  return diagram;
+}
+
+}  // namespace
+
+xml::Document to_document(const uml::Model& model) {
+  auto doc = xml::Document::with_root("prophet:model");
+  auto& root = doc.root();
+  root.set_attr("name", model.name());
+  root.set_attr("main", model.main_diagram_id());
+  root.set_attr("schema", std::to_string(kSchemaVersion));
+
+  write_profile(root, model.profile());
+
+  auto& variables = root.add_element("variables");
+  for (const auto& variable : model.variables()) {
+    auto& node = variables.add_element("variable");
+    node.set_attr("name", variable.name);
+    node.set_attr("type", uml::to_string(variable.type));
+    node.set_attr("scope", uml::to_string(variable.scope));
+    if (!variable.initializer.empty()) {
+      node.set_attr("init", variable.initializer);
+    }
+  }
+
+  auto& functions = root.add_element("functions");
+  for (const auto& fn : model.cost_functions()) {
+    auto& node = functions.add_element("function");
+    node.set_attr("name", fn.name);
+    node.set_attr("params", join(fn.parameters, ','));
+    node.add_cdata(fn.body);
+  }
+
+  auto& diagrams = root.add_element("diagrams");
+  for (const auto& diagram : model.diagrams()) {
+    write_diagram(diagrams, *diagram);
+  }
+  return doc;
+}
+
+std::string to_xml(const uml::Model& model) {
+  return xml::to_string(to_document(model));
+}
+
+void save(const uml::Model& model, const std::string& path) {
+  xml::write_file(to_document(model), path);
+}
+
+uml::Model from_document(const xml::Document& doc) {
+  if (!doc.has_root() || doc.root().name() != "prophet:model") {
+    fail("not a prophet model document (root must be <prophet:model>)");
+  }
+  const auto& root = doc.root();
+  uml::Model model(root.attr_or("name", ""));
+
+  if (const auto* profile = root.child("profile")) {
+    model.set_profile(read_profile(*profile));
+  }
+
+  if (const auto* variables = root.child("variables")) {
+    for (const auto* node : variables->children_named("variable")) {
+      const std::string type_text = required_attr(*node, "type");
+      const std::string scope_text = required_attr(*node, "scope");
+      const auto type = uml::variable_type_from_string(type_text);
+      const auto scope = uml::variable_scope_from_string(scope_text);
+      if (!type) {
+        fail("unknown variable type '" + type_text + "'");
+      }
+      if (!scope) {
+        fail("unknown variable scope '" + scope_text + "'");
+      }
+      model.add_variable(uml::Variable{required_attr(*node, "name"), *type,
+                                       *scope, node->attr_or("init", "")});
+    }
+  }
+
+  if (const auto* functions = root.child("functions")) {
+    for (const auto* node : functions->children_named("function")) {
+      model.add_cost_function(
+          uml::CostFunction{required_attr(*node, "name"),
+                            split(node->attr_or("params", ""), ','),
+                            node->text()});
+    }
+  }
+
+  if (const auto* diagrams = root.child("diagrams")) {
+    for (const auto* node : diagrams->children_named("diagram")) {
+      model.add_diagram(read_diagram(*node));
+    }
+  }
+
+  if (auto main = root.attr("main"); main && !main->empty()) {
+    model.set_main_diagram(std::string(*main));
+  }
+  return model;
+}
+
+uml::Model from_xml(std::string_view text) {
+  return from_document(xml::parse(text));
+}
+
+uml::Model load(const std::string& path) {
+  return from_document(xml::parse_file(path));
+}
+
+bool equivalent(const uml::Model& a, const uml::Model& b) {
+  // Serializing both sides and comparing DOMs gives a total structural
+  // comparison for free and guarantees `equivalent` can never drift from
+  // what the writer actually persists.
+  return xml::deep_equal(to_document(a), to_document(b));
+}
+
+}  // namespace prophet::xmi

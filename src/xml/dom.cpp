@@ -1,0 +1,253 @@
+#include "prophet/xml/dom.hpp"
+
+#include <utility>
+
+#include <algorithm>
+
+namespace prophet::xml {
+
+std::string_view to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Element:
+      return "element";
+    case NodeKind::Text:
+      return "text";
+    case NodeKind::Comment:
+      return "comment";
+    case NodeKind::CData:
+      return "cdata";
+  }
+  return "unknown";
+}
+
+void Element::set_attr(std::string_view name, std::string_view value) {
+  for (auto& attribute : attributes_) {
+    if (attribute.name == name) {
+      attribute.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+std::optional<std::string_view> Element::attr(std::string_view name) const {
+  for (const auto& attribute : attributes_) {
+    if (attribute.name == name) {
+      return std::string_view(attribute.value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Element::attr_or(std::string_view name,
+                             std::string_view fallback) const {
+  if (auto value = attr(name)) {
+    return std::string(*value);
+  }
+  return std::string(fallback);
+}
+
+bool Element::has_attr(std::string_view name) const {
+  return attr(name).has_value();
+}
+
+bool Element::remove_attr(std::string_view name) {
+  auto it = std::find_if(attributes_.begin(), attributes_.end(),
+                         [&](const Attribute& a) { return a.name == name; });
+  if (it == attributes_.end()) {
+    return false;
+  }
+  attributes_.erase(it);
+  return true;
+}
+
+Node& Element::add_child(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::add_element(std::string name) {
+  auto& node = add_child(std::make_unique<Element>(std::move(name)));
+  return static_cast<Element&>(node);
+}
+
+TextNode& Element::add_text(std::string text) {
+  auto& node = add_child(std::make_unique<TextNode>(std::move(text)));
+  return static_cast<TextNode&>(node);
+}
+
+CDataNode& Element::add_cdata(std::string text) {
+  auto& node = add_child(std::make_unique<CDataNode>(std::move(text)));
+  return static_cast<CDataNode&>(node);
+}
+
+CommentNode& Element::add_comment(std::string text) {
+  auto& node = add_child(std::make_unique<CommentNode>(std::move(text)));
+  return static_cast<CommentNode&>(node);
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& node : children_) {
+    if (node->is_element()) {
+      const auto& element = static_cast<const Element&>(*node);
+      if (element.name() == name) {
+        return &element;
+      }
+    }
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view name) {
+  return const_cast<Element*>(std::as_const(*this).child(name));
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> result;
+  for (const auto& node : children_) {
+    if (node->is_element()) {
+      const auto& element = static_cast<const Element&>(*node);
+      if (element.name() == name) {
+        result.push_back(&element);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> result;
+  for (const auto& node : children_) {
+    if (node->is_element()) {
+      result.push_back(static_cast<const Element*>(node.get()));
+    }
+  }
+  return result;
+}
+
+std::string Element::text() const {
+  std::string result;
+  for (const auto& node : children_) {
+    if (node->kind() == NodeKind::Text) {
+      result += static_cast<const TextNode&>(*node).text();
+    } else if (node->kind() == NodeKind::CData) {
+      result += static_cast<const CDataNode&>(*node).text();
+    }
+  }
+  return result;
+}
+
+std::size_t Element::element_count() const {
+  std::size_t count = 0;
+  for (const auto& node : children_) {
+    if (node->is_element()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Element::subtree_size() const {
+  std::size_t count = 1;
+  for (const auto& node : children_) {
+    if (node->is_element()) {
+      count += static_cast<const Element&>(*node).subtree_size();
+    }
+  }
+  return count;
+}
+
+const Element* Element::find(std::string_view path) const {
+  if (path.empty()) {
+    return this;
+  }
+  const auto slash = path.find('/');
+  const std::string_view head =
+      slash == std::string_view::npos ? path : path.substr(0, slash);
+  const std::string_view tail =
+      slash == std::string_view::npos ? std::string_view{}
+                                      : path.substr(slash + 1);
+  for (const auto& node : children_) {
+    if (!node->is_element()) {
+      continue;
+    }
+    const auto& element = static_cast<const Element&>(*node);
+    if (element.name() != head) {
+      continue;
+    }
+    if (const Element* found = element.find(tail)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Node> Element::clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& node : children_) {
+    copy->children_.push_back(node->clone());
+  }
+  return copy;
+}
+
+Document Document::with_root(std::string root_name) {
+  return Document(std::make_unique<Element>(std::move(root_name)));
+}
+
+Document Document::clone() const {
+  Document copy;
+  copy.version_ = version_;
+  copy.encoding_ = encoding_;
+  if (root_) {
+    auto cloned = root_->clone();
+    copy.root_.reset(static_cast<Element*>(cloned.release()));
+  }
+  return copy;
+}
+
+bool deep_equal(const Node& a, const Node& b) {
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case NodeKind::Text:
+      return static_cast<const TextNode&>(a).text() ==
+             static_cast<const TextNode&>(b).text();
+    case NodeKind::Comment:
+      return static_cast<const CommentNode&>(a).text() ==
+             static_cast<const CommentNode&>(b).text();
+    case NodeKind::CData:
+      return static_cast<const CDataNode&>(a).text() ==
+             static_cast<const CDataNode&>(b).text();
+    case NodeKind::Element: {
+      const auto& ea = static_cast<const Element&>(a);
+      const auto& eb = static_cast<const Element&>(b);
+      if (ea.name() != eb.name() || ea.attributes() != eb.attributes() ||
+          ea.children().size() != eb.children().size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < ea.children().size(); ++i) {
+        if (!deep_equal(*ea.children()[i], *eb.children()[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool deep_equal(const Document& a, const Document& b) {
+  if (a.has_root() != b.has_root()) {
+    return false;
+  }
+  if (!a.has_root()) {
+    return true;
+  }
+  return deep_equal(a.root(), b.root());
+}
+
+}  // namespace prophet::xml

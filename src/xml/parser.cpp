@@ -1,0 +1,394 @@
+#include "prophet/xml/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace prophet::xml {
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Cursor over the input with line/column tracking.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] bool starts_with(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip(std::size_t n) {
+    for (std::size_t i = 0; i < n && !at_end(); ++i) {
+      advance();
+    }
+  }
+
+  void skip_space() {
+    while (!at_end() && is_space(peek())) {
+      advance();
+    }
+  }
+
+  /// Consumes up to (and including) `terminator`; returns the consumed
+  /// prefix excluding the terminator. Throws when the terminator is absent.
+  std::string consume_until(std::string_view terminator,
+                            std::string_view what) {
+    std::string out;
+    while (!at_end()) {
+      if (starts_with(terminator)) {
+        skip(terminator.size());
+        return out;
+      }
+      out += advance();
+    }
+    fail(std::string("unterminated ") + std::string(what));
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : cursor_(text) {}
+
+  Document parse_document() {
+    Document doc;
+    parse_prolog(doc);
+    skip_misc();
+    if (cursor_.at_end() || cursor_.peek() != '<') {
+      cursor_.fail("expected root element");
+    }
+    doc.set_root(parse_element());
+    skip_misc();
+    if (!cursor_.at_end()) {
+      cursor_.fail("content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  void parse_prolog(Document& doc) {
+    cursor_.skip_space();
+    if (!cursor_.starts_with("<?xml")) {
+      return;
+    }
+    cursor_.skip(5);
+    const std::string decl = cursor_.consume_until("?>", "XML declaration");
+    // Extract version/encoding pseudo-attributes, tolerantly.
+    auto extract = [&decl](std::string_view key) -> std::string {
+      const auto pos = decl.find(key);
+      if (pos == std::string::npos) {
+        return {};
+      }
+      auto quote = decl.find_first_of("\"'", pos);
+      if (quote == std::string::npos) {
+        return {};
+      }
+      const char q = decl[quote];
+      const auto end = decl.find(q, quote + 1);
+      if (end == std::string::npos) {
+        return {};
+      }
+      return decl.substr(quote + 1, end - quote - 1);
+    };
+    if (auto v = extract("version"); !v.empty()) {
+      doc.set_version(v);
+    }
+    if (auto e = extract("encoding"); !e.empty()) {
+      doc.set_encoding(e);
+    }
+  }
+
+  /// Skips whitespace, comments and processing instructions between
+  /// top-level constructs.
+  void skip_misc() {
+    for (;;) {
+      cursor_.skip_space();
+      if (cursor_.starts_with("<!--")) {
+        cursor_.skip(4);
+        cursor_.consume_until("-->", "comment");
+      } else if (cursor_.starts_with("<?")) {
+        cursor_.skip(2);
+        cursor_.consume_until("?>", "processing instruction");
+      } else if (cursor_.starts_with("<!DOCTYPE")) {
+        cursor_.fail("DOCTYPE declarations are not supported");
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    if (cursor_.at_end() || !is_name_start(cursor_.peek())) {
+      cursor_.fail("expected name");
+    }
+    std::string name;
+    name += cursor_.advance();
+    while (!cursor_.at_end() && is_name_char(cursor_.peek())) {
+      name += cursor_.advance();
+    }
+    return name;
+  }
+
+  std::string parse_attribute_value() {
+    if (cursor_.at_end() ||
+        (cursor_.peek() != '"' && cursor_.peek() != '\'')) {
+      cursor_.fail("expected quoted attribute value");
+    }
+    const char quote = cursor_.advance();
+    std::string raw;
+    while (!cursor_.at_end() && cursor_.peek() != quote) {
+      const char c = cursor_.peek();
+      if (c == '<') {
+        cursor_.fail("'<' in attribute value");
+      }
+      raw += cursor_.advance();
+    }
+    if (cursor_.at_end()) {
+      cursor_.fail("unterminated attribute value");
+    }
+    cursor_.advance();  // closing quote
+    return decode_entities(raw);
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        cursor_.fail("unterminated entity reference");
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        out += decode_char_reference(entity.substr(1));
+      } else {
+        cursor_.fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string decode_char_reference(std::string_view digits) {
+    int base = 10;
+    if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+      base = 16;
+      digits.remove_prefix(1);
+    }
+    if (digits.empty()) {
+      cursor_.fail("empty character reference");
+    }
+    unsigned long code = 0;
+    for (char c : digits) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (base == 16 && c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (base == 16 && c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        cursor_.fail("malformed character reference");
+      }
+      code = code * static_cast<unsigned long>(base) +
+             static_cast<unsigned long>(digit);
+      if (code > 0x10FFFF) {
+        cursor_.fail("character reference out of range");
+      }
+    }
+    // Encode as UTF-8.
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    // Caller guarantees cursor is at '<'.
+    cursor_.advance();  // '<'
+    auto element = std::make_unique<Element>(parse_name());
+    // Attributes.
+    for (;;) {
+      cursor_.skip_space();
+      if (cursor_.at_end()) {
+        cursor_.fail("unterminated start tag for <" + element->name() + ">");
+      }
+      if (cursor_.peek() == '>' || cursor_.starts_with("/>")) {
+        break;
+      }
+      const std::string attr_name = parse_name();
+      cursor_.skip_space();
+      if (cursor_.at_end() || cursor_.peek() != '=') {
+        cursor_.fail("expected '=' after attribute name '" + attr_name + "'");
+      }
+      cursor_.advance();
+      cursor_.skip_space();
+      if (element->has_attr(attr_name)) {
+        cursor_.fail("duplicate attribute '" + attr_name + "'");
+      }
+      element->set_attr(attr_name, parse_attribute_value());
+    }
+    if (cursor_.starts_with("/>")) {
+      cursor_.skip(2);
+      return element;
+    }
+    cursor_.advance();  // '>'
+    parse_content(*element);
+    return element;
+  }
+
+  void parse_content(Element& element) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) {
+        return;
+      }
+      // Whitespace-only runs between elements are formatting noise from
+      // pretty-printing; keep only runs with substance.
+      const bool all_space =
+          std::all_of(pending_text.begin(), pending_text.end(),
+                      [](char c) { return is_space(c); });
+      if (!all_space) {
+        element.add_text(decode_entities(pending_text));
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (cursor_.at_end()) {
+        cursor_.fail("unterminated element <" + element.name() + ">");
+      }
+      if (cursor_.starts_with("</")) {
+        flush_text();
+        cursor_.skip(2);
+        const std::string closing = parse_name();
+        if (closing != element.name()) {
+          cursor_.fail("mismatched end tag </" + closing + ">, expected </" +
+                       element.name() + ">");
+        }
+        cursor_.skip_space();
+        if (cursor_.at_end() || cursor_.peek() != '>') {
+          cursor_.fail("malformed end tag");
+        }
+        cursor_.advance();
+        return;
+      }
+      if (cursor_.starts_with("<!--")) {
+        flush_text();
+        cursor_.skip(4);
+        element.add_comment(cursor_.consume_until("-->", "comment"));
+        continue;
+      }
+      if (cursor_.starts_with("<![CDATA[")) {
+        flush_text();
+        cursor_.skip(9);
+        element.add_cdata(cursor_.consume_until("]]>", "CDATA section"));
+        continue;
+      }
+      if (cursor_.starts_with("<?")) {
+        flush_text();
+        cursor_.skip(2);
+        cursor_.consume_until("?>", "processing instruction");
+        continue;
+      }
+      if (cursor_.peek() == '<') {
+        flush_text();
+        element.add_child(parse_element());
+        continue;
+      }
+      pending_text += cursor_.advance();
+    }
+  }
+
+  Cursor cursor_;
+};
+
+}  // namespace
+
+ParseError::ParseError(std::string message, std::size_t line,
+                       std::size_t column)
+    : std::runtime_error("xml parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+Document parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+Document parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace prophet::xml

@@ -1,0 +1,166 @@
+#include "prophet/xml/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace prophet::xml {
+namespace {
+
+void write_node(std::ostream& out, const Node& node,
+                const WriteOptions& options, int depth);
+
+void write_indent(std::ostream& out, const WriteOptions& options, int depth) {
+  if (options.pretty) {
+    for (int i = 0; i < depth * options.indent; ++i) {
+      out << ' ';
+    }
+  }
+}
+
+/// True when the element's children are all non-element (text-ish) nodes,
+/// in which case content is written inline even in pretty mode so that
+/// text round-trips without injected whitespace.
+bool inline_content(const Element& element) {
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_element(std::ostream& out, const Element& element,
+                   const WriteOptions& options, int depth) {
+  write_indent(out, options, depth);
+  out << '<' << element.name();
+  for (const auto& [name, value] : element.attributes()) {
+    out << ' ' << name << "=\"" << escape(value) << '"';
+  }
+  if (element.children().empty()) {
+    out << "/>";
+    if (options.pretty) {
+      out << '\n';
+    }
+    return;
+  }
+  out << '>';
+  if (inline_content(element)) {
+    for (const auto& child : element.children()) {
+      write_node(out, *child, WriteOptions{.pretty = false,
+                                           .indent = options.indent,
+                                           .declaration = false},
+                 0);
+    }
+    out << "</" << element.name() << '>';
+    if (options.pretty) {
+      out << '\n';
+    }
+    return;
+  }
+  if (options.pretty) {
+    out << '\n';
+  }
+  for (const auto& child : element.children()) {
+    write_node(out, *child, options, depth + 1);
+  }
+  write_indent(out, options, depth);
+  out << "</" << element.name() << '>';
+  if (options.pretty) {
+    out << '\n';
+  }
+}
+
+void write_node(std::ostream& out, const Node& node,
+                const WriteOptions& options, int depth) {
+  switch (node.kind()) {
+    case NodeKind::Element:
+      write_element(out, static_cast<const Element&>(node), options, depth);
+      break;
+    case NodeKind::Text:
+      write_indent(out, options, depth);
+      out << escape(static_cast<const TextNode&>(node).text());
+      if (options.pretty) {
+        out << '\n';
+      }
+      break;
+    case NodeKind::Comment:
+      write_indent(out, options, depth);
+      out << "<!--" << static_cast<const CommentNode&>(node).text() << "-->";
+      if (options.pretty) {
+        out << '\n';
+      }
+      break;
+    case NodeKind::CData:
+      write_indent(out, options, depth);
+      out << "<![CDATA[" << static_cast<const CDataNode&>(node).text()
+          << "]]>";
+      if (options.pretty) {
+        out << '\n';
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Node& node, const WriteOptions& options) {
+  std::ostringstream out;
+  write_node(out, node, options, 0);
+  return out.str();
+}
+
+std::string to_string(const Document& doc, const WriteOptions& options) {
+  std::ostringstream out;
+  if (options.declaration) {
+    out << "<?xml version=\"" << doc.version() << "\" encoding=\""
+        << doc.encoding() << "\"?>";
+    if (options.pretty) {
+      out << '\n';
+    }
+  }
+  if (doc.has_root()) {
+    write_node(out, doc.root(), options, 0);
+  }
+  return out.str();
+}
+
+void write_file(const Document& doc, const std::string& path,
+                const WriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << to_string(doc, options);
+  if (!out) {
+    throw std::runtime_error("write failure: " + path);
+  }
+}
+
+}  // namespace prophet::xml

@@ -1,0 +1,220 @@
+// Evaluator: arithmetic, comparisons, short circuits, built-ins, user
+// functions, errors; analysis; C++ emission semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prophet/expr/analysis.hpp"
+#include "prophet/expr/cppgen.hpp"
+#include "prophet/expr/eval.hpp"
+#include "prophet/expr/parser.hpp"
+
+namespace expr = prophet::expr;
+
+namespace {
+
+double eval(const std::string& text, const expr::Environment& env =
+                                         expr::empty_environment()) {
+  return expr::evaluate(*expr::parse(text), env);
+}
+
+TEST(ExprEval, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(eval("10 % 4"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("7.5 % 2"), 1.5);  // fmod semantics
+  EXPECT_DOUBLE_EQ(eval("-3 + 1"), -2.0);
+}
+
+TEST(ExprEval, DivisionByZeroFollowsIeee) {
+  EXPECT_TRUE(std::isinf(eval("1 / 0")));
+  EXPECT_TRUE(std::isnan(eval("0 / 0")));
+}
+
+TEST(ExprEval, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval("3 > 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("3 < 2"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("2 >= 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 <= 1"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("2 == 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 != 2"), 0.0);
+}
+
+TEST(ExprEval, LogicalOperators) {
+  EXPECT_DOUBLE_EQ(eval("1 && 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("0 || 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("0 || 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("!2"), 0.0);
+}
+
+TEST(ExprEval, ShortCircuitSkipsRightOperand) {
+  // The right operand would throw (unknown variable) if evaluated.
+  EXPECT_DOUBLE_EQ(eval("0 && nope"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("1 || nope"), 1.0);
+  EXPECT_THROW(eval("1 && nope"), expr::EvalError);
+}
+
+TEST(ExprEval, Ternary) {
+  EXPECT_DOUBLE_EQ(eval("1 ? 10 : 20"), 10.0);
+  EXPECT_DOUBLE_EQ(eval("0 ? 10 : 20"), 20.0);
+}
+
+TEST(ExprEval, Builtins) {
+  EXPECT_DOUBLE_EQ(eval("sqrt(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval("abs(-3)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("min(2, 5)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("max(2, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("ceil(2.2)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("log2(8)"), 3.0);
+  EXPECT_NEAR(eval("exp(log(5))"), 5.0, 1e-12);
+  EXPECT_NEAR(eval("sin(0)"), 0.0, 1e-12);
+  EXPECT_NEAR(eval("cos(0)"), 1.0, 1e-12);
+}
+
+TEST(ExprEval, BuiltinArityChecked) {
+  EXPECT_THROW(eval("sqrt(1, 2)"), expr::EvalError);
+  EXPECT_THROW(eval("pow(2)"), expr::EvalError);
+}
+
+TEST(ExprEval, Variables) {
+  expr::MapEnvironment env;
+  env.set("P", 16.0);
+  EXPECT_DOUBLE_EQ(eval("0.000001 * P * P + 0.001", env), 0.001256);
+  EXPECT_THROW(eval("Q", env), expr::EvalError);
+}
+
+TEST(ExprEval, UserFunctions) {
+  expr::MapEnvironment env;
+  env.set("P", 16.0);
+  env.define("FA1", [](std::span<const double>) { return 0.25; });
+  env.define("scale",
+             [](std::span<const double> args) { return args[0] * 2; });
+  EXPECT_DOUBLE_EQ(eval("FA1() + 1", env), 1.25);
+  EXPECT_DOUBLE_EQ(eval("scale(P)", env), 32.0);
+}
+
+TEST(ExprEval, UserFunctionsShadowBuiltins) {
+  expr::MapEnvironment env;
+  env.define("sqrt", [](std::span<const double>) { return 99.0; });
+  EXPECT_DOUBLE_EQ(eval("sqrt(16)", env), 99.0);
+}
+
+TEST(ExprEval, UnknownFunctionThrows) {
+  EXPECT_THROW(eval("mystery(1)"), expr::EvalError);
+}
+
+TEST(ExprEval, BuiltinIntrospection) {
+  EXPECT_EQ(expr::builtin_arity("sqrt"), 1);
+  EXPECT_EQ(expr::builtin_arity("pow"), 2);
+  EXPECT_FALSE(expr::builtin_arity("FA1").has_value());
+  EXPECT_FALSE(expr::builtin_names().empty());
+}
+
+// --- Analysis ---------------------------------------------------------------
+
+TEST(ExprAnalysis, FreeVariables) {
+  const auto parsed = expr::parse("a + f(b, c * a) + 2");
+  const auto vars = expr::free_variables(*parsed);
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprAnalysis, CalledFunctions) {
+  const auto parsed = expr::parse("FA1() + sqrt(FB2(x))");
+  EXPECT_EQ(expr::called_functions(*parsed),
+            (std::set<std::string>{"FA1", "FB2", "sqrt"}));
+  EXPECT_EQ(expr::called_user_functions(*parsed),
+            (std::set<std::string>{"FA1", "FB2"}));
+}
+
+// --- C++ emission -------------------------------------------------------------
+
+TEST(ExprCppGen, Literals) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("1")), "1.0");
+  EXPECT_EQ(expr::to_cpp(*expr::parse("2.5")), "2.5");
+}
+
+TEST(ExprCppGen, ArithmeticShape) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("0.000001*P*P + 0.001")),
+            "9.9999999999999995e-07 * P * P + 0.001");
+}
+
+TEST(ExprCppGen, ModBecomesFmod) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("a % b")), "std::fmod(a, b)");
+}
+
+TEST(ExprCppGen, BuiltinsPrefixed) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("sqrt(P)")), "std::sqrt(P)");
+  EXPECT_EQ(expr::to_cpp(*expr::parse("abs(x)")), "std::fabs(x)");
+  EXPECT_EQ(expr::to_cpp(*expr::parse("min(a, b)")), "std::fmin(a, b)");
+}
+
+TEST(ExprCppGen, UserCallsUntouched) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("FSA2(pid)")), "FSA2(pid)");
+}
+
+TEST(ExprCppGen, ParenthesizationPreservesMeaning) {
+  EXPECT_EQ(expr::to_cpp(*expr::parse("(a + b) * c")), "(a + b) * c");
+  EXPECT_EQ(expr::to_cpp(*expr::parse("a - (b - c)")), "a - (b - c)");
+}
+
+/// Property: for pure-arithmetic expressions, evaluating the C++ text via
+/// a second parse must equal direct evaluation (the emitted C++ has the
+/// same structure, so reparsing it through the cost language is a valid
+/// oracle — modulo std:: prefixes, which we strip by testing operator-only
+/// expressions here).
+class CppGenSemantics : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CppGenSemantics, ReparsedCppValueMatches) {
+  expr::MapEnvironment env;
+  env.set("a", 3.5);
+  env.set("b", -2.0);
+  env.set("c", 7.0);
+  const auto original = expr::parse(GetParam());
+  const double direct = expr::evaluate(*original, env);
+  std::string cpp = expr::to_cpp(*original);
+  // Make the emitted text valid cost-language again.
+  for (const char* prefix : {"std::fmod", "std::fmin", "std::fmax",
+                             "std::fabs", "std::sqrt", "std::pow"}) {
+    std::string bare = prefix + 5;  // strip "std::"
+    std::size_t pos;
+    while ((pos = cpp.find(prefix)) != std::string::npos) {
+      cpp.replace(pos, std::string(prefix).size(), bare);
+    }
+  }
+  // fmod/fmin/fmax/fabs are not cost-language builtins; map back.
+  auto replace_all = [&cpp](const std::string& from, const std::string& to) {
+    std::size_t pos;
+    while ((pos = cpp.find(from)) != std::string::npos) {
+      cpp.replace(pos, from.size(), to);
+    }
+  };
+  replace_all("fmod", "mod_call");
+  replace_all("fmin", "min");
+  replace_all("fmax", "max");
+  replace_all("fabs", "abs");
+  expr::MapEnvironment env2;
+  env2.set("a", 3.5);
+  env2.set("b", -2.0);
+  env2.set("c", 7.0);
+  env2.define("mod_call", [](std::span<const double> args) {
+    return std::fmod(args[0], args[1]);
+  });
+  const double via_cpp = expr::evaluate(*expr::parse(cpp), env2);
+  EXPECT_DOUBLE_EQ(direct, via_cpp) << GetParam() << " -> " << cpp;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CppGenSemantics,
+    ::testing::Values("a + b * c", "(a + b) * c", "a / b - c", "a % c",
+                      "-a * b", "a < c && b < 0", "a > c || b > 0",
+                      "a > 0 ? b : c", "min(a, c) + max(b, 0)",
+                      "abs(b) + sqrt(c)", "pow(a, 2) - c",
+                      "a - b - c", "a / b / c"));
+
+}  // namespace

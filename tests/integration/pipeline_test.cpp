@@ -1,0 +1,207 @@
+// End-to-end pipeline tests over the paper's Sec. 4 sample model:
+// build (Fig. 7) -> check -> XMI round-trip -> estimate by interpretation
+// -> transform to C++ (Fig. 5/8) -> compile the generated code with a real
+// C++ compiler -> run it -> compare against the interpreter.
+//
+// The compile-and-run test is the strongest statement of the paper's
+// pipeline: the generated C++ representation is a real, machine-efficient
+// artifact, not a string.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace {
+
+using prophet::Prophet;
+
+prophet::machine::SystemParameters small_machine() {
+  prophet::machine::SystemParameters params;
+  params.nodes = 2;
+  params.processors_per_node = 2;
+  params.processes = 4;
+  return params;
+}
+
+TEST(Pipeline, SampleModelPassesModelChecker) {
+  const Prophet prophet(prophet::models::sample_model());
+  const auto diagnostics = prophet.check();
+  EXPECT_TRUE(diagnostics.ok()) << diagnostics.to_string();
+}
+
+TEST(Pipeline, SampleModelEstimateMatchesHandComputation) {
+  const Prophet prophet(prophet::models::sample_model());
+  prophet::machine::SystemParameters params;  // 1 process, 1 node
+  const auto report = prophet.estimate(params);
+  // The code fragment sets GV = 3, P = 16 before A1 executes, so the
+  // [GV > 0] branch runs SA.  With pid = 0:
+  //   FA1 = 1e-6*16*16 + 1e-3 = 0.001256
+  //   FSA1 = 0.0001*16 = 0.0016
+  //   FSA2(0) = 0.001
+  //   FA4 = 0.002
+  const double expected = 0.001256 + 0.0016 + 0.001 + 0.002;
+  EXPECT_NEAR(report.predicted_time, expected, 1e-12);
+}
+
+TEST(Pipeline, SampleModelXmiRoundTripPreservesPrediction) {
+  const prophet::uml::Model original = prophet::models::sample_model();
+  const std::string xml = prophet::xmi::to_xml(original);
+  const prophet::uml::Model reloaded = prophet::xmi::from_xml(xml);
+  ASSERT_TRUE(prophet::xmi::equivalent(original, reloaded));
+
+  const Prophet a(prophet::models::sample_model());
+  const Prophet b(prophet::xmi::from_xml(xml));
+  const auto params = small_machine();
+  EXPECT_DOUBLE_EQ(a.estimate(params).predicted_time,
+                   b.estimate(params).predicted_time);
+}
+
+TEST(Pipeline, InterpreterIsDeterministic) {
+  const Prophet prophet(prophet::models::sample_model());
+  const auto params = small_machine();
+  const auto first = prophet.estimate(params);
+  const auto second = prophet.estimate(params);
+  EXPECT_DOUBLE_EQ(first.predicted_time, second.predicted_time);
+  EXPECT_EQ(first.events, second.events);
+}
+
+TEST(Pipeline, TransformProducesExpectedShape) {
+  const Prophet prophet(prophet::models::sample_model());
+  const std::string cpp = prophet.transform();
+  // Fig. 8 landmarks.
+  EXPECT_NE(cpp.find("double GV = 0;"), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("double P = 0;"), std::string::npos);
+  EXPECT_NE(cpp.find("double FA1() { return"), std::string::npos);
+  EXPECT_NE(cpp.find("double FSA2(double pid) { return"), std::string::npos);
+  EXPECT_NE(cpp.find("ActionPlus A1(ctx, \"A1\");"), std::string::npos);
+  EXPECT_NE(cpp.find("ActionPlus SA2(ctx, \"SA2\");"), std::string::npos);
+  // Code fragment inlined before A1's execute (Fig. 8b lines 72-76).
+  EXPECT_NE(cpp.find("// code associated with A1"), std::string::npos);
+  EXPECT_NE(cpp.find("GV = 3.0;"), std::string::npos);
+  // Branch mapped to if/else (Fig. 8b lines 77-87).
+  EXPECT_NE(cpp.find("if (GV > 0.0) {"), std::string::npos);
+  // SA nested block (Fig. 8b lines 79-82).
+  EXPECT_NE(cpp.find("{  // activity SA"), std::string::npos);
+  // execute() calls carry (uid, pid, tid, cost-function) (Fig. 8b).
+  EXPECT_NE(cpp.find("A1.execute(1, pid, tid, FA1());"), std::string::npos)
+      << cpp;
+  EXPECT_NE(cpp.find("FSA2(pid));"), std::string::npos);
+}
+
+TEST(Pipeline, GeneratedCodeCompilesAndMatchesInterpreter) {
+  const Prophet prophet(prophet::models::sample_model());
+  prophet::codegen::TransformOptions options;
+  options.emit_main = true;
+  const std::string cpp = prophet.transform(options);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string source = dir + "/prophet_generated_sample.cpp";
+  const std::string binary = dir + "/prophet_generated_sample";
+  {
+    std::ofstream out(source);
+    ASSERT_TRUE(out.is_open());
+    out << cpp;
+  }
+  const std::string command =
+      std::string("g++ -std=c++20 -O1 -I") + PROPHET_SOURCE_DIR +
+      "/include " + source + " " + PROPHET_BINARY_DIR +
+      "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
+      "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +
+      "/src/machine/libprophet_machine.a " + PROPHET_BINARY_DIR +
+      "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
+      "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
+      "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string compiler_output;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    compiler_output += buffer;
+  }
+  const int compile_status = pclose(pipe);
+  ASSERT_EQ(compile_status, 0) << "generated code failed to compile:\n"
+                               << compiler_output << "\n--- source ---\n"
+                               << cpp;
+
+  // Run: argv = processes nodes ppn threads.
+  const auto params = small_machine();
+  const std::string run_command =
+      binary + " " + std::to_string(params.processes) + " " +
+      std::to_string(params.nodes) + " " +
+      std::to_string(params.processors_per_node) + " " +
+      std::to_string(params.threads_per_process);
+  pipe = popen(run_command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string run_output;
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    run_output += buffer;
+  }
+  ASSERT_EQ(pclose(pipe), 0) << run_output;
+
+  // Parse "predicted time: X s".
+  const auto pos = run_output.find("predicted time:");
+  ASSERT_NE(pos, std::string::npos) << run_output;
+  const double generated_time =
+      std::strtod(run_output.c_str() + pos + 15, nullptr);
+
+  const auto interpreted = prophet.estimate(params);
+  EXPECT_NEAR(generated_time, interpreted.predicted_time, 1e-9)
+      << "generated:\n"
+      << run_output << "\ninterpreted:\n"
+      << interpreted.summary();
+}
+
+TEST(Pipeline, Kernel6CollapsedAndDetailedModelsAgree) {
+  const double op_time = 2e-9;
+  const std::int64_t n = 64;
+  const std::int64_t m = 4;
+  const Prophet collapsed(prophet::models::kernel6_model(n, m, op_time));
+  const Prophet detailed(
+      prophet::models::kernel6_detailed_model(n, m, op_time));
+  ASSERT_TRUE(collapsed.check().ok()) << collapsed.check().to_string();
+  ASSERT_TRUE(detailed.check().ok()) << detailed.check().to_string();
+  prophet::machine::SystemParameters params;
+  const double tc = collapsed.estimate(params).predicted_time;
+  const double td = detailed.estimate(params).predicted_time;
+  // Same predicted time (one hold vs n*(n-1)/2*m holds of op_time).
+  EXPECT_NEAR(tc, td, tc * 1e-9);
+  const double expected =
+      static_cast<double>(m) * static_cast<double>(n) *
+      static_cast<double>(n - 1) / 2.0 * op_time;
+  EXPECT_NEAR(tc, expected, expected * 1e-9);
+}
+
+TEST(Pipeline, PingPongLatencyBandwidthModel) {
+  const double bytes = 1 << 20;
+  const std::int64_t rounds = 10;
+  const Prophet prophet(prophet::models::pingpong_model(bytes, rounds));
+  ASSERT_TRUE(prophet.check().ok()) << prophet.check().to_string();
+  prophet::machine::SystemParameters params;
+  params.processes = 2;
+  params.nodes = 2;
+  const auto report = prophet.estimate(params);
+  // Each round: two messages, each latency + bytes/bandwidth (plus the
+  // sender overhead charged once per send).
+  const double per_message = params.network_latency +
+                             bytes / params.network_bandwidth +
+                             params.network_overhead;
+  const double expected = 2.0 * static_cast<double>(rounds) * per_message;
+  EXPECT_NEAR(report.predicted_time, expected, expected * 0.01);
+}
+
+TEST(Pipeline, SyntheticModelFullPipeline) {
+  const Prophet prophet(prophet::models::synthetic_model(4, 8));
+  EXPECT_TRUE(prophet.check().ok()) << prophet.check().to_string();
+  const std::string cpp = prophet.transform();
+  EXPECT_NE(cpp.find("prophet_model"), std::string::npos);
+  const auto report = prophet.estimate({});
+  EXPECT_GT(report.predicted_time, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Property-based tests over randomized structured models: for every seed,
+// the model must pass the checker, round-trip through XMI, interpret
+// deterministically, and transform without error; for a sample of seeds
+// the generated C++ is compiled and must predict exactly what the
+// interpreter predicts (the differential oracle for the Fig. 5
+// transformation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+#include "prophet/traverse/handlers.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace {
+
+using prophet::Prophet;
+
+prophet::machine::SystemParameters diff_params() {
+  prophet::machine::SystemParameters params;
+  params.processes = 3;
+  params.nodes = 3;
+  return params;
+}
+
+class RandomModelProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomModelProperty, PassesChecker) {
+  const Prophet prophet(prophet::models::random_model(GetParam()));
+  const auto diagnostics = prophet.check();
+  EXPECT_TRUE(diagnostics.ok()) << diagnostics.to_string();
+}
+
+TEST_P(RandomModelProperty, XmiRoundTrips) {
+  const prophet::uml::Model model =
+      prophet::models::random_model(GetParam());
+  const prophet::uml::Model reloaded =
+      prophet::xmi::from_xml(prophet::xmi::to_xml(model));
+  EXPECT_TRUE(prophet::xmi::equivalent(model, reloaded));
+}
+
+TEST_P(RandomModelProperty, InterpretsDeterministically) {
+  const Prophet prophet(prophet::models::random_model(GetParam()));
+  const auto first = prophet.estimate(diff_params());
+  const auto second = prophet.estimate(diff_params());
+  EXPECT_DOUBLE_EQ(first.predicted_time, second.predicted_time);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_GT(first.predicted_time, 0.0);
+}
+
+TEST_P(RandomModelProperty, TransformsWithoutError) {
+  const Prophet prophet(prophet::models::random_model(GetParam()));
+  const std::string cpp = prophet.transform();
+  EXPECT_NE(cpp.find("prophet_model"), std::string::npos);
+  EXPECT_NE(cpp.find("prophet_program"), std::string::npos);
+}
+
+TEST_P(RandomModelProperty, GenerationIsDeterministic) {
+  const auto a = prophet::models::random_model(GetParam());
+  const auto b = prophet::models::random_model(GetParam());
+  EXPECT_TRUE(prophet::xmi::equivalent(a, b));
+}
+
+TEST_P(RandomModelProperty, TraverserXmlHandlerMatchesXmiWriter) {
+  // The ContentHandler-based XML generator (the Fig. 6 extension point)
+  // must produce a document the XMI reader accepts and that reloads to an
+  // equivalent model.
+  const prophet::uml::Model model =
+      prophet::models::random_model(GetParam());
+  prophet::traverse::DepthFirstNavigator navigator;
+  prophet::traverse::XmlContentHandler handler;
+  prophet::traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  const prophet::uml::Model reloaded =
+      prophet::xmi::from_document(handler.document());
+  EXPECT_TRUE(prophet::xmi::equivalent(model, reloaded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u, 144u, 233u));
+
+/// Differential oracle: compile the transformer's output for a random
+/// model and compare its prediction with the interpreter's, exactly.
+class RandomModelDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModelDifferential, GeneratedCodeMatchesInterpreter) {
+  const std::uint64_t seed = GetParam();
+  const Prophet prophet(prophet::models::random_model(seed, 24));
+  ASSERT_TRUE(prophet.check().ok()) << prophet.check().to_string();
+
+  prophet::codegen::TransformOptions options;
+  options.emit_main = true;
+  const std::string cpp = prophet.transform(options);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string source =
+      dir + "/prophet_random_" + std::to_string(seed) + ".cpp";
+  const std::string binary =
+      dir + "/prophet_random_" + std::to_string(seed);
+  {
+    std::ofstream out(source);
+    ASSERT_TRUE(out.is_open());
+    out << cpp;
+  }
+  const std::string command =
+      std::string("g++ -std=c++20 -O1 -I") + PROPHET_SOURCE_DIR +
+      "/include " + source + " " + PROPHET_BINARY_DIR +
+      "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
+      "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +
+      "/src/machine/libprophet_machine.a " + PROPHET_BINARY_DIR +
+      "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
+      "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
+      "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    output += buffer;
+  }
+  ASSERT_EQ(pclose(pipe), 0) << "compile failed:\n"
+                             << output << "\n--- source ---\n"
+                             << cpp;
+
+  const auto params = diff_params();
+  const std::string run = binary + " " + std::to_string(params.processes) +
+                          " " + std::to_string(params.nodes) + " " +
+                          std::to_string(params.processors_per_node) + " " +
+                          std::to_string(params.threads_per_process);
+  pipe = popen(run.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  output.clear();
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    output += buffer;
+  }
+  ASSERT_EQ(pclose(pipe), 0) << output;
+  const auto pos = output.find("predicted time:");
+  ASSERT_NE(pos, std::string::npos) << output;
+  const double generated = std::strtod(output.c_str() + pos + 15, nullptr);
+
+  const double interpreted =
+      prophet.estimate(params).predicted_time;
+  EXPECT_NEAR(generated, interpreted, 1e-9)
+      << "seed " << seed << "\n"
+      << output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelDifferential,
+                         ::testing::Values(7u, 42u, 1234u));
+
+/// Statistics handler sanity over random models.
+TEST(StatisticsHandler, CountsMatchModel) {
+  const prophet::uml::Model model = prophet::models::random_model(99, 30);
+  prophet::traverse::DepthFirstNavigator navigator;
+  prophet::traverse::StatisticsHandler handler;
+  prophet::traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  for (const auto& diagram : model.diagrams()) {
+    nodes += diagram->node_count();
+    edges += diagram->edge_count();
+  }
+  EXPECT_EQ(handler.diagrams(), model.diagrams().size());
+  EXPECT_EQ(handler.nodes(), nodes);
+  EXPECT_EQ(handler.edges(), edges);
+  EXPECT_GT(handler.by_stereotype().at("action+"), 0u);
+  EXPECT_FALSE(handler.report().empty());
+}
+
+}  // namespace

@@ -1,0 +1,378 @@
+// Interpreter semantics: branches, loops, variables, code fragments,
+// cost-function composition, system parameters, error handling.
+#include <gtest/gtest.h>
+
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+
+namespace interp = prophet::interp;
+namespace uml = prophet::uml;
+
+namespace {
+
+double estimate(const uml::Model& model,
+                prophet::machine::SystemParameters params = {}) {
+  interp::Interpreter interpreter(model);
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  return manager.run(interpreter).predicted_time;
+}
+
+TEST(Interpreter, SequentialActionsAccumulate) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("0.5");
+  uml::NodeRef b = d.action("B").cost("0.25");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, b, fin});
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 0.75);
+}
+
+TEST(Interpreter, TimeTagUsedWhenNoCost) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A");
+  a.time(1.5);
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 1.5);
+}
+
+TEST(Interpreter, BranchTakesFirstTrueGuard) {
+  uml::ModelBuilder mb("M");
+  mb.global("X", uml::VariableType::Real, "5");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef dec = d.decision();
+  uml::NodeRef a = d.action("A").cost("1");
+  uml::NodeRef b = d.action("B").cost("2");
+  uml::NodeRef merge = d.merge();
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, dec);
+  d.flow(dec, a, "X > 3");   // true first
+  d.flow(dec, b, "X > 0");   // also true, but not first
+  d.flow(a, merge);
+  d.flow(b, merge);
+  d.flow(merge, fin);
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 1.0);
+}
+
+TEST(Interpreter, ElseBranchWhenNoGuardHolds) {
+  uml::ModelBuilder mb("M");
+  mb.global("X", uml::VariableType::Real, "0");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef dec = d.decision();
+  uml::NodeRef a = d.action("A").cost("1");
+  uml::NodeRef b = d.action("B").cost("2");
+  uml::NodeRef merge = d.merge();
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, dec);
+  d.flow(dec, a, "X > 3");
+  d.flow(dec, b, "else");
+  d.flow(a, merge);
+  d.flow(b, merge);
+  d.flow(merge, fin);
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 2.0);
+}
+
+TEST(Interpreter, StalledDecisionThrows) {
+  uml::ModelBuilder mb("M");
+  mb.global("X", uml::VariableType::Real, "0");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef dec = d.decision();
+  uml::NodeRef a = d.action("A");
+  uml::NodeRef b = d.action("B");
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, dec);
+  d.flow(dec, a, "X > 3");
+  d.flow(dec, b, "X > 4");
+  d.flow(a, fin);
+  d.flow(b, fin);
+  const uml::Model model = std::move(mb).build();
+  EXPECT_THROW(estimate(model), interp::InterpretError);
+}
+
+TEST(Interpreter, LoopRepeatsBody) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder body = mb.diagram("body");
+  uml::NodeRef binit = body.initial();
+  uml::NodeRef w = body.action("W").cost("0.1");
+  uml::NodeRef bfin = body.final_node();
+  body.sequence({binit, w, bfin});
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef loop = main.loop("L", body, "5");
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, loop, fin});
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  EXPECT_NEAR(estimate(model), 0.5, 1e-12);
+}
+
+TEST(Interpreter, LoopVariableDrivesCost) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder body = mb.diagram("body");
+  uml::NodeRef binit = body.initial();
+  uml::NodeRef w = body.action("W").cost("k + 1");
+  uml::NodeRef bfin = body.final_node();
+  body.sequence({binit, w, bfin});
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef loop = main.loop("L", body, "4", "k");
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, loop, fin});
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  // k = 0..3 -> costs 1+2+3+4 = 10.
+  EXPECT_DOUBLE_EQ(estimate(model), 10.0);
+}
+
+TEST(Interpreter, NestedLoopsMultiply) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder inner = mb.diagram("inner");
+  uml::NodeRef iinit = inner.initial();
+  uml::NodeRef w = inner.action("W").cost("0.01");
+  uml::NodeRef ifin = inner.final_node();
+  inner.sequence({iinit, w, ifin});
+  uml::DiagramBuilder outer = mb.diagram("outer");
+  uml::NodeRef oinit = outer.initial();
+  uml::NodeRef iloop = outer.loop("Inner", inner, "3", "j");
+  uml::NodeRef ofin = outer.final_node();
+  outer.sequence({oinit, iloop, ofin});
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef minit = main.initial();
+  uml::NodeRef oloop = main.loop("Outer", outer, "4", "i");
+  uml::NodeRef mfin = main.final_node();
+  main.sequence({minit, oloop, mfin});
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  EXPECT_NEAR(estimate(model), 0.12, 1e-12);
+}
+
+TEST(Interpreter, TriangularLoopUsesOuterVariable) {
+  // Inner trip count depends on the outer loop variable — the detailed
+  // kernel-6 pattern (Fig. 3b).
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder body = mb.diagram("body");
+  uml::NodeRef binit = body.initial();
+  uml::NodeRef w = body.action("W").cost("1");
+  uml::NodeRef bfin = body.final_node();
+  body.sequence({binit, w, bfin});
+  uml::DiagramBuilder mid = mb.diagram("mid");
+  uml::NodeRef minit = mid.initial();
+  uml::NodeRef inner = mid.loop("KLoop", body, "i + 1", "k");
+  uml::NodeRef mfin = mid.final_node();
+  mid.sequence({minit, inner, mfin});
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef outer = main.loop("ILoop", mid, "4", "i");
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, outer, fin});
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  // sum_{i=0..3} (i+1) = 10 executions of cost 1.
+  EXPECT_DOUBLE_EQ(estimate(model), 10.0);
+}
+
+TEST(Interpreter, CodeFragmentAssignsGlobals) {
+  uml::ModelBuilder mb("M");
+  mb.global("X", uml::VariableType::Real, "0");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("0.1").code("X = 2 * 3;");
+  uml::NodeRef b = d.action("B").cost("X");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, b, fin});
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 6.1);
+}
+
+TEST(Interpreter, CodeFragmentAssignsUndeclaredVariableThrows) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").code("ghost = 1;");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  const uml::Model model = std::move(mb).build();
+  EXPECT_THROW(estimate(model), interp::InterpretError);
+}
+
+TEST(Interpreter, MalformedCodeFragmentRejectedAtConstruction) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").code("this is not an assignment");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  const uml::Model model = std::move(mb).build();
+  EXPECT_THROW(interp::Interpreter interpreter(model),
+               interp::InterpretError);
+}
+
+TEST(Interpreter, IntegerVariablesTruncate) {
+  uml::ModelBuilder mb("M");
+  mb.global("N", uml::VariableType::Integer, "0");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("0.0").code("N = 7 / 2;");
+  uml::NodeRef b = d.action("B").cost("N");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, b, fin});
+  // 7/2 = 3.5 truncated to 3 (matching the generated `long N`).
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 3.0);
+}
+
+TEST(Interpreter, CostFunctionComposition) {
+  uml::ModelBuilder mb("M");
+  mb.global("P", uml::VariableType::Real, "4");
+  mb.function("F1", {}, "0.5 * P");
+  mb.function("F2", {"x"}, "F1() + x");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("F2(1)");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build()), 3.0);
+}
+
+TEST(Interpreter, SystemParametersBound) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("np + nn + ppn + nt");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  prophet::machine::SystemParameters params;
+  params.processes = 2;
+  params.nodes = 2;
+  params.processors_per_node = 3;
+  params.threads_per_process = 4;
+  // cost = 2+2+3+4 = 11 per process; both run concurrently (ppn covers).
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build(), params), 11.0);
+}
+
+TEST(Interpreter, PidVisibleInCosts) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("pid + 1");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  prophet::machine::SystemParameters params;
+  params.processes = 3;
+  params.nodes = 3;
+  // Slowest process: pid=2 -> cost 3.
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build(), params), 3.0);
+}
+
+TEST(Interpreter, GlobalsSharedAcrossProcessesWithinRun) {
+  // pid 0 writes GV before its action; because globals are shared (like
+  // the file-scope globals of generated code), all processes see it.
+  uml::ModelBuilder mb("M");
+  mb.global("GV", uml::VariableType::Real, "1");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef dec = d.decision();
+  uml::NodeRef w = d.action("W").cost("0.001").code("GV = 5;");
+  uml::NodeRef m = d.merge();
+  uml::NodeRef a = d.action("A").cost("GV");
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, dec);
+  d.flow(dec, w, "pid == 0");
+  d.flow(dec, m, "else");
+  d.flow(w, m);
+  d.flow(m, a);
+  d.flow(a, fin);
+  prophet::machine::SystemParameters params;
+  params.processes = 2;
+  params.nodes = 2;
+  interp::Interpreter interpreter(std::move(mb).build());
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  (void)manager.run(interpreter);
+  EXPECT_DOUBLE_EQ(interpreter.global("GV"), 5.0);
+}
+
+TEST(Interpreter, GlobalsResetBetweenRuns) {
+  const uml::Model model = prophet::models::sample_model();
+  interp::Interpreter interpreter(model);
+  const prophet::estimator::SimulationManager manager(
+      {}, {.collect_trace = false});
+  const double first = manager.run(interpreter).predicted_time;
+  const double second = manager.run(interpreter).predicted_time;
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Interpreter, CallCostFunctionIntrospection) {
+  const uml::Model model = prophet::models::sample_model();
+  interp::Interpreter interpreter(model);
+  prophet::machine::SystemParameters params;
+  interpreter.on_run_start(params);
+  // P initialized to 16: FA1 = 1e-6*256 + 1e-3.
+  EXPECT_NEAR(interpreter.call_cost_function("FA1", {}), 0.001256, 1e-15);
+  EXPECT_DOUBLE_EQ(interpreter.call_cost_function("FSA2", {2.0}), 0.002);
+  EXPECT_THROW((void)interpreter.call_cost_function("nope", {}),
+               interp::InterpretError);
+}
+
+TEST(Interpreter, UidAssignmentMatchesExplicitIds) {
+  const uml::Model model = prophet::models::sample_model();
+  interp::Interpreter interpreter(model);
+  // A1 carries explicit id tag 1 (Fig. 8 numbering).
+  EXPECT_EQ(interpreter.uid_of("n6"), 1);  // A1 is n6 (after SA nodes)
+  EXPECT_THROW((void)interpreter.uid_of("zz"), interp::InterpretError);
+}
+
+TEST(Interpreter, ForkJoinOverlapsBranches) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef fork = d.fork();
+  uml::NodeRef a = d.action("A").cost("2");
+  uml::NodeRef b = d.action("B").cost("3");
+  uml::NodeRef join = d.join();
+  uml::NodeRef c = d.action("C").cost("1");
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, fork);
+  d.flow(fork, a);
+  d.flow(fork, b);
+  d.flow(a, join);
+  d.flow(b, join);
+  d.flow(join, c);
+  d.flow(c, fin);
+  prophet::machine::SystemParameters params;
+  params.processors_per_node = 2;  // branches need two processors
+  // max(2,3) + 1 = 4.
+  EXPECT_DOUBLE_EQ(estimate(std::move(mb).build(), params), 4.0);
+}
+
+TEST(Interpreter, UnparseableCostRejectedAtConstruction) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("1 +");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  const uml::Model model = std::move(mb).build();
+  EXPECT_THROW(interp::Interpreter interpreter(model),
+               interp::InterpretError);
+}
+
+TEST(Interpreter, MissingSubdiagramRejectedAtConstruction) {
+  uml::ModelBuilder mb("M");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef act = d.activity("X", "ghost");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, act, fin});
+  const uml::Model model = std::move(mb).build();
+  EXPECT_THROW(interp::Interpreter interpreter(model),
+               interp::InterpretError);
+}
+
+}  // namespace

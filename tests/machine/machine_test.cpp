@@ -1,0 +1,164 @@
+// Machine model: SP validation, XML round trip, process placement, and
+// the communication-time model.
+#include <gtest/gtest.h>
+
+#include "prophet/machine/machine.hpp"
+#include "prophet/xml/parser.hpp"
+
+namespace machine = prophet::machine;
+namespace sim = prophet::sim;
+
+namespace {
+
+TEST(SystemParameters, DefaultsValidate) {
+  machine::SystemParameters params;
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(SystemParameters, RejectsNonsense) {
+  machine::SystemParameters params;
+  params.nodes = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.processes = -1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.network_bandwidth = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.cpu_speed = -2;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(SystemParameters, XmlRoundTrip) {
+  machine::SystemParameters params;
+  params.nodes = 8;
+  params.processors_per_node = 4;
+  params.processes = 32;
+  params.threads_per_process = 2;
+  params.network_latency = 1.5e-5;
+  params.network_bandwidth = 2.5e8;
+  params.cpu_speed = 1.25;
+  const auto reloaded =
+      machine::SystemParameters::from_xml(params.to_xml());
+  EXPECT_EQ(reloaded.nodes, 8);
+  EXPECT_EQ(reloaded.processors_per_node, 4);
+  EXPECT_EQ(reloaded.processes, 32);
+  EXPECT_EQ(reloaded.threads_per_process, 2);
+  EXPECT_DOUBLE_EQ(reloaded.network_latency, 1.5e-5);
+  EXPECT_DOUBLE_EQ(reloaded.network_bandwidth, 2.5e8);
+  EXPECT_DOUBLE_EQ(reloaded.cpu_speed, 1.25);
+}
+
+TEST(SystemParameters, PartialXmlUsesDefaults) {
+  const auto params = machine::SystemParameters::from_xml(
+      prophet::xml::parse("<sp nodes=\"2\"/>"));
+  EXPECT_EQ(params.nodes, 2);
+  EXPECT_EQ(params.processes, 1);
+  EXPECT_GT(params.network_bandwidth, 0);
+}
+
+TEST(SystemParameters, RejectsWrongRoot) {
+  EXPECT_THROW(machine::SystemParameters::from_xml(
+                   prophet::xml::parse("<nope/>")),
+               std::invalid_argument);
+}
+
+TEST(MachineModel, BlockDistribution) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 2;
+  params.processes = 4;
+  const machine::MachineModel machine(engine, params);
+  EXPECT_EQ(machine.node_of(0), 0);
+  EXPECT_EQ(machine.node_of(1), 0);
+  EXPECT_EQ(machine.node_of(2), 1);
+  EXPECT_EQ(machine.node_of(3), 1);
+  EXPECT_THROW(machine.node_of(4), std::out_of_range);
+  EXPECT_THROW(machine.node_of(-1), std::out_of_range);
+}
+
+TEST(MachineModel, UnevenDistribution) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 2;
+  params.processes = 5;
+  const machine::MachineModel machine(engine, params);
+  // ceil(5/2) = 3 per node: {0,1,2} -> node0, {3,4} -> node1.
+  EXPECT_EQ(machine.node_of(2), 0);
+  EXPECT_EQ(machine.node_of(3), 1);
+}
+
+TEST(MachineModel, FacilitiesMatchTopology) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 3;
+  params.processors_per_node = 4;
+  const machine::MachineModel machine(engine, params);
+  EXPECT_EQ(machine.node_count(), 3);
+  EXPECT_EQ(machine.node(0).servers(), 4);
+}
+
+TEST(MachineModel, MessageTimeIntraVsInterNode) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 2;
+  params.processes = 4;
+  const machine::MachineModel machine(engine, params);
+  const double bytes = 1e6;
+  const double intra = machine.message_time(0, 1, bytes);
+  const double inter = machine.message_time(0, 2, bytes);
+  EXPECT_DOUBLE_EQ(intra,
+                   params.memory_latency + bytes / params.memory_bandwidth);
+  EXPECT_DOUBLE_EQ(inter, params.network_latency +
+                              bytes / params.network_bandwidth);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(MachineModel, MessageTimeScalesWithSize) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 2;
+  params.processes = 2;
+  const machine::MachineModel machine(engine, params);
+  const double small = machine.message_time(0, 1, 1e3);
+  const double large = machine.message_time(0, 1, 1e7);
+  EXPECT_LT(small, large);
+  // Latency dominates tiny messages; bandwidth dominates big ones.
+  EXPECT_NEAR(small, params.network_latency, params.network_latency);
+  EXPECT_NEAR(large, 1e7 / params.network_bandwidth,
+              0.1 * large);
+}
+
+TEST(MachineModel, CpuSpeedScalesCompute) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.cpu_speed = 2.0;
+  const machine::MachineModel machine(engine, params);
+  EXPECT_DOUBLE_EQ(machine.compute_time(1.0), 0.5);
+}
+
+TEST(MachineModel, CollectiveRoundUsesNetworkWhenMultiNode) {
+  sim::Engine engine;
+  machine::SystemParameters single;
+  single.nodes = 1;
+  machine::SystemParameters multi;
+  multi.nodes = 4;
+  const machine::MachineModel machine1(engine, single);
+  sim::Engine engine2;
+  const machine::MachineModel machine4(engine2, multi);
+  EXPECT_LT(machine1.collective_round_time(1024),
+            machine4.collective_round_time(1024));
+}
+
+TEST(MachineModel, UtilizationReportFormat) {
+  sim::Engine engine;
+  machine::SystemParameters params;
+  params.nodes = 2;
+  const machine::MachineModel machine(engine, params);
+  const std::string report = machine.utilization_report();
+  EXPECT_NE(report.find("node0"), std::string::npos);
+  EXPECT_NE(report.find("node1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Trace files: aggregation, serialization round trip, rendering.
+#include <gtest/gtest.h>
+
+#include "prophet/trace/trace.hpp"
+
+namespace trace = prophet::trace;
+
+namespace {
+
+trace::Trace sample_trace() {
+  trace::Trace t;
+  t.add({0.0, 1.0, 0, 0, 1, "A1", trace::EventKind::Compute});
+  t.add({1.0, 1.5, 0, 0, 2, "Send", trace::EventKind::Send});
+  t.add({0.0, 2.0, 1, 0, 3, "A1", trace::EventKind::Compute});
+  t.add({2.0, 2.5, 1, 0, 4, "Recv", trace::EventKind::Receive});
+  t.add({0.0, 2.5, 0, 0, 5, "Main", trace::EventKind::Region});
+  return t;
+}
+
+TEST(Trace, Makespan) {
+  EXPECT_DOUBLE_EQ(sample_trace().makespan(), 2.5);
+  EXPECT_DOUBLE_EQ(trace::Trace().makespan(), 0.0);
+}
+
+TEST(Trace, ByElementAggregation) {
+  const auto stats = sample_trace().by_element();
+  ASSERT_EQ(stats.count("A1"), 1u);
+  EXPECT_EQ(stats.at("A1").count, 2u);
+  EXPECT_DOUBLE_EQ(stats.at("A1").total, 3.0);
+  EXPECT_DOUBLE_EQ(stats.at("A1").mean(), 1.5);
+  EXPECT_DOUBLE_EQ(stats.at("A1").min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.at("A1").max, 2.0);
+  // Region events are excluded from element aggregation.
+  EXPECT_EQ(stats.count("Main"), 0u);
+}
+
+TEST(Trace, PerProcessFinishAndBusy) {
+  const auto finish = sample_trace().per_process_finish();
+  EXPECT_DOUBLE_EQ(finish.at(0), 2.5);
+  EXPECT_DOUBLE_EQ(finish.at(1), 2.5);
+  const auto busy = sample_trace().per_process_busy();
+  EXPECT_DOUBLE_EQ(busy.at(0), 1.0);  // compute only
+  EXPECT_DOUBLE_EQ(busy.at(1), 2.0);
+}
+
+TEST(Trace, SerializeRoundTrip) {
+  const trace::Trace original = sample_trace();
+  const trace::Trace reloaded =
+      trace::Trace::deserialize(original.serialize());
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = reloaded.events()[i];
+    EXPECT_DOUBLE_EQ(a.start, b.start);
+    EXPECT_DOUBLE_EQ(a.end, b.end);
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_EQ(a.tid, b.tid);
+    EXPECT_EQ(a.uid, b.uid);
+    EXPECT_EQ(a.element, b.element);
+    EXPECT_EQ(a.kind, b.kind);
+  }
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_test.tf";
+  sample_trace().save(path);
+  const trace::Trace reloaded = trace::Trace::load(path);
+  EXPECT_EQ(reloaded.size(), sample_trace().size());
+}
+
+TEST(Trace, DeserializeRejectsGarbage) {
+  EXPECT_THROW(trace::Trace::deserialize("not a trace"),
+               std::runtime_error);
+  EXPECT_THROW(
+      trace::Trace::deserialize("# prophet-trace 1\n1\t2\tbroken"),
+      std::runtime_error);
+  EXPECT_THROW(trace::Trace::deserialize(
+                   "# prophet-trace 1\n0\t1\t0\t0\t1\tnokind\tA\n"),
+               std::runtime_error);
+}
+
+TEST(Trace, SummaryMentionsTopElements) {
+  const std::string summary = sample_trace().summary();
+  EXPECT_NE(summary.find("makespan"), std::string::npos);
+  EXPECT_NE(summary.find("A1"), std::string::npos);
+  EXPECT_NE(summary.find("p0"), std::string::npos);
+}
+
+TEST(Trace, GanttHasOneLanePerProcessThread) {
+  const std::string gantt = sample_trace().gantt(40);
+  EXPECT_NE(gantt.find("p0.t0"), std::string::npos);
+  EXPECT_NE(gantt.find("p1.t0"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // compute glyph
+}
+
+TEST(Trace, GanttOnEmptyTrace) {
+  EXPECT_EQ(trace::Trace().gantt(), "(empty trace)\n");
+}
+
+TEST(Trace, CsvExport) {
+  const std::string csv = sample_trace().to_csv();
+  EXPECT_NE(csv.find("start,end,pid,tid,uid,element,kind"),
+            std::string::npos);
+  EXPECT_NE(csv.find("A1,compute"), std::string::npos);
+}
+
+TEST(Trace, EventKindStrings) {
+  EXPECT_EQ(trace::to_string(trace::EventKind::Compute), "compute");
+  EXPECT_EQ(trace::event_kind_from_string("recv"),
+            trace::EventKind::Receive);
+  EXPECT_FALSE(trace::event_kind_from_string("nope").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Model Traverser: the Fig. 6 protocol order, navigator coverage,
+// component interchangeability, and the shipped handlers.
+#include <gtest/gtest.h>
+
+#include "prophet/prophet.hpp"
+#include "prophet/traverse/traverse.hpp"
+
+namespace traverse = prophet::traverse;
+namespace uml = prophet::uml;
+
+namespace {
+
+uml::Model two_diagram_model() {
+  uml::ModelBuilder mb("M");
+  mb.global("G", uml::VariableType::Real);
+  mb.function("F", {}, "1");
+  uml::DiagramBuilder sub = mb.diagram("sub");
+  uml::NodeRef sinit = sub.initial();
+  uml::NodeRef s1 = sub.action("S1");
+  uml::NodeRef sfin = sub.final_node();
+  sub.sequence({sinit, s1, sfin});
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef act = main.activity("Sub", sub);
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, act, fin});
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  return model;
+}
+
+TEST(Traverser, Fig6ProtocolOrder) {
+  // The Traverser must, per element: (1) send the navigation command,
+  // (2) get the current element, (3) ask the handler to visit it.
+  class MockNavigator final : public traverse::Navigator {
+   public:
+    explicit MockNavigator(std::vector<std::string>& log) : log_(&log) {}
+    void start(const uml::Model& model) override {
+      log_->push_back("start");
+      entity_.kind = traverse::EntityKind::Model;
+      entity_.model = &model;
+      remaining_ = 3;
+    }
+    bool advance() override {
+      log_->push_back("navigationCommand");
+      return remaining_-- > 0;
+    }
+    const traverse::Entity& current() const override {
+      log_->push_back("getCurrentElement");
+      return entity_;
+    }
+
+   private:
+    std::vector<std::string>* log_;
+    traverse::Entity entity_;
+    int remaining_ = 0;
+  };
+  class MockHandler final : public traverse::ContentHandler {
+   public:
+    explicit MockHandler(std::vector<std::string>& log) : log_(&log) {}
+    void visit(const traverse::Entity&) override {
+      log_->push_back("visitElement");
+    }
+
+   private:
+    std::vector<std::string>* log_;
+  };
+
+  std::vector<std::string> log;
+  MockNavigator navigator(log);
+  MockHandler handler(log);
+  traverse::Traverser traverser;
+  const uml::Model model = two_diagram_model();
+  const std::size_t visited = traverser.traverse(model, navigator, handler);
+  EXPECT_EQ(visited, 3u);
+  ASSERT_EQ(log.size(), 1u + 3u * 3u + 1u);  // start + 3 rounds + final cmd
+  EXPECT_EQ(log[0], "start");
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t base = 1 + static_cast<std::size_t>(round) * 3;
+    EXPECT_EQ(log[base], "navigationCommand");
+    EXPECT_EQ(log[base + 1], "getCurrentElement");
+    EXPECT_EQ(log[base + 2], "visitElement");
+  }
+  EXPECT_EQ(log.back(), "navigationCommand");  // the exhausted advance
+}
+
+TEST(Traverser, DepthFirstVisitsEverything) {
+  const uml::Model model = two_diagram_model();
+  traverse::DepthFirstNavigator navigator;
+  traverse::CountingHandler handler;
+  traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  // Model enter+leave = 2; 1 variable; 1 function; 2 diagrams x
+  // (enter+leave) = 4; 6 nodes; 4 edges.
+  EXPECT_EQ(handler.count(traverse::EntityKind::Model), 2u);
+  EXPECT_EQ(handler.count(traverse::EntityKind::Variable), 1u);
+  EXPECT_EQ(handler.count(traverse::EntityKind::CostFunction), 1u);
+  EXPECT_EQ(handler.count(traverse::EntityKind::Diagram), 4u);
+  EXPECT_EQ(handler.count(traverse::EntityKind::Node), 6u);
+  EXPECT_EQ(handler.count(traverse::EntityKind::Edge), 4u);
+  EXPECT_EQ(handler.total(), 18u);
+}
+
+TEST(Traverser, DepthFirstKeepsDiagramContentsTogether) {
+  const uml::Model model = two_diagram_model();
+  traverse::DepthFirstNavigator navigator;
+  traverse::RecordingHandler handler;
+  traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  const auto& log = handler.log();
+  // First diagram's nodes appear before the second diagram is entered.
+  std::size_t first_d1_node = 0;
+  std::size_t enter_d2 = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i] == "visit node n2" && first_d1_node == 0) {
+      first_d1_node = i;
+    }
+    if (log[i] == "enter diagram d2") {
+      enter_d2 = i;
+    }
+  }
+  EXPECT_GT(first_d1_node, 0u);
+  EXPECT_GT(enter_d2, first_d1_node);
+}
+
+TEST(Traverser, BreadthFirstGroupsNodesBeforeEdges) {
+  const uml::Model model = two_diagram_model();
+  traverse::BreadthFirstNavigator navigator;
+  traverse::RecordingHandler handler;
+  traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  // Last node visit must precede first edge visit.
+  std::size_t last_node = 0;
+  std::size_t first_edge = log10(1.0);  // 0
+  bool edge_seen = false;
+  const auto& log = handler.log();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].rfind("visit node", 0) == 0) {
+      last_node = i;
+    }
+    if (!edge_seen && log[i].rfind("visit edge", 0) == 0) {
+      first_edge = i;
+      edge_seen = true;
+    }
+  }
+  ASSERT_TRUE(edge_seen);
+  EXPECT_LT(last_node, first_edge);
+}
+
+TEST(Traverser, NavigatorsAreInterchangeable) {
+  // Any navigator combines with any handler — same totals either way.
+  const uml::Model model = two_diagram_model();
+  traverse::Traverser traverser;
+  traverse::DepthFirstNavigator dfs;
+  traverse::BreadthFirstNavigator bfs;
+  traverse::CountingHandler h1;
+  traverse::CountingHandler h2;
+  EXPECT_EQ(traverser.traverse(model, dfs, h1),
+            traverser.traverse(model, bfs, h2));
+  EXPECT_EQ(h1.total(), h2.total());
+}
+
+TEST(Traverser, NavigatorIsRestartable) {
+  const uml::Model model = two_diagram_model();
+  traverse::DepthFirstNavigator navigator;
+  traverse::Traverser traverser;
+  traverse::CountingHandler h1;
+  traverse::CountingHandler h2;
+  traverser.traverse(model, navigator, h1);
+  traverser.traverse(model, navigator, h2);  // start() resets
+  EXPECT_EQ(h1.total(), h2.total());
+}
+
+TEST(Traverser, OutlineShowsStructure) {
+  const uml::Model model = two_diagram_model();
+  traverse::DepthFirstNavigator navigator;
+  traverse::OutlineHandler handler;
+  traverse::Traverser traverser;
+  traverser.traverse(model, navigator, handler);
+  const std::string& text = handler.text();
+  EXPECT_NE(text.find("model M"), std::string::npos);
+  EXPECT_NE(text.find("variable G"), std::string::npos);
+  EXPECT_NE(text.find("<<action+>>"), std::string::npos);
+  EXPECT_NE(text.find("\"S1\""), std::string::npos);
+}
+
+TEST(Traverser, EmptyModel) {
+  uml::Model model("Empty");
+  traverse::DepthFirstNavigator navigator;
+  traverse::CountingHandler handler;
+  traverse::Traverser traverser;
+  // Just model enter/leave.
+  EXPECT_EQ(traverser.traverse(model, navigator, handler), 2u);
+}
+
+TEST(Traverser, EntityLabels) {
+  const uml::Model model = two_diagram_model();
+  traverse::DepthFirstNavigator navigator;
+  navigator.start(model);
+  ASSERT_TRUE(navigator.advance());
+  EXPECT_EQ(navigator.current().kind, traverse::EntityKind::Model);
+  EXPECT_EQ(navigator.current().label(), "M");
+}
+
+}  // namespace

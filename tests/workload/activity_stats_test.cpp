@@ -1,0 +1,127 @@
+// ActionPlus / ActivityPlus bookkeeping and trace lanes under parallel
+// regions (thread ids must come from the executing thread, not the
+// element's declaring context).
+#include <gtest/gtest.h>
+
+#include "prophet/workload/runtime.hpp"
+
+namespace machine = prophet::machine;
+namespace sim = prophet::sim;
+namespace workload = prophet::workload;
+
+namespace {
+
+TEST(ActionPlusStats, CountsExecutions) {
+  sim::Engine engine;
+  machine::MachineModel machine_model(engine, {});
+  workload::Communicator comm(engine, machine_model);
+  workload::ModelContext ctx{&engine, &machine_model, &comm,
+                             nullptr,  0,              0};
+  auto proc = [](workload::ModelContext c,
+                 std::uint64_t* executions,
+                 double* total) -> sim::Process {
+    workload::ActionPlus action(c, "A");
+    for (int i = 0; i < 3; ++i) {
+      co_await action.execute(1, c.pid, c.tid, 0.5);
+    }
+    *executions = action.executions();
+    *total = action.total_time();
+  };
+  std::uint64_t executions = 0;
+  double total = 0;
+  engine.spawn(proc(ctx, &executions, &total));
+  engine.run();
+  EXPECT_EQ(executions, 3u);
+  EXPECT_DOUBLE_EQ(total, 1.5);
+}
+
+TEST(ActivityPlus, RecordsRegionSpan) {
+  sim::Engine engine;
+  machine::MachineModel machine_model(engine, {});
+  workload::Communicator comm(engine, machine_model);
+  prophet::trace::Trace trace;
+  workload::ModelContext ctx{&engine, &machine_model, &comm, &trace, 0, 0};
+  auto proc = [](workload::ModelContext c) -> sim::Process {
+    workload::ActivityPlus activity(c, "SA");
+    const double started = activity.begin(9);
+    co_await c.engine->hold(2.0);
+    activity.end(9, started);
+  };
+  engine.spawn(proc(ctx));
+  engine.run();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, prophet::trace::EventKind::Region);
+  EXPECT_DOUBLE_EQ(trace.events()[0].duration(), 2.0);
+}
+
+TEST(ParallelRegion, TraceLanesCarryThreadIds) {
+  machine::SystemParameters params;
+  params.processors_per_node = 2;
+  sim::Engine engine;
+  machine::MachineModel machine_model(engine, params);
+  workload::Communicator comm(engine, machine_model);
+  prophet::trace::Trace trace;
+  workload::ModelContext ctx{&engine, &machine_model, &comm, &trace, 0, 0};
+  auto proc = [](workload::ModelContext c) -> sim::Process {
+    co_await workload::parallel_region(
+        c, 2, 1, "R", [](workload::ModelContext tctx) -> sim::Process {
+          workload::ActionPlus action(tctx, "W");
+          co_await action.execute(2, tctx.pid, tctx.tid, 0.5);
+        });
+  };
+  engine.spawn(proc(ctx));
+  engine.run();
+  // Two compute spans on tids 0 and 1, plus one region span on tid 0.
+  std::set<int> tids;
+  for (const auto& event : trace.events()) {
+    if (event.kind == prophet::trace::EventKind::Compute) {
+      tids.insert(event.tid);
+    }
+  }
+  EXPECT_EQ(tids, (std::set<int>{0, 1}));
+}
+
+TEST(ParallelRegion, RejectsNonPositiveThreadCount) {
+  sim::Engine engine;
+  machine::MachineModel machine_model(engine, {});
+  workload::Communicator comm(engine, machine_model);
+  workload::ModelContext ctx{&engine, &machine_model, &comm,
+                             nullptr,  0,              0};
+  auto proc = [](workload::ModelContext c) -> sim::Process {
+    co_await workload::parallel_region(
+        c, 0, 1, "R",
+        [](workload::ModelContext) -> sim::Process { co_return; });
+  };
+  engine.spawn(proc(ctx));
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+TEST(OmpBarrier, SynchronizesRegionThreads) {
+  machine::SystemParameters params;
+  params.processors_per_node = 4;
+  sim::Engine engine;
+  machine::MachineModel machine_model(engine, params);
+  workload::Communicator comm(engine, machine_model);
+  workload::ModelContext ctx{&engine, &machine_model, &comm,
+                             nullptr,  0,              0};
+  std::vector<double> after_barrier;
+  auto proc = [&after_barrier](workload::ModelContext c) -> sim::Process {
+    co_await workload::parallel_region(
+        c, 3, 1, "R",
+        [&after_barrier](workload::ModelContext tctx) -> sim::Process {
+          // Threads arrive at different times; barrier aligns them.
+          co_await tctx.engine->hold(0.1 * (tctx.tid + 1));
+          workload::OmpBarrierElement barrier(tctx, "B");
+          co_await barrier.execute(3, tctx.pid, tctx.tid);
+          after_barrier.push_back(tctx.engine->now());
+        });
+  };
+  engine.spawn(proc(ctx));
+  engine.run();
+  ASSERT_EQ(after_barrier.size(), 3u);
+  for (const double t : after_barrier) {
+    EXPECT_DOUBLE_EQ(t, 0.3);  // slowest thread's arrival
+  }
+}
+
+}  // namespace

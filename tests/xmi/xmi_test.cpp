@@ -1,0 +1,175 @@
+// XMI serialization: structure, round-trip property, error handling.
+#include <gtest/gtest.h>
+
+#include "prophet/prophet.hpp"
+#include "prophet/xmi/xmi.hpp"
+#include "prophet/xml/parser.hpp"
+
+namespace uml = prophet::uml;
+namespace xmi = prophet::xmi;
+
+namespace {
+
+uml::Model tiny_model() {
+  uml::ModelBuilder mb("Tiny");
+  mb.global("GV", uml::VariableType::Real, "0");
+  mb.local("L", uml::VariableType::Integer);
+  mb.function("F", {"x"}, "x + GV");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("F(2)").code("GV = 1;");
+  a.tag(uml::tag::kId, uml::TagValue(std::int64_t{7}));
+  a.time(0.5);
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  return std::move(mb).build();
+}
+
+TEST(Xmi, DocumentStructure) {
+  const auto doc = xmi::to_document(tiny_model());
+  ASSERT_TRUE(doc.has_root());
+  EXPECT_EQ(doc.root().name(), "prophet:model");
+  EXPECT_EQ(doc.root().attr_or("name", ""), "Tiny");
+  EXPECT_NE(doc.root().child("profile"), nullptr);
+  EXPECT_NE(doc.root().child("variables"), nullptr);
+  EXPECT_NE(doc.root().child("functions"), nullptr);
+  EXPECT_NE(doc.root().child("diagrams"), nullptr);
+}
+
+TEST(Xmi, RoundTripPreservesEverything) {
+  const uml::Model original = tiny_model();
+  const uml::Model reloaded = xmi::from_xml(xmi::to_xml(original));
+  EXPECT_TRUE(xmi::equivalent(original, reloaded));
+
+  EXPECT_EQ(reloaded.name(), "Tiny");
+  EXPECT_EQ(reloaded.variables().size(), 2u);
+  ASSERT_NE(reloaded.cost_function("F"), nullptr);
+  EXPECT_EQ(reloaded.cost_function("F")->body, "x + GV");
+  EXPECT_EQ(reloaded.cost_function("F")->parameters,
+            (std::vector<std::string>{"x"}));
+  const uml::Node* a = reloaded.node("n2");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->stereotype(), uml::stereo::kActionPlus);
+  EXPECT_EQ(a->tag_string(uml::tag::kCost), "F(2)");
+  EXPECT_EQ(a->tag_string(uml::tag::kCode), "GV = 1;");
+  EXPECT_EQ(a->tag_number(uml::tag::kId), 7.0);
+  EXPECT_EQ(a->tag_number(uml::tag::kTime), 0.5);
+}
+
+TEST(Xmi, GuardsSurviveEscaping) {
+  uml::ModelBuilder mb("G");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef dec = d.decision();
+  uml::NodeRef a = d.action("A");
+  uml::NodeRef b = d.action("B");
+  uml::NodeRef fin = d.final_node();
+  d.flow(init, dec);
+  d.flow(dec, a, "GV > 0 && P < 10");
+  d.flow(dec, b, "else");
+  d.flow(a, fin);
+  d.flow(b, fin);
+  const uml::Model model = std::move(mb).build();
+  const uml::Model reloaded = xmi::from_xml(xmi::to_xml(model));
+  EXPECT_TRUE(xmi::equivalent(model, reloaded));
+  bool found = false;
+  for (const auto& edge : reloaded.main_diagram()->edges()) {
+    if (edge->guard() == "GV > 0 && P < 10") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Xmi, MultilineCodeFragmentUsesCdata) {
+  uml::ModelBuilder mb("C");
+  mb.global("GV", uml::VariableType::Real);
+  mb.global("P", uml::VariableType::Real);
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").code("GV = 3;\nP = 16;");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  const uml::Model model = std::move(mb).build();
+  const std::string xml = xmi::to_xml(model);
+  EXPECT_NE(xml.find("<![CDATA[GV = 3;\nP = 16;]]>"), std::string::npos)
+      << xml;
+  const uml::Model reloaded = xmi::from_xml(xml);
+  EXPECT_EQ(reloaded.node("n2")->tag_string(uml::tag::kCode),
+            "GV = 3;\nP = 16;");
+}
+
+TEST(Xmi, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/xmi_roundtrip.xml";
+  const uml::Model original = prophet::models::sample_model();
+  xmi::save(original, path);
+  const uml::Model reloaded = xmi::load(path);
+  EXPECT_TRUE(xmi::equivalent(original, reloaded));
+}
+
+class XmiModelRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(XmiModelRoundTrip, SyntheticModelsRoundTrip) {
+  const auto [activities, actions] = GetParam();
+  const uml::Model model =
+      prophet::models::synthetic_model(activities, actions);
+  const uml::Model reloaded = xmi::from_xml(xmi::to_xml(model));
+  EXPECT_TRUE(xmi::equivalent(model, reloaded));
+  EXPECT_EQ(model.element_count(), reloaded.element_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XmiModelRoundTrip,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 5},
+                                           std::pair{8, 8},
+                                           std::pair{16, 32}));
+
+TEST(XmiModelRoundTrip, PaperModelsRoundTrip) {
+  for (const uml::Model& model :
+       {prophet::models::sample_model(),
+        prophet::models::kernel6_model(100, 10, 1e-9),
+        prophet::models::kernel6_detailed_model(10, 2, 1e-9),
+        prophet::models::pingpong_model(1024, 5)}) {
+    const uml::Model reloaded = xmi::from_xml(xmi::to_xml(model));
+    EXPECT_TRUE(xmi::equivalent(model, reloaded)) << model.name();
+  }
+}
+
+// --- Errors -------------------------------------------------------------------
+
+TEST(XmiErrors, WrongRootElement) {
+  EXPECT_THROW((void)xmi::from_xml("<wrong/>"), xmi::XmiError);
+}
+
+TEST(XmiErrors, MissingRequiredAttribute) {
+  EXPECT_THROW((void)xmi::from_xml("<prophet:model name=\"x\" main=\"d1\">"
+                                   "<diagrams><diagram name=\"no-id\"/>"
+                                   "</diagrams></prophet:model>"),
+               xmi::XmiError);
+}
+
+TEST(XmiErrors, UnknownNodeKind) {
+  EXPECT_THROW(
+      (void)xmi::from_xml("<prophet:model name=\"x\" main=\"d1\"><diagrams>"
+                          "<diagram id=\"d1\" name=\"m\">"
+                          "<node id=\"n1\" kind=\"hexagon\" name=\"A\"/>"
+                          "</diagram></diagrams></prophet:model>"),
+      xmi::XmiError);
+}
+
+TEST(XmiErrors, IllTypedTagValue) {
+  EXPECT_THROW(
+      (void)xmi::from_xml("<prophet:model name=\"x\" main=\"d1\"><diagrams>"
+                          "<diagram id=\"d1\" name=\"m\">"
+                          "<node id=\"n1\" kind=\"action\" name=\"A\">"
+                          "<tag name=\"id\" type=\"Integer\">abc</tag>"
+                          "</node></diagram></diagrams></prophet:model>"),
+      xmi::XmiError);
+}
+
+TEST(XmiErrors, MalformedXmlPropagates) {
+  EXPECT_THROW((void)xmi::from_xml("<prophet:model"),
+               prophet::xml::ParseError);
+}
+
+}  // namespace

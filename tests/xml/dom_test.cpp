@@ -1,0 +1,97 @@
+// DOM construction, lookup, cloning, equality.
+#include <gtest/gtest.h>
+
+#include "prophet/xml/dom.hpp"
+#include "prophet/xml/writer.hpp"
+
+namespace xml = prophet::xml;
+
+namespace {
+
+TEST(XmlDom, BuildAndQuery) {
+  xml::Document doc = xml::Document::with_root("model");
+  auto& diagrams = doc.root().add_element("diagrams");
+  auto& d1 = diagrams.add_element("diagram");
+  d1.set_attr("id", "d1");
+  diagrams.add_element("diagram").set_attr("id", "d2");
+
+  EXPECT_EQ(doc.root().element_count(), 1u);
+  EXPECT_EQ(diagrams.element_count(), 2u);
+  EXPECT_EQ(doc.root().subtree_size(), 4u);
+  ASSERT_NE(doc.root().find("diagrams/diagram"), nullptr);
+  EXPECT_EQ(doc.root().find("diagrams/diagram")->attr_or("id", ""), "d1");
+  EXPECT_EQ(doc.root().find("nothing/here"), nullptr);
+}
+
+TEST(XmlDom, SetAttrOverwrites) {
+  xml::Element element("e");
+  element.set_attr("k", "1");
+  element.set_attr("k", "2");
+  EXPECT_EQ(element.attributes().size(), 1u);
+  EXPECT_EQ(element.attr_or("k", ""), "2");
+}
+
+TEST(XmlDom, RemoveAttr) {
+  xml::Element element("e");
+  element.set_attr("k", "1");
+  EXPECT_TRUE(element.remove_attr("k"));
+  EXPECT_FALSE(element.remove_attr("k"));
+  EXPECT_FALSE(element.has_attr("k"));
+}
+
+TEST(XmlDom, CloneIsDeepAndIndependent) {
+  xml::Document doc = xml::Document::with_root("a");
+  doc.root().add_element("b").add_text("text");
+  xml::Document copy = doc.clone();
+  EXPECT_TRUE(xml::deep_equal(doc, copy));
+  copy.root().add_element("c");
+  EXPECT_FALSE(xml::deep_equal(doc, copy));
+}
+
+TEST(XmlDom, DeepEqualDistinguishesAttributeValues) {
+  xml::Element a("e");
+  a.set_attr("k", "1");
+  xml::Element b("e");
+  b.set_attr("k", "2");
+  EXPECT_FALSE(xml::deep_equal(a, b));
+  b.set_attr("k", "1");
+  EXPECT_TRUE(xml::deep_equal(a, b));
+}
+
+TEST(XmlDom, DeepEqualDistinguishesNodeKinds) {
+  xml::Element a("e");
+  a.add_text("x");
+  xml::Element b("e");
+  b.add_cdata("x");
+  EXPECT_FALSE(xml::deep_equal(a, b));
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(xml::escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlWriter, CompactMode) {
+  xml::Document doc = xml::Document::with_root("a");
+  doc.root().add_element("b");
+  const std::string out = xml::to_string(
+      doc, {.pretty = false, .indent = 0, .declaration = false});
+  EXPECT_EQ(out, "<a><b/></a>");
+}
+
+TEST(XmlWriter, PrettyModeIndents) {
+  xml::Document doc = xml::Document::with_root("a");
+  doc.root().add_element("b").add_element("c");
+  const std::string out =
+      xml::to_string(doc, {.pretty = true, .indent = 2, .declaration = false});
+  EXPECT_NE(out.find("<a>\n  <b>\n    <c/>"), std::string::npos) << out;
+}
+
+TEST(XmlWriter, TextOnlyElementsStayInline) {
+  xml::Document doc = xml::Document::with_root("f");
+  doc.root().add_text("0.001 * P");
+  const std::string out =
+      xml::to_string(doc, {.pretty = true, .indent = 2, .declaration = false});
+  EXPECT_EQ(out, "<f>0.001 * P</f>\n");
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// XML parser: structure, attributes, entities, CDATA, comments, errors.
+#include <gtest/gtest.h>
+
+#include "prophet/xml/parser.hpp"
+#include "prophet/xml/writer.hpp"
+
+namespace xml = prophet::xml;
+
+namespace {
+
+TEST(XmlParser, MinimalDocument) {
+  const xml::Document doc = xml::parse("<root/>");
+  ASSERT_TRUE(doc.has_root());
+  EXPECT_EQ(doc.root().name(), "root");
+  EXPECT_TRUE(doc.root().children().empty());
+}
+
+TEST(XmlParser, DeclarationFields) {
+  const xml::Document doc =
+      xml::parse("<?xml version=\"1.1\" encoding=\"ascii\"?><r/>");
+  EXPECT_EQ(doc.version(), "1.1");
+  EXPECT_EQ(doc.encoding(), "ascii");
+}
+
+TEST(XmlParser, DefaultDeclaration) {
+  const xml::Document doc = xml::parse("<r/>");
+  EXPECT_EQ(doc.version(), "1.0");
+  EXPECT_EQ(doc.encoding(), "UTF-8");
+}
+
+TEST(XmlParser, Attributes) {
+  const xml::Document doc =
+      xml::parse("<node id=\"n1\" kind='action' name=\"A 1\"/>");
+  EXPECT_EQ(doc.root().attr_or("id", ""), "n1");
+  EXPECT_EQ(doc.root().attr_or("kind", ""), "action");
+  EXPECT_EQ(doc.root().attr_or("name", ""), "A 1");
+  EXPECT_FALSE(doc.root().attr("missing").has_value());
+}
+
+TEST(XmlParser, AttributeOrderPreserved) {
+  const xml::Document doc = xml::parse("<n z=\"1\" a=\"2\" m=\"3\"/>");
+  const auto& attrs = doc.root().attributes();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].name, "z");
+  EXPECT_EQ(attrs[1].name, "a");
+  EXPECT_EQ(attrs[2].name, "m");
+}
+
+TEST(XmlParser, NestedElements) {
+  const xml::Document doc = xml::parse(
+      "<model><diagrams><diagram id=\"d1\"/><diagram id=\"d2\"/>"
+      "</diagrams></model>");
+  const auto* diagrams = doc.root().child("diagrams");
+  ASSERT_NE(diagrams, nullptr);
+  EXPECT_EQ(diagrams->children_named("diagram").size(), 2u);
+}
+
+TEST(XmlParser, TextContent) {
+  const xml::Document doc = xml::parse("<f>0.001 * P</f>");
+  EXPECT_EQ(doc.root().text(), "0.001 * P");
+}
+
+TEST(XmlParser, PredefinedEntities) {
+  const xml::Document doc =
+      xml::parse("<g guard=\"GV &gt; 0 &amp;&amp; P &lt; 5\">&quot;&apos;</g>");
+  EXPECT_EQ(doc.root().attr_or("guard", ""), "GV > 0 && P < 5");
+  EXPECT_EQ(doc.root().text(), "\"'");
+}
+
+TEST(XmlParser, NumericCharacterReferences) {
+  const xml::Document doc = xml::parse("<t>&#65;&#x42;</t>");
+  EXPECT_EQ(doc.root().text(), "AB");
+}
+
+TEST(XmlParser, UnicodeCharacterReference) {
+  const xml::Document doc = xml::parse("<t>&#956;</t>");
+  EXPECT_EQ(doc.root().text(), "\xCE\xBC");  // U+03BC mu in UTF-8
+}
+
+TEST(XmlParser, CData) {
+  const xml::Document doc =
+      xml::parse("<code><![CDATA[if (a < b && c > d) { x = 1; }]]></code>");
+  EXPECT_EQ(doc.root().text(), "if (a < b && c > d) { x = 1; }");
+}
+
+TEST(XmlParser, CommentsArePreserved) {
+  const xml::Document doc = xml::parse("<r><!-- note --><x/></r>");
+  ASSERT_EQ(doc.root().children().size(), 2u);
+  EXPECT_EQ(doc.root().children()[0]->kind(), xml::NodeKind::Comment);
+}
+
+TEST(XmlParser, WhitespaceBetweenElementsDropped) {
+  const xml::Document doc = xml::parse("<r>\n  <a/>\n  <b/>\n</r>");
+  EXPECT_EQ(doc.root().children().size(), 2u);
+}
+
+TEST(XmlParser, MixedContentKeepsSubstantiveText) {
+  const xml::Document doc = xml::parse("<r>hello <b/> world</r>");
+  EXPECT_EQ(doc.root().element_count(), 1u);
+  EXPECT_EQ(doc.root().text(), "hello  world");
+}
+
+TEST(XmlParser, ProcessingInstructionsSkipped) {
+  const xml::Document doc = xml::parse("<r><?pi data?><x/></r>");
+  EXPECT_EQ(doc.root().element_count(), 1u);
+}
+
+// --- Error cases -------------------------------------------------------------
+
+TEST(XmlParserErrors, MismatchedTags) {
+  EXPECT_THROW((void)xml::parse("<a><b></a></b>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, UnterminatedElement) {
+  EXPECT_THROW((void)xml::parse("<a><b/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, ContentAfterRoot) {
+  EXPECT_THROW((void)xml::parse("<a/><b/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, MissingRoot) {
+  EXPECT_THROW((void)xml::parse("   "), xml::ParseError);
+}
+
+TEST(XmlParserErrors, DuplicateAttribute) {
+  EXPECT_THROW((void)xml::parse("<a x=\"1\" x=\"2\"/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, UnquotedAttribute) {
+  EXPECT_THROW((void)xml::parse("<a x=1/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, UnknownEntity) {
+  EXPECT_THROW((void)xml::parse("<a>&nope;</a>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, MalformedCharReference) {
+  EXPECT_THROW((void)xml::parse("<a>&#xZZ;</a>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, CharReferenceOutOfRange) {
+  EXPECT_THROW((void)xml::parse("<a>&#x110000;</a>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, DoctypeRejected) {
+  EXPECT_THROW((void)xml::parse("<!DOCTYPE html><a/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, LtInAttributeValue) {
+  EXPECT_THROW((void)xml::parse("<a x=\"<\"/>"), xml::ParseError);
+}
+
+TEST(XmlParserErrors, ReportsLineAndColumn) {
+  try {
+    (void)xml::parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& error) {
+    EXPECT_EQ(error.line(), 3u);
+    EXPECT_GT(error.column(), 0u);
+  }
+}
+
+// --- Round-trip property ------------------------------------------------------
+
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, ParseWriteParseIsStable) {
+  const xml::Document first = xml::parse(GetParam());
+  const std::string written = xml::to_string(first);
+  const xml::Document second = xml::parse(written);
+  EXPECT_TRUE(xml::deep_equal(first, second))
+      << "original: " << GetParam() << "\nwritten: " << written;
+  // And writing again is byte-stable.
+  EXPECT_EQ(written, xml::to_string(second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, XmlRoundTrip,
+    ::testing::Values(
+        "<root/>",
+        "<a><b/><c/></a>",
+        "<a x=\"1\" y=\"two\"><b z=\"&lt;&gt;&amp;\"/></a>",
+        "<f>0.000001 * P * P + 0.001</f>",
+        "<code><![CDATA[GV = 3; P = 16;]]></code>",
+        "<r><!-- c --><a>t</a></r>",
+        "<deep><l1><l2><l3><l4 a=\"b\"/></l3></l2></l1></deep>",
+        "<m><v n=\"GV\" t=\"Real\"/><v n=\"P\" t=\"Real\"/></m>"));
+
+}  // namespace

@@ -1,0 +1,158 @@
+// prophetc — command-line front end to the Performance Prophet pipeline.
+//
+//   prophetc check <model.xml> [--mcf <mcf.xml>]
+//   prophetc generate <model.xml> [-o out.cpp] [--main]
+//   prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] [--nodes N]
+//                     [--ppn N] [--nt N] [--trace out.tf] [--gantt]
+//   prophetc outline <model.xml>
+//
+// Models are XMI files (see prophet/xmi); --sp loads the SP element of
+// Fig. 2 from XML, the individual flags override it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "prophet/prophet.hpp"
+#include "prophet/traverse/traverse.hpp"
+#include "prophet/xml/parser.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  prophetc check <model.xml> [--mcf <mcf.xml>]\n"
+      "  prophetc generate <model.xml> [-o out.cpp] [--main]\n"
+      "  prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] "
+      "[--nodes N] [--ppn N] [--nt N] [--trace out.tf] [--gantt]\n"
+      "  prophetc outline <model.xml>\n");
+  return 2;
+}
+
+int cmd_check(const prophet::Prophet& prophet,
+              const std::vector<std::string>& args) {
+  prophet::check::ModelChecker checker;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--mcf") {
+      checker.configure(prophet::xml::parse_file(args[i + 1]));
+    }
+  }
+  const auto diagnostics = checker.check(prophet.model());
+  std::printf("%s", diagnostics.to_string().c_str());
+  std::printf("%zu error(s), %zu warning(s)\n", diagnostics.error_count(),
+              diagnostics.warning_count());
+  return diagnostics.ok() ? 0 : 1;
+}
+
+int cmd_generate(const prophet::Prophet& prophet,
+                 const std::vector<std::string>& args) {
+  prophet::codegen::TransformOptions options;
+  std::string output;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      output = args[i + 1];
+    } else if (args[i] == "--main") {
+      options.emit_main = true;
+    }
+  }
+  const std::string cpp = prophet.transform(options);
+  if (output.empty()) {
+    std::printf("%s", cpp.c_str());
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", output.c_str());
+      return 1;
+    }
+    out << cpp;
+    std::printf("wrote %s (%zu bytes)\n", output.c_str(), cpp.size());
+  }
+  return 0;
+}
+
+int cmd_estimate(const prophet::Prophet& prophet,
+                 const std::vector<std::string>& args) {
+  prophet::machine::SystemParameters params;
+  std::string trace_path;
+  bool gantt = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next_int = [&](int& target) {
+      if (i + 1 < args.size()) {
+        target = std::atoi(args[++i].c_str());
+      }
+    };
+    if (args[i] == "--sp" && i + 1 < args.size()) {
+      params = prophet::machine::SystemParameters::load(args[++i]);
+    } else if (args[i] == "--np") {
+      next_int(params.processes);
+    } else if (args[i] == "--nodes") {
+      next_int(params.nodes);
+    } else if (args[i] == "--ppn") {
+      next_int(params.processors_per_node);
+    } else if (args[i] == "--nt") {
+      next_int(params.threads_per_process);
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--gantt") {
+      gantt = true;
+    }
+  }
+  const auto report = prophet.estimate(params);
+  std::printf("%s", report.summary().c_str());
+  if (!trace_path.empty()) {
+    report.trace.save(trace_path);
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                report.trace.size());
+  }
+  if (gantt) {
+    std::printf("%s", report.trace.gantt().c_str());
+  }
+  return 0;
+}
+
+int cmd_outline(const prophet::Prophet& prophet) {
+  prophet::traverse::DepthFirstNavigator navigator;
+  prophet::traverse::OutlineHandler outline;
+  prophet::traverse::Traverser traverser;
+  traverser.traverse(prophet.model(), navigator, outline);
+  std::printf("%s", outline.text().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::string model_path = argv[2];
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  try {
+    const prophet::Prophet prophet = prophet::Prophet::load(model_path);
+    if (command == "check") {
+      return cmd_check(prophet, args);
+    }
+    if (command == "generate") {
+      return cmd_generate(prophet, args);
+    }
+    if (command == "estimate") {
+      return cmd_estimate(prophet, args);
+    }
+    if (command == "outline") {
+      return cmd_outline(prophet);
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "prophetc: %s\n", error.what());
+    return 1;
+  }
+}
