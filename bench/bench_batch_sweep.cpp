@@ -1,0 +1,84 @@
+// The batch scenario-sweep pipeline: end-to-end jobs/second at different
+// worker-pool sizes.
+//
+// Every job runs the whole chain — XMI parse, model check, UML -> C++
+// transformation, interpretation/simulation — so this measures the
+// throughput ceiling of "predict one program under many configurations",
+// the evaluation workload of Sec. 5.  Thread counts 1 / 2 / 4 /
+// hardware_concurrency show the scaling of the job-level parallelism
+// (jobs are isolated, so the sweep should scale near-linearly until the
+// cores run out).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "prophet/pipeline/batch.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/prophet.hpp"
+
+namespace pipeline = prophet::pipeline;
+
+namespace {
+
+// A mixed sweep: two models x (np in 1..8) x (nodes in 1,2) = 32 jobs.
+pipeline::BatchRunner make_runner(int threads) {
+  pipeline::BatchOptions options;
+  options.threads = threads;
+  pipeline::BatchRunner runner(options);
+  runner.add_model("sample", prophet::models::sample_model());
+  runner.add_model("kernel6", prophet::models::kernel6_model(128, 32, 1e-8));
+  runner.add_sweep_all(pipeline::ScenarioGrid::parse("np=1..8 nodes=1,2"));
+  return runner;
+}
+
+void BM_BatchSweep_Throughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto runner = make_runner(threads);
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  for (auto _ : state) {
+    const auto report = runner.run();
+    jobs = report.results.size();
+    failed = report.stats().failed;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BatchSweep_Throughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Stage ablation: what check and codegen add on top of parse+simulate.
+void BM_BatchSweep_Stages(benchmark::State& state) {
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  options.run_checker = state.range(0) != 0;
+  options.run_codegen = state.range(1) != 0;
+  pipeline::BatchRunner runner(options);
+  runner.add_model("sample", prophet::models::sample_model());
+  runner.add_sweep(0, pipeline::ScenarioGrid::parse("np=1..8"));
+  for (auto _ : state) {
+    const auto report = runner.run();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runner.job_count()));
+}
+BENCHMARK(BM_BatchSweep_Stages)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

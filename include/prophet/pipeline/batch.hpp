@@ -1,0 +1,157 @@
+// Batch scenario sweeps — the pipeline of Fig. 2 run many times over.
+//
+// The BatchRunner evaluates the full chain — XMI parse, model check,
+// UML -> C++ transformation, interpretation/simulation — for every
+// (model, SystemParameters) scenario in a sweep, fanning jobs out over a
+// worker-thread pool.  Jobs are fully isolated: each worker re-parses its
+// own uml::Model from the registered XMI text and owns its Interpreter
+// and sim::Engine (inside the SimulationManager), so a sweep is
+// deterministic — the same scenarios produce bit-identical results at
+// any thread count — and one failing model cannot poison the batch.
+// Each job also carries a seed derived from the batch base seed; the
+// current evaluation path draws no random numbers, so the seed is
+// recorded in the results as reserved job identity for future
+// stochastic model workloads (sim::Rng).
+//
+//   pipeline::BatchRunner runner;
+//   const int m = runner.add_model("sample", prophet::models::sample_model());
+//   runner.add_sweep(m, pipeline::ScenarioGrid::parse("np=1..8:*2"));
+//   const auto report = runner.run();
+//   report.summary();  // per-scenario predictions + aggregate stats
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prophet/machine/machine.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/uml/model.hpp"
+
+namespace prophet::pipeline {
+
+/// One unit of work: a registered model evaluated under one parameter
+/// configuration with one RNG seed.
+struct BatchJob {
+  int id = 0;           // dense, assignment order; results keep this order
+  int model_index = 0;  // index into the runner's registered models
+  std::string model_name;
+  machine::SystemParameters params;
+  // Derived from BatchOptions::base_seed and id; reserved for stochastic
+  // workloads (the current evaluation path is deterministic).
+  std::uint64_t seed = 0;
+};
+
+/// Outcome of one job.  `ok` is false when any pipeline stage failed; the
+/// remaining fields are valid only when it is true.
+struct ScenarioResult {
+  int job_id = 0;
+  int model_index = 0;
+  std::string model_name;
+  machine::SystemParameters params;
+  std::uint64_t seed = 0;
+
+  bool ok = false;
+  std::string error;  // stage-prefixed message, e.g. "check: 2 error(s)"
+
+  double predicted_time = 0;       // simulated seconds (makespan)
+  std::uint64_t events = 0;        // engine events processed
+  int processes = 0;
+  std::size_t check_warnings = 0;  // checker findings (errors fail the job)
+  std::size_t generated_bytes = 0; // size of the generated C++ (codegen on)
+  double wall_seconds = 0;         // host time this job took
+};
+
+/// Aggregate statistics over the successful results of a batch.
+struct BatchStats {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  double min_predicted = 0;
+  double max_predicted = 0;
+  double mean_predicted = 0;
+  std::uint64_t total_events = 0;
+  double total_job_seconds = 0;  // sum of per-job wall times
+};
+
+/// The collected outcome of one BatchRunner::run().
+struct BatchReport {
+  std::vector<ScenarioResult> results;  // ordered by job id
+  int threads_used = 1;
+  double wall_seconds = 0;  // end-to-end host time for the batch
+
+  [[nodiscard]] BatchStats stats() const;
+
+  /// Wall-clock throughput of the whole batch.
+  [[nodiscard]] double jobs_per_second() const;
+
+  /// Human-readable table: one line per scenario plus the aggregate.
+  [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable CSV (header + one row per scenario).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Knobs for one batch run.
+struct BatchOptions {
+  int threads = 0;          // <= 0: std::thread::hardware_concurrency()
+  bool run_checker = true;  // model-check each job; errors fail the job
+  bool run_codegen = true;  // run the UML -> C++ transformation per job
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Expands sweeps into jobs and runs them on a worker pool.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+
+  /// Registers a model (serialized to XMI text so every job can re-parse
+  /// its own isolated copy).  Returns the model index.
+  int add_model(std::string name, const uml::Model& model);
+
+  /// Registers a model from XMI text; parse errors surface per job.
+  int add_model_xml(std::string name, std::string xmi_text);
+
+  /// Registers a model from an XMI file (read eagerly; throws on I/O
+  /// errors, parse errors surface per job).  The name is the file path.
+  int add_model_file(const std::string& path);
+
+  [[nodiscard]] std::size_t model_count() const { return models_.size(); }
+
+  /// Queues one scenario for a registered model.
+  void add_scenario(int model_index, machine::SystemParameters params);
+
+  /// Queues every scenario in `grid` for a registered model.
+  void add_sweep(int model_index, const ScenarioGrid& grid);
+
+  /// Queues every scenario in `grid` for every registered model.
+  void add_sweep_all(const ScenarioGrid& grid);
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] const std::vector<BatchJob>& jobs() const { return jobs_; }
+
+  /// Runs all queued jobs.  Results arrive in job order regardless of the
+  /// thread count; jobs that fail are reported, never thrown.
+  [[nodiscard]] BatchReport run() const;
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    std::string xmi;
+  };
+
+  [[nodiscard]] ScenarioResult run_job(const BatchJob& job) const;
+
+  BatchOptions options_;
+  std::vector<ModelEntry> models_;
+  std::vector<BatchJob> jobs_;
+};
+
+/// The per-job seed derivation (SplitMix64 over base_seed + job id);
+/// exposed so tests and tools can predict job seeds.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed, int job_id);
+
+}  // namespace prophet::pipeline

@@ -1,0 +1,304 @@
+#include "prophet/pipeline/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "prophet/check/checker.hpp"
+#include "prophet/codegen/transformer.hpp"
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace prophet::pipeline {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, int job_id) {
+  // SplitMix64: uncorrelated per-job streams from one base seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                    static_cast<std::uint64_t>(job_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// --- BatchReport -------------------------------------------------------------
+
+BatchStats BatchReport::stats() const {
+  BatchStats stats;
+  stats.total = results.size();
+  for (const auto& result : results) {
+    stats.total_job_seconds += result.wall_seconds;
+    if (!result.ok) {
+      ++stats.failed;
+      continue;
+    }
+    if (stats.ok == 0) {
+      stats.min_predicted = result.predicted_time;
+      stats.max_predicted = result.predicted_time;
+    } else {
+      stats.min_predicted = std::min(stats.min_predicted,
+                                     result.predicted_time);
+      stats.max_predicted = std::max(stats.max_predicted,
+                                     result.predicted_time);
+    }
+    stats.mean_predicted += result.predicted_time;
+    stats.total_events += result.events;
+    ++stats.ok;
+  }
+  if (stats.ok > 0) {
+    stats.mean_predicted /= static_cast<double>(stats.ok);
+  }
+  return stats;
+}
+
+double BatchReport::jobs_per_second() const {
+  if (wall_seconds <= 0) {
+    return 0;
+  }
+  return static_cast<double>(results.size()) / wall_seconds;
+}
+
+std::string BatchReport::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "scenario sweep: " << results.size() << " job(s), " << threads_used
+      << " thread(s), " << wall_seconds << " s wall ("
+      << jobs_per_second() << " jobs/s)\n";
+  for (const auto& result : results) {
+    out << "  [" << result.job_id << "] " << result.model_name << " np="
+        << result.params.processes << " nn=" << result.params.nodes
+        << " ppn=" << result.params.processors_per_node << " nt="
+        << result.params.threads_per_process;
+    if (result.ok) {
+      out << " -> " << result.predicted_time << " s (" << result.events
+          << " events)";
+      if (result.check_warnings > 0) {
+        out << " [" << result.check_warnings << " warning(s)]";
+      }
+    } else {
+      out << " -> FAILED: " << result.error;
+    }
+    out << '\n';
+  }
+  const BatchStats stats = this->stats();
+  out << "ok " << stats.ok << " / failed " << stats.failed;
+  if (stats.ok > 0) {
+    out << "; predicted min " << stats.min_predicted << " s, mean "
+        << stats.mean_predicted << " s, max " << stats.max_predicted
+        << " s; " << stats.total_events << " events";
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string BatchReport::to_csv() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "job,model,np,nn,ppn,nt,cpu_speed,seed,ok,predicted_s,events,"
+         "warnings,generated_bytes,wall_s,error\n";
+  // Free-text fields (the model name may be a file path) must not break
+  // the column layout.
+  const auto sanitize = [](std::string text) {
+    std::replace(text.begin(), text.end(), ',', ';');
+    std::replace(text.begin(), text.end(), '\n', ' ');
+    return text;
+  };
+  for (const auto& result : results) {
+    const std::string error = sanitize(result.error);
+    out << result.job_id << ',' << sanitize(result.model_name) << ','
+        << result.params.processes << ',' << result.params.nodes << ','
+        << result.params.processors_per_node << ','
+        << result.params.threads_per_process << ','
+        << result.params.cpu_speed << ',' << result.seed << ','
+        << (result.ok ? 1 : 0) << ',' << result.predicted_time << ','
+        << result.events << ',' << result.check_warnings << ','
+        << result.generated_bytes << ',' << result.wall_seconds << ','
+        << error << '\n';
+  }
+  return out.str();
+}
+
+// --- BatchRunner -------------------------------------------------------------
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+int BatchRunner::add_model(std::string name, const uml::Model& model) {
+  return add_model_xml(std::move(name), xmi::to_xml(model));
+}
+
+int BatchRunner::add_model_xml(std::string name, std::string xmi_text) {
+  models_.push_back(ModelEntry{std::move(name), std::move(xmi_text)});
+  return static_cast<int>(models_.size()) - 1;
+}
+
+int BatchRunner::add_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read model file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return add_model_xml(path, text.str());
+}
+
+void BatchRunner::add_scenario(int model_index,
+                               machine::SystemParameters params) {
+  if (model_index < 0 ||
+      model_index >= static_cast<int>(models_.size())) {
+    throw std::out_of_range("model index out of range");
+  }
+  BatchJob job;
+  job.id = static_cast<int>(jobs_.size());
+  job.model_index = model_index;
+  job.model_name = models_[static_cast<std::size_t>(model_index)].name;
+  job.params = params;
+  job.seed = derive_seed(options_.base_seed, job.id);
+  jobs_.push_back(std::move(job));
+}
+
+void BatchRunner::add_sweep(int model_index, const ScenarioGrid& grid) {
+  for (const auto& params : grid.expand()) {
+    add_scenario(model_index, params);
+  }
+}
+
+void BatchRunner::add_sweep_all(const ScenarioGrid& grid) {
+  const auto scenarios = grid.expand();
+  for (int m = 0; m < static_cast<int>(models_.size()); ++m) {
+    for (const auto& params : scenarios) {
+      add_scenario(m, params);
+    }
+  }
+}
+
+ScenarioResult BatchRunner::run_job(const BatchJob& job) const {
+  ScenarioResult result;
+  result.job_id = job.id;
+  result.model_index = job.model_index;
+  result.model_name = job.model_name;
+  result.params = job.params;
+  result.seed = job.seed;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto fail = [&](const std::string& stage,
+                        const std::string& why) -> ScenarioResult {
+    result.ok = false;
+    result.error = stage + ": " + why;
+    result.wall_seconds = seconds_since(start);
+    return result;
+  };
+
+  // Stage 1: parse — every job owns its model copy.
+  uml::Model model("empty");
+  try {
+    model = xmi::from_xml(
+        models_[static_cast<std::size_t>(job.model_index)].xmi);
+  } catch (const std::exception& error) {
+    return fail("parse", error.what());
+  }
+
+  // Stage 2: model check.
+  if (options_.run_checker) {
+    try {
+      const check::ModelChecker checker;
+      const check::Diagnostics diagnostics = checker.check(model);
+      result.check_warnings = diagnostics.warning_count();
+      if (!diagnostics.ok()) {
+        return fail("check", std::to_string(diagnostics.error_count()) +
+                                 " error(s): " + diagnostics.to_string());
+      }
+    } catch (const std::exception& error) {
+      return fail("check", error.what());
+    }
+  }
+
+  // Stage 3: UML -> C++ transformation (the paper's PMP element).
+  if (options_.run_codegen) {
+    try {
+      const codegen::Transformer transformer;
+      result.generated_bytes = transformer.transform(model).size();
+    } catch (const std::exception& error) {
+      return fail("transform", error.what());
+    }
+  }
+
+  // Stage 4: interpret + simulate.
+  try {
+    interp::Interpreter interpreter(std::move(model));
+    const estimator::SimulationManager manager(
+        job.params, estimator::EstimationOptions{.collect_trace = false});
+    const estimator::PredictionReport report = manager.run(interpreter);
+    result.predicted_time = report.predicted_time;
+    result.events = report.events;
+    result.processes = report.processes;
+  } catch (const std::exception& error) {
+    return fail("simulate", error.what());
+  }
+
+  result.ok = true;
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+BatchReport BatchRunner::run() const {
+  BatchReport report;
+  report.results.resize(jobs_.size());
+
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) {
+      threads = 1;
+    }
+  }
+  threads = std::min<int>(threads, static_cast<int>(jobs_.size()));
+  threads = std::max(threads, 1);
+  report.threads_used = threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  // Work-stealing by atomic ticket: results land at their job's slot, so
+  // the report order is job order no matter which worker ran what.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [this, &next, &report] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= jobs_.size()) {
+        return;
+      }
+      report.results[index] = run_job(jobs_[index]);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (auto& thread : pool) {
+      thread.join();
+    }
+  }
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+}  // namespace prophet::pipeline

@@ -1,0 +1,212 @@
+#include "prophet/pipeline/scenario.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace prophet::pipeline {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("bad grid spec '" + std::string(spec) +
+                              "': " + why);
+}
+
+int to_count(std::string_view name, double value) {
+  // All range checks in the double domain: llround / static_cast on an
+  // out-of-range double is undefined behavior.
+  const double rounded = std::floor(value + 0.5);
+  if (!(rounded >= 1) || rounded > 2147483647.0) {
+    throw std::invalid_argument("parameter '" + std::string(name) +
+                                "' must be an integer in [1, 2^31)");
+  }
+  return static_cast<int>(rounded);
+}
+
+double parse_number(std::string_view spec, std::string_view token) {
+  const std::string text(token);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    bad_spec(spec, "'" + text + "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+void ScenarioGrid::apply(machine::SystemParameters& params,
+                         std::string_view name, double value) {
+  if (name == "np" || name == "processes") {
+    params.processes = to_count(name, value);
+  } else if (name == "nn" || name == "nodes") {
+    params.nodes = to_count(name, value);
+  } else if (name == "ppn" || name == "processors_per_node") {
+    params.processors_per_node = to_count(name, value);
+  } else if (name == "nt" || name == "threads" ||
+             name == "threads_per_process") {
+    params.threads_per_process = to_count(name, value);
+  } else if (name == "cpu_speed") {
+    params.cpu_speed = value;
+  } else if (name == "network_latency") {
+    params.network_latency = value;
+  } else if (name == "network_bandwidth") {
+    params.network_bandwidth = value;
+  } else if (name == "network_overhead") {
+    params.network_overhead = value;
+  } else if (name == "memory_latency") {
+    params.memory_latency = value;
+  } else if (name == "memory_bandwidth") {
+    params.memory_bandwidth = value;
+  } else if (name == "barrier_latency") {
+    params.barrier_latency = value;
+  } else {
+    throw std::invalid_argument("unknown sweep parameter '" +
+                                std::string(name) + "'");
+  }
+}
+
+bool ScenarioGrid::is_parameter(std::string_view name) {
+  machine::SystemParameters probe;
+  try {
+    apply(probe, name, 1.0);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
+}
+
+ScenarioGrid& ScenarioGrid::axis(std::string name,
+                                 std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("axis '" + name + "' has no values");
+  }
+  if (!is_parameter(name)) {
+    throw std::invalid_argument("unknown sweep parameter '" + name + "'");
+  }
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+ScenarioGrid ScenarioGrid::parse(std::string_view spec,
+                                 machine::SystemParameters base) {
+  ScenarioGrid grid(base);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    // Axes are separated by whitespace or ';'.
+    if (spec[pos] == ' ' || spec[pos] == '\t' || spec[pos] == ';') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < spec.size() && spec[end] != ' ' && spec[end] != '\t' &&
+           spec[end] != ';') {
+      ++end;
+    }
+    const std::string_view token = spec.substr(pos, end - pos);
+    pos = end;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad_spec(spec, "expected name=values in '" + std::string(token) + "'");
+    }
+    const std::string name(token.substr(0, eq));
+    const std::string_view values_text = token.substr(eq + 1);
+    if (values_text.empty()) {
+      bad_spec(spec, "axis '" + name + "' has no values");
+    }
+
+    std::vector<double> values;
+    const std::size_t dots = values_text.find("..");
+    if (dots != std::string_view::npos) {
+      // Range form: lo..hi, optionally ":+step" (linear) or ":*factor"
+      // (geometric).
+      const double lo = parse_number(spec, values_text.substr(0, dots));
+      std::string_view rest = values_text.substr(dots + 2);
+      double step = 1;
+      bool geometric = false;
+      const std::size_t colon = rest.find(':');
+      if (colon != std::string_view::npos) {
+        std::string_view step_text = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        if (step_text.empty()) {
+          bad_spec(spec, "axis '" + name + "' has an empty step");
+        }
+        if (step_text.front() == '*') {
+          geometric = true;
+          step_text.remove_prefix(1);
+        } else if (step_text.front() == '+') {
+          step_text.remove_prefix(1);
+        }
+        step = parse_number(spec, step_text);
+      }
+      const double hi = parse_number(spec, rest);
+      if (lo > hi) {
+        bad_spec(spec, "axis '" + name + "' range is descending");
+      }
+      if ((geometric && (step <= 1 || lo <= 0)) || (!geometric && step <= 0)) {
+        bad_spec(spec, "axis '" + name + "' has a non-advancing step");
+      }
+      for (double v = lo; v <= hi + 1e-9;
+           v = geometric ? v * step : v + step) {
+        values.push_back(v);
+      }
+    } else {
+      // Comma-list form.
+      std::size_t item = 0;
+      while (item <= values_text.size()) {
+        std::size_t comma = values_text.find(',', item);
+        if (comma == std::string_view::npos) {
+          comma = values_text.size();
+        }
+        if (comma == item) {
+          bad_spec(spec, "axis '" + name + "' has an empty value");
+        }
+        values.push_back(
+            parse_number(spec, values_text.substr(item, comma - item)));
+        item = comma + 1;
+      }
+    }
+    grid.axis(name, std::move(values));
+  }
+  return grid;
+}
+
+std::size_t ScenarioGrid::size() const {
+  std::size_t count = 1;
+  for (const auto& axis : axes_) {
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+std::vector<machine::SystemParameters> ScenarioGrid::expand() const {
+  std::vector<machine::SystemParameters> scenarios;
+  scenarios.reserve(size());
+  // Odometer over the axes: the last axis turns fastest.
+  std::vector<std::size_t> index(axes_.size(), 0);
+  for (;;) {
+    machine::SystemParameters params = base_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      apply(params, axes_[a].name, axes_[a].values[index[a]]);
+    }
+    scenarios.push_back(params);
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++index[a] < axes_[a].values.size()) {
+        break;
+      }
+      index[a] = 0;
+      if (a == 0) {
+        return scenarios;
+      }
+    }
+    if (axes_.empty()) {
+      return scenarios;
+    }
+  }
+}
+
+}  // namespace prophet::pipeline

@@ -109,7 +109,8 @@ TEST(Pipeline, GeneratedCodeCompilesAndMatchesInterpreter) {
     out << cpp;
   }
   const std::string command =
-      std::string("g++ -std=c++20 -O1 -I") + PROPHET_SOURCE_DIR +
+      std::string("g++ -std=c++20 -O1 " PROPHET_EXTRA_CXX_FLAGS " -I") +
+      PROPHET_SOURCE_DIR +
       "/include " + source + " " + PROPHET_BINARY_DIR +
       "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
       "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +

@@ -59,7 +59,7 @@ TEST(SystemParameters, PartialXmlUsesDefaults) {
 }
 
 TEST(SystemParameters, RejectsWrongRoot) {
-  EXPECT_THROW(machine::SystemParameters::from_xml(
+  EXPECT_THROW((void)machine::SystemParameters::from_xml(
                    prophet::xml::parse("<nope/>")),
                std::invalid_argument);
 }
@@ -74,8 +74,8 @@ TEST(MachineModel, BlockDistribution) {
   EXPECT_EQ(machine.node_of(1), 0);
   EXPECT_EQ(machine.node_of(2), 1);
   EXPECT_EQ(machine.node_of(3), 1);
-  EXPECT_THROW(machine.node_of(4), std::out_of_range);
-  EXPECT_THROW(machine.node_of(-1), std::out_of_range);
+  EXPECT_THROW((void)machine.node_of(4), std::out_of_range);
+  EXPECT_THROW((void)machine.node_of(-1), std::out_of_range);
 }
 
 TEST(MachineModel, UnevenDistribution) {

@@ -1,0 +1,181 @@
+// BatchRunner: thread-count determinism, per-job error isolation, seeds,
+// and report aggregation over full parse -> check -> transform -> simulate
+// pipeline jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "prophet/pipeline/batch.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/prophet.hpp"
+
+namespace pipeline = prophet::pipeline;
+namespace machine = prophet::machine;
+
+namespace {
+
+// --- BatchRunner -------------------------------------------------------------
+
+pipeline::BatchRunner sweep_runner(int threads) {
+  pipeline::BatchOptions options;
+  options.threads = threads;
+  pipeline::BatchRunner runner(options);
+  const int sample =
+      runner.add_model("sample", prophet::models::sample_model());
+  const int kernel = runner.add_model(
+      "kernel6", prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto grid = pipeline::ScenarioGrid::parse("np=1..4:*2 nodes=1,2");
+  runner.add_sweep(sample, grid);
+  runner.add_sweep(kernel, grid);
+  return runner;
+}
+
+TEST(BatchRunner, RunsEveryScenario) {
+  auto runner = sweep_runner(1);
+  EXPECT_EQ(runner.model_count(), 2u);
+  ASSERT_EQ(runner.job_count(), 12u);
+
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 12u);
+  for (const auto& result : report.results) {
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.predicted_time, 0.0) << result.model_name;
+    EXPECT_GT(result.events, 0u);
+    EXPECT_GT(result.generated_bytes, 0u);  // codegen ran per job
+  }
+  const auto stats = report.stats();
+  EXPECT_EQ(stats.ok, 12u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_LE(stats.min_predicted, stats.mean_predicted);
+  EXPECT_LE(stats.mean_predicted, stats.max_predicted);
+}
+
+TEST(BatchRunner, ResultsAreIdenticalAcrossThreadCounts) {
+  const auto serial = sweep_runner(1).run();
+  for (const int threads : {2, 4, 8}) {
+    const auto parallel = sweep_runner(threads).run();
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      const auto& a = serial.results[i];
+      const auto& b = parallel.results[i];
+      EXPECT_EQ(a.job_id, b.job_id);
+      EXPECT_EQ(a.model_name, b.model_name);
+      EXPECT_EQ(a.seed, b.seed);
+      EXPECT_EQ(a.ok, b.ok);
+      // Bit-identical simulation results, not just approximately equal.
+      EXPECT_EQ(a.predicted_time, b.predicted_time)
+          << "job " << i << " at " << threads << " threads";
+      EXPECT_EQ(a.events, b.events);
+    }
+  }
+}
+
+TEST(BatchRunner, OneBadModelDoesNotPoisonTheBatch) {
+  pipeline::BatchOptions options;
+  options.threads = 2;
+  pipeline::BatchRunner runner(options);
+  const int good = runner.add_model("good", prophet::models::sample_model());
+  const int bad = runner.add_model_xml("bad", "<this is not xmi");
+  runner.add_scenario(good, {});
+  runner.add_scenario(bad, {});
+  runner.add_scenario(good, {});
+
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_EQ(report.results[1].error.rfind("parse:", 0), 0u)
+      << report.results[1].error;
+  EXPECT_TRUE(report.results[2].ok);
+
+  const auto stats = report.stats();
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(BatchRunner, InvalidParametersFailOnlyTheirJob) {
+  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 2});
+  const int m = runner.add_model("sample", prophet::models::sample_model());
+  machine::SystemParameters broken;
+  broken.network_bandwidth = -1;  // rejected by SystemParameters::validate
+  runner.add_scenario(m, broken);
+  runner.add_scenario(m, {});
+
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_FALSE(report.results[0].ok);
+  EXPECT_EQ(report.results[0].error.rfind("simulate:", 0), 0u)
+      << report.results[0].error;
+  EXPECT_TRUE(report.results[1].ok);
+}
+
+TEST(BatchRunner, SeedsAreDeterministicAndPerJob) {
+  EXPECT_EQ(pipeline::derive_seed(1, 0), pipeline::derive_seed(1, 0));
+  EXPECT_NE(pipeline::derive_seed(1, 0), pipeline::derive_seed(1, 1));
+  EXPECT_NE(pipeline::derive_seed(1, 0), pipeline::derive_seed(2, 0));
+
+  auto runner = sweep_runner(1);
+  std::set<std::uint64_t> seeds;
+  for (const auto& job : runner.jobs()) {
+    EXPECT_EQ(job.seed, pipeline::derive_seed(
+                            runner.options().base_seed, job.id));
+    seeds.insert(job.seed);
+  }
+  EXPECT_EQ(seeds.size(), runner.jobs().size());
+}
+
+TEST(BatchRunner, SweepAllCoversEveryModel) {
+  pipeline::BatchRunner runner;
+  runner.add_model("a", prophet::models::sample_model());
+  runner.add_model("b", prophet::models::pingpong_model(1024, 4));
+  runner.add_sweep_all(pipeline::ScenarioGrid::parse("np=2,4"));
+  ASSERT_EQ(runner.job_count(), 4u);
+  EXPECT_EQ(runner.jobs()[0].model_name, "a");
+  EXPECT_EQ(runner.jobs()[2].model_name, "b");
+}
+
+TEST(BatchRunner, ReportFormatsSummaryAndCsv) {
+  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 1});
+  const int m = runner.add_model("sample", prophet::models::sample_model());
+  runner.add_sweep(m, pipeline::ScenarioGrid::parse("np=1,2"));
+  const auto report = runner.run();
+
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("2 job(s)"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("sample"), std::string::npos);
+  EXPECT_NE(summary.find("ok 2 / failed 0"), std::string::npos) << summary;
+
+  const std::string csv = report.to_csv();
+  // Header + one row per scenario.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3);
+  EXPECT_NE(csv.find("job,model,np"), std::string::npos);
+}
+
+TEST(BatchRunner, CsvSanitizesModelNamesWithCommas) {
+  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 1});
+  // File-registered models use the path as the name; a comma in it must
+  // not shift the CSV columns.
+  const int m =
+      runner.add_model("models/v2,final.xml", prophet::models::sample_model());
+  runner.add_scenario(m, {});
+  const auto report = runner.run();
+
+  const std::string csv = report.to_csv();
+  const std::size_t header_end = csv.find('\n');
+  const std::string row = csv.substr(header_end + 1);
+  EXPECT_EQ(std::count(csv.begin(), csv.begin() + header_end, ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(csv.find("models/v2;final.xml"), std::string::npos) << csv;
+}
+
+TEST(BatchRunner, RejectsOutOfRangeModelIndex) {
+  pipeline::BatchRunner runner;
+  EXPECT_THROW(runner.add_scenario(0, {}), std::out_of_range);
+  runner.add_model("sample", prophet::models::sample_model());
+  EXPECT_THROW(runner.add_scenario(1, {}), std::out_of_range);
+  EXPECT_THROW(runner.add_scenario(-1, {}), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// ScenarioGrid: cross-product expansion and grid-spec parsing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "prophet/pipeline/scenario.hpp"
+
+namespace pipeline = prophet::pipeline;
+namespace machine = prophet::machine;
+
+namespace {
+
+TEST(ScenarioGrid, ExpandsCrossProductRowMajor) {
+  pipeline::ScenarioGrid grid;
+  grid.axis("np", {1, 2, 4}).axis("nodes", {1, 2});
+  EXPECT_EQ(grid.size(), 6u);
+
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 6u);
+  // First axis (np) varies slowest, second (nodes) fastest.
+  const int expected_np[] = {1, 1, 2, 2, 4, 4};
+  const int expected_nn[] = {1, 2, 1, 2, 1, 2};
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].processes, expected_np[i]) << "scenario " << i;
+    EXPECT_EQ(scenarios[i].nodes, expected_nn[i]) << "scenario " << i;
+  }
+}
+
+TEST(ScenarioGrid, EmptyGridExpandsToBase) {
+  machine::SystemParameters base;
+  base.processes = 7;
+  const pipeline::ScenarioGrid grid(base);
+  EXPECT_EQ(grid.size(), 1u);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].processes, 7);
+}
+
+TEST(ScenarioGrid, PreservesBaseParameters) {
+  machine::SystemParameters base;
+  base.cpu_speed = 2.5;
+  pipeline::ScenarioGrid grid(base);
+  grid.axis("np", {2});
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(scenarios[0].cpu_speed, 2.5);
+  EXPECT_EQ(scenarios[0].processes, 2);
+}
+
+TEST(ScenarioGrid, ParsesCommaLists) {
+  const auto grid = pipeline::ScenarioGrid::parse("np=1,2,4 nodes=1,2");
+  EXPECT_EQ(grid.size(), 6u);
+  ASSERT_EQ(grid.axes().size(), 2u);
+  EXPECT_EQ(grid.axes()[0].name, "np");
+  EXPECT_EQ(grid.axes()[0].values, (std::vector<double>{1, 2, 4}));
+  EXPECT_EQ(grid.axes()[1].values, (std::vector<double>{1, 2}));
+}
+
+TEST(ScenarioGrid, ParsesLinearRanges) {
+  const auto grid = pipeline::ScenarioGrid::parse("np=1..4;ppn=2..8:+3");
+  ASSERT_EQ(grid.axes().size(), 2u);
+  EXPECT_EQ(grid.axes()[0].values, (std::vector<double>{1, 2, 3, 4}));
+  EXPECT_EQ(grid.axes()[1].values, (std::vector<double>{2, 5, 8}));
+}
+
+TEST(ScenarioGrid, ParsesGeometricRanges) {
+  const auto grid = pipeline::ScenarioGrid::parse("np=1..16:*2");
+  ASSERT_EQ(grid.axes().size(), 1u);
+  EXPECT_EQ(grid.axes()[0].values, (std::vector<double>{1, 2, 4, 8, 16}));
+}
+
+TEST(ScenarioGrid, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np"), std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np="), std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("=1,2"), std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=a,b"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1,,2"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=4..1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:*1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:+0"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGrid, AppliesAliasesAndHardwareFields) {
+  machine::SystemParameters params;
+  pipeline::ScenarioGrid::apply(params, "processes", 8);
+  pipeline::ScenarioGrid::apply(params, "nn", 4);
+  pipeline::ScenarioGrid::apply(params, "cpu_speed", 0.5);
+  EXPECT_EQ(params.processes, 8);
+  EXPECT_EQ(params.nodes, 4);
+  EXPECT_DOUBLE_EQ(params.cpu_speed, 0.5);
+  EXPECT_THROW(pipeline::ScenarioGrid::apply(params, "frobnicate", 1),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::apply(params, "np", 0),
+               std::invalid_argument);
+  // Counts past INT_MAX are rejected, not narrowed.
+  EXPECT_THROW(pipeline::ScenarioGrid::apply(params, "np", 3e9),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::apply(params, "np", 1e300),
+               std::invalid_argument);
+  EXPECT_TRUE(pipeline::ScenarioGrid::is_parameter("ppn"));
+  EXPECT_FALSE(pipeline::ScenarioGrid::is_parameter("frobnicate"));
+}
+
+}  // namespace

@@ -5,9 +5,14 @@
 //   prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] [--nodes N]
 //                     [--ppn N] [--nt N] [--trace out.tf] [--gantt]
 //   prophetc outline <model.xml>
+//   prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>]
+//                  [--threads N] [--csv out.csv] [--seed S]
+//                  [--no-check] [--no-codegen]
 //
 // Models are XMI files (see prophet/xmi); --sp loads the SP element of
-// Fig. 2 from XML, the individual flags override it.
+// Fig. 2 from XML, the individual flags override it.  sweep also accepts
+// the built-in models @sample, @kernel6 and @pingpong, and expands --grid
+// cross-products like "np=1..8:*2 nodes=1,2" over every input model.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "prophet/pipeline/batch.hpp"
+#include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
 #include "prophet/traverse/traverse.hpp"
 #include "prophet/xml/parser.hpp"
@@ -30,7 +37,10 @@ int usage() {
       "  prophetc generate <model.xml> [-o out.cpp] [--main]\n"
       "  prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] "
       "[--nodes N] [--ppn N] [--nt N] [--trace out.tf] [--gantt]\n"
-      "  prophetc outline <model.xml>\n");
+      "  prophetc outline <model.xml>\n"
+      "  prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>] "
+      "[--threads N] [--csv out.csv] [--seed S] [--no-check] "
+      "[--no-codegen]\n");
   return 2;
 }
 
@@ -115,6 +125,76 @@ int cmd_estimate(const prophet::Prophet& prophet,
   return 0;
 }
 
+// Registers one sweep input: an XMI file path or a built-in model
+// reference (@sample, @kernel6, @pingpong).
+void add_sweep_model(prophet::pipeline::BatchRunner& runner,
+                     const std::string& input) {
+  if (input == "@sample") {
+    runner.add_model(input, prophet::models::sample_model());
+  } else if (input == "@kernel6") {
+    runner.add_model(input, prophet::models::kernel6_model(64, 16, 1e-8));
+  } else if (input == "@pingpong") {
+    runner.add_model(input, prophet::models::pingpong_model(1024, 8));
+  } else {
+    runner.add_model_file(input);
+  }
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  prophet::pipeline::BatchOptions options;
+  prophet::machine::SystemParameters base;
+  std::string grid_spec;
+  std::string csv_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--grid" && i + 1 < args.size()) {
+      grid_spec = args[++i];
+    } else if (args[i] == "--sp" && i + 1 < args.size()) {
+      base = prophet::machine::SystemParameters::load(args[++i]);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      options.threads = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--csv" && i + 1 < args.size()) {
+      csv_path = args[++i];
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      options.base_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--no-check") {
+      options.run_checker = false;
+    } else if (args[i] == "--no-codegen") {
+      options.run_codegen = false;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::fprintf(stderr, "prophetc sweep: unknown flag %s\n",
+                   args[i].c_str());
+      return usage();
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "prophetc sweep: no input models\n");
+    return usage();
+  }
+
+  prophet::pipeline::BatchRunner runner(options);
+  for (const auto& input : inputs) {
+    add_sweep_model(runner, input);
+  }
+  runner.add_sweep_all(
+      prophet::pipeline::ScenarioGrid::parse(grid_spec, base));
+
+  const auto report = runner.run();
+  std::printf("%s", report.summary().c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << report.to_csv();
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  return report.stats().failed == 0 ? 0 : 1;
+}
+
 int cmd_outline(const prophet::Prophet& prophet) {
   prophet::traverse::DepthFirstNavigator navigator;
   prophet::traverse::OutlineHandler outline;
@@ -137,6 +217,14 @@ int main(int argc, char** argv) {
     args.emplace_back(argv[i]);
   }
   try {
+    if (command == "sweep") {
+      // sweep takes N models (argv[2] is the first input, not a single
+      // model path), so it bypasses the single-model load below.
+      std::vector<std::string> sweep_args;
+      sweep_args.push_back(model_path);
+      sweep_args.insert(sweep_args.end(), args.begin(), args.end());
+      return cmd_sweep(sweep_args);
+    }
     const prophet::Prophet prophet = prophet::Prophet::load(model_path);
     if (command == "check") {
       return cmd_check(prophet, args);
