@@ -1,0 +1,171 @@
+// Analytic backend vs. discrete-event simulation: per-scenario estimation
+// cost and the speedup that motivates the analytic subsystem.
+//
+// Both backends are measured in their steady-state serving shape: the
+// model is parsed and the estimator (Interpreter / AnalyticEstimator)
+// constructed once, then each scenario of the acceptance grid
+// ("np=1..8:*2" over @kernel6) is evaluated.  That is what an
+// interactive prediction service pays per request — and what the batch
+// pipeline pays per job after its own parse stage.
+//
+// BM_AnalyticSpeedup reports the measured ratio as the `speedup` counter;
+// the acceptance bar for the analytic subsystem is >= 100x on this grid.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/prophet.hpp"
+
+#include "json_args.hpp"
+
+namespace {
+
+namespace analytic = prophet::analytic;
+namespace machine = prophet::machine;
+
+std::vector<machine::SystemParameters> acceptance_grid() {
+  return prophet::pipeline::ScenarioGrid::parse("np=1..8:*2").expand();
+}
+
+// --- Per-scenario estimation cost, steady state ------------------------------
+
+void BM_EstimateGrid_Sim(benchmark::State& state) {
+  const auto grid = acceptance_grid();
+  prophet::interp::Interpreter interpreter(
+      prophet::models::kernel6_model(64, 16, 1e-8));
+  double last = 0;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      const prophet::estimator::SimulationManager manager(
+          params, {.collect_trace = false});
+      const auto report = manager.run(interpreter);
+      last = report.predicted_time;
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["predicted_np8_s"] = last;
+}
+BENCHMARK(BM_EstimateGrid_Sim)->Unit(benchmark::kMicrosecond);
+
+void BM_EstimateGrid_Analytic(benchmark::State& state) {
+  const auto grid = acceptance_grid();
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::kernel6_model(64, 16, 1e-8));
+  double last = 0;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      const auto report = analyzer.evaluate(params);
+      last = report.predicted_time;
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["predicted_np8_s"] = last;
+}
+BENCHMARK(BM_EstimateGrid_Analytic)->Unit(benchmark::kMicrosecond);
+
+// --- The headline number -----------------------------------------------------
+
+// One iteration = the whole acceptance grid through both backends; the
+// `speedup` counter is (sim time / analytic time) for identical work, and
+// `max_rel_error` cross-validates the predictions while we are at it.
+//
+// Arg 0 selects the model: the collapsed one-action kernel6 (Fig. 3c —
+// the form the paper hand-optimizes into a single cost function) or the
+// detailed three-level loop nest (Fig. 3b — the form a modeler actually
+// draws).  The detailed model is where the analytic backend earns its
+// keep: the simulator executes all M * N * (N-1) / 2 loop iterations per
+// process, the analyzer resolves the trip counts symbolically and walks
+// each loop body once.
+void BM_AnalyticSpeedup(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  const bool detailed = state.range(0) != 0;
+  const auto make_model = [detailed] {
+    return detailed ? prophet::models::kernel6_detailed_model(64, 16, 1e-8)
+                    : prophet::models::kernel6_model(64, 16, 1e-8);
+  };
+  const auto grid = acceptance_grid();
+  prophet::interp::Interpreter interpreter(make_model());
+  const analytic::AnalyticEstimator analyzer(make_model());
+  double sim_seconds = 0;
+  double analytic_seconds = 0;
+  double max_rel_error = 0;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      const auto sim_start = clock::now();
+      const prophet::estimator::SimulationManager manager(
+          params, {.collect_trace = false});
+      const auto sim_report = manager.run(interpreter);
+      sim_seconds +=
+          std::chrono::duration<double>(clock::now() - sim_start).count();
+
+      const auto analytic_start = clock::now();
+      const auto analytic_report = analyzer.evaluate(params);
+      analytic_seconds +=
+          std::chrono::duration<double>(clock::now() - analytic_start)
+              .count();
+
+      const double rel_error =
+          std::abs(analytic_report.predicted_time -
+                   sim_report.predicted_time) /
+          sim_report.predicted_time;
+      max_rel_error = std::max(max_rel_error, rel_error);
+      benchmark::DoNotOptimize(sim_report);
+      benchmark::DoNotOptimize(analytic_report);
+    }
+  }
+  state.counters["speedup"] =
+      analytic_seconds > 0 ? sim_seconds / analytic_seconds : 0;
+  state.counters["sim_us_per_scenario"] =
+      1e6 * sim_seconds /
+      static_cast<double>(state.iterations() * grid.size());
+  state.counters["analytic_us_per_scenario"] =
+      1e6 * analytic_seconds /
+      static_cast<double>(state.iterations() * grid.size());
+  state.counters["max_rel_error"] = max_rel_error;
+}
+BENCHMARK(BM_AnalyticSpeedup)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"detailed"})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Scaling with communication and contention -------------------------------
+
+void BM_Estimate_PingPong(benchmark::State& state) {
+  const bool use_analytic = state.range(0) != 0;
+  machine::SystemParameters params;
+  params.processes = 2;
+  prophet::interp::Interpreter interpreter(
+      prophet::models::pingpong_model(1024, 64));
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::pingpong_model(1024, 64));
+  for (auto _ : state) {
+    if (use_analytic) {
+      const auto report = analyzer.evaluate(params);
+      benchmark::DoNotOptimize(report);
+    } else {
+      const prophet::estimator::SimulationManager manager(
+          params, {.collect_trace = false});
+      const auto report = manager.run(interpreter);
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Estimate_PingPong)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"analytic"})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+PROPHET_BENCHMARK_MAIN()

@@ -16,6 +16,8 @@
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
 
+#include "json_args.hpp"
+
 namespace pipeline = prophet::pipeline;
 
 namespace {
@@ -79,6 +81,30 @@ BENCHMARK(BM_BatchSweep_Stages)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
+// Backend ablation: the same sweep through simulation, analytic and both
+// (cross-validation) — what `prophetc sweep --backend=...` costs per job.
+void BM_BatchSweep_Backend(benchmark::State& state) {
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  options.backend =
+      static_cast<prophet::estimator::BackendKind>(state.range(0));
+  pipeline::BatchRunner runner(options);
+  runner.add_model("kernel6", prophet::models::kernel6_model(128, 32, 1e-8));
+  runner.add_sweep(0, pipeline::ScenarioGrid::parse("np=1..8 nodes=1,2"));
+  for (auto _ : state) {
+    const auto report = runner.run();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runner.job_count()));
+}
+BENCHMARK(BM_BatchSweep_Backend)
+    ->Arg(static_cast<int>(prophet::estimator::BackendKind::Simulation))
+    ->Arg(static_cast<int>(prophet::estimator::BackendKind::Analytic))
+    ->Arg(static_cast<int>(prophet::estimator::BackendKind::Both))
+    ->ArgNames({"backend"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+PROPHET_BENCHMARK_MAIN()

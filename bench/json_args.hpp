@@ -1,0 +1,54 @@
+// Shared `--json out.json` handling for the bench executables.
+//
+// The benches emit machine-readable results for trajectory tracking
+// (BENCH_*.json artifacts in CI).  `--json path` is sugar for google
+// benchmark's `--benchmark_out=path --benchmark_out_format=json`; every
+// other flag passes through untouched.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace prophet::benchutil {
+
+/// Runs the registered benchmarks with `--json` support; returns the
+/// process exit code.
+inline int run_benchmarks(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) {
+    argv2.push_back(arg.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace prophet::benchutil
+
+/// Drop-in replacement for BENCHMARK_MAIN() with `--json` support.
+#define PROPHET_BENCHMARK_MAIN()                            \
+  int main(int argc, char** argv) {                         \
+    return prophet::benchutil::run_benchmarks(argc, argv);  \
+  }

@@ -1,0 +1,104 @@
+// Analytic performance estimation — closed-form prediction without
+// discrete-event simulation.
+//
+// The paper's Performance Estimator predicts program performance by
+// simulating the transformed C++ model; related work (Sbeity et al.,
+// "Generating a Performance Stochastic Model from UML Specifications")
+// shows the same UML performance annotations can feed closed-form
+// solvers instead.  The AnalyticEstimator walks the checked UML model
+// once per process and prices it with the same LogGP-style cost formulas
+// prophet/machine uses, turning a seconds-per-scenario simulation into a
+// microseconds-per-scenario evaluation:
+//
+//  1. Symbolic walk (per process): sum CPU demands from the workload
+//     cost expressions; collapse loops whose bodies are provably
+//     iteration-independent (trip count x one-iteration cost); resolve
+//     decisions by evaluating their guards, falling back to expectation
+//     over `prob`-annotated branches; cost communication with the
+//     machine model's formulas (latency + size/bandwidth + per-message
+//     overhead).  Produces a compact per-process event sequence.
+//  2. Dependency replay (O(events)): resolve send/recv matching and
+//     barrier synchronization across processes with per-process clocks
+//     and a message ledger — no event queue, no facility simulation.
+//  3. Contention correction: the predicted makespan is the maximum of
+//     the replay critical path, each node's total compute demand divided
+//     by its `processors_per_node` servers (the deterministic
+//     heavy-traffic limit of an M/M/k correction), and each critical
+//     section's total serialized demand.
+//
+// docs/analytic.md derives the formulas and lists the assumptions; the
+// simulation backend cross-validates the model (`--backend=both`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "prophet/machine/machine.hpp"
+#include "prophet/uml/model.hpp"
+
+namespace prophet::analytic {
+
+/// Error thrown when a model cannot be evaluated analytically: expression
+/// parse/eval failures, constructs outside the supported subset (e.g.
+/// message passing inside parallel regions), or communication patterns
+/// that deadlock during replay.
+class AnalyticError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-node load summary of one evaluation.
+struct NodeLoad {
+  double compute_demand = 0;  // summed contended CPU seconds on the node
+  double utilization = 0;     // demand / (servers * predicted_time)
+  int processes = 0;          // processes placed on the node
+};
+
+/// The result of one analytic evaluation.
+struct AnalyticReport {
+  double predicted_time = 0;  // predicted makespan (seconds)
+  std::map<int, double> per_process_finish;  // uncontended replay clocks
+  std::uint64_t evaluated_elements = 0;      // model elements walked
+  int processes = 0;
+  std::vector<NodeLoad> node_loads;
+
+  /// Human-readable multi-line report (mirrors PredictionReport::summary).
+  [[nodiscard]] std::string summary() const;
+
+  /// One line per node: utilization and compute demand.
+  [[nodiscard]] std::string machine_report() const;
+};
+
+/// Static cost analyzer over a UML performance model.  Construction
+/// pre-parses every expression (mirroring interp::Interpreter), so one
+/// estimator instance can evaluate many scenarios cheaply.
+class AnalyticEstimator {
+ public:
+  /// Borrows `model`; it must outlive the estimator.  Throws
+  /// AnalyticError when any expression fails to parse or a referenced
+  /// diagram is missing.
+  explicit AnalyticEstimator(const uml::Model& model);
+
+  /// Takes ownership of `model` (safe with temporaries).
+  explicit AnalyticEstimator(uml::Model&& model);
+  ~AnalyticEstimator();
+
+  AnalyticEstimator(const AnalyticEstimator&) = delete;
+  AnalyticEstimator& operator=(const AnalyticEstimator&) = delete;
+
+  /// Predicts the model's performance under `params`.  Deterministic and
+  /// reentrant: same parameters, same report.
+  [[nodiscard]] AnalyticReport evaluate(
+      const machine::SystemParameters& params) const;
+
+  struct Impl;  // public so the walker/replay helpers in the TU can use it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prophet::analytic

@@ -1,0 +1,42 @@
+// Concrete estimation backends + factory.
+//
+// SimulationBackend wraps the paper's pipeline (UML interpreter +
+// SimulationManager); AnalyticBackend wraps the AnalyticEstimator.  Both
+// implement estimator::Backend, so the batch pipeline and prophetc select
+// the evaluation engine with one knob (`--backend=sim|analytic|both`).
+#pragma once
+
+#include <memory>
+
+#include "prophet/estimator/backend.hpp"
+
+namespace prophet::analytic {
+
+/// The discrete-event simulation path: interprets the UML model and runs
+/// the CSIM-substitute engine (the paper's Performance Estimator).
+class SimulationBackend final : public estimator::Backend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sim"; }
+  [[nodiscard]] estimator::PredictionReport estimate(
+      const uml::Model& model, const machine::SystemParameters& params,
+      const estimator::EstimationOptions& options = {}) const override;
+};
+
+/// The closed-form path: static cost analysis + dependency replay.  The
+/// report's `events` stays 0 (no engine ran); `machine_report` carries the
+/// analytic per-node utilization.
+class AnalyticBackend final : public estimator::Backend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "analytic"; }
+  [[nodiscard]] estimator::PredictionReport estimate(
+      const uml::Model& model, const machine::SystemParameters& params,
+      const estimator::EstimationOptions& options = {}) const override;
+};
+
+/// Creates the backend for `kind`.  Throws std::invalid_argument for
+/// BackendKind::Both — "both" is a cross-validation selection handled by
+/// callers (run each backend, compare), not an engine.
+[[nodiscard]] std::unique_ptr<estimator::Backend> make_backend(
+    estimator::BackendKind kind);
+
+}  // namespace prophet::analytic

@@ -1,0 +1,62 @@
+// Pluggable estimation backends.
+//
+// The paper's Performance Estimator predicts performance exclusively by
+// discrete-event simulation (SimulationManager).  Related work (Sbeity et
+// al.; André et al.) derives closed-form stochastic/analytic predictions
+// from the same UML annotations instead.  The Backend interface makes the
+// evaluation engine a pluggable choice: the simulation path and the
+// analytic estimator (prophet/analytic) both implement it, and the batch
+// pipeline / prophetc thread the selection through as
+// `--backend=sim|analytic|both`, where `both` cross-validates the analytic
+// model against the simulator per scenario.
+//
+// Concrete backends and the factory live in prophet/analytic/backend.hpp
+// (the estimator module cannot depend on the UML interpreter that the
+// simulation path needs without a dependency cycle).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "prophet/estimator/estimator.hpp"
+
+namespace prophet::uml {
+class Model;
+}
+
+namespace prophet::estimator {
+
+/// Which evaluation engine(s) to run.  `Both` is a selection, not a
+/// backend: it runs the simulator as the reference and the analytic
+/// estimator as the candidate and reports their relative error.
+enum class BackendKind {
+  Simulation,
+  Analytic,
+  Both,
+};
+
+[[nodiscard]] std::string_view to_string(BackendKind kind);
+
+/// Parses "sim"/"simulation", "analytic", "both" (the `--backend` flag
+/// vocabulary); nullopt for anything else.
+[[nodiscard]] std::optional<BackendKind> backend_from_string(
+    std::string_view text);
+
+/// An estimation engine: evaluates a UML performance model under one
+/// parameter configuration and produces the paper's prediction report.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable identifier ("sim", "analytic") used in reports and CSV rows.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Evaluates `model` under `params`.  Deterministic: the same model and
+  /// parameters give the same report.  Throws on unevaluable models
+  /// (parse failures, unsupported constructs, deadlocks).
+  [[nodiscard]] virtual PredictionReport estimate(
+      const uml::Model& model, const machine::SystemParameters& params,
+      const EstimationOptions& options = {}) const = 0;
+};
+
+}  // namespace prophet::estimator

@@ -57,6 +57,40 @@ struct SystemParameters {
   [[nodiscard]] static SystemParameters load(const std::string& path);
 };
 
+// --- Engine-free cost helpers ------------------------------------------------
+//
+// The LogGP-style communication/compute cost formulas, usable without a
+// sim::Engine.  MachineModel delegates to these; the analytic estimation
+// backend (prophet/analytic) evaluates the same formulas directly, so the
+// two backends price communication identically by construction.
+
+/// Node hosting a given process (block distribution: consecutive ranks
+/// share a node).  Throws std::out_of_range for pids outside
+/// [0, processes).
+[[nodiscard]] int node_of(const SystemParameters& params, int pid);
+
+/// Wall time a `bytes`-sized message needs from process `src_pid` to
+/// process `dst_pid` (latency + bytes/bandwidth; intra- vs inter-node).
+[[nodiscard]] double message_time(const SystemParameters& params, int src_pid,
+                                  int dst_pid, double bytes);
+
+/// Time for one tree round of a collective moving `bytes` per rank pair.
+[[nodiscard]] double collective_round_time(const SystemParameters& params,
+                                           double bytes);
+
+/// Scales a nominal compute cost by the machine's CPU speed.
+[[nodiscard]] inline double compute_time(const SystemParameters& params,
+                                         double nominal_cost) {
+  return nominal_cost / params.cpu_speed;
+}
+
+/// ceil(log2(n)) for n >= 1 — rounds of a binomial synchronization tree.
+[[nodiscard]] int tree_rounds(int n);
+
+/// Completion latency of an all-process barrier: ceil(log2(np))
+/// synchronization rounds of barrier latency.
+[[nodiscard]] double barrier_time(const SystemParameters& params);
+
 /// The generated machine: node facilities + communication-time model.
 class MachineModel {
  public:
@@ -97,7 +131,7 @@ class MachineModel {
 
   /// Scales a nominal compute cost by the machine's CPU speed.
   [[nodiscard]] double compute_time(double nominal_cost) const {
-    return nominal_cost / params_.cpu_speed;
+    return machine::compute_time(params_, nominal_cost);
   }
 
   /// One line per node: utilization, completions, mean queue length.

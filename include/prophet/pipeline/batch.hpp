@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "prophet/estimator/backend.hpp"
 #include "prophet/machine/machine.hpp"
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/uml/model.hpp"
@@ -55,8 +56,15 @@ struct ScenarioResult {
   bool ok = false;
   std::string error;  // stage-prefixed message, e.g. "check: 2 error(s)"
 
-  double predicted_time = 0;       // simulated seconds (makespan)
-  std::uint64_t events = 0;        // engine events processed
+  // Which backend(s) evaluated the job.  With BackendKind::Both,
+  // `predicted_time` is the simulator's reference prediction,
+  // `analytic_predicted` the analytic candidate and `relative_error`
+  // their relative deviation |analytic - sim| / sim.
+  estimator::BackendKind backend = estimator::BackendKind::Simulation;
+  double predicted_time = 0;       // predicted seconds (makespan)
+  double analytic_predicted = 0;   // valid for Analytic and Both
+  double relative_error = 0;       // valid for Both
+  std::uint64_t events = 0;        // engine events processed (sim only)
   int processes = 0;
   std::size_t check_warnings = 0;  // checker findings (errors fail the job)
   std::size_t generated_bytes = 0; // size of the generated C++ (codegen on)
@@ -73,6 +81,10 @@ struct BatchStats {
   double mean_predicted = 0;
   std::uint64_t total_events = 0;
   double total_job_seconds = 0;  // sum of per-job wall times
+  // Cross-validation (jobs run with BackendKind::Both only).
+  std::size_t compared = 0;      // jobs carrying a relative error
+  double max_rel_error = 0;
+  double mean_rel_error = 0;
 };
 
 /// The collected outcome of one BatchRunner::run().
@@ -98,6 +110,10 @@ struct BatchOptions {
   int threads = 0;          // <= 0: std::thread::hardware_concurrency()
   bool run_checker = true;  // model-check each job; errors fail the job
   bool run_codegen = true;  // run the UML -> C++ transformation per job
+  // Evaluation engine per job: simulation (the paper's estimator),
+  // analytic (closed-form), or both (sim as reference, analytic as
+  // candidate, relative error recorded per scenario).
+  estimator::BackendKind backend = estimator::BackendKind::Simulation;
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;
 };
 

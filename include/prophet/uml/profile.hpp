@@ -128,6 +128,10 @@ inline constexpr std::string_view kSchedule = "schedule";  // static|dynamic
 inline constexpr std::string_view kChunk = "chunk";
 inline constexpr std::string_view kIterCost = "itercost";  // expression
 inline constexpr std::string_view kCriticalName = "name";
+// Branch probability on an edge leaving a decision.  The simulator
+// ignores it (guards decide); the analytic backend uses it to take the
+// expectation over branches instead of resolving the guards.
+inline constexpr std::string_view kProb = "prob";
 }  // namespace tag
 
 /// Returns the standard profile (a fresh copy; profiles are mutable).

@@ -249,8 +249,12 @@ class CollectiveElement {
   [[nodiscard]] sim::Process execute(int uid, int pid, int tid, double bytes,
                                      int root = 0);
 
-  /// The modeled completion latency for `n` processes (exposed for tests
-  /// and benches).
+  /// The modeled completion latency for `n` processes (exposed for tests,
+  /// benches, and the analytic estimation backend, which evaluates the
+  /// same formula without a machine instance).
+  [[nodiscard]] static double model_time(const machine::SystemParameters& params,
+                                         CollectiveKind kind, int n,
+                                         double bytes);
   [[nodiscard]] static double model_time(const machine::MachineModel& machine,
                                          CollectiveKind kind, int n,
                                          double bytes);
@@ -285,6 +289,15 @@ class WorkshareElement {
   /// Iterations assigned to `tid` of `threads` (exposed for tests).
   [[nodiscard]] static std::int64_t static_share(std::int64_t iterations,
                                                  int threads, int tid);
+
+  /// Nominal compute seconds `tid` spends in the construct (before CPU
+  /// speed scaling) — the formula execute() charges, shared with the
+  /// analytic estimation backend.
+  [[nodiscard]] static double model_compute(double iterations,
+                                            double itercost,
+                                            const std::string& schedule,
+                                            std::int64_t chunk, int threads,
+                                            int tid);
 
  private:
   ModelContext* ctx_;

@@ -1,0 +1,1356 @@
+#include "prophet/analytic/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "prophet/expr/eval.hpp"
+#include "prophet/expr/parser.hpp"
+#include "prophet/uml/sysparams.hpp"
+#include "prophet/workload/runtime.hpp"
+
+namespace prophet::analytic {
+namespace {
+
+using uml::ActivityDiagram;
+using uml::Model;
+using uml::Node;
+using uml::NodeKind;
+
+/// One `name = expression;` assignment of an associated code fragment.
+struct Assignment {
+  std::string target;
+  expr::ExprPtr value;
+};
+
+/// Pre-parsed cost function.
+struct ParsedFunction {
+  std::vector<std::string> parameters;
+  expr::ExprPtr body;
+};
+
+/// Pre-parsed variable declaration.
+struct ParsedVariable {
+  std::string name;
+  uml::VariableScope scope = uml::VariableScope::Global;
+  uml::VariableType type = uml::VariableType::Real;
+  expr::ExprPtr initializer;  // may be null (zero-init)
+};
+
+/// Integer-typed model variables truncate on assignment, exactly like the
+/// interpreter and the generated C++.
+double coerce(uml::VariableType type, double value) {
+  if (type == uml::VariableType::Integer) {
+    return std::trunc(value);
+  }
+  return value;
+}
+
+/// Splits a code fragment into `name = expr` assignments (interpreter
+/// semantics).
+std::vector<Assignment> parse_code_fragment(const std::string& text,
+                                            const std::string& where) {
+  std::vector<Assignment> assignments;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find(';', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string statement = text.substr(start, end - start);
+    start = end + 1;
+    const auto first = statement.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const auto last = statement.find_last_not_of(" \t\r\n");
+    statement = statement.substr(first, last - first + 1);
+    const auto equals = statement.find('=');
+    if (equals == std::string::npos || equals + 1 >= statement.size() ||
+        statement[equals + 1] == '=') {
+      throw AnalyticError("code fragment at " + where + ": statement '" +
+                          statement + "' is not an assignment");
+    }
+    std::string target = statement.substr(0, equals);
+    const auto target_end = target.find_last_not_of(" \t\r\n");
+    target = target.substr(0, target_end + 1);
+    try {
+      assignments.push_back(
+          {target, expr::parse(statement.substr(equals + 1))});
+    } catch (const expr::SyntaxError& error) {
+      throw AnalyticError("code fragment at " + where + ": " + error.what());
+    }
+  }
+  return assignments;
+}
+
+/// What one step of the abstract process timeline does.  Compute demands
+/// a node processor; Busy advances the clock without contending (send
+/// overhead, synchronization latency); Send/Recv/Barrier synchronize
+/// across processes during replay.
+enum class EvKind { Compute, Busy, Send, Recv, Barrier };
+
+struct Event {
+  EvKind kind = EvKind::Compute;
+  double elapsed = 0;  // wall seconds on this process's critical path
+  double demand = 0;   // contended CPU seconds charged to the node
+  double bytes = 0;    // Send: payload size handed to the receiver
+  int peer = 0;        // Send: destination pid / Recv: source pid
+  int tag = 0;         // message tag
+};
+
+/// The abstract timeline of one process plus its side demands.
+struct WalkResult {
+  std::vector<Event> events;
+  // Serialized seconds per named critical section (lock-held time).
+  std::map<std::string, double> critical_demand;
+};
+
+double sum_elapsed(const std::vector<Event>& events) {
+  double total = 0;
+  for (const auto& event : events) {
+    total += event.elapsed;
+  }
+  return total;
+}
+
+double sum_demand(const std::vector<Event>& events) {
+  double total = 0;
+  for (const auto& event : events) {
+    total += event.demand;
+  }
+  return total;
+}
+
+bool compute_only(const std::vector<Event>& events) {
+  return std::all_of(events.begin(), events.end(), [](const Event& event) {
+    return event.kind == EvKind::Compute || event.kind == EvKind::Busy;
+  });
+}
+
+workload::CollectiveKind collective_kind(const std::string& stereotype) {
+  if (stereotype == uml::stereo::kBroadcast) {
+    return workload::CollectiveKind::Broadcast;
+  }
+  if (stereotype == uml::stereo::kReduce) {
+    return workload::CollectiveKind::Reduce;
+  }
+  if (stereotype == uml::stereo::kAllReduce) {
+    return workload::CollectiveKind::AllReduce;
+  }
+  if (stereotype == uml::stereo::kScatter) {
+    return workload::CollectiveKind::Scatter;
+  }
+  return workload::CollectiveKind::Gather;
+}
+
+/// A loop variable binding on the walker's lexical stack.  `read` records
+/// whether any expression resolved the name — the loop-collapsing fast
+/// path is valid only for bodies that never look at their trip variable.
+struct LoopBinding {
+  std::string name;
+  double value = 0;
+  bool read = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl: construction-time parsing + per-evaluation state
+// ---------------------------------------------------------------------------
+
+struct AnalyticEstimator::Impl {
+  std::optional<Model> owned;  // set by the owning constructor
+  const Model* model = nullptr;
+
+  // Pre-parsed expressions, keyed by element/edge id and tag name.
+  std::map<std::string, std::map<std::string, expr::ExprPtr>> node_exprs;
+  std::map<std::string, expr::ExprPtr> guards;  // edge id -> guard
+  std::map<std::string, std::vector<Assignment>> fragments;
+  std::map<std::string, ParsedFunction> functions;
+  std::vector<ParsedVariable> variables;
+  std::map<std::string, int> uids;
+
+  /// Mutable state of one evaluate() call (evaluate is const + reentrant;
+  /// everything per-run lives here).
+  struct EvalState {
+    machine::SystemParameters params;
+    std::map<std::string, double> globals;  // shared by all process walks
+    std::uint64_t elements = 0;             // model elements walked
+    std::uint64_t fragments_executed = 0;
+    bool pid_queried = false;  // pid/tid resolved during the current walk
+    int call_depth = 0;
+  };
+
+  explicit Impl(const Model& m) : model(&m) {
+    for (const auto& variable : m.variables()) {
+      ParsedVariable parsed;
+      parsed.name = variable.name;
+      parsed.scope = variable.scope;
+      parsed.type = variable.type;
+      if (!variable.initializer.empty()) {
+        parsed.initializer = parse_checked(
+            variable.initializer, "initializer of variable " + variable.name);
+      }
+      variables.push_back(std::move(parsed));
+    }
+    for (const auto& fn : m.cost_functions()) {
+      functions.emplace(
+          fn.name,
+          ParsedFunction{fn.parameters,
+                         parse_checked(fn.body, "cost function " + fn.name)});
+    }
+    // uid assignment matches the interpreter: explicit `id` tags win, the
+    // rest get sequential numbers skipping claimed values.
+    std::set<int> claimed;
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (auto id = node->tag(uml::tag::kId)) {
+          if (const auto* value = std::get_if<std::int64_t>(&*id)) {
+            uids[node->id()] = static_cast<int>(*value);
+            claimed.insert(static_cast<int>(*value));
+          }
+        }
+      }
+    }
+    int next = 1;
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (uids.find(node->id()) == uids.end()) {
+          while (claimed.find(next) != claimed.end()) {
+            ++next;
+          }
+          uids[node->id()] = next;
+          claimed.insert(next);
+        }
+      }
+      for (const auto& edge : diagram->edges()) {
+        if (edge->has_guard() && !edge->is_else()) {
+          guards.emplace(edge->id(), parse_checked(edge->guard(),
+                                                   "guard of edge " +
+                                                       edge->id()));
+        }
+      }
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        for (const auto tag_name : uml::expression_tags(node->stereotype())) {
+          if (!node->has_tag(tag_name)) {
+            continue;
+          }
+          const std::string text = node->tag_string(tag_name);
+          if (text.empty()) {
+            continue;
+          }
+          node_exprs[node->id()].emplace(
+              std::string(tag_name),
+              parse_checked(text, "tag '" + std::string(tag_name) +
+                                      "' of node " + node->id()));
+        }
+        if (node->has_tag(uml::tag::kCode)) {
+          const std::string code = node->tag_string(uml::tag::kCode);
+          if (!code.empty()) {
+            fragments.emplace(node->id(),
+                              parse_code_fragment(code, "node " + node->id()));
+          }
+        }
+        if ((node->kind() == NodeKind::Activity ||
+             node->kind() == NodeKind::Loop) &&
+            m.diagram(node->subdiagram_id()) == nullptr) {
+          throw AnalyticError("node " + node->id() +
+                              " references unknown diagram '" +
+                              node->subdiagram_id() + "'");
+        }
+      }
+    }
+    if (m.main_diagram() == nullptr) {
+      throw AnalyticError("model has no resolvable main diagram");
+    }
+  }
+
+  static expr::ExprPtr parse_checked(const std::string& text,
+                                     const std::string& where) {
+    try {
+      return expr::parse(text);
+    } catch (const expr::SyntaxError& error) {
+      throw AnalyticError(where + ": " + error.what());
+    }
+  }
+
+  [[nodiscard]] std::optional<double> structural_parameter(
+      const EvalState& st, std::string_view name) const {
+    if (name == uml::sysparam::kProcesses) {
+      return static_cast<double>(st.params.processes);
+    }
+    if (name == uml::sysparam::kThreads) {
+      return static_cast<double>(st.params.threads_per_process);
+    }
+    if (name == uml::sysparam::kNodes) {
+      return static_cast<double>(st.params.nodes);
+    }
+    if (name == uml::sysparam::kProcessorsPerNode) {
+      return static_cast<double>(st.params.processors_per_node);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<double> call_function(
+      EvalState& st, std::string_view name,
+      std::span<const double> args) const;
+
+  AnalyticReport evaluate(const machine::SystemParameters& params) const;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Symbolic walk
+// ---------------------------------------------------------------------------
+
+/// Walks one process's control flow, emitting Events.  Sub-walkers (fork
+/// branches, parallel-region threads, critical bodies, expectation
+/// branches) share the lexical state but write to their own WalkResult so
+/// the parent can aggregate elapsed/demand.
+struct Walker {
+  using Impl = AnalyticEstimator::Impl;
+  using EvalState = Impl::EvalState;
+
+  Walker(const Impl& impl_in, EvalState& st_in, WalkResult& out_in)
+      : impl(impl_in), st(st_in), out(out_in) {}
+
+  const Impl& impl;
+  EvalState& st;
+  WalkResult& out;
+  int pid = 0;
+  int tid = 0;
+  std::map<std::string, double>* locals = nullptr;
+  std::vector<LoopBinding>* bindings = nullptr;
+  int region_threads = 0;  // > 0 inside an <<ompparallel>> region
+  bool allow_comm = true;
+  bool allow_fragments = true;
+  std::uint64_t* steps = nullptr;
+  std::uint64_t step_limit = 0;
+
+  /// A sub-walker for nested concurrent constructs: shares the lexical
+  /// state, writes to its own result, and may not communicate.
+  [[nodiscard]] Walker sub(WalkResult& sub_out) const {
+    Walker walker(impl, st, sub_out);
+    walker.pid = pid;
+    walker.tid = tid;
+    walker.locals = locals;
+    walker.bindings = bindings;
+    walker.region_threads = region_threads;
+    walker.allow_comm = false;
+    walker.allow_fragments = allow_fragments;
+    walker.steps = steps;
+    walker.step_limit = step_limit;
+    return walker;
+  }
+
+  // --- Expression evaluation ---------------------------------------------
+
+  class NodeEnv final : public expr::Environment {
+   public:
+    NodeEnv(const Walker& walker, int uid) : w_(&walker), uid_(uid) {}
+
+    [[nodiscard]] std::optional<double> variable(
+        std::string_view name) const override {
+      // Innermost loop binding wins.
+      for (auto it = w_->bindings->rbegin(); it != w_->bindings->rend();
+           ++it) {
+        if (it->name == name) {
+          it->read = true;
+          return it->value;
+        }
+      }
+      if (w_->locals != nullptr) {
+        if (const auto it = w_->locals->find(std::string(name));
+            it != w_->locals->end()) {
+          return it->second;
+        }
+      }
+      if (const auto it = w_->st.globals.find(std::string(name));
+          it != w_->st.globals.end()) {
+        return it->second;
+      }
+      if (name == uml::sysparam::kProcessId) {
+        w_->st.pid_queried = true;
+        return static_cast<double>(w_->pid);
+      }
+      if (name == uml::sysparam::kThreadId) {
+        w_->st.pid_queried = true;
+        return static_cast<double>(w_->tid);
+      }
+      if (name == uml::sysparam::kElementUid) {
+        return static_cast<double>(uid_);
+      }
+      return w_->impl.structural_parameter(w_->st, name);
+    }
+
+    [[nodiscard]] std::optional<double> call(
+        std::string_view name, std::span<const double> args) const override {
+      return w_->impl.call_function(w_->st, name, args);
+    }
+
+   private:
+    const Walker* w_;
+    int uid_;
+  };
+
+  [[nodiscard]] int uid_of(const Node& node) const {
+    return impl.uids.at(node.id());
+  }
+
+  [[nodiscard]] double eval_expr(const expr::Expr& parsed, const Node& node,
+                                 std::string_view what) const {
+    const NodeEnv env(*this, uid_of(node));
+    try {
+      return expr::evaluate(parsed, env);
+    } catch (const expr::EvalError& error) {
+      throw AnalyticError("node " + node.id() + ", " + std::string(what) +
+                          ": " + error.what());
+    }
+  }
+
+  [[nodiscard]] double eval_node_expr(const Node& node,
+                                      std::string_view tag_name) const {
+    const auto node_it = impl.node_exprs.find(node.id());
+    if (node_it == impl.node_exprs.end()) {
+      return 0.0;
+    }
+    const auto tag_it = node_it->second.find(std::string(tag_name));
+    if (tag_it == node_it->second.end()) {
+      return 0.0;
+    }
+    return eval_expr(*tag_it->second, node,
+                     "tag '" + std::string(tag_name) + "'");
+  }
+
+  [[nodiscard]] bool has_node_expr(const Node& node,
+                                   std::string_view tag_name) const {
+    const auto node_it = impl.node_exprs.find(node.id());
+    return node_it != impl.node_exprs.end() &&
+           node_it->second.find(std::string(tag_name)) !=
+               node_it->second.end();
+  }
+
+  void run_fragment(const Node& node) {
+    const auto it = impl.fragments.find(node.id());
+    if (it == impl.fragments.end()) {
+      return;
+    }
+    if (!allow_fragments) {
+      throw AnalyticError("node " + node.id() +
+                          ": code fragments are not supported inside "
+                          "probability-weighted branches");
+    }
+    ++st.fragments_executed;
+    const NodeEnv env(*this, uid_of(node));
+    for (const auto& assignment : it->second) {
+      double value = 0;
+      try {
+        value = expr::evaluate(*assignment.value, env);
+      } catch (const expr::EvalError& error) {
+        throw AnalyticError("code fragment at node " + node.id() + ": " +
+                            error.what());
+      }
+      const uml::Variable* declared = impl.model->variable(assignment.target);
+      if (declared != nullptr) {
+        value = coerce(declared->type, value);
+      }
+      if (locals != nullptr) {
+        if (const auto local = locals->find(assignment.target);
+            local != locals->end()) {
+          local->second = value;
+          continue;
+        }
+      }
+      if (const auto global = st.globals.find(assignment.target);
+          global != st.globals.end()) {
+        global->second = value;
+        continue;
+      }
+      throw AnalyticError("code fragment at node " + node.id() +
+                          " assigns undeclared variable '" +
+                          assignment.target + "'");
+    }
+  }
+
+  // --- Event emission -----------------------------------------------------
+
+  void emit_compute(double elapsed, double demand) {
+    if (std::isnan(elapsed) || elapsed < 0) {
+      throw AnalyticError("negative or NaN compute cost");
+    }
+    if (!out.events.empty() && out.events.back().kind == EvKind::Compute) {
+      out.events.back().elapsed += elapsed;
+      out.events.back().demand += demand;
+      return;
+    }
+    out.events.push_back({EvKind::Compute, elapsed, demand, 0, 0, 0});
+  }
+
+  void emit_busy(double elapsed) {
+    if (!out.events.empty() && out.events.back().kind == EvKind::Busy) {
+      out.events.back().elapsed += elapsed;
+      return;
+    }
+    out.events.push_back({EvKind::Busy, elapsed, 0, 0, 0, 0});
+  }
+
+  void require_comm(const Node& node) const {
+    if (!allow_comm) {
+      throw AnalyticError(
+          "node " + node.id() + " (<<" + node.stereotype() +
+          ">>): cross-process communication inside fork branches, parallel "
+          "regions, critical sections or probability-weighted branches is "
+          "not supported by the analytic backend");
+    }
+  }
+
+  // --- Control flow -------------------------------------------------------
+
+  void run_diagram(const ActivityDiagram& diagram) {
+    const Node* initial = diagram.initial();
+    if (initial == nullptr) {
+      throw AnalyticError("diagram " + diagram.id() + " has no initial node");
+    }
+    walk(diagram, *initial, /*stop_kind=*/std::nullopt, nullptr);
+  }
+
+  /// Walks from `start` until a Final node (stop == nullptr) or until a
+  /// node of `stop_kind` is reached (its id is written to *stop, and the
+  /// node is not executed).  When stopping at a Merge, merges that close
+  /// a guard-resolved decision *inside* the walked stretch are passed
+  /// through (`merge_debt`), so only the branch's own reconvergence point
+  /// terminates it.
+  void walk(const ActivityDiagram& diagram, const Node& start,
+            std::optional<NodeKind> stop_kind, std::string* stop) {
+    const Node* node = &start;
+    int merge_debt = 0;
+    while (node != nullptr) {
+      if (++*steps > step_limit) {
+        throw AnalyticError("diagram " + diagram.id() +
+                            ": walk exceeded step limit (unstructured "
+                            "cycle without <<loop+>>?)");
+      }
+      if (stop != nullptr && stop_kind.has_value() &&
+          node->kind() == *stop_kind) {
+        if (*stop_kind == NodeKind::Merge && merge_debt > 0) {
+          --merge_debt;  // closes a nested decision, keep walking
+        } else {
+          *stop = node->id();
+          return;
+        }
+      }
+      if (node->kind() == NodeKind::Fork) {
+        std::string join_id;
+        execute_fork(diagram, *node, &join_id);
+        const Node* join = diagram.node(join_id);
+        const auto after = diagram.outgoing(join->id());
+        if (after.empty()) {
+          return;
+        }
+        if (after.size() > 1) {
+          throw AnalyticError("join " + join->id() +
+                              " has multiple outgoing edges");
+        }
+        node = diagram.node(after[0]->target());
+        continue;
+      }
+      if (node->kind() == NodeKind::Decision) {
+        if (decision_is_probabilistic(diagram, *node)) {
+          // Consumes the decision's merge inline and resumes after it.
+          node = execute_expected_decision(diagram, *node);
+          continue;
+        }
+        if (stop_kind == NodeKind::Merge) {
+          ++merge_debt;  // this decision's own merge is not ours
+        }
+      }
+      execute_node(*node);
+      if (node->kind() == NodeKind::Final) {
+        return;
+      }
+      node = next_node(diagram, *node);
+    }
+  }
+
+  [[nodiscard]] const Node* next_node(const ActivityDiagram& diagram,
+                                      const Node& node) const {
+    const auto outgoing = diagram.outgoing(node.id());
+    if (node.kind() == NodeKind::Decision) {
+      const uml::ControlFlow* chosen = nullptr;
+      const uml::ControlFlow* fallback = nullptr;
+      for (const auto* edge : outgoing) {
+        if (edge->is_else()) {
+          if (fallback == nullptr) {
+            fallback = edge;
+          }
+          continue;
+        }
+        const auto guard_it = impl.guards.find(edge->id());
+        if (guard_it == impl.guards.end()) {
+          continue;  // unguarded edge out of a decision: never taken
+        }
+        const NodeEnv env(*this, uid_of(node));
+        double value = 0;
+        try {
+          value = expr::evaluate(*guard_it->second, env);
+        } catch (const expr::EvalError& error) {
+          throw AnalyticError("guard of edge " + edge->id() + ": " +
+                              error.what());
+        }
+        if (expr::truthy(value)) {
+          chosen = edge;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        chosen = fallback;
+      }
+      if (chosen == nullptr) {
+        throw AnalyticError("decision " + node.id() +
+                            ": no guard holds and no 'else' edge");
+      }
+      return diagram.node(chosen->target());
+    }
+    if (outgoing.empty()) {
+      return nullptr;  // dead end; the checker's connectivity rule warns
+    }
+    if (outgoing.size() > 1) {
+      throw AnalyticError("node " + node.id() +
+                          " has multiple unguarded outgoing edges");
+    }
+    return diagram.node(outgoing[0]->target());
+  }
+
+  void execute_node(const Node& node) {
+    ++st.elements;
+    switch (node.kind()) {
+      case NodeKind::Initial:
+      case NodeKind::Final:
+      case NodeKind::Merge:
+      case NodeKind::Join:
+      case NodeKind::Decision:
+      case NodeKind::Fork:  // handled inline by walk()
+        return;
+      case NodeKind::Action:
+        execute_action(node);
+        return;
+      case NodeKind::Activity:
+        execute_activity(node);
+        return;
+      case NodeKind::Loop:
+        execute_loop(node);
+        return;
+    }
+  }
+
+  void execute_fork(const ActivityDiagram& diagram, const Node& node,
+                    std::string* join_out) {
+    const auto outgoing = diagram.outgoing(node.id());
+    std::vector<std::string> joins(outgoing.size());
+    double max_elapsed = 0;
+    double total_demand = 0;
+    for (std::size_t i = 0; i < outgoing.size(); ++i) {
+      const Node* target = diagram.node(outgoing[i]->target());
+      if (target == nullptr) {
+        throw AnalyticError("fork " + node.id() + ": dangling edge");
+      }
+      WalkResult branch;
+      Walker walker = sub(branch);
+      walker.walk(diagram, *target, NodeKind::Join, &joins[i]);
+      max_elapsed = std::max(max_elapsed, sum_elapsed(branch.events));
+      total_demand += sum_demand(branch.events);
+      merge_criticals(branch, 1.0);
+    }
+    for (std::size_t i = 1; i < joins.size(); ++i) {
+      if (joins[i] != joins[0]) {
+        throw AnalyticError("fork " + node.id() +
+                            ": branches reach different joins ('" + joins[0] +
+                            "' vs '" + joins[i] + "')");
+      }
+    }
+    if (joins.empty() || joins[0].empty()) {
+      throw AnalyticError("fork " + node.id() +
+                          ": branches do not reach a join");
+    }
+    emit_compute(max_elapsed, total_demand);
+    *join_out = joins[0];
+  }
+
+  [[nodiscard]] bool decision_is_probabilistic(const ActivityDiagram& diagram,
+                                               const Node& node) const {
+    for (const auto* edge : diagram.outgoing(node.id())) {
+      if (edge->tag_number(uml::tag::kProb).has_value()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Expectation over the branches of a `prob`-annotated decision: every
+  /// branch is walked to the common merge, weighted by its probability,
+  /// and the expected elapsed/demand is emitted as one Compute step.
+  /// Returns the node after the merge to continue from (the merge itself
+  /// is consumed here, so an enclosing branch walk never mistakes it for
+  /// its own reconvergence point).
+  const Node* execute_expected_decision(const ActivityDiagram& diagram,
+                                        const Node& node) {
+    ++st.elements;
+    const auto outgoing = diagram.outgoing(node.id());
+    if (outgoing.empty()) {
+      throw AnalyticError("decision " + node.id() + " has no outgoing edges");
+    }
+    std::vector<double> weights(outgoing.size(), -1);
+    double tagged_sum = 0;
+    std::size_t untagged = 0;
+    for (std::size_t i = 0; i < outgoing.size(); ++i) {
+      if (const auto prob = outgoing[i]->tag_number(uml::tag::kProb)) {
+        if (*prob < 0 || *prob > 1 || std::isnan(*prob)) {
+          throw AnalyticError("decision " + node.id() + ": edge " +
+                              outgoing[i]->id() + " has prob outside [0, 1]");
+        }
+        weights[i] = *prob;
+        tagged_sum += *prob;
+      } else {
+        ++untagged;
+      }
+    }
+    if (tagged_sum > 1 + 1e-9) {
+      throw AnalyticError("decision " + node.id() +
+                          ": branch probabilities sum to more than 1");
+    }
+    const double rest =
+        untagged > 0
+            ? std::max(0.0, 1.0 - tagged_sum) / static_cast<double>(untagged)
+            : 0;
+    double norm = 0;
+    for (auto& weight : weights) {
+      if (weight < 0) {
+        weight = rest;
+      }
+      norm += weight;
+    }
+    if (norm <= 0) {
+      throw AnalyticError("decision " + node.id() +
+                          ": branch probabilities sum to zero");
+    }
+
+    std::string merge_id;
+    double expected_elapsed = 0;
+    double expected_demand = 0;
+    for (std::size_t i = 0; i < outgoing.size(); ++i) {
+      const Node* target = diagram.node(outgoing[i]->target());
+      if (target == nullptr) {
+        throw AnalyticError("decision " + node.id() + ": dangling edge");
+      }
+      const double weight = weights[i] / norm;
+      std::string branch_merge;
+      WalkResult branch;
+      Walker walker = sub(branch);
+      walker.allow_fragments = false;
+      walker.walk(diagram, *target, NodeKind::Merge, &branch_merge);
+      if (branch_merge.empty()) {
+        throw AnalyticError("decision " + node.id() +
+                            ": probability-weighted branches must "
+                            "reconverge at a merge");
+      }
+      if (merge_id.empty()) {
+        merge_id = branch_merge;
+      } else if (merge_id != branch_merge) {
+        throw AnalyticError("decision " + node.id() +
+                            ": branches reach different merges ('" +
+                            merge_id + "' vs '" + branch_merge + "')");
+      }
+      expected_elapsed += weight * sum_elapsed(branch.events);
+      expected_demand += weight * sum_demand(branch.events);
+      merge_criticals(branch, weight);
+    }
+    emit_compute(expected_elapsed, expected_demand);
+    const Node* merge = diagram.node(merge_id);
+    ++st.elements;  // the consumed merge
+    return next_node(diagram, *merge);
+  }
+
+  void execute_action(const Node& node) {
+    run_fragment(node);
+    const std::string& stereotype = node.stereotype();
+    const auto& params = st.params;
+    if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
+      double cost = 0;
+      if (has_node_expr(node, uml::tag::kCost)) {
+        cost = eval_node_expr(node, uml::tag::kCost);
+      } else if (auto time = node.tag_number(uml::tag::kTime)) {
+        cost = *time;
+      }
+      const double seconds = machine::compute_time(params, cost);
+      emit_compute(seconds, seconds);
+    } else if (stereotype == uml::stereo::kSend) {
+      require_comm(node);
+      const int dest =
+          static_cast<int>(eval_node_expr(node, uml::tag::kDest));
+      const double bytes = eval_node_expr(node, uml::tag::kSize);
+      const int tag =
+          static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
+      emit_busy(params.network_overhead);
+      out.events.push_back({EvKind::Send, 0, 0, bytes, dest, tag});
+    } else if (stereotype == uml::stereo::kRecv) {
+      require_comm(node);
+      const int source =
+          static_cast<int>(eval_node_expr(node, uml::tag::kSource));
+      const int tag =
+          static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
+      out.events.push_back({EvKind::Recv, 0, 0, 0, source, tag});
+    } else if (stereotype == uml::stereo::kBarrier) {
+      require_comm(node);
+      out.events.push_back(
+          {EvKind::Barrier, machine::barrier_time(params), 0, 0, 0, 0});
+    } else if (stereotype == uml::stereo::kBroadcast ||
+               stereotype == uml::stereo::kReduce ||
+               stereotype == uml::stereo::kAllReduce ||
+               stereotype == uml::stereo::kScatter ||
+               stereotype == uml::stereo::kGather) {
+      require_comm(node);
+      const double bytes = eval_node_expr(node, uml::tag::kSize);
+      const double hold = workload::CollectiveElement::model_time(
+          params, collective_kind(stereotype), params.processes, bytes);
+      out.events.push_back({EvKind::Barrier, hold, 0, 0, 0, 0});
+    } else if (stereotype == uml::stereo::kOmpFor) {
+      const double iterations = eval_node_expr(node, uml::tag::kIterations);
+      const double itercost = eval_node_expr(node, uml::tag::kIterCost);
+      std::string schedule = node.tag_string(uml::tag::kSchedule);
+      if (schedule.empty()) {
+        schedule = "static";
+      }
+      const auto chunk = static_cast<std::int64_t>(
+          node.tag_number(uml::tag::kChunk).value_or(0));
+      const int threads = region_threads > 0 ? region_threads : 1;
+      const double compute = workload::WorkshareElement::model_compute(
+          iterations, itercost, schedule, chunk, threads, tid);
+      const double seconds = machine::compute_time(params, compute);
+      emit_compute(seconds, seconds);
+    } else if (stereotype == uml::stereo::kOmpBarrier) {
+      // Region threads are modeled as aligned (the region advances at the
+      // pace of its slowest thread), so an intra-region barrier costs
+      // nothing extra here — exactly what the simulator charges.
+    } else {
+      throw AnalyticError("node " + node.id() +
+                          ": unsupported stereotype <<" + stereotype +
+                          ">> on an action node");
+    }
+  }
+
+  void execute_activity(const Node& node) {
+    run_fragment(node);
+    const ActivityDiagram* sub_diagram =
+        impl.model->diagram(node.subdiagram_id());
+    const std::string& stereotype = node.stereotype();
+    if (stereotype == uml::stereo::kOmpParallel) {
+      int threads = st.params.threads_per_process;
+      if (node.has_tag(uml::tag::kNumThreads) &&
+          !node.tag_string(uml::tag::kNumThreads).empty()) {
+        threads =
+            static_cast<int>(eval_node_expr(node, uml::tag::kNumThreads));
+      }
+      if (threads < 1) {
+        throw AnalyticError("parallel region at node " + node.id() +
+                            ": num_threads must be >= 1");
+      }
+      double max_elapsed = 0;
+      double total_demand = 0;
+      for (int thread = 0; thread < threads; ++thread) {
+        WalkResult thread_result;
+        Walker walker = sub(thread_result);
+        walker.tid = thread;
+        walker.region_threads = threads;
+        walker.run_diagram(*sub_diagram);
+        max_elapsed = std::max(max_elapsed, sum_elapsed(thread_result.events));
+        total_demand += sum_demand(thread_result.events);
+        merge_criticals(thread_result, 1.0);
+      }
+      emit_compute(max_elapsed, total_demand);
+    } else if (stereotype == uml::stereo::kOmpCritical) {
+      std::string lock = node.tag_string(uml::tag::kCriticalName);
+      if (lock.empty()) {
+        lock = "default";
+      }
+      WalkResult body;
+      Walker walker = sub(body);
+      walker.run_diagram(*sub_diagram);
+      // The body runs on this process's critical path; the lock-held time
+      // additionally serializes against every other holder of `lock`.
+      out.critical_demand[lock] += sum_elapsed(body.events);
+      merge_criticals(body, 1.0);
+      for (const auto& event : body.events) {
+        append_event(event);
+      }
+    } else {
+      // <<activity+>> (or unstereotyped composite): inline content.
+      run_diagram(*sub_diagram);
+    }
+  }
+
+  void execute_loop(const Node& node) {
+    run_fragment(node);
+    const ActivityDiagram* body = impl.model->diagram(node.subdiagram_id());
+    const double raw = eval_node_expr(node, uml::tag::kIterations);
+    if (std::isnan(raw) || raw < 0) {
+      throw AnalyticError("loop " + node.id() +
+                          ": iteration count is negative or NaN");
+    }
+    const auto iterations = static_cast<std::int64_t>(raw);
+    if (iterations == 0) {
+      return;
+    }
+    std::string var = node.tag_string(uml::tag::kLoopVar);
+    if (var.empty()) {
+      var = "i";
+    }
+    bindings->push_back({var, 0.0, false});
+
+    // First iteration into a capture buffer: when the body provably does
+    // not depend on the trip variable and has no side effects, the
+    // remaining iterations are the first one times (n - 1) — the symbolic
+    // trip-count resolution that keeps deep loop nests O(body), not
+    // O(body * n).
+    const std::uint64_t fragments_before = st.fragments_executed;
+    WalkResult first;
+    {
+      Walker walker = sub(first);
+      walker.allow_comm = allow_comm;
+      walker.run_diagram(*body);
+    }
+    const bool collapsible = !bindings->back().read &&
+                             st.fragments_executed == fragments_before &&
+                             compute_only(first.events);
+    for (const auto& event : first.events) {
+      append_event(event);
+    }
+    merge_criticals(first, 1.0);
+    if (collapsible) {
+      const auto rest = static_cast<double>(iterations - 1);
+      emit_compute(rest * sum_elapsed(first.events),
+                   rest * sum_demand(first.events));
+      merge_criticals(first, rest);
+    } else {
+      for (std::int64_t k = 1; k < iterations; ++k) {
+        bindings->back().value = static_cast<double>(k);
+        run_diagram(*body);
+      }
+    }
+    bindings->pop_back();
+  }
+
+  void append_event(const Event& event) {
+    // Re-coalesce adjacent Compute/Busy runs when splicing sub-results.
+    if (event.kind == EvKind::Compute) {
+      emit_compute(event.elapsed, event.demand);
+    } else if (event.kind == EvKind::Busy) {
+      emit_busy(event.elapsed);
+    } else {
+      out.events.push_back(event);
+    }
+  }
+
+  void merge_criticals(const WalkResult& from, double weight) {
+    for (const auto& [name, demand] : from.critical_demand) {
+      out.critical_demand[name] += weight * demand;
+    }
+  }
+
+  void walk_process() {
+    // Per-process locals, initialized in declaration order.
+    for (const auto& variable : impl.variables) {
+      if (variable.scope != uml::VariableScope::Local) {
+        continue;
+      }
+      double value = 0;
+      if (variable.initializer != nullptr) {
+        const NodeEnv env(*this, 0);
+        try {
+          value = expr::evaluate(*variable.initializer, env);
+        } catch (const expr::EvalError& error) {
+          throw AnalyticError("initializer of variable " + variable.name +
+                              ": " + error.what());
+        }
+      }
+      (*locals)[variable.name] = coerce(variable.type, value);
+    }
+    run_diagram(*impl.model->main_diagram());
+  }
+};
+
+/// Function-body environment: parameters, globals and the structural
+/// system parameters only (mirrors the interpreter and Fig. 8a's
+/// file-scope C++ functions).
+class FunctionEnv final : public expr::Environment {
+ public:
+  using Impl = AnalyticEstimator::Impl;
+
+  FunctionEnv(const Impl& impl, Impl::EvalState& st, const ParsedFunction& fn,
+              std::span<const double> args)
+      : impl_(&impl), st_(&st), fn_(&fn), args_(args) {}
+
+  [[nodiscard]] std::optional<double> variable(
+      std::string_view name) const override {
+    for (std::size_t i = 0; i < fn_->parameters.size(); ++i) {
+      if (fn_->parameters[i] == name) {
+        return i < args_.size() ? args_[i] : 0.0;
+      }
+    }
+    if (const auto it = st_->globals.find(std::string(name));
+        it != st_->globals.end()) {
+      return it->second;
+    }
+    return impl_->structural_parameter(*st_, name);
+  }
+
+  [[nodiscard]] std::optional<double> call(
+      std::string_view name, std::span<const double> args) const override {
+    return impl_->call_function(*st_, name, args);
+  }
+
+ private:
+  const Impl* impl_;
+  Impl::EvalState* st_;
+  const ParsedFunction* fn_;
+  std::span<const double> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Replay: dependency resolution across processes
+// ---------------------------------------------------------------------------
+
+struct ReplayOutcome {
+  std::vector<double> finish;       // per-process clock
+  std::vector<double> node_demand;  // contended CPU seconds per node
+};
+
+ReplayOutcome replay(const machine::SystemParameters& params,
+                     const std::vector<const WalkResult*>& per_pid) {
+  const int np = params.processes;
+  struct Proc {
+    std::size_t cursor = 0;
+    double clock = 0;
+    bool at_barrier = false;
+    bool finished = false;
+  };
+  std::vector<Proc> procs(static_cast<std::size_t>(np));
+  std::vector<int> node(static_cast<std::size_t>(np));
+  for (int pid = 0; pid < np; ++pid) {
+    node[static_cast<std::size_t>(pid)] = machine::node_of(params, pid);
+  }
+  ReplayOutcome outcome;
+  outcome.node_demand.assign(static_cast<std::size_t>(params.nodes), 0.0);
+
+  // FIFO per (dst, src, tag) — the simulator's mailbox matching rule.
+  std::map<std::tuple<int, int, int>, std::deque<std::pair<double, double>>>
+      ledger;
+
+  int waiting = 0;
+  int finished = 0;
+  bool progressed = true;
+  while (finished < np && progressed) {
+    progressed = false;
+    for (int pid = 0; pid < np; ++pid) {
+      Proc& proc = procs[static_cast<std::size_t>(pid)];
+      if (proc.finished || proc.at_barrier) {
+        continue;
+      }
+      const auto& events = per_pid[static_cast<std::size_t>(pid)]->events;
+      while (proc.cursor < events.size()) {
+        const Event& event = events[proc.cursor];
+        if (event.kind == EvKind::Compute) {
+          proc.clock += event.elapsed;
+          outcome.node_demand[static_cast<std::size_t>(
+              node[static_cast<std::size_t>(pid)])] += event.demand;
+        } else if (event.kind == EvKind::Busy) {
+          proc.clock += event.elapsed;
+        } else if (event.kind == EvKind::Send) {
+          ledger[{event.peer, pid, event.tag}].emplace_back(proc.clock,
+                                                            event.bytes);
+        } else if (event.kind == EvKind::Recv) {
+          auto it = ledger.find({pid, event.peer, event.tag});
+          if (it == ledger.end() || it->second.empty()) {
+            break;  // blocked until the matching send is replayed
+          }
+          const auto [sent_at, bytes] = it->second.front();
+          it->second.pop_front();
+          const double arrival =
+              sent_at + machine::message_time(params, event.peer, pid, bytes);
+          proc.clock = std::max(proc.clock, arrival);
+        } else {  // Barrier
+          proc.at_barrier = true;
+          ++waiting;
+          progressed = true;
+          if (waiting == np) {
+            double release = 0;
+            for (const auto& other : procs) {
+              release = std::max(release, other.clock);
+            }
+            for (int other = 0; other < np; ++other) {
+              Proc& peer = procs[static_cast<std::size_t>(other)];
+              const auto& peer_events =
+                  per_pid[static_cast<std::size_t>(other)]->events;
+              peer.clock = release + peer_events[peer.cursor].elapsed;
+              ++peer.cursor;
+              peer.at_barrier = false;
+            }
+            waiting = 0;
+            // This process's cursor advanced with everyone else's;
+            // continue draining it.
+            continue;
+          }
+          break;  // parked until the last participant arrives
+        }
+        ++proc.cursor;
+        progressed = true;
+      }
+      if (!proc.at_barrier && proc.cursor >= events.size() &&
+          !proc.finished) {
+        proc.finished = true;
+        ++finished;
+      }
+    }
+  }
+
+  if (finished < np) {
+    std::ostringstream why;
+    why << "communication deadlock during analytic replay:";
+    for (int pid = 0; pid < np; ++pid) {
+      const Proc& proc = procs[static_cast<std::size_t>(pid)];
+      if (proc.finished) {
+        continue;
+      }
+      const auto& events = per_pid[static_cast<std::size_t>(pid)]->events;
+      why << " p" << pid;
+      if (proc.at_barrier) {
+        why << " waits at a barrier;";
+      } else if (proc.cursor < events.size() &&
+                 events[proc.cursor].kind == EvKind::Recv) {
+        why << " waits for a message from p" << events[proc.cursor].peer
+            << ";";
+      } else {
+        why << " is blocked;";
+      }
+    }
+    throw AnalyticError(why.str());
+  }
+
+  outcome.finish.reserve(static_cast<std::size_t>(np));
+  for (const auto& proc : procs) {
+    outcome.finish.push_back(proc.clock);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl::evaluate — walk, replay, bound
+// ---------------------------------------------------------------------------
+
+std::optional<double> AnalyticEstimator::Impl::call_function(
+    EvalState& st, std::string_view name, std::span<const double> args) const {
+  const auto it = functions.find(std::string(name));
+  if (it == functions.end()) {
+    return std::nullopt;  // fall back to expr built-ins
+  }
+  if (st.call_depth > 64) {
+    throw AnalyticError("cost-function call depth exceeded (cycle?)");
+  }
+  ++st.call_depth;
+  const FunctionEnv env(*this, st, it->second, args);
+  const double result = expr::evaluate(*it->second.body, env);
+  --st.call_depth;
+  return result;
+}
+
+AnalyticReport AnalyticEstimator::Impl::evaluate(
+    const machine::SystemParameters& params) const {
+  params.validate();
+  EvalState st;
+  st.params = params;
+
+  // Global variables, initialized in declaration order (interpreter
+  // start_run semantics).
+  std::size_t total_nodes = 0;
+  for (const auto& diagram : model->diagrams()) {
+    total_nodes += diagram->node_count();
+  }
+  {
+    std::map<std::string, double> no_locals;
+    std::vector<LoopBinding> no_bindings;
+    WalkResult unused;
+    std::uint64_t steps = 0;
+    Walker init(*this, st, unused);
+    init.locals = &no_locals;
+    init.bindings = &no_bindings;
+    init.steps = &steps;
+    init.step_limit = 1;
+    for (const auto& variable : variables) {
+      if (variable.scope != uml::VariableScope::Global) {
+        continue;
+      }
+      double value = 0;
+      if (variable.initializer != nullptr) {
+        const Walker::NodeEnv env(init, 0);
+        try {
+          value = expr::evaluate(*variable.initializer, env);
+        } catch (const expr::EvalError& error) {
+          throw AnalyticError("initializer of variable " + variable.name +
+                              ": " + error.what());
+        }
+      }
+      st.globals[variable.name] = coerce(variable.type, value);
+    }
+  }
+
+  const int np = params.processes;
+  std::vector<WalkResult> storage;
+  storage.reserve(static_cast<std::size_t>(np));
+  std::vector<const WalkResult*> per_pid(static_cast<std::size_t>(np));
+
+  const auto walk_one = [&](int pid) -> WalkResult {
+    WalkResult result;
+    std::map<std::string, double> locals;
+    std::vector<LoopBinding> bindings;
+    std::uint64_t steps = 0;
+    Walker walker(*this, st, result);
+    walker.pid = pid;
+    walker.locals = &locals;
+    walker.bindings = &bindings;
+    walker.steps = &steps;
+    walker.step_limit = 1000000ULL + 1000ULL * total_nodes;
+    walker.walk_process();
+    return result;
+  };
+
+  st.pid_queried = false;
+  const std::uint64_t fragments_before = st.fragments_executed;
+  storage.push_back(walk_one(0));
+  if (!st.pid_queried && st.fragments_executed == fragments_before) {
+    // The walk is process-independent (no pid/tid reads, no state
+    // mutation): every process repeats the same timeline, so one walk
+    // serves all np — the SPMD fast path that makes grid sweeps cheap.
+    for (int pid = 0; pid < np; ++pid) {
+      per_pid[static_cast<std::size_t>(pid)] = &storage[0];
+    }
+  } else {
+    for (int pid = 1; pid < np; ++pid) {
+      storage.push_back(walk_one(pid));
+    }
+    for (int pid = 0; pid < np; ++pid) {
+      per_pid[static_cast<std::size_t>(pid)] =
+          &storage[static_cast<std::size_t>(pid)];
+    }
+  }
+
+  const ReplayOutcome outcome = replay(params, per_pid);
+
+  AnalyticReport report;
+  report.processes = np;
+  report.evaluated_elements = st.elements;
+  double makespan = 0;
+  for (int pid = 0; pid < np; ++pid) {
+    const double finish = outcome.finish[static_cast<std::size_t>(pid)];
+    report.per_process_finish[pid] = finish;
+    makespan = std::max(makespan, finish);
+  }
+
+  // Contention correction: a node's processors can serve at most
+  // `processors_per_node` compute-seconds per second, so its total demand
+  // divided by the server count lower-bounds the makespan (deterministic
+  // M/M/k heavy-traffic limit).  Named critical sections serialize their
+  // total lock-held demand the same way.
+  const auto servers = static_cast<double>(params.processors_per_node);
+  for (const double demand : outcome.node_demand) {
+    makespan = std::max(makespan, demand / servers);
+  }
+  std::map<std::string, double> critical_totals;
+  for (const auto* result : per_pid) {
+    for (const auto& [name, demand] : result->critical_demand) {
+      critical_totals[name] += demand;
+    }
+  }
+  for (const auto& [name, demand] : critical_totals) {
+    makespan = std::max(makespan, demand);
+  }
+  report.predicted_time = makespan;
+
+  report.node_loads.reserve(outcome.node_demand.size());
+  for (std::size_t n = 0; n < outcome.node_demand.size(); ++n) {
+    NodeLoad load;
+    load.compute_demand = outcome.node_demand[n];
+    load.utilization = makespan > 0
+                           ? outcome.node_demand[n] / (servers * makespan)
+                           : 0;
+    load.processes = 0;
+    report.node_loads.push_back(load);
+  }
+  for (int pid = 0; pid < np; ++pid) {
+    ++report
+          .node_loads[static_cast<std::size_t>(machine::node_of(params, pid))]
+          .processes;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+std::string AnalyticReport::machine_report() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  for (std::size_t n = 0; n < node_loads.size(); ++n) {
+    out << "node" << n << ": utilization " << node_loads[n].utilization
+        << ", demand " << node_loads[n].compute_demand << " s, processes "
+        << node_loads[n].processes << '\n';
+  }
+  return out.str();
+}
+
+std::string AnalyticReport::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(12);
+  out << "predicted time: " << predicted_time << " s (analytic)\n";
+  out << "processes:      " << processes << '\n';
+  out << "elements:       " << evaluated_elements << '\n';
+  for (const auto& [pid, finish] : per_process_finish) {
+    out << "  p" << pid << " finished at " << finish << " s\n";
+  }
+  const std::string machine = machine_report();
+  if (!machine.empty()) {
+    out << "-- machine --\n" << machine;
+  }
+  return out.str();
+}
+
+AnalyticEstimator::AnalyticEstimator(const uml::Model& model)
+    : impl_(std::make_unique<Impl>(model)) {}
+
+AnalyticEstimator::AnalyticEstimator(uml::Model&& model) {
+  auto owned = std::make_unique<uml::Model>(std::move(model));
+  impl_ = std::make_unique<Impl>(*owned);
+  impl_->owned.emplace(std::move(*owned));
+  impl_->model = &*impl_->owned;
+}
+
+AnalyticEstimator::~AnalyticEstimator() = default;
+
+AnalyticReport AnalyticEstimator::evaluate(
+    const machine::SystemParameters& params) const {
+  return impl_->evaluate(params);
+}
+
+}  // namespace prophet::analytic

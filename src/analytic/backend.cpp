@@ -1,0 +1,47 @@
+#include "prophet/analytic/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/interp/interpreter.hpp"
+
+namespace prophet::analytic {
+
+estimator::PredictionReport SimulationBackend::estimate(
+    const uml::Model& model, const machine::SystemParameters& params,
+    const estimator::EstimationOptions& options) const {
+  interp::Interpreter interpreter(model);
+  const estimator::SimulationManager manager(params, options);
+  return manager.run(interpreter);
+}
+
+estimator::PredictionReport AnalyticBackend::estimate(
+    const uml::Model& model, const machine::SystemParameters& params,
+    const estimator::EstimationOptions& options) const {
+  (void)options;  // no trace to collect: nothing is simulated
+  const AnalyticEstimator analyzer(model);
+  const AnalyticReport analytic = analyzer.evaluate(params);
+  estimator::PredictionReport report;
+  report.predicted_time = analytic.predicted_time;
+  report.per_process_finish = analytic.per_process_finish;
+  report.processes = analytic.processes;
+  report.events = 0;
+  report.machine_report = analytic.machine_report();
+  return report;
+}
+
+std::unique_ptr<estimator::Backend> make_backend(estimator::BackendKind kind) {
+  switch (kind) {
+    case estimator::BackendKind::Simulation:
+      return std::make_unique<SimulationBackend>();
+    case estimator::BackendKind::Analytic:
+      return std::make_unique<AnalyticBackend>();
+    case estimator::BackendKind::Both:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_backend: 'both' selects cross-validation, not a single backend");
+}
+
+}  // namespace prophet::analytic

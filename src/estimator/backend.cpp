@@ -1,0 +1,30 @@
+#include "prophet/estimator/backend.hpp"
+
+namespace prophet::estimator {
+
+std::string_view to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Simulation:
+      return "sim";
+    case BackendKind::Analytic:
+      return "analytic";
+    case BackendKind::Both:
+      return "both";
+  }
+  return "unknown";
+}
+
+std::optional<BackendKind> backend_from_string(std::string_view text) {
+  if (text == "sim" || text == "simulation") {
+    return BackendKind::Simulation;
+  }
+  if (text == "analytic") {
+    return BackendKind::Analytic;
+  }
+  if (text == "both") {
+    return BackendKind::Both;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prophet::estimator

@@ -135,15 +135,49 @@ MachineModel::MachineModel(sim::Engine& engine, SystemParameters params)
   }
 }
 
-int MachineModel::node_of(int pid) const {
-  if (pid < 0 || pid >= params_.processes) {
+int node_of(const SystemParameters& params, int pid) {
+  if (pid < 0 || pid >= params.processes) {
     throw std::out_of_range("pid " + std::to_string(pid) +
                             " outside [0, processes)");
   }
   // Block distribution: ceil(np / nn) consecutive ranks per node.
-  const int per_node =
-      (params_.processes + params_.nodes - 1) / params_.nodes;
+  const int per_node = (params.processes + params.nodes - 1) / params.nodes;
   return pid / per_node;
+}
+
+double message_time(const SystemParameters& params, int src_pid, int dst_pid,
+                    double bytes) {
+  if (node_of(params, src_pid) == node_of(params, dst_pid)) {
+    return params.memory_latency + bytes / params.memory_bandwidth;
+  }
+  return params.network_latency + bytes / params.network_bandwidth;
+}
+
+double collective_round_time(const SystemParameters& params, double bytes) {
+  // A round of a tree collective is dominated by the slowest link, which
+  // is inter-node as soon as more than one node participates.
+  if (params.nodes > 1) {
+    return params.network_latency + bytes / params.network_bandwidth;
+  }
+  return params.memory_latency + bytes / params.memory_bandwidth;
+}
+
+int tree_rounds(int n) {
+  int rounds = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double barrier_time(const SystemParameters& params) {
+  return tree_rounds(params.processes) * params.barrier_latency;
+}
+
+int MachineModel::node_of(int pid) const {
+  return machine::node_of(params_, pid);
 }
 
 sim::Facility& MachineModel::node(int index) {
@@ -156,19 +190,11 @@ const sim::Facility& MachineModel::node(int index) const {
 
 double MachineModel::message_time(int src_pid, int dst_pid,
                                   double bytes) const {
-  if (node_of(src_pid) == node_of(dst_pid)) {
-    return params_.memory_latency + bytes / params_.memory_bandwidth;
-  }
-  return params_.network_latency + bytes / params_.network_bandwidth;
+  return machine::message_time(params_, src_pid, dst_pid, bytes);
 }
 
 double MachineModel::collective_round_time(double bytes) const {
-  // A round of a tree collective is dominated by the slowest link, which
-  // is inter-node as soon as more than one node participates.
-  if (params_.nodes > 1) {
-    return params_.network_latency + bytes / params_.network_bandwidth;
-  }
-  return params_.memory_latency + bytes / params_.memory_bandwidth;
+  return machine::collective_round_time(params_, bytes);
 }
 
 std::string MachineModel::utilization_report() const {

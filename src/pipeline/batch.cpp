@@ -3,16 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "prophet/analytic/backend.hpp"
 #include "prophet/check/checker.hpp"
 #include "prophet/codegen/transformer.hpp"
 #include "prophet/estimator/estimator.hpp"
-#include "prophet/interp/interpreter.hpp"
 #include "prophet/xmi/xmi.hpp"
 
 namespace prophet::pipeline {
@@ -58,10 +60,19 @@ BatchStats BatchReport::stats() const {
     }
     stats.mean_predicted += result.predicted_time;
     stats.total_events += result.events;
+    if (result.backend == estimator::BackendKind::Both) {
+      ++stats.compared;
+      stats.max_rel_error = std::max(stats.max_rel_error,
+                                     result.relative_error);
+      stats.mean_rel_error += result.relative_error;
+    }
     ++stats.ok;
   }
   if (stats.ok > 0) {
     stats.mean_predicted /= static_cast<double>(stats.ok);
+  }
+  if (stats.compared > 0) {
+    stats.mean_rel_error /= static_cast<double>(stats.compared);
   }
   return stats;
 }
@@ -86,8 +97,15 @@ std::string BatchReport::summary() const {
         << " ppn=" << result.params.processors_per_node << " nt="
         << result.params.threads_per_process;
     if (result.ok) {
-      out << " -> " << result.predicted_time << " s (" << result.events
-          << " events)";
+      out << " -> " << result.predicted_time << " s";
+      if (result.backend == estimator::BackendKind::Both) {
+        out << " (analytic " << result.analytic_predicted << " s, rel err "
+            << result.relative_error << ")";
+      } else if (result.backend == estimator::BackendKind::Analytic) {
+        out << " (analytic)";
+      } else {
+        out << " (" << result.events << " events)";
+      }
       if (result.check_warnings > 0) {
         out << " [" << result.check_warnings << " warning(s)]";
       }
@@ -103,6 +121,10 @@ std::string BatchReport::summary() const {
         << stats.mean_predicted << " s, max " << stats.max_predicted
         << " s; " << stats.total_events << " events";
   }
+  if (stats.compared > 0) {
+    out << "; analytic rel err mean " << stats.mean_rel_error << ", max "
+        << stats.max_rel_error;
+  }
   out << '\n';
   return out.str();
 }
@@ -110,8 +132,9 @@ std::string BatchReport::summary() const {
 std::string BatchReport::to_csv() const {
   std::ostringstream out;
   out.precision(12);
-  out << "job,model,np,nn,ppn,nt,cpu_speed,seed,ok,predicted_s,events,"
-         "warnings,generated_bytes,wall_s,error\n";
+  out << "job,model,np,nn,ppn,nt,cpu_speed,seed,backend,ok,predicted_s,"
+         "analytic_s,rel_error,events,warnings,generated_bytes,wall_s,"
+         "error\n";
   // Free-text fields (the model name may be a file path) must not break
   // the column layout.
   const auto sanitize = [](std::string text) {
@@ -126,7 +149,9 @@ std::string BatchReport::to_csv() const {
         << result.params.processors_per_node << ','
         << result.params.threads_per_process << ','
         << result.params.cpu_speed << ',' << result.seed << ','
+        << estimator::to_string(result.backend) << ','
         << (result.ok ? 1 : 0) << ',' << result.predicted_time << ','
+        << result.analytic_predicted << ',' << result.relative_error << ','
         << result.events << ',' << result.check_warnings << ','
         << result.generated_bytes << ',' << result.wall_seconds << ','
         << error << '\n';
@@ -238,17 +263,46 @@ ScenarioResult BatchRunner::run_job(const BatchJob& job) const {
     }
   }
 
-  // Stage 4: interpret + simulate.
-  try {
-    interp::Interpreter interpreter(std::move(model));
-    const estimator::SimulationManager manager(
-        job.params, estimator::EstimationOptions{.collect_trace = false});
-    const estimator::PredictionReport report = manager.run(interpreter);
-    result.predicted_time = report.predicted_time;
-    result.events = report.events;
-    result.processes = report.processes;
-  } catch (const std::exception& error) {
-    return fail("simulate", error.what());
+  // Stage 4: estimate with the selected backend(s).
+  const estimator::BackendKind kind = options_.backend;
+  result.backend = kind;
+  const estimator::EstimationOptions estimation{.collect_trace = false};
+  if (kind != estimator::BackendKind::Analytic) {
+    try {
+      const auto backend =
+          analytic::make_backend(estimator::BackendKind::Simulation);
+      const estimator::PredictionReport report =
+          backend->estimate(model, job.params, estimation);
+      result.predicted_time = report.predicted_time;
+      result.events = report.events;
+      result.processes = report.processes;
+    } catch (const std::exception& error) {
+      return fail("simulate", error.what());
+    }
+  }
+  if (kind != estimator::BackendKind::Simulation) {
+    try {
+      const auto backend =
+          analytic::make_backend(estimator::BackendKind::Analytic);
+      const estimator::PredictionReport report =
+          backend->estimate(model, job.params, estimation);
+      result.analytic_predicted = report.predicted_time;
+      result.processes = report.processes;
+      if (kind == estimator::BackendKind::Analytic) {
+        result.predicted_time = report.predicted_time;
+      } else if (result.predicted_time > 0) {
+        result.relative_error =
+            std::abs(result.analytic_predicted - result.predicted_time) /
+            result.predicted_time;
+      } else {
+        result.relative_error =
+            result.analytic_predicted > 0
+                ? std::numeric_limits<double>::infinity()
+                : 0;
+      }
+    } catch (const std::exception& error) {
+      return fail("analytic", error.what());
+    }
   }
 
   result.ok = true;

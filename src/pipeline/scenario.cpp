@@ -34,6 +34,24 @@ double parse_number(std::string_view spec, std::string_view token) {
   return value;
 }
 
+/// Canonical field name behind a sweep parameter, so aliased axes
+/// ("np=..." and "processes=...") are recognized as duplicates.
+std::string_view canonical_parameter(std::string_view name) {
+  if (name == "processes") {
+    return "np";
+  }
+  if (name == "nodes") {
+    return "nn";
+  }
+  if (name == "processors_per_node") {
+    return "ppn";
+  }
+  if (name == "threads" || name == "threads_per_process") {
+    return "nt";
+  }
+  return name;
+}
+
 }  // namespace
 
 void ScenarioGrid::apply(machine::SystemParameters& params,
@@ -84,6 +102,13 @@ ScenarioGrid& ScenarioGrid::axis(std::string name,
   }
   if (!is_parameter(name)) {
     throw std::invalid_argument("unknown sweep parameter '" + name + "'");
+  }
+  for (const auto& existing : axes_) {
+    if (canonical_parameter(existing.name) == canonical_parameter(name)) {
+      throw std::invalid_argument("duplicate sweep axis '" + name +
+                                  "' (already swept as '" + existing.name +
+                                  "')");
+    }
   }
   axes_.push_back(Axis{std::move(name), std::move(values)});
   return *this;

@@ -4,20 +4,8 @@
 #include <stdexcept>
 
 namespace prophet::workload {
-namespace {
 
-/// ceil(log2(n)) for n >= 1 — rounds of a binomial tree.
-int tree_rounds(int n) {
-  int rounds = 0;
-  int reach = 1;
-  while (reach < n) {
-    reach *= 2;
-    ++rounds;
-  }
-  return rounds;
-}
-
-}  // namespace
+using machine::tree_rounds;
 
 Communicator::Communicator(sim::Engine& engine,
                            machine::MachineModel& machine)
@@ -159,13 +147,13 @@ CollectiveElement::CollectiveElement(ModelContext& ctx, std::string name,
                                      CollectiveKind kind)
     : ctx_(&ctx), name_(std::move(name)), kind_(kind) {}
 
-double CollectiveElement::model_time(const machine::MachineModel& machine,
+double CollectiveElement::model_time(const machine::SystemParameters& params,
                                      CollectiveKind kind, int n,
                                      double bytes) {
   if (n <= 1) {
     return 0;
   }
-  const double round = machine.collective_round_time(bytes);
+  const double round = machine::collective_round_time(params, bytes);
   switch (kind) {
     case CollectiveKind::Broadcast:
     case CollectiveKind::Reduce:
@@ -176,9 +164,16 @@ double CollectiveElement::model_time(const machine::MachineModel& machine,
     case CollectiveKind::Gather:
       // Root sends/receives n-1 messages of bytes/n each, sequentially.
       return static_cast<double>(n - 1) *
-             machine.collective_round_time(bytes / static_cast<double>(n));
+             machine::collective_round_time(params,
+                                            bytes / static_cast<double>(n));
   }
   return 0;
+}
+
+double CollectiveElement::model_time(const machine::MachineModel& machine,
+                                     CollectiveKind kind, int n,
+                                     double bytes) {
+  return model_time(machine.params(), kind, n, bytes);
 }
 
 sim::Process CollectiveElement::execute(int uid, int pid, int tid,
@@ -233,16 +228,11 @@ std::int64_t WorkshareElement::static_share(std::int64_t iterations,
   return base + (tid < extra ? 1 : 0);
 }
 
-sim::Process WorkshareElement::execute(int uid, int pid, int tid,
-                                       double iterations, double itercost,
+double WorkshareElement::model_compute(double iterations, double itercost,
                                        const std::string& schedule,
-                                       std::int64_t chunk) {
-  sim::Engine& engine = *ctx_->engine;
-  const double start = engine.now();
-  const int threads =
-      ctx_->region != nullptr ? ctx_->region->num_threads : 1;
+                                       std::int64_t chunk, int threads,
+                                       int tid) {
   const auto total = static_cast<std::int64_t>(iterations);
-  double compute = 0;
   if (schedule == "dynamic") {
     // Dynamic scheduling balances perfectly but pays a dispatch overhead
     // per chunk; model the per-thread share as total/threads plus the
@@ -253,12 +243,22 @@ sim::Process WorkshareElement::execute(int uid, int pid, int tid,
                   static_cast<double>(chunk_size)) /
         static_cast<double>(threads);
     constexpr double kDispatchOverhead = 1e-7;
-    compute = static_cast<double>(total) / threads * itercost +
-              chunks * kDispatchOverhead;
-  } else {
-    compute = static_cast<double>(static_share(total, threads, tid)) *
-              itercost;
+    return static_cast<double>(total) / threads * itercost +
+           chunks * kDispatchOverhead;
   }
+  return static_cast<double>(static_share(total, threads, tid)) * itercost;
+}
+
+sim::Process WorkshareElement::execute(int uid, int pid, int tid,
+                                       double iterations, double itercost,
+                                       const std::string& schedule,
+                                       std::int64_t chunk) {
+  sim::Engine& engine = *ctx_->engine;
+  const double start = engine.now();
+  const int threads =
+      ctx_->region != nullptr ? ctx_->region->num_threads : 1;
+  const double compute =
+      model_compute(iterations, itercost, schedule, chunk, threads, tid);
   sim::Facility& processor = ctx_->machine->processor_of(pid);
   co_await processor.acquire();
   co_await engine.hold(ctx_->machine->compute_time(compute));

@@ -1,0 +1,108 @@
+// Backend cross-validation: the analytic estimator against the
+// discrete-event simulator on the deterministic built-in models, over the
+// parameter grids the paper's evaluation (Sec. 5) sweeps.  The acceptance
+// envelope is 15% relative error; the deterministic built-ins land far
+// inside it (the walk/replay reproduces the simulator's timeline, and the
+// node-bottleneck bound reproduces facility serialization exactly for
+// SPMD phases).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/prophet.hpp"
+#include "prophet/uml/model.hpp"
+
+namespace analytic = prophet::analytic;
+namespace machine = prophet::machine;
+
+namespace {
+
+constexpr double kEnvelope = 0.15;
+
+double relative_error(double candidate, double reference) {
+  if (reference == 0) {
+    return candidate == 0 ? 0 : 1;
+  }
+  return std::abs(candidate - reference) / reference;
+}
+
+void expect_cross_validated(const std::string& name,
+                            const prophet::uml::Model& model,
+                            const machine::SystemParameters& params,
+                            double envelope = kEnvelope) {
+  const analytic::AnalyticEstimator analyzer(model);
+  const auto predicted = analyzer.evaluate(params).predicted_time;
+  prophet::interp::Interpreter interpreter(model);
+  const prophet::estimator::SimulationManager manager(
+      params, {.collect_trace = false});
+  const auto reference = manager.run(interpreter).predicted_time;
+  EXPECT_LT(relative_error(predicted, reference), envelope)
+      << name << " np=" << params.processes << " nn=" << params.nodes
+      << " ppn=" << params.processors_per_node
+      << ": analytic " << predicted << " vs sim " << reference;
+}
+
+machine::SystemParameters sp(int np, int nodes, int ppn) {
+  machine::SystemParameters params;
+  params.processes = np;
+  params.nodes = nodes;
+  params.processors_per_node = ppn;
+  return params;
+}
+
+TEST(BackendCrossValidation, SampleModelWithinEnvelope) {
+  const auto model = prophet::models::sample_model();
+  for (const int np : {1, 2, 4, 8}) {
+    for (const int nodes : {1, 2}) {
+      for (const int ppn : {1, 2}) {
+        expect_cross_validated("@sample", model, sp(np, nodes, ppn));
+      }
+    }
+  }
+}
+
+TEST(BackendCrossValidation, Kernel6WithinEnvelope) {
+  const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
+  for (const int np : {1, 2, 4, 8}) {
+    for (const int nodes : {1, 2}) {
+      for (const int ppn : {1, 2}) {
+        expect_cross_validated("@kernel6", model, sp(np, nodes, ppn));
+      }
+    }
+  }
+}
+
+TEST(BackendCrossValidation, DetailedKernel6WithinEnvelope) {
+  const auto model = prophet::models::kernel6_detailed_model(32, 4, 1e-8);
+  for (const int np : {1, 4}) {
+    expect_cross_validated("@kernel6-detailed", model, sp(np, 1, 1));
+  }
+}
+
+TEST(BackendCrossValidation, PingPongWithinEnvelope) {
+  // Two ranks; intra-node (nodes=1) and inter-node (nodes=2) transfers.
+  const auto model = prophet::models::pingpong_model(1024, 8);
+  expect_cross_validated("@pingpong", model, sp(2, 1, 1));
+  expect_cross_validated("@pingpong", model, sp(2, 1, 2));
+  expect_cross_validated("@pingpong", model, sp(2, 2, 1));
+  const auto large = prophet::models::pingpong_model(1 << 20, 4);
+  expect_cross_validated("@pingpong-1MiB", large, sp(2, 2, 1));
+}
+
+TEST(BackendCrossValidation, RandomStructuredModelsWithinEnvelope) {
+  // Property-style: seeded random structured models (no communication,
+  // guarded decisions, nested activities and loops) must stay inside the
+  // envelope too — they exercise fragments, locals and pid-dependence.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    const auto model = prophet::models::random_model(seed, 24);
+    for (const int np : {1, 3, 8}) {
+      expect_cross_validated("random" + std::to_string(seed), model,
+                             sp(np, 2, 1));
+    }
+  }
+}
+
+}  // namespace

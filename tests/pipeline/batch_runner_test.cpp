@@ -170,6 +170,72 @@ TEST(BatchRunner, CsvSanitizesModelNamesWithCommas) {
   EXPECT_NE(csv.find("models/v2;final.xml"), std::string::npos) << csv;
 }
 
+TEST(BatchRunner, AnalyticBackendRunsWithoutSimulation) {
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  options.backend = prophet::estimator::BackendKind::Analytic;
+  pipeline::BatchRunner runner(options);
+  const int m = runner.add_model(
+      "kernel6", prophet::models::kernel6_model(64, 16, 1e-8));
+  runner.add_sweep(m, pipeline::ScenarioGrid::parse("np=1..8:*2"));
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 4u);
+  for (const auto& result : report.results) {
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.backend, prophet::estimator::BackendKind::Analytic);
+    EXPECT_GT(result.predicted_time, 0.0);
+    EXPECT_EQ(result.analytic_predicted, result.predicted_time);
+    EXPECT_EQ(result.events, 0u);  // nothing was simulated
+  }
+}
+
+TEST(BatchRunner, BothBackendCrossValidates) {
+  pipeline::BatchOptions options;
+  options.threads = 2;
+  options.backend = prophet::estimator::BackendKind::Both;
+  pipeline::BatchRunner runner(options);
+  const int m = runner.add_model(
+      "kernel6", prophet::models::kernel6_model(64, 16, 1e-8));
+  runner.add_sweep(m, pipeline::ScenarioGrid::parse("np=1..8:*2"));
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 4u);
+  for (const auto& result : report.results) {
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.predicted_time, 0.0);   // simulator reference
+    EXPECT_GT(result.analytic_predicted, 0.0);
+    EXPECT_GT(result.events, 0u);            // the simulator did run
+    // Deterministic compute-only model: the backends agree tightly.
+    EXPECT_LT(result.relative_error, 0.01) << result.params.processes;
+  }
+  const auto stats = report.stats();
+  EXPECT_EQ(stats.compared, 4u);
+  EXPECT_LE(stats.mean_rel_error, stats.max_rel_error);
+  EXPECT_LT(stats.max_rel_error, 0.01);
+  // The summary and CSV carry the cross-validation columns.
+  EXPECT_NE(report.summary().find("rel err"), std::string::npos);
+  EXPECT_NE(report.to_csv().find(",both,"), std::string::npos);
+}
+
+TEST(BatchRunner, BackendSelectionIsDeterministicAcrossThreads) {
+  const auto run_with = [](int threads) {
+    pipeline::BatchOptions options;
+    options.threads = threads;
+    options.backend = prophet::estimator::BackendKind::Analytic;
+    pipeline::BatchRunner runner(options);
+    runner.add_model("sample", prophet::models::sample_model());
+    runner.add_sweep_all(pipeline::ScenarioGrid::parse("np=1..4 nodes=1,2"));
+    return runner.run();
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].predicted_time,
+              parallel.results[i].predicted_time)
+        << "job " << i;
+  }
+}
+
 TEST(BatchRunner, RejectsOutOfRangeModelIndex) {
   pipeline::BatchRunner runner;
   EXPECT_THROW(runner.add_scenario(0, {}), std::out_of_range);

@@ -88,6 +88,71 @@ TEST(ScenarioGrid, ParseRejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(ScenarioGrid, ParseRejectsEmptyAxes) {
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np= nodes=1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=;nodes=1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1,"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGrid, ParseRejectsReversedRanges) {
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=8..1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=8..1:*2"),
+               std::invalid_argument);
+  // A single-point range is not reversed.
+  EXPECT_EQ(pipeline::ScenarioGrid::parse("np=4..4").axes()[0].values,
+            (std::vector<double>{4}));
+}
+
+TEST(ScenarioGrid, ParseRejectsNonAdvancingSteps) {
+  // Multiplicative factor of 1 or 0 (or negative) never advances.
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:*1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:*0"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:*-2"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:+0"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:+-1"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1..8:"),
+               std::invalid_argument);
+  // A geometric range must start above zero to advance.
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=0..8:*2"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGrid, RejectsDuplicateAxisNames) {
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1,2 np=4"),
+               std::invalid_argument);
+  // Aliases of the same SP field are duplicates too.
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np=1,2 processes=4"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("nt=1 threads_per_process=2"),
+               std::invalid_argument);
+  pipeline::ScenarioGrid grid;
+  grid.axis("np", {1, 2});
+  EXPECT_THROW(grid.axis("processes", {4}), std::invalid_argument);
+}
+
+TEST(ScenarioGrid, ParseHandlesWhitespace) {
+  const auto grid =
+      pipeline::ScenarioGrid::parse("  np=1,2\t\t nodes=1,2 ;; ppn=2  ");
+  ASSERT_EQ(grid.axes().size(), 3u);
+  EXPECT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid.axes()[0].name, "np");
+  EXPECT_EQ(grid.axes()[2].name, "ppn");
+  // An all-whitespace spec is the empty grid, not an error.
+  EXPECT_EQ(pipeline::ScenarioGrid::parse(" \t ; ").size(), 1u);
+  // Whitespace inside an axis splits the token and must be rejected.
+  EXPECT_THROW(pipeline::ScenarioGrid::parse("np = 1,2"),
+               std::invalid_argument);
+}
+
 TEST(ScenarioGrid, AppliesAliasesAndHardwareFields) {
   machine::SystemParameters params;
   pipeline::ScenarioGrid::apply(params, "processes", 8);

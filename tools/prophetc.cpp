@@ -3,23 +3,39 @@
 //   prophetc check <model.xml> [--mcf <mcf.xml>]
 //   prophetc generate <model.xml> [-o out.cpp] [--main]
 //   prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] [--nodes N]
-//                     [--ppn N] [--nt N] [--trace out.tf] [--gantt]
+//                     [--ppn N] [--nt N] [--backend sim|analytic|both]
+//                     [--trace out.tf] [--gantt]
 //   prophetc outline <model.xml>
 //   prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>]
+//                  [--backend sim|analytic|both] [--max-rel-error X]
 //                  [--threads N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen]
+//   prophetc --version
 //
 // Models are XMI files (see prophet/xmi); --sp loads the SP element of
 // Fig. 2 from XML, the individual flags override it.  sweep also accepts
 // the built-in models @sample, @kernel6 and @pingpong, and expands --grid
 // cross-products like "np=1..8:*2 nodes=1,2" over every input model.
+// --backend selects the estimation engine: the discrete-event simulator
+// (default), the closed-form analytic estimator, or both — which runs the
+// simulator as reference and reports the analytic model's relative error
+// (--max-rel-error fails a sweep whose worst error exceeds the bound).
+//
+// Every parse error prints usage and exits non-zero; flags are accepted
+// as `--flag value` or `--flag=value`.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "prophet/analytic/backend.hpp"
+#include "prophet/estimator/backend.hpp"
 #include "prophet/pipeline/batch.hpp"
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
@@ -27,7 +43,13 @@
 #include "prophet/xml/parser.hpp"
 #include "prophet/xmi/xmi.hpp"
 
+#ifndef PROPHET_VERSION
+#define PROPHET_VERSION "unknown"
+#endif
+
 namespace {
+
+namespace estimator = prophet::estimator;
 
 int usage() {
   std::fprintf(
@@ -36,20 +58,100 @@ int usage() {
       "  prophetc check <model.xml> [--mcf <mcf.xml>]\n"
       "  prophetc generate <model.xml> [-o out.cpp] [--main]\n"
       "  prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] "
-      "[--nodes N] [--ppn N] [--nt N] [--trace out.tf] [--gantt]\n"
+      "[--nodes N] [--ppn N] [--nt N] [--backend sim|analytic|both] "
+      "[--trace out.tf] [--gantt]\n"
       "  prophetc outline <model.xml>\n"
       "  prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>] "
-      "[--threads N] [--csv out.csv] [--seed S] [--no-check] "
-      "[--no-codegen]\n");
+      "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
+      "[--csv out.csv] [--seed S] [--no-check] [--no-codegen]\n"
+      "  prophetc --version\n");
   return 2;
+}
+
+[[nodiscard]] int parse_error(const std::string& message) {
+  std::fprintf(stderr, "prophetc: %s\n", message.c_str());
+  return usage();
+}
+
+/// Splits "--flag=value" tokens so every command loop only sees the
+/// `--flag value` shape.
+std::vector<std::string> normalize(const std::vector<std::string>& args) {
+  std::vector<std::string> out;
+  out.reserve(args.size());
+  for (const auto& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        out.push_back(arg.substr(0, eq));
+        out.push_back(arg.substr(eq + 1));
+        continue;
+      }
+    }
+    out.push_back(arg);
+  }
+  return out;
+}
+
+/// The value of flag `args[i]`, or nullopt (caller reports the error).
+/// An empty value (e.g. a bare `--csv=`) counts as missing.
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      std::size_t& i) {
+  if (i + 1 >= args.size() || args[i + 1].empty()) {
+    return std::nullopt;
+  }
+  return args[++i];
+}
+
+std::optional<int> parse_int(const std::string& text) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < -2147483647L ||
+      value > 2147483647L) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Common handler for `--flag <int>` updating `target`; returns false on
+/// a reported parse error.
+bool take_int(const std::vector<std::string>& args, std::size_t& i,
+              int& target, std::string* error) {
+  const std::string flag = args[i];
+  const auto value = flag_value(args, i);
+  if (!value) {
+    *error = flag + " requires a value";
+    return false;
+  }
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    *error = flag + ": '" + *value + "' is not an integer";
+    return false;
+  }
+  target = *parsed;
+  return true;
 }
 
 int cmd_check(const prophet::Prophet& prophet,
               const std::vector<std::string>& args) {
   prophet::check::ModelChecker checker;
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--mcf") {
-      checker.configure(prophet::xml::parse_file(args[i + 1]));
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--mcf requires a value");
+      }
+      checker.configure(prophet::xml::parse_file(*value));
+    } else {
+      return parse_error("check: unexpected argument '" + args[i] + "'");
     }
   }
   const auto diagnostics = checker.check(prophet.model());
@@ -64,10 +166,16 @@ int cmd_generate(const prophet::Prophet& prophet,
   prophet::codegen::TransformOptions options;
   std::string output;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "-o" && i + 1 < args.size()) {
-      output = args[i + 1];
+    if (args[i] == "-o") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("-o requires a value");
+      }
+      output = *value;
     } else if (args[i] == "--main") {
       options.emit_main = true;
+    } else {
+      return parse_error("generate: unexpected argument '" + args[i] + "'");
     }
   }
   const std::string cpp = prophet.transform(options);
@@ -90,30 +198,88 @@ int cmd_estimate(const prophet::Prophet& prophet,
   prophet::machine::SystemParameters params;
   std::string trace_path;
   bool gantt = false;
+  auto backend = estimator::BackendKind::Simulation;
+  std::string error;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    auto next_int = [&](int& target) {
-      if (i + 1 < args.size()) {
-        target = std::atoi(args[++i].c_str());
+    if (args[i] == "--sp") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--sp requires a value");
       }
-    };
-    if (args[i] == "--sp" && i + 1 < args.size()) {
-      params = prophet::machine::SystemParameters::load(args[++i]);
+      params = prophet::machine::SystemParameters::load(*value);
     } else if (args[i] == "--np") {
-      next_int(params.processes);
+      if (!take_int(args, i, params.processes, &error)) {
+        return parse_error(error);
+      }
     } else if (args[i] == "--nodes") {
-      next_int(params.nodes);
+      if (!take_int(args, i, params.nodes, &error)) {
+        return parse_error(error);
+      }
     } else if (args[i] == "--ppn") {
-      next_int(params.processors_per_node);
+      if (!take_int(args, i, params.processors_per_node, &error)) {
+        return parse_error(error);
+      }
     } else if (args[i] == "--nt") {
-      next_int(params.threads_per_process);
-    } else if (args[i] == "--trace" && i + 1 < args.size()) {
-      trace_path = args[++i];
+      if (!take_int(args, i, params.threads_per_process, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--backend") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--backend requires a value");
+      }
+      const auto kind = estimator::backend_from_string(*value);
+      if (!kind) {
+        return parse_error("--backend: unknown backend '" + *value +
+                           "' (expected sim, analytic or both)");
+      }
+      backend = *kind;
+    } else if (args[i] == "--trace") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--trace requires a value");
+      }
+      trace_path = *value;
     } else if (args[i] == "--gantt") {
       gantt = true;
+    } else {
+      return parse_error("estimate: unexpected argument '" + args[i] + "'");
     }
   }
-  const auto report = prophet.estimate(params);
+
+  if (backend == estimator::BackendKind::Analytic ||
+      backend == estimator::BackendKind::Both) {
+    if (!trace_path.empty() || gantt) {
+      return parse_error(
+          "--trace/--gantt need a simulation (use --backend sim)");
+    }
+  }
+  if (backend == estimator::BackendKind::Analytic) {
+    const auto report = prophet::analytic::AnalyticBackend().estimate(
+        prophet.model(), params);
+    std::printf("%s", report.summary().c_str());
+    return 0;
+  }
+
+  const auto report =
+      prophet.estimate(params, {.collect_trace = !trace_path.empty() || gantt});
   std::printf("%s", report.summary().c_str());
+  if (backend == estimator::BackendKind::Both) {
+    const auto analytic = prophet::analytic::AnalyticBackend().estimate(
+        prophet.model(), params);
+    // Same convention as the batch pipeline: a zero simulated time with a
+    // nonzero analytic prediction is total disagreement, not zero error.
+    double rel_error = 0;
+    if (report.predicted_time > 0) {
+      rel_error =
+          std::abs(analytic.predicted_time - report.predicted_time) /
+          report.predicted_time;
+    } else if (analytic.predicted_time > 0) {
+      rel_error = std::numeric_limits<double>::infinity();
+    }
+    std::printf("analytic time:  %.12f s (relative error %.6f)\n",
+                analytic.predicted_time, rel_error);
+  }
   if (!trace_path.empty()) {
     report.trace.save(trace_path);
     std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
@@ -135,6 +301,10 @@ void add_sweep_model(prophet::pipeline::BatchRunner& runner,
     runner.add_model(input, prophet::models::kernel6_model(64, 16, 1e-8));
   } else if (input == "@pingpong") {
     runner.add_model(input, prophet::models::pingpong_model(1024, 8));
+  } else if (!input.empty() && input[0] == '@') {
+    throw std::invalid_argument(
+        "unknown built-in model '" + input +
+        "' (available: @sample, @kernel6, @pingpong)");
   } else {
     runner.add_model_file(input);
   }
@@ -145,33 +315,85 @@ int cmd_sweep(const std::vector<std::string>& args) {
   prophet::machine::SystemParameters base;
   std::string grid_spec;
   std::string csv_path;
+  std::optional<double> max_rel_error;
   std::vector<std::string> inputs;
+  std::string error;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--grid" && i + 1 < args.size()) {
-      grid_spec = args[++i];
-    } else if (args[i] == "--sp" && i + 1 < args.size()) {
-      base = prophet::machine::SystemParameters::load(args[++i]);
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      options.threads = std::atoi(args[++i].c_str());
-    } else if (args[i] == "--csv" && i + 1 < args.size()) {
-      csv_path = args[++i];
-    } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      options.base_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    if (args[i] == "--grid") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--grid requires a value");
+      }
+      grid_spec = *value;
+    } else if (args[i] == "--sp") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--sp requires a value");
+      }
+      base = prophet::machine::SystemParameters::load(*value);
+    } else if (args[i] == "--threads") {
+      if (!take_int(args, i, options.threads, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--csv") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--csv requires a value");
+      }
+      csv_path = *value;
+    } else if (args[i] == "--seed") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--seed requires a value");
+      }
+      char* end = nullptr;
+      errno = 0;
+      options.base_seed = std::strtoull(value->c_str(), &end, 10);
+      // strtoull wraps negative input instead of failing; reject it.
+      if (end == value->c_str() || *end != '\0' || errno == ERANGE ||
+          value->find('-') != std::string::npos) {
+        return parse_error("--seed: '" + *value +
+                           "' is not a 64-bit unsigned integer");
+      }
+    } else if (args[i] == "--backend") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--backend requires a value");
+      }
+      const auto kind = estimator::backend_from_string(*value);
+      if (!kind) {
+        return parse_error("--backend: unknown backend '" + *value +
+                           "' (expected sim, analytic or both)");
+      }
+      options.backend = *kind;
+    } else if (args[i] == "--max-rel-error") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--max-rel-error requires a value");
+      }
+      max_rel_error = parse_double(*value);
+      // NaN must not slip through: comparisons against it are false, which
+      // would silently disable the gate.
+      if (!max_rel_error || !(*max_rel_error >= 0)) {
+        return parse_error("--max-rel-error: '" + *value +
+                           "' is not a non-negative number");
+      }
     } else if (args[i] == "--no-check") {
       options.run_checker = false;
     } else if (args[i] == "--no-codegen") {
       options.run_codegen = false;
     } else if (!args[i].empty() && args[i][0] == '-') {
-      std::fprintf(stderr, "prophetc sweep: unknown flag %s\n",
-                   args[i].c_str());
-      return usage();
+      return parse_error("sweep: unknown flag '" + args[i] + "'");
     } else {
       inputs.push_back(args[i]);
     }
   }
   if (inputs.empty()) {
-    std::fprintf(stderr, "prophetc sweep: no input models\n");
-    return usage();
+    return parse_error("sweep: no input models");
+  }
+  if (max_rel_error.has_value() &&
+      options.backend != estimator::BackendKind::Both) {
+    return parse_error("--max-rel-error requires --backend both");
   }
 
   prophet::pipeline::BatchRunner runner(options);
@@ -192,10 +414,22 @@ int cmd_sweep(const std::vector<std::string>& args) {
     out << report.to_csv();
     std::printf("csv written to %s\n", csv_path.c_str());
   }
-  return report.stats().failed == 0 ? 0 : 1;
+  const auto stats = report.stats();
+  if (max_rel_error.has_value() && stats.max_rel_error > *max_rel_error) {
+    std::fprintf(stderr,
+                 "prophetc sweep: analytic relative error %.6f exceeds "
+                 "--max-rel-error %.6f\n",
+                 stats.max_rel_error, *max_rel_error);
+    return 1;
+  }
+  return stats.failed == 0 ? 0 : 1;
 }
 
-int cmd_outline(const prophet::Prophet& prophet) {
+int cmd_outline(const prophet::Prophet& prophet,
+                const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    return parse_error("outline: unexpected argument '" + args[0] + "'");
+  }
   prophet::traverse::DepthFirstNavigator navigator;
   prophet::traverse::OutlineHandler outline;
   prophet::traverse::Traverser traverser;
@@ -207,24 +441,40 @@ int cmd_outline(const prophet::Prophet& prophet) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    return usage();
+  std::vector<std::string> raw;
+  for (int i = 1; i < argc; ++i) {
+    raw.emplace_back(argv[i]);
   }
-  const std::string command = argv[1];
-  const std::string model_path = argv[2];
-  std::vector<std::string> args;
-  for (int i = 3; i < argc; ++i) {
-    args.emplace_back(argv[i]);
+  if (!raw.empty() && (raw[0] == "--version" || raw[0] == "-V")) {
+    std::printf("prophetc (Performance Prophet) %s\n", PROPHET_VERSION);
+    return 0;
+  }
+  if (raw.empty()) {
+    return parse_error("missing command");
+  }
+  const std::string command = raw[0];
+  const bool known = command == "check" || command == "generate" ||
+                     command == "estimate" || command == "outline" ||
+                     command == "sweep";
+  if (!known) {
+    return parse_error("unknown command '" + command + "'");
+  }
+  if (raw.size() < 2) {
+    return parse_error(command + ": missing <model.xml>");
   }
   try {
     if (command == "sweep") {
-      // sweep takes N models (argv[2] is the first input, not a single
-      // model path), so it bypasses the single-model load below.
-      std::vector<std::string> sweep_args;
-      sweep_args.push_back(model_path);
-      sweep_args.insert(sweep_args.end(), args.begin(), args.end());
-      return cmd_sweep(sweep_args);
+      // sweep takes N models mixed with flags in any order, so every
+      // token after the command is normalized and parsed by cmd_sweep.
+      return cmd_sweep(normalize({raw.begin() + 1, raw.end()}));
     }
+    const std::string model_path = raw[1];
+    if (!model_path.empty() && model_path[0] == '-') {
+      return parse_error(command + ": expected <model.xml>, got flag '" +
+                         model_path + "'");
+    }
+    const std::vector<std::string> args =
+        normalize({raw.begin() + 2, raw.end()});
     const prophet::Prophet prophet = prophet::Prophet::load(model_path);
     if (command == "check") {
       return cmd_check(prophet, args);
@@ -235,10 +485,7 @@ int main(int argc, char** argv) {
     if (command == "estimate") {
       return cmd_estimate(prophet, args);
     }
-    if (command == "outline") {
-      return cmd_outline(prophet);
-    }
-    return usage();
+    return cmd_outline(prophet, args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "prophetc: %s\n", error.what());
     return 1;
