@@ -1,12 +1,12 @@
 // Analytic backend vs. discrete-event simulation: per-scenario estimation
 // cost and the speedup that motivates the analytic subsystem.
 //
-// Both backends are measured in their steady-state serving shape: the
-// model is parsed and the estimator (Interpreter / AnalyticEstimator)
-// constructed once, then each scenario of the acceptance grid
-// ("np=1..8:*2" over @kernel6) is evaluated.  That is what an
-// interactive prediction service pays per request — and what the batch
-// pipeline pays per job after its own parse stage.
+// Both backends are measured in their steady-state serving shape via the
+// Backend::prepare contract: the model is compiled once into a
+// PreparedModel, then each scenario of the acceptance grid ("np=1..8:*2"
+// over @kernel6) is evaluated through the handle.  That is exactly what
+// the batch pipeline's compiled-model cache pays per job — and what an
+// interactive prediction service pays per request.
 //
 // BM_AnalyticSpeedup reports the measured ratio as the `speedup` counter;
 // the acceptance bar for the analytic subsystem is >= 100x on this grid.
@@ -15,6 +15,7 @@
 #include <chrono>
 
 #include "prophet/analytic/analytic.hpp"
+#include "prophet/analytic/backend.hpp"
 #include "prophet/estimator/estimator.hpp"
 #include "prophet/interp/interpreter.hpp"
 #include "prophet/pipeline/scenario.hpp"
@@ -31,18 +32,19 @@ std::vector<machine::SystemParameters> acceptance_grid() {
   return prophet::pipeline::ScenarioGrid::parse("np=1..8:*2").expand();
 }
 
-// --- Per-scenario estimation cost, steady state ------------------------------
+constexpr prophet::estimator::EstimationOptions kLean{
+    .collect_trace = false, .collect_machine_report = false};
+
+// --- Per-scenario estimation cost, steady state (prepared handles) -----------
 
 void BM_EstimateGrid_Sim(benchmark::State& state) {
   const auto grid = acceptance_grid();
-  prophet::interp::Interpreter interpreter(
-      prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const auto prepared = analytic::SimulationBackend().prepare(model);
   double last = 0;
   for (auto _ : state) {
     for (const auto& params : grid) {
-      const prophet::estimator::SimulationManager manager(
-          params, {.collect_trace = false});
-      const auto report = manager.run(interpreter);
+      const auto report = prepared->estimate(params, kLean);
       last = report.predicted_time;
       benchmark::DoNotOptimize(report);
     }
@@ -55,12 +57,12 @@ BENCHMARK(BM_EstimateGrid_Sim)->Unit(benchmark::kMicrosecond);
 
 void BM_EstimateGrid_Analytic(benchmark::State& state) {
   const auto grid = acceptance_grid();
-  const analytic::AnalyticEstimator analyzer(
-      prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const auto prepared = analytic::AnalyticBackend().prepare(model);
   double last = 0;
   for (auto _ : state) {
     for (const auto& params : grid) {
-      const auto report = analyzer.evaluate(params);
+      const auto report = prepared->estimate(params, kLean);
       last = report.predicted_time;
       benchmark::DoNotOptimize(report);
     }

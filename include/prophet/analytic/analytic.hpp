@@ -91,7 +91,10 @@ class AnalyticEstimator {
   AnalyticEstimator& operator=(const AnalyticEstimator&) = delete;
 
   /// Predicts the model's performance under `params`.  Deterministic and
-  /// reentrant: same parameters, same report.
+  /// reentrant: same parameters, same report.  Thread-safe: all
+  /// per-evaluation state lives on the call's stack, so any number of
+  /// threads may evaluate one estimator concurrently (the contract the
+  /// analytic Backend::prepare() handle exposes).
   [[nodiscard]] AnalyticReport evaluate(
       const machine::SystemParameters& params) const;
 

@@ -15,6 +15,7 @@
 // simulation path needs without a dependency cycle).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -42,6 +43,32 @@ enum class BackendKind {
 [[nodiscard]] std::optional<BackendKind> backend_from_string(
     std::string_view text);
 
+/// A model compiled for repeated evaluation by one backend — the
+/// prepare-once/evaluate-many half of the Backend contract.
+///
+/// A prepared model is immutable after Backend::prepare() returns:
+/// estimate() is const, cheap (no re-parsing, no re-transformation), and
+/// safe to call concurrently from any number of threads — implementations
+/// keep every piece of per-evaluation engine state on the call's own
+/// stack (or in per-call objects), never in the handle.  The handle may
+/// borrow the uml::Model it was prepared from; the caller keeps that
+/// model alive for the handle's lifetime.
+class PreparedModel {
+ public:
+  virtual ~PreparedModel() = default;
+
+  /// The preparing backend's stable identifier ("sim", "analytic").
+  [[nodiscard]] virtual std::string_view backend_name() const = 0;
+
+  /// Evaluates the prepared model under `params`.  Deterministic: the
+  /// same parameters give the same report, bit-identical to the one-shot
+  /// Backend::estimate() on the same model.  Throws on unevaluable
+  /// scenarios (invalid parameters, deadlocks).
+  [[nodiscard]] virtual PredictionReport estimate(
+      const machine::SystemParameters& params,
+      const EstimationOptions& options = {}) const = 0;
+};
+
 /// An estimation engine: evaluates a UML performance model under one
 /// parameter configuration and produces the paper's prediction report.
 class Backend {
@@ -51,12 +78,23 @@ class Backend {
   /// Stable identifier ("sim", "analytic") used in reports and CSV rows.
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Evaluates `model` under `params`.  Deterministic: the same model and
-  /// parameters give the same report.  Throws on unevaluable models
-  /// (parse failures, unsupported constructs, deadlocks).
-  [[nodiscard]] virtual PredictionReport estimate(
+  /// Compiles `model` into a reusable evaluation handle: all per-model
+  /// work (expression parsing, structural resolution) happens here, once,
+  /// so PreparedModel::estimate() is evaluation only.  Throws on models
+  /// the backend cannot evaluate (unparseable expressions, unsupported
+  /// constructs).  The handle may borrow `model`; it must outlive the
+  /// handle.
+  [[nodiscard]] virtual std::unique_ptr<PreparedModel> prepare(
+      const uml::Model& model) const = 0;
+
+  /// One-shot convenience: prepare(model) + a single estimate.
+  /// Deterministic: the same model and parameters give the same report.
+  /// Throws on unevaluable models (parse failures, unsupported
+  /// constructs, deadlocks).  Callers evaluating one model repeatedly
+  /// (parameter sweeps, serving) should hold a prepare() handle instead.
+  [[nodiscard]] PredictionReport estimate(
       const uml::Model& model, const machine::SystemParameters& params,
-      const EstimationOptions& options = {}) const = 0;
+      const EstimationOptions& options = {}) const;
 };
 
 }  // namespace prophet::estimator

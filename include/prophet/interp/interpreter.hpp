@@ -44,8 +44,32 @@ class InterpretError : public std::runtime_error {
 /// Parses and executes a UML model.  Construction pre-parses every
 /// expression (cost tags, guards, initializers, cost-function bodies,
 /// code fragments) so the per-run cost is evaluation only.
+///
+/// The pre-parsed form is an Interpreter::Program — immutable after
+/// compile() and shareable: any number of interpreters (on any number of
+/// threads) can run the same program concurrently, each holding only its
+/// own per-run state (globals, bound system parameters).  This is what
+/// the simulation backend's PreparedModel hands out: compile once, then
+/// per estimate() construct a cheap interpreter over the shared program.
 class Interpreter final : public estimator::ProgramModel {
  public:
+  /// The immutable pre-parsed form of a model: every expression compiled
+  /// to an AST, uids assigned, diagram references resolved.  Opaque;
+  /// obtain one from compile() and pass it to the sharing constructor.
+  class Program;
+
+  /// Pre-parses `model` into a shareable Program.  Borrows `model`; it
+  /// must outlive every interpreter running the program.  Throws
+  /// InterpretError when any expression fails to parse or a referenced
+  /// diagram is missing.
+  [[nodiscard]] static std::shared_ptr<const Program> compile(
+      const uml::Model& model);
+
+  /// Owning overload (safe with temporaries): the program keeps the
+  /// model alive.
+  [[nodiscard]] static std::shared_ptr<const Program> compile(
+      uml::Model&& model);
+
   /// Borrows `model`; it must outlive the interpreter.  Throws
   /// InterpretError when any expression fails to parse or a referenced
   /// diagram is missing.
@@ -53,6 +77,10 @@ class Interpreter final : public estimator::ProgramModel {
 
   /// Takes ownership of `model` (safe with temporaries).
   explicit Interpreter(uml::Model&& model);
+
+  /// Shares a pre-compiled program: construction is O(1) — all parsed
+  /// state is reused, the interpreter allocates only its per-run state.
+  explicit Interpreter(std::shared_ptr<const Program> program);
   ~Interpreter() override;
 
   Interpreter(const Interpreter&) = delete;

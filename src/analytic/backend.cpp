@@ -8,27 +8,75 @@
 
 namespace prophet::analytic {
 
-estimator::PredictionReport SimulationBackend::estimate(
-    const uml::Model& model, const machine::SystemParameters& params,
-    const estimator::EstimationOptions& options) const {
-  interp::Interpreter interpreter(model);
-  const estimator::SimulationManager manager(params, options);
-  return manager.run(interpreter);
+namespace {
+
+/// Simulation, prepared: the model compiled once to an immutable
+/// interpreter Program.  Every estimate() call constructs its own
+/// interpreter (per-run state only — O(1) over the shared program) and
+/// its own engine inside the SimulationManager, so concurrent calls
+/// share nothing mutable.
+class SimulationPrepared final : public estimator::PreparedModel {
+ public:
+  explicit SimulationPrepared(const uml::Model& model)
+      : program_(interp::Interpreter::compile(model)) {}
+
+  [[nodiscard]] std::string_view backend_name() const override {
+    return "sim";
+  }
+
+  [[nodiscard]] estimator::PredictionReport estimate(
+      const machine::SystemParameters& params,
+      const estimator::EstimationOptions& options) const override {
+    interp::Interpreter interpreter(program_);
+    const estimator::SimulationManager manager(params, options);
+    return manager.run(interpreter);
+  }
+
+ private:
+  std::shared_ptr<const interp::Interpreter::Program> program_;
+};
+
+/// Analytic, prepared: a pre-parsed AnalyticEstimator.  Its evaluate()
+/// is const and keeps all per-evaluation state on the call's stack, so
+/// concurrent estimate() calls are race-free by construction.
+class AnalyticPrepared final : public estimator::PreparedModel {
+ public:
+  explicit AnalyticPrepared(const uml::Model& model) : estimator_(model) {}
+
+  [[nodiscard]] std::string_view backend_name() const override {
+    return "analytic";
+  }
+
+  [[nodiscard]] estimator::PredictionReport estimate(
+      const machine::SystemParameters& params,
+      const estimator::EstimationOptions& options) const override {
+    // No trace to collect: nothing is simulated.
+    AnalyticReport analytic = estimator_.evaluate(params);
+    estimator::PredictionReport report;
+    report.predicted_time = analytic.predicted_time;
+    report.per_process_finish = std::move(analytic.per_process_finish);
+    report.processes = analytic.processes;
+    report.events = 0;
+    if (options.collect_machine_report) {
+      report.machine_report = analytic.machine_report();
+    }
+    return report;
+  }
+
+ private:
+  AnalyticEstimator estimator_;
+};
+
+}  // namespace
+
+std::unique_ptr<estimator::PreparedModel> SimulationBackend::prepare(
+    const uml::Model& model) const {
+  return std::make_unique<SimulationPrepared>(model);
 }
 
-estimator::PredictionReport AnalyticBackend::estimate(
-    const uml::Model& model, const machine::SystemParameters& params,
-    const estimator::EstimationOptions& options) const {
-  (void)options;  // no trace to collect: nothing is simulated
-  const AnalyticEstimator analyzer(model);
-  const AnalyticReport analytic = analyzer.evaluate(params);
-  estimator::PredictionReport report;
-  report.predicted_time = analytic.predicted_time;
-  report.per_process_finish = analytic.per_process_finish;
-  report.processes = analytic.processes;
-  report.events = 0;
-  report.machine_report = analytic.machine_report();
-  return report;
+std::unique_ptr<estimator::PreparedModel> AnalyticBackend::prepare(
+    const uml::Model& model) const {
+  return std::make_unique<AnalyticPrepared>(model);
 }
 
 std::unique_ptr<estimator::Backend> make_backend(estimator::BackendKind kind) {

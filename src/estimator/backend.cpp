@@ -27,4 +27,10 @@ std::optional<BackendKind> backend_from_string(std::string_view text) {
   return std::nullopt;
 }
 
+PredictionReport Backend::estimate(const uml::Model& model,
+                                   const machine::SystemParameters& params,
+                                   const EstimationOptions& options) const {
+  return prepare(model)->estimate(params, options);
+}
+
 }  // namespace prophet::estimator

@@ -60,7 +60,9 @@ PredictionReport SimulationManager::run(ProgramModel& model) const {
   report.predicted_time = engine.now();
   report.per_process_finish = std::move(finish);
   report.events = engine.events_processed();
-  report.machine_report = machine.utilization_report();
+  if (options_.collect_machine_report) {
+    report.machine_report = machine.utilization_report();
+  }
   return report;
 }
 

@@ -98,8 +98,12 @@ std::vector<Assignment> parse_code_fragment(const std::string& text,
 
 }  // namespace
 
-struct Interpreter::Impl {
-  std::optional<Model> owned;  // set by the owning constructor
+/// The immutable pre-parsed form of a model.  Everything here is written
+/// once, by the constructor, and only read afterwards — interpreters on
+/// different threads share one Program without synchronization.
+class Interpreter::Program {
+ public:
+  std::optional<Model> owned;  // set by the owning compile() overload
   const Model* model = nullptr;
 
   // Pre-parsed expressions, keyed by element/edge id and tag name.
@@ -110,16 +114,7 @@ struct Interpreter::Impl {
   std::vector<ParsedVariable> variables;
   std::map<std::string, int> uids;
 
-  // Per-run state.
-  std::map<std::string, double> globals;  // shared across processes
-  double np = 1, nt = 1, nn = 1, ppn = 1;
-  mutable int call_depth = 0;
-
-  // ---------------------------------------------------------------------
-  // Construction-time parsing
-  // ---------------------------------------------------------------------
-
-  explicit Impl(const Model& m) : model(&m) {
+  explicit Program(const Model& m) : model(&m) {
     for (const auto& variable : m.variables()) {
       ParsedVariable parsed;
       parsed.name = variable.name;
@@ -219,6 +214,20 @@ struct Interpreter::Impl {
       throw InterpretError(where + ": " + error.what());
     }
   }
+};
+
+/// Per-run state + the walking machinery over a shared immutable Program.
+struct Interpreter::Impl {
+  std::shared_ptr<const Program> program;
+  const Model* model = nullptr;  // == program->model, cached
+
+  // Per-run state.
+  std::map<std::string, double> globals;  // shared across processes
+  double np = 1, nt = 1, nn = 1, ppn = 1;
+  mutable int call_depth = 0;
+
+  explicit Impl(std::shared_ptr<const Program> p)
+      : program(std::move(p)), model(program->model) {}
 
   // ---------------------------------------------------------------------
   // Expression evaluation
@@ -334,8 +343,8 @@ struct Interpreter::Impl {
 
   [[nodiscard]] std::optional<double> call_function(
       std::string_view name, std::span<const double> args) const {
-    const auto it = functions.find(std::string(name));
-    if (it == functions.end()) {
+    const auto it = program->functions.find(std::string(name));
+    if (it == program->functions.end()) {
       return std::nullopt;  // fall back to expr built-ins
     }
     if (call_depth > 64) {
@@ -352,15 +361,15 @@ struct Interpreter::Impl {
                                       std::string_view tag_name,
                                       const Scope& scope,
                                       const ModelContext& ctx) const {
-    const auto node_it = node_exprs.find(node.id());
-    if (node_it == node_exprs.end()) {
+    const auto node_it = program->node_exprs.find(node.id());
+    if (node_it == program->node_exprs.end()) {
       return 0.0;
     }
     const auto tag_it = node_it->second.find(std::string(tag_name));
     if (tag_it == node_it->second.end()) {
       return 0.0;
     }
-    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, uids.at(node.id()));
+    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, program->uids.at(node.id()));
     try {
       return expr::evaluate(*tag_it->second, env);
     } catch (const expr::EvalError& error) {
@@ -371,18 +380,18 @@ struct Interpreter::Impl {
 
   [[nodiscard]] bool has_node_expr(const Node& node,
                                    std::string_view tag_name) const {
-    const auto node_it = node_exprs.find(node.id());
-    return node_it != node_exprs.end() &&
+    const auto node_it = program->node_exprs.find(node.id());
+    return node_it != program->node_exprs.end() &&
            node_it->second.find(std::string(tag_name)) !=
                node_it->second.end();
   }
 
   void run_fragment(const Node& node, Scope& scope, const ModelContext& ctx) {
-    const auto it = fragments.find(node.id());
-    if (it == fragments.end()) {
+    const auto it = program->fragments.find(node.id());
+    if (it == program->fragments.end()) {
       return;
     }
-    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, uids.at(node.id()));
+    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, program->uids.at(node.id()));
     for (const auto& assignment : it->second) {
       double value = 0;
       try {
@@ -424,7 +433,7 @@ struct Interpreter::Impl {
     ppn = params.processors_per_node;
     globals.clear();
     Scope scope;  // no locals during global initialization
-    for (const auto& variable : variables) {
+    for (const auto& variable : program->variables) {
       if (variable.scope != uml::VariableScope::Global) {
         continue;
       }
@@ -442,7 +451,7 @@ struct Interpreter::Impl {
     std::map<std::string, double> locals;
     Scope scope;
     scope.locals = &locals;
-    for (const auto& variable : variables) {
+    for (const auto& variable : program->variables) {
       if (variable.scope != uml::VariableScope::Local) {
         continue;
       }
@@ -528,12 +537,12 @@ struct Interpreter::Impl {
           }
           continue;
         }
-        const auto guard_it = guards.find(edge->id());
-        if (guard_it == guards.end()) {
+        const auto guard_it = program->guards.find(edge->id());
+        if (guard_it == program->guards.end()) {
           continue;  // unguarded edge out of a decision: never taken
         }
         const NodeEnv env(*this, scope, ctx.pid, ctx.tid,
-                          uids.at(node.id()));
+                          program->uids.at(node.id()));
         if (expr::truthy(expr::evaluate(*guard_it->second, env))) {
           chosen = edge;
           break;
@@ -619,7 +628,7 @@ struct Interpreter::Impl {
   sim::Process execute_action(ModelContext ctx, const Node& node,
                               Scope& scope) {
     run_fragment(node, scope, ctx);
-    const int uid = uids.at(node.id());
+    const int uid = program->uids.at(node.id());
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
       double cost = 0;
@@ -706,7 +715,7 @@ struct Interpreter::Impl {
   sim::Process execute_activity(ModelContext ctx, const Node& node,
                                 Scope& scope) {
     run_fragment(node, scope, ctx);
-    const int uid = uids.at(node.id());
+    const int uid = program->uids.at(node.id());
     const ActivityDiagram* sub = model->diagram(node.subdiagram_id());
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kOmpParallel) {
@@ -770,14 +779,33 @@ struct Interpreter::Impl {
   }
 };
 
-Interpreter::Interpreter(const uml::Model& model)
-    : impl_(std::make_unique<Impl>(model)) {}
+std::shared_ptr<const Interpreter::Program> Interpreter::compile(
+    const uml::Model& model) {
+  return std::make_shared<const Program>(model);
+}
 
-Interpreter::Interpreter(uml::Model&& model) {
-  auto owned = std::make_unique<uml::Model>(std::move(model));
-  impl_ = std::make_unique<Impl>(*owned);
-  impl_->owned.emplace(std::move(*owned));
-  impl_->model = &*impl_->owned;
+std::shared_ptr<const Interpreter::Program> Interpreter::compile(
+    uml::Model&& model) {
+  // Parse first (borrowing), then move the model in.  The parsed state
+  // holds no pointers into the Model (string keys only) and diagrams are
+  // heap-allocated, so re-pointing after the move is safe.
+  auto program = std::make_shared<Program>(model);
+  program->owned.emplace(std::move(model));
+  program->model = &*program->owned;
+  return program;
+}
+
+Interpreter::Interpreter(const uml::Model& model)
+    : impl_(std::make_unique<Impl>(compile(model))) {}
+
+Interpreter::Interpreter(uml::Model&& model)
+    : impl_(std::make_unique<Impl>(compile(std::move(model)))) {}
+
+Interpreter::Interpreter(std::shared_ptr<const Program> program) {
+  if (program == nullptr) {
+    throw InterpretError("null program");
+  }
+  impl_ = std::make_unique<Impl>(std::move(program));
 }
 
 Interpreter::~Interpreter() = default;
@@ -812,8 +840,8 @@ double Interpreter::call_cost_function(const std::string& name,
 }
 
 int Interpreter::uid_of(const std::string& node_id) const {
-  const auto it = impl_->uids.find(node_id);
-  if (it == impl_->uids.end()) {
+  const auto it = impl_->program->uids.find(node_id);
+  if (it == impl_->program->uids.end()) {
     throw InterpretError("unknown node id '" + node_id + "'");
   }
   return it->second;

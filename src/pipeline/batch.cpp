@@ -6,6 +6,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -91,6 +92,12 @@ std::string BatchReport::summary() const {
   out << "scenario sweep: " << results.size() << " job(s), " << threads_used
       << " thread(s), " << wall_seconds << " s wall ("
       << jobs_per_second() << " jobs/s)\n";
+  // prepare_seconds > 0 identifies a cached run even when every model
+  // failed to compile (models_prepared == 0).
+  if (models_prepared > 0 || prepare_seconds > 0) {
+    out << "compiled-model cache: prepared " << models_prepared
+        << " model(s) in " << prepare_seconds << " s\n";
+  }
   for (const auto& result : results) {
     out << "  [" << result.job_id << "] " << result.model_name << " np="
         << result.params.processes << " nn=" << result.params.nodes
@@ -132,9 +139,12 @@ std::string BatchReport::summary() const {
 std::string BatchReport::to_csv() const {
   std::ostringstream out;
   out.precision(12);
+  // Columns 1-16 are deterministic (CI diffs them across thread counts
+  // and cache modes); wall_s and the per-stage timings are host times,
+  // error is free text and stays last.
   out << "job,model,np,nn,ppn,nt,cpu_speed,seed,backend,ok,predicted_s,"
          "analytic_s,rel_error,events,warnings,generated_bytes,wall_s,"
-         "error\n";
+         "parse_s,check_s,transform_s,estimate_s,error\n";
   // Free-text fields (the model name may be a file path) must not break
   // the column layout.
   const auto sanitize = [](std::string text) {
@@ -154,6 +164,8 @@ std::string BatchReport::to_csv() const {
         << result.analytic_predicted << ',' << result.relative_error << ','
         << result.events << ',' << result.check_warnings << ','
         << result.generated_bytes << ',' << result.wall_seconds << ','
+        << result.parse_seconds << ',' << result.check_seconds << ','
+        << result.transform_seconds << ',' << result.estimate_seconds << ','
         << error << '\n';
   }
   return out.str();
@@ -212,97 +224,322 @@ void BatchRunner::add_sweep_all(const ScenarioGrid& grid) {
   }
 }
 
-ScenarioResult BatchRunner::run_job(const BatchJob& job) const {
+// One compiled model of a cached run.  Built once during the prepare
+// phase, then shared read-only by every worker: the parsed model is
+// immutable and the PreparedModel handles guarantee concurrent
+// estimate() safety, so no locking is needed on the hot path.
+struct BatchRunner::CompiledEntry {
+  bool ok = false;
+  std::string error;  // stage-prefixed, e.g. "check: 2 error(s): ..."
+  std::size_t check_warnings = 0;
+  std::size_t generated_bytes = 0;
+  // The prepared handles borrow `model`; member order keeps the model
+  // alive past their destruction.
+  std::unique_ptr<uml::Model> model;
+  std::unique_ptr<estimator::PreparedModel> sim;
+  std::unique_ptr<estimator::PreparedModel> analytic;
+};
+
+std::vector<BatchRunner::CompiledEntry> BatchRunner::compile_models(
+    int threads, int* compiled) const {
+  std::vector<CompiledEntry> entries(models_.size());
+  std::vector<char> referenced(models_.size(), 0);
+  for (const auto& job : jobs_) {
+    referenced[static_cast<std::size_t>(job.model_index)] = 1;
+  }
+  std::vector<std::size_t> to_compile;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    if (referenced[m] != 0) {
+      to_compile.push_back(m);
+    }
+    // Unreferenced entries stay empty; no job ever reads them.
+  }
+
+  // Models compile independently (each entry is written by exactly one
+  // worker), so the prepare phase parallelizes like the jobs do — a
+  // many-model sweep is not serialized behind one compiling thread.
+  std::atomic<std::size_t> next{0};
+  const auto compile_worker = [this, &entries, &to_compile, &next] {
+    for (;;) {
+      const std::size_t ticket = next.fetch_add(1);
+      if (ticket >= to_compile.size()) {
+        return;
+      }
+      compile_one(to_compile[ticket], &entries[to_compile[ticket]]);
+    }
+  };
+  threads = std::max(
+      1, std::min<int>(threads, static_cast<int>(to_compile.size())));
+  if (threads == 1) {
+    compile_worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(compile_worker);
+    }
+    for (auto& thread : pool) {
+      thread.join();
+    }
+  }
+  *compiled = static_cast<int>(
+      std::count_if(to_compile.begin(), to_compile.end(),
+                    [&entries](std::size_t m) { return entries[m].ok; }));
+  return entries;
+}
+
+std::string BatchRunner::run_model_stages(
+    std::size_t model_index, uml::Model* model, std::size_t* warnings,
+    std::size_t* generated_bytes, double* parse_seconds,
+    double* check_seconds, double* transform_seconds) const {
+  const auto record = [](double* slot,
+                         std::chrono::steady_clock::time_point since) {
+    if (slot != nullptr) {
+      *slot = seconds_since(since);
+    }
+  };
+
+  // Every stage records its elapsed time whether it succeeds or throws
+  // (same convention as the estimate stage), so the per-stage columns
+  // account for a failing job's wall time too.
+
+  // Stage 1: XMI parse.
+  auto stage_start = std::chrono::steady_clock::now();
+  try {
+    *model = xmi::from_xml(models_[model_index].xmi);
+  } catch (const std::exception& error) {
+    record(parse_seconds, stage_start);
+    return std::string("parse: ") + error.what();
+  }
+  record(parse_seconds, stage_start);
+
+  // Stage 2: model check.
+  if (options_.run_checker) {
+    stage_start = std::chrono::steady_clock::now();
+    try {
+      const check::ModelChecker checker;
+      const check::Diagnostics diagnostics = checker.check(*model);
+      *warnings = diagnostics.warning_count();
+      if (!diagnostics.ok()) {
+        record(check_seconds, stage_start);
+        return "check: " + std::to_string(diagnostics.error_count()) +
+               " error(s): " + diagnostics.to_string();
+      }
+    } catch (const std::exception& error) {
+      record(check_seconds, stage_start);
+      return std::string("check: ") + error.what();
+    }
+    record(check_seconds, stage_start);
+  }
+
+  // Stage 3: UML -> C++ transformation (the paper's PMP element).
+  if (options_.run_codegen) {
+    stage_start = std::chrono::steady_clock::now();
+    try {
+      const codegen::Transformer transformer;
+      *generated_bytes = transformer.transform(*model).size();
+    } catch (const std::exception& error) {
+      record(transform_seconds, stage_start);
+      return std::string("transform: ") + error.what();
+    }
+    record(transform_seconds, stage_start);
+  }
+  return "";
+}
+
+namespace {
+
+/// Backend::prepare for the selected engine(s); either backend pointer
+/// may be null.  Returns a stage-prefixed error ("" on success) with the
+/// same stage names estimate failures use, so a model defect reports the
+/// same stage whether it surfaces at prepare or at evaluate, cached or
+/// isolated.
+std::string prepare_backends(
+    const uml::Model& model, const estimator::Backend* sim_backend,
+    const estimator::Backend* analytic_backend,
+    std::unique_ptr<estimator::PreparedModel>* sim,
+    std::unique_ptr<estimator::PreparedModel>* analytic) {
+  if (sim_backend != nullptr) {
+    try {
+      *sim = sim_backend->prepare(model);
+    } catch (const std::exception& error) {
+      return std::string("simulate: ") + error.what();
+    }
+  }
+  if (analytic_backend != nullptr) {
+    try {
+      *analytic = analytic_backend->prepare(model);
+    } catch (const std::exception& error) {
+      return std::string("analytic: ") + error.what();
+    }
+  }
+  return "";
+}
+
+/// Stage 4, shared by both modes: run the selected backend(s) and fill
+/// the prediction fields.  Returns a stage-prefixed error ("" on
+/// success).
+std::string estimate_stage(const estimator::PreparedModel* sim,
+                           const estimator::PreparedModel* analytic,
+                           estimator::BackendKind kind,
+                           const machine::SystemParameters& params,
+                           ScenarioResult* result) {
+  const estimator::EstimationOptions estimation{
+      .collect_trace = false, .collect_machine_report = false};
+  if (sim != nullptr) {
+    try {
+      const estimator::PredictionReport report =
+          sim->estimate(params, estimation);
+      result->predicted_time = report.predicted_time;
+      result->events = report.events;
+      result->processes = report.processes;
+    } catch (const std::exception& error) {
+      return std::string("simulate: ") + error.what();
+    }
+  }
+  if (analytic != nullptr) {
+    try {
+      const estimator::PredictionReport report =
+          analytic->estimate(params, estimation);
+      result->analytic_predicted = report.predicted_time;
+      result->processes = report.processes;
+      if (kind == estimator::BackendKind::Analytic) {
+        result->predicted_time = report.predicted_time;
+      } else if (result->predicted_time > 0) {
+        result->relative_error =
+            std::abs(result->analytic_predicted - result->predicted_time) /
+            result->predicted_time;
+      } else {
+        result->relative_error =
+            result->analytic_predicted > 0
+                ? std::numeric_limits<double>::infinity()
+                : 0;
+      }
+    } catch (const std::exception& error) {
+      return std::string("analytic: ") + error.what();
+    }
+  }
+  return "";
+}
+
+ScenarioResult result_for(const BatchJob& job) {
   ScenarioResult result;
   result.job_id = job.id;
   result.model_index = job.model_index;
   result.model_name = job.model_name;
   result.params = job.params;
   result.seed = job.seed;
+  return result;
+}
+
+}  // namespace
+
+void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
+  CompiledEntry& entry = *out;
+  // The same stage chain (and error text) as the isolated path, shared
+  // via run_model_stages/prepare_backends: a model failing at stage X
+  // reports the same stage-prefixed error in both modes.
+  entry.model = std::make_unique<uml::Model>("empty");
+  entry.error =
+      run_model_stages(m, entry.model.get(), &entry.check_warnings,
+                       &entry.generated_bytes, nullptr, nullptr, nullptr);
+  if (!entry.error.empty()) {
+    return;
+  }
+  const analytic::SimulationBackend sim_backend;
+  const analytic::AnalyticBackend analytic_backend;
+  entry.error = prepare_backends(
+      *entry.model,
+      options_.backend != estimator::BackendKind::Analytic ? &sim_backend
+                                                           : nullptr,
+      options_.backend != estimator::BackendKind::Simulation
+          ? &analytic_backend
+          : nullptr,
+      &entry.sim, &entry.analytic);
+  if (!entry.error.empty()) {
+    return;
+  }
+  entry.ok = true;
+}
+
+ScenarioResult BatchRunner::run_job(
+    const BatchJob& job, const estimator::Backend* sim_backend,
+    const estimator::Backend* analytic_backend) const {
+  ScenarioResult result = result_for(job);
+  result.backend = options_.backend;
 
   const auto start = std::chrono::steady_clock::now();
-  const auto fail = [&](const std::string& stage,
-                        const std::string& why) -> ScenarioResult {
+  const auto fail = [&](const std::string& error) -> ScenarioResult {
     result.ok = false;
-    result.error = stage + ": " + why;
+    result.error = error;
     result.wall_seconds = seconds_since(start);
     return result;
   };
 
-  // Stage 1: parse — every job owns its model copy.
+  // Stages 1-3: parse, check, transform — every job its own model copy.
   uml::Model model("empty");
-  try {
-    model = xmi::from_xml(
-        models_[static_cast<std::size_t>(job.model_index)].xmi);
-  } catch (const std::exception& error) {
-    return fail("parse", error.what());
+  std::string error = run_model_stages(
+      static_cast<std::size_t>(job.model_index), &model,
+      &result.check_warnings, &result.generated_bytes, &result.parse_seconds,
+      &result.check_seconds, &result.transform_seconds);
+  if (!error.empty()) {
+    return fail(error);
   }
 
-  // Stage 2: model check.
-  if (options_.run_checker) {
-    try {
-      const check::ModelChecker checker;
-      const check::Diagnostics diagnostics = checker.check(model);
-      result.check_warnings = diagnostics.warning_count();
-      if (!diagnostics.ok()) {
-        return fail("check", std::to_string(diagnostics.error_count()) +
-                                 " error(s): " + diagnostics.to_string());
-      }
-    } catch (const std::exception& error) {
-      return fail("check", error.what());
-    }
+  // Stage 4: prepare + estimate with the selected backend(s).  Isolation
+  // keeps prepare inside the job (the per-job chain is the point of this
+  // mode), but the stateless Backend objects themselves come from the
+  // worker, constructed once per thread instead of once per job.  Failed
+  // estimates still record their stage time (matching the cached path,
+  // which times the estimate whether or not it succeeds).
+  const auto stage_start = std::chrono::steady_clock::now();
+  std::unique_ptr<estimator::PreparedModel> sim;
+  std::unique_ptr<estimator::PreparedModel> analytic;
+  error = prepare_backends(model, sim_backend, analytic_backend, &sim,
+                           &analytic);
+  if (error.empty()) {
+    error = estimate_stage(sim.get(), analytic.get(), options_.backend,
+                           job.params, &result);
+  }
+  result.estimate_seconds = seconds_since(stage_start);
+  if (!error.empty()) {
+    return fail(error);
   }
 
-  // Stage 3: UML -> C++ transformation (the paper's PMP element).
-  if (options_.run_codegen) {
-    try {
-      const codegen::Transformer transformer;
-      result.generated_bytes = transformer.transform(model).size();
-    } catch (const std::exception& error) {
-      return fail("transform", error.what());
-    }
+  result.ok = true;
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
+                                           const CompiledEntry& entry) const {
+  ScenarioResult result = result_for(job);
+  result.backend = options_.backend;
+
+  const auto start = std::chrono::steady_clock::now();
+  // Per-model facts are shared verbatim — also for failed entries, where
+  // the stages before the failing one produced them — so cached and
+  // isolated rows match column for column.
+  result.check_warnings = entry.check_warnings;
+  result.generated_bytes = entry.generated_bytes;
+  if (!entry.ok) {
+    // The model's one-time compile failed: every one of its jobs reports
+    // the same stage-prefixed error; other models are unaffected.
+    result.ok = false;
+    result.error = entry.error;
+    result.wall_seconds = seconds_since(start);
+    return result;
   }
 
-  // Stage 4: estimate with the selected backend(s).
-  const estimator::BackendKind kind = options_.backend;
-  result.backend = kind;
-  const estimator::EstimationOptions estimation{.collect_trace = false};
-  if (kind != estimator::BackendKind::Analytic) {
-    try {
-      const auto backend =
-          analytic::make_backend(estimator::BackendKind::Simulation);
-      const estimator::PredictionReport report =
-          backend->estimate(model, job.params, estimation);
-      result.predicted_time = report.predicted_time;
-      result.events = report.events;
-      result.processes = report.processes;
-    } catch (const std::exception& error) {
-      return fail("simulate", error.what());
-    }
-  }
-  if (kind != estimator::BackendKind::Simulation) {
-    try {
-      const auto backend =
-          analytic::make_backend(estimator::BackendKind::Analytic);
-      const estimator::PredictionReport report =
-          backend->estimate(model, job.params, estimation);
-      result.analytic_predicted = report.predicted_time;
-      result.processes = report.processes;
-      if (kind == estimator::BackendKind::Analytic) {
-        result.predicted_time = report.predicted_time;
-      } else if (result.predicted_time > 0) {
-        result.relative_error =
-            std::abs(result.analytic_predicted - result.predicted_time) /
-            result.predicted_time;
-      } else {
-        result.relative_error =
-            result.analytic_predicted > 0
-                ? std::numeric_limits<double>::infinity()
-                : 0;
-      }
-    } catch (const std::exception& error) {
-      return fail("analytic", error.what());
-    }
+  const std::string error = estimate_stage(
+      entry.sim.get(), entry.analytic.get(), options_.backend, job.params,
+      &result);
+  result.estimate_seconds = seconds_since(start);
+  if (!error.empty()) {
+    result.ok = false;
+    result.error = error;
+    result.wall_seconds = seconds_since(start);
+    return result;
   }
 
   result.ok = true;
@@ -326,16 +563,46 @@ BatchReport BatchRunner::run() const {
   report.threads_used = threads;
 
   const auto start = std::chrono::steady_clock::now();
+
+  // Prepare phase (cached mode): compile every referenced model once —
+  // parse, check, transform, Backend::prepare — before the pool starts.
+  // The entries are immutable from here on; workers only read them.
+  std::vector<CompiledEntry> cache;
+  if (!options_.isolate_jobs) {
+    cache = compile_models(threads, &report.models_prepared);
+    report.prepare_seconds = seconds_since(start);
+  }
+
   // Work-stealing by atomic ticket: results land at their job's slot, so
   // the report order is job order no matter which worker ran what.
   std::atomic<std::size_t> next{0};
-  const auto worker = [this, &next, &report] {
+  const auto worker = [this, &next, &report, &cache] {
+    // Isolated mode constructs the (stateless) backends once per worker
+    // thread, not once per job.
+    std::unique_ptr<estimator::Backend> sim_backend;
+    std::unique_ptr<estimator::Backend> analytic_backend;
+    if (options_.isolate_jobs) {
+      if (options_.backend != estimator::BackendKind::Analytic) {
+        sim_backend =
+            analytic::make_backend(estimator::BackendKind::Simulation);
+      }
+      if (options_.backend != estimator::BackendKind::Simulation) {
+        analytic_backend =
+            analytic::make_backend(estimator::BackendKind::Analytic);
+      }
+    }
     for (;;) {
       const std::size_t index = next.fetch_add(1);
       if (index >= jobs_.size()) {
         return;
       }
-      report.results[index] = run_job(jobs_[index]);
+      const BatchJob& job = jobs_[index];
+      report.results[index] =
+          options_.isolate_jobs
+              ? run_job(job, sim_backend.get(), analytic_backend.get())
+              : run_job_cached(
+                    job,
+                    cache[static_cast<std::size_t>(job.model_index)]);
     }
   };
 

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "prophet/analytic/analytic.hpp"
 #include "prophet/analytic/backend.hpp"
@@ -303,6 +305,103 @@ TEST(Backend, AnalyticBackendMatchesEstimator) {
   EXPECT_EQ(via_backend.processes, direct.processes);
   EXPECT_EQ(via_backend.events, 0u);
   EXPECT_FALSE(via_backend.machine_report.empty());
+}
+
+// --- PreparedModel (prepare-once/evaluate-many) ------------------------------
+
+TEST(Backend, PrepareOnceMatchesOneShotEstimate) {
+  const uml::Model model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const auto grid = {params_np(1), params_np(2), params_np(4, 2, 2)};
+  for (const estimator::BackendKind kind :
+       {estimator::BackendKind::Simulation, estimator::BackendKind::Analytic}) {
+    const auto backend = analytic::make_backend(kind);
+    const auto prepared = backend->prepare(model);
+    EXPECT_EQ(prepared->backend_name(), backend->name());
+    for (const auto& params : grid) {
+      const auto via_prepared = prepared->estimate(params);
+      const auto one_shot = backend->estimate(model, params);
+      // The contract: bit-identical to the one-shot path.
+      EXPECT_EQ(via_prepared.predicted_time, one_shot.predicted_time);
+      EXPECT_EQ(via_prepared.events, one_shot.events);
+      EXPECT_EQ(via_prepared.per_process_finish, one_shot.per_process_finish);
+    }
+  }
+}
+
+TEST(Backend, PreparedEstimateSkipsMachineReportOnRequest) {
+  const uml::Model model = prophet::models::sample_model();
+  const auto prepared = analytic::AnalyticBackend().prepare(model);
+  const estimator::EstimationOptions lean{.collect_trace = false,
+                                          .collect_machine_report = false};
+  EXPECT_TRUE(prepared->estimate(params_np(2), lean).machine_report.empty());
+  EXPECT_FALSE(prepared->estimate(params_np(2)).machine_report.empty());
+  // Skipping the report never changes the prediction.
+  EXPECT_EQ(prepared->estimate(params_np(2), lean).predicted_time,
+            prepared->estimate(params_np(2)).predicted_time);
+}
+
+// One prepared handle, many threads: estimate() must be deterministic
+// under concurrency (the batch pipeline's cached mode leans on this).
+// The assertions check result identity; the sanitizer CI job adds
+// ASan/UBSan memory-error coverage.  Note neither detects data races —
+// race-freedom rests on the PreparedModel design (no mutable shared
+// state), not on this test alone.
+TEST(Backend, PreparedEstimateIsThreadSafeUnderConcurrentCalls) {
+  const uml::Model model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const std::vector<machine::SystemParameters> grid = {
+      params_np(1), params_np(2), params_np(4, 2, 2), params_np(8, 2, 4)};
+  for (const estimator::BackendKind kind :
+       {estimator::BackendKind::Simulation, estimator::BackendKind::Analytic}) {
+    const auto prepared = analytic::make_backend(kind)->prepare(model);
+    std::vector<double> expected;
+    expected.reserve(grid.size());
+    for (const auto& params : grid) {
+      expected.push_back(prepared->estimate(params).predicted_time);
+    }
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 8;
+    std::vector<std::vector<double>> seen(kThreads);
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          for (const auto& params : grid) {
+            seen[static_cast<std::size_t>(t)].push_back(
+                prepared->estimate(params).predicted_time);
+          }
+        }
+      });
+    }
+    for (auto& thread : pool) {
+      thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(seen[static_cast<std::size_t>(t)].size(),
+                grid.size() * kRounds);
+      for (std::size_t i = 0; i < seen[static_cast<std::size_t>(t)].size();
+           ++i) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)][i],
+                  expected[i % grid.size()])
+            << "backend " << estimator::to_string(kind) << ", thread " << t;
+      }
+    }
+  }
+}
+
+// Unparseable expressions surface at prepare(), not at estimate() — the
+// batch pipeline relies on this to fail a model's jobs up front.
+TEST(Backend, PrepareThrowsOnUnparseableModel) {
+  uml::ModelBuilder mb("bad");
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef init = main.initial();
+  uml::NodeRef bad = main.action("Bad").cost("1 + ");
+  uml::NodeRef fin = main.final_node();
+  main.sequence({init, bad, fin});
+  const uml::Model model = std::move(mb).build();
+  EXPECT_ANY_THROW((void)analytic::SimulationBackend().prepare(model));
+  EXPECT_ANY_THROW((void)analytic::AnalyticBackend().prepare(model));
 }
 
 }  // namespace

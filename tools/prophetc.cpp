@@ -9,7 +9,7 @@
 //   prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>]
 //                  [--backend sim|analytic|both] [--max-rel-error X]
 //                  [--threads N] [--csv out.csv] [--seed S]
-//                  [--no-check] [--no-codegen]
+//                  [--no-check] [--no-codegen] [--isolate]
 //   prophetc --version
 //
 // Models are XMI files (see prophet/xmi); --sp loads the SP element of
@@ -20,6 +20,10 @@
 // (default), the closed-form analytic estimator, or both — which runs the
 // simulator as reference and reports the analytic model's relative error
 // (--max-rel-error fails a sweep whose worst error exceeds the bound).
+// Sweeps compile each model once (parse, check, transform, prepare) and
+// evaluate all its scenarios against the cached result; --isolate
+// restores the re-run-everything-per-job pipeline.  Predictions are
+// bit-identical either way.
 //
 // Every parse error prints usage and exits non-zero; flags are accepted
 // as `--flag value` or `--flag=value`.
@@ -63,7 +67,7 @@ int usage() {
       "  prophetc outline <model.xml>\n"
       "  prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>] "
       "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
-      "[--csv out.csv] [--seed S] [--no-check] [--no-codegen]\n"
+      "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate]\n"
       "  prophetc --version\n");
   return 2;
 }
@@ -255,8 +259,11 @@ int cmd_estimate(const prophet::Prophet& prophet,
     }
   }
   if (backend == estimator::BackendKind::Analytic) {
-    const auto report = prophet::analytic::AnalyticBackend().estimate(
-        prophet.model(), params);
+    // The prepare-once/evaluate-many path; with one evaluation it is
+    // equivalent to the one-shot Backend::estimate.
+    const auto prepared =
+        prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    const auto report = prepared->estimate(params);
     std::printf("%s", report.summary().c_str());
     return 0;
   }
@@ -265,8 +272,9 @@ int cmd_estimate(const prophet::Prophet& prophet,
       prophet.estimate(params, {.collect_trace = !trace_path.empty() || gantt});
   std::printf("%s", report.summary().c_str());
   if (backend == estimator::BackendKind::Both) {
-    const auto analytic = prophet::analytic::AnalyticBackend().estimate(
-        prophet.model(), params);
+    const auto prepared =
+        prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    const auto analytic = prepared->estimate(params);
     // Same convention as the batch pipeline: a zero simulated time with a
     // nonzero analytic prediction is total disagreement, not zero error.
     double rel_error = 0;
@@ -382,6 +390,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       options.run_checker = false;
     } else if (args[i] == "--no-codegen") {
       options.run_codegen = false;
+    } else if (args[i] == "--isolate") {
+      options.isolate_jobs = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       return parse_error("sweep: unknown flag '" + args[i] + "'");
     } else {
