@@ -1,0 +1,62 @@
+// Registry workload benchmarks: per-model factory cost, analytic
+// evaluation throughput over the prepared handle, and simulation cost —
+// one benchmark per registered workload, names derived from the registry
+// so a new entry shows up here automatically.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "prophet/analytic/backend.hpp"
+#include "prophet/estimator/backend.hpp"
+#include "prophet/models/registry.hpp"
+#include "prophet/uml/model.hpp"
+
+#include "json_args.hpp"
+
+namespace models = prophet::models;
+
+namespace {
+
+void bench_factory(benchmark::State& state, const models::ModelInfo* entry) {
+  for (auto _ : state) {
+    const auto model = entry->make();
+    benchmark::DoNotOptimize(model.element_count());
+  }
+}
+
+void bench_analytic(benchmark::State& state, const models::ModelInfo* entry) {
+  const auto model = entry->make();
+  const prophet::analytic::AnalyticBackend backend;
+  const auto prepared = backend.prepare(model);
+  for (auto _ : state) {
+    const auto report = prepared->estimate(entry->default_params);
+    benchmark::DoNotOptimize(report.predicted_time);
+  }
+}
+
+void bench_simulate(benchmark::State& state, const models::ModelInfo* entry) {
+  const auto model = entry->make();
+  const prophet::analytic::SimulationBackend backend;
+  const auto prepared = backend.prepare(model);
+  for (auto _ : state) {
+    const auto report = prepared->estimate(entry->default_params);
+    benchmark::DoNotOptimize(report.predicted_time);
+  }
+}
+
+const bool registered = [] {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    benchmark::RegisterBenchmark(("BM_Factory/@" + entry.name).c_str(),
+                                 bench_factory, &entry);
+    benchmark::RegisterBenchmark(("BM_Analytic/@" + entry.name).c_str(),
+                                 bench_analytic, &entry);
+    benchmark::RegisterBenchmark(("BM_Simulate/@" + entry.name).c_str(),
+                                 bench_simulate, &entry);
+  }
+  return true;
+}();
+
+}  // namespace
+
+PROPHET_BENCHMARK_MAIN()

@@ -31,11 +31,12 @@ namespace prophet::estimator {
 /// backend: it runs the simulator as the reference and the analytic
 /// estimator as the candidate and reports their relative error.
 enum class BackendKind {
-  Simulation,
-  Analytic,
-  Both,
+  Simulation,  ///< The paper's discrete-event simulation path.
+  Analytic,    ///< The closed-form analytic estimator.
+  Both,        ///< Simulator as reference, analytic as candidate.
 };
 
+/// The `--backend` spelling of a kind ("sim", "analytic", "both").
 [[nodiscard]] std::string_view to_string(BackendKind kind);
 
 /// Parses "sim"/"simulation", "analytic", "both" (the `--backend` flag
@@ -55,6 +56,7 @@ enum class BackendKind {
 /// model alive for the handle's lifetime.
 class PreparedModel {
  public:
+  /// Virtual: handles are owned and destroyed polymorphically.
   virtual ~PreparedModel() = default;
 
   /// The preparing backend's stable identifier ("sim", "analytic").
@@ -73,6 +75,7 @@ class PreparedModel {
 /// parameter configuration and produces the paper's prediction report.
 class Backend {
  public:
+  /// Virtual: backends are selected and destroyed polymorphically.
   virtual ~Backend() = default;
 
   /// Stable identifier ("sim", "analytic") used in reports and CSV rows.

@@ -1,0 +1,88 @@
+// Ready-made workload models — the paper's examples plus a library of
+// message-passing patterns, each also registered in Registry::builtin()
+// under the factory's "@name".
+//
+// The free functions are the typed factories; prefer the registry (and
+// "@name(knob=value)" references) in tools so listings, defaults and
+// documentation stay in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "prophet/uml/model.hpp"
+
+namespace prophet::models {
+
+/// The Sec. 4 sample model (Fig. 7): main diagram
+/// `A1 -> [GV > 0] SA | [else] A2 -> A4` with sub-diagram `SA = SA1 ->
+/// SA2`, globals GV and P, a code fragment on A1 (`GV = 3; P = 16;`) and
+/// cost functions FA1/FA2/FA4/FSA1/FSA2 (FSA2 parameterized by pid).
+[[nodiscard]] uml::Model sample_model();
+
+/// Livermore kernel 6 as one collapsed <<action+>> with cost function
+/// FK6 (Fig. 3c).  `n`/`m` are the loop bounds; `flop_time` the
+/// calibrated seconds per inner-loop operation.
+[[nodiscard]] uml::Model kernel6_model(std::int64_t n, std::int64_t m,
+                                       double flop_time);
+
+/// Livermore kernel 6 as the detailed three-level loop model (Fig. 3b):
+/// nested <<loop+>> elements whose innermost body is one W update.
+/// Evaluation cost scales with n*n*m — the reason the paper collapses it.
+[[nodiscard]] uml::Model kernel6_detailed_model(std::int64_t n,
+                                                std::int64_t m,
+                                                double flop_time);
+
+/// Two-process message-passing ping-pong: `rounds` exchanges of `bytes`.
+[[nodiscard]] uml::Model pingpong_model(double bytes, std::int64_t rounds);
+
+/// Synthetic model for transformation/traversal benches: `activities`
+/// sub-diagrams of `actions` <<action+>> elements each, plus a decision
+/// and cost functions.  Deterministic for a fixed shape.
+[[nodiscard]] uml::Model synthetic_model(int activities, int actions);
+
+/// Randomized *structured* model for property-based testing: a seeded mix
+/// of sequences, guarded decisions (always with an else edge), nested
+/// activities and counted loops, with globals and composed cost
+/// functions.  Always checker-clean, interpretable, and transformable;
+/// deterministic for a fixed (seed, size).  `size` roughly controls the
+/// number of performance elements.
+[[nodiscard]] uml::Model random_model(std::uint64_t seed, int size = 20);
+
+/// 2-D Jacobi-style stencil, 1-D row decomposition: every sweep each rank
+/// exchanges one halo row (8n bytes) with both neighbours, then updates
+/// its ceil(n/np) owned rows at 5 flops per cell.  Ranks 0 and np-1 skip
+/// the missing neighbour; np=1 degenerates to pure compute.
+[[nodiscard]] uml::Model stencil2d_model(std::int64_t n, std::int64_t iters,
+                                         double flop_time);
+
+/// Allreduce decomposed into explicit circular-shift rounds (Bruck
+/// style): ceil(log2(np)) rounds, round r sending `bytes` to
+/// (pid + 2^r) mod np and combining at bytes/8 elements * `flop_time`.
+/// Works for any np (including non-powers-of-two); np=1 is the local
+/// reduction only.  Contrast with the one-element <<allreduce>>
+/// collective, which both backends price as a closed-form tree.
+[[nodiscard]] uml::Model allreduce_model(double bytes, double flop_time);
+
+/// Master/worker task farm: rank 0 dispatches one task batch per worker
+/// (block distribution of `tasks`), workers grind their batch — each
+/// task branches heavy (prob 0.25, `heavy_cost`) or light (prob 0.75,
+/// `light_cost`) on a `prob`-tagged decision — and return one result
+/// message.  The simulator resolves the per-task guard (t % 4 == 0)
+/// concretely; the analytic backend takes the expectation, so the two
+/// agree wherever batch sizes keep the empirical mix near the tagged
+/// probabilities.  np=1 runs the whole farm locally.
+[[nodiscard]] uml::Model masterworker_model(std::int64_t tasks,
+                                            double light_cost,
+                                            double heavy_cost,
+                                            double task_bytes,
+                                            double result_bytes);
+
+/// Stage-parallel dataflow pipeline: every rank is one stage; `items`
+/// stream through, each costing `stage_cost` per stage and moving
+/// `item_bytes` per hop.  Fill/drain skew makes the makespan
+/// (np + items - 1) stages deep; np=1 is a plain loop.
+[[nodiscard]] uml::Model pipeline_model(std::int64_t items,
+                                        double stage_cost,
+                                        double item_bytes);
+
+}  // namespace prophet::models

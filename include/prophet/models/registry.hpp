@@ -1,0 +1,136 @@
+// The workload registry — "@name" built-in models as data.
+//
+// The paper exercises its pipeline on hand-assembled models (the Sec. 4
+// sample, Livermore kernel 6); this registry turns every such workload
+// into one declarative entry — a parameterized factory plus the metadata
+// tools need to list, sweep and cross-validate it — so adding scenario
+// N+1 costs one registry entry instead of edits to prophetc, CI and the
+// test suites.  `prophetc models` prints the registry; every consumer
+// ("@" references in prophetc, BatchRunner::add_model_reference, the
+// cross-validation tests, CI's sweep gate) resolves through it, keeping a
+// single source of truth.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/machine/machine.hpp"
+#include "prophet/uml/model.hpp"
+
+/// The built-in workload library: model factories and the registry that
+/// maps "@name" references onto them.
+namespace prophet::models {
+
+/// One tunable parameter of a registered workload.
+struct Knob {
+  /// Knob name as written in references: "@kernel6(n=128)".
+  std::string name;
+  /// Default value (all knobs are numeric; integer knobs are truncated by
+  /// the factory).
+  double value = 0;
+  /// Human-readable meaning, shown by `prophetc models`.
+  std::string description;
+};
+
+/// Knob assignments by name (heterogeneous lookup enabled).
+using KnobValues = std::map<std::string, double, std::less<>>;
+
+/// Everything the tools need to know about one registered workload.
+struct ModelInfo {
+  /// Bare workload name ("kernel6"); referenced as "@kernel6".
+  std::string name;
+  /// One-line description.
+  std::string description;
+  /// Communication structure ("none", "1-D halo exchange", ...).
+  std::string comm_pattern;
+  /// Expected scaling behaviour, human-readable.
+  std::string scaling;
+  /// Tunable knobs with defaults; overridable via "@name(k=v, ...)".
+  std::vector<Knob> knobs;
+  /// System parameters the model is meaningful under by default (e.g.
+  /// pingpong wants exactly two processes).  `prophetc estimate @name`
+  /// starts from these before applying flags.
+  machine::SystemParameters default_params;
+  /// Suggested sweep grid (ScenarioGrid spec) covering the model's
+  /// interesting regime; CI cross-validates every registered model over
+  /// this grid with `--backend=both`.
+  std::string default_grid;
+  /// Builds the model from a complete knob assignment (defaults merged
+  /// with any overrides).
+  std::function<uml::Model(const KnobValues&)> factory;
+
+  /// Instantiates the workload.  `overrides` may assign any subset of
+  /// `knobs`; unknown names throw std::invalid_argument listing the
+  /// valid ones.
+  [[nodiscard]] uml::Model make(const KnobValues& overrides = {}) const;
+};
+
+/// A parsed "@name" / "@name(k=v, ...)" reference.
+struct ModelReference {
+  /// Bare workload name (no '@').
+  std::string name;
+  /// Explicit knob overrides from the parenthesized list.
+  KnobValues knobs;
+};
+
+/// True when `text` is a registry reference (starts with '@').
+[[nodiscard]] bool is_reference(std::string_view text);
+
+/// Parses "@name" or "@name(k=v, k2=v2)".  Throws std::invalid_argument
+/// on malformed syntax (missing '@', unbalanced parentheses, non-numeric
+/// values, duplicate knobs).
+[[nodiscard]] ModelReference parse_reference(std::string_view text);
+
+/// An ordered collection of registered workloads.
+class Registry {
+ public:
+  /// An empty registry; populate with add().
+  Registry() = default;
+
+  /// Registers a workload.  Throws std::invalid_argument on an empty
+  /// name, a duplicate name, or a missing factory.
+  Registry& add(ModelInfo info);
+
+  /// Entry lookup by bare name; nullptr when absent.
+  [[nodiscard]] const ModelInfo* find(std::string_view name) const;
+
+  /// Entry lookup by bare name; throws std::invalid_argument naming the
+  /// available workloads when absent.
+  [[nodiscard]] const ModelInfo& at(std::string_view name) const;
+
+  /// All entries in registration order.
+  [[nodiscard]] const std::vector<ModelInfo>& entries() const {
+    return entries_;
+  }
+
+  /// Bare names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Number of registered workloads.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Resolves a "@name(k=v, ...)" reference to a model instance.
+  [[nodiscard]] uml::Model make(std::string_view reference) const;
+
+  /// Comma-separated "@name" list ("@sample, @kernel6, ...") for help
+  /// and error messages.
+  [[nodiscard]] std::string available() const;
+
+  /// The human-readable catalogue `prophetc models` prints: name,
+  /// description, communication pattern, scaling, knobs and the default
+  /// sweep grid of every entry.
+  [[nodiscard]] std::string describe() const;
+
+  /// The built-in workload library (all models shipped with the
+  /// repository, the paper's examples included).
+  [[nodiscard]] static const Registry& builtin();
+
+ private:
+  std::vector<ModelInfo> entries_;
+};
+
+}  // namespace prophet::models

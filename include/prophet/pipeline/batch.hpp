@@ -39,84 +39,111 @@
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/uml/model.hpp"
 
+/// Batch scenario sweeps: grids, the worker pool and result aggregation.
 namespace prophet::pipeline {
 
 /// One unit of work: a registered model evaluated under one parameter
 /// configuration with one RNG seed.
 struct BatchJob {
-  int id = 0;           // dense, assignment order; results keep this order
-  int model_index = 0;  // index into the runner's registered models
+  /// Dense id in assignment order; results keep this order.
+  int id = 0;
+  /// Index into the runner's registered models.
+  int model_index = 0;
+  /// Display name of the referenced model.
   std::string model_name;
+  /// The scenario's system parameters.
   machine::SystemParameters params;
-  // Derived from BatchOptions::base_seed and id; reserved for stochastic
-  // workloads (the current evaluation path is deterministic).
+  /// Derived from BatchOptions::base_seed and id; reserved for stochastic
+  /// workloads (the current evaluation path is deterministic).
   std::uint64_t seed = 0;
 };
 
 /// Outcome of one job.  `ok` is false when any pipeline stage failed; the
 /// remaining fields are valid only when it is true.
 struct ScenarioResult {
+  /// Id of the job this result answers.
   int job_id = 0;
+  /// Index of the evaluated model.
   int model_index = 0;
+  /// Display name of the evaluated model.
   std::string model_name;
+  /// The scenario's system parameters.
   machine::SystemParameters params;
+  /// The job's derived RNG seed.
   std::uint64_t seed = 0;
 
+  /// True when every pipeline stage succeeded.
   bool ok = false;
-  std::string error;  // stage-prefixed message, e.g. "check: 2 error(s)"
+  /// Stage-prefixed failure message, e.g. "check: 2 error(s)".
+  std::string error;
 
-  // Which backend(s) evaluated the job.  With BackendKind::Both,
-  // `predicted_time` is the simulator's reference prediction,
-  // `analytic_predicted` the analytic candidate and `relative_error`
-  // their relative deviation |analytic - sim| / sim.
+  /// Which backend(s) evaluated the job.  With BackendKind::Both,
+  /// `predicted_time` is the simulator's reference prediction,
+  /// `analytic_predicted` the analytic candidate and `relative_error`
+  /// their relative deviation |analytic - sim| / sim.
   estimator::BackendKind backend = estimator::BackendKind::Simulation;
-  double predicted_time = 0;       // predicted seconds (makespan)
-  double analytic_predicted = 0;   // valid for Analytic and Both
-  double relative_error = 0;       // valid for Both
-  std::uint64_t events = 0;        // engine events processed (sim only)
+  /// Predicted seconds (makespan).
+  double predicted_time = 0;
+  /// The analytic prediction; valid for Analytic and Both.
+  double analytic_predicted = 0;
+  /// |analytic - sim| / sim; valid for Both.
+  double relative_error = 0;
+  /// Engine events processed (simulation only).
+  std::uint64_t events = 0;
+  /// Number of modeled processes.
   int processes = 0;
-  std::size_t check_warnings = 0;  // checker findings (errors fail the job)
-  std::size_t generated_bytes = 0; // size of the generated C++ (codegen on)
-  double wall_seconds = 0;         // host time this job took
+  /// Checker findings (errors fail the job).
+  std::size_t check_warnings = 0;
+  /// Size of the generated C++ (when codegen is on).
+  std::size_t generated_bytes = 0;
+  /// Host time this job took.
+  double wall_seconds = 0;
 
-  // Per-stage host times (seconds).  In cached runs parse/check/
-  // transform happen once per model during the batch prepare phase
-  // (BatchReport::prepare_seconds), so those three stay 0 per job and
-  // estimate_seconds ~= wall_seconds; in isolated runs every stage is
-  // paid — and visible — per job.
-  double parse_seconds = 0;
-  double check_seconds = 0;
-  double transform_seconds = 0;
-  double estimate_seconds = 0;
+  /// \name Per-stage host times (seconds)
+  /// In cached runs parse/check/transform happen once per model during
+  /// the batch prepare phase (BatchReport::prepare_seconds), so those
+  /// three stay 0 per job and estimate_seconds ~= wall_seconds; in
+  /// isolated runs every stage is paid — and visible — per job.
+  ///@{
+  double parse_seconds = 0;      ///< XMI parse time.
+  double check_seconds = 0;      ///< Model-check time.
+  double transform_seconds = 0;  ///< UML -> C++ transformation time.
+  double estimate_seconds = 0;   ///< Backend evaluation time.
+  ///@}
 };
 
 /// Aggregate statistics over the successful results of a batch.
 struct BatchStats {
-  std::size_t total = 0;
-  std::size_t ok = 0;
-  std::size_t failed = 0;
-  double min_predicted = 0;
-  double max_predicted = 0;
-  double mean_predicted = 0;
-  std::uint64_t total_events = 0;
-  double total_job_seconds = 0;  // sum of per-job wall times
-  // Cross-validation (jobs run with BackendKind::Both only).
-  std::size_t compared = 0;      // jobs carrying a relative error
-  double max_rel_error = 0;
-  double mean_rel_error = 0;
+  std::size_t total = 0;         ///< Number of jobs in the batch.
+  std::size_t ok = 0;            ///< Jobs whose every stage succeeded.
+  std::size_t failed = 0;        ///< Jobs with a failed stage.
+  double min_predicted = 0;      ///< Smallest successful prediction.
+  double max_predicted = 0;      ///< Largest successful prediction.
+  double mean_predicted = 0;     ///< Mean successful prediction.
+  std::uint64_t total_events = 0;  ///< Engine events across all jobs.
+  double total_job_seconds = 0;  ///< Sum of per-job wall times.
+  /// \name Cross-validation (jobs run with BackendKind::Both only)
+  ///@{
+  std::size_t compared = 0;      ///< Jobs carrying a relative error.
+  double max_rel_error = 0;      ///< Worst analytic-vs-sim deviation.
+  double mean_rel_error = 0;     ///< Mean analytic-vs-sim deviation.
+  ///@}
 };
 
 /// The collected outcome of one BatchRunner::run().
 struct BatchReport {
-  std::vector<ScenarioResult> results;  // ordered by job id
+  /// Per-scenario outcomes, ordered by job id.
+  std::vector<ScenarioResult> results;
+  /// Worker threads the batch actually used.
   int threads_used = 1;
-  double wall_seconds = 0;  // end-to-end host time for the batch
-  // Compiled-model cache (cached runs only): how many models made it
-  // through the whole compile chain — parse, check, transform,
-  // Backend::prepare.  Zero in isolated runs.
+  /// End-to-end host time for the batch.
+  double wall_seconds = 0;
+  /// Compiled-model cache (cached runs only): how many models made it
+  /// through the whole compile chain — parse, check, transform,
+  /// Backend::prepare.  Zero in isolated runs.
   int models_prepared = 0;
-  // One-time prepare-phase host time; includes models whose compile
-  // failed.  Zero in isolated runs.
+  /// One-time prepare-phase host time; includes models whose compile
+  /// failed.  Zero in isolated runs.
   double prepare_seconds = 0;
 
   [[nodiscard]] BatchStats stats() const;
@@ -133,29 +160,35 @@ struct BatchReport {
 
 /// Knobs for one batch run.
 struct BatchOptions {
-  int threads = 0;          // <= 0: std::thread::hardware_concurrency()
-  bool run_checker = true;  // model-check each job; errors fail the job
-  bool run_codegen = true;  // run the UML -> C++ transformation per job
-  // Evaluation engine per job: simulation (the paper's estimator),
-  // analytic (closed-form), or both (sim as reference, analytic as
-  // candidate, relative error recorded per scenario).
+  /// Worker threads; <= 0 uses std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Model-check each job; checker errors fail the job.
+  bool run_checker = true;
+  /// Run the UML -> C++ transformation per job.
+  bool run_codegen = true;
+  /// Evaluation engine per job: simulation (the paper's estimator),
+  /// analytic (closed-form), or both (sim as reference, analytic as
+  /// candidate, relative error recorded per scenario).
   estimator::BackendKind backend = estimator::BackendKind::Simulation;
+  /// Base of the per-job seed derivation (see derive_seed).
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;
-  // false (default): compile each referenced model once — XMI parse,
-  // check, transform, Backend::prepare — and share the immutable result
-  // read-only across the worker pool; jobs are parameter-only
-  // evaluations.  true: every job re-runs the whole chain on its own
-  // model copy (PR 1's isolation semantics — the escape hatch for
-  // workloads that want per-job fault containment of the pipeline
-  // stages themselves).  Predictions are bit-identical either way.
+  /// false (default): compile each referenced model once — XMI parse,
+  /// check, transform, Backend::prepare — and share the immutable result
+  /// read-only across the worker pool; jobs are parameter-only
+  /// evaluations.  true: every job re-runs the whole chain on its own
+  /// model copy (PR 1's isolation semantics — the escape hatch for
+  /// workloads that want per-job fault containment of the pipeline
+  /// stages themselves).  Predictions are bit-identical either way.
   bool isolate_jobs = false;
 };
 
 /// Expands sweeps into jobs and runs them on a worker pool.
 class BatchRunner {
  public:
+  /// Captures the batch options; models and scenarios are added next.
   explicit BatchRunner(BatchOptions options = {});
 
+  /// The options this runner was constructed with.
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 
   /// Registers a model (serialized to XMI text so every job can re-parse
@@ -169,6 +202,12 @@ class BatchRunner {
   /// errors, parse errors surface per job).  The name is the file path.
   int add_model_file(const std::string& path);
 
+  /// Registers a built-in workload by registry reference ("@kernel6",
+  /// "@stencil2d(n=256)").  Throws std::invalid_argument on unknown
+  /// models or knobs, naming the valid ones.  The name is the reference.
+  int add_model_reference(const std::string& reference);
+
+  /// Number of registered models.
   [[nodiscard]] std::size_t model_count() const { return models_.size(); }
 
   /// Queues one scenario for a registered model.
@@ -180,7 +219,9 @@ class BatchRunner {
   /// Queues every scenario in `grid` for every registered model.
   void add_sweep_all(const ScenarioGrid& grid);
 
+  /// Number of queued jobs.
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  /// The queued jobs, in assignment order.
   [[nodiscard]] const std::vector<BatchJob>& jobs() const { return jobs_; }
 
   /// Runs all queued jobs.  Results arrive in job order regardless of the

@@ -23,14 +23,18 @@ namespace prophet::pipeline {
 
 /// One sweep dimension: a named SystemParameters field and its values.
 struct Axis {
+  /// Sweepable parameter name ("np", "nodes", "cpu_speed", ...).
   std::string name;
+  /// The values this axis takes, in sweep order.
   std::vector<double> values;
 };
 
 /// Cross-product of parameter axes over a base configuration.
 class ScenarioGrid {
  public:
+  /// An axis-less grid over default system parameters (one scenario).
   ScenarioGrid() = default;
+  /// An axis-less grid over `base` (one scenario until axes are added).
   explicit ScenarioGrid(machine::SystemParameters base) : base_(base) {}
 
   /// Adds a sweep axis.  Throws std::invalid_argument when `name` is not
@@ -47,7 +51,9 @@ class ScenarioGrid {
   [[nodiscard]] static ScenarioGrid parse(std::string_view spec,
                                           machine::SystemParameters base = {});
 
+  /// The base configuration every scenario starts from.
   [[nodiscard]] const machine::SystemParameters& base() const { return base_; }
+  /// The sweep axes, in the order they were added.
   [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
 
   /// Number of scenarios the grid expands to (1 for an axis-less grid).

@@ -18,6 +18,7 @@
 #include "prophet/codegen/transformer.hpp"
 #include "prophet/estimator/estimator.hpp"
 #include "prophet/machine/machine.hpp"
+#include "prophet/models/builtins.hpp"
 #include "prophet/uml/builder.hpp"
 #include "prophet/uml/model.hpp"
 
@@ -56,45 +57,5 @@ class Prophet {
  private:
   uml::Model model_;
 };
-
-/// Ready-made models used by the paper, the examples and the benches.
-namespace models {
-
-/// The Sec. 4 sample model (Fig. 7): main diagram
-/// `A1 -> [GV > 0] SA | [else] A2 -> A4` with sub-diagram `SA = SA1 ->
-/// SA2`, globals GV and P, a code fragment on A1 (`GV = 3; P = 16;`) and
-/// cost functions FA1/FA2/FA4/FSA1/FSA2 (FSA2 parameterized by pid).
-[[nodiscard]] uml::Model sample_model();
-
-/// Livermore kernel 6 as one collapsed <<action+>> with cost function
-/// FK6 (Fig. 3c).  `n`/`m` are the loop bounds; `flop_time` the
-/// calibrated seconds per inner-loop operation.
-[[nodiscard]] uml::Model kernel6_model(std::int64_t n, std::int64_t m,
-                                       double flop_time);
-
-/// Livermore kernel 6 as the detailed three-level loop model (Fig. 3b):
-/// nested <<loop+>> elements whose innermost body is one W update.
-/// Evaluation cost scales with n*n*m — the reason the paper collapses it.
-[[nodiscard]] uml::Model kernel6_detailed_model(std::int64_t n,
-                                                std::int64_t m,
-                                                double flop_time);
-
-/// Two-process message-passing ping-pong: `rounds` exchanges of `bytes`.
-[[nodiscard]] uml::Model pingpong_model(double bytes, std::int64_t rounds);
-
-/// Synthetic model for transformation/traversal benches: `activities`
-/// sub-diagrams of `actions` <<action+>> elements each, plus a decision
-/// and cost functions.  Deterministic for a fixed shape.
-[[nodiscard]] uml::Model synthetic_model(int activities, int actions);
-
-/// Randomized *structured* model for property-based testing: a seeded mix
-/// of sequences, guarded decisions (always with an else edge), nested
-/// activities and counted loops, with globals and composed cost
-/// functions.  Always checker-clean, interpretable, and transformable;
-/// deterministic for a fixed (seed, size).  `size` roughly controls the
-/// number of performance elements.
-[[nodiscard]] uml::Model random_model(std::uint64_t seed, int size = 20);
-
-}  // namespace models
 
 }  // namespace prophet

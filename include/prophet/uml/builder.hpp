@@ -17,14 +17,26 @@
 //
 // Element ids are generated deterministically (n1, n2, ... / f1, f2, ... /
 // d1, d2, ...) so models built the same way serialize identically.
+//
+// On top of the node/edge layer, StepBuilder offers a structured,
+// scope-checked construction style (compute/send/recv steps, loop and
+// branch scopes, SPMD parallel regions) that cannot produce dangling
+// edges, and ModelBuilder::build() validates the result — misuse
+// (unclosed scopes, duplicate diagram names, a send whose message tag no
+// recv ever matches) surfaces as BuildError diagnostics instead of a
+// malformed model.
 #pragma once
 
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "prophet/uml/model.hpp"
 
+/// The UML performance-model representation (elements, diagrams,
+/// profiles) and its programmatic builders.
 namespace prophet::uml {
 
 class ModelBuilder;
@@ -33,9 +45,12 @@ class DiagramBuilder;
 /// Lightweight handle to a node under construction; setters chain.
 class NodeRef {
  public:
+  /// Wraps a node owned by a diagram under construction.
   NodeRef(Node* node) : node_(node) {}  // NOLINT(google-explicit-constructor)
 
+  /// Generated element id ("n1", "n2", ...).
   [[nodiscard]] const std::string& id() const { return node_->id(); }
+  /// The underlying node (owned by the diagram, not by this handle).
   [[nodiscard]] Node& node() const { return *node_; }
 
   /// Associates a cost expression (tag `cost`) — Fig. 7c.
@@ -53,21 +68,62 @@ class NodeRef {
   Node* node_;
 };
 
+/// Lightweight handle to a control-flow edge under construction.
+///
+/// Returned by DiagramBuilder::flow so guards and edge tags — most
+/// importantly the `prob` branch probability the analytic backend takes
+/// expectations over — chain fluently:
+///
+///   d.flow(decision, heavy, "t % 4 == 0").prob(0.25);
+class EdgeRef {
+ public:
+  /// Wraps an edge owned by a diagram under construction.
+  EdgeRef(ModelBuilder* owner, ControlFlow* edge)
+      : owner_(owner), edge_(edge) {}
+
+  /// The underlying edge (owned by the diagram, not by this handle).
+  [[nodiscard]] ControlFlow& edge() const { return *edge_; }
+
+  /// Annotates the edge with a branch probability (tag `prob`).  The
+  /// simulator still resolves the guard concretely; the analytic backend
+  /// replaces guard resolution by the expectation over all `prob`-tagged
+  /// branches of the decision.  Values outside [0, 1] are recorded as a
+  /// build diagnostic.
+  EdgeRef& prob(double probability);
+
+  /// Sets an arbitrary tagged value on the edge.
+  EdgeRef& set_tag(std::string_view name, TagValue value);
+
+ private:
+  ModelBuilder* owner_;
+  ControlFlow* edge_;
+};
+
 /// Builds one activity diagram.
 class DiagramBuilder {
  public:
+  /// Builds into `diagram`, drawing ids from `owner`.
   DiagramBuilder(ModelBuilder* owner, ActivityDiagram* diagram)
       : owner_(owner), diagram_(diagram) {}
 
+  /// Generated diagram id ("d1", "d2", ...).
   [[nodiscard]] const std::string& id() const { return diagram_->id(); }
+  /// The diagram's display name (unique per model; validated on build).
+  [[nodiscard]] const std::string& name() const { return diagram_->name(); }
 
   // --- Control nodes -----------------------------------------------------
 
+  /// The diagram's entry point (exactly one per diagram).
   NodeRef initial();
+  /// A final node (flow termination).
   NodeRef final_node();
+  /// A decision diamond; guard its outgoing edges via flow().
   NodeRef decision(std::string name = {});
+  /// A merge diamond reconverging alternative paths.
   NodeRef merge(std::string name = {});
+  /// A fork bar splitting into concurrent flows.
   NodeRef fork(std::string name = {});
+  /// A join bar synchronizing concurrent flows.
   NodeRef join(std::string name = {});
 
   // --- Performance modeling elements --------------------------------------
@@ -78,30 +134,42 @@ class DiagramBuilder {
   /// <<activity+>>: composite element whose content is `subdiagram`
   /// (Fig. 7a's SA).
   NodeRef activity(std::string name, const DiagramBuilder& subdiagram);
+  /// \overload
   NodeRef activity(std::string name, std::string subdiagram_id);
 
   /// <<loop+>>: repeats `body` `iterations` times; `var` is visible in
   /// expressions inside the body (0-based iteration index).
   NodeRef loop(std::string name, const DiagramBuilder& body,
                std::string iterations, std::string var = "i");
+  /// \overload
   NodeRef loop(std::string name, std::string body_diagram_id,
                std::string iterations, std::string var = "i");
 
   // --- Message-passing elements (MPI-style, inter-node) -------------------
 
+  /// <<send>>: posts `size_expr` bytes to process `dest_expr` (expressions
+  /// over model variables and system parameters), non-blocking.
   NodeRef send(std::string name, std::string dest_expr,
                std::string size_expr, std::int64_t msg_tag = 0);
+  /// <<recv>>: blocks until the FIFO-matching message with `msg_tag` from
+  /// process `source_expr` arrives.
   NodeRef recv(std::string name, std::string source_expr,
                std::string size_expr, std::int64_t msg_tag = 0);
+  /// <<barrier>>: synchronizes all processes.
   NodeRef barrier(std::string name = "Barrier");
+  /// <<broadcast>>: root-to-all collective of `size_expr` bytes.
   NodeRef broadcast(std::string name, std::string root_expr,
                     std::string size_expr);
+  /// <<reduce>>: all-to-root reduction collective.
   NodeRef reduce(std::string name, std::string root_expr,
                  std::string size_expr, std::string op = "sum");
+  /// <<allreduce>>: reduction whose result reaches every process.
   NodeRef allreduce(std::string name, std::string size_expr,
                     std::string op = "sum");
+  /// <<scatter>>: root distributes distinct blocks to every process.
   NodeRef scatter(std::string name, std::string root_expr,
                   std::string size_expr);
+  /// <<gather>>: root collects distinct blocks from every process.
   NodeRef gather(std::string name, std::string root_expr,
                  std::string size_expr);
 
@@ -118,15 +186,17 @@ class DiagramBuilder {
   /// <<ompcritical>>: body executes under a named mutual-exclusion lock.
   NodeRef omp_critical(std::string name, const DiagramBuilder& body,
                        std::string critical_name = "default");
+  /// <<ompbarrier>>: synchronizes the threads of the enclosing region.
   NodeRef omp_barrier(std::string name = "OmpBarrier");
 
   // --- Edges ---------------------------------------------------------------
 
   /// Adds a control-flow edge; `guard` is a boolean expression or "else".
-  ControlFlow& flow(const NodeRef& from, const NodeRef& to,
-                    std::string guard = {});
-  ControlFlow& flow(std::string_view from_id, std::string_view to_id,
-                    std::string guard = {});
+  EdgeRef flow(const NodeRef& from, const NodeRef& to,
+               std::string guard = {});
+  /// \overload
+  EdgeRef flow(std::string_view from_id, std::string_view to_id,
+               std::string guard = {});
 
   /// Adds unguarded edges chaining the given nodes in order.
   void sequence(std::initializer_list<NodeRef> nodes);
@@ -139,10 +209,220 @@ class DiagramBuilder {
   ActivityDiagram* diagram_;
 };
 
+// --- Build diagnostics ---------------------------------------------------
+
+/// Severity of a build diagnostic.  Errors make ModelBuilder::build()
+/// throw BuildError; warnings are advisory.
+enum class BuildSeverity {
+  Warning,
+  Error,
+};
+
+/// One construction-time finding (builder misuse or structural lint).
+struct BuildDiagnostic {
+  /// Whether the finding blocks build().
+  BuildSeverity severity = BuildSeverity::Error;
+  /// Human-readable description, e.g. "unclosed loop scope 'ILoop'".
+  std::string message;
+
+  /// "error: <message>" / "warning: <message>".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown by ModelBuilder::build() when validation finds errors.  The
+/// what() string aggregates every diagnostic, one per line.
+class BuildError : public std::runtime_error {
+ public:
+  explicit BuildError(std::vector<BuildDiagnostic> diagnostics);
+
+  /// The individual findings behind what().
+  [[nodiscard]] const std::vector<BuildDiagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<BuildDiagnostic> diagnostics_;
+};
+
+// --- Structured construction ---------------------------------------------
+
+/// Structured, scope-checked flow construction: emits one linear chain of
+/// steps into a diagram, with explicit scopes for loops, guarded/
+/// probabilistic branches, SPMD parallel regions and critical sections.
+/// Misuse (a mismatched end_*(), a step before when(), a scope left open
+/// at done()) is recorded as a build diagnostic on the owning
+/// ModelBuilder — build() then throws instead of returning a malformed
+/// model.
+///
+///   StepBuilder s(mb, "main");
+///   s.compute("Init", "FInit()")
+///       .begin_loop("Iters", "N", "it")
+///           .send("Halo", "pid + 1", "B")
+///           .recv("Halo", "pid + 1", "B")
+///           .compute("Update", "FCell() * G")
+///       .end_loop()
+///       .begin_branch()
+///           .when("pid == 0").compute("Root", "FRoot()")
+///           .otherwise().compute("Leaf", "FLeaf()")
+///       .end_branch()
+///       .done();
+///
+/// Loop, SPMD and critical scopes implicitly create the body diagram
+/// (named "<scope name>.body") with its initial/final nodes; branch
+/// scopes create the decision, its guarded edges and the reconverging
+/// merge.  when(guard, prob) additionally tags the branch edge with the
+/// `prob` probability the analytic backend takes expectations over.
+class StepBuilder {
+ public:
+  /// Opens a new diagram named `diagram_name` (with its Initial node) on
+  /// `owner`.  Call done() exactly once when the chain is complete;
+  /// otherwise build() reports the sequence as unfinished.
+  StepBuilder(ModelBuilder& owner, std::string diagram_name = "main");
+  /// Out-of-line for the incomplete Frame member; does not imply done().
+  ~StepBuilder();
+
+  /// \name Non-copyable (sequence accounting is per instance)
+  ///@{
+  StepBuilder(const StepBuilder&) = delete;
+  StepBuilder& operator=(const StepBuilder&) = delete;
+  ///@}
+
+  /// Id of the diagram this sequence fills (usable with
+  /// DiagramBuilder::activity / loop by id).
+  [[nodiscard]] const std::string& diagram_id() const;
+
+  // --- Linear steps -------------------------------------------------------
+
+  /// <<action+>> costing `cost_expr`.
+  StepBuilder& compute(std::string name, std::string cost_expr);
+  /// <<send>> of `size_expr` bytes to `dest_expr` (non-blocking).
+  StepBuilder& send(std::string name, std::string dest_expr,
+                    std::string size_expr, std::int64_t msg_tag = 0);
+  /// <<recv>> matching (`source_expr`, `msg_tag`), blocking.
+  StepBuilder& recv(std::string name, std::string source_expr,
+                    std::string size_expr, std::int64_t msg_tag = 0);
+  /// <<barrier>> over all processes.
+  StepBuilder& barrier(std::string name = "Barrier");
+  /// <<broadcast>> collective.
+  StepBuilder& broadcast(std::string name, std::string root_expr,
+                         std::string size_expr);
+  /// <<reduce>> collective.
+  StepBuilder& reduce(std::string name, std::string root_expr,
+                      std::string size_expr, std::string op = "sum");
+  /// <<allreduce>> collective.
+  StepBuilder& allreduce(std::string name, std::string size_expr,
+                         std::string op = "sum");
+  /// <<scatter>> collective.
+  StepBuilder& scatter(std::string name, std::string root_expr,
+                       std::string size_expr);
+  /// <<gather>> collective.
+  StepBuilder& gather(std::string name, std::string root_expr,
+                      std::string size_expr);
+  /// <<ompfor>> worksharing step (inside an SPMD region).
+  StepBuilder& omp_for(std::string name, std::string iterations,
+                       std::string itercost, std::string schedule = "static",
+                       std::int64_t chunk = 0);
+  /// <<activity+>> invoking an already-built sub-diagram.
+  StepBuilder& call(std::string name, const DiagramBuilder& subdiagram);
+  /// \overload
+  StepBuilder& call(std::string name, std::string subdiagram_id);
+  /// <<loop+>> over an already-built body diagram (for shared bodies;
+  /// prefer begin_loop()/end_loop() for inline ones).
+  StepBuilder& loop(std::string name, std::string body_diagram_id,
+                    std::string iterations, std::string var = "i");
+
+  // --- Decoration of the most recent step ---------------------------------
+
+  /// Attaches a code fragment to the last emitted step.
+  StepBuilder& code(std::string fragment);
+  /// Sets the `type` tag on the last emitted step.
+  StepBuilder& type(std::string value);
+  /// Sets an arbitrary tag on the last emitted step.
+  StepBuilder& tag(std::string_view name, TagValue value);
+
+  // --- Scopes --------------------------------------------------------------
+
+  /// Opens a <<loop+>> scope: steps until end_loop() form the body
+  /// (diagram "<name>.body"); `var` is the 0-based iteration index.
+  StepBuilder& begin_loop(std::string name, std::string iterations,
+                          std::string var = "i");
+  /// Closes the innermost loop scope.
+  StepBuilder& end_loop();
+
+  /// Opens a branch scope (a decision diamond).  Follow with one or more
+  /// when()/otherwise() arms, then end_branch().
+  StepBuilder& begin_branch(std::string name = {});
+  /// Starts a branch arm taken when `guard` holds.
+  StepBuilder& when(std::string guard);
+  /// Starts a branch arm with a `prob` probability tag: the simulator
+  /// still resolves `guard`, the analytic backend weights the arm by
+  /// `probability` instead.
+  StepBuilder& when(std::string guard, double probability);
+  /// Starts the default ("else") arm.
+  StepBuilder& otherwise();
+  /// Starts a probability-tagged default arm.
+  StepBuilder& otherwise(double probability);
+  /// Closes the innermost branch scope, reconverging all arms at a merge.
+  StepBuilder& end_branch();
+
+  /// Opens an SPMD parallel-region scope (<<ompparallel>>): the body
+  /// (diagram "<name>.body") executes once per thread with an implicit
+  /// barrier at the end.
+  StepBuilder& begin_spmd(std::string name, std::string num_threads_expr);
+  /// Closes the innermost SPMD region scope.
+  StepBuilder& end_spmd();
+
+  /// Opens an <<ompcritical>> scope: the body executes under the named
+  /// mutual-exclusion lock.
+  StepBuilder& begin_critical(std::string name,
+                              std::string critical_name = "default");
+  /// Closes the innermost critical-section scope.
+  StepBuilder& end_critical();
+
+  /// Terminates the chain with a Final node and closes the sequence.
+  /// Scopes still open are reported as build diagnostics.  Returns the
+  /// owning builder for chaining.
+  ModelBuilder& done();
+
+ private:
+  struct Frame;
+
+  /// Emits a node as the next step of the current scope.
+  StepBuilder& attach(NodeRef node);
+  /// Makes `node` the current cursor without adding an edge.
+  void advance(Node& node);
+  /// Closes the currently open branch arm (records its tail).
+  void close_arm();
+  /// Shared tail of end_loop()/end_spmd()/end_critical(): finalize the
+  /// body diagram, pop the frame, and attach the node `emit` builds in
+  /// the enclosing scope.  The caller has already verified the kind.
+  StepBuilder& close_body(
+      const std::function<NodeRef(DiagramBuilder&, Frame&)>& emit);
+  /// The diagram the current scope writes into.
+  [[nodiscard]] DiagramBuilder current_diagram();
+  void report(std::string message);
+
+  ModelBuilder* owner_;
+  std::vector<Frame> frames_;
+  Node* last_step_ = nullptr;
+  bool finished_ = false;
+};
+
 /// Builds a complete model.
 class ModelBuilder {
  public:
+  /// Starts an empty model carrying the standard profile.
   explicit ModelBuilder(std::string name);
+  /// Discards the model under construction when build() was never called.
+  ~ModelBuilder();
+
+  /// \name Movable, not copyable (id counters must stay unique)
+  ///@{
+  ModelBuilder(const ModelBuilder&) = delete;
+  ModelBuilder& operator=(const ModelBuilder&) = delete;
+  ModelBuilder(ModelBuilder&&) = default;
+  ModelBuilder& operator=(ModelBuilder&&) = default;
+  ///@}
 
   /// Declares a global variable (visible to all expressions & codegen).
   ModelBuilder& global(std::string name, VariableType type = VariableType::Real,
@@ -158,8 +438,21 @@ class ModelBuilder {
   /// Creates a diagram; the first created diagram becomes the main one.
   DiagramBuilder diagram(std::string name);
 
-  /// Finalizes and returns the model. The builder is consumed.
+  /// Structural lint over the model under construction: diagnostics
+  /// recorded by builder misuse, scopes/sequences left open, duplicate
+  /// diagram names, and sends whose message tag has no recv partner
+  /// anywhere in the model (or recvs with no send) — each a construction
+  /// bug that would otherwise surface as a confusing downstream failure.
+  [[nodiscard]] std::vector<BuildDiagnostic> validate() const;
+
+  /// Finalizes and returns the model; the builder is consumed.  Runs
+  /// validate() first and throws BuildError when it reports any
+  /// error-severity diagnostic.
   [[nodiscard]] Model build() &&;
+
+  /// Finalizes without validation — the escape hatch for deliberately
+  /// ill-formed models (checker tests, deadlock reproductions).
+  [[nodiscard]] Model build_unchecked() &&;
 
   /// Access to the model under construction (used by DiagramBuilder).
   [[nodiscard]] Model& model() { return model_; }
@@ -167,11 +460,23 @@ class ModelBuilder {
   /// Generates the next unique id with the given prefix ("n", "f", "d").
   [[nodiscard]] std::string next_id(std::string_view prefix);
 
+  /// Records a construction-time diagnostic (builder misuse).
+  void report(BuildSeverity severity, std::string message);
+
  private:
+  friend class StepBuilder;
+
+  /// StepBuilder lifecycle accounting: open sequences show up in
+  /// validate() until done() retires them.
+  void note_sequence_opened(const void* key, std::string label);
+  void note_sequence_finished(const void* key);
+
   Model model_;
   std::size_t next_node_ = 1;
   std::size_t next_edge_ = 1;
   std::size_t next_diagram_ = 1;
+  std::vector<BuildDiagnostic> diagnostics_;
+  std::vector<std::pair<const void*, std::string>> open_sequences_;
 };
 
 }  // namespace prophet::uml

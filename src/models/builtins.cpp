@@ -1,0 +1,665 @@
+// Factories for the built-in workload library, plus their registration
+// in Registry::builtin().
+//
+// Construction style: the linear/structured models use StepBuilder (the
+// scope-checked layer), the generator-style ones (synthetic, random)
+// drive DiagramBuilder directly.  Node-id assignment of the sample model
+// is load-bearing: tests pin A1 to "n6" (the Fig. 8 numbering), so the
+// SA sub-diagram is built before the main diagram, exactly like the
+// paper presents it.
+#include "prophet/models/builtins.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "prophet/models/registry.hpp"
+#include "prophet/sim/random.hpp"
+#include "prophet/uml/builder.hpp"
+
+namespace prophet::models {
+namespace {
+
+/// Full-precision numeric literal (std::to_string truncates to 6 decimal
+/// places, which collapses small calibrated op times to "0.000000").
+std::string number_literal(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+uml::Model sample_model() {
+  uml::ModelBuilder mb("SampleModel");
+  // "variables GV and P are specified as global variables of the model"
+  mb.global("GV", uml::VariableType::Real, "0");
+  mb.global("P", uml::VariableType::Real, "16");
+  // Cost functions in the spirit of Fig. 8a ("these cost functions are
+  // not derived from a real-world program"); FSA2 takes pid (Fig. 8a).
+  mb.function("FA1", {}, "0.000001 * P * P + 0.001");
+  mb.function("FA2", {}, "0.5 * FA1()");
+  mb.function("FA4", {}, "0.002");
+  mb.function("FSA1", {}, "0.0001 * P");
+  mb.function("FSA2", {"pid"}, "0.0005 * pid + 0.001");
+
+  // Sub-diagram SA (the undocked diagram of Fig. 7a), built first so
+  // node ids stay stable (SA1 = n2, ..., A1 = n6 — the Fig. 8 numbering).
+  uml::StepBuilder sa(mb, "SA");
+  sa.compute("SA1", "FSA1()")
+      .tag(uml::tag::kId, uml::TagValue(std::int64_t{4}))
+      .compute("SA2", "FSA2(pid)")
+      .tag(uml::tag::kId, uml::TagValue(std::int64_t{5}))
+      .done();
+
+  uml::StepBuilder main(mb, "main");
+  main.compute("A1", "FA1()")
+      .code("GV = 3; P = 16;")
+      .tag(uml::tag::kId, uml::TagValue(std::int64_t{1}))
+      .begin_branch()
+      .when("GV > 0")
+      .call("SA", sa.diagram_id())
+      .otherwise()
+      .compute("A2", "FA2()")
+      .tag(uml::tag::kId, uml::TagValue(std::int64_t{2}))
+      .end_branch()
+      .compute("A4", "FA4()")
+      .tag(uml::tag::kId, uml::TagValue(std::int64_t{3}))
+      .done();
+
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.diagram_id());
+  return model;
+}
+
+uml::Model kernel6_model(std::int64_t n, std::int64_t m, double flop_time) {
+  uml::ModelBuilder mb("Kernel6");
+  mb.global("N", uml::VariableType::Integer, std::to_string(n));
+  mb.global("M", uml::VariableType::Integer, std::to_string(m));
+  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
+  // TK6 = FK6(): M general-linear-recurrence sweeps of N*(N-1)/2 updates.
+  mb.function("FK6", {}, "M * (N * (N - 1) / 2) * c");
+
+  uml::StepBuilder main(mb, "main");
+  main.compute("Kernel6", "FK6()").type("SAMPLE").done();
+  return std::move(mb).build();
+}
+
+uml::Model kernel6_detailed_model(std::int64_t n, std::int64_t m,
+                                  double flop_time) {
+  uml::ModelBuilder mb("Kernel6Detailed");
+  mb.global("N", uml::VariableType::Integer, std::to_string(n));
+  mb.global("M", uml::VariableType::Integer, std::to_string(m));
+  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
+
+  // The Fig. 3b loop nest: DO L = 1, M / DO i = 2, N / DO k = 1, i-1,
+  // innermost body the W(i) multiply-add.  With the 0-based middle loop
+  // variable i2 (i = i2+2), the inner trip count is i-1 = i2+1.
+  uml::StepBuilder main(mb, "main");
+  main.begin_loop("LLoop", "M", "L")
+      .begin_loop("ILoop", "N - 1", "i2")
+      .begin_loop("KLoop", "i2 + 1", "k")
+      .compute("W", "c")
+      .end_loop()
+      .end_loop()
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
+uml::Model pingpong_model(double bytes, std::int64_t rounds) {
+  uml::ModelBuilder mb("PingPong");
+  mb.global("S", uml::VariableType::Real, number_literal(bytes));
+
+  // One round: rank 0 sends then receives; rank 1 receives then sends.
+  uml::StepBuilder main(mb, "main");
+  main.begin_loop("Rounds", std::to_string(rounds))
+      .begin_branch()
+      .when("pid == 0")
+      .send("Ping", "1", "S")
+      .recv("PongRecv", "1", "S")
+      .otherwise()
+      .recv("PingRecv", "0", "S")
+      .send("Pong", "0", "S")
+      .end_branch()
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
+uml::Model synthetic_model(int activities, int actions) {
+  uml::ModelBuilder mb("Synthetic");
+  mb.global("P", uml::VariableType::Real, "8");
+  mb.function("F0", {}, "0.0001 * P");
+  mb.function("F1", {}, "F0() + 0.001");
+
+  std::vector<std::string> sub_ids;
+  sub_ids.reserve(static_cast<std::size_t>(activities));
+  for (int a = 0; a < activities; ++a) {
+    uml::DiagramBuilder sub = mb.diagram("sub" + std::to_string(a));
+    uml::NodeRef previous = sub.initial();
+    for (int i = 0; i < actions; ++i) {
+      uml::NodeRef action =
+          sub.action("A" + std::to_string(a) + "_" + std::to_string(i));
+      action.cost(i % 2 == 0 ? "F0()" : "F1()");
+      sub.flow(previous, action);
+      previous = action;
+    }
+    uml::NodeRef fin = sub.final_node();
+    sub.flow(previous, fin);
+    sub_ids.push_back(sub.id());
+  }
+
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef previous = main.initial();
+  for (int a = 0; a < activities; ++a) {
+    uml::NodeRef activity =
+        main.activity("Act" + std::to_string(a), sub_ids[static_cast<std::size_t>(a)]);
+    main.flow(previous, activity);
+    previous = activity;
+  }
+  // A final guarded branch exercises decision handling in every consumer.
+  uml::NodeRef decision = main.decision();
+  uml::NodeRef left = main.action("Tail0").cost("F0()");
+  uml::NodeRef right = main.action("Tail1").cost("F1()");
+  uml::NodeRef merge = main.merge();
+  uml::NodeRef fin = main.final_node();
+  main.flow(previous, decision);
+  main.flow(decision, left, "P > 4");
+  main.flow(decision, right, "else");
+  main.flow(left, merge);
+  main.flow(right, merge);
+  main.flow(merge, fin);
+
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  return model;
+}
+
+uml::Model random_model(std::uint64_t seed, int size) {
+  sim::Rng rng(seed);
+  uml::ModelBuilder mb("Random" + std::to_string(seed));
+  mb.global("GA", uml::VariableType::Real,
+            number_literal(rng.uniform(0.5, 4.0)));
+  mb.global("GB", uml::VariableType::Real,
+            number_literal(rng.uniform(-2.0, 2.0)));
+  mb.global("GN", uml::VariableType::Integer,
+            std::to_string(rng.uniform_int(2, 5)));
+  mb.local("LV", uml::VariableType::Real, "GA + 1");
+  mb.function("FBase", {}, number_literal(rng.uniform(1e-5, 1e-3)) +
+                               " * GA + 1e-4");
+  mb.function("FScaled", {"x"}, "FBase() * (x + 1)");
+  mb.function("FPid", {"pid"}, "1e-4 * pid + FBase()");
+
+  int made = 0;
+  int diagram_counter = 0;
+  // Leaf diagrams built first so composites can reference them.
+  std::vector<std::string> leaves;
+
+  auto leaf_sequence = [&](int actions) {
+    uml::DiagramBuilder d =
+        mb.diagram("leaf" + std::to_string(diagram_counter++));
+    uml::NodeRef previous = d.initial();
+    for (int i = 0; i < actions; ++i) {
+      uml::NodeRef action =
+          d.action("L" + std::to_string(diagram_counter) + "_" +
+                   std::to_string(i));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          action.cost("FBase()");
+          break;
+        case 1:
+          action.cost("FScaled(" + std::to_string(rng.uniform_int(0, 3)) +
+                      ")");
+          break;
+        case 2:
+          action.cost("FPid(pid)");
+          break;
+        default:
+          action.cost(number_literal(rng.uniform(1e-5, 1e-3)));
+          break;
+      }
+      if (rng.bernoulli(0.25)) {
+        action.code("GB = GA * " +
+                    std::to_string(rng.uniform_int(1, 4)) + ";");
+      }
+      d.flow(previous, action);
+      previous = action;
+      ++made;
+    }
+    uml::NodeRef fin = d.final_node();
+    d.flow(previous, fin);
+    leaves.push_back(d.id());
+    return d.id();
+  };
+
+  const int leaf_count = 2 + static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < leaf_count && made < size; ++i) {
+    leaf_sequence(1 + static_cast<int>(rng.uniform_int(1, 4)));
+  }
+
+  uml::DiagramBuilder main = mb.diagram("main");
+  uml::NodeRef previous = main.initial();
+  int main_elements = 0;
+  while (made < size || main_elements == 0) {
+    const auto choice = rng.uniform_int(0, 3);
+    if (choice == 0) {
+      uml::NodeRef action = main.action("M" + std::to_string(made));
+      action.cost("FScaled(GN)");
+      main.flow(previous, action);
+      previous = action;
+      ++made;
+      ++main_elements;
+    } else if (choice == 1 && !leaves.empty()) {
+      const auto& leaf =
+          leaves[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(leaves.size()) - 1))];
+      uml::NodeRef activity =
+          main.activity("Act" + std::to_string(made), leaf);
+      main.flow(previous, activity);
+      previous = activity;
+      ++made;
+      ++main_elements;
+    } else if (choice == 2 && !leaves.empty()) {
+      const auto& leaf =
+          leaves[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(leaves.size()) - 1))];
+      uml::NodeRef loop =
+          main.loop("Loop" + std::to_string(made), leaf,
+                    std::to_string(rng.uniform_int(1, 4)), "it");
+      main.flow(previous, loop);
+      previous = loop;
+      ++made;
+      ++main_elements;
+    } else {
+      // Guarded decision with else edge; each branch a single action.
+      uml::NodeRef decision = main.decision("D" + std::to_string(made));
+      uml::NodeRef yes = main.action("Y" + std::to_string(made));
+      yes.cost("FBase()");
+      uml::NodeRef no = main.action("N" + std::to_string(made));
+      no.cost("FBase() * 2");
+      uml::NodeRef merge = main.merge();
+      const char* guards[] = {"GB > 0", "GA > 1", "pid % 2 == 0",
+                              "GN >= 3"};
+      main.flow(previous, decision);
+      main.flow(decision, yes,
+                guards[rng.uniform_int(0, 3)]);
+      main.flow(decision, no, "else");
+      main.flow(yes, merge);
+      main.flow(no, merge);
+      previous = merge;
+      made += 2;
+      ++main_elements;
+    }
+  }
+  uml::NodeRef fin = main.final_node();
+  main.flow(previous, fin);
+
+  uml::Model model = std::move(mb).build();
+  model.set_main_diagram(main.id());
+  return model;
+}
+
+uml::Model stencil2d_model(std::int64_t n, std::int64_t iters,
+                           double flop_time) {
+  uml::ModelBuilder mb("Stencil2D");
+  mb.global("N", uml::VariableType::Integer, std::to_string(n));
+  mb.global("ITERS", uml::VariableType::Integer, std::to_string(iters));
+  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
+  // Block row distribution: each rank owns ceil(N / np) rows and updates
+  // them at 5 flops per cell; one halo row is 8N bytes of doubles.
+  mb.function("FRows", {}, "ceil(N / np)");
+  mb.function("FInterior", {}, "FRows() * N * 5 * c");
+  mb.function("FHalo", {}, "8 * N");
+
+  uml::StepBuilder main(mb, "main");
+  main.begin_loop("Sweep", "ITERS")
+      .begin_branch()
+      .when("pid > 0")
+      .send("SendUp", "pid - 1", "FHalo()", 1)
+      .otherwise()
+      .end_branch()
+      .begin_branch()
+      .when("pid < np - 1")
+      .send("SendDown", "pid + 1", "FHalo()", 2)
+      .otherwise()
+      .end_branch()
+      .begin_branch()
+      .when("pid < np - 1")
+      .recv("RecvUp", "pid + 1", "FHalo()", 1)
+      .otherwise()
+      .end_branch()
+      .begin_branch()
+      .when("pid > 0")
+      .recv("RecvDown", "pid - 1", "FHalo()", 2)
+      .otherwise()
+      .end_branch()
+      .compute("Update", "FInterior()")
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
+uml::Model allreduce_model(double bytes, double flop_time) {
+  uml::ModelBuilder mb("AllReduceRounds");
+  mb.global("S", uml::VariableType::Real, number_literal(bytes));
+  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
+  // Combining S bytes of doubles costs one flop per element.
+  mb.function("FCombine", {}, "(S / 8) * c");
+
+  // Bruck-style circular shift: round r sends to (pid + 2^r) mod np and
+  // receives from (pid - 2^r) mod np; ceil(log2(np)) rounds reach
+  // everyone for ANY np (2^r mod np is never 0 because 2^r < np), so no
+  // rank ever messages itself.  np = 1 takes zero rounds.
+  uml::StepBuilder main(mb, "main");
+  main.compute("LocalReduce", "FCombine()")
+      .begin_loop("Round", "ceil(log2(np))", "r")
+      .send("ShiftSend", "(pid + pow(2, r)) % np", "S", 3)
+      .recv("ShiftRecv", "(pid - pow(2, r) + np) % np", "S", 3)
+      .compute("Combine", "FCombine()")
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
+uml::Model masterworker_model(std::int64_t tasks, double light_cost,
+                              double heavy_cost, double task_bytes,
+                              double result_bytes) {
+  uml::ModelBuilder mb("MasterWorker");
+  mb.global("T", uml::VariableType::Integer, std::to_string(tasks));
+  mb.global("TB", uml::VariableType::Real, number_literal(task_bytes));
+  mb.global("RB", uml::VariableType::Real, number_literal(result_bytes));
+  mb.global("CL", uml::VariableType::Real, number_literal(light_cost));
+  mb.global("CH", uml::VariableType::Real, number_literal(heavy_cost));
+  // Block distribution of T tasks over the np-1 workers: worker p
+  // (1-based) takes floor(T / W) tasks plus one of the T mod W leftovers.
+  mb.function("FTasks", {"p"},
+              "floor(T / (np - 1)) + ((p <= T % (np - 1)) ? 1 : 0)");
+
+  // Every fourth task is heavy; the matching `prob` tags (0.25 / 0.75)
+  // let the analytic backend take the expectation per task while the
+  // simulator resolves the guard concretely — the two agree exactly
+  // whenever a batch size is a multiple of the period.
+  const auto task_mix = [](uml::StepBuilder& steps, const char* suffix) {
+    steps.begin_branch()
+        .when("t % 4 == 0", 0.25)
+        .compute(std::string("Heavy") + suffix, "CH")
+        .otherwise(0.75)
+        .compute(std::string("Light") + suffix, "CL")
+        .end_branch();
+  };
+
+  uml::StepBuilder main(mb, "main");
+  main.begin_branch("Role");
+  main.when("np == 1");  // the degenerate farm: grind everything locally
+  main.begin_loop("LocalTasks", "T", "t");
+  task_mix(main, "Local");
+  main.end_loop();
+  main.when("pid == 0");  // master: dispatch one batch per worker, collect
+  main.begin_loop("Dispatch", "np - 1", "w");
+  main.send("TaskBatch", "w + 1", "TB * FTasks(w + 1)", 10);
+  main.end_loop();
+  main.begin_loop("Collect", "np - 1", "w");
+  main.recv("Result", "w + 1", "RB", 11);
+  main.end_loop();
+  main.otherwise();  // worker: receive my batch, grind it, send the result
+  main.recv("TaskRecv", "0", "TB * FTasks(pid)", 10);
+  main.begin_loop("Work", "FTasks(pid)", "t");
+  task_mix(main, "");
+  main.end_loop();
+  main.send("ResultSend", "0", "RB", 11);
+  main.end_branch();
+  main.done();
+  return std::move(mb).build();
+}
+
+uml::Model pipeline_model(std::int64_t items, double stage_cost,
+                          double item_bytes) {
+  uml::ModelBuilder mb("StagePipeline");
+  mb.global("B", uml::VariableType::Integer, std::to_string(items));
+  mb.global("C", uml::VariableType::Real, number_literal(stage_cost));
+  mb.global("S", uml::VariableType::Real, number_literal(item_bytes));
+
+  // Every rank is one stage; items stream rank -> rank + 1.  The first
+  // stage only produces, the last only consumes; fill/drain skew makes
+  // the makespan (np + B - 1) stage times deep.
+  uml::StepBuilder main(mb, "main");
+  main.begin_loop("Items", "B", "it")
+      .begin_branch()
+      .when("pid > 0")
+      .recv("StageIn", "pid - 1", "S", 4)
+      .otherwise()
+      .end_branch()
+      .compute("Stage", "C")
+      .begin_branch()
+      .when("pid < np - 1")
+      .send("StageOut", "pid + 1", "S", 4)
+      .otherwise()
+      .end_branch()
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
+// --- Registration ---------------------------------------------------------
+
+namespace {
+
+double knob(const KnobValues& values, std::string_view name) {
+  const auto it = values.find(name);
+  if (it == values.end()) {
+    // ModelInfo::make always passes a complete assignment; this guards
+    // direct factory invocations with a partial map.
+    throw std::invalid_argument("missing knob value '" + std::string(name) +
+                                "'");
+  }
+  return it->second;
+}
+
+std::int64_t int_knob(const KnobValues& values, std::string_view name) {
+  return static_cast<std::int64_t>(knob(values, name));
+}
+
+machine::SystemParameters with_processes(int np) {
+  machine::SystemParameters params;
+  params.processes = np;
+  return params;
+}
+
+Registry make_builtin_registry() {
+  Registry registry;
+  registry.add({
+      .name = "sample",
+      .description = "the paper's Sec. 4 sample model (Fig. 7): guarded "
+                     "branch into sub-activity SA, cost functions FA1..FSA2",
+      .comm_pattern = "none",
+      .scaling = "constant work per process; FSA2(pid) adds a linear "
+                 "pid-dependent term",
+      .knobs = {},
+      .default_params = {},
+      .default_grid = "np=1..8:*2 nodes=1,2 ppn=1,2",
+      .factory = [](const KnobValues&) { return sample_model(); },
+  });
+  registry.add({
+      .name = "kernel6",
+      .description = "Livermore kernel 6 collapsed to one <<action+>> "
+                     "with cost function FK6 (Fig. 3c)",
+      .comm_pattern = "none",
+      .scaling = "T = m * n * (n - 1) / 2 * c per process, embarrassingly "
+                 "parallel",
+      .knobs = {{"n", 64, "recurrence length (inner loop bound)"},
+                {"m", 16, "number of sweeps (outer loop bound)"},
+                {"c", 1e-8, "seconds per inner-loop operation"}},
+      .default_params = {},
+      .default_grid = "np=1..8:*2 nodes=1,2 ppn=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return kernel6_model(int_knob(k, "n"), int_knob(k, "m"),
+                                 knob(k, "c"));
+          },
+  });
+  registry.add({
+      .name = "kernel6-detailed",
+      .description = "Livermore kernel 6 as the full three-level "
+                     "<<loop+>> nest (Fig. 3b), one W update per "
+                     "innermost trip",
+      .comm_pattern = "none",
+      .scaling = "m * n * (n - 1) / 2 modeled elements — the evaluation-"
+                 "cost extreme the paper collapses away",
+      .knobs = {{"n", 32, "recurrence length (inner loop bound)"},
+                {"m", 4, "number of sweeps (outer loop bound)"},
+                {"c", 1e-8, "seconds per inner-loop operation"}},
+      .default_params = {},
+      .default_grid = "np=1,4",
+      .factory =
+          [](const KnobValues& k) {
+            return kernel6_detailed_model(int_knob(k, "n"), int_knob(k, "m"),
+                                          knob(k, "c"));
+          },
+  });
+  registry.add({
+      .name = "pingpong",
+      .description = "two ranks exchanging `rounds` ping-pong message "
+                     "pairs of `bytes` each",
+      .comm_pattern = "point-to-point request/reply between ranks 0 and 1",
+      .scaling = "T = 2 * rounds * (latency + bytes / bandwidth + "
+                 "overhead); needs np = 2",
+      .knobs = {{"bytes", 1024, "message payload in bytes"},
+                {"rounds", 8, "number of ping-pong exchanges"}},
+      .default_params = with_processes(2),
+      .default_grid = "np=2 nodes=1,2 ppn=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return pingpong_model(knob(k, "bytes"), int_knob(k, "rounds"));
+          },
+  });
+  registry.add({
+      .name = "synthetic",
+      .description = "deterministic activity/action lattice exercising "
+                     "composite traversal (bench workload)",
+      .comm_pattern = "none",
+      .scaling = "activities * actions sequential cost-function calls",
+      .knobs = {{"activities", 4, "number of <<activity+>> sub-diagrams"},
+                {"actions", 8, "<<action+>> elements per sub-diagram"}},
+      .default_params = {},
+      .default_grid = "np=1,4 nodes=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return synthetic_model(static_cast<int>(knob(k, "activities")),
+                                   static_cast<int>(knob(k, "actions")));
+          },
+  });
+  registry.add({
+      .name = "random",
+      .description = "seeded random structured model (sequences, guarded "
+                     "decisions, nested activities, counted loops) — the "
+                     "property-test workload",
+      .comm_pattern = "none",
+      .scaling = "~`size` performance elements; deterministic per seed",
+      .knobs = {{"seed", 42, "RNG seed selecting the model shape"},
+                {"size", 20, "approximate number of performance elements"}},
+      .default_params = {},
+      .default_grid = "np=1,3,8 nodes=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return random_model(
+                static_cast<std::uint64_t>(knob(k, "seed")),
+                static_cast<int>(knob(k, "size")));
+          },
+  });
+  registry.add({
+      .name = "stencil2d",
+      .description = "2-D Jacobi stencil, 1-D row decomposition: per "
+                     "sweep each rank trades one halo row with both "
+                     "neighbours, then updates ceil(n/np) rows",
+      .comm_pattern = "1-D halo exchange (non-blocking sends, then recvs, "
+                      "per sweep)",
+      .scaling = "T ~ iters * (ceil(n/np) * n * 5c + 2 * (latency + "
+                 "8n/bandwidth)); compute shrinks with np, halo does not",
+      .knobs = {{"n", 128, "grid edge length (n x n cells)"},
+                {"iters", 8, "number of Jacobi sweeps"},
+                {"c", 1e-7, "seconds per cell flop"}},
+      .default_params = with_processes(4),
+      .default_grid = "np=1..8:*2 nodes=1,2 ppn=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return stencil2d_model(int_knob(k, "n"), int_knob(k, "iters"),
+                                   knob(k, "c"));
+          },
+  });
+  registry.add({
+      .name = "allreduce",
+      .description = "allreduce decomposed into explicit Bruck-style "
+                     "circular-shift rounds (send/recv/combine), any np",
+      .comm_pattern = "ceil(log2(np)) circular-shift rounds: round r "
+                      "sends to (pid + 2^r) mod np",
+      .scaling = "T ~ ceil(log2(np)) * (latency + bytes/bandwidth + "
+                 "bytes/8 * c)",
+      .knobs = {{"bytes", 65536, "reduction payload in bytes"},
+                {"c", 1e-9, "seconds per combined element (8 bytes)"}},
+      // ppn=8 keeps the default grid out of the oversubscribed regime:
+      // the rounds are transfer-dominated, where the analytic node-
+      // bottleneck bound is loosest (see docs/analytic.md).
+      .default_params = with_processes(4),
+      .default_grid = "np=1..8 nodes=1,2,4 ppn=8",
+      .factory =
+          [](const KnobValues& k) {
+            return allreduce_model(knob(k, "bytes"), knob(k, "c"));
+          },
+  });
+  registry.add({
+      .name = "masterworker",
+      .description = "probabilistic task farm: rank 0 dispatches block "
+                     "task batches, workers grind heavy/light tasks "
+                     "(prob-tagged 1:3 mix) and return results",
+      .comm_pattern = "star: master send/recv with every worker; no "
+                      "worker-to-worker traffic",
+      .scaling = "T ~ ceil(tasks/(np-1)) * (0.25 heavy + 0.75 light); "
+                 "np = 1 runs the farm locally",
+      .knobs = {{"tasks", 240, "total task count"},
+                {"light", 2e-4, "seconds per light task (prob 0.75)"},
+                {"heavy", 8e-4, "seconds per heavy task (prob 0.25)"},
+                {"task_bytes", 512, "payload per task in the batch message"},
+                {"result_bytes", 64, "result message size"}},
+      .default_params = with_processes(4),
+      .default_grid = "np=1..8 nodes=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return masterworker_model(int_knob(k, "tasks"),
+                                      knob(k, "light"), knob(k, "heavy"),
+                                      knob(k, "task_bytes"),
+                                      knob(k, "result_bytes"));
+          },
+  });
+  registry.add({
+      .name = "pipeline",
+      .description = "stage-parallel dataflow: every rank is one stage, "
+                     "`items` stream rank -> rank+1 with fill/drain skew",
+      .comm_pattern = "nearest-neighbour forward chain (rank i -> i+1), "
+                      "one message per item per hop",
+      .scaling = "T ~ (np + items - 1) * stage_cost + transfer costs; "
+                 "throughput saturates at one item per stage_cost",
+      .knobs = {{"items", 32, "items streamed through the pipeline"},
+                {"stage_cost", 2e-4, "seconds of compute per stage"},
+                {"bytes", 4096, "bytes forwarded per item"}},
+      .default_params = with_processes(4),
+      .default_grid = "np=1..8:*2 nodes=1,2 ppn=1,2",
+      .factory =
+          [](const KnobValues& k) {
+            return pipeline_model(int_knob(k, "items"),
+                                  knob(k, "stage_cost"), knob(k, "bytes"));
+          },
+  });
+  return registry;
+}
+
+}  // namespace
+
+const Registry& Registry::builtin() {
+  static const Registry registry = make_builtin_registry();
+  return registry;
+}
+
+}  // namespace prophet::models

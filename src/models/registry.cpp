@@ -1,0 +1,216 @@
+#include "prophet/models/registry.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace prophet::models {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string knob_list(const ModelInfo& info) {
+  std::string out;
+  for (const Knob& knob : info.knobs) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += knob.name;
+  }
+  return out.empty() ? "none" : out;
+}
+
+/// Compact numeric rendering for listings: integers without trailing
+/// zeros, everything else in shortest round-trip form.
+std::string format_value(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+uml::Model ModelInfo::make(const KnobValues& overrides) const {
+  KnobValues merged;
+  for (const Knob& knob : knobs) {
+    merged[knob.name] = knob.value;
+  }
+  for (const auto& [name, value] : overrides) {
+    const auto it = merged.find(name);
+    if (it == merged.end()) {
+      throw std::invalid_argument("model '@" + this->name +
+                                  "' has no knob '" + name +
+                                  "' (knobs: " + knob_list(*this) + ")");
+    }
+    it->second = value;
+  }
+  return factory(merged);
+}
+
+bool is_reference(std::string_view text) {
+  return !text.empty() && text.front() == '@';
+}
+
+ModelReference parse_reference(std::string_view text) {
+  const std::string original(text);
+  if (!is_reference(text)) {
+    throw std::invalid_argument("'" + original +
+                                "' is not a model reference (expected "
+                                "@name or @name(knob=value, ...))");
+  }
+  text.remove_prefix(1);
+  ModelReference reference;
+  const auto paren = text.find('(');
+  if (paren == std::string_view::npos) {
+    reference.name = std::string(trim(text));
+    if (reference.name.empty()) {
+      throw std::invalid_argument("model reference '" + original +
+                                  "' has an empty name");
+    }
+    return reference;
+  }
+  reference.name = std::string(trim(text.substr(0, paren)));
+  if (reference.name.empty()) {
+    throw std::invalid_argument("model reference '" + original +
+                                "' has an empty name");
+  }
+  std::string_view args = text.substr(paren + 1);
+  if (args.empty() || args.back() != ')') {
+    throw std::invalid_argument("model reference '" + original +
+                                "' is missing the closing ')'");
+  }
+  args.remove_suffix(1);
+  while (!args.empty()) {
+    const auto comma = args.find(',');
+    std::string_view item = trim(args.substr(0, comma));
+    args = comma == std::string_view::npos ? std::string_view{}
+                                           : args.substr(comma + 1);
+    if (item.empty()) {
+      throw std::invalid_argument("model reference '" + original +
+                                  "' has an empty knob assignment");
+    }
+    const auto equals = item.find('=');
+    if (equals == std::string_view::npos) {
+      throw std::invalid_argument("knob assignment '" + std::string(item) +
+                                  "' in '" + original +
+                                  "' is not of the form knob=value");
+    }
+    const std::string name(trim(item.substr(0, equals)));
+    const std::string value_text(trim(item.substr(equals + 1)));
+    if (name.empty() || value_text.empty()) {
+      throw std::invalid_argument("knob assignment '" + std::string(item) +
+                                  "' in '" + original +
+                                  "' is not of the form knob=value");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      throw std::invalid_argument("knob '" + name + "' in '" + original +
+                                  "': '" + value_text +
+                                  "' is not a number");
+    }
+    if (!reference.knobs.emplace(name, value).second) {
+      throw std::invalid_argument("knob '" + name + "' in '" + original +
+                                  "' is assigned twice");
+    }
+  }
+  return reference;
+}
+
+Registry& Registry::add(ModelInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("registry entries need a name");
+  }
+  if (!info.factory) {
+    throw std::invalid_argument("registry entry '" + info.name +
+                                "' has no factory");
+  }
+  if (find(info.name) != nullptr) {
+    throw std::invalid_argument("registry already has a model named '" +
+                                info.name + "'");
+  }
+  entries_.push_back(std::move(info));
+  return *this;
+}
+
+const ModelInfo* Registry::find(std::string_view name) const {
+  for (const ModelInfo& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const ModelInfo& Registry::at(std::string_view name) const {
+  const ModelInfo* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown built-in model '@" +
+                                std::string(name) +
+                                "' (available: " + available() + ")");
+  }
+  return *entry;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const ModelInfo& entry : entries_) {
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+uml::Model Registry::make(std::string_view reference) const {
+  const ModelReference parsed = parse_reference(reference);
+  return at(parsed.name).make(parsed.knobs);
+}
+
+std::string Registry::available() const {
+  std::string out;
+  for (const ModelInfo& entry : entries_) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += "@" + entry.name;
+  }
+  return out;
+}
+
+std::string Registry::describe() const {
+  std::ostringstream out;
+  for (const ModelInfo& entry : entries_) {
+    out << "@" << entry.name << "\n";
+    out << "  " << entry.description << "\n";
+    out << "  comm:    " << entry.comm_pattern << "\n";
+    out << "  scaling: " << entry.scaling << "\n";
+    out << "  knobs:   ";
+    if (entry.knobs.empty()) {
+      out << "none";
+    } else {
+      bool first = true;
+      for (const Knob& knob : entry.knobs) {
+        if (!first) {
+          out << ", ";
+        }
+        first = false;
+        out << knob.name << "=" << format_value(knob.value) << " ("
+            << knob.description << ")";
+      }
+    }
+    out << "\n";
+    out << "  grid:    " << entry.default_grid << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prophet::models

@@ -16,6 +16,7 @@
 #include "prophet/check/checker.hpp"
 #include "prophet/codegen/transformer.hpp"
 #include "prophet/estimator/estimator.hpp"
+#include "prophet/models/registry.hpp"
 #include "prophet/xmi/xmi.hpp"
 
 namespace prophet::pipeline {
@@ -182,6 +183,10 @@ int BatchRunner::add_model(std::string name, const uml::Model& model) {
 int BatchRunner::add_model_xml(std::string name, std::string xmi_text) {
   models_.push_back(ModelEntry{std::move(name), std::move(xmi_text)});
   return static_cast<int>(models_.size()) - 1;
+}
+
+int BatchRunner::add_model_reference(const std::string& reference) {
+  return add_model(reference, models::Registry::builtin().make(reference));
 }
 
 int BatchRunner::add_model_file(const std::string& path) {

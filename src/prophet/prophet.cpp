@@ -1,24 +1,9 @@
 #include "prophet/prophet.hpp"
 
-#include <sstream>
-
 #include "prophet/interp/interpreter.hpp"
-#include "prophet/sim/random.hpp"
 #include "prophet/xmi/xmi.hpp"
 
 namespace prophet {
-namespace {
-
-/// Full-precision numeric literal (std::to_string truncates to 6 decimal
-/// places, which collapses small calibrated op times to "0.000000").
-std::string number_literal(double value) {
-  std::ostringstream out;
-  out.precision(17);
-  out << value;
-  return out.str();
-}
-
-}  // namespace
 
 Prophet::Prophet(uml::Model model) : model_(std::move(model)) {}
 
@@ -54,330 +39,4 @@ estimator::PredictionReport Prophet::estimate(
   return manager.run(interpreter);
 }
 
-namespace models {
-
-uml::Model sample_model() {
-  uml::ModelBuilder mb("SampleModel");
-  // "variables GV and P are specified as global variables of the model"
-  mb.global("GV", uml::VariableType::Real, "0");
-  mb.global("P", uml::VariableType::Real, "16");
-  // Cost functions in the spirit of Fig. 8a ("these cost functions are
-  // not derived from a real-world program"); FSA2 takes pid (Fig. 8a).
-  mb.function("FA1", {}, "0.000001 * P * P + 0.001");
-  mb.function("FA2", {}, "0.5 * FA1()");
-  mb.function("FA4", {}, "0.002");
-  mb.function("FSA1", {}, "0.0001 * P");
-  mb.function("FSA2", {"pid"}, "0.0005 * pid + 0.001");
-
-  // Sub-diagram SA (the undocked diagram of Fig. 7a).
-  uml::DiagramBuilder sa = mb.diagram("SA");
-  // Main activity diagram.  Created after SA so ids are stable, but made
-  // the main diagram explicitly.
-  uml::DiagramBuilder main = mb.diagram("main");
-
-  uml::NodeRef sa_init = sa.initial();
-  uml::NodeRef sa1 = sa.action("SA1").cost("FSA1()");
-  sa1.tag(uml::tag::kId, uml::TagValue(std::int64_t{4}));
-  uml::NodeRef sa2 = sa.action("SA2").cost("FSA2(pid)");
-  sa2.tag(uml::tag::kId, uml::TagValue(std::int64_t{5}));
-  uml::NodeRef sa_final = sa.final_node();
-  sa.sequence({sa_init, sa1, sa2, sa_final});
-
-  uml::NodeRef init = main.initial();
-  uml::NodeRef a1 = main.action("A1").cost("FA1()").code("GV = 3; P = 16;");
-  a1.tag(uml::tag::kId, uml::TagValue(std::int64_t{1}));
-  uml::NodeRef decision = main.decision();
-  uml::NodeRef sa_node = main.activity("SA", sa);
-  uml::NodeRef a2 = main.action("A2").cost("FA2()");
-  a2.tag(uml::tag::kId, uml::TagValue(std::int64_t{2}));
-  uml::NodeRef merge = main.merge();
-  uml::NodeRef a4 = main.action("A4").cost("FA4()");
-  a4.tag(uml::tag::kId, uml::TagValue(std::int64_t{3}));
-  uml::NodeRef fin = main.final_node();
-  main.flow(init, a1);
-  main.flow(a1, decision);
-  main.flow(decision, sa_node, "GV > 0");
-  main.flow(decision, a2, "else");
-  main.flow(sa_node, merge);
-  main.flow(a2, merge);
-  main.flow(merge, a4);
-  main.flow(a4, fin);
-
-  uml::Model model = std::move(mb).build();
-  model.set_main_diagram(main.id());
-  return model;
-}
-
-uml::Model kernel6_model(std::int64_t n, std::int64_t m, double flop_time) {
-  uml::ModelBuilder mb("Kernel6");
-  mb.global("N", uml::VariableType::Integer, std::to_string(n));
-  mb.global("M", uml::VariableType::Integer, std::to_string(m));
-  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
-  // TK6 = FK6(): M general-linear-recurrence sweeps of N*(N-1)/2 updates.
-  mb.function("FK6", {}, "M * (N * (N - 1) / 2) * c");
-
-  uml::DiagramBuilder main = mb.diagram("main");
-  uml::NodeRef init = main.initial();
-  uml::NodeRef kernel = main.action("Kernel6").cost("FK6()");
-  kernel.type("SAMPLE");
-  uml::NodeRef fin = main.final_node();
-  main.sequence({init, kernel, fin});
-  return std::move(mb).build();
-}
-
-uml::Model kernel6_detailed_model(std::int64_t n, std::int64_t m,
-                                  double flop_time) {
-  uml::ModelBuilder mb("Kernel6Detailed");
-  mb.global("N", uml::VariableType::Integer, std::to_string(n));
-  mb.global("M", uml::VariableType::Integer, std::to_string(m));
-  mb.global("c", uml::VariableType::Real, number_literal(flop_time));
-
-  // Innermost body: the W(i) update of Fig. 3a, one multiply-add.
-  uml::DiagramBuilder body = mb.diagram("body");
-  {
-    uml::NodeRef init = body.initial();
-    uml::NodeRef w = body.action("W").cost("c");
-    uml::NodeRef fin = body.final_node();
-    body.sequence({init, w, fin});
-  }
-  // DO k = 1, i-1 — with the 0-based middle loop variable i2 (i = i2+2),
-  // the inner trip count is i-1 = i2+1.
-  uml::DiagramBuilder kloop = mb.diagram("kloop");
-  {
-    uml::NodeRef init = kloop.initial();
-    uml::NodeRef loop = kloop.loop("KLoop", body, "i2 + 1", "k");
-    uml::NodeRef fin = kloop.final_node();
-    kloop.sequence({init, loop, fin});
-  }
-  // DO i = 2, N
-  uml::DiagramBuilder iloop = mb.diagram("iloop");
-  {
-    uml::NodeRef init = iloop.initial();
-    uml::NodeRef loop = iloop.loop("ILoop", kloop, "N - 1", "i2");
-    uml::NodeRef fin = iloop.final_node();
-    iloop.sequence({init, loop, fin});
-  }
-  // DO L = 1, M
-  uml::DiagramBuilder main = mb.diagram("main");
-  {
-    uml::NodeRef init = main.initial();
-    uml::NodeRef loop = main.loop("LLoop", iloop, "M", "L");
-    uml::NodeRef fin = main.final_node();
-    main.sequence({init, loop, fin});
-  }
-  uml::Model model = std::move(mb).build();
-  model.set_main_diagram(main.id());
-  return model;
-}
-
-uml::Model pingpong_model(double bytes, std::int64_t rounds) {
-  uml::ModelBuilder mb("PingPong");
-  mb.global("S", uml::VariableType::Real, number_literal(bytes));
-
-  // One round: rank 0 sends then receives; rank 1 receives then sends.
-  uml::DiagramBuilder round = mb.diagram("round");
-  {
-    uml::NodeRef init = round.initial();
-    uml::NodeRef decision = round.decision();
-    uml::NodeRef ping = round.send("Ping", "1", "S");
-    uml::NodeRef pong_recv = round.recv("PongRecv", "1", "S");
-    uml::NodeRef ping_recv = round.recv("PingRecv", "0", "S");
-    uml::NodeRef pong = round.send("Pong", "0", "S");
-    uml::NodeRef merge = round.merge();
-    uml::NodeRef fin = round.final_node();
-    round.flow(init, decision);
-    round.flow(decision, ping, "pid == 0");
-    round.flow(decision, ping_recv, "else");
-    round.flow(ping, pong_recv);
-    round.flow(pong_recv, merge);
-    round.flow(ping_recv, pong);
-    round.flow(pong, merge);
-    round.flow(merge, fin);
-  }
-  uml::DiagramBuilder main = mb.diagram("main");
-  {
-    uml::NodeRef init = main.initial();
-    uml::NodeRef loop = main.loop("Rounds", round, std::to_string(rounds));
-    uml::NodeRef fin = main.final_node();
-    main.sequence({init, loop, fin});
-  }
-  uml::Model model = std::move(mb).build();
-  model.set_main_diagram(main.id());
-  return model;
-}
-
-uml::Model synthetic_model(int activities, int actions) {
-  uml::ModelBuilder mb("Synthetic");
-  mb.global("P", uml::VariableType::Real, "8");
-  mb.function("F0", {}, "0.0001 * P");
-  mb.function("F1", {}, "F0() + 0.001");
-
-  std::vector<std::string> sub_ids;
-  sub_ids.reserve(static_cast<std::size_t>(activities));
-  for (int a = 0; a < activities; ++a) {
-    uml::DiagramBuilder sub = mb.diagram("sub" + std::to_string(a));
-    uml::NodeRef previous = sub.initial();
-    for (int i = 0; i < actions; ++i) {
-      uml::NodeRef action =
-          sub.action("A" + std::to_string(a) + "_" + std::to_string(i));
-      action.cost(i % 2 == 0 ? "F0()" : "F1()");
-      sub.flow(previous, action);
-      previous = action;
-    }
-    uml::NodeRef fin = sub.final_node();
-    sub.flow(previous, fin);
-    sub_ids.push_back(sub.id());
-  }
-
-  uml::DiagramBuilder main = mb.diagram("main");
-  uml::NodeRef previous = main.initial();
-  for (int a = 0; a < activities; ++a) {
-    uml::NodeRef activity =
-        main.activity("Act" + std::to_string(a), sub_ids[static_cast<std::size_t>(a)]);
-    main.flow(previous, activity);
-    previous = activity;
-  }
-  // A final guarded branch exercises decision handling in every consumer.
-  uml::NodeRef decision = main.decision();
-  uml::NodeRef left = main.action("Tail0").cost("F0()");
-  uml::NodeRef right = main.action("Tail1").cost("F1()");
-  uml::NodeRef merge = main.merge();
-  uml::NodeRef fin = main.final_node();
-  main.flow(previous, decision);
-  main.flow(decision, left, "P > 4");
-  main.flow(decision, right, "else");
-  main.flow(left, merge);
-  main.flow(right, merge);
-  main.flow(merge, fin);
-
-  uml::Model model = std::move(mb).build();
-  model.set_main_diagram(main.id());
-  return model;
-}
-
-uml::Model random_model(std::uint64_t seed, int size) {
-  sim::Rng rng(seed);
-  uml::ModelBuilder mb("Random" + std::to_string(seed));
-  mb.global("GA", uml::VariableType::Real,
-            number_literal(rng.uniform(0.5, 4.0)));
-  mb.global("GB", uml::VariableType::Real,
-            number_literal(rng.uniform(-2.0, 2.0)));
-  mb.global("GN", uml::VariableType::Integer,
-            std::to_string(rng.uniform_int(2, 5)));
-  mb.local("LV", uml::VariableType::Real, "GA + 1");
-  mb.function("FBase", {}, number_literal(rng.uniform(1e-5, 1e-3)) +
-                               " * GA + 1e-4");
-  mb.function("FScaled", {"x"}, "FBase() * (x + 1)");
-  mb.function("FPid", {"pid"}, "1e-4 * pid + FBase()");
-
-  int made = 0;
-  int diagram_counter = 0;
-  // Leaf diagrams built first so composites can reference them.
-  std::vector<std::string> leaves;
-
-  auto leaf_sequence = [&](int actions) {
-    uml::DiagramBuilder d =
-        mb.diagram("leaf" + std::to_string(diagram_counter++));
-    uml::NodeRef previous = d.initial();
-    for (int i = 0; i < actions; ++i) {
-      uml::NodeRef action =
-          d.action("L" + std::to_string(diagram_counter) + "_" +
-                   std::to_string(i));
-      switch (rng.uniform_int(0, 3)) {
-        case 0:
-          action.cost("FBase()");
-          break;
-        case 1:
-          action.cost("FScaled(" + std::to_string(rng.uniform_int(0, 3)) +
-                      ")");
-          break;
-        case 2:
-          action.cost("FPid(pid)");
-          break;
-        default:
-          action.cost(number_literal(rng.uniform(1e-5, 1e-3)));
-          break;
-      }
-      if (rng.bernoulli(0.25)) {
-        action.code("GB = GA * " +
-                    std::to_string(rng.uniform_int(1, 4)) + ";");
-      }
-      d.flow(previous, action);
-      previous = action;
-      ++made;
-    }
-    uml::NodeRef fin = d.final_node();
-    d.flow(previous, fin);
-    leaves.push_back(d.id());
-    return d.id();
-  };
-
-  const int leaf_count = 2 + static_cast<int>(rng.uniform_int(1, 3));
-  for (int i = 0; i < leaf_count && made < size; ++i) {
-    leaf_sequence(1 + static_cast<int>(rng.uniform_int(1, 4)));
-  }
-
-  uml::DiagramBuilder main = mb.diagram("main");
-  uml::NodeRef previous = main.initial();
-  int main_elements = 0;
-  while (made < size || main_elements == 0) {
-    const auto choice = rng.uniform_int(0, 3);
-    if (choice == 0) {
-      uml::NodeRef action = main.action("M" + std::to_string(made));
-      action.cost("FScaled(GN)");
-      main.flow(previous, action);
-      previous = action;
-      ++made;
-      ++main_elements;
-    } else if (choice == 1 && !leaves.empty()) {
-      const auto& leaf =
-          leaves[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(leaves.size()) - 1))];
-      uml::NodeRef activity =
-          main.activity("Act" + std::to_string(made), leaf);
-      main.flow(previous, activity);
-      previous = activity;
-      ++made;
-      ++main_elements;
-    } else if (choice == 2 && !leaves.empty()) {
-      const auto& leaf =
-          leaves[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(leaves.size()) - 1))];
-      uml::NodeRef loop =
-          main.loop("Loop" + std::to_string(made), leaf,
-                    std::to_string(rng.uniform_int(1, 4)), "it");
-      main.flow(previous, loop);
-      previous = loop;
-      ++made;
-      ++main_elements;
-    } else {
-      // Guarded decision with else edge; each branch a single action.
-      uml::NodeRef decision = main.decision("D" + std::to_string(made));
-      uml::NodeRef yes = main.action("Y" + std::to_string(made));
-      yes.cost("FBase()");
-      uml::NodeRef no = main.action("N" + std::to_string(made));
-      no.cost("FBase() * 2");
-      uml::NodeRef merge = main.merge();
-      const char* guards[] = {"GB > 0", "GA > 1", "pid % 2 == 0",
-                              "GN >= 3"};
-      main.flow(previous, decision);
-      main.flow(decision, yes,
-                guards[rng.uniform_int(0, 3)]);
-      main.flow(decision, no, "else");
-      main.flow(yes, merge);
-      main.flow(no, merge);
-      previous = merge;
-      made += 2;
-      ++main_elements;
-    }
-  }
-  uml::NodeRef fin = main.final_node();
-  main.flow(previous, fin);
-
-  uml::Model model = std::move(mb).build();
-  model.set_main_diagram(main.id());
-  return model;
-}
-
-}  // namespace models
 }  // namespace prophet

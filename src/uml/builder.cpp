@@ -1,5 +1,14 @@
 #include "prophet/uml/builder.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "prophet/uml/profile.hpp"
+
 namespace prophet::uml {
 
 NodeRef& NodeRef::cost(std::string expr) {
@@ -24,6 +33,21 @@ NodeRef& NodeRef::time(double seconds) {
 
 NodeRef& NodeRef::tag(std::string_view name, TagValue value) {
   node_->set_tag(name, std::move(value));
+  return *this;
+}
+
+EdgeRef& EdgeRef::prob(double probability) {
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    owner_->report(BuildSeverity::Error,
+                   "edge " + edge_->id() + ": branch probability " +
+                       std::to_string(probability) + " is outside [0, 1]");
+  }
+  edge_->set_tag(tag::kProb, TagValue(probability));
+  return *this;
+}
+
+EdgeRef& EdgeRef::set_tag(std::string_view name, TagValue value) {
+  edge_->set_tag(name, std::move(value));
   return *this;
 }
 
@@ -194,17 +218,17 @@ NodeRef DiagramBuilder::omp_barrier(std::string name) {
   return add_node(NodeKind::Action, std::move(name), stereo::kOmpBarrier);
 }
 
-ControlFlow& DiagramBuilder::flow(const NodeRef& from, const NodeRef& to,
-                                  std::string guard) {
+EdgeRef DiagramBuilder::flow(const NodeRef& from, const NodeRef& to,
+                             std::string guard) {
   return flow(from.id(), to.id(), std::move(guard));
 }
 
-ControlFlow& DiagramBuilder::flow(std::string_view from_id,
-                                  std::string_view to_id, std::string guard) {
+EdgeRef DiagramBuilder::flow(std::string_view from_id,
+                             std::string_view to_id, std::string guard) {
   auto edge = std::make_unique<ControlFlow>(
       owner_->next_id("f"), std::string(from_id), std::string(to_id),
       std::move(guard));
-  return diagram_->add_edge(std::move(edge));
+  return EdgeRef(owner_, &diagram_->add_edge(std::move(edge)));
 }
 
 void DiagramBuilder::sequence(std::initializer_list<NodeRef> nodes) {
@@ -217,9 +241,461 @@ void DiagramBuilder::sequence(std::initializer_list<NodeRef> nodes) {
   }
 }
 
+// --- Build diagnostics ----------------------------------------------------
+
+std::string BuildDiagnostic::to_string() const {
+  return (severity == BuildSeverity::Error ? "error: " : "warning: ") +
+         message;
+}
+
+namespace {
+
+std::string join_diagnostics(const std::vector<BuildDiagnostic>& diagnostics) {
+  std::ostringstream out;
+  out << "model construction failed:";
+  for (const auto& diagnostic : diagnostics) {
+    out << "\n  " << diagnostic.to_string();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+BuildError::BuildError(std::vector<BuildDiagnostic> diagnostics)
+    : std::runtime_error(join_diagnostics(diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+// --- StepBuilder ----------------------------------------------------------
+
+/// One entry of the scope stack.  Body-like frames (the root sequence and
+/// loop/SPMD/critical bodies) chain steps inside `diagram` from `cursor`;
+/// Branch frames write into the parent's diagram, tracking the decision,
+/// the currently open arm, and the tails awaiting the merge.
+struct StepBuilder::Frame {
+  enum class Kind { Root, Loop, Spmd, Critical, Branch };
+
+  Kind kind = Kind::Root;
+  ActivityDiagram* diagram = nullptr;
+  Node* cursor = nullptr;  // body frames: last node in the chain
+
+  // Loop/Spmd/Critical: parameters for the node emitted at end_*().
+  std::string name;
+  std::string iterations;  // loop
+  std::string var;         // loop
+  std::string threads;     // spmd
+  std::string lock;        // critical
+
+  // Branch bookkeeping.
+  struct Arm {
+    Node* tail = nullptr;  // nullptr: empty arm, edge decision -> merge
+    std::string guard;
+    double prob = 0;
+    bool has_prob = false;
+  };
+  Node* decision = nullptr;
+  std::vector<Arm> tails;     // closed arms
+  bool arm_open = false;
+  Arm open_arm;               // guard/prob of the arm being filled
+  Node* arm_cursor = nullptr; // last node of the open arm
+};
+
+StepBuilder::StepBuilder(ModelBuilder& owner, std::string diagram_name)
+    : owner_(&owner) {
+  DiagramBuilder diagram = owner.diagram(diagram_name);
+  Frame frame;
+  frame.kind = Frame::Kind::Root;
+  frame.diagram = owner.model().diagram(diagram.id());
+  frame.name = std::move(diagram_name);
+  frame.cursor = &diagram.initial().node();
+  frames_.push_back(std::move(frame));
+  owner.note_sequence_opened(this, "sequence '" + frames_.back().name + "'");
+}
+
+StepBuilder::~StepBuilder() = default;
+
+const std::string& StepBuilder::diagram_id() const {
+  return frames_.front().diagram->id();
+}
+
+DiagramBuilder StepBuilder::current_diagram() {
+  return DiagramBuilder(owner_, frames_.back().diagram);
+}
+
+void StepBuilder::report(std::string message) {
+  owner_->report(BuildSeverity::Error, std::move(message));
+}
+
+StepBuilder& StepBuilder::attach(NodeRef node) {
+  Frame& top = frames_.back();
+  DiagramBuilder diagram = current_diagram();
+  if (top.kind == Frame::Kind::Branch) {
+    if (!top.arm_open) {
+      report("step '" + node.node().name() + "' inside branch scope before "
+             "when()/otherwise()");
+      // Recover by opening an unguarded arm; build() still fails.
+      top.arm_open = true;
+      top.open_arm = {};
+      top.arm_cursor = nullptr;
+    }
+    if (top.arm_cursor == nullptr) {
+      EdgeRef edge =
+          diagram.flow(top.decision->id(), node.id(), top.open_arm.guard);
+      if (top.open_arm.has_prob) {
+        edge.prob(top.open_arm.prob);
+      }
+    } else {
+      diagram.flow(top.arm_cursor->id(), node.id());
+    }
+    top.arm_cursor = &node.node();
+  } else {
+    diagram.flow(top.cursor->id(), node.id());
+    top.cursor = &node.node();
+  }
+  last_step_ = &node.node();
+  return *this;
+}
+
+void StepBuilder::advance(Node& node) {
+  Frame& top = frames_.back();
+  if (top.kind == Frame::Kind::Branch) {
+    top.arm_cursor = &node;
+  } else {
+    top.cursor = &node;
+  }
+}
+
+StepBuilder& StepBuilder::compute(std::string name, std::string cost_expr) {
+  NodeRef node = current_diagram().action(std::move(name));
+  node.cost(std::move(cost_expr));
+  return attach(node);
+}
+
+StepBuilder& StepBuilder::send(std::string name, std::string dest_expr,
+                               std::string size_expr, std::int64_t msg_tag) {
+  return attach(current_diagram().send(std::move(name), std::move(dest_expr),
+                                       std::move(size_expr), msg_tag));
+}
+
+StepBuilder& StepBuilder::recv(std::string name, std::string source_expr,
+                               std::string size_expr, std::int64_t msg_tag) {
+  return attach(current_diagram().recv(std::move(name),
+                                       std::move(source_expr),
+                                       std::move(size_expr), msg_tag));
+}
+
+StepBuilder& StepBuilder::barrier(std::string name) {
+  return attach(current_diagram().barrier(std::move(name)));
+}
+
+StepBuilder& StepBuilder::broadcast(std::string name, std::string root_expr,
+                                    std::string size_expr) {
+  return attach(current_diagram().broadcast(
+      std::move(name), std::move(root_expr), std::move(size_expr)));
+}
+
+StepBuilder& StepBuilder::reduce(std::string name, std::string root_expr,
+                                 std::string size_expr, std::string op) {
+  return attach(current_diagram().reduce(std::move(name),
+                                         std::move(root_expr),
+                                         std::move(size_expr), std::move(op)));
+}
+
+StepBuilder& StepBuilder::allreduce(std::string name, std::string size_expr,
+                                    std::string op) {
+  return attach(current_diagram().allreduce(
+      std::move(name), std::move(size_expr), std::move(op)));
+}
+
+StepBuilder& StepBuilder::scatter(std::string name, std::string root_expr,
+                                  std::string size_expr) {
+  return attach(current_diagram().scatter(
+      std::move(name), std::move(root_expr), std::move(size_expr)));
+}
+
+StepBuilder& StepBuilder::gather(std::string name, std::string root_expr,
+                                 std::string size_expr) {
+  return attach(current_diagram().gather(
+      std::move(name), std::move(root_expr), std::move(size_expr)));
+}
+
+StepBuilder& StepBuilder::omp_for(std::string name, std::string iterations,
+                                  std::string itercost, std::string schedule,
+                                  std::int64_t chunk) {
+  return attach(current_diagram().omp_for(std::move(name),
+                                          std::move(iterations),
+                                          std::move(itercost),
+                                          std::move(schedule), chunk));
+}
+
+StepBuilder& StepBuilder::call(std::string name,
+                               const DiagramBuilder& subdiagram) {
+  return call(std::move(name), subdiagram.id());
+}
+
+StepBuilder& StepBuilder::call(std::string name, std::string subdiagram_id) {
+  return attach(current_diagram().activity(std::move(name),
+                                           std::move(subdiagram_id)));
+}
+
+StepBuilder& StepBuilder::loop(std::string name, std::string body_diagram_id,
+                               std::string iterations, std::string var) {
+  return attach(current_diagram().loop(std::move(name),
+                                       std::move(body_diagram_id),
+                                       std::move(iterations),
+                                       std::move(var)));
+}
+
+StepBuilder& StepBuilder::code(std::string fragment) {
+  if (last_step_ == nullptr) {
+    report("code() with no preceding step");
+    return *this;
+  }
+  last_step_->set_tag(tag::kCode, TagValue(std::move(fragment)));
+  return *this;
+}
+
+StepBuilder& StepBuilder::type(std::string value) {
+  if (last_step_ == nullptr) {
+    report("type() with no preceding step");
+    return *this;
+  }
+  last_step_->set_tag(tag::kType, TagValue(std::move(value)));
+  return *this;
+}
+
+StepBuilder& StepBuilder::tag(std::string_view name, TagValue value) {
+  if (last_step_ == nullptr) {
+    report("tag('" + std::string(name) + "') with no preceding step");
+    return *this;
+  }
+  last_step_->set_tag(name, std::move(value));
+  return *this;
+}
+
+StepBuilder& StepBuilder::begin_loop(std::string name, std::string iterations,
+                                     std::string var) {
+  DiagramBuilder body = owner_->diagram(name + ".body");
+  Frame frame;
+  frame.kind = Frame::Kind::Loop;
+  frame.diagram = owner_->model().diagram(body.id());
+  frame.name = std::move(name);
+  frame.iterations = std::move(iterations);
+  frame.var = std::move(var);
+  frame.cursor = &body.initial().node();
+  frames_.push_back(std::move(frame));
+  return *this;
+}
+
+StepBuilder& StepBuilder::close_body(
+    const std::function<NodeRef(DiagramBuilder&, Frame&)>& emit) {
+  Frame body = std::move(frames_.back());
+  DiagramBuilder body_diagram(owner_, body.diagram);
+  NodeRef fin = body_diagram.final_node();
+  body_diagram.flow(body.cursor->id(), fin.id());
+  frames_.pop_back();
+  DiagramBuilder parent = current_diagram();
+  return attach(emit(parent, body));
+}
+
+StepBuilder& StepBuilder::end_loop() {
+  if (frames_.back().kind != Frame::Kind::Loop) {
+    report("end_loop() without an open loop scope");
+    return *this;
+  }
+  return close_body([](DiagramBuilder& parent, Frame& body) {
+    return parent.loop(body.name, body.diagram->id(), body.iterations,
+                       body.var);
+  });
+}
+
+StepBuilder& StepBuilder::begin_branch(std::string name) {
+  NodeRef decision = current_diagram().decision(std::move(name));
+  attach(decision);
+  Frame frame;
+  frame.kind = Frame::Kind::Branch;
+  frame.diagram = frames_.back().diagram;
+  frame.decision = &decision.node();
+  frames_.push_back(std::move(frame));
+  return *this;
+}
+
+void StepBuilder::close_arm() {
+  Frame& top = frames_.back();
+  if (!top.arm_open) {
+    return;
+  }
+  Frame::Arm arm = top.open_arm;
+  arm.tail = top.arm_cursor;
+  top.tails.push_back(std::move(arm));
+  top.arm_open = false;
+  top.arm_cursor = nullptr;
+}
+
+StepBuilder& StepBuilder::when(std::string guard) {
+  if (frames_.back().kind != Frame::Kind::Branch) {
+    report("when() outside a branch scope");
+    return *this;
+  }
+  if (guard.empty()) {
+    report("when() with an empty guard (use otherwise() for the default "
+           "arm)");
+    guard = "else";
+  }
+  close_arm();
+  Frame& top = frames_.back();
+  top.arm_open = true;
+  top.open_arm = {};
+  top.open_arm.guard = std::move(guard);
+  top.arm_cursor = nullptr;
+  return *this;
+}
+
+StepBuilder& StepBuilder::when(std::string guard, double probability) {
+  when(std::move(guard));
+  Frame& top = frames_.back();
+  if (top.kind == Frame::Kind::Branch && top.arm_open) {
+    // Out-of-range values are diagnosed once, by EdgeRef::prob(), when
+    // the arm's edge materializes.
+    top.open_arm.prob = probability;
+    top.open_arm.has_prob = true;
+  }
+  return *this;
+}
+
+StepBuilder& StepBuilder::otherwise() { return when("else"); }
+
+StepBuilder& StepBuilder::otherwise(double probability) {
+  return when("else", probability);
+}
+
+StepBuilder& StepBuilder::end_branch() {
+  if (frames_.back().kind != Frame::Kind::Branch) {
+    report("end_branch() without an open branch scope");
+    return *this;
+  }
+  close_arm();
+  Frame branch = std::move(frames_.back());
+  frames_.pop_back();
+  DiagramBuilder diagram = current_diagram();
+  if (branch.tails.empty()) {
+    report("branch scope '" + branch.decision->name() +
+           "' closed without any when()/otherwise() arm");
+  }
+  NodeRef merge = diagram.merge();
+  for (const Frame::Arm& arm : branch.tails) {
+    if (arm.tail == nullptr) {
+      EdgeRef edge = diagram.flow(branch.decision->id(), merge.id(),
+                                  arm.guard);
+      if (arm.has_prob) {
+        edge.prob(arm.prob);
+      }
+    } else {
+      diagram.flow(arm.tail->id(), merge.id());
+    }
+  }
+  advance(merge.node());
+  return *this;
+}
+
+StepBuilder& StepBuilder::begin_spmd(std::string name,
+                                     std::string num_threads_expr) {
+  DiagramBuilder body = owner_->diagram(name + ".body");
+  Frame frame;
+  frame.kind = Frame::Kind::Spmd;
+  frame.diagram = owner_->model().diagram(body.id());
+  frame.name = std::move(name);
+  frame.threads = std::move(num_threads_expr);
+  frame.cursor = &body.initial().node();
+  frames_.push_back(std::move(frame));
+  return *this;
+}
+
+StepBuilder& StepBuilder::end_spmd() {
+  if (frames_.back().kind != Frame::Kind::Spmd) {
+    report("end_spmd() without an open SPMD region scope");
+    return *this;
+  }
+  return close_body([this](DiagramBuilder& parent, Frame& body) {
+    return parent.omp_parallel(body.name,
+                               DiagramBuilder(owner_, body.diagram),
+                               body.threads);
+  });
+}
+
+StepBuilder& StepBuilder::begin_critical(std::string name,
+                                         std::string critical_name) {
+  DiagramBuilder body = owner_->diagram(name + ".body");
+  Frame frame;
+  frame.kind = Frame::Kind::Critical;
+  frame.diagram = owner_->model().diagram(body.id());
+  frame.name = std::move(name);
+  frame.lock = std::move(critical_name);
+  frame.cursor = &body.initial().node();
+  frames_.push_back(std::move(frame));
+  return *this;
+}
+
+StepBuilder& StepBuilder::end_critical() {
+  if (frames_.back().kind != Frame::Kind::Critical) {
+    report("end_critical() without an open critical-section scope");
+    return *this;
+  }
+  return close_body([this](DiagramBuilder& parent, Frame& body) {
+    return parent.omp_critical(body.name,
+                               DiagramBuilder(owner_, body.diagram),
+                               body.lock);
+  });
+}
+
+ModelBuilder& StepBuilder::done() {
+  if (finished_) {
+    report("done() called twice on sequence '" + frames_.front().name + "'");
+    return *owner_;
+  }
+  // Scopes left open are misuse; close them structurally so downstream
+  // tooling can still print the model, but record each one — build()
+  // refuses the model anyway.
+  while (frames_.size() > 1) {
+    const Frame& top = frames_.back();
+    switch (top.kind) {
+      case Frame::Kind::Loop:
+        report("unclosed loop scope '" + top.name + "'");
+        end_loop();
+        break;
+      case Frame::Kind::Spmd:
+        report("unclosed SPMD region scope '" + top.name + "'");
+        end_spmd();
+        break;
+      case Frame::Kind::Critical:
+        report("unclosed critical-section scope '" + top.name + "'");
+        end_critical();
+        break;
+      case Frame::Kind::Branch:
+        report("unclosed branch scope" +
+               (top.decision->name().empty()
+                    ? std::string()
+                    : " '" + top.decision->name() + "'"));
+        end_branch();
+        break;
+      case Frame::Kind::Root:
+        break;
+    }
+  }
+  DiagramBuilder diagram = current_diagram();
+  NodeRef fin = diagram.final_node();
+  diagram.flow(frames_.back().cursor->id(), fin.id());
+  finished_ = true;
+  owner_->note_sequence_finished(this);
+  return *owner_;
+}
+
+// --- ModelBuilder ---------------------------------------------------------
+
 ModelBuilder::ModelBuilder(std::string name) : model_(std::move(name)) {
   model_.set_profile(standard_profile());
 }
+
+ModelBuilder::~ModelBuilder() = default;
 
 ModelBuilder& ModelBuilder::global(std::string name, VariableType type,
                                    std::string initializer) {
@@ -250,7 +726,94 @@ DiagramBuilder ModelBuilder::diagram(std::string name) {
   return DiagramBuilder(this, &stored);
 }
 
-Model ModelBuilder::build() && { return std::move(model_); }
+void ModelBuilder::report(BuildSeverity severity, std::string message) {
+  diagnostics_.push_back({severity, std::move(message)});
+}
+
+void ModelBuilder::note_sequence_opened(const void* key, std::string label) {
+  open_sequences_.emplace_back(key, std::move(label));
+}
+
+void ModelBuilder::note_sequence_finished(const void* key) {
+  open_sequences_.erase(
+      std::remove_if(open_sequences_.begin(), open_sequences_.end(),
+                     [key](const auto& entry) { return entry.first == key; }),
+      open_sequences_.end());
+}
+
+std::vector<BuildDiagnostic> ModelBuilder::validate() const {
+  std::vector<BuildDiagnostic> diagnostics = diagnostics_;
+  for (const auto& [key, label] : open_sequences_) {
+    diagnostics.push_back(
+        {BuildSeverity::Error, label + " was never finished with done()"});
+  }
+
+  // Duplicate diagram (activity) names make activity()/loop()-by-name
+  // references and generated code ambiguous.
+  std::set<std::string_view> seen;
+  std::set<std::string_view> reported;
+  for (const auto& diagram : model_.diagrams()) {
+    if (!seen.insert(diagram->name()).second &&
+        reported.insert(diagram->name()).second) {
+      diagnostics.push_back({BuildSeverity::Error,
+                             "duplicate activity diagram name '" +
+                                 diagram->name() + "'"});
+    }
+  }
+
+  // A send whose (message tag) class no recv ever matches — or a recv no
+  // send ever feeds — is the classic copy-paste communication bug: the
+  // message rots in the mailbox (or the recv deadlocks) at evaluation
+  // time.  The check is per message tag across the whole model: partners
+  // are usually guarded by pid expressions, so per-node matching is not
+  // decidable here, but a tag with only one side present never matches.
+  std::map<std::int64_t, std::pair<const Node*, const Node*>> comm;
+  for (const auto& diagram : model_.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      const bool is_send = node->stereotype() == stereo::kSend;
+      const bool is_recv = node->stereotype() == stereo::kRecv;
+      if (!is_send && !is_recv) {
+        continue;
+      }
+      const auto msg_tag = static_cast<std::int64_t>(
+          node->tag_number(tag::kMsgTag).value_or(0));
+      auto& [send_node, recv_node] = comm[msg_tag];
+      (is_send ? send_node : recv_node) = node.get();
+    }
+  }
+  for (const auto& [msg_tag, nodes] : comm) {
+    const auto& [send_node, recv_node] = nodes;
+    if (send_node != nullptr && recv_node == nullptr) {
+      diagnostics.push_back(
+          {BuildSeverity::Error,
+           "send '" + send_node->name() + "' (message tag " +
+               std::to_string(msg_tag) +
+               ") has no matching recv anywhere in the model"});
+    } else if (recv_node != nullptr && send_node == nullptr) {
+      diagnostics.push_back(
+          {BuildSeverity::Error,
+           "recv '" + recv_node->name() + "' (message tag " +
+               std::to_string(msg_tag) +
+               ") has no matching send anywhere in the model"});
+    }
+  }
+  return diagnostics;
+}
+
+Model ModelBuilder::build() && {
+  std::vector<BuildDiagnostic> diagnostics = validate();
+  const bool has_error =
+      std::any_of(diagnostics.begin(), diagnostics.end(),
+                  [](const BuildDiagnostic& diagnostic) {
+                    return diagnostic.severity == BuildSeverity::Error;
+                  });
+  if (has_error) {
+    throw BuildError(std::move(diagnostics));
+  }
+  return std::move(model_);
+}
+
+Model ModelBuilder::build_unchecked() && { return std::move(model_); }
 
 std::string ModelBuilder::next_id(std::string_view prefix) {
   std::size_t* counter = nullptr;

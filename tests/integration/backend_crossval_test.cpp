@@ -12,6 +12,8 @@
 
 #include "prophet/analytic/analytic.hpp"
 #include "prophet/interp/interpreter.hpp"
+#include "prophet/models/registry.hpp"
+#include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
 #include "prophet/uml/model.hpp"
 
@@ -90,6 +92,21 @@ TEST(BackendCrossValidation, PingPongWithinEnvelope) {
   expect_cross_validated("@pingpong", model, sp(2, 2, 1));
   const auto large = prophet::models::pingpong_model(1 << 20, 4);
   expect_cross_validated("@pingpong-1MiB", large, sp(2, 2, 1));
+}
+
+TEST(BackendCrossValidation, EveryRegisteredModelOverItsDefaultGrid) {
+  // The registry contract: every built-in workload cross-validates over
+  // its own default grid — the same sweep CI gates with
+  // `prophetc sweep @name --backend=both --max-rel-error`.  A new
+  // registry entry buys this coverage automatically.
+  for (const auto& entry : prophet::models::Registry::builtin().entries()) {
+    const auto model = entry.make();
+    const auto grid = prophet::pipeline::ScenarioGrid::parse(
+        entry.default_grid, entry.default_params);
+    for (const auto& params : grid.expand()) {
+      expect_cross_validated("@" + entry.name, model, params);
+    }
+  }
 }
 
 TEST(BackendCrossValidation, RandomStructuredModelsWithinEnvelope) {

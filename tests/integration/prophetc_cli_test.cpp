@@ -1,0 +1,123 @@
+// prophetc <-> registry parity: the CLI's help text, `models` listing and
+// "@" resolution must all come from models::Registry::builtin() — one
+// source of truth, asserted out-of-process against the real binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prophet/models/registry.hpp"
+
+namespace {
+
+struct CommandResult {
+  int status = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.output += buffer;
+  }
+  result.status = pclose(pipe);
+  return result;
+}
+
+std::string prophetc() { return std::string(PROPHET_BINARY_DIR) + "/prophetc"; }
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(ProphetcCli, ModelsNamesMatchesRegistry) {
+  const auto result = run_command(prophetc() + " models --names");
+  ASSERT_EQ(result.status, 0) << result.output;
+  EXPECT_EQ(lines_of(result.output),
+            prophet::models::Registry::builtin().names());
+}
+
+TEST(ProphetcCli, ModelsListingCoversEveryEntry) {
+  const auto result = run_command(prophetc() + " models");
+  ASSERT_EQ(result.status, 0) << result.output;
+  for (const auto& entry : prophet::models::Registry::builtin().entries()) {
+    EXPECT_NE(result.output.find("@" + entry.name), std::string::npos)
+        << "listing misses @" << entry.name;
+    EXPECT_NE(result.output.find(entry.default_grid), std::string::npos)
+        << "listing misses the grid of @" << entry.name;
+  }
+}
+
+TEST(ProphetcCli, UsageEnumeratesRegistryModels) {
+  // No arguments -> usage on stderr, which must carry the registry's own
+  // available() list (never a hardcoded copy).
+  const auto result = run_command(prophetc());
+  EXPECT_NE(result.status, 0);
+  EXPECT_NE(
+      result.output.find(prophet::models::Registry::builtin().available()),
+      std::string::npos)
+      << result.output;
+}
+
+TEST(ProphetcCli, UnknownModelErrorEnumeratesRegistryModels) {
+  const auto result = run_command(prophetc() + " sweep @doesnotexist");
+  EXPECT_NE(result.status, 0);
+  EXPECT_NE(
+      result.output.find(prophet::models::Registry::builtin().available()),
+      std::string::npos)
+      << result.output;
+}
+
+TEST(ProphetcCli, ModelsGridPrintsTheDefaultGrid) {
+  for (const auto& entry : prophet::models::Registry::builtin().entries()) {
+    const auto result =
+        run_command(prophetc() + " models --grid '@" + entry.name + "'");
+    ASSERT_EQ(result.status, 0) << result.output;
+    EXPECT_EQ(result.output, entry.default_grid + "\n") << entry.name;
+  }
+}
+
+TEST(ProphetcCli, KnobReferenceSweeps) {
+  const auto result = run_command(
+      prophetc() +
+      " sweep '@kernel6(n=8, m=1)' --grid np=1,2 --backend analytic");
+  EXPECT_EQ(result.status, 0) << result.output;
+  EXPECT_NE(result.output.find("ok 2 / failed 0"), std::string::npos)
+      << result.output;
+}
+
+TEST(ProphetcCli, SweepExpandsGridsOverRegistryDefaults) {
+  // Without --sp, a reference's grid uses the entry's default params:
+  // @pingpong needs np = 2, and "nodes=1,2" does not set it.
+  const auto result = run_command(
+      prophetc() + " sweep @pingpong --grid nodes=1,2 --backend analytic");
+  EXPECT_EQ(result.status, 0) << result.output;
+  EXPECT_NE(result.output.find("ok 2 / failed 0"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("np=2"), std::string::npos) << result.output;
+}
+
+TEST(ProphetcCli, EstimateResolvesRegistryDefaults) {
+  // @pingpong needs np = 2; the registry's default params supply it.
+  const auto result = run_command(prophetc() + " estimate @pingpong");
+  EXPECT_EQ(result.status, 0) << result.output;
+  EXPECT_NE(result.output.find("processes:      2"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Registry behaviour: reference parsing, knob overrides, metadata
+// completeness, and the guarantee every registered model is well-formed
+// (checker-clean) and sweepable over its default grid.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "prophet/check/checker.hpp"
+#include "prophet/models/builtins.hpp"
+#include "prophet/models/registry.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/xmi/xmi.hpp"
+
+namespace models = prophet::models;
+
+namespace {
+
+TEST(ParseReference, BareName) {
+  const auto reference = models::parse_reference("@kernel6");
+  EXPECT_EQ(reference.name, "kernel6");
+  EXPECT_TRUE(reference.knobs.empty());
+}
+
+TEST(ParseReference, KnobAssignments) {
+  const auto reference =
+      models::parse_reference("@kernel6(n=128, m=2, c=1e-9)");
+  EXPECT_EQ(reference.name, "kernel6");
+  ASSERT_EQ(reference.knobs.size(), 3u);
+  EXPECT_EQ(reference.knobs.at("n"), 128.0);
+  EXPECT_EQ(reference.knobs.at("m"), 2.0);
+  EXPECT_EQ(reference.knobs.at("c"), 1e-9);
+}
+
+TEST(ParseReference, MalformedReferencesThrow) {
+  EXPECT_THROW((void)models::parse_reference("kernel6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)models::parse_reference("@"), std::invalid_argument);
+  EXPECT_THROW((void)models::parse_reference("@k(n=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)models::parse_reference("@k(n)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)models::parse_reference("@k(n=abc)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)models::parse_reference("@k(n=1, n=2)"),
+               std::invalid_argument);
+}
+
+TEST(Registry, BuiltinContainsTheWorkloadLibrary) {
+  const auto& registry = models::Registry::builtin();
+  const auto names = registry.names();
+  const std::set<std::string> have(names.begin(), names.end());
+  for (const char* expected :
+       {"sample", "kernel6", "kernel6-detailed", "pingpong", "synthetic",
+        "random", "stencil2d", "allreduce", "masterworker", "pipeline"}) {
+    EXPECT_TRUE(have.count(expected)) << "missing built-in: " << expected;
+  }
+  EXPECT_GE(registry.size(), 10u);
+}
+
+TEST(Registry, UnknownModelErrorListsAvailable) {
+  const auto& registry = models::Registry::builtin();
+  try {
+    (void)registry.make("@nope");
+    FAIL() << "make() should have thrown";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown built-in model '@nope'"),
+              std::string::npos);
+    EXPECT_NE(what.find("@kernel6"), std::string::npos);
+  }
+}
+
+TEST(Registry, UnknownKnobErrorListsKnobs) {
+  const auto& registry = models::Registry::builtin();
+  try {
+    (void)registry.make("@kernel6(bogus=1)");
+    FAIL() << "make() should have thrown";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("no knob 'bogus'"), std::string::npos);
+    EXPECT_NE(what.find("n, m, c"), std::string::npos);
+  }
+}
+
+TEST(Registry, KnobOverridesReachTheFactory) {
+  const auto& registry = models::Registry::builtin();
+  const auto small = registry.make("@kernel6(n=8, m=1)");
+  // N and M are globals initialized from the knobs.
+  EXPECT_EQ(small.variable("N")->initializer, "8");
+  EXPECT_EQ(small.variable("M")->initializer, "1");
+  const auto defaults = registry.make("@kernel6");
+  EXPECT_EQ(defaults.variable("N")->initializer, "64");
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  models::Registry registry;
+  models::ModelInfo info;
+  info.name = "m";
+  info.factory = [](const models::KnobValues&) {
+    return models::kernel6_model(4, 1, 1e-9);
+  };
+  registry.add(info);
+  EXPECT_THROW(registry.add(info), std::invalid_argument);
+}
+
+TEST(Registry, MissingNameOrFactoryThrows) {
+  models::Registry registry;
+  models::ModelInfo nameless;
+  nameless.factory = [](const models::KnobValues&) {
+    return models::kernel6_model(4, 1, 1e-9);
+  };
+  EXPECT_THROW(registry.add(nameless), std::invalid_argument);
+  models::ModelInfo factoryless;
+  factoryless.name = "f";
+  EXPECT_THROW(registry.add(factoryless), std::invalid_argument);
+}
+
+TEST(Registry, EveryEntryHasCompleteMetadata) {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+    EXPECT_FALSE(entry.comm_pattern.empty()) << entry.name;
+    EXPECT_FALSE(entry.scaling.empty()) << entry.name;
+    EXPECT_FALSE(entry.default_grid.empty()) << entry.name;
+    // The default grid must parse against the entry's default params.
+    EXPECT_NO_THROW((void)prophet::pipeline::ScenarioGrid::parse(
+        entry.default_grid, entry.default_params))
+        << entry.name << ": grid '" << entry.default_grid << "'";
+    for (const auto& knob : entry.knobs) {
+      EXPECT_FALSE(knob.description.empty())
+          << entry.name << " knob " << knob.name;
+    }
+  }
+}
+
+TEST(Registry, EveryEntryBuildsACheckerCleanModel) {
+  const prophet::check::ModelChecker checker;
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    const auto model = entry.make();
+    const auto diagnostics = checker.check(model);
+    EXPECT_TRUE(diagnostics.ok())
+        << "@" << entry.name << ":\n" << diagnostics.to_string();
+  }
+}
+
+TEST(Registry, EveryEntrySurvivesXmiRoundTrip) {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    const auto model = entry.make();
+    const std::string xmi = prophet::xmi::to_xml(model);
+    const auto reparsed = prophet::xmi::from_xml(xmi);
+    EXPECT_EQ(prophet::xmi::to_xml(reparsed), xmi)
+        << "@" << entry.name << " does not round-trip";
+  }
+}
+
+TEST(Registry, DescribeListsEveryEntry) {
+  const auto& registry = models::Registry::builtin();
+  const std::string text = registry.describe();
+  for (const auto& name : registry.names()) {
+    EXPECT_NE(text.find("@" + name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("knobs:"), std::string::npos);
+  EXPECT_NE(text.find("grid:"), std::string::npos);
+}
+
+TEST(Registry, AvailableMatchesNames) {
+  const auto& registry = models::Registry::builtin();
+  std::string expected;
+  for (const auto& name : registry.names()) {
+    if (!expected.empty()) {
+      expected += ", ";
+    }
+    expected += "@" + name;
+  }
+  EXPECT_EQ(registry.available(), expected);
+}
+
+TEST(Registry, FactoriesAreDeterministic) {
+  const auto& registry = models::Registry::builtin();
+  for (const auto& entry : registry.entries()) {
+    const std::string a = prophet::xmi::to_xml(entry.make());
+    const std::string b = prophet::xmi::to_xml(entry.make());
+    EXPECT_EQ(a, b) << "@" << entry.name << " is not deterministic";
+  }
+}
+
+}  // namespace

@@ -34,6 +34,20 @@ pipeline::BatchRunner sweep_runner(int threads) {
   return runner;
 }
 
+TEST(BatchRunner, AddModelReferenceResolvesTheRegistry) {
+  pipeline::BatchRunner runner;
+  const int index = runner.add_model_reference("@kernel6(n=8, m=1)");
+  runner.add_scenario(index, {});
+  const auto report = runner.run();
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.results[0].ok) << report.results[0].error;
+  EXPECT_EQ(report.results[0].model_name, "@kernel6(n=8, m=1)");
+  // 8*7/2 * 1 sweep * 1e-8 s.
+  EXPECT_NEAR(report.results[0].predicted_time, 28e-8, 1e-15);
+  EXPECT_THROW((void)runner.add_model_reference("@nope"),
+               std::invalid_argument);
+}
+
 TEST(BatchRunner, RunsEveryScenario) {
   auto runner = sweep_runner(1);
   EXPECT_EQ(runner.model_count(), 2u);

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Checks relative Markdown links in README.md and docs/*.md.
+
+Every `[text](target)` whose target is not an absolute URL or a pure
+anchor must point at an existing file (or directory) relative to the
+linking document.  Exits non-zero listing every broken link — the CI
+docs job runs this so documentation restructures cannot orphan links.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_of(path):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Fenced code blocks routinely contain bracketed sweep specs like
+    # "[--grid SPEC]" — strip them before matching.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    text = re.sub(r"`[^`\n]*`", "", text)
+    return LINK.findall(text)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    documents = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        documents.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                documents.append(os.path.join(docs_dir, name))
+
+    broken = []
+    checked = 0
+    for document in documents:
+        base = os.path.dirname(document)
+        for target in links_of(document):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            checked += 1
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not os.path.exists(os.path.join(base, relative)):
+                broken.append(f"{document}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative link(s) in {len(documents)} file(s), "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,29 +1,33 @@
 // prophetc — command-line front end to the Performance Prophet pipeline.
 //
-//   prophetc check <model.xml> [--mcf <mcf.xml>]
-//   prophetc generate <model.xml> [-o out.cpp] [--main]
-//   prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] [--nodes N]
+//   prophetc check <model> [--mcf <mcf.xml>]
+//   prophetc generate <model> [-o out.cpp] [--main]
+//   prophetc estimate <model> [--sp <sp.xml>] [--np N] [--nodes N]
 //                     [--ppn N] [--nt N] [--backend sim|analytic|both]
 //                     [--trace out.tf] [--gantt]
-//   prophetc outline <model.xml>
-//   prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>]
+//   prophetc outline <model>
+//   prophetc models [--names] [--grid @name]
+//   prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>]
 //                  [--backend sim|analytic|both] [--max-rel-error X]
 //                  [--threads N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen] [--isolate]
 //   prophetc --version
 //
-// Models are XMI files (see prophet/xmi); --sp loads the SP element of
-// Fig. 2 from XML, the individual flags override it.  sweep also accepts
-// the built-in models @sample, @kernel6 and @pingpong, and expands --grid
-// cross-products like "np=1..8:*2 nodes=1,2" over every input model.
-// --backend selects the estimation engine: the discrete-event simulator
-// (default), the closed-form analytic estimator, or both — which runs the
-// simulator as reference and reports the analytic model's relative error
-// (--max-rel-error fails a sweep whose worst error exceeds the bound).
-// Sweeps compile each model once (parse, check, transform, prepare) and
-// evaluate all its scenarios against the cached result; --isolate
-// restores the re-run-everything-per-job pipeline.  Predictions are
-// bit-identical either way.
+// <model> is an XMI file (see prophet/xmi) or a registry reference
+// "@name" / "@name(knob=value, ...)" resolved against the built-in
+// workload library — `prophetc models` lists it; --sp loads the SP
+// element of Fig. 2 from XML, the individual flags override it.  sweep
+// expands --grid cross-products like "np=1..8:*2 nodes=1,2" over every
+// input model; without --sp, a registry reference's grid expands over
+// the entry's default system parameters (estimate does the same).  --backend selects the estimation engine: the
+// discrete-event simulator (default), the closed-form analytic
+// estimator, or both — which runs the simulator as reference and reports
+// the analytic model's relative error (--max-rel-error fails a sweep
+// whose worst error exceeds the bound).  Sweeps compile each model once
+// (parse, check, transform, prepare) and evaluate all its scenarios
+// against the cached result; --isolate restores the
+// re-run-everything-per-job pipeline.  Predictions are bit-identical
+// either way.
 //
 // Every parse error prints usage and exits non-zero; flags are accepted
 // as `--flag value` or `--flag=value`.
@@ -40,6 +44,7 @@
 
 #include "prophet/analytic/backend.hpp"
 #include "prophet/estimator/backend.hpp"
+#include "prophet/models/registry.hpp"
 #include "prophet/pipeline/batch.hpp"
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
@@ -59,16 +64,22 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  prophetc check <model.xml> [--mcf <mcf.xml>]\n"
-      "  prophetc generate <model.xml> [-o out.cpp] [--main]\n"
-      "  prophetc estimate <model.xml> [--sp <sp.xml>] [--np N] "
+      "  prophetc check <model> [--mcf <mcf.xml>]\n"
+      "  prophetc generate <model> [-o out.cpp] [--main]\n"
+      "  prophetc estimate <model> [--sp <sp.xml>] [--np N] "
       "[--nodes N] [--ppn N] [--nt N] [--backend sim|analytic|both] "
       "[--trace out.tf] [--gantt]\n"
-      "  prophetc outline <model.xml>\n"
-      "  prophetc sweep <model.xml>... [--grid SPEC] [--sp <sp.xml>] "
+      "  prophetc outline <model>\n"
+      "  prophetc models [--names] [--grid @name]\n"
+      "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
       "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
       "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate]\n"
-      "  prophetc --version\n");
+      "  prophetc --version\n"
+      "\n"
+      "<model> is an XMI file or a built-in reference "
+      "\"@name(knob=value, ...)\".\n"
+      "built-in models: %s\n",
+      prophet::models::Registry::builtin().available().c_str());
   return 2;
 }
 
@@ -198,8 +209,8 @@ int cmd_generate(const prophet::Prophet& prophet,
 }
 
 int cmd_estimate(const prophet::Prophet& prophet,
-                 const std::vector<std::string>& args) {
-  prophet::machine::SystemParameters params;
+                 const std::vector<std::string>& args,
+                 prophet::machine::SystemParameters params) {
   std::string trace_path;
   bool gantt = false;
   auto backend = estimator::BackendKind::Simulation;
@@ -299,28 +310,70 @@ int cmd_estimate(const prophet::Prophet& prophet,
   return 0;
 }
 
-// Registers one sweep input: an XMI file path or a built-in model
-// reference (@sample, @kernel6, @pingpong).
-void add_sweep_model(prophet::pipeline::BatchRunner& runner,
-                     const std::string& input) {
-  if (input == "@sample") {
-    runner.add_model(input, prophet::models::sample_model());
-  } else if (input == "@kernel6") {
-    runner.add_model(input, prophet::models::kernel6_model(64, 16, 1e-8));
-  } else if (input == "@pingpong") {
-    runner.add_model(input, prophet::models::pingpong_model(1024, 8));
-  } else if (!input.empty() && input[0] == '@') {
-    throw std::invalid_argument(
-        "unknown built-in model '" + input +
-        "' (available: @sample, @kernel6, @pingpong)");
-  } else {
-    runner.add_model_file(input);
+// Registers one sweep input — an XMI file path or a registry reference
+// ("@name", "@name(knob=value, ...)") — and returns its model index.
+// The registry reports unknown models/knobs with the valid alternatives.
+int add_sweep_model(prophet::pipeline::BatchRunner& runner,
+                    const std::string& input) {
+  if (prophet::models::is_reference(input)) {
+    return runner.add_model_reference(input);
   }
+  return runner.add_model_file(input);
+}
+
+// Loads an XMI file or resolves a registry reference.  For references,
+// `base_params` (when non-null) receives the registry entry's default
+// system parameters (e.g. @pingpong wants np = 2).
+prophet::Prophet load_model(const std::string& input,
+                            prophet::machine::SystemParameters* base_params) {
+  if (prophet::models::is_reference(input)) {
+    const auto reference = prophet::models::parse_reference(input);
+    const auto& entry =
+        prophet::models::Registry::builtin().at(reference.name);
+    if (base_params != nullptr) {
+      *base_params = entry.default_params;
+    }
+    return prophet::Prophet(entry.make(reference.knobs));
+  }
+  return prophet::Prophet::load(input);
+}
+
+int cmd_models(const std::vector<std::string>& args) {
+  const auto& registry = prophet::models::Registry::builtin();
+  bool names_only = false;
+  std::string grid_of;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--names") {
+      names_only = true;
+    } else if (args[i] == "--grid") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--grid requires a value (a @name reference)");
+      }
+      grid_of = *value;
+    } else {
+      return parse_error("models: unexpected argument '" + args[i] + "'");
+    }
+  }
+  if (!grid_of.empty()) {
+    const auto reference = prophet::models::parse_reference(grid_of);
+    std::printf("%s\n", registry.at(reference.name).default_grid.c_str());
+    return 0;
+  }
+  if (names_only) {
+    for (const auto& name : registry.names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  std::printf("%s", registry.describe().c_str());
+  return 0;
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
   prophet::pipeline::BatchOptions options;
   prophet::machine::SystemParameters base;
+  bool have_sp = false;
   std::string grid_spec;
   std::string csv_path;
   std::optional<double> max_rel_error;
@@ -339,6 +392,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
         return parse_error("--sp requires a value");
       }
       base = prophet::machine::SystemParameters::load(*value);
+      have_sp = true;
     } else if (args[i] == "--threads") {
       if (!take_int(args, i, options.threads, &error)) {
         return parse_error(error);
@@ -408,10 +462,21 @@ int cmd_sweep(const std::vector<std::string>& args) {
 
   prophet::pipeline::BatchRunner runner(options);
   for (const auto& input : inputs) {
-    add_sweep_model(runner, input);
+    const int index = add_sweep_model(runner, input);
+    // Without an explicit --sp, a registry reference sweeps over its
+    // entry's default system parameters (e.g. @pingpong's np = 2) —
+    // the same base the cross-validation tests expand default grids
+    // over.  Grid axes still override any field they name.
+    prophet::machine::SystemParameters model_base = base;
+    if (!have_sp && prophet::models::is_reference(input)) {
+      const auto reference = prophet::models::parse_reference(input);
+      model_base = prophet::models::Registry::builtin()
+                       .at(reference.name)
+                       .default_params;
+    }
+    runner.add_sweep(
+        index, prophet::pipeline::ScenarioGrid::parse(grid_spec, model_base));
   }
-  runner.add_sweep_all(
-      prophet::pipeline::ScenarioGrid::parse(grid_spec, base));
 
   const auto report = runner.run();
   std::printf("%s", report.summary().c_str());
@@ -465,14 +530,17 @@ int main(int argc, char** argv) {
   const std::string command = raw[0];
   const bool known = command == "check" || command == "generate" ||
                      command == "estimate" || command == "outline" ||
-                     command == "sweep";
+                     command == "models" || command == "sweep";
   if (!known) {
     return parse_error("unknown command '" + command + "'");
   }
-  if (raw.size() < 2) {
-    return parse_error(command + ": missing <model.xml>");
-  }
   try {
+    if (command == "models") {
+      return cmd_models(normalize({raw.begin() + 1, raw.end()}));
+    }
+    if (raw.size() < 2) {
+      return parse_error(command + ": missing <model>");
+    }
     if (command == "sweep") {
       // sweep takes N models mixed with flags in any order, so every
       // token after the command is normalized and parsed by cmd_sweep.
@@ -480,12 +548,13 @@ int main(int argc, char** argv) {
     }
     const std::string model_path = raw[1];
     if (!model_path.empty() && model_path[0] == '-') {
-      return parse_error(command + ": expected <model.xml>, got flag '" +
+      return parse_error(command + ": expected <model>, got flag '" +
                          model_path + "'");
     }
     const std::vector<std::string> args =
         normalize({raw.begin() + 2, raw.end()});
-    const prophet::Prophet prophet = prophet::Prophet::load(model_path);
+    prophet::machine::SystemParameters base_params;
+    const prophet::Prophet prophet = load_model(model_path, &base_params);
     if (command == "check") {
       return cmd_check(prophet, args);
     }
@@ -493,7 +562,7 @@ int main(int argc, char** argv) {
       return cmd_generate(prophet, args);
     }
     if (command == "estimate") {
-      return cmd_estimate(prophet, args);
+      return cmd_estimate(prophet, args, base_params);
     }
     return cmd_outline(prophet, args);
   } catch (const std::exception& error) {
