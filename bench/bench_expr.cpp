@@ -1,10 +1,14 @@
 // Ablation — the cost-function expression language: parsing throughput
-// and the interpreted-vs-native evaluation gap that underlies the paper's
-// machine-efficiency argument at the expression level.
+// and the evaluation ladder interpreted (tree walk + string lookups) →
+// compiled (slot-based bytecode VM) → native (the C++ the generated cost
+// functions of Fig. 8a execute).  The compiled/interpreted pair on the
+// kernel6 cost nest backs the CI perf gate (compiled >= 2x interpreted).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
+#include "json_args.hpp"
+#include "prophet/expr/compile.hpp"
 #include "prophet/expr/eval.hpp"
 #include "prophet/expr/parser.hpp"
 
@@ -15,12 +19,30 @@ namespace {
 constexpr const char* kCostFunction =
     "0.000001 * P * P + 0.001 + sqrt(P) / (np + 1)";
 
+// The kernel6 cost nest (FK6 of Fig. 3c): M general-linear-recurrence
+// sweeps of N*(N-1)/2 updates at c seconds each — the expression every
+// @kernel6 scenario evaluation prices compute with.
+constexpr const char* kKernel6Cost = "M * (N * (N - 1) / 2) * c";
+
+constexpr const char* kGuard = "GV > 0 && pid < np - 1";
+
 void BM_Expr_Parse(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(expr::parse(kCostFunction));
   }
 }
 BENCHMARK(BM_Expr_Parse);
+
+void BM_Expr_Compile(benchmark::State& state) {
+  const expr::ExprPtr parsed = expr::parse(kCostFunction);
+  expr::SymbolTable table;
+  table.add_variable("P");
+  table.add_variable("np");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::compile(*parsed, table));
+  }
+}
+BENCHMARK(BM_Expr_Compile);
 
 void BM_Expr_InterpretedEval(benchmark::State& state) {
   const expr::ExprPtr parsed = expr::parse(kCostFunction);
@@ -35,6 +57,25 @@ void BM_Expr_InterpretedEval(benchmark::State& state) {
 }
 BENCHMARK(BM_Expr_InterpretedEval);
 
+void BM_Expr_CompiledEval(benchmark::State& state) {
+  const expr::ExprPtr parsed = expr::parse(kCostFunction);
+  expr::SymbolTable table;
+  const expr::Slot p = table.add_variable("P");
+  const expr::Slot np = table.add_variable("np");
+  const expr::Compiled program = expr::compile(*parsed, table);
+  expr::SlotFrame frame(table);
+  frame.set(p, 16.0);
+  frame.set(np, 4.0);
+  expr::EvalContext ctx;
+  ctx.frame = frame.frame();
+  double total = 0;
+  for (auto _ : state) {
+    total += program.eval(ctx);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Expr_CompiledEval);
+
 void BM_Expr_NativeEval(benchmark::State& state) {
   // The same arithmetic as compiled C++ (what the generated cost
   // functions of Fig. 8a execute).
@@ -48,8 +89,43 @@ void BM_Expr_NativeEval(benchmark::State& state) {
 }
 BENCHMARK(BM_Expr_NativeEval);
 
+void BM_Expr_InterpretedEvalKernel6(benchmark::State& state) {
+  const expr::ExprPtr parsed = expr::parse(kKernel6Cost);
+  expr::MapEnvironment env;
+  env.set("M", 100.0);
+  env.set("N", 64.0);
+  env.set("c", 1e-8);
+  double total = 0;
+  for (auto _ : state) {
+    total += expr::evaluate(*parsed, env);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Expr_InterpretedEvalKernel6);
+
+void BM_Expr_CompiledEvalKernel6(benchmark::State& state) {
+  const expr::ExprPtr parsed = expr::parse(kKernel6Cost);
+  expr::SymbolTable table;
+  const expr::Slot m = table.add_variable("M");
+  const expr::Slot n = table.add_variable("N");
+  const expr::Slot c = table.add_variable("c");
+  const expr::Compiled program = expr::compile(*parsed, table);
+  expr::SlotFrame frame(table);
+  frame.set(m, 100.0);
+  frame.set(n, 64.0);
+  frame.set(c, 1e-8);
+  expr::EvalContext ctx;
+  ctx.frame = frame.frame();
+  double total = 0;
+  for (auto _ : state) {
+    total += program.eval(ctx);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Expr_CompiledEvalKernel6);
+
 void BM_Expr_GuardEval(benchmark::State& state) {
-  const expr::ExprPtr guard = expr::parse("GV > 0 && pid < np - 1");
+  const expr::ExprPtr guard = expr::parse(kGuard);
   expr::MapEnvironment env;
   env.set("GV", 3.0);
   env.set("pid", 1.0);
@@ -60,6 +136,25 @@ void BM_Expr_GuardEval(benchmark::State& state) {
 }
 BENCHMARK(BM_Expr_GuardEval);
 
+void BM_Expr_CompiledGuard(benchmark::State& state) {
+  const expr::ExprPtr guard = expr::parse(kGuard);
+  expr::SymbolTable table;
+  const expr::Slot gv = table.add_variable("GV");
+  const expr::Slot np = table.add_variable("np");
+  table.bind_ambient("pid", expr::Ambient::Pid);
+  const expr::Compiled program = expr::compile(*guard, table);
+  expr::SlotFrame frame(table);
+  frame.set(gv, 3.0);
+  frame.set(np, 4.0);
+  expr::EvalContext ctx;
+  ctx.frame = frame.frame();
+  ctx.pid = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.eval(ctx));
+  }
+}
+BENCHMARK(BM_Expr_CompiledGuard);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+PROPHET_BENCHMARK_MAIN();

@@ -74,8 +74,10 @@ struct AnalyticReport {
 };
 
 /// Static cost analyzer over a UML performance model.  Construction
-/// pre-parses every expression (mirroring interp::Interpreter), so one
-/// estimator instance can evaluate many scenarios cheaply.
+/// pre-parses every expression and compiles it to slot-resolved bytecode
+/// (expr::compile, mirroring interp::Interpreter::Program), so one
+/// estimator instance can evaluate many scenarios cheaply — the symbolic
+/// walk resolves no identifier strings at evaluation time.
 class AnalyticEstimator {
  public:
   /// Borrows `model`; it must outlive the estimator.  Throws
@@ -97,6 +99,13 @@ class AnalyticEstimator {
   /// analytic Backend::prepare() handle exposes).
   [[nodiscard]] AnalyticReport evaluate(
       const machine::SystemParameters& params) const;
+
+  /// Construction time spent lowering cost expressions to bytecode
+  /// (surfaced through PreparedModel::prepare_stats / `--timings`).
+  [[nodiscard]] double expr_compile_seconds() const;
+
+  /// Number of bytecode programs the constructor produced.
+  [[nodiscard]] std::size_t expr_program_count() const;
 
   struct Impl;  // public so the walker/replay helpers in the TU can use it
 

@@ -15,6 +15,7 @@
 // simulation path needs without a dependency cycle).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -44,6 +45,18 @@ enum class BackendKind {
 [[nodiscard]] std::optional<BackendKind> backend_from_string(
     std::string_view text);
 
+/// What Backend::prepare() spent lowering the model — surfaced by
+/// PreparedModel::prepare_stats() so the prepare/evaluate tradeoff stays
+/// observable (`prophetc estimate --timings`).
+struct PrepareStats {
+  /// Seconds spent compiling cost expressions to bytecode (a subset of
+  /// the prepare wall time the caller measures around prepare()).
+  double expr_compile_seconds = 0;
+  /// Number of bytecode programs produced (cost tags, guards,
+  /// initializers, cost-function bodies, code-fragment assignments).
+  std::size_t expr_programs = 0;
+};
+
 /// A model compiled for repeated evaluation by one backend — the
 /// prepare-once/evaluate-many half of the Backend contract.
 ///
@@ -69,6 +82,10 @@ class PreparedModel {
   [[nodiscard]] virtual PredictionReport estimate(
       const machine::SystemParameters& params,
       const EstimationOptions& options = {}) const = 0;
+
+  /// Preparation statistics (see PrepareStats); zeros when the backend
+  /// does not track them.
+  [[nodiscard]] virtual PrepareStats prepare_stats() const { return {}; }
 };
 
 /// An estimation engine: evaluates a UML performance model under one

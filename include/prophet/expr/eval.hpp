@@ -59,7 +59,9 @@ class MapEnvironment : public Environment {
     functions_[std::move(name)] = std::move(fn);
   }
   [[nodiscard]] bool has_variable(std::string_view name) const {
-    return variables_.find(std::string(name)) != variables_.end();
+    // Heterogeneous lookup through the transparent comparator — no
+    // temporary std::string per call.
+    return variables_.find(name) != variables_.end();
   }
 
   [[nodiscard]] std::optional<double> variable(

@@ -43,7 +43,9 @@ class InterpretError : public std::runtime_error {
 
 /// Parses and executes a UML model.  Construction pre-parses every
 /// expression (cost tags, guards, initializers, cost-function bodies,
-/// code fragments) so the per-run cost is evaluation only.
+/// code fragments) and compiles it to slot-resolved bytecode
+/// (expr::compile), so the per-run cost is bytecode evaluation only —
+/// no string lookups on the hot path.
 ///
 /// The pre-parsed form is an Interpreter::Program — immutable after
 /// compile() and shareable: any number of interpreters (on any number of
@@ -53,10 +55,22 @@ class InterpretError : public std::runtime_error {
 /// per estimate() construct a cheap interpreter over the shared program.
 class Interpreter final : public estimator::ProgramModel {
  public:
-  /// The immutable pre-parsed form of a model: every expression compiled
-  /// to an AST, uids assigned, diagram references resolved.  Opaque;
-  /// obtain one from compile() and pass it to the sharing constructor.
+  /// The immutable pre-parsed form of a model: every expression lowered
+  /// to slot-resolved bytecode (expr::Compiled), uids assigned, diagram
+  /// references resolved.  Opaque; obtain one from compile() and pass it
+  /// to the sharing constructor.
   class Program;
+
+  /// Prepare-time cost of lowering the model's expressions to bytecode
+  /// (surfaced through estimator::PreparedModel::prepare_stats and
+  /// `prophetc estimate --timings`).
+  struct ProgramStats {
+    double expr_compile_seconds = 0;  ///< time spent in expr::compile
+    std::size_t expr_programs = 0;    ///< bytecode programs produced
+  };
+
+  /// Expression-compilation statistics of a compiled program.
+  [[nodiscard]] static ProgramStats stats(const Program& program);
 
   /// Pre-parses `model` into a shareable Program.  Borrows `model`; it
   /// must outlive every interpreter running the program.  Throws

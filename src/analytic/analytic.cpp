@@ -1,6 +1,7 @@
 #include "prophet/analytic/analytic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <optional>
@@ -9,6 +10,7 @@
 #include <tuple>
 #include <utility>
 
+#include "prophet/expr/compile.hpp"
 #include "prophet/expr/eval.hpp"
 #include "prophet/expr/parser.hpp"
 #include "prophet/uml/sysparams.hpp"
@@ -22,24 +24,11 @@ using uml::Model;
 using uml::Node;
 using uml::NodeKind;
 
-/// One `name = expression;` assignment of an associated code fragment.
+/// One `name = expression;` assignment of an associated code fragment
+/// (parse-time form; lowered to Impl::CompiledAssignment).
 struct Assignment {
   std::string target;
   expr::ExprPtr value;
-};
-
-/// Pre-parsed cost function.
-struct ParsedFunction {
-  std::vector<std::string> parameters;
-  expr::ExprPtr body;
-};
-
-/// Pre-parsed variable declaration.
-struct ParsedVariable {
-  std::string name;
-  uml::VariableScope scope = uml::VariableScope::Global;
-  uml::VariableType type = uml::VariableType::Real;
-  expr::ExprPtr initializer;  // may be null (zero-init)
 };
 
 /// Integer-typed model variables truncate on assignment, exactly like the
@@ -87,6 +76,15 @@ std::vector<Assignment> parse_code_fragment(const std::string& text,
     }
   }
   return assignments;
+}
+
+/// The loop-variable name bound by a <<loop+>> node ("i" by default).
+std::string loop_var_name(const Node& node) {
+  std::string var = node.tag_string(uml::tag::kLoopVar);
+  if (var.empty()) {
+    var = "i";
+  }
+  return var;
 }
 
 /// What one step of the abstract process timeline does.  Compute demands
@@ -150,63 +148,134 @@ workload::CollectiveKind collective_kind(const std::string& stereotype) {
 }
 
 /// A loop variable binding on the walker's lexical stack.  `read` records
-/// whether any expression resolved the name — the loop-collapsing fast
-/// path is valid only for bodies that never look at their trip variable.
+/// whether an evaluated program statically references the binding's slot
+/// — the loop-collapsing fast path is valid only for bodies that never
+/// look at their trip variable.  (The bytecode analogue of the tree
+/// walker's resolution-time marking: a reference in a short-circuited
+/// subexpression now counts as a read, which can only disable a collapse
+/// — the fallback per-iteration walk is always exact.)
 struct LoopBinding {
-  std::string name;
-  double value = 0;
+  expr::Slot slot = 0;
   bool read = false;
 };
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Impl: construction-time parsing + per-evaluation state
+// Impl: construction-time compilation + per-evaluation state
 // ---------------------------------------------------------------------------
 
 struct AnalyticEstimator::Impl {
   std::optional<Model> owned;  // set by the owning constructor
   const Model* model = nullptr;
 
-  // Pre-parsed expressions, keyed by element/edge id and tag name.
-  std::map<std::string, std::map<std::string, expr::ExprPtr>> node_exprs;
-  std::map<std::string, expr::ExprPtr> guards;  // edge id -> guard
-  std::map<std::string, std::vector<Assignment>> fragments;
-  std::map<std::string, ParsedFunction> functions;
-  std::vector<ParsedVariable> variables;
-  std::map<std::string, int> uids;
+  /// A fragment assignment with its write target resolved at compile
+  /// time (mirrors interp::Interpreter::Program).
+  struct CompiledAssignment {
+    enum class Target { Local, Global, Undeclared };
+    std::string name;
+    Target target = Target::Undeclared;
+    expr::Slot slot = 0;
+    bool coerce_int = false;
+    expr::Compiled value;
+  };
+
+  /// Everything the walker needs at one node, pre-resolved.
+  struct NodePrograms {
+    int uid = 0;
+    std::optional<expr::Compiled> cost;
+    std::optional<expr::Compiled> dest;
+    std::optional<expr::Compiled> source;
+    std::optional<expr::Compiled> size;
+    std::optional<expr::Compiled> root;
+    std::optional<expr::Compiled> iterations;
+    std::optional<expr::Compiled> itercost;
+    std::optional<expr::Compiled> num_threads;
+    std::vector<CompiledAssignment> fragment;
+    expr::Slot loop_var_slot = 0;  // Loop nodes only
+  };
+
+  /// Pre-parsed model variable (declaration order preserved).
+  struct CompiledVariable {
+    std::string name;
+    expr::Slot slot = 0;
+    uml::VariableScope scope = uml::VariableScope::Global;
+    uml::VariableType type = uml::VariableType::Real;
+    std::optional<expr::Compiled> initializer;  // absent: zero-init
+  };
+
+  expr::SymbolTable node_table;  // slots + pid/tid/uid ambients
+  std::size_t nslots = 0;
+  expr::Slot slot_np = 0, slot_nt = 0, slot_nn = 0, slot_ppn = 0;
+
+  std::vector<CompiledVariable> variables;
+  std::vector<expr::Compiled> functions;  // indexed by function id
+  std::map<const Node*, NodePrograms> nodes;
+  std::map<const uml::ControlFlow*, expr::Compiled> guards;
+
+  double expr_compile_seconds = 0;
+  std::size_t expr_programs = 0;
 
   /// Mutable state of one evaluate() call (evaluate is const + reentrant;
-  /// everything per-run lives here).
+  /// everything per-run lives here, including the run-level slot frame).
   struct EvalState {
     machine::SystemParameters params;
-    std::map<std::string, double> globals;  // shared by all process walks
-    std::uint64_t elements = 0;             // model elements walked
+    std::vector<double> global_values;  // slot-indexed, shared by walks
+    std::vector<double*> run_frame;     // globals + structural template
+    double np = 1, nt = 1, nn = 1, ppn = 1;
+    std::uint64_t elements = 0;  // model elements walked
     std::uint64_t fragments_executed = 0;
-    bool pid_queried = false;  // pid/tid resolved during the current walk
+    bool pid_queried = false;  // pid/tid reachable by an evaluated program
     int call_depth = 0;
   };
 
+  /// expr::UserFunctions adapter: cost-function bodies evaluate against
+  /// the run frame (globals + structural parameters) and the call's
+  /// argument span, with the tree walker's recursion guard.
+  struct FunctionCaller final : expr::UserFunctions {
+    const Impl* impl = nullptr;
+    EvalState* st = nullptr;
+    [[nodiscard]] double call(int id,
+                              std::span<const double> args) const override {
+      if (st->call_depth > 64) {
+        throw AnalyticError("cost-function call depth exceeded (cycle?)");
+      }
+      ++st->call_depth;
+      expr::EvalContext ctx;
+      ctx.frame = st->run_frame;
+      ctx.args = args;
+      ctx.functions = this;
+      const double result =
+          impl->functions[static_cast<std::size_t>(id)].eval(ctx);
+      --st->call_depth;
+      return result;
+    }
+  };
+
   explicit Impl(const Model& m) : model(&m) {
+    // ---- Phase 1: parse (error order matches the previous build).
+    struct ParsedVariable {
+      const uml::Variable* decl = nullptr;
+      expr::ExprPtr initializer;
+    };
+    std::vector<ParsedVariable> parsed_variables;
     for (const auto& variable : m.variables()) {
       ParsedVariable parsed;
-      parsed.name = variable.name;
-      parsed.scope = variable.scope;
-      parsed.type = variable.type;
+      parsed.decl = &variable;
       if (!variable.initializer.empty()) {
         parsed.initializer = parse_checked(
             variable.initializer, "initializer of variable " + variable.name);
       }
-      variables.push_back(std::move(parsed));
+      parsed_variables.push_back(std::move(parsed));
     }
+    std::vector<expr::ExprPtr> parsed_functions;
     for (const auto& fn : m.cost_functions()) {
-      functions.emplace(
-          fn.name,
-          ParsedFunction{fn.parameters,
-                         parse_checked(fn.body, "cost function " + fn.name)});
+      parsed_functions.push_back(
+          parse_checked(fn.body, "cost function " + fn.name));
     }
     // uid assignment matches the interpreter: explicit `id` tags win, the
     // rest get sequential numbers skipping claimed values.
+    std::map<std::string, int> uids;
     std::set<int> claimed;
     for (const auto& diagram : m.diagrams()) {
       for (const auto& node : diagram->nodes()) {
@@ -219,6 +288,7 @@ struct AnalyticEstimator::Impl {
       }
     }
     int next = 1;
+    std::map<const uml::ControlFlow*, expr::ExprPtr> parsed_guards;
     for (const auto& diagram : m.diagrams()) {
       for (const auto& node : diagram->nodes()) {
         if (uids.find(node->id()) == uids.end()) {
@@ -231,12 +301,19 @@ struct AnalyticEstimator::Impl {
       }
       for (const auto& edge : diagram->edges()) {
         if (edge->has_guard() && !edge->is_else()) {
-          guards.emplace(edge->id(), parse_checked(edge->guard(),
-                                                   "guard of edge " +
-                                                       edge->id()));
+          parsed_guards.emplace(edge.get(),
+                                parse_checked(edge->guard(),
+                                              "guard of edge " +
+                                                  edge->id()));
         }
       }
     }
+    struct ParsedTag {
+      std::string_view tag;
+      expr::ExprPtr value;
+    };
+    std::map<const Node*, std::vector<ParsedTag>> parsed_tags;
+    std::map<const Node*, std::vector<Assignment>> parsed_fragments;
     for (const auto& diagram : m.diagrams()) {
       for (const auto& node : diagram->nodes()) {
         for (const auto tag_name : uml::expression_tags(node->stereotype())) {
@@ -247,16 +324,17 @@ struct AnalyticEstimator::Impl {
           if (text.empty()) {
             continue;
           }
-          node_exprs[node->id()].emplace(
-              std::string(tag_name),
-              parse_checked(text, "tag '" + std::string(tag_name) +
-                                      "' of node " + node->id()));
+          parsed_tags[node.get()].push_back(
+              {tag_name,
+               parse_checked(text, "tag '" + std::string(tag_name) +
+                                       "' of node " + node->id())});
         }
         if (node->has_tag(uml::tag::kCode)) {
           const std::string code = node->tag_string(uml::tag::kCode);
           if (!code.empty()) {
-            fragments.emplace(node->id(),
-                              parse_code_fragment(code, "node " + node->id()));
+            parsed_fragments.emplace(node.get(),
+                                     parse_code_fragment(
+                                         code, "node " + node->id()));
           }
         }
         if ((node->kind() == NodeKind::Activity ||
@@ -271,6 +349,151 @@ struct AnalyticEstimator::Impl {
     if (m.main_diagram() == nullptr) {
       throw AnalyticError("model has no resolvable main diagram");
     }
+
+    // ---- Phase 2: build the slot space (one slot per bindable name).
+    expr::SymbolTable base;
+    slot_np = base.add_variable(std::string(uml::sysparam::kProcesses));
+    slot_nt = base.add_variable(std::string(uml::sysparam::kThreads));
+    slot_nn = base.add_variable(std::string(uml::sysparam::kNodes));
+    slot_ppn =
+        base.add_variable(std::string(uml::sysparam::kProcessorsPerNode));
+    for (const auto& variable : m.variables()) {
+      base.add_variable(variable.name);
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (node->kind() == NodeKind::Loop) {
+          base.add_variable(loop_var_name(*node));
+        }
+      }
+    }
+    for (const auto& fn : m.cost_functions()) {
+      base.add_function(fn.name);
+    }
+    nslots = base.slot_count();
+
+    node_table = base;
+    node_table.bind_ambient(std::string(uml::sysparam::kProcessId),
+                            expr::Ambient::Pid);
+    node_table.bind_ambient(std::string(uml::sysparam::kThreadId),
+                            expr::Ambient::Tid);
+    node_table.bind_ambient(std::string(uml::sysparam::kElementUid),
+                            expr::Ambient::Uid);
+
+    // ---- Phase 3: lower everything to bytecode.
+    for (auto& parsed : parsed_variables) {
+      CompiledVariable compiled;
+      compiled.name = parsed.decl->name;
+      compiled.slot = *base.slot_of(parsed.decl->name);
+      compiled.scope = parsed.decl->scope;
+      compiled.type = parsed.decl->type;
+      if (parsed.initializer != nullptr) {
+        compiled.initializer = compile_timed(*parsed.initializer, node_table);
+      }
+      variables.push_back(std::move(compiled));
+    }
+    functions.reserve(parsed_functions.size());
+    for (std::size_t i = 0; i < parsed_functions.size(); ++i) {
+      expr::SymbolTable fn_table = base;
+      for (const auto& parameter : m.cost_functions()[i].parameters) {
+        fn_table.add_parameter(parameter);
+      }
+      functions.push_back(compile_timed(*parsed_functions[i], fn_table));
+    }
+    for (auto& [edge, guard] : parsed_guards) {
+      guards.emplace(edge, compile_timed(*guard, node_table));
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        NodePrograms programs;
+        programs.uid = uids.at(node->id());
+        if (node->kind() == NodeKind::Loop) {
+          programs.loop_var_slot = *base.slot_of(loop_var_name(*node));
+        }
+        if (const auto tags = parsed_tags.find(node.get());
+            tags != parsed_tags.end()) {
+          for (auto& [tag, value] : tags->second) {
+            if (auto* member = tag_member(programs, tag)) {
+              *member = compile_timed(*value, node_table);
+            }
+          }
+        }
+        if (const auto fragment = parsed_fragments.find(node.get());
+            fragment != parsed_fragments.end()) {
+          for (auto& assignment : fragment->second) {
+            programs.fragment.push_back(
+                compile_assignment(assignment, base, m));
+          }
+        }
+        nodes.emplace(node.get(), std::move(programs));
+      }
+    }
+  }
+
+  static std::optional<expr::Compiled>* tag_member(NodePrograms& programs,
+                                                   std::string_view tag) {
+    if (tag == uml::tag::kCost) {
+      return &programs.cost;
+    }
+    if (tag == uml::tag::kIterations) {
+      return &programs.iterations;
+    }
+    if (tag == uml::tag::kDest) {
+      return &programs.dest;
+    }
+    if (tag == uml::tag::kSource) {
+      return &programs.source;
+    }
+    if (tag == uml::tag::kSize) {
+      return &programs.size;
+    }
+    if (tag == uml::tag::kRoot) {
+      return &programs.root;
+    }
+    if (tag == uml::tag::kNumThreads) {
+      return &programs.num_threads;
+    }
+    if (tag == uml::tag::kIterCost) {
+      return &programs.itercost;
+    }
+    return nullptr;  // no evaluation site reads other expression tags
+  }
+
+  [[nodiscard]] CompiledAssignment compile_assignment(
+      Assignment& assignment, const expr::SymbolTable& base, const Model& m) {
+    CompiledAssignment compiled;
+    compiled.name = assignment.target;
+    compiled.value = compile_timed(*assignment.value, node_table);
+    bool local = false;
+    bool global = false;
+    for (const auto& variable : m.variables()) {
+      if (variable.name != assignment.target) {
+        continue;
+      }
+      local = local || variable.scope == uml::VariableScope::Local;
+      global = global || variable.scope == uml::VariableScope::Global;
+    }
+    if (local || global) {
+      compiled.target = local ? CompiledAssignment::Target::Local
+                              : CompiledAssignment::Target::Global;
+      compiled.slot = *base.slot_of(assignment.target);
+    }
+    if (const uml::Variable* declared = m.variable(assignment.target)) {
+      compiled.coerce_int = declared->type == uml::VariableType::Integer;
+    }
+    return compiled;
+  }
+
+  [[nodiscard]] expr::Compiled compile_timed(const expr::Expr& ast,
+                                             const expr::SymbolTable& table) {
+    const auto start = std::chrono::steady_clock::now();
+    expr::Compiled program = expr::compile(ast, table);
+    expr_compile_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ++expr_programs;
+    return program;
   }
 
   static expr::ExprPtr parse_checked(const std::string& text,
@@ -281,27 +504,6 @@ struct AnalyticEstimator::Impl {
       throw AnalyticError(where + ": " + error.what());
     }
   }
-
-  [[nodiscard]] std::optional<double> structural_parameter(
-      const EvalState& st, std::string_view name) const {
-    if (name == uml::sysparam::kProcesses) {
-      return static_cast<double>(st.params.processes);
-    }
-    if (name == uml::sysparam::kThreads) {
-      return static_cast<double>(st.params.threads_per_process);
-    }
-    if (name == uml::sysparam::kNodes) {
-      return static_cast<double>(st.params.nodes);
-    }
-    if (name == uml::sysparam::kProcessorsPerNode) {
-      return static_cast<double>(st.params.processors_per_node);
-    }
-    return std::nullopt;
-  }
-
-  [[nodiscard]] std::optional<double> call_function(
-      EvalState& st, std::string_view name,
-      std::span<const double> args) const;
 
   AnalyticReport evaluate(const machine::SystemParameters& params) const;
 };
@@ -314,11 +516,15 @@ namespace {
 
 /// Walks one process's control flow, emitting Events.  Sub-walkers (fork
 /// branches, parallel-region threads, critical bodies, expectation
-/// branches) share the lexical state but write to their own WalkResult so
-/// the parent can aggregate elapsed/demand.
+/// branches) share the lexical state — slot frame, locals storage, loop
+/// bindings — but write to their own WalkResult so the parent can
+/// aggregate elapsed/demand.  The walk is strictly sequential, so the
+/// shared frame needs no snapshotting (unlike the coroutine
+/// interpreter's per-scope copies).
 struct Walker {
   using Impl = AnalyticEstimator::Impl;
   using EvalState = Impl::EvalState;
+  using NodePrograms = Impl::NodePrograms;
 
   Walker(const Impl& impl_in, EvalState& st_in, WalkResult& out_in)
       : impl(impl_in), st(st_in), out(out_in) {}
@@ -328,8 +534,10 @@ struct Walker {
   WalkResult& out;
   int pid = 0;
   int tid = 0;
-  std::map<std::string, double>* locals = nullptr;
+  std::vector<double*>* frame = nullptr;   // shared per-process slot frame
+  double* locals = nullptr;                // slot-indexed local storage
   std::vector<LoopBinding>* bindings = nullptr;
+  const Impl::FunctionCaller* functions = nullptr;
   int region_threads = 0;  // > 0 inside an <<ompparallel>> region
   bool allow_comm = true;
   bool allow_fragments = true;
@@ -342,8 +550,10 @@ struct Walker {
     Walker walker(impl, st, sub_out);
     walker.pid = pid;
     walker.tid = tid;
+    walker.frame = frame;
     walker.locals = locals;
     walker.bindings = bindings;
+    walker.functions = functions;
     walker.region_threads = region_threads;
     walker.allow_comm = false;
     walker.allow_fragments = allow_fragments;
@@ -354,94 +564,61 @@ struct Walker {
 
   // --- Expression evaluation ---------------------------------------------
 
-  class NodeEnv final : public expr::Environment {
-   public:
-    NodeEnv(const Walker& walker, int uid) : w_(&walker), uid_(uid) {}
-
-    [[nodiscard]] std::optional<double> variable(
-        std::string_view name) const override {
-      // Innermost loop binding wins.
-      for (auto it = w_->bindings->rbegin(); it != w_->bindings->rend();
-           ++it) {
-        if (it->name == name) {
-          it->read = true;
-          return it->value;
+  /// Marks the innermost active loop binding of every slot the program
+  /// references — the static analogue of the tree walker's
+  /// mark-on-resolution (shadowed outer bindings stay unmarked).
+  void mark_loop_reads(const expr::Compiled& program) const {
+    for (auto it = bindings->rbegin(); it != bindings->rend(); ++it) {
+      bool shadowed = false;
+      for (auto inner = bindings->rbegin(); inner != it; ++inner) {
+        if (inner->slot == it->slot) {
+          shadowed = true;
+          break;
         }
       }
-      if (w_->locals != nullptr) {
-        if (const auto it = w_->locals->find(std::string(name));
-            it != w_->locals->end()) {
-          return it->second;
-        }
+      if (!shadowed && program.references_slot(it->slot)) {
+        it->read = true;
       }
-      if (const auto it = w_->st.globals.find(std::string(name));
-          it != w_->st.globals.end()) {
-        return it->second;
-      }
-      if (name == uml::sysparam::kProcessId) {
-        w_->st.pid_queried = true;
-        return static_cast<double>(w_->pid);
-      }
-      if (name == uml::sysparam::kThreadId) {
-        w_->st.pid_queried = true;
-        return static_cast<double>(w_->tid);
-      }
-      if (name == uml::sysparam::kElementUid) {
-        return static_cast<double>(uid_);
-      }
-      return w_->impl.structural_parameter(w_->st, name);
     }
-
-    [[nodiscard]] std::optional<double> call(
-        std::string_view name, std::span<const double> args) const override {
-      return w_->impl.call_function(w_->st, name, args);
-    }
-
-   private:
-    const Walker* w_;
-    int uid_;
-  };
-
-  [[nodiscard]] int uid_of(const Node& node) const {
-    return impl.uids.at(node.id());
   }
 
-  [[nodiscard]] double eval_expr(const expr::Expr& parsed, const Node& node,
-                                 std::string_view what) const {
-    const NodeEnv env(*this, uid_of(node));
+  [[nodiscard]] double eval_program(const expr::Compiled& program,
+                                    int uid) const {
+    if (program.may_read_pid_tid()) {
+      st.pid_queried = true;
+    }
+    mark_loop_reads(program);
+    expr::EvalContext ctx;
+    ctx.frame = *frame;
+    ctx.functions = functions;
+    ctx.pid = static_cast<double>(pid);
+    ctx.tid = static_cast<double>(tid);
+    ctx.uid = static_cast<double>(uid);
+    return program.eval(ctx);
+  }
+
+  [[nodiscard]] const NodePrograms& programs_of(const Node& node) const {
+    return impl.nodes.at(&node);
+  }
+
+  /// Evaluates an optional tag program; absent tags are 0.0, evaluation
+  /// errors carry the node/tag context (tree-walker message format).
+  [[nodiscard]] double eval_tag(const std::optional<expr::Compiled>& tag,
+                                std::string_view tag_name, const Node& node,
+                                int uid) const {
+    if (!tag.has_value()) {
+      return 0.0;
+    }
     try {
-      return expr::evaluate(parsed, env);
+      return eval_program(*tag, uid);
     } catch (const expr::EvalError& error) {
-      throw AnalyticError("node " + node.id() + ", " + std::string(what) +
-                          ": " + error.what());
+      throw AnalyticError("node " + node.id() + ", tag '" +
+                          std::string(tag_name) + "': " + error.what());
     }
   }
 
-  [[nodiscard]] double eval_node_expr(const Node& node,
-                                      std::string_view tag_name) const {
-    const auto node_it = impl.node_exprs.find(node.id());
-    if (node_it == impl.node_exprs.end()) {
-      return 0.0;
-    }
-    const auto tag_it = node_it->second.find(std::string(tag_name));
-    if (tag_it == node_it->second.end()) {
-      return 0.0;
-    }
-    return eval_expr(*tag_it->second, node,
-                     "tag '" + std::string(tag_name) + "'");
-  }
-
-  [[nodiscard]] bool has_node_expr(const Node& node,
-                                   std::string_view tag_name) const {
-    const auto node_it = impl.node_exprs.find(node.id());
-    return node_it != impl.node_exprs.end() &&
-           node_it->second.find(std::string(tag_name)) !=
-               node_it->second.end();
-  }
-
-  void run_fragment(const Node& node) {
-    const auto it = impl.fragments.find(node.id());
-    if (it == impl.fragments.end()) {
+  void run_fragment(const NodePrograms& programs, const Node& node) {
+    if (programs.fragment.empty()) {
       return;
     }
     if (!allow_fragments) {
@@ -450,34 +627,34 @@ struct Walker {
                           "probability-weighted branches");
     }
     ++st.fragments_executed;
-    const NodeEnv env(*this, uid_of(node));
-    for (const auto& assignment : it->second) {
+    for (const auto& assignment : programs.fragment) {
       double value = 0;
       try {
-        value = expr::evaluate(*assignment.value, env);
+        value = eval_program(assignment.value, programs.uid);
       } catch (const expr::EvalError& error) {
         throw AnalyticError("code fragment at node " + node.id() + ": " +
                             error.what());
       }
-      const uml::Variable* declared = impl.model->variable(assignment.target);
-      if (declared != nullptr) {
-        value = coerce(declared->type, value);
+      if (assignment.coerce_int) {
+        value = std::trunc(value);
       }
-      if (locals != nullptr) {
-        if (const auto local = locals->find(assignment.target);
-            local != locals->end()) {
-          local->second = value;
+      using Target = Impl::CompiledAssignment::Target;
+      switch (assignment.target) {
+        case Target::Local:
+          if (locals != nullptr) {
+            locals[assignment.slot] = value;
+            continue;
+          }
+          break;
+        case Target::Global:
+          st.global_values[assignment.slot] = value;
           continue;
-        }
-      }
-      if (const auto global = st.globals.find(assignment.target);
-          global != st.globals.end()) {
-        global->second = value;
-        continue;
+        case Target::Undeclared:
+          break;
       }
       throw AnalyticError("code fragment at node " + node.id() +
                           " assigns undeclared variable '" +
-                          assignment.target + "'");
+                          assignment.name + "'");
     }
   }
 
@@ -587,6 +764,7 @@ struct Walker {
     if (node.kind() == NodeKind::Decision) {
       const uml::ControlFlow* chosen = nullptr;
       const uml::ControlFlow* fallback = nullptr;
+      const int uid = programs_of(node).uid;
       for (const auto* edge : outgoing) {
         if (edge->is_else()) {
           if (fallback == nullptr) {
@@ -594,14 +772,13 @@ struct Walker {
           }
           continue;
         }
-        const auto guard_it = impl.guards.find(edge->id());
+        const auto guard_it = impl.guards.find(edge);
         if (guard_it == impl.guards.end()) {
           continue;  // unguarded edge out of a decision: never taken
         }
-        const NodeEnv env(*this, uid_of(node));
         double value = 0;
         try {
-          value = expr::evaluate(*guard_it->second, env);
+          value = eval_program(guard_it->second, uid);
         } catch (const expr::EvalError& error) {
           throw AnalyticError("guard of edge " + edge->id() + ": " +
                               error.what());
@@ -780,13 +957,15 @@ struct Walker {
   }
 
   void execute_action(const Node& node) {
-    run_fragment(node);
+    const NodePrograms& programs = programs_of(node);
+    run_fragment(programs, node);
+    const int uid = programs.uid;
     const std::string& stereotype = node.stereotype();
     const auto& params = st.params;
     if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
       double cost = 0;
-      if (has_node_expr(node, uml::tag::kCost)) {
-        cost = eval_node_expr(node, uml::tag::kCost);
+      if (programs.cost.has_value()) {
+        cost = eval_tag(programs.cost, uml::tag::kCost, node, uid);
       } else if (auto time = node.tag_number(uml::tag::kTime)) {
         cost = *time;
       }
@@ -794,17 +973,18 @@ struct Walker {
       emit_compute(seconds, seconds);
     } else if (stereotype == uml::stereo::kSend) {
       require_comm(node);
-      const int dest =
-          static_cast<int>(eval_node_expr(node, uml::tag::kDest));
-      const double bytes = eval_node_expr(node, uml::tag::kSize);
+      const int dest = static_cast<int>(
+          eval_tag(programs.dest, uml::tag::kDest, node, uid));
+      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+                                    uid);
       const int tag =
           static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
       emit_busy(params.network_overhead);
       out.events.push_back({EvKind::Send, 0, 0, bytes, dest, tag});
     } else if (stereotype == uml::stereo::kRecv) {
       require_comm(node);
-      const int source =
-          static_cast<int>(eval_node_expr(node, uml::tag::kSource));
+      const int source = static_cast<int>(
+          eval_tag(programs.source, uml::tag::kSource, node, uid));
       const int tag =
           static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
       out.events.push_back({EvKind::Recv, 0, 0, 0, source, tag});
@@ -818,13 +998,16 @@ struct Walker {
                stereotype == uml::stereo::kScatter ||
                stereotype == uml::stereo::kGather) {
       require_comm(node);
-      const double bytes = eval_node_expr(node, uml::tag::kSize);
+      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+                                    uid);
       const double hold = workload::CollectiveElement::model_time(
           params, collective_kind(stereotype), params.processes, bytes);
       out.events.push_back({EvKind::Barrier, hold, 0, 0, 0, 0});
     } else if (stereotype == uml::stereo::kOmpFor) {
-      const double iterations = eval_node_expr(node, uml::tag::kIterations);
-      const double itercost = eval_node_expr(node, uml::tag::kIterCost);
+      const double iterations =
+          eval_tag(programs.iterations, uml::tag::kIterations, node, uid);
+      const double itercost =
+          eval_tag(programs.itercost, uml::tag::kIterCost, node, uid);
       std::string schedule = node.tag_string(uml::tag::kSchedule);
       if (schedule.empty()) {
         schedule = "static";
@@ -848,16 +1031,16 @@ struct Walker {
   }
 
   void execute_activity(const Node& node) {
-    run_fragment(node);
+    const NodePrograms& programs = programs_of(node);
+    run_fragment(programs, node);
     const ActivityDiagram* sub_diagram =
         impl.model->diagram(node.subdiagram_id());
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kOmpParallel) {
       int threads = st.params.threads_per_process;
-      if (node.has_tag(uml::tag::kNumThreads) &&
-          !node.tag_string(uml::tag::kNumThreads).empty()) {
-        threads =
-            static_cast<int>(eval_node_expr(node, uml::tag::kNumThreads));
+      if (programs.num_threads.has_value()) {
+        threads = static_cast<int>(eval_tag(
+            programs.num_threads, uml::tag::kNumThreads, node, programs.uid));
       }
       if (threads < 1) {
         throw AnalyticError("parallel region at node " + node.id() +
@@ -898,9 +1081,12 @@ struct Walker {
   }
 
   void execute_loop(const Node& node) {
-    run_fragment(node);
+    const NodePrograms& programs = programs_of(node);
+    run_fragment(programs, node);
     const ActivityDiagram* body = impl.model->diagram(node.subdiagram_id());
-    const double raw = eval_node_expr(node, uml::tag::kIterations);
+    const double raw =
+        eval_tag(programs.iterations, uml::tag::kIterations, node,
+                 programs.uid);
     if (std::isnan(raw) || raw < 0) {
       throw AnalyticError("loop " + node.id() +
                           ": iteration count is negative or NaN");
@@ -909,11 +1095,10 @@ struct Walker {
     if (iterations == 0) {
       return;
     }
-    std::string var = node.tag_string(uml::tag::kLoopVar);
-    if (var.empty()) {
-      var = "i";
-    }
-    bindings->push_back({var, 0.0, false});
+    bindings->push_back({programs.loop_var_slot, false});
+    double loop_value = 0;
+    double* const saved = (*frame)[programs.loop_var_slot];
+    (*frame)[programs.loop_var_slot] = &loop_value;
 
     // First iteration into a capture buffer: when the body provably does
     // not depend on the trip variable and has no side effects, the
@@ -941,10 +1126,11 @@ struct Walker {
       merge_criticals(first, rest);
     } else {
       for (std::int64_t k = 1; k < iterations; ++k) {
-        bindings->back().value = static_cast<double>(k);
+        loop_value = static_cast<double>(k);
         run_diagram(*body);
       }
     }
+    (*frame)[programs.loop_var_slot] = saved;
     bindings->pop_back();
   }
 
@@ -966,62 +1152,27 @@ struct Walker {
   }
 
   void walk_process() {
-    // Per-process locals, initialized in declaration order.
+    // Per-process locals, initialized in declaration order and bound
+    // into the frame one by one (a forward reference falls through to
+    // globals/system parameters, like the tree walker's growing map).
     for (const auto& variable : impl.variables) {
       if (variable.scope != uml::VariableScope::Local) {
         continue;
       }
       double value = 0;
-      if (variable.initializer != nullptr) {
-        const NodeEnv env(*this, 0);
+      if (variable.initializer.has_value()) {
         try {
-          value = expr::evaluate(*variable.initializer, env);
+          value = eval_program(*variable.initializer, 0);
         } catch (const expr::EvalError& error) {
           throw AnalyticError("initializer of variable " + variable.name +
                               ": " + error.what());
         }
       }
-      (*locals)[variable.name] = coerce(variable.type, value);
+      locals[variable.slot] = coerce(variable.type, value);
+      (*frame)[variable.slot] = &locals[variable.slot];
     }
     run_diagram(*impl.model->main_diagram());
   }
-};
-
-/// Function-body environment: parameters, globals and the structural
-/// system parameters only (mirrors the interpreter and Fig. 8a's
-/// file-scope C++ functions).
-class FunctionEnv final : public expr::Environment {
- public:
-  using Impl = AnalyticEstimator::Impl;
-
-  FunctionEnv(const Impl& impl, Impl::EvalState& st, const ParsedFunction& fn,
-              std::span<const double> args)
-      : impl_(&impl), st_(&st), fn_(&fn), args_(args) {}
-
-  [[nodiscard]] std::optional<double> variable(
-      std::string_view name) const override {
-    for (std::size_t i = 0; i < fn_->parameters.size(); ++i) {
-      if (fn_->parameters[i] == name) {
-        return i < args_.size() ? args_[i] : 0.0;
-      }
-    }
-    if (const auto it = st_->globals.find(std::string(name));
-        it != st_->globals.end()) {
-      return it->second;
-    }
-    return impl_->structural_parameter(*st_, name);
-  }
-
-  [[nodiscard]] std::optional<double> call(
-      std::string_view name, std::span<const double> args) const override {
-    return impl_->call_function(*st_, name, args);
-  }
-
- private:
-  const Impl* impl_;
-  Impl::EvalState* st_;
-  const ParsedFunction* fn_;
-  std::span<const double> args_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1157,60 +1308,49 @@ ReplayOutcome replay(const machine::SystemParameters& params,
 // Impl::evaluate — walk, replay, bound
 // ---------------------------------------------------------------------------
 
-std::optional<double> AnalyticEstimator::Impl::call_function(
-    EvalState& st, std::string_view name, std::span<const double> args) const {
-  const auto it = functions.find(std::string(name));
-  if (it == functions.end()) {
-    return std::nullopt;  // fall back to expr built-ins
-  }
-  if (st.call_depth > 64) {
-    throw AnalyticError("cost-function call depth exceeded (cycle?)");
-  }
-  ++st.call_depth;
-  const FunctionEnv env(*this, st, it->second, args);
-  const double result = expr::evaluate(*it->second.body, env);
-  --st.call_depth;
-  return result;
-}
-
 AnalyticReport AnalyticEstimator::Impl::evaluate(
     const machine::SystemParameters& params) const {
   params.validate();
   EvalState st;
   st.params = params;
+  st.np = static_cast<double>(params.processes);
+  st.nt = static_cast<double>(params.threads_per_process);
+  st.nn = static_cast<double>(params.nodes);
+  st.ppn = static_cast<double>(params.processors_per_node);
+  st.global_values.assign(nslots, 0.0);
+  st.run_frame.assign(nslots, nullptr);
+  st.run_frame[slot_np] = &st.np;
+  st.run_frame[slot_nt] = &st.nt;
+  st.run_frame[slot_nn] = &st.nn;
+  st.run_frame[slot_ppn] = &st.ppn;
+  FunctionCaller functions;
+  functions.impl = this;
+  functions.st = &st;
 
-  // Global variables, initialized in declaration order (interpreter
-  // start_run semantics).
+  // Global variables, initialized in declaration order and bound into
+  // the run frame one by one (interpreter start_run semantics).
   std::size_t total_nodes = 0;
   for (const auto& diagram : model->diagrams()) {
     total_nodes += diagram->node_count();
   }
-  {
-    std::map<std::string, double> no_locals;
-    std::vector<LoopBinding> no_bindings;
-    WalkResult unused;
-    std::uint64_t steps = 0;
-    Walker init(*this, st, unused);
-    init.locals = &no_locals;
-    init.bindings = &no_bindings;
-    init.steps = &steps;
-    init.step_limit = 1;
-    for (const auto& variable : variables) {
-      if (variable.scope != uml::VariableScope::Global) {
-        continue;
-      }
-      double value = 0;
-      if (variable.initializer != nullptr) {
-        const Walker::NodeEnv env(init, 0);
-        try {
-          value = expr::evaluate(*variable.initializer, env);
-        } catch (const expr::EvalError& error) {
-          throw AnalyticError("initializer of variable " + variable.name +
-                              ": " + error.what());
-        }
-      }
-      st.globals[variable.name] = coerce(variable.type, value);
+  for (const auto& variable : variables) {
+    if (variable.scope != uml::VariableScope::Global) {
+      continue;
     }
+    double value = 0;
+    if (variable.initializer.has_value()) {
+      expr::EvalContext ctx;
+      ctx.frame = st.run_frame;
+      ctx.functions = &functions;
+      try {
+        value = variable.initializer->eval(ctx);
+      } catch (const expr::EvalError& error) {
+        throw AnalyticError("initializer of variable " + variable.name +
+                            ": " + error.what());
+      }
+    }
+    st.global_values[variable.slot] = coerce(variable.type, value);
+    st.run_frame[variable.slot] = &st.global_values[variable.slot];
   }
 
   const int np = params.processes;
@@ -1220,13 +1360,16 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
 
   const auto walk_one = [&](int pid) -> WalkResult {
     WalkResult result;
-    std::map<std::string, double> locals;
+    std::vector<double> locals(nslots, 0.0);
+    std::vector<double*> frame = st.run_frame;  // per-process frame
     std::vector<LoopBinding> bindings;
     std::uint64_t steps = 0;
     Walker walker(*this, st, result);
     walker.pid = pid;
-    walker.locals = &locals;
+    walker.frame = &frame;
+    walker.locals = locals.data();
     walker.bindings = &bindings;
+    walker.functions = &functions;
     walker.steps = &steps;
     walker.step_limit = 1000000ULL + 1000ULL * total_nodes;
     walker.walk_process();
@@ -1351,6 +1494,14 @@ AnalyticEstimator::~AnalyticEstimator() = default;
 AnalyticReport AnalyticEstimator::evaluate(
     const machine::SystemParameters& params) const {
   return impl_->evaluate(params);
+}
+
+double AnalyticEstimator::expr_compile_seconds() const {
+  return impl_->expr_compile_seconds;
+}
+
+std::size_t AnalyticEstimator::expr_program_count() const {
+  return impl_->expr_programs;
 }
 
 }  // namespace prophet::analytic

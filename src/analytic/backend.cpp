@@ -32,6 +32,11 @@ class SimulationPrepared final : public estimator::PreparedModel {
     return manager.run(interpreter);
   }
 
+  [[nodiscard]] estimator::PrepareStats prepare_stats() const override {
+    const auto stats = interp::Interpreter::stats(*program_);
+    return {stats.expr_compile_seconds, stats.expr_programs};
+  }
+
  private:
   std::shared_ptr<const interp::Interpreter::Program> program_;
 };
@@ -61,6 +66,11 @@ class AnalyticPrepared final : public estimator::PreparedModel {
       report.machine_report = analytic.machine_report();
     }
     return report;
+  }
+
+  [[nodiscard]] estimator::PrepareStats prepare_stats() const override {
+    return {estimator_.expr_compile_seconds(),
+            estimator_.expr_program_count()};
   }
 
  private:

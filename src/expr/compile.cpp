@@ -1,0 +1,973 @@
+#include "prophet/expr/compile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "builtins.hpp"
+
+namespace prophet::expr {
+
+// ---------------------------------------------------------------------------
+// SymbolTable
+// ---------------------------------------------------------------------------
+
+Slot SymbolTable::add_variable(std::string name) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == name) {
+      return static_cast<Slot>(i);
+    }
+  }
+  slots_.push_back(std::move(name));
+  return static_cast<Slot>(slots_.size() - 1);
+}
+
+void SymbolTable::bind_ambient(std::string name, Ambient kind) {
+  for (auto& [existing, existing_kind] : ambients_) {
+    if (existing == name) {
+      existing_kind = kind;
+      return;
+    }
+  }
+  ambients_.emplace_back(std::move(name), kind);
+}
+
+void SymbolTable::bind_constant(std::string name, double value) {
+  for (auto& [existing, existing_value] : constants_) {
+    if (existing == name) {
+      existing_value = value;
+      return;
+    }
+  }
+  constants_.emplace_back(std::move(name), value);
+}
+
+int SymbolTable::add_function(std::string name) {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  functions_.push_back(std::move(name));
+  return static_cast<int>(functions_.size() - 1);
+}
+
+void SymbolTable::add_parameter(std::string name) {
+  parameters_.push_back(std::move(name));
+}
+
+std::optional<Slot> SymbolTable::slot_of(std::string_view name) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == name) {
+      return static_cast<Slot>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& SymbolTable::name_of(Slot slot) const {
+  return slots_.at(slot);
+}
+
+std::optional<int> SymbolTable::function_id(std::string_view name) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Ambient> SymbolTable::ambient_of(std::string_view name) const {
+  for (const auto& [existing, kind] : ambients_) {
+    if (existing == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/// Lowers one Expr tree: recursive emission with constant folding, exact
+/// algebraic identities and short-circuit elimination, plus stack-depth
+/// bookkeeping across the branchy encodings of && / || / ?:.
+class Compiler {
+ public:
+  explicit Compiler(const SymbolTable& table) : table_(table) {}
+
+  [[nodiscard]] Compiled run(const Expr& expr) {
+    emit(expr);
+    assert(depth_ == 1);
+    std::sort(out_.slots_.begin(), out_.slots_.end());
+    out_.slots_.erase(std::unique(out_.slots_.begin(), out_.slots_.end()),
+                      out_.slots_.end());
+    out_.max_stack_ = max_depth_;
+    return std::move(out_);
+  }
+
+ private:
+  /// Positional-parameter index of `name`, if declared (first wins, like
+  /// the tree walker's FunctionEnv scan).
+  [[nodiscard]] std::optional<int> parameter_index(
+      const std::string& name) const {
+    for (std::size_t i = 0; i < table_.parameters_.size(); ++i) {
+      if (table_.parameters_[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Compile-time constant binding of `name` — only when no
+  /// higher-precedence resolution (parameter, slot) exists.
+  [[nodiscard]] std::optional<double> constant_binding(
+      const std::string& name) const {
+    if (parameter_index(name) || table_.slot_of(name)) {
+      return std::nullopt;
+    }
+    for (const auto& [existing, value] : table_.constants_) {
+      if (existing == name) {
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] static bool truthy_const(double value) {
+    return value != 0.0;
+  }
+
+  /// Evaluates `e` to a constant when every reachable leaf folds,
+  /// honoring short-circuit semantics (a constant falsy `&&` left side
+  /// makes the whole expression constant regardless of the right side,
+  /// exactly as the tree walker never evaluates it).  Memoized by node:
+  /// emit() and emit_binary() both consult fold results for the same
+  /// subtrees, which would otherwise make compilation quadratic in
+  /// expression size.
+  [[nodiscard]] std::optional<double> fold(const Expr& e) const {
+    if (const auto cached = fold_cache_.find(&e);
+        cached != fold_cache_.end()) {
+      return cached->second;
+    }
+    const auto result = fold_uncached(e);
+    fold_cache_.emplace(&e, result);
+    return result;
+  }
+
+  [[nodiscard]] std::optional<double> fold_uncached(const Expr& e) const {
+    switch (e.kind()) {
+      case ExprKind::Number:
+        return static_cast<const NumberExpr&>(e).value();
+      case ExprKind::Variable:
+        return constant_binding(static_cast<const VariableExpr&>(e).name());
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const UnaryExpr&>(e);
+        const auto value = fold(unary.operand());
+        if (!value) {
+          return std::nullopt;
+        }
+        return unary.op() == UnaryOp::Negate
+                   ? -*value
+                   : (truthy_const(*value) ? 0.0 : 1.0);
+      }
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const BinaryExpr&>(e);
+        const auto lhs = fold(binary.lhs());
+        if (binary.op() == BinaryOp::And) {
+          if (!lhs) {
+            return std::nullopt;
+          }
+          if (!truthy_const(*lhs)) {
+            return 0.0;  // right side never evaluated
+          }
+          const auto rhs = fold(binary.rhs());
+          if (!rhs) {
+            return std::nullopt;
+          }
+          return truthy_const(*rhs) ? 1.0 : 0.0;
+        }
+        if (binary.op() == BinaryOp::Or) {
+          if (!lhs) {
+            return std::nullopt;
+          }
+          if (truthy_const(*lhs)) {
+            return 1.0;
+          }
+          const auto rhs = fold(binary.rhs());
+          if (!rhs) {
+            return std::nullopt;
+          }
+          return truthy_const(*rhs) ? 1.0 : 0.0;
+        }
+        const auto rhs = fold(binary.rhs());
+        if (!lhs || !rhs) {
+          return std::nullopt;
+        }
+        switch (binary.op()) {
+          case BinaryOp::Add:
+            return *lhs + *rhs;
+          case BinaryOp::Sub:
+            return *lhs - *rhs;
+          case BinaryOp::Mul:
+            return *lhs * *rhs;
+          case BinaryOp::Div:
+            return *lhs / *rhs;  // IEEE inf/nan, same as at run time
+          case BinaryOp::Mod:
+            return std::fmod(*lhs, *rhs);
+          case BinaryOp::Lt:
+            return *lhs < *rhs ? 1.0 : 0.0;
+          case BinaryOp::Le:
+            return *lhs <= *rhs ? 1.0 : 0.0;
+          case BinaryOp::Gt:
+            return *lhs > *rhs ? 1.0 : 0.0;
+          case BinaryOp::Ge:
+            return *lhs >= *rhs ? 1.0 : 0.0;
+          case BinaryOp::Eq:
+            return *lhs == *rhs ? 1.0 : 0.0;
+          case BinaryOp::Ne:
+            return *lhs != *rhs ? 1.0 : 0.0;
+          case BinaryOp::And:
+          case BinaryOp::Or:
+            break;  // handled above
+        }
+        return std::nullopt;
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const CallExpr&>(e);
+        // User functions can read globals: never folded.
+        if (table_.function_id(call.callee())) {
+          return std::nullopt;
+        }
+        const detail::Builtin* builtin =
+            detail::find_builtin(call.callee());
+        if (builtin == nullptr ||
+            static_cast<int>(call.args().size()) != builtin->arity) {
+          return std::nullopt;  // lazily-thrown error path
+        }
+        std::vector<double> args;
+        args.reserve(call.args().size());
+        for (const auto& arg : call.args()) {
+          const auto value = fold(*arg);
+          if (!value) {
+            return std::nullopt;
+          }
+          args.push_back(*value);
+        }
+        // Same libm call the VM would make — bit-identical by
+        // construction on the machine that compiles and evaluates.
+        return builtin->arity == 1 ? builtin->fn1(args[0])
+                                   : builtin->fn2(args[0], args[1]);
+      }
+      case ExprKind::Conditional: {
+        const auto& cond = static_cast<const ConditionalExpr&>(e);
+        const auto chosen = fold(cond.cond());
+        if (!chosen) {
+          return std::nullopt;
+        }
+        return fold(truthy_const(*chosen) ? cond.then_branch()
+                                          : cond.else_branch());
+      }
+    }
+    return std::nullopt;
+  }
+
+  // --- emission helpers ----------------------------------------------------
+
+  void note_push() {
+    ++depth_;
+    max_depth_ = std::max(max_depth_, depth_);
+  }
+
+  void push_const(double value) {
+    out_.code_.push_back({Op::PushConst, 0, 0, value});
+    note_push();
+  }
+
+  std::uint32_t intern_string(std::string text) {
+    for (std::size_t i = 0; i < out_.strings_.size(); ++i) {
+      if (out_.strings_[i] == text) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    out_.strings_.push_back(std::move(text));
+    return static_cast<std::uint32_t>(out_.strings_.size() - 1);
+  }
+
+  /// Emits a forward jump with an unpatched target; returns its index.
+  std::size_t emit_jump(Op op) {
+    out_.code_.push_back({op, 0, 0, 0});
+    if (op != Op::Jump) {
+      --depth_;  // conditional jumps pop their operand
+    }
+    return out_.code_.size() - 1;
+  }
+
+  void patch_jump(std::size_t at) {
+    out_.code_[at].a = static_cast<std::int32_t>(out_.code_.size());
+  }
+
+  void emit_load(const std::string& name) {
+    if (const auto param = parameter_index(name)) {
+      out_.code_.push_back({Op::LoadArg, 0, *param, 0});
+      note_push();
+      return;
+    }
+    if (const auto slot = table_.slot_of(name)) {
+      out_.slots_.push_back(*slot);
+      const auto ambient = table_.ambient_of(name);
+      Op op = Op::LoadSlot;
+      std::uint16_t b = 0;
+      if (ambient == Ambient::Pid) {
+        op = Op::LoadSlotOrPid;
+        out_.uses_pid_tid_ = true;
+      } else if (ambient == Ambient::Tid) {
+        op = Op::LoadSlotOrTid;
+        out_.uses_pid_tid_ = true;
+      } else if (ambient == Ambient::Uid) {
+        op = Op::LoadSlotOrUid;
+      } else {
+        b = static_cast<std::uint16_t>(
+            intern_string("unknown variable '" + name + "'"));
+      }
+      out_.code_.push_back({op, b, static_cast<std::int32_t>(*slot), 0});
+      note_push();
+      return;
+    }
+    if (const auto constant = constant_binding(name)) {
+      push_const(*constant);
+      return;
+    }
+    if (const auto ambient = table_.ambient_of(name)) {
+      Op op = Op::LoadUid;
+      if (*ambient == Ambient::Pid) {
+        op = Op::LoadPid;
+        out_.uses_pid_tid_ = true;
+      } else if (*ambient == Ambient::Tid) {
+        op = Op::LoadTid;
+        out_.uses_pid_tid_ = true;
+      }
+      out_.code_.push_back({op, 0, 0, 0});
+      note_push();
+      return;
+    }
+    emit_throw("unknown variable '" + name + "'");
+  }
+
+  /// Lazily-raised error: evaluating this instruction throws the exact
+  /// message the tree walker produces for the same defect.  Counts as a
+  /// push so surrounding stack accounting stays balanced (it never
+  /// actually pushes — the throw unwinds the evaluation).
+  void emit_throw(std::string message) {
+    out_.code_.push_back(
+        {Op::Throw, 0,
+         static_cast<std::int32_t>(intern_string(std::move(message))), 0});
+    note_push();
+  }
+
+  void emit_binary_op(BinaryOp op) {
+    Op lowered = Op::Add;
+    switch (op) {
+      case BinaryOp::Add:
+        lowered = Op::Add;
+        break;
+      case BinaryOp::Sub:
+        lowered = Op::Sub;
+        break;
+      case BinaryOp::Mul:
+        lowered = Op::Mul;
+        break;
+      case BinaryOp::Div:
+        lowered = Op::Div;
+        break;
+      case BinaryOp::Mod:
+        lowered = Op::Mod;
+        break;
+      case BinaryOp::Lt:
+        lowered = Op::Lt;
+        break;
+      case BinaryOp::Le:
+        lowered = Op::Le;
+        break;
+      case BinaryOp::Gt:
+        lowered = Op::Gt;
+        break;
+      case BinaryOp::Ge:
+        lowered = Op::Ge;
+        break;
+      case BinaryOp::Eq:
+        lowered = Op::Eq;
+        break;
+      case BinaryOp::Ne:
+        lowered = Op::Ne;
+        break;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        assert(false && "short-circuit ops lowered to jumps");
+        break;
+    }
+    out_.code_.push_back({lowered, 0, 0, 0});
+    --depth_;
+  }
+
+  void emit(const Expr& e) {
+    if (const auto constant = fold(e)) {
+      push_const(*constant);
+      return;
+    }
+    switch (e.kind()) {
+      case ExprKind::Number:
+        push_const(static_cast<const NumberExpr&>(e).value());
+        return;
+      case ExprKind::Variable:
+        emit_load(static_cast<const VariableExpr&>(e).name());
+        return;
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const UnaryExpr&>(e);
+        emit(unary.operand());
+        out_.code_.push_back(
+            {unary.op() == UnaryOp::Negate ? Op::Neg : Op::Not, 0, 0, 0});
+        return;
+      }
+      case ExprKind::Binary:
+        emit_binary(static_cast<const BinaryExpr&>(e));
+        return;
+      case ExprKind::Call:
+        emit_call(static_cast<const CallExpr&>(e));
+        return;
+      case ExprKind::Conditional: {
+        const auto& cond = static_cast<const ConditionalExpr&>(e);
+        if (const auto chosen = fold(cond.cond())) {
+          // Constant guard: only the taken branch is compiled; the dead
+          // branch's potential errors vanish with it, exactly as the
+          // tree walker never evaluates them.
+          emit(truthy_const(*chosen) ? cond.then_branch()
+                                     : cond.else_branch());
+          return;
+        }
+        emit(cond.cond());
+        const std::size_t to_else = emit_jump(Op::JumpIfFalse);
+        const std::size_t entry_depth = depth_;
+        emit(cond.then_branch());
+        const std::size_t to_end = emit_jump(Op::Jump);
+        patch_jump(to_else);
+        depth_ = entry_depth;  // else arm starts at the branch depth
+        emit(cond.else_branch());
+        patch_jump(to_end);
+        return;
+      }
+    }
+  }
+
+  void emit_binary(const BinaryExpr& binary) {
+    const auto lhs_const = fold(binary.lhs());
+    const auto rhs_const = fold(binary.rhs());
+    switch (binary.op()) {
+      case BinaryOp::And:
+        // A constant falsy left side folded the whole expression; a
+        // constant truthy one reduces to normalizing the right side.
+        if (lhs_const) {
+          emit(binary.rhs());
+          out_.code_.push_back({Op::ToBool, 0, 0, 0});
+          return;
+        }
+        {
+          emit(binary.lhs());
+          const std::size_t to_false = emit_jump(Op::JumpIfFalse);
+          const std::size_t entry_depth = depth_;
+          emit(binary.rhs());
+          out_.code_.push_back({Op::ToBool, 0, 0, 0});
+          const std::size_t to_end = emit_jump(Op::Jump);
+          patch_jump(to_false);
+          depth_ = entry_depth;
+          push_const(0.0);
+          patch_jump(to_end);
+        }
+        return;
+      case BinaryOp::Or:
+        if (lhs_const) {  // constant falsy left side: result is !!rhs
+          emit(binary.rhs());
+          out_.code_.push_back({Op::ToBool, 0, 0, 0});
+          return;
+        }
+        {
+          emit(binary.lhs());
+          const std::size_t to_true = emit_jump(Op::JumpIfTrue);
+          const std::size_t entry_depth = depth_;
+          emit(binary.rhs());
+          out_.code_.push_back({Op::ToBool, 0, 0, 0});
+          const std::size_t to_end = emit_jump(Op::Jump);
+          patch_jump(to_true);
+          depth_ = entry_depth;
+          push_const(1.0);
+          patch_jump(to_end);
+        }
+        return;
+      case BinaryOp::Mul:
+        // x*1 == x and 1*x == x exactly (IEEE: sign, NaN and infinity
+        // preserved), so the multiplication disappears.
+        if (lhs_const && *lhs_const == 1.0 && !std::signbit(*lhs_const)) {
+          emit(binary.rhs());
+          return;
+        }
+        if (rhs_const && *rhs_const == 1.0 && !std::signbit(*rhs_const)) {
+          emit(binary.lhs());
+          return;
+        }
+        break;
+      case BinaryOp::Div:
+        if (rhs_const && *rhs_const == 1.0 && !std::signbit(*rhs_const)) {
+          emit(binary.lhs());
+          return;
+        }
+        break;
+      case BinaryOp::Sub:
+        // x-0 == x exactly for every x (including -0.0); x-(-0.0) is
+        // not (it maps -0.0 to +0.0), hence the signbit check.
+        if (rhs_const && *rhs_const == 0.0 && !std::signbit(*rhs_const)) {
+          emit(binary.lhs());
+          return;
+        }
+        break;
+      case BinaryOp::Add:
+        // Only x+(-0.0) == x is exact; x+0.0 maps -0.0 to +0.0 and is
+        // deliberately left alone (see docs/expr.md).
+        if (lhs_const && *lhs_const == 0.0 && std::signbit(*lhs_const)) {
+          emit(binary.rhs());
+          return;
+        }
+        if (rhs_const && *rhs_const == 0.0 && std::signbit(*rhs_const)) {
+          emit(binary.lhs());
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    emit(binary.lhs());
+    emit(binary.rhs());
+    emit_binary_op(binary.op());
+  }
+
+  void emit_call(const CallExpr& call) {
+    // Arguments evaluate (and may throw) before any resolution error is
+    // raised, matching the tree walker's order of operations.
+    for (const auto& arg : call.args()) {
+      emit(*arg);
+    }
+    const auto argc = call.args().size();
+    if (const auto id = table_.function_id(call.callee())) {
+      out_.code_.push_back({Op::CallUser,
+                            static_cast<std::uint16_t>(argc),
+                            *id, 0});
+      depth_ -= argc;
+      note_push();
+      return;
+    }
+    const detail::Builtin* builtin = detail::find_builtin(call.callee());
+    if (builtin == nullptr) {
+      emit_throw("unknown function '" + call.callee() + "'");
+      depth_ -= argc;  // the (unreachable) result replaces the args
+      return;
+    }
+    if (static_cast<int>(argc) != builtin->arity) {
+      emit_throw("function '" + call.callee() + "' expects " +
+                 std::to_string(builtin->arity) + " argument(s), got " +
+                 std::to_string(argc));
+      depth_ -= argc;  // the (unreachable) result replaces the args
+      return;
+    }
+    const auto index = static_cast<std::size_t>(
+        builtin - detail::builtins().data());
+    out_.code_.push_back(
+        {static_cast<Op>(static_cast<int>(Op::Abs) + static_cast<int>(index)),
+         0, 0, 0});
+    if (builtin->arity == 2) {
+      --depth_;
+    }
+  }
+
+  const SymbolTable& table_;
+  Compiled out_;
+  mutable std::map<const Expr*, std::optional<double>> fold_cache_;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+Compiled compile(const Expr& expr, const SymbolTable& table) {
+  return Compiler(table).run(expr);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled: metadata
+// ---------------------------------------------------------------------------
+
+std::optional<double> Compiled::constant() const {
+  if (code_.size() == 1 && code_[0].op == Op::PushConst) {
+    return code_[0].value;
+  }
+  return std::nullopt;
+}
+
+bool Compiled::references_slot(Slot slot) const {
+  return std::binary_search(slots_.begin(), slots_.end(), slot);
+}
+
+// ---------------------------------------------------------------------------
+// VM
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throw_eval(const std::string& message) {
+  throw EvalError(message);
+}
+
+}  // namespace
+
+double Compiled::eval(const EvalContext& ctx) const {
+  // Typical programs need a handful of stack cells; the compiler knows
+  // the exact worst case, so spilling to the heap is the rare path.
+  constexpr std::size_t kInlineStack = 64;
+  double inline_stack[kInlineStack];
+  std::vector<double> heap_stack;
+  double* stack = inline_stack;
+  if (max_stack_ > kInlineStack) {
+    heap_stack.resize(max_stack_);
+    stack = heap_stack.data();
+  }
+  std::size_t sp = 0;
+  const Instr* code = code_.data();
+  const std::size_t n = code_.size();
+  std::size_t ip = 0;
+  while (ip < n) {
+    const Instr& in = code[ip];
+    switch (in.op) {
+      case Op::PushConst:
+        stack[sp++] = in.value;
+        break;
+      case Op::LoadSlot: {
+        const double* bound = ctx.frame[static_cast<std::size_t>(in.a)];
+        if (bound == nullptr) {
+          throw_eval(strings_[in.b]);
+        }
+        stack[sp++] = *bound;
+        break;
+      }
+      case Op::LoadSlotOrPid: {
+        const double* bound = ctx.frame[static_cast<std::size_t>(in.a)];
+        stack[sp++] = bound != nullptr ? *bound : ctx.pid;
+        break;
+      }
+      case Op::LoadSlotOrTid: {
+        const double* bound = ctx.frame[static_cast<std::size_t>(in.a)];
+        stack[sp++] = bound != nullptr ? *bound : ctx.tid;
+        break;
+      }
+      case Op::LoadSlotOrUid: {
+        const double* bound = ctx.frame[static_cast<std::size_t>(in.a)];
+        stack[sp++] = bound != nullptr ? *bound : ctx.uid;
+        break;
+      }
+      case Op::LoadArg: {
+        const auto index = static_cast<std::size_t>(in.a);
+        stack[sp++] = index < ctx.args.size() ? ctx.args[index] : 0.0;
+        break;
+      }
+      case Op::LoadPid:
+        stack[sp++] = ctx.pid;
+        break;
+      case Op::LoadTid:
+        stack[sp++] = ctx.tid;
+        break;
+      case Op::LoadUid:
+        stack[sp++] = ctx.uid;
+        break;
+      case Op::Neg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case Op::Not:
+        stack[sp - 1] = stack[sp - 1] != 0.0 ? 0.0 : 1.0;
+        break;
+      case Op::Add:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] + stack[sp];
+        break;
+      case Op::Sub:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] - stack[sp];
+        break;
+      case Op::Mul:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] * stack[sp];
+        break;
+      case Op::Div:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] / stack[sp];
+        break;
+      case Op::Mod:
+        --sp;
+        stack[sp - 1] = std::fmod(stack[sp - 1], stack[sp]);
+        break;
+      case Op::Lt:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::Le:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::Gt:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::Ge:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::Eq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::Ne:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0;
+        break;
+      case Op::ToBool:
+        stack[sp - 1] = stack[sp - 1] != 0.0 ? 1.0 : 0.0;
+        break;
+      case Op::Jump:
+        ip = static_cast<std::size_t>(in.a);
+        continue;
+      case Op::JumpIfFalse:
+        if (!(stack[--sp] != 0.0)) {
+          ip = static_cast<std::size_t>(in.a);
+          continue;
+        }
+        break;
+      case Op::JumpIfTrue:
+        if (stack[--sp] != 0.0) {
+          ip = static_cast<std::size_t>(in.a);
+          continue;
+        }
+        break;
+      case Op::CallUser: {
+        if (ctx.functions == nullptr) {
+          throw_eval("unknown function (no user-function table bound)");
+        }
+        sp -= in.b;
+        stack[sp] = ctx.functions->call(
+            in.a, std::span<const double>(stack + sp, in.b));
+        ++sp;
+        break;
+      }
+      case Op::Throw:
+        throw_eval(strings_[static_cast<std::size_t>(in.a)]);
+      case Op::Abs:
+        stack[sp - 1] = std::fabs(stack[sp - 1]);
+        break;
+      case Op::Ceil:
+        stack[sp - 1] = std::ceil(stack[sp - 1]);
+        break;
+      case Op::Cos:
+        stack[sp - 1] = std::cos(stack[sp - 1]);
+        break;
+      case Op::Exp:
+        stack[sp - 1] = std::exp(stack[sp - 1]);
+        break;
+      case Op::Floor:
+        stack[sp - 1] = std::floor(stack[sp - 1]);
+        break;
+      case Op::Log:
+        stack[sp - 1] = std::log(stack[sp - 1]);
+        break;
+      case Op::Log10:
+        stack[sp - 1] = std::log10(stack[sp - 1]);
+        break;
+      case Op::Log2:
+        stack[sp - 1] = std::log2(stack[sp - 1]);
+        break;
+      case Op::Max:
+        --sp;
+        stack[sp - 1] = std::fmax(stack[sp - 1], stack[sp]);
+        break;
+      case Op::Min:
+        --sp;
+        stack[sp - 1] = std::fmin(stack[sp - 1], stack[sp]);
+        break;
+      case Op::Pow:
+        --sp;
+        stack[sp - 1] = std::pow(stack[sp - 1], stack[sp]);
+        break;
+      case Op::Round:
+        stack[sp - 1] = std::round(stack[sp - 1]);
+        break;
+      case Op::Sin:
+        stack[sp - 1] = std::sin(stack[sp - 1]);
+        break;
+      case Op::Sqrt:
+        stack[sp - 1] = std::sqrt(stack[sp - 1]);
+        break;
+      case Op::Tan:
+        stack[sp - 1] = std::tan(stack[sp - 1]);
+        break;
+      case Op::Tanh:
+        stack[sp - 1] = std::tanh(stack[sp - 1]);
+        break;
+    }
+    ++ip;
+  }
+  return stack[sp - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::PushConst:
+      return "push";
+    case Op::LoadSlot:
+      return "load";
+    case Op::LoadSlotOrPid:
+      return "load|pid";
+    case Op::LoadSlotOrTid:
+      return "load|tid";
+    case Op::LoadSlotOrUid:
+      return "load|uid";
+    case Op::LoadArg:
+      return "arg";
+    case Op::LoadPid:
+      return "pid";
+    case Op::LoadTid:
+      return "tid";
+    case Op::LoadUid:
+      return "uid";
+    case Op::Neg:
+      return "neg";
+    case Op::Not:
+      return "not";
+    case Op::Add:
+      return "add";
+    case Op::Sub:
+      return "sub";
+    case Op::Mul:
+      return "mul";
+    case Op::Div:
+      return "div";
+    case Op::Mod:
+      return "mod";
+    case Op::Lt:
+      return "lt";
+    case Op::Le:
+      return "le";
+    case Op::Gt:
+      return "gt";
+    case Op::Ge:
+      return "ge";
+    case Op::Eq:
+      return "eq";
+    case Op::Ne:
+      return "ne";
+    case Op::ToBool:
+      return "tobool";
+    case Op::Jump:
+      return "jmp";
+    case Op::JumpIfFalse:
+      return "jz";
+    case Op::JumpIfTrue:
+      return "jnz";
+    case Op::CallUser:
+      return "call";
+    case Op::Throw:
+      return "throw";
+    case Op::Abs:
+      return "abs";
+    case Op::Ceil:
+      return "ceil";
+    case Op::Cos:
+      return "cos";
+    case Op::Exp:
+      return "exp";
+    case Op::Floor:
+      return "floor";
+    case Op::Log:
+      return "log";
+    case Op::Log10:
+      return "log10";
+    case Op::Log2:
+      return "log2";
+    case Op::Max:
+      return "max";
+    case Op::Min:
+      return "min";
+    case Op::Pow:
+      return "pow";
+    case Op::Round:
+      return "round";
+    case Op::Sin:
+      return "sin";
+    case Op::Sqrt:
+      return "sqrt";
+    case Op::Tan:
+      return "tan";
+    case Op::Tanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Compiled::disassemble() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& in = code_[i];
+    out << i << ": " << op_name(in.op);
+    switch (in.op) {
+      case Op::PushConst:
+        out << ' ' << in.value;
+        break;
+      case Op::LoadSlot:
+      case Op::LoadSlotOrPid:
+      case Op::LoadSlotOrTid:
+      case Op::LoadSlotOrUid:
+      case Op::LoadArg:
+      case Op::Jump:
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue:
+        out << ' ' << in.a;
+        break;
+      case Op::CallUser:
+        out << ' ' << in.a << " argc=" << in.b;
+        break;
+      case Op::Throw:
+        out << " \"" << strings_[static_cast<std::size_t>(in.a)] << '"';
+        break;
+      default:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SlotFrame
+// ---------------------------------------------------------------------------
+
+SlotFrame::SlotFrame(const SymbolTable& table)
+    : values_(table.slot_count(), 0.0), pointers_(table.slot_count()) {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    pointers_[i] = &values_[i];
+  }
+}
+
+}  // namespace prophet::expr

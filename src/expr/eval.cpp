@@ -1,19 +1,18 @@
 #include "prophet/expr/eval.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+
+#include "builtins.hpp"
 
 namespace prophet::expr {
 namespace {
 
-struct Builtin {
-  std::string_view name;
-  int arity;
-  double (*fn1)(double);
-  double (*fn2)(double, double);
-};
+using detail::Builtin;
 
-// Sorted by name (builtin_names() exposes this order).
+// Sorted by name (builtin_names() exposes this order; find_builtin
+// binary-searches it; the compiler's direct-dispatch opcodes follow it).
 constexpr std::array<Builtin, 16> kBuiltins{{
     {"abs", 1, [](double x) { return std::fabs(x); }, nullptr},
     {"ceil", 1, [](double x) { return std::ceil(x); }, nullptr},
@@ -33,14 +32,7 @@ constexpr std::array<Builtin, 16> kBuiltins{{
     {"tanh", 1, [](double x) { return std::tanh(x); }, nullptr},
 }};
 
-const Builtin* find_builtin(std::string_view name) {
-  for (const auto& builtin : kBuiltins) {
-    if (builtin.name == name) {
-      return &builtin;
-    }
-  }
-  return nullptr;
-}
+using detail::find_builtin;
 
 class EmptyEnvironment final : public Environment {
  public:
@@ -197,5 +189,23 @@ std::optional<int> builtin_arity(std::string_view name) {
   }
   return std::nullopt;
 }
+
+namespace detail {
+
+std::span<const Builtin> builtins() { return kBuiltins; }
+
+const Builtin* find_builtin(std::string_view name) {
+  const auto it = std::lower_bound(
+      kBuiltins.begin(), kBuiltins.end(), name,
+      [](const Builtin& builtin, std::string_view key) {
+        return builtin.name < key;
+      });
+  if (it == kBuiltins.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+}  // namespace detail
 
 }  // namespace prophet::expr

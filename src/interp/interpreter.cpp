@@ -1,11 +1,13 @@
 #include "prophet/interp/interpreter.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <set>
 #include <utility>
 
+#include "prophet/expr/compile.hpp"
 #include "prophet/expr/eval.hpp"
 #include "prophet/expr/parser.hpp"
 #include "prophet/uml/sysparams.hpp"
@@ -19,24 +21,11 @@ using uml::Node;
 using uml::NodeKind;
 using workload::ModelContext;
 
-/// One `name = expression;` assignment of an associated code fragment.
+/// One `name = expression;` assignment of an associated code fragment
+/// (parse-time form; lowered to a CompiledAssignment).
 struct Assignment {
   std::string target;
   expr::ExprPtr value;
-};
-
-/// Pre-parsed cost function.
-struct ParsedFunction {
-  std::vector<std::string> parameters;
-  expr::ExprPtr body;
-};
-
-/// Pre-parsed variable declaration.
-struct ParsedVariable {
-  std::string name;
-  uml::VariableScope scope = uml::VariableScope::Global;
-  uml::VariableType type = uml::VariableType::Real;
-  expr::ExprPtr initializer;  // may be null (zero-init)
 };
 
 /// Integer-typed model variables truncate on assignment, exactly like the
@@ -48,11 +37,13 @@ double coerce(uml::VariableType type, double value) {
   return value;
 }
 
-/// Lexical scope of a model walker: shared locals + walker-private loop
-/// bindings (see interpreter.hpp for the exact sharing rules).
+/// Lexical scope of a model walker: the slot frame (copied by value so
+/// fork branches and loop bodies snapshot their bindings) plus the base
+/// of the per-process local storage for code-fragment writes, which
+/// bypass loop shadowing exactly like the tree walker's locals map did.
 struct Scope {
-  std::map<std::string, double>* locals = nullptr;
-  std::vector<std::pair<std::string, double>> loop_bindings;
+  std::vector<double*> frame;
+  double* locals = nullptr;  // slot-indexed per-process storage, may be null
 };
 
 /// Splits a code fragment into `name = expr` assignments.
@@ -96,41 +87,107 @@ std::vector<Assignment> parse_code_fragment(const std::string& text,
   return assignments;
 }
 
+/// The loop-variable name bound by a <<loop+>> node ("i" by default).
+std::string loop_var_name(const Node& node) {
+  std::string var = node.tag_string(uml::tag::kLoopVar);
+  if (var.empty()) {
+    var = "i";
+  }
+  return var;
+}
+
 }  // namespace
 
-/// The immutable pre-parsed form of a model.  Everything here is written
+/// The immutable compiled form of a model.  Everything here is written
 /// once, by the constructor, and only read afterwards — interpreters on
 /// different threads share one Program without synchronization.
+///
+/// All expressions are lowered to slot-resolved bytecode against one
+/// model-wide SymbolTable: declared variables, loop variables and the
+/// structural system parameters (np/nt/nn/ppn) are slots; pid/tid/uid
+/// are per-evaluation ambients (with slot fallbacks when a model name
+/// shadows them); cost functions compile against the same slot space
+/// plus their positional parameters, so one run-level frame serves every
+/// function call.
 class Interpreter::Program {
  public:
   std::optional<Model> owned;  // set by the owning compile() overload
   const Model* model = nullptr;
 
-  // Pre-parsed expressions, keyed by element/edge id and tag name.
-  std::map<std::string, std::map<std::string, expr::ExprPtr>> node_exprs;
-  std::map<std::string, expr::ExprPtr> guards;  // edge id -> guard
-  std::map<std::string, std::vector<Assignment>> fragments;
-  std::map<std::string, ParsedFunction> functions;
-  std::vector<ParsedVariable> variables;
-  std::map<std::string, int> uids;
+  /// A fragment assignment with its write target resolved at compile
+  /// time (the tree walker resolved it per execution through two maps).
+  struct CompiledAssignment {
+    enum class Target { Local, Global, Undeclared };
+    std::string name;
+    Target target = Target::Undeclared;
+    expr::Slot slot = 0;
+    bool coerce_int = false;
+    expr::Compiled value;
+  };
+
+  /// Everything the walker needs at one node, pre-resolved: uid plus the
+  /// compiled programs of its expression tags and code fragment.
+  struct NodePrograms {
+    int uid = 0;
+    std::optional<expr::Compiled> cost;
+    std::optional<expr::Compiled> dest;
+    std::optional<expr::Compiled> source;
+    std::optional<expr::Compiled> size;
+    std::optional<expr::Compiled> root;
+    std::optional<expr::Compiled> iterations;
+    std::optional<expr::Compiled> itercost;
+    std::optional<expr::Compiled> num_threads;
+    std::vector<CompiledAssignment> fragment;
+    expr::Slot loop_var_slot = 0;  // Loop nodes only
+  };
+
+  /// Pre-parsed model variable (declaration order preserved).
+  struct CompiledVariable {
+    std::string name;
+    expr::Slot slot = 0;
+    uml::VariableScope scope = uml::VariableScope::Global;
+    uml::VariableType type = uml::VariableType::Real;
+    std::optional<expr::Compiled> initializer;  // absent: zero-init
+  };
+
+  expr::SymbolTable node_table;  // slots + pid/tid/uid ambients
+  std::size_t nslots = 0;
+  expr::Slot slot_np = 0, slot_nt = 0, slot_nn = 0, slot_ppn = 0;
+
+  std::vector<CompiledVariable> variables;
+  std::vector<expr::Compiled> functions;       // indexed by function id
+  std::map<std::string, int> function_ids;     // introspection
+  std::map<const Node*, NodePrograms> nodes;
+  std::map<const uml::ControlFlow*, expr::Compiled> guards;
+  std::map<std::string, int> uids;             // uid_of introspection
+
+  double expr_compile_seconds = 0;
+  std::size_t expr_programs = 0;
 
   explicit Program(const Model& m) : model(&m) {
+    // ---- Phase 1: parse (error order matches the tree-walking build).
+    struct ParsedVariable {
+      const uml::Variable* decl = nullptr;
+      expr::ExprPtr initializer;
+    };
+    std::vector<ParsedVariable> parsed_variables;
     for (const auto& variable : m.variables()) {
       ParsedVariable parsed;
-      parsed.name = variable.name;
-      parsed.scope = variable.scope;
-      parsed.type = variable.type;
+      parsed.decl = &variable;
       if (!variable.initializer.empty()) {
         parsed.initializer = parse_checked(
             variable.initializer, "initializer of variable " + variable.name);
       }
-      variables.push_back(std::move(parsed));
+      parsed_variables.push_back(std::move(parsed));
     }
+    struct ParsedFunction {
+      const uml::CostFunction* decl = nullptr;
+      expr::ExprPtr body;
+    };
+    std::vector<ParsedFunction> parsed_functions;
     for (const auto& fn : m.cost_functions()) {
-      functions.emplace(
-          fn.name,
-          ParsedFunction{fn.parameters,
-                         parse_checked(fn.body, "cost function " + fn.name)});
+      parsed_functions.push_back(
+          {&fn, parse_checked(fn.body, "cost function " + fn.name)});
     }
     // uid assignment: explicit `id` tags win; the rest get sequential
     // numbers skipping claimed values.
@@ -146,6 +203,7 @@ class Interpreter::Program {
       }
     }
     int next = 1;
+    std::map<const uml::ControlFlow*, expr::ExprPtr> parsed_guards;
     for (const auto& diagram : m.diagrams()) {
       for (const auto& node : diagram->nodes()) {
         if (uids.find(node->id()) != uids.end()) {
@@ -159,12 +217,18 @@ class Interpreter::Program {
       }
       for (const auto& edge : diagram->edges()) {
         if (edge->has_guard() && !edge->is_else()) {
-          guards.emplace(edge->id(),
-                         parse_checked(edge->guard(),
-                                       "guard of edge " + edge->id()));
+          parsed_guards.emplace(edge.get(),
+                                parse_checked(edge->guard(),
+                                              "guard of edge " + edge->id()));
         }
       }
     }
+    struct ParsedTag {
+      std::string_view tag;
+      expr::ExprPtr value;
+    };
+    std::map<const Node*, std::vector<ParsedTag>> parsed_tags;
+    std::map<const Node*, std::vector<Assignment>> parsed_fragments;
     for (const auto& diagram : m.diagrams()) {
       for (const auto& node : diagram->nodes()) {
         for (const auto tag_name :
@@ -176,19 +240,19 @@ class Interpreter::Program {
           if (text.empty()) {
             continue;
           }
-          node_exprs[node->id()].emplace(
-              std::string(tag_name),
-              parse_checked(text, "tag '" + std::string(tag_name) +
-                                      "' of node " + node->id()));
+          parsed_tags[node.get()].push_back(
+              {tag_name,
+               parse_checked(text, "tag '" + std::string(tag_name) +
+                                       "' of node " + node->id())});
         }
         // <<action+>> cost tag is optional rather than an expression tag
         // with fixed semantics — handled by expression_tags already.
         if (node->has_tag(uml::tag::kCode)) {
           const std::string code = node->tag_string(uml::tag::kCode);
           if (!code.empty()) {
-            fragments.emplace(node->id(),
-                              parse_code_fragment(code, "node " +
-                                                            node->id()));
+            parsed_fragments.emplace(node.get(),
+                                     parse_code_fragment(
+                                         code, "node " + node->id()));
           }
         }
         // Composite nodes must reference existing diagrams.
@@ -204,6 +268,165 @@ class Interpreter::Program {
     if (m.main_diagram() == nullptr) {
       throw InterpretError("model has no resolvable main diagram");
     }
+
+    // ---- Phase 2: build the slot space.  Every name that any dynamic
+    // scope could bind gets exactly one slot; resolution precedence is
+    // realized by which storage a frame entry points at.
+    expr::SymbolTable base;
+    slot_np = base.add_variable(std::string(uml::sysparam::kProcesses));
+    slot_nt = base.add_variable(std::string(uml::sysparam::kThreads));
+    slot_nn = base.add_variable(std::string(uml::sysparam::kNodes));
+    slot_ppn =
+        base.add_variable(std::string(uml::sysparam::kProcessorsPerNode));
+    for (const auto& variable : m.variables()) {
+      base.add_variable(variable.name);
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        if (node->kind() == NodeKind::Loop) {
+          base.add_variable(loop_var_name(*node));
+        }
+      }
+    }
+    for (const auto& fn : m.cost_functions()) {
+      function_ids[fn.name] = base.add_function(fn.name);
+    }
+    nslots = base.slot_count();
+
+    node_table = base;
+    node_table.bind_ambient(std::string(uml::sysparam::kProcessId),
+                            expr::Ambient::Pid);
+    node_table.bind_ambient(std::string(uml::sysparam::kThreadId),
+                            expr::Ambient::Tid);
+    node_table.bind_ambient(std::string(uml::sysparam::kElementUid),
+                            expr::Ambient::Uid);
+
+    // ---- Phase 3: lower everything to bytecode.
+    for (auto& parsed : parsed_variables) {
+      CompiledVariable compiled;
+      compiled.name = parsed.decl->name;
+      compiled.slot = *base.slot_of(parsed.decl->name);
+      compiled.scope = parsed.decl->scope;
+      compiled.type = parsed.decl->type;
+      if (parsed.initializer != nullptr) {
+        compiled.initializer = compile_timed(*parsed.initializer, node_table);
+      }
+      variables.push_back(std::move(compiled));
+    }
+    functions.reserve(parsed_functions.size());
+    for (auto& parsed : parsed_functions) {
+      // Function bodies see their parameters, globals and the structural
+      // system parameters — never pid/tid/uid or locals, mirroring the
+      // file-scope C++ functions of Fig. 8a.
+      expr::SymbolTable fn_table = base;
+      for (const auto& parameter : parsed.decl->parameters) {
+        fn_table.add_parameter(parameter);
+      }
+      functions.push_back(compile_timed(*parsed.body, fn_table));
+    }
+    for (auto& [edge, guard] : parsed_guards) {
+      guards.emplace(edge, compile_timed(*guard, node_table));
+    }
+    for (const auto& diagram : m.diagrams()) {
+      for (const auto& node : diagram->nodes()) {
+        NodePrograms programs;
+        programs.uid = uids.at(node->id());
+        if (node->kind() == NodeKind::Loop) {
+          programs.loop_var_slot = *base.slot_of(loop_var_name(*node));
+        }
+        if (const auto tags = parsed_tags.find(node.get());
+            tags != parsed_tags.end()) {
+          for (auto& [tag, value] : tags->second) {
+            if (auto* member = tag_member(programs, tag)) {
+              *member = compile_timed(*value, node_table);
+            }
+          }
+        }
+        if (const auto fragment = parsed_fragments.find(node.get());
+            fragment != parsed_fragments.end()) {
+          for (auto& assignment : fragment->second) {
+            programs.fragment.push_back(
+                compile_assignment(assignment, base, m));
+          }
+        }
+        nodes.emplace(node.get(), std::move(programs));
+      }
+    }
+  }
+
+  [[nodiscard]] const NodePrograms& at(const Node& node) const {
+    return nodes.at(&node);
+  }
+
+ private:
+  static std::optional<expr::Compiled>* tag_member(NodePrograms& programs,
+                                                   std::string_view tag) {
+    if (tag == uml::tag::kCost) {
+      return &programs.cost;
+    }
+    if (tag == uml::tag::kIterations) {
+      return &programs.iterations;
+    }
+    if (tag == uml::tag::kDest) {
+      return &programs.dest;
+    }
+    if (tag == uml::tag::kSource) {
+      return &programs.source;
+    }
+    if (tag == uml::tag::kSize) {
+      return &programs.size;
+    }
+    if (tag == uml::tag::kRoot) {
+      return &programs.root;
+    }
+    if (tag == uml::tag::kNumThreads) {
+      return &programs.num_threads;
+    }
+    if (tag == uml::tag::kIterCost) {
+      return &programs.itercost;
+    }
+    return nullptr;  // no evaluation site reads other expression tags
+  }
+
+  [[nodiscard]] CompiledAssignment compile_assignment(
+      Assignment& assignment, const expr::SymbolTable& base,
+      const Model& m) {
+    CompiledAssignment compiled;
+    compiled.name = assignment.target;
+    compiled.value = compile_timed(*assignment.value, node_table);
+    // Static write-target resolution: the tree walker consulted the
+    // per-process locals map first, then the globals map — both hold
+    // exactly the declared variables of that scope.
+    bool local = false;
+    bool global = false;
+    for (const auto& variable : m.variables()) {
+      if (variable.name != assignment.target) {
+        continue;
+      }
+      local = local || variable.scope == uml::VariableScope::Local;
+      global = global || variable.scope == uml::VariableScope::Global;
+    }
+    if (local || global) {
+      compiled.target = local ? CompiledAssignment::Target::Local
+                              : CompiledAssignment::Target::Global;
+      compiled.slot = *base.slot_of(assignment.target);
+    }
+    if (const uml::Variable* declared = m.variable(assignment.target)) {
+      compiled.coerce_int = declared->type == uml::VariableType::Integer;
+    }
+    return compiled;
+  }
+
+  [[nodiscard]] expr::Compiled compile_timed(const expr::Expr& ast,
+                                             const expr::SymbolTable& table) {
+    const auto start = std::chrono::steady_clock::now();
+    expr::Compiled program = expr::compile(ast, table);
+    expr_compile_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ++expr_programs;
+    return program;
   }
 
   static expr::ExprPtr parse_checked(const std::string& text,
@@ -217,208 +440,114 @@ class Interpreter::Program {
 };
 
 /// Per-run state + the walking machinery over a shared immutable Program.
-struct Interpreter::Impl {
+struct Interpreter::Impl final : expr::UserFunctions {
   std::shared_ptr<const Program> program;
   const Model* model = nullptr;  // == program->model, cached
 
-  // Per-run state.
-  std::map<std::string, double> globals;  // shared across processes
+  // Per-run state.  Globals live in a slot-indexed array shared by all
+  // modeled processes of the run; the run frame binds global and
+  // structural slots for cost-function bodies and as the template every
+  // process frame starts from.
+  std::vector<double> global_values;
+  std::vector<double*> run_frame;
   double np = 1, nt = 1, nn = 1, ppn = 1;
   mutable int call_depth = 0;
 
   explicit Impl(std::shared_ptr<const Program> p)
-      : program(std::move(p)), model(program->model) {}
+      : program(std::move(p)), model(program->model) {
+    // Pre-run frame: structural parameters at their defaults, globals
+    // unbound (cost functions called before a run see exactly what the
+    // tree walker's empty globals map gave them).
+    global_values.assign(program->nslots, 0.0);
+    run_frame.assign(program->nslots, nullptr);
+    run_frame[program->slot_np] = &np;
+    run_frame[program->slot_nt] = &nt;
+    run_frame[program->slot_nn] = &nn;
+    run_frame[program->slot_ppn] = &ppn;
+  }
 
   // ---------------------------------------------------------------------
   // Expression evaluation
   // ---------------------------------------------------------------------
 
-  /// Environment for element-level expressions (cost tags, guards,
-  /// code-fragment right-hand sides).
-  class NodeEnv final : public expr::Environment {
-   public:
-    NodeEnv(const Impl& impl, const Scope& scope, int pid, int tid, int uid)
-        : impl_(&impl), scope_(&scope), pid_(pid), tid_(tid), uid_(uid) {}
-
-    [[nodiscard]] std::optional<double> variable(
-        std::string_view name) const override {
-      // Innermost loop binding wins.
-      const auto& bindings = scope_->loop_bindings;
-      for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
-        if (it->first == name) {
-          return it->second;
-        }
-      }
-      if (scope_->locals != nullptr) {
-        if (const auto it = scope_->locals->find(std::string(name));
-            it != scope_->locals->end()) {
-          return it->second;
-        }
-      }
-      if (const auto it = impl_->globals.find(std::string(name));
-          it != impl_->globals.end()) {
-        return it->second;
-      }
-      return impl_->system_parameter(name, pid_, tid_, uid_);
-    }
-
-    [[nodiscard]] std::optional<double> call(
-        std::string_view name, std::span<const double> args) const override {
-      return impl_->call_function(name, args);
-    }
-
-   private:
-    const Impl* impl_;
-    const Scope* scope_;
-    int pid_;
-    int tid_;
-    int uid_;
-  };
-
-  /// Environment inside a cost-function body: parameters, globals and the
-  /// structural system parameters only (pid/tid/uid must be passed as
-  /// parameters, mirroring the file-scope C++ functions of Fig. 8a).
-  class FunctionEnv final : public expr::Environment {
-   public:
-    FunctionEnv(const Impl& impl, const ParsedFunction& fn,
-                std::span<const double> args)
-        : impl_(&impl), fn_(&fn), args_(args) {}
-
-    [[nodiscard]] std::optional<double> variable(
-        std::string_view name) const override {
-      for (std::size_t i = 0; i < fn_->parameters.size(); ++i) {
-        if (fn_->parameters[i] == name) {
-          return i < args_.size() ? args_[i] : 0.0;
-        }
-      }
-      if (const auto it = impl_->globals.find(std::string(name));
-          it != impl_->globals.end()) {
-        return it->second;
-      }
-      return impl_->structural_parameter(name);
-    }
-
-    [[nodiscard]] std::optional<double> call(
-        std::string_view name, std::span<const double> args) const override {
-      return impl_->call_function(name, args);
-    }
-
-   private:
-    const Impl* impl_;
-    const ParsedFunction* fn_;
-    std::span<const double> args_;
-  };
-
-  [[nodiscard]] std::optional<double> structural_parameter(
-      std::string_view name) const {
-    if (name == uml::sysparam::kProcesses) {
-      return np;
-    }
-    if (name == uml::sysparam::kThreads) {
-      return nt;
-    }
-    if (name == uml::sysparam::kNodes) {
-      return nn;
-    }
-    if (name == uml::sysparam::kProcessorsPerNode) {
-      return ppn;
-    }
-    return std::nullopt;
+  [[nodiscard]] expr::EvalContext make_context(
+      std::span<double* const> frame, int pid, int tid, int uid) const {
+    expr::EvalContext ctx;
+    ctx.frame = frame;
+    ctx.functions = this;
+    ctx.pid = static_cast<double>(pid);
+    ctx.tid = static_cast<double>(tid);
+    ctx.uid = static_cast<double>(uid);
+    return ctx;
   }
 
-  [[nodiscard]] std::optional<double> system_parameter(std::string_view name,
-                                                       int pid, int tid,
-                                                       int uid) const {
-    if (name == uml::sysparam::kProcessId) {
-      return static_cast<double>(pid);
-    }
-    if (name == uml::sysparam::kThreadId) {
-      return static_cast<double>(tid);
-    }
-    if (name == uml::sysparam::kElementUid) {
-      return static_cast<double>(uid);
-    }
-    return structural_parameter(name);
-  }
-
-  [[nodiscard]] std::optional<double> call_function(
-      std::string_view name, std::span<const double> args) const {
-    const auto it = program->functions.find(std::string(name));
-    if (it == program->functions.end()) {
-      return std::nullopt;  // fall back to expr built-ins
-    }
+  /// expr::UserFunctions: invoked by the VM for cost-function calls.
+  /// Function bodies evaluate against the run frame (globals +
+  /// structural parameters) plus the call's argument span.
+  [[nodiscard]] double call(int id,
+                            std::span<const double> args) const override {
     if (call_depth > 64) {
       throw InterpretError("cost-function call depth exceeded (cycle?)");
     }
     ++call_depth;
-    const FunctionEnv env(*this, it->second, args);
-    const double result = expr::evaluate(*it->second.body, env);
+    expr::EvalContext ctx;
+    ctx.frame = run_frame;
+    ctx.args = args;
+    ctx.functions = this;
+    const double result = program->functions[static_cast<std::size_t>(id)]
+                              .eval(ctx);
     --call_depth;
     return result;
   }
 
-  [[nodiscard]] double eval_node_expr(const Node& node,
-                                      std::string_view tag_name,
-                                      const Scope& scope,
-                                      const ModelContext& ctx) const {
-    const auto node_it = program->node_exprs.find(node.id());
-    if (node_it == program->node_exprs.end()) {
+  /// Evaluates an optional tag program; absent tags are 0.0, evaluation
+  /// errors carry the node/tag context (tree-walker message format).
+  [[nodiscard]] double eval_tag(const std::optional<expr::Compiled>& tag,
+                                std::string_view tag_name, const Node& node,
+                                int uid, const Scope& scope,
+                                const ModelContext& ctx) const {
+    if (!tag.has_value()) {
       return 0.0;
     }
-    const auto tag_it = node_it->second.find(std::string(tag_name));
-    if (tag_it == node_it->second.end()) {
-      return 0.0;
-    }
-    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, program->uids.at(node.id()));
     try {
-      return expr::evaluate(*tag_it->second, env);
+      return tag->eval(make_context(scope.frame, ctx.pid, ctx.tid, uid));
     } catch (const expr::EvalError& error) {
       throw InterpretError("node " + node.id() + ", tag '" +
                            std::string(tag_name) + "': " + error.what());
     }
   }
 
-  [[nodiscard]] bool has_node_expr(const Node& node,
-                                   std::string_view tag_name) const {
-    const auto node_it = program->node_exprs.find(node.id());
-    return node_it != program->node_exprs.end() &&
-           node_it->second.find(std::string(tag_name)) !=
-               node_it->second.end();
-  }
-
-  void run_fragment(const Node& node, Scope& scope, const ModelContext& ctx) {
-    const auto it = program->fragments.find(node.id());
-    if (it == program->fragments.end()) {
-      return;
-    }
-    const NodeEnv env(*this, scope, ctx.pid, ctx.tid, program->uids.at(node.id()));
-    for (const auto& assignment : it->second) {
+  void run_fragment(const Program::NodePrograms& programs, const Node& node,
+                    Scope& scope, const ModelContext& ctx) {
+    for (const auto& assignment : programs.fragment) {
       double value = 0;
       try {
-        value = expr::evaluate(*assignment.value, env);
+        value = assignment.value.eval(
+            make_context(scope.frame, ctx.pid, ctx.tid, programs.uid));
       } catch (const expr::EvalError& error) {
         throw InterpretError("code fragment at node " + node.id() + ": " +
                              error.what());
       }
-      const uml::Variable* declared = model->variable(assignment.target);
-      if (declared != nullptr) {
-        value = coerce(declared->type, value);
+      if (assignment.coerce_int) {
+        value = std::trunc(value);
       }
-      if (scope.locals != nullptr) {
-        if (const auto local = scope.locals->find(assignment.target);
-            local != scope.locals->end()) {
-          local->second = value;
+      using Target = Program::CompiledAssignment::Target;
+      switch (assignment.target) {
+        case Target::Local:
+          if (scope.locals != nullptr) {
+            scope.locals[assignment.slot] = value;
+            continue;
+          }
+          break;  // no locals in scope: undeclared here
+        case Target::Global:
+          global_values[assignment.slot] = value;
           continue;
-        }
-      }
-      if (const auto global = globals.find(assignment.target);
-          global != globals.end()) {
-        global->second = value;
-        continue;
+        case Target::Undeclared:
+          break;
       }
       throw InterpretError("code fragment at node " + node.id() +
                            " assigns undeclared variable '" +
-                           assignment.target + "'");
+                           assignment.name + "'");
     }
   }
 
@@ -431,43 +560,53 @@ struct Interpreter::Impl {
     nt = params.threads_per_process;
     nn = params.nodes;
     ppn = params.processors_per_node;
-    globals.clear();
-    Scope scope;  // no locals during global initialization
+    global_values.assign(program->nslots, 0.0);
+    run_frame.assign(program->nslots, nullptr);
+    run_frame[program->slot_np] = &np;
+    run_frame[program->slot_nt] = &nt;
+    run_frame[program->slot_nn] = &nn;
+    run_frame[program->slot_ppn] = &ppn;
+    // Globals initialize in declaration order and become visible one by
+    // one — a forward reference falls through to the system parameters
+    // or errors, exactly like the tree walker's growing globals map.
     for (const auto& variable : program->variables) {
       if (variable.scope != uml::VariableScope::Global) {
         continue;
       }
       double value = 0;
-      if (variable.initializer != nullptr) {
-        const NodeEnv env(*this, scope, 0, 0, 0);
-        value = expr::evaluate(*variable.initializer, env);
+      if (variable.initializer.has_value()) {
+        value = variable.initializer->eval(make_context(run_frame, 0, 0, 0));
       }
-      globals[variable.name] = coerce(variable.type, value);
+      global_values[variable.slot] = coerce(variable.type, value);
+      run_frame[variable.slot] = &global_values[variable.slot];
     }
   }
 
   sim::Process run_process(ModelContext ctx) {
-    // Per-process locals, initialized in declaration order.
-    std::map<std::string, double> locals;
+    // Per-process locals, initialized in declaration order; the storage
+    // lives in this coroutine frame for the process's whole lifetime.
+    std::vector<double> local_values(program->nslots, 0.0);
     Scope scope;
-    scope.locals = &locals;
+    scope.frame = run_frame;
+    scope.locals = local_values.data();
     for (const auto& variable : program->variables) {
       if (variable.scope != uml::VariableScope::Local) {
         continue;
       }
       double value = 0;
-      if (variable.initializer != nullptr) {
-        const NodeEnv env(*this, scope, ctx.pid, ctx.tid, 0);
-        value = expr::evaluate(*variable.initializer, env);
+      if (variable.initializer.has_value()) {
+        value = variable.initializer->eval(
+            make_context(scope.frame, ctx.pid, ctx.tid, 0));
       }
-      locals[variable.name] = coerce(variable.type, value);
+      local_values[variable.slot] = coerce(variable.type, value);
+      scope.frame[variable.slot] = &local_values[variable.slot];
     }
     co_await run_diagram(ctx, *model->main_diagram(), scope);
   }
 
   /// Walks a diagram from its initial node to a final node (or a dead
-  /// end).  `scope` is taken by value: loop bindings are snapshot,
-  /// locals stay shared through the pointer.
+  /// end).  `scope` is taken by value: the slot frame is snapshot,
+  /// locals stay shared through the storage pointers.
   sim::Process run_diagram(ModelContext ctx, const ActivityDiagram& diagram,
                            Scope scope) {
     const Node* initial = diagram.initial();
@@ -530,6 +669,7 @@ struct Interpreter::Impl {
     if (node.kind() == NodeKind::Decision) {
       const uml::ControlFlow* chosen = nullptr;
       const uml::ControlFlow* fallback = nullptr;
+      const int uid = program->at(node).uid;
       for (const auto* edge : outgoing) {
         if (edge->is_else()) {
           if (fallback == nullptr) {
@@ -537,13 +677,12 @@ struct Interpreter::Impl {
           }
           continue;
         }
-        const auto guard_it = program->guards.find(edge->id());
+        const auto guard_it = program->guards.find(edge);
         if (guard_it == program->guards.end()) {
           continue;  // unguarded edge out of a decision: never taken
         }
-        const NodeEnv env(*this, scope, ctx.pid, ctx.tid,
-                          program->uids.at(node.id()));
-        if (expr::truthy(expr::evaluate(*guard_it->second, env))) {
+        if (expr::truthy(guard_it->second.eval(
+                make_context(scope.frame, ctx.pid, ctx.tid, uid)))) {
           chosen = edge;
           break;
         }
@@ -604,7 +743,7 @@ struct Interpreter::Impl {
         throw InterpretError("fork " + node.id() + ": dangling edge");
       }
       // Branches share locals (generated code captures them by
-      // reference) and snapshot the loop bindings.
+      // reference) and snapshot the slot frame.
       branches.push_back(ctx.engine->spawn(
           walk(ctx, diagram, *target, scope, &joins[i])));
     }
@@ -627,30 +766,34 @@ struct Interpreter::Impl {
 
   sim::Process execute_action(ModelContext ctx, const Node& node,
                               Scope& scope) {
-    run_fragment(node, scope, ctx);
-    const int uid = program->uids.at(node.id());
+    const Program::NodePrograms& programs = program->at(node);
+    run_fragment(programs, node, scope, ctx);
+    const int uid = programs.uid;
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
       double cost = 0;
-      if (has_node_expr(node, uml::tag::kCost)) {
-        cost = eval_node_expr(node, uml::tag::kCost, scope, ctx);
+      if (programs.cost.has_value()) {
+        cost = eval_tag(programs.cost, uml::tag::kCost, node, uid, scope,
+                        ctx);
       } else if (auto time = node.tag_number(uml::tag::kTime)) {
         cost = *time;
       }
       workload::ActionPlus element(ctx, node.name());
       co_await element.execute(uid, ctx.pid, ctx.tid, cost);
     } else if (stereotype == uml::stereo::kSend) {
-      const int dest = static_cast<int>(
-          eval_node_expr(node, uml::tag::kDest, scope, ctx));
-      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const int dest = static_cast<int>(eval_tag(
+          programs.dest, uml::tag::kDest, node, uid, scope, ctx));
+      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+                                    uid, scope, ctx);
       const int tag = static_cast<int>(
           node.tag_number(uml::tag::kMsgTag).value_or(0));
       workload::SendElement element(ctx, node.name());
       co_await element.execute(uid, ctx.pid, ctx.tid, dest, bytes, tag);
     } else if (stereotype == uml::stereo::kRecv) {
-      const int source = static_cast<int>(
-          eval_node_expr(node, uml::tag::kSource, scope, ctx));
-      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const int source = static_cast<int>(eval_tag(
+          programs.source, uml::tag::kSource, node, uid, scope, ctx));
+      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+                                    uid, scope, ctx);
       const int tag = static_cast<int>(
           node.tag_number(uml::tag::kMsgTag).value_or(0));
       workload::RecvElement element(ctx, node.name());
@@ -663,20 +806,21 @@ struct Interpreter::Impl {
                stereotype == uml::stereo::kAllReduce ||
                stereotype == uml::stereo::kScatter ||
                stereotype == uml::stereo::kGather) {
-      const double bytes = eval_node_expr(node, uml::tag::kSize, scope, ctx);
+      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+                                    uid, scope, ctx);
       const int root =
           node.has_tag(uml::tag::kRoot)
-              ? static_cast<int>(
-                    eval_node_expr(node, uml::tag::kRoot, scope, ctx))
+              ? static_cast<int>(eval_tag(programs.root, uml::tag::kRoot,
+                                          node, uid, scope, ctx))
               : 0;
       workload::CollectiveElement element(ctx, node.name(),
                                           collective_kind(stereotype));
       co_await element.execute(uid, ctx.pid, ctx.tid, bytes, root);
     } else if (stereotype == uml::stereo::kOmpFor) {
-      const double iterations =
-          eval_node_expr(node, uml::tag::kIterations, scope, ctx);
-      const double itercost =
-          eval_node_expr(node, uml::tag::kIterCost, scope, ctx);
+      const double iterations = eval_tag(
+          programs.iterations, uml::tag::kIterations, node, uid, scope, ctx);
+      const double itercost = eval_tag(
+          programs.itercost, uml::tag::kIterCost, node, uid, scope, ctx);
       std::string schedule = node.tag_string(uml::tag::kSchedule);
       if (schedule.empty()) {
         schedule = "static";
@@ -714,18 +858,19 @@ struct Interpreter::Impl {
 
   sim::Process execute_activity(ModelContext ctx, const Node& node,
                                 Scope& scope) {
-    run_fragment(node, scope, ctx);
-    const int uid = program->uids.at(node.id());
+    const Program::NodePrograms& programs = program->at(node);
+    run_fragment(programs, node, scope, ctx);
+    const int uid = programs.uid;
     const ActivityDiagram* sub = model->diagram(node.subdiagram_id());
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kOmpParallel) {
       const int threads =
-          node.has_tag(uml::tag::kNumThreads) &&
-                  !node.tag_string(uml::tag::kNumThreads).empty()
-              ? static_cast<int>(eval_node_expr(node, uml::tag::kNumThreads,
-                                                scope, ctx))
+          programs.num_threads.has_value()
+              ? static_cast<int>(eval_tag(programs.num_threads,
+                                          uml::tag::kNumThreads, node, uid,
+                                          scope, ctx))
               : static_cast<int>(nt);
-      Scope body_scope = scope;  // loop-binding snapshot; shared locals
+      Scope body_scope = scope;  // frame snapshot; shared locals storage
       co_await workload::parallel_region(
           ctx, threads, uid, node.name(),
           [this, sub, body_scope](ModelContext tctx) -> sim::Process {
@@ -757,23 +902,24 @@ struct Interpreter::Impl {
 
   sim::Process execute_loop(ModelContext ctx, const Node& node,
                             Scope& scope) {
-    run_fragment(node, scope, ctx);
+    const Program::NodePrograms& programs = program->at(node);
+    run_fragment(programs, node, scope, ctx);
     const ActivityDiagram* body = model->diagram(node.subdiagram_id());
-    const double raw =
-        eval_node_expr(node, uml::tag::kIterations, scope, ctx);
+    const double raw = eval_tag(programs.iterations, uml::tag::kIterations,
+                                node, programs.uid, scope, ctx);
     if (std::isnan(raw) || raw < 0) {
       throw InterpretError("loop " + node.id() +
                            ": iteration count is negative or NaN");
     }
     const auto iterations = static_cast<std::int64_t>(raw);
-    std::string var = node.tag_string(uml::tag::kLoopVar);
-    if (var.empty()) {
-      var = "i";
-    }
+    // The loop variable's storage lives in this coroutine frame; the
+    // body scope's slot rebinding shadows any outer binding of the same
+    // name and is dropped with the snapshot when the loop exits.
+    double loop_value = 0;
     Scope iteration_scope = scope;
-    iteration_scope.loop_bindings.emplace_back(var, 0.0);
+    iteration_scope.frame[programs.loop_var_slot] = &loop_value;
     for (std::int64_t k = 0; k < iterations; ++k) {
-      iteration_scope.loop_bindings.back().second = static_cast<double>(k);
+      loop_value = static_cast<double>(k);
       co_await run_diagram(ctx, *body, iteration_scope);
     }
   }
@@ -786,13 +932,18 @@ std::shared_ptr<const Interpreter::Program> Interpreter::compile(
 
 std::shared_ptr<const Interpreter::Program> Interpreter::compile(
     uml::Model&& model) {
-  // Parse first (borrowing), then move the model in.  The parsed state
-  // holds no pointers into the Model (string keys only) and diagrams are
-  // heap-allocated, so re-pointing after the move is safe.
+  // Parse first (borrowing), then move the model in.  The compiled state
+  // keys nodes and edges by pointer; both are heap-allocated and owned
+  // through the model's diagram list, so they are stable across the
+  // move, and re-pointing the model itself after the move is safe.
   auto program = std::make_shared<Program>(model);
   program->owned.emplace(std::move(model));
   program->model = &*program->owned;
   return program;
+}
+
+Interpreter::ProgramStats Interpreter::stats(const Program& program) {
+  return {program.expr_compile_seconds, program.expr_programs};
 }
 
 Interpreter::Interpreter(const uml::Model& model)
@@ -819,11 +970,17 @@ sim::Process Interpreter::process_main(workload::ModelContext ctx) {
 }
 
 double Interpreter::global(const std::string& name) const {
-  const auto it = impl_->globals.find(name);
-  if (it == impl_->globals.end()) {
-    throw InterpretError("unknown global '" + name + "'");
+  for (const auto& variable : impl_->program->variables) {
+    if (variable.scope == uml::VariableScope::Global &&
+        variable.name == name &&
+        impl_->run_frame[variable.slot] ==
+            &impl_->global_values[variable.slot]) {
+      // Bound == initialized by a run, matching the tree walker's
+      // populate-on-start_run globals map.
+      return impl_->global_values[variable.slot];
+    }
   }
-  return it->second;
+  throw InterpretError("unknown global '" + name + "'");
 }
 
 double Interpreter::call_cost_function(const std::string& name,
@@ -832,11 +989,11 @@ double Interpreter::call_cost_function(const std::string& name,
   (void)pid;
   (void)tid;
   (void)uid;
-  const auto result = impl_->call_function(name, args);
-  if (!result) {
+  const auto it = impl_->program->function_ids.find(name);
+  if (it == impl_->program->function_ids.end()) {
     throw InterpretError("unknown cost function '" + name + "'");
   }
-  return *result;
+  return impl_->call(it->second, args);
 }
 
 int Interpreter::uid_of(const std::string& node_id) const {

@@ -120,4 +120,38 @@ TEST(ProphetcCli, EstimateResolvesRegistryDefaults) {
       << result.output;
 }
 
+TEST(ProphetcCli, EstimateTimingsReportsExpressionCompileSplit) {
+  // Every backend line reports the prepare/evaluate split with the
+  // expression-compile share of prepare.
+  for (const char* backend : {"sim", "analytic", "both"}) {
+    const auto result = run_command(prophetc() + " estimate @kernel6 " +
+                                    "--backend " + backend + " --timings");
+    ASSERT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("-- timings --"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("expr compile"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("programs)"), std::string::npos)
+        << result.output;
+    if (std::string(backend) != "sim") {
+      EXPECT_NE(result.output.find("analytic: prepare"), std::string::npos)
+          << result.output;
+    }
+    if (std::string(backend) != "analytic") {
+      EXPECT_NE(result.output.find("sim: prepare"), std::string::npos)
+          << result.output;
+    }
+  }
+  // The timed sim path must stay bit-identical to the default path.
+  const auto timed = run_command(prophetc() + " estimate @kernel6 --timings");
+  const auto plain = run_command(prophetc() + " estimate @kernel6");
+  ASSERT_EQ(timed.status, 0) << timed.output;
+  const auto timed_lines = lines_of(timed.output);
+  ASSERT_FALSE(timed_lines.empty());
+  EXPECT_NE(timed.output.find(lines_of(plain.output)[0]), std::string::npos)
+      << "predicted time differs between --timings and default paths:\n"
+      << timed.output << "\nvs\n"
+      << plain.output;
+}
+
 }  // namespace

@@ -4,7 +4,7 @@
 //   prophetc generate <model> [-o out.cpp] [--main]
 //   prophetc estimate <model> [--sp <sp.xml>] [--np N] [--nodes N]
 //                     [--ppn N] [--nt N] [--backend sim|analytic|both]
-//                     [--trace out.tf] [--gantt]
+//                     [--trace out.tf] [--gantt] [--timings]
 //   prophetc outline <model>
 //   prophetc models [--names] [--grid @name]
 //   prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>]
@@ -27,11 +27,14 @@
 // (parse, check, transform, prepare) and evaluate all its scenarios
 // against the cached result; --isolate restores the
 // re-run-everything-per-job pipeline.  Predictions are bit-identical
-// either way.
+// either way.  estimate --timings reports the prepare/evaluate split,
+// including the time prepare spent compiling cost expressions to
+// bytecode.
 //
 // Every parse error prints usage and exits non-zero; flags are accepted
 // as `--flag value` or `--flag=value`.
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -68,7 +71,7 @@ int usage() {
       "  prophetc generate <model> [-o out.cpp] [--main]\n"
       "  prophetc estimate <model> [--sp <sp.xml>] [--np N] "
       "[--nodes N] [--ppn N] [--nt N] [--backend sim|analytic|both] "
-      "[--trace out.tf] [--gantt]\n"
+      "[--trace out.tf] [--gantt] [--timings]\n"
       "  prophetc outline <model>\n"
       "  prophetc models [--names] [--grid @name]\n"
       "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
@@ -208,11 +211,33 @@ int cmd_generate(const prophet::Prophet& prophet,
   return 0;
 }
 
+/// Seconds since `start` (used by `estimate --timings`).
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One `--timings` line: the prepare/evaluate split of a backend, with
+/// the expression-compile share of prepare.
+std::string timings_line(std::string_view backend, double prepare_s,
+                         const estimator::PrepareStats& stats,
+                         double estimate_s) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s: prepare %.6f s (expr compile %.6f s, %zu programs), "
+                "estimate %.6f s\n",
+                std::string(backend).c_str(), prepare_s,
+                stats.expr_compile_seconds, stats.expr_programs, estimate_s);
+  return line;
+}
+
 int cmd_estimate(const prophet::Prophet& prophet,
                  const std::vector<std::string>& args,
                  prophet::machine::SystemParameters params) {
   std::string trace_path;
   bool gantt = false;
+  bool timings = false;
   auto backend = estimator::BackendKind::Simulation;
   std::string error;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -257,6 +282,8 @@ int cmd_estimate(const prophet::Prophet& prophet,
       trace_path = *value;
     } else if (args[i] == "--gantt") {
       gantt = true;
+    } else if (args[i] == "--timings") {
+      timings = true;
     } else {
       return parse_error("estimate: unexpected argument '" + args[i] + "'");
     }
@@ -269,23 +296,59 @@ int cmd_estimate(const prophet::Prophet& prophet,
           "--trace/--gantt need a simulation (use --backend sim)");
     }
   }
+  std::string timing_report;
   if (backend == estimator::BackendKind::Analytic) {
     // The prepare-once/evaluate-many path; with one evaluation it is
     // equivalent to the one-shot Backend::estimate.
+    const auto prepare_started = std::chrono::steady_clock::now();
     const auto prepared =
         prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    const double prepare_s = seconds_since(prepare_started);
+    const auto estimate_started = std::chrono::steady_clock::now();
     const auto report = prepared->estimate(params);
+    const double estimate_s = seconds_since(estimate_started);
     std::printf("%s", report.summary().c_str());
+    if (timings) {
+      std::printf("-- timings --\n%s",
+                  timings_line("analytic", prepare_s,
+                               prepared->prepare_stats(), estimate_s)
+                      .c_str());
+    }
     return 0;
   }
 
-  const auto report =
-      prophet.estimate(params, {.collect_trace = !trace_path.empty() || gantt});
+  const estimator::EstimationOptions options{
+      .collect_trace = !trace_path.empty() || gantt};
+  estimator::PredictionReport report;
+  if (timings) {
+    // Route through the Backend prepare()/estimate() split (bit-identical
+    // to the one-shot path per the PreparedModel contract) so the
+    // prepare cost — expression compilation included — is measurable.
+    const auto prepare_started = std::chrono::steady_clock::now();
+    const auto prepared =
+        prophet::analytic::SimulationBackend().prepare(prophet.model());
+    const double prepare_s = seconds_since(prepare_started);
+    const auto estimate_started = std::chrono::steady_clock::now();
+    report = prepared->estimate(params, options);
+    const double estimate_s = seconds_since(estimate_started);
+    timing_report = timings_line("sim", prepare_s, prepared->prepare_stats(),
+                                 estimate_s);
+  } else {
+    report = prophet.estimate(params, options);
+  }
   std::printf("%s", report.summary().c_str());
   if (backend == estimator::BackendKind::Both) {
+    const auto prepare_started = std::chrono::steady_clock::now();
     const auto prepared =
         prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    const double prepare_s = seconds_since(prepare_started);
+    const auto estimate_started = std::chrono::steady_clock::now();
     const auto analytic = prepared->estimate(params);
+    const double estimate_s = seconds_since(estimate_started);
+    if (timings) {
+      timing_report += timings_line("analytic", prepare_s,
+                                    prepared->prepare_stats(), estimate_s);
+    }
     // Same convention as the batch pipeline: a zero simulated time with a
     // nonzero analytic prediction is total disagreement, not zero error.
     double rel_error = 0;
@@ -298,6 +361,9 @@ int cmd_estimate(const prophet::Prophet& prophet,
     }
     std::printf("analytic time:  %.12f s (relative error %.6f)\n",
                 analytic.predicted_time, rel_error);
+  }
+  if (!timing_report.empty()) {
+    std::printf("-- timings --\n%s", timing_report.c_str());
   }
   if (!trace_path.empty()) {
     report.trace.save(trace_path);
