@@ -124,6 +124,31 @@ void BM_Expr_CompiledEvalKernel6(benchmark::State& state) {
 }
 BENCHMARK(BM_Expr_CompiledEvalKernel6);
 
+void BM_Expr_SymbolTableBuild(benchmark::State& state) {
+  // Interning N identifiers and resolving each once — the shape of
+  // lowering a model with N declared/loop variables.  Hash-indexed
+  // SymbolTable keeps this O(N); the old linear scan was O(N^2) and
+  // dominated prepare() for large models.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    names.push_back("var_" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    expr::SymbolTable table;
+    for (const auto& name : names) {
+      benchmark::DoNotOptimize(table.add_variable(name));
+    }
+    for (const auto& name : names) {
+      benchmark::DoNotOptimize(table.slot_of(name));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count) * 2);
+}
+BENCHMARK(BM_Expr_SymbolTableBuild)->Range(64, 4096);
+
 void BM_Expr_GuardEval(benchmark::State& state) {
   const expr::ExprPtr guard = expr::parse(kGuard);
   expr::MapEnvironment env;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "prophet/lower/lower.hpp"
 #include "prophet/machine/machine.hpp"
 #include "prophet/uml/model.hpp"
 
@@ -73,20 +74,26 @@ struct AnalyticReport {
   [[nodiscard]] std::string machine_report() const;
 };
 
-/// Static cost analyzer over a UML performance model.  Construction
-/// pre-parses every expression and compiles it to slot-resolved bytecode
-/// (expr::compile, mirroring interp::Interpreter::Program), so one
-/// estimator instance can evaluate many scenarios cheaply — the symbolic
-/// walk resolves no identifier strings at evaluation time.
+/// Static cost analyzer over a UML performance model.  The analyzer is
+/// a *consumer* of the shared lowering layer: all per-model compilation
+/// (slot space, bytecode, resolved fragments — lower::ModelProgram)
+/// happens in lower::lower(), so one estimator instance can evaluate
+/// many scenarios cheaply — the symbolic walk resolves no identifier
+/// strings at evaluation time — and the same lowering can feed the
+/// simulation backend without recompilation.
 class AnalyticEstimator {
  public:
-  /// Borrows `model`; it must outlive the estimator.  Throws
-  /// AnalyticError when any expression fails to parse or a referenced
-  /// diagram is missing.
+  /// Borrows `model` and lowers it; it must outlive the estimator.
+  /// Throws AnalyticError when any expression fails to parse or a
+  /// referenced diagram is missing.
   explicit AnalyticEstimator(const uml::Model& model);
 
   /// Takes ownership of `model` (safe with temporaries).
   explicit AnalyticEstimator(uml::Model&& model);
+
+  /// Shares an existing lowering: construction is O(1) — no parsing, no
+  /// compilation.  Throws AnalyticError on null programs.
+  explicit AnalyticEstimator(lower::ModelProgramPtr program);
   ~AnalyticEstimator();
 
   AnalyticEstimator(const AnalyticEstimator&) = delete;
@@ -100,11 +107,15 @@ class AnalyticEstimator {
   [[nodiscard]] AnalyticReport evaluate(
       const machine::SystemParameters& params) const;
 
-  /// Construction time spent lowering cost expressions to bytecode
-  /// (surfaced through PreparedModel::prepare_stats / `--timings`).
+  /// The shared lowering this estimator evaluates (never null).
+  [[nodiscard]] lower::ModelProgramPtr lowering() const;
+
+  /// Lowering time spent compiling cost expressions to bytecode
+  /// (lowering()->stats(); surfaced through
+  /// PreparedModel::prepare_stats / `--timings`).
   [[nodiscard]] double expr_compile_seconds() const;
 
-  /// Number of bytecode programs the constructor produced.
+  /// Number of bytecode programs the lowering produced.
   [[nodiscard]] std::size_t expr_program_count() const;
 
   struct Impl;  // public so the walker/replay helpers in the TU can use it

@@ -14,25 +14,27 @@ namespace prophet::analytic {
 
 /// The discrete-event simulation path: interprets the UML model and runs
 /// the CSIM-substitute engine (the paper's Performance Estimator).
-/// prepare() compiles the model to an immutable interp::Interpreter
-/// Program shared by every estimate() call; each call builds its own
-/// cheap interpreter + engine, so concurrent evaluation is race-free.
+/// prepare() holds the shared lower::ModelProgram; each estimate() call
+/// builds its own cheap interpreter + engine over it, so concurrent
+/// evaluation is race-free.
 class SimulationBackend final : public estimator::Backend {
  public:
+  using estimator::Backend::prepare;
   [[nodiscard]] std::string_view name() const override { return "sim"; }
   [[nodiscard]] std::unique_ptr<estimator::PreparedModel> prepare(
-      const uml::Model& model) const override;
+      lower::ModelProgramPtr program) const override;
 };
 
 /// The closed-form path: static cost analysis + dependency replay.  The
 /// report's `events` stays 0 (no engine ran); `machine_report` carries the
-/// analytic per-node utilization.  prepare() wraps a pre-parsed
-/// AnalyticEstimator, whose evaluate() is const and reentrant.
+/// analytic per-node utilization.  prepare() wraps an AnalyticEstimator
+/// over the shared lowering, whose evaluate() is const and reentrant.
 class AnalyticBackend final : public estimator::Backend {
  public:
+  using estimator::Backend::prepare;
   [[nodiscard]] std::string_view name() const override { return "analytic"; }
   [[nodiscard]] std::unique_ptr<estimator::PreparedModel> prepare(
-      const uml::Model& model) const override;
+      lower::ModelProgramPtr program) const override;
 };
 
 /// Creates the backend for `kind`.  Throws std::invalid_argument for

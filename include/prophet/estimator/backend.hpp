@@ -21,10 +21,7 @@
 #include <string_view>
 
 #include "prophet/estimator/estimator.hpp"
-
-namespace prophet::uml {
-class Model;
-}
+#include "prophet/lower/lower.hpp"
 
 namespace prophet::estimator {
 
@@ -45,9 +42,11 @@ enum class BackendKind {
 [[nodiscard]] std::optional<BackendKind> backend_from_string(
     std::string_view text);
 
-/// What Backend::prepare() spent lowering the model — surfaced by
-/// PreparedModel::prepare_stats() so the prepare/evaluate tradeoff stays
-/// observable (`prophetc estimate --timings`).
+/// What Backend::prepare() spent (and produced) lowering the model —
+/// surfaced by PreparedModel::prepare_stats() so the prepare/evaluate
+/// tradeoff stays observable (`prophetc estimate --timings`).  Reported
+/// from the shared lower::ModelProgram, so every backend consuming one
+/// lowering reports identical counts.
 struct PrepareStats {
   /// Seconds spent compiling cost expressions to bytecode (a subset of
   /// the prepare wall time the caller measures around prepare()).
@@ -55,6 +54,12 @@ struct PrepareStats {
   /// Number of bytecode programs produced (cost tags, guards,
   /// initializers, cost-function bodies, code-fragment assignments).
   std::size_t expr_programs = 0;
+  /// Model nodes lowered (one NodePrograms entry each).
+  std::size_t nodes = 0;
+  /// Slots in the model-wide slot space.
+  std::size_t slots = 0;
+  /// Total bytecode size across all programs, in bytes.
+  std::size_t bytecode_bytes = 0;
 };
 
 /// A model compiled for repeated evaluation by one backend — the
@@ -83,9 +88,20 @@ class PreparedModel {
       const machine::SystemParameters& params,
       const EstimationOptions& options = {}) const = 0;
 
-  /// Preparation statistics (see PrepareStats); zeros when the backend
-  /// does not track them.
-  [[nodiscard]] virtual PrepareStats prepare_stats() const { return {}; }
+  /// The shared lowering this handle consumes (never null).  Two
+  /// handles prepared from the same lower::ModelProgramPtr return the
+  /// same program — backends do not lower, so a caller can lower once
+  /// and fan the result out to any number of engines.
+  [[nodiscard]] virtual lower::ModelProgramPtr lowering() const = 0;
+
+  /// Preparation statistics, derived from lowering()->stats() — the
+  /// single source of truth, identical across every backend sharing the
+  /// lowering.
+  [[nodiscard]] PrepareStats prepare_stats() const {
+    const lower::LoweringStats& stats = lowering()->stats();
+    return {stats.expr_compile_seconds, stats.expr_programs, stats.nodes,
+            stats.slots, stats.bytecode_bytes};
+  }
 };
 
 /// An estimation engine: evaluates a UML performance model under one
@@ -98,14 +114,23 @@ class Backend {
   /// Stable identifier ("sim", "analytic") used in reports and CSV rows.
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Compiles `model` into a reusable evaluation handle: all per-model
-  /// work (expression parsing, structural resolution) happens here, once,
-  /// so PreparedModel::estimate() is evaluation only.  Throws on models
-  /// the backend cannot evaluate (unparseable expressions, unsupported
-  /// constructs).  The handle may borrow `model`; it must outlive the
-  /// handle.
+  /// Builds a reusable evaluation handle over an already-lowered model.
+  /// Backends do not lower: everything shareable lives in `program`, so
+  /// preparing from an existing lowering is cheap (per-backend state
+  /// only) and N backends can consume one lower::lower() result.  Throws
+  /// on null programs or constructs the backend cannot evaluate.
   [[nodiscard]] virtual std::unique_ptr<PreparedModel> prepare(
-      const uml::Model& model) const = 0;
+      lower::ModelProgramPtr program) const = 0;
+
+  /// Convenience: lowers `model` (lower::lower — may throw
+  /// lower::LowerError) and prepares from the result.  The handle may
+  /// borrow `model`; it must outlive the handle.  Callers preparing the
+  /// same model for several backends should lower once themselves and
+  /// use the sharing overload instead.
+  [[nodiscard]] std::unique_ptr<PreparedModel> prepare(
+      const uml::Model& model) const {
+    return prepare(lower::lower(model));
+  }
 
   /// One-shot convenience: prepare(model) + a single estimate.
   /// Deterministic: the same model and parameters give the same report.

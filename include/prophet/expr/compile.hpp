@@ -29,10 +29,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "prophet/expr/ast.hpp"
@@ -122,11 +124,28 @@ class SymbolTable {
 
  private:
   friend class Compiler;
+
+  /// Transparent string hash for heterogeneous (string_view) lookup.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view name) const noexcept {
+      return std::hash<std::string_view>{}(name);
+    }
+  };
+  using NameIndex =
+      std::unordered_map<std::string, std::uint32_t, NameHash,
+                         std::equal_to<>>;
+
   std::vector<std::string> slots_;               // slot -> name
   std::vector<std::string> parameters_;          // position -> name
   std::vector<std::string> functions_;           // id -> name
   std::vector<std::pair<std::string, Ambient>> ambients_;
   std::vector<std::pair<std::string, double>> constants_;
+  // Hash indexes over slots_/functions_ — lookups are O(1), so lowering
+  // a model with many identifiers stays O(identifiers), not O(n^2).
+  // Keys are owned copies, so copied tables stay self-contained.
+  NameIndex slot_index_;
+  NameIndex function_index_;
 };
 
 /// Bytecode operations.  Stack effect in brackets.

@@ -20,14 +20,13 @@
 //    executed before the element's execute() call (Fig. 8b lines 72-76).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "prophet/estimator/estimator.hpp"
-#include "prophet/expr/ast.hpp"
+#include "prophet/lower/lower.hpp"
 #include "prophet/uml/model.hpp"
 #include "prophet/workload/runtime.hpp"
 
@@ -41,41 +40,30 @@ class InterpretError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Parses and executes a UML model.  Construction pre-parses every
-/// expression (cost tags, guards, initializers, cost-function bodies,
-/// code fragments) and compiles it to slot-resolved bytecode
-/// (expr::compile), so the per-run cost is bytecode evaluation only —
-/// no string lookups on the hot path.
+/// Executes a lowered UML model.  All per-model work — expression
+/// parsing, slot-space construction, bytecode compilation — lives in the
+/// shared lowering layer (lower::lower); the interpreter is a *consumer*
+/// of a lower::ModelProgram and holds only its per-run state, so the
+/// per-run cost is bytecode evaluation only — no string lookups on the
+/// hot path.
 ///
-/// The pre-parsed form is an Interpreter::Program — immutable after
-/// compile() and shareable: any number of interpreters (on any number of
-/// threads) can run the same program concurrently, each holding only its
-/// own per-run state (globals, bound system parameters).  This is what
-/// the simulation backend's PreparedModel hands out: compile once, then
-/// per estimate() construct a cheap interpreter over the shared program.
+/// The lowered form is immutable and shareable: any number of
+/// interpreters (on any number of threads) can run the same program
+/// concurrently.  This is what the simulation backend's PreparedModel
+/// hands out: lower once, then per estimate() construct a cheap
+/// interpreter over the shared program.
 class Interpreter final : public estimator::ProgramModel {
  public:
-  /// The immutable pre-parsed form of a model: every expression lowered
-  /// to slot-resolved bytecode (expr::Compiled), uids assigned, diagram
-  /// references resolved.  Opaque; obtain one from compile() and pass it
-  /// to the sharing constructor.
-  class Program;
+  /// The immutable lowered form of a model (see lower::ModelProgram):
+  /// every expression in slot-resolved bytecode, uids assigned, diagram
+  /// references resolved.  Obtain one from compile() — or directly from
+  /// lower::lower() — and pass it to the sharing constructor.
+  using Program = lower::ModelProgram;
 
-  /// Prepare-time cost of lowering the model's expressions to bytecode
-  /// (surfaced through estimator::PreparedModel::prepare_stats and
-  /// `prophetc estimate --timings`).
-  struct ProgramStats {
-    double expr_compile_seconds = 0;  ///< time spent in expr::compile
-    std::size_t expr_programs = 0;    ///< bytecode programs produced
-  };
-
-  /// Expression-compilation statistics of a compiled program.
-  [[nodiscard]] static ProgramStats stats(const Program& program);
-
-  /// Pre-parses `model` into a shareable Program.  Borrows `model`; it
-  /// must outlive every interpreter running the program.  Throws
-  /// InterpretError when any expression fails to parse or a referenced
-  /// diagram is missing.
+  /// Lowers `model` into a shareable Program (lower::lower with the
+  /// error type rewrapped).  Borrows `model`; it must outlive every
+  /// interpreter running the program.  Throws InterpretError when any
+  /// expression fails to parse or a referenced diagram is missing.
   [[nodiscard]] static std::shared_ptr<const Program> compile(
       const uml::Model& model);
 

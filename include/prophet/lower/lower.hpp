@@ -1,0 +1,303 @@
+// Shared model lowering — one UML -> executable-form transformation
+// behind every evaluation backend.
+//
+// The paper's thesis is that *transforming* the UML model into an
+// executable C++ form is what makes evaluation fast.  This module owns
+// that transformation for the in-process backends: `lower()` turns a
+// checked `uml::Model` into an immutable `ModelProgram` — the model-wide
+// slot space, every expression tag/guard/initializer/function body
+// compiled to slot-resolved bytecode (expr::compile), code fragments
+// with statically resolved write targets, and the static metadata the
+// analytic backend's loop-collapse/SPMD legality checks read.
+//
+// Backends do not lower; they consume a `ModelProgram`
+// (`shared_ptr<const>` — any number of backends and threads share one
+// lowering without synchronization) and keep only their per-run state.
+// The interpreter (simulation backend), the analytic estimator, and any
+// future backend (native codegen) are consumers of this one module, so
+// their lowering semantics cannot drift apart.  docs/lowering.md
+// documents the phases, the slot-binding rules and the metadata
+// contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/expr/compile.hpp"
+#include "prophet/uml/model.hpp"
+
+namespace prophet::lower {
+
+/// Error thrown when a model cannot be lowered: unparseable expressions,
+/// malformed code fragments, missing referenced diagrams, no resolvable
+/// main diagram.  Backends wrap it in their own error type
+/// (interp::InterpretError, analytic::AnalyticError) with the message
+/// preserved verbatim, so diagnostics are identical across consumers.
+class LowerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The expression-valued tags an evaluation site reads, as a dense enum.
+/// One table row in `lower.cpp` maps each tag name to its kind — adding
+/// a tag is one row there plus one accessor here, not an edit in every
+/// backend.
+enum class TagKind : std::uint8_t {
+  Cost,        ///< `cost` on <<action+>>
+  Dest,        ///< `dest` on <<send>>
+  Source,      ///< `source` on <<recv>>
+  Size,        ///< `size` on sends/recvs/collectives
+  Root,        ///< `root` on rooted collectives
+  Iterations,  ///< `iterations` on <<loop+>> / <<ompfor>>
+  IterCost,    ///< `itercost` on <<ompfor>>
+  NumThreads,  ///< `num_threads` on <<ompparallel>>
+};
+
+/// Number of TagKind values (size of the per-node program array).
+inline constexpr std::size_t kTagKindCount = 8;
+
+/// The TagKind for a tag name (uml::tag spelling), or nullopt for tags
+/// no evaluation site reads as an expression.
+[[nodiscard]] std::optional<TagKind> tag_kind(std::string_view name);
+
+/// The uml::tag spelling of a kind (inverse of tag_kind()).
+[[nodiscard]] std::string_view tag_name(TagKind kind);
+
+/// A code-fragment assignment with its write target resolved at lowering
+/// time: `Local` writes per-process storage, `Global` writes run-shared
+/// storage, `Undeclared` raises the walker's "assigns undeclared
+/// variable" error if (and only if) the fragment executes.
+struct CompiledAssignment {
+  /// Statically resolved storage class of the assignment target.
+  enum class Target : std::uint8_t {
+    Local,       ///< a declared per-process variable
+    Global,      ///< a declared run-shared variable
+    Undeclared,  ///< no declaration — executing it is an error
+  };
+  /// Assignment target name (diagnostics only; the slot is resolved).
+  std::string name;
+  /// Resolved storage class.
+  Target target = Target::Undeclared;
+  /// Slot of the target variable (valid unless Undeclared).
+  expr::Slot slot = 0;
+  /// True when the declared variable is Integer-typed: assigned values
+  /// truncate, exactly like the generated C++'s `long` variables.
+  bool coerce_int = false;
+  /// The right-hand side, compiled against the model's node table.
+  expr::Compiled value;
+};
+
+/// Everything an evaluation site needs at one node, pre-resolved: the
+/// node's uid, the compiled programs of its expression tags, its code
+/// fragment, and (for <<loop+>> nodes) the loop-variable slot.
+struct NodePrograms {
+  /// Numeric element uid (explicit `id` tag, else a stable 1-based
+  /// index skipping claimed values).
+  int uid = 0;
+  /// Slot of the loop variable bound by this node (Loop nodes only).
+  expr::Slot loop_var_slot = 0;
+  /// Compiled expression tags, indexed by TagKind; absent entries mean
+  /// the tag is missing or empty on this node.
+  std::array<std::optional<expr::Compiled>, kTagKindCount> tags;
+  /// The node's code fragment as resolved assignments (execution order).
+  std::vector<CompiledAssignment> fragment;
+
+  /// The compiled program of `kind`, absent when the node lacks the tag.
+  [[nodiscard]] const std::optional<expr::Compiled>& tag(
+      TagKind kind) const {
+    return tags[static_cast<std::size_t>(kind)];
+  }
+  /// `cost` program (TagKind::Cost).
+  [[nodiscard]] const std::optional<expr::Compiled>& cost() const {
+    return tag(TagKind::Cost);
+  }
+  /// `dest` program (TagKind::Dest).
+  [[nodiscard]] const std::optional<expr::Compiled>& dest() const {
+    return tag(TagKind::Dest);
+  }
+  /// `source` program (TagKind::Source).
+  [[nodiscard]] const std::optional<expr::Compiled>& source() const {
+    return tag(TagKind::Source);
+  }
+  /// `size` program (TagKind::Size).
+  [[nodiscard]] const std::optional<expr::Compiled>& size() const {
+    return tag(TagKind::Size);
+  }
+  /// `root` program (TagKind::Root).
+  [[nodiscard]] const std::optional<expr::Compiled>& root() const {
+    return tag(TagKind::Root);
+  }
+  /// `iterations` program (TagKind::Iterations).
+  [[nodiscard]] const std::optional<expr::Compiled>& iterations() const {
+    return tag(TagKind::Iterations);
+  }
+  /// `itercost` program (TagKind::IterCost).
+  [[nodiscard]] const std::optional<expr::Compiled>& itercost() const {
+    return tag(TagKind::IterCost);
+  }
+  /// `num_threads` program (TagKind::NumThreads).
+  [[nodiscard]] const std::optional<expr::Compiled>& num_threads() const {
+    return tag(TagKind::NumThreads);
+  }
+};
+
+/// A model variable, pre-resolved (declaration order preserved — the
+/// run/process initialization order backends must follow).
+struct CompiledVariable {
+  /// Declared name (diagnostics and introspection).
+  std::string name;
+  /// The variable's slot in the model-wide slot space.
+  expr::Slot slot = 0;
+  /// Global (run-shared) or Local (per-process) storage.
+  uml::VariableScope scope = uml::VariableScope::Global;
+  /// Integer-typed variables truncate on every assignment.
+  uml::VariableType type = uml::VariableType::Real;
+  /// Compiled initializer; absent means zero-initialize.
+  std::optional<expr::Compiled> initializer;
+};
+
+/// What lowering produced, from the single source of truth — surfaced
+/// through estimator::PrepareStats and `prophetc estimate --timings`.
+struct LoweringStats {
+  /// Seconds spent in expr::compile (a subset of the lower() wall time).
+  double expr_compile_seconds = 0;
+  /// Bytecode programs produced (tags, guards, initializers,
+  /// cost-function bodies, fragment assignments).
+  std::size_t expr_programs = 0;
+  /// Nodes lowered (every node of every diagram gets a NodePrograms).
+  std::size_t nodes = 0;
+  /// Slots in the model-wide slot space.
+  std::size_t slots = 0;
+  /// Compiled guards (guarded, non-else control-flow edges).
+  std::size_t guards = 0;
+  /// Compiled cost-function bodies.
+  std::size_t functions = 0;
+  /// Declared model variables.
+  std::size_t variables = 0;
+  /// Code-fragment assignments across all nodes.
+  std::size_t fragment_assignments = 0;
+  /// Total bytecode size across all programs, in bytes.
+  std::size_t bytecode_bytes = 0;
+};
+
+/// The immutable executable form of a model — everything every backend
+/// shares, produced once by lower().
+///
+/// A ModelProgram is written only by its constructor and read-only
+/// afterwards: any number of backends on any number of threads consume
+/// one program concurrently without synchronization (the
+/// `shared_ptr<const ModelProgram>` handle estimator::PreparedModel
+/// exposes).  Per-run state — bound system parameters, global/local
+/// storage, clocks — lives in the consuming backend, never here.
+///
+/// Node programs are keyed by `const uml::Node*` and guards by
+/// `const uml::ControlFlow*`; both are heap-allocated and owned through
+/// the model's diagram list, so the keys are stable for the model's
+/// lifetime (including across a move of the Model object itself).
+class ModelProgram {
+ public:
+  /// Lowers `model`, borrowing it (see lower() for the owning form).
+  /// Throws LowerError on unparseable expressions, malformed fragments,
+  /// unresolvable diagram references or a missing main diagram.
+  explicit ModelProgram(const uml::Model& model);
+
+  /// The lowered model (borrowed or owned; never null).
+  [[nodiscard]] const uml::Model& model() const { return *model_; }
+
+  /// The model-wide symbol table node-scope programs were compiled
+  /// against: one slot per bindable name (declared variables, loop
+  /// variables, np/nt/nn/ppn) plus the pid/tid/uid ambients with
+  /// slot-shadowing fallbacks.
+  [[nodiscard]] const expr::SymbolTable& symbols() const {
+    return node_table_;
+  }
+
+  /// Slots in the model-wide slot space (the frame size every consumer
+  /// must allocate).
+  [[nodiscard]] std::size_t slot_count() const { return nslots_; }
+
+  /// Slot of the `np` (process count) structural parameter.
+  [[nodiscard]] expr::Slot np_slot() const { return slot_np_; }
+  /// Slot of the `nt` (threads per process) structural parameter.
+  [[nodiscard]] expr::Slot nt_slot() const { return slot_nt_; }
+  /// Slot of the `nn` (node count) structural parameter.
+  [[nodiscard]] expr::Slot nn_slot() const { return slot_nn_; }
+  /// Slot of the `ppn` (processors per node) structural parameter.
+  [[nodiscard]] expr::Slot ppn_slot() const { return slot_ppn_; }
+
+  /// Declared model variables in declaration order (the initialization
+  /// order run/process start-up must follow).
+  [[nodiscard]] std::span<const CompiledVariable> variables() const {
+    return variables_;
+  }
+
+  /// Compiled cost-function bodies, indexed by function id (the id
+  /// expr::Op::CallUser carries and function_id() returns).
+  [[nodiscard]] std::span<const expr::Compiled> functions() const {
+    return functions_;
+  }
+
+  /// Function id of a cost function by name, if declared.
+  [[nodiscard]] std::optional<int> function_id(std::string_view name) const;
+
+  /// The lowered programs of `node`.  Every node of every diagram of the
+  /// model has an entry; passing a foreign node throws std::out_of_range.
+  [[nodiscard]] const NodePrograms& at(const uml::Node& node) const {
+    return nodes_.at(&node);
+  }
+
+  /// The compiled guard of `edge`, or nullptr when the edge is
+  /// unguarded or an `else` edge.
+  [[nodiscard]] const expr::Compiled* guard(
+      const uml::ControlFlow& edge) const;
+
+  /// The uid assigned to the node with element id `node_id`.  Throws
+  /// LowerError for unknown ids.
+  [[nodiscard]] int uid_of(const std::string& node_id) const;
+
+  /// What lowering produced (see LoweringStats).
+  [[nodiscard]] const LoweringStats& stats() const { return stats_; }
+
+ private:
+  friend std::shared_ptr<const ModelProgram> lower(uml::Model&& model);
+
+  std::optional<uml::Model> owned_;  // set by the owning lower() overload
+  const uml::Model* model_ = nullptr;
+
+  expr::SymbolTable node_table_;  // slots + pid/tid/uid ambients
+  std::size_t nslots_ = 0;
+  expr::Slot slot_np_ = 0, slot_nt_ = 0, slot_nn_ = 0, slot_ppn_ = 0;
+
+  std::vector<CompiledVariable> variables_;
+  std::vector<expr::Compiled> functions_;    // indexed by function id
+  std::map<std::string, int, std::less<>> function_ids_;
+  std::map<const uml::Node*, NodePrograms> nodes_;
+  std::map<const uml::ControlFlow*, expr::Compiled> guards_;
+  std::map<std::string, int> uids_;          // node element id -> uid
+
+  LoweringStats stats_;
+};
+
+/// Shared handle to an immutable lowering — the unit every backend's
+/// prepare() consumes and estimator::PreparedModel::lowering() exposes.
+using ModelProgramPtr = std::shared_ptr<const ModelProgram>;
+
+/// Lowers `model` into a shareable ModelProgram.  Borrows `model`; it
+/// must outlive every consumer of the program.  Throws LowerError (see
+/// ModelProgram constructor).
+[[nodiscard]] ModelProgramPtr lower(const uml::Model& model);
+
+/// Owning overload (safe with temporaries): the program keeps the model
+/// alive for its own lifetime.
+[[nodiscard]] ModelProgramPtr lower(uml::Model&& model);
+
+}  // namespace prophet::lower

@@ -1,19 +1,15 @@
 #include "prophet/analytic/analytic.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <deque>
 #include <optional>
-#include <set>
 #include <sstream>
 #include <tuple>
 #include <utility>
 
 #include "prophet/expr/compile.hpp"
 #include "prophet/expr/eval.hpp"
-#include "prophet/expr/parser.hpp"
-#include "prophet/uml/sysparams.hpp"
 #include "prophet/workload/runtime.hpp"
 
 namespace prophet::analytic {
@@ -24,13 +20,6 @@ using uml::Model;
 using uml::Node;
 using uml::NodeKind;
 
-/// One `name = expression;` assignment of an associated code fragment
-/// (parse-time form; lowered to Impl::CompiledAssignment).
-struct Assignment {
-  std::string target;
-  expr::ExprPtr value;
-};
-
 /// Integer-typed model variables truncate on assignment, exactly like the
 /// interpreter and the generated C++.
 double coerce(uml::VariableType type, double value) {
@@ -38,53 +27,6 @@ double coerce(uml::VariableType type, double value) {
     return std::trunc(value);
   }
   return value;
-}
-
-/// Splits a code fragment into `name = expr` assignments (interpreter
-/// semantics).
-std::vector<Assignment> parse_code_fragment(const std::string& text,
-                                            const std::string& where) {
-  std::vector<Assignment> assignments;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    auto end = text.find(';', start);
-    if (end == std::string::npos) {
-      end = text.size();
-    }
-    std::string statement = text.substr(start, end - start);
-    start = end + 1;
-    const auto first = statement.find_first_not_of(" \t\r\n");
-    if (first == std::string::npos) {
-      continue;
-    }
-    const auto last = statement.find_last_not_of(" \t\r\n");
-    statement = statement.substr(first, last - first + 1);
-    const auto equals = statement.find('=');
-    if (equals == std::string::npos || equals + 1 >= statement.size() ||
-        statement[equals + 1] == '=') {
-      throw AnalyticError("code fragment at " + where + ": statement '" +
-                          statement + "' is not an assignment");
-    }
-    std::string target = statement.substr(0, equals);
-    const auto target_end = target.find_last_not_of(" \t\r\n");
-    target = target.substr(0, target_end + 1);
-    try {
-      assignments.push_back(
-          {target, expr::parse(statement.substr(equals + 1))});
-    } catch (const expr::SyntaxError& error) {
-      throw AnalyticError("code fragment at " + where + ": " + error.what());
-    }
-  }
-  return assignments;
-}
-
-/// The loop-variable name bound by a <<loop+>> node ("i" by default).
-std::string loop_var_name(const Node& node) {
-  std::string var = node.tag_string(uml::tag::kLoopVar);
-  if (var.empty()) {
-    var = "i";
-  }
-  return var;
 }
 
 /// What one step of the abstract process timeline does.  Compute demands
@@ -162,59 +104,18 @@ struct LoopBinding {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Impl: construction-time compilation + per-evaluation state
+// Impl: shared lowering handle + per-evaluation state
 // ---------------------------------------------------------------------------
 
 struct AnalyticEstimator::Impl {
-  std::optional<Model> owned;  // set by the owning constructor
-  const Model* model = nullptr;
+  using CompiledAssignment = lower::CompiledAssignment;
+  using NodePrograms = lower::NodePrograms;
 
-  /// A fragment assignment with its write target resolved at compile
-  /// time (mirrors interp::Interpreter::Program).
-  struct CompiledAssignment {
-    enum class Target { Local, Global, Undeclared };
-    std::string name;
-    Target target = Target::Undeclared;
-    expr::Slot slot = 0;
-    bool coerce_int = false;
-    expr::Compiled value;
-  };
-
-  /// Everything the walker needs at one node, pre-resolved.
-  struct NodePrograms {
-    int uid = 0;
-    std::optional<expr::Compiled> cost;
-    std::optional<expr::Compiled> dest;
-    std::optional<expr::Compiled> source;
-    std::optional<expr::Compiled> size;
-    std::optional<expr::Compiled> root;
-    std::optional<expr::Compiled> iterations;
-    std::optional<expr::Compiled> itercost;
-    std::optional<expr::Compiled> num_threads;
-    std::vector<CompiledAssignment> fragment;
-    expr::Slot loop_var_slot = 0;  // Loop nodes only
-  };
-
-  /// Pre-parsed model variable (declaration order preserved).
-  struct CompiledVariable {
-    std::string name;
-    expr::Slot slot = 0;
-    uml::VariableScope scope = uml::VariableScope::Global;
-    uml::VariableType type = uml::VariableType::Real;
-    std::optional<expr::Compiled> initializer;  // absent: zero-init
-  };
-
-  expr::SymbolTable node_table;  // slots + pid/tid/uid ambients
-  std::size_t nslots = 0;
-  expr::Slot slot_np = 0, slot_nt = 0, slot_nn = 0, slot_ppn = 0;
-
-  std::vector<CompiledVariable> variables;
-  std::vector<expr::Compiled> functions;  // indexed by function id
-  std::map<const Node*, NodePrograms> nodes;
-  std::map<const uml::ControlFlow*, expr::Compiled> guards;
-
-  double expr_compile_seconds = 0;
-  std::size_t expr_programs = 0;
+  /// The shared lowering (slot space, bytecode, resolved fragments).
+  /// Immutable, so any number of estimators — and the simulation backend —
+  /// can consume the same program concurrently.
+  lower::ModelProgramPtr program;
+  const Model* model = nullptr;  // == &program->model(), cached
 
   /// Mutable state of one evaluate() call (evaluate is const + reentrant;
   /// everything per-run lives here, including the run-level slot frame).
@@ -246,267 +147,18 @@ struct AnalyticEstimator::Impl {
       ctx.args = args;
       ctx.functions = this;
       const double result =
-          impl->functions[static_cast<std::size_t>(id)].eval(ctx);
+          impl->program->functions()[static_cast<std::size_t>(id)].eval(ctx);
       --st->call_depth;
       return result;
     }
   };
 
-  explicit Impl(const Model& m) : model(&m) {
-    // ---- Phase 1: parse (error order matches the previous build).
-    struct ParsedVariable {
-      const uml::Variable* decl = nullptr;
-      expr::ExprPtr initializer;
-    };
-    std::vector<ParsedVariable> parsed_variables;
-    for (const auto& variable : m.variables()) {
-      ParsedVariable parsed;
-      parsed.decl = &variable;
-      if (!variable.initializer.empty()) {
-        parsed.initializer = parse_checked(
-            variable.initializer, "initializer of variable " + variable.name);
-      }
-      parsed_variables.push_back(std::move(parsed));
-    }
-    std::vector<expr::ExprPtr> parsed_functions;
-    for (const auto& fn : m.cost_functions()) {
-      parsed_functions.push_back(
-          parse_checked(fn.body, "cost function " + fn.name));
-    }
-    // uid assignment matches the interpreter: explicit `id` tags win, the
-    // rest get sequential numbers skipping claimed values.
-    std::map<std::string, int> uids;
-    std::set<int> claimed;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (auto id = node->tag(uml::tag::kId)) {
-          if (const auto* value = std::get_if<std::int64_t>(&*id)) {
-            uids[node->id()] = static_cast<int>(*value);
-            claimed.insert(static_cast<int>(*value));
-          }
-        }
-      }
-    }
-    int next = 1;
-    std::map<const uml::ControlFlow*, expr::ExprPtr> parsed_guards;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (uids.find(node->id()) == uids.end()) {
-          while (claimed.find(next) != claimed.end()) {
-            ++next;
-          }
-          uids[node->id()] = next;
-          claimed.insert(next);
-        }
-      }
-      for (const auto& edge : diagram->edges()) {
-        if (edge->has_guard() && !edge->is_else()) {
-          parsed_guards.emplace(edge.get(),
-                                parse_checked(edge->guard(),
-                                              "guard of edge " +
-                                                  edge->id()));
-        }
-      }
-    }
-    struct ParsedTag {
-      std::string_view tag;
-      expr::ExprPtr value;
-    };
-    std::map<const Node*, std::vector<ParsedTag>> parsed_tags;
-    std::map<const Node*, std::vector<Assignment>> parsed_fragments;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        for (const auto tag_name : uml::expression_tags(node->stereotype())) {
-          if (!node->has_tag(tag_name)) {
-            continue;
-          }
-          const std::string text = node->tag_string(tag_name);
-          if (text.empty()) {
-            continue;
-          }
-          parsed_tags[node.get()].push_back(
-              {tag_name,
-               parse_checked(text, "tag '" + std::string(tag_name) +
-                                       "' of node " + node->id())});
-        }
-        if (node->has_tag(uml::tag::kCode)) {
-          const std::string code = node->tag_string(uml::tag::kCode);
-          if (!code.empty()) {
-            parsed_fragments.emplace(node.get(),
-                                     parse_code_fragment(
-                                         code, "node " + node->id()));
-          }
-        }
-        if ((node->kind() == NodeKind::Activity ||
-             node->kind() == NodeKind::Loop) &&
-            m.diagram(node->subdiagram_id()) == nullptr) {
-          throw AnalyticError("node " + node->id() +
-                              " references unknown diagram '" +
-                              node->subdiagram_id() + "'");
-        }
-      }
-    }
-    if (m.main_diagram() == nullptr) {
-      throw AnalyticError("model has no resolvable main diagram");
-    }
-
-    // ---- Phase 2: build the slot space (one slot per bindable name).
-    expr::SymbolTable base;
-    slot_np = base.add_variable(std::string(uml::sysparam::kProcesses));
-    slot_nt = base.add_variable(std::string(uml::sysparam::kThreads));
-    slot_nn = base.add_variable(std::string(uml::sysparam::kNodes));
-    slot_ppn =
-        base.add_variable(std::string(uml::sysparam::kProcessorsPerNode));
-    for (const auto& variable : m.variables()) {
-      base.add_variable(variable.name);
-    }
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (node->kind() == NodeKind::Loop) {
-          base.add_variable(loop_var_name(*node));
-        }
-      }
-    }
-    for (const auto& fn : m.cost_functions()) {
-      base.add_function(fn.name);
-    }
-    nslots = base.slot_count();
-
-    node_table = base;
-    node_table.bind_ambient(std::string(uml::sysparam::kProcessId),
-                            expr::Ambient::Pid);
-    node_table.bind_ambient(std::string(uml::sysparam::kThreadId),
-                            expr::Ambient::Tid);
-    node_table.bind_ambient(std::string(uml::sysparam::kElementUid),
-                            expr::Ambient::Uid);
-
-    // ---- Phase 3: lower everything to bytecode.
-    for (auto& parsed : parsed_variables) {
-      CompiledVariable compiled;
-      compiled.name = parsed.decl->name;
-      compiled.slot = *base.slot_of(parsed.decl->name);
-      compiled.scope = parsed.decl->scope;
-      compiled.type = parsed.decl->type;
-      if (parsed.initializer != nullptr) {
-        compiled.initializer = compile_timed(*parsed.initializer, node_table);
-      }
-      variables.push_back(std::move(compiled));
-    }
-    functions.reserve(parsed_functions.size());
-    for (std::size_t i = 0; i < parsed_functions.size(); ++i) {
-      expr::SymbolTable fn_table = base;
-      for (const auto& parameter : m.cost_functions()[i].parameters) {
-        fn_table.add_parameter(parameter);
-      }
-      functions.push_back(compile_timed(*parsed_functions[i], fn_table));
-    }
-    for (auto& [edge, guard] : parsed_guards) {
-      guards.emplace(edge, compile_timed(*guard, node_table));
-    }
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        NodePrograms programs;
-        programs.uid = uids.at(node->id());
-        if (node->kind() == NodeKind::Loop) {
-          programs.loop_var_slot = *base.slot_of(loop_var_name(*node));
-        }
-        if (const auto tags = parsed_tags.find(node.get());
-            tags != parsed_tags.end()) {
-          for (auto& [tag, value] : tags->second) {
-            if (auto* member = tag_member(programs, tag)) {
-              *member = compile_timed(*value, node_table);
-            }
-          }
-        }
-        if (const auto fragment = parsed_fragments.find(node.get());
-            fragment != parsed_fragments.end()) {
-          for (auto& assignment : fragment->second) {
-            programs.fragment.push_back(
-                compile_assignment(assignment, base, m));
-          }
-        }
-        nodes.emplace(node.get(), std::move(programs));
-      }
-    }
-  }
-
-  static std::optional<expr::Compiled>* tag_member(NodePrograms& programs,
-                                                   std::string_view tag) {
-    if (tag == uml::tag::kCost) {
-      return &programs.cost;
-    }
-    if (tag == uml::tag::kIterations) {
-      return &programs.iterations;
-    }
-    if (tag == uml::tag::kDest) {
-      return &programs.dest;
-    }
-    if (tag == uml::tag::kSource) {
-      return &programs.source;
-    }
-    if (tag == uml::tag::kSize) {
-      return &programs.size;
-    }
-    if (tag == uml::tag::kRoot) {
-      return &programs.root;
-    }
-    if (tag == uml::tag::kNumThreads) {
-      return &programs.num_threads;
-    }
-    if (tag == uml::tag::kIterCost) {
-      return &programs.itercost;
-    }
-    return nullptr;  // no evaluation site reads other expression tags
-  }
-
-  [[nodiscard]] CompiledAssignment compile_assignment(
-      Assignment& assignment, const expr::SymbolTable& base, const Model& m) {
-    CompiledAssignment compiled;
-    compiled.name = assignment.target;
-    compiled.value = compile_timed(*assignment.value, node_table);
-    bool local = false;
-    bool global = false;
-    for (const auto& variable : m.variables()) {
-      if (variable.name != assignment.target) {
-        continue;
-      }
-      local = local || variable.scope == uml::VariableScope::Local;
-      global = global || variable.scope == uml::VariableScope::Global;
-    }
-    if (local || global) {
-      compiled.target = local ? CompiledAssignment::Target::Local
-                              : CompiledAssignment::Target::Global;
-      compiled.slot = *base.slot_of(assignment.target);
-    }
-    if (const uml::Variable* declared = m.variable(assignment.target)) {
-      compiled.coerce_int = declared->type == uml::VariableType::Integer;
-    }
-    return compiled;
-  }
-
-  [[nodiscard]] expr::Compiled compile_timed(const expr::Expr& ast,
-                                             const expr::SymbolTable& table) {
-    const auto start = std::chrono::steady_clock::now();
-    expr::Compiled program = expr::compile(ast, table);
-    expr_compile_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    ++expr_programs;
-    return program;
-  }
-
-  static expr::ExprPtr parse_checked(const std::string& text,
-                                     const std::string& where) {
-    try {
-      return expr::parse(text);
-    } catch (const expr::SyntaxError& error) {
-      throw AnalyticError(where + ": " + error.what());
-    }
-  }
+  explicit Impl(lower::ModelProgramPtr p)
+      : program(std::move(p)), model(&program->model()) {}
 
   AnalyticReport evaluate(const machine::SystemParameters& params) const;
 };
+
 
 namespace {
 
@@ -598,7 +250,7 @@ struct Walker {
   }
 
   [[nodiscard]] const NodePrograms& programs_of(const Node& node) const {
-    return impl.nodes.at(&node);
+    return impl.program->at(node);
   }
 
   /// Evaluates an optional tag program; absent tags are 0.0, evaluation
@@ -772,13 +424,13 @@ struct Walker {
           }
           continue;
         }
-        const auto guard_it = impl.guards.find(edge);
-        if (guard_it == impl.guards.end()) {
+        const expr::Compiled* guard = impl.program->guard(*edge);
+        if (guard == nullptr) {
           continue;  // unguarded edge out of a decision: never taken
         }
         double value = 0;
         try {
-          value = eval_program(guard_it->second, uid);
+          value = eval_program(*guard, uid);
         } catch (const expr::EvalError& error) {
           throw AnalyticError("guard of edge " + edge->id() + ": " +
                               error.what());
@@ -964,8 +616,8 @@ struct Walker {
     const auto& params = st.params;
     if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
       double cost = 0;
-      if (programs.cost.has_value()) {
-        cost = eval_tag(programs.cost, uml::tag::kCost, node, uid);
+      if (programs.cost().has_value()) {
+        cost = eval_tag(programs.cost(), uml::tag::kCost, node, uid);
       } else if (auto time = node.tag_number(uml::tag::kTime)) {
         cost = *time;
       }
@@ -974,8 +626,8 @@ struct Walker {
     } else if (stereotype == uml::stereo::kSend) {
       require_comm(node);
       const int dest = static_cast<int>(
-          eval_tag(programs.dest, uml::tag::kDest, node, uid));
-      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+          eval_tag(programs.dest(), uml::tag::kDest, node, uid));
+      const double bytes = eval_tag(programs.size(), uml::tag::kSize, node,
                                     uid);
       const int tag =
           static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
@@ -984,7 +636,7 @@ struct Walker {
     } else if (stereotype == uml::stereo::kRecv) {
       require_comm(node);
       const int source = static_cast<int>(
-          eval_tag(programs.source, uml::tag::kSource, node, uid));
+          eval_tag(programs.source(), uml::tag::kSource, node, uid));
       const int tag =
           static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
       out.events.push_back({EvKind::Recv, 0, 0, 0, source, tag});
@@ -998,16 +650,16 @@ struct Walker {
                stereotype == uml::stereo::kScatter ||
                stereotype == uml::stereo::kGather) {
       require_comm(node);
-      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+      const double bytes = eval_tag(programs.size(), uml::tag::kSize, node,
                                     uid);
       const double hold = workload::CollectiveElement::model_time(
           params, collective_kind(stereotype), params.processes, bytes);
       out.events.push_back({EvKind::Barrier, hold, 0, 0, 0, 0});
     } else if (stereotype == uml::stereo::kOmpFor) {
       const double iterations =
-          eval_tag(programs.iterations, uml::tag::kIterations, node, uid);
+          eval_tag(programs.iterations(), uml::tag::kIterations, node, uid);
       const double itercost =
-          eval_tag(programs.itercost, uml::tag::kIterCost, node, uid);
+          eval_tag(programs.itercost(), uml::tag::kIterCost, node, uid);
       std::string schedule = node.tag_string(uml::tag::kSchedule);
       if (schedule.empty()) {
         schedule = "static";
@@ -1038,9 +690,10 @@ struct Walker {
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kOmpParallel) {
       int threads = st.params.threads_per_process;
-      if (programs.num_threads.has_value()) {
+      if (programs.num_threads().has_value()) {
         threads = static_cast<int>(eval_tag(
-            programs.num_threads, uml::tag::kNumThreads, node, programs.uid));
+            programs.num_threads(), uml::tag::kNumThreads, node,
+            programs.uid));
       }
       if (threads < 1) {
         throw AnalyticError("parallel region at node " + node.id() +
@@ -1085,7 +738,7 @@ struct Walker {
     run_fragment(programs, node);
     const ActivityDiagram* body = impl.model->diagram(node.subdiagram_id());
     const double raw =
-        eval_tag(programs.iterations, uml::tag::kIterations, node,
+        eval_tag(programs.iterations(), uml::tag::kIterations, node,
                  programs.uid);
     if (std::isnan(raw) || raw < 0) {
       throw AnalyticError("loop " + node.id() +
@@ -1155,7 +808,7 @@ struct Walker {
     // Per-process locals, initialized in declaration order and bound
     // into the frame one by one (a forward reference falls through to
     // globals/system parameters, like the tree walker's growing map).
-    for (const auto& variable : impl.variables) {
+    for (const auto& variable : impl.program->variables()) {
       if (variable.scope != uml::VariableScope::Local) {
         continue;
       }
@@ -1317,12 +970,12 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
   st.nt = static_cast<double>(params.threads_per_process);
   st.nn = static_cast<double>(params.nodes);
   st.ppn = static_cast<double>(params.processors_per_node);
-  st.global_values.assign(nslots, 0.0);
-  st.run_frame.assign(nslots, nullptr);
-  st.run_frame[slot_np] = &st.np;
-  st.run_frame[slot_nt] = &st.nt;
-  st.run_frame[slot_nn] = &st.nn;
-  st.run_frame[slot_ppn] = &st.ppn;
+  st.global_values.assign(program->slot_count(), 0.0);
+  st.run_frame.assign(program->slot_count(), nullptr);
+  st.run_frame[program->np_slot()] = &st.np;
+  st.run_frame[program->nt_slot()] = &st.nt;
+  st.run_frame[program->nn_slot()] = &st.nn;
+  st.run_frame[program->ppn_slot()] = &st.ppn;
   FunctionCaller functions;
   functions.impl = this;
   functions.st = &st;
@@ -1333,7 +986,7 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
   for (const auto& diagram : model->diagrams()) {
     total_nodes += diagram->node_count();
   }
-  for (const auto& variable : variables) {
+  for (const auto& variable : program->variables()) {
     if (variable.scope != uml::VariableScope::Global) {
       continue;
     }
@@ -1360,7 +1013,7 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
 
   const auto walk_one = [&](int pid) -> WalkResult {
     WalkResult result;
-    std::vector<double> locals(nslots, 0.0);
+    std::vector<double> locals(program->slot_count(), 0.0);
     std::vector<double*> frame = st.run_frame;  // per-process frame
     std::vector<LoopBinding> bindings;
     std::uint64_t steps = 0;
@@ -1479,14 +1132,27 @@ std::string AnalyticReport::summary() const {
   return out.str();
 }
 
-AnalyticEstimator::AnalyticEstimator(const uml::Model& model)
-    : impl_(std::make_unique<Impl>(model)) {}
+AnalyticEstimator::AnalyticEstimator(const uml::Model& model) {
+  try {
+    impl_ = std::make_unique<Impl>(lower::lower(model));
+  } catch (const lower::LowerError& error) {
+    throw AnalyticError(error.what());
+  }
+}
 
 AnalyticEstimator::AnalyticEstimator(uml::Model&& model) {
-  auto owned = std::make_unique<uml::Model>(std::move(model));
-  impl_ = std::make_unique<Impl>(*owned);
-  impl_->owned.emplace(std::move(*owned));
-  impl_->model = &*impl_->owned;
+  try {
+    impl_ = std::make_unique<Impl>(lower::lower(std::move(model)));
+  } catch (const lower::LowerError& error) {
+    throw AnalyticError(error.what());
+  }
+}
+
+AnalyticEstimator::AnalyticEstimator(lower::ModelProgramPtr program) {
+  if (program == nullptr) {
+    throw AnalyticError("null model program");
+  }
+  impl_ = std::make_unique<Impl>(std::move(program));
 }
 
 AnalyticEstimator::~AnalyticEstimator() = default;
@@ -1496,12 +1162,16 @@ AnalyticReport AnalyticEstimator::evaluate(
   return impl_->evaluate(params);
 }
 
+lower::ModelProgramPtr AnalyticEstimator::lowering() const {
+  return impl_->program;
+}
+
 double AnalyticEstimator::expr_compile_seconds() const {
-  return impl_->expr_compile_seconds;
+  return impl_->program->stats().expr_compile_seconds;
 }
 
 std::size_t AnalyticEstimator::expr_program_count() const {
-  return impl_->expr_programs;
+  return impl_->program->stats().expr_programs;
 }
 
 }  // namespace prophet::analytic

@@ -10,15 +10,18 @@ namespace prophet::analytic {
 
 namespace {
 
-/// Simulation, prepared: the model compiled once to an immutable
-/// interpreter Program.  Every estimate() call constructs its own
-/// interpreter (per-run state only — O(1) over the shared program) and
-/// its own engine inside the SimulationManager, so concurrent calls
-/// share nothing mutable.
+/// Simulation, prepared: a handle on the shared lowering.  Every
+/// estimate() call constructs its own interpreter (per-run state only —
+/// O(1) over the shared program) and its own engine inside the
+/// SimulationManager, so concurrent calls share nothing mutable.
 class SimulationPrepared final : public estimator::PreparedModel {
  public:
-  explicit SimulationPrepared(const uml::Model& model)
-      : program_(interp::Interpreter::compile(model)) {}
+  explicit SimulationPrepared(lower::ModelProgramPtr program)
+      : program_(std::move(program)) {
+    if (program_ == nullptr) {
+      throw interp::InterpretError("null model program");
+    }
+  }
 
   [[nodiscard]] std::string_view backend_name() const override {
     return "sim";
@@ -32,21 +35,22 @@ class SimulationPrepared final : public estimator::PreparedModel {
     return manager.run(interpreter);
   }
 
-  [[nodiscard]] estimator::PrepareStats prepare_stats() const override {
-    const auto stats = interp::Interpreter::stats(*program_);
-    return {stats.expr_compile_seconds, stats.expr_programs};
+  [[nodiscard]] lower::ModelProgramPtr lowering() const override {
+    return program_;
   }
 
  private:
-  std::shared_ptr<const interp::Interpreter::Program> program_;
+  lower::ModelProgramPtr program_;
 };
 
-/// Analytic, prepared: a pre-parsed AnalyticEstimator.  Its evaluate()
-/// is const and keeps all per-evaluation state on the call's stack, so
-/// concurrent estimate() calls are race-free by construction.
+/// Analytic, prepared: an AnalyticEstimator over the shared lowering.
+/// Its evaluate() is const and keeps all per-evaluation state on the
+/// call's stack, so concurrent estimate() calls are race-free by
+/// construction.
 class AnalyticPrepared final : public estimator::PreparedModel {
  public:
-  explicit AnalyticPrepared(const uml::Model& model) : estimator_(model) {}
+  explicit AnalyticPrepared(lower::ModelProgramPtr program)
+      : estimator_(std::move(program)) {}
 
   [[nodiscard]] std::string_view backend_name() const override {
     return "analytic";
@@ -68,9 +72,8 @@ class AnalyticPrepared final : public estimator::PreparedModel {
     return report;
   }
 
-  [[nodiscard]] estimator::PrepareStats prepare_stats() const override {
-    return {estimator_.expr_compile_seconds(),
-            estimator_.expr_program_count()};
+  [[nodiscard]] lower::ModelProgramPtr lowering() const override {
+    return estimator_.lowering();
   }
 
  private:
@@ -80,13 +83,13 @@ class AnalyticPrepared final : public estimator::PreparedModel {
 }  // namespace
 
 std::unique_ptr<estimator::PreparedModel> SimulationBackend::prepare(
-    const uml::Model& model) const {
-  return std::make_unique<SimulationPrepared>(model);
+    lower::ModelProgramPtr program) const {
+  return std::make_unique<SimulationPrepared>(std::move(program));
 }
 
 std::unique_ptr<estimator::PreparedModel> AnalyticBackend::prepare(
-    const uml::Model& model) const {
-  return std::make_unique<AnalyticPrepared>(model);
+    lower::ModelProgramPtr program) const {
+  return std::make_unique<AnalyticPrepared>(std::move(program));
 }
 
 std::unique_ptr<estimator::Backend> make_backend(estimator::BackendKind kind) {

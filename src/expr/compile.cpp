@@ -15,13 +15,14 @@ namespace prophet::expr {
 // ---------------------------------------------------------------------------
 
 Slot SymbolTable::add_variable(std::string name) {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i] == name) {
-      return static_cast<Slot>(i);
-    }
+  if (const auto it = slot_index_.find(std::string_view(name));
+      it != slot_index_.end()) {
+    return static_cast<Slot>(it->second);
   }
+  const auto slot = static_cast<Slot>(slots_.size());
+  slot_index_.emplace(name, slot);
   slots_.push_back(std::move(name));
-  return static_cast<Slot>(slots_.size() - 1);
+  return slot;
 }
 
 void SymbolTable::bind_ambient(std::string name, Ambient kind) {
@@ -45,13 +46,14 @@ void SymbolTable::bind_constant(std::string name, double value) {
 }
 
 int SymbolTable::add_function(std::string name) {
-  for (std::size_t i = 0; i < functions_.size(); ++i) {
-    if (functions_[i] == name) {
-      return static_cast<int>(i);
-    }
+  if (const auto it = function_index_.find(std::string_view(name));
+      it != function_index_.end()) {
+    return static_cast<int>(it->second);
   }
+  const auto id = static_cast<int>(functions_.size());
+  function_index_.emplace(name, static_cast<std::uint32_t>(id));
   functions_.push_back(std::move(name));
-  return static_cast<int>(functions_.size() - 1);
+  return id;
 }
 
 void SymbolTable::add_parameter(std::string name) {
@@ -59,10 +61,8 @@ void SymbolTable::add_parameter(std::string name) {
 }
 
 std::optional<Slot> SymbolTable::slot_of(std::string_view name) const {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i] == name) {
-      return static_cast<Slot>(i);
-    }
+  if (const auto it = slot_index_.find(name); it != slot_index_.end()) {
+    return static_cast<Slot>(it->second);
   }
   return std::nullopt;
 }
@@ -72,10 +72,9 @@ const std::string& SymbolTable::name_of(Slot slot) const {
 }
 
 std::optional<int> SymbolTable::function_id(std::string_view name) const {
-  for (std::size_t i = 0; i < functions_.size(); ++i) {
-    if (functions_[i] == name) {
-      return static_cast<int>(i);
-    }
+  if (const auto it = function_index_.find(name);
+      it != function_index_.end()) {
+    return static_cast<int>(it->second);
   }
   return std::nullopt;
 }

@@ -1,16 +1,12 @@
 #include "prophet/interp/interpreter.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <optional>
-#include <set>
 #include <utility>
 
 #include "prophet/expr/compile.hpp"
 #include "prophet/expr/eval.hpp"
-#include "prophet/expr/parser.hpp"
-#include "prophet/uml/sysparams.hpp"
 
 namespace prophet::interp {
 namespace {
@@ -20,13 +16,6 @@ using uml::Model;
 using uml::Node;
 using uml::NodeKind;
 using workload::ModelContext;
-
-/// One `name = expression;` assignment of an associated code fragment
-/// (parse-time form; lowered to a CompiledAssignment).
-struct Assignment {
-  std::string target;
-  expr::ExprPtr value;
-};
 
 /// Integer-typed model variables truncate on assignment, exactly like the
 /// `long` variables the code generator emits.
@@ -46,403 +35,18 @@ struct Scope {
   double* locals = nullptr;  // slot-indexed per-process storage, may be null
 };
 
-/// Splits a code fragment into `name = expr` assignments.
-std::vector<Assignment> parse_code_fragment(const std::string& text,
-                                            const std::string& where) {
-  std::vector<Assignment> assignments;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    auto end = text.find(';', start);
-    if (end == std::string::npos) {
-      end = text.size();
-    }
-    std::string statement = text.substr(start, end - start);
-    start = end + 1;
-    // Trim whitespace.
-    const auto first = statement.find_first_not_of(" \t\r\n");
-    if (first == std::string::npos) {
-      continue;
-    }
-    const auto last = statement.find_last_not_of(" \t\r\n");
-    statement = statement.substr(first, last - first + 1);
-    const auto equals = statement.find('=');
-    // Reject '==' and missing '='.
-    if (equals == std::string::npos || equals + 1 >= statement.size() ||
-        statement[equals + 1] == '=') {
-      throw InterpretError("code fragment at " + where +
-                           ": statement '" + statement +
-                           "' is not an assignment");
-    }
-    std::string target = statement.substr(0, equals);
-    const auto target_end = target.find_last_not_of(" \t\r\n");
-    target = target.substr(0, target_end + 1);
-    try {
-      assignments.push_back(
-          {target, expr::parse(statement.substr(equals + 1))});
-    } catch (const expr::SyntaxError& error) {
-      throw InterpretError("code fragment at " + where + ": " +
-                           error.what());
-    }
-  }
-  return assignments;
-}
-
-/// The loop-variable name bound by a <<loop+>> node ("i" by default).
-std::string loop_var_name(const Node& node) {
-  std::string var = node.tag_string(uml::tag::kLoopVar);
-  if (var.empty()) {
-    var = "i";
-  }
-  return var;
-}
-
 }  // namespace
 
-/// The immutable compiled form of a model.  Everything here is written
-/// once, by the constructor, and only read afterwards — interpreters on
-/// different threads share one Program without synchronization.
-///
-/// All expressions are lowered to slot-resolved bytecode against one
-/// model-wide SymbolTable: declared variables, loop variables and the
-/// structural system parameters (np/nt/nn/ppn) are slots; pid/tid/uid
-/// are per-evaluation ambients (with slot fallbacks when a model name
-/// shadows them); cost functions compile against the same slot space
-/// plus their positional parameters, so one run-level frame serves every
-/// function call.
-class Interpreter::Program {
- public:
-  std::optional<Model> owned;  // set by the owning compile() overload
-  const Model* model = nullptr;
-
-  /// A fragment assignment with its write target resolved at compile
-  /// time (the tree walker resolved it per execution through two maps).
-  struct CompiledAssignment {
-    enum class Target { Local, Global, Undeclared };
-    std::string name;
-    Target target = Target::Undeclared;
-    expr::Slot slot = 0;
-    bool coerce_int = false;
-    expr::Compiled value;
-  };
-
-  /// Everything the walker needs at one node, pre-resolved: uid plus the
-  /// compiled programs of its expression tags and code fragment.
-  struct NodePrograms {
-    int uid = 0;
-    std::optional<expr::Compiled> cost;
-    std::optional<expr::Compiled> dest;
-    std::optional<expr::Compiled> source;
-    std::optional<expr::Compiled> size;
-    std::optional<expr::Compiled> root;
-    std::optional<expr::Compiled> iterations;
-    std::optional<expr::Compiled> itercost;
-    std::optional<expr::Compiled> num_threads;
-    std::vector<CompiledAssignment> fragment;
-    expr::Slot loop_var_slot = 0;  // Loop nodes only
-  };
-
-  /// Pre-parsed model variable (declaration order preserved).
-  struct CompiledVariable {
-    std::string name;
-    expr::Slot slot = 0;
-    uml::VariableScope scope = uml::VariableScope::Global;
-    uml::VariableType type = uml::VariableType::Real;
-    std::optional<expr::Compiled> initializer;  // absent: zero-init
-  };
-
-  expr::SymbolTable node_table;  // slots + pid/tid/uid ambients
-  std::size_t nslots = 0;
-  expr::Slot slot_np = 0, slot_nt = 0, slot_nn = 0, slot_ppn = 0;
-
-  std::vector<CompiledVariable> variables;
-  std::vector<expr::Compiled> functions;       // indexed by function id
-  std::map<std::string, int> function_ids;     // introspection
-  std::map<const Node*, NodePrograms> nodes;
-  std::map<const uml::ControlFlow*, expr::Compiled> guards;
-  std::map<std::string, int> uids;             // uid_of introspection
-
-  double expr_compile_seconds = 0;
-  std::size_t expr_programs = 0;
-
-  explicit Program(const Model& m) : model(&m) {
-    // ---- Phase 1: parse (error order matches the tree-walking build).
-    struct ParsedVariable {
-      const uml::Variable* decl = nullptr;
-      expr::ExprPtr initializer;
-    };
-    std::vector<ParsedVariable> parsed_variables;
-    for (const auto& variable : m.variables()) {
-      ParsedVariable parsed;
-      parsed.decl = &variable;
-      if (!variable.initializer.empty()) {
-        parsed.initializer = parse_checked(
-            variable.initializer, "initializer of variable " + variable.name);
-      }
-      parsed_variables.push_back(std::move(parsed));
-    }
-    struct ParsedFunction {
-      const uml::CostFunction* decl = nullptr;
-      expr::ExprPtr body;
-    };
-    std::vector<ParsedFunction> parsed_functions;
-    for (const auto& fn : m.cost_functions()) {
-      parsed_functions.push_back(
-          {&fn, parse_checked(fn.body, "cost function " + fn.name)});
-    }
-    // uid assignment: explicit `id` tags win; the rest get sequential
-    // numbers skipping claimed values.
-    std::set<int> claimed;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (auto id = node->tag(uml::tag::kId)) {
-          if (const auto* value = std::get_if<std::int64_t>(&*id)) {
-            uids[node->id()] = static_cast<int>(*value);
-            claimed.insert(static_cast<int>(*value));
-          }
-        }
-      }
-    }
-    int next = 1;
-    std::map<const uml::ControlFlow*, expr::ExprPtr> parsed_guards;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (uids.find(node->id()) != uids.end()) {
-          continue;
-        }
-        while (claimed.find(next) != claimed.end()) {
-          ++next;
-        }
-        uids[node->id()] = next;
-        claimed.insert(next);
-      }
-      for (const auto& edge : diagram->edges()) {
-        if (edge->has_guard() && !edge->is_else()) {
-          parsed_guards.emplace(edge.get(),
-                                parse_checked(edge->guard(),
-                                              "guard of edge " + edge->id()));
-        }
-      }
-    }
-    struct ParsedTag {
-      std::string_view tag;
-      expr::ExprPtr value;
-    };
-    std::map<const Node*, std::vector<ParsedTag>> parsed_tags;
-    std::map<const Node*, std::vector<Assignment>> parsed_fragments;
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        for (const auto tag_name :
-             uml::expression_tags(node->stereotype())) {
-          if (!node->has_tag(tag_name)) {
-            continue;
-          }
-          const std::string text = node->tag_string(tag_name);
-          if (text.empty()) {
-            continue;
-          }
-          parsed_tags[node.get()].push_back(
-              {tag_name,
-               parse_checked(text, "tag '" + std::string(tag_name) +
-                                       "' of node " + node->id())});
-        }
-        // <<action+>> cost tag is optional rather than an expression tag
-        // with fixed semantics — handled by expression_tags already.
-        if (node->has_tag(uml::tag::kCode)) {
-          const std::string code = node->tag_string(uml::tag::kCode);
-          if (!code.empty()) {
-            parsed_fragments.emplace(node.get(),
-                                     parse_code_fragment(
-                                         code, "node " + node->id()));
-          }
-        }
-        // Composite nodes must reference existing diagrams.
-        if ((node->kind() == NodeKind::Activity ||
-             node->kind() == NodeKind::Loop) &&
-            m.diagram(node->subdiagram_id()) == nullptr) {
-          throw InterpretError("node " + node->id() +
-                               " references unknown diagram '" +
-                               node->subdiagram_id() + "'");
-        }
-      }
-    }
-    if (m.main_diagram() == nullptr) {
-      throw InterpretError("model has no resolvable main diagram");
-    }
-
-    // ---- Phase 2: build the slot space.  Every name that any dynamic
-    // scope could bind gets exactly one slot; resolution precedence is
-    // realized by which storage a frame entry points at.
-    expr::SymbolTable base;
-    slot_np = base.add_variable(std::string(uml::sysparam::kProcesses));
-    slot_nt = base.add_variable(std::string(uml::sysparam::kThreads));
-    slot_nn = base.add_variable(std::string(uml::sysparam::kNodes));
-    slot_ppn =
-        base.add_variable(std::string(uml::sysparam::kProcessorsPerNode));
-    for (const auto& variable : m.variables()) {
-      base.add_variable(variable.name);
-    }
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        if (node->kind() == NodeKind::Loop) {
-          base.add_variable(loop_var_name(*node));
-        }
-      }
-    }
-    for (const auto& fn : m.cost_functions()) {
-      function_ids[fn.name] = base.add_function(fn.name);
-    }
-    nslots = base.slot_count();
-
-    node_table = base;
-    node_table.bind_ambient(std::string(uml::sysparam::kProcessId),
-                            expr::Ambient::Pid);
-    node_table.bind_ambient(std::string(uml::sysparam::kThreadId),
-                            expr::Ambient::Tid);
-    node_table.bind_ambient(std::string(uml::sysparam::kElementUid),
-                            expr::Ambient::Uid);
-
-    // ---- Phase 3: lower everything to bytecode.
-    for (auto& parsed : parsed_variables) {
-      CompiledVariable compiled;
-      compiled.name = parsed.decl->name;
-      compiled.slot = *base.slot_of(parsed.decl->name);
-      compiled.scope = parsed.decl->scope;
-      compiled.type = parsed.decl->type;
-      if (parsed.initializer != nullptr) {
-        compiled.initializer = compile_timed(*parsed.initializer, node_table);
-      }
-      variables.push_back(std::move(compiled));
-    }
-    functions.reserve(parsed_functions.size());
-    for (auto& parsed : parsed_functions) {
-      // Function bodies see their parameters, globals and the structural
-      // system parameters — never pid/tid/uid or locals, mirroring the
-      // file-scope C++ functions of Fig. 8a.
-      expr::SymbolTable fn_table = base;
-      for (const auto& parameter : parsed.decl->parameters) {
-        fn_table.add_parameter(parameter);
-      }
-      functions.push_back(compile_timed(*parsed.body, fn_table));
-    }
-    for (auto& [edge, guard] : parsed_guards) {
-      guards.emplace(edge, compile_timed(*guard, node_table));
-    }
-    for (const auto& diagram : m.diagrams()) {
-      for (const auto& node : diagram->nodes()) {
-        NodePrograms programs;
-        programs.uid = uids.at(node->id());
-        if (node->kind() == NodeKind::Loop) {
-          programs.loop_var_slot = *base.slot_of(loop_var_name(*node));
-        }
-        if (const auto tags = parsed_tags.find(node.get());
-            tags != parsed_tags.end()) {
-          for (auto& [tag, value] : tags->second) {
-            if (auto* member = tag_member(programs, tag)) {
-              *member = compile_timed(*value, node_table);
-            }
-          }
-        }
-        if (const auto fragment = parsed_fragments.find(node.get());
-            fragment != parsed_fragments.end()) {
-          for (auto& assignment : fragment->second) {
-            programs.fragment.push_back(
-                compile_assignment(assignment, base, m));
-          }
-        }
-        nodes.emplace(node.get(), std::move(programs));
-      }
-    }
-  }
-
-  [[nodiscard]] const NodePrograms& at(const Node& node) const {
-    return nodes.at(&node);
-  }
-
- private:
-  static std::optional<expr::Compiled>* tag_member(NodePrograms& programs,
-                                                   std::string_view tag) {
-    if (tag == uml::tag::kCost) {
-      return &programs.cost;
-    }
-    if (tag == uml::tag::kIterations) {
-      return &programs.iterations;
-    }
-    if (tag == uml::tag::kDest) {
-      return &programs.dest;
-    }
-    if (tag == uml::tag::kSource) {
-      return &programs.source;
-    }
-    if (tag == uml::tag::kSize) {
-      return &programs.size;
-    }
-    if (tag == uml::tag::kRoot) {
-      return &programs.root;
-    }
-    if (tag == uml::tag::kNumThreads) {
-      return &programs.num_threads;
-    }
-    if (tag == uml::tag::kIterCost) {
-      return &programs.itercost;
-    }
-    return nullptr;  // no evaluation site reads other expression tags
-  }
-
-  [[nodiscard]] CompiledAssignment compile_assignment(
-      Assignment& assignment, const expr::SymbolTable& base,
-      const Model& m) {
-    CompiledAssignment compiled;
-    compiled.name = assignment.target;
-    compiled.value = compile_timed(*assignment.value, node_table);
-    // Static write-target resolution: the tree walker consulted the
-    // per-process locals map first, then the globals map — both hold
-    // exactly the declared variables of that scope.
-    bool local = false;
-    bool global = false;
-    for (const auto& variable : m.variables()) {
-      if (variable.name != assignment.target) {
-        continue;
-      }
-      local = local || variable.scope == uml::VariableScope::Local;
-      global = global || variable.scope == uml::VariableScope::Global;
-    }
-    if (local || global) {
-      compiled.target = local ? CompiledAssignment::Target::Local
-                              : CompiledAssignment::Target::Global;
-      compiled.slot = *base.slot_of(assignment.target);
-    }
-    if (const uml::Variable* declared = m.variable(assignment.target)) {
-      compiled.coerce_int = declared->type == uml::VariableType::Integer;
-    }
-    return compiled;
-  }
-
-  [[nodiscard]] expr::Compiled compile_timed(const expr::Expr& ast,
-                                             const expr::SymbolTable& table) {
-    const auto start = std::chrono::steady_clock::now();
-    expr::Compiled program = expr::compile(ast, table);
-    expr_compile_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    ++expr_programs;
-    return program;
-  }
-
-  static expr::ExprPtr parse_checked(const std::string& text,
-                                     const std::string& where) {
-    try {
-      return expr::parse(text);
-    } catch (const expr::SyntaxError& error) {
-      throw InterpretError(where + ": " + error.what());
-    }
-  }
-};
-
-/// Per-run state + the walking machinery over a shared immutable Program.
+/// Per-run state + the walking machinery over a shared immutable
+/// lower::ModelProgram.  All lowering (slot space, bytecode, resolved
+/// fragments) lives in the shared program; only run-level bindings and
+/// the coroutine walkers live here.
 struct Interpreter::Impl final : expr::UserFunctions {
+  using NodePrograms = lower::NodePrograms;
+  using CompiledAssignment = lower::CompiledAssignment;
+
   std::shared_ptr<const Program> program;
-  const Model* model = nullptr;  // == program->model, cached
+  const Model* model = nullptr;  // == &program->model(), cached
 
   // Per-run state.  Globals live in a slot-indexed array shared by all
   // modeled processes of the run; the run frame binds global and
@@ -454,16 +58,16 @@ struct Interpreter::Impl final : expr::UserFunctions {
   mutable int call_depth = 0;
 
   explicit Impl(std::shared_ptr<const Program> p)
-      : program(std::move(p)), model(program->model) {
+      : program(std::move(p)), model(&program->model()) {
     // Pre-run frame: structural parameters at their defaults, globals
     // unbound (cost functions called before a run see exactly what the
     // tree walker's empty globals map gave them).
-    global_values.assign(program->nslots, 0.0);
-    run_frame.assign(program->nslots, nullptr);
-    run_frame[program->slot_np] = &np;
-    run_frame[program->slot_nt] = &nt;
-    run_frame[program->slot_nn] = &nn;
-    run_frame[program->slot_ppn] = &ppn;
+    global_values.assign(program->slot_count(), 0.0);
+    run_frame.assign(program->slot_count(), nullptr);
+    run_frame[program->np_slot()] = &np;
+    run_frame[program->nt_slot()] = &nt;
+    run_frame[program->nn_slot()] = &nn;
+    run_frame[program->ppn_slot()] = &ppn;
   }
 
   // ---------------------------------------------------------------------
@@ -494,7 +98,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     ctx.frame = run_frame;
     ctx.args = args;
     ctx.functions = this;
-    const double result = program->functions[static_cast<std::size_t>(id)]
+    const double result = program->functions()[static_cast<std::size_t>(id)]
                               .eval(ctx);
     --call_depth;
     return result;
@@ -517,7 +121,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     }
   }
 
-  void run_fragment(const Program::NodePrograms& programs, const Node& node,
+  void run_fragment(const NodePrograms& programs, const Node& node,
                     Scope& scope, const ModelContext& ctx) {
     for (const auto& assignment : programs.fragment) {
       double value = 0;
@@ -531,7 +135,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
       if (assignment.coerce_int) {
         value = std::trunc(value);
       }
-      using Target = Program::CompiledAssignment::Target;
+      using Target = CompiledAssignment::Target;
       switch (assignment.target) {
         case Target::Local:
           if (scope.locals != nullptr) {
@@ -560,16 +164,16 @@ struct Interpreter::Impl final : expr::UserFunctions {
     nt = params.threads_per_process;
     nn = params.nodes;
     ppn = params.processors_per_node;
-    global_values.assign(program->nslots, 0.0);
-    run_frame.assign(program->nslots, nullptr);
-    run_frame[program->slot_np] = &np;
-    run_frame[program->slot_nt] = &nt;
-    run_frame[program->slot_nn] = &nn;
-    run_frame[program->slot_ppn] = &ppn;
+    global_values.assign(program->slot_count(), 0.0);
+    run_frame.assign(program->slot_count(), nullptr);
+    run_frame[program->np_slot()] = &np;
+    run_frame[program->nt_slot()] = &nt;
+    run_frame[program->nn_slot()] = &nn;
+    run_frame[program->ppn_slot()] = &ppn;
     // Globals initialize in declaration order and become visible one by
     // one — a forward reference falls through to the system parameters
     // or errors, exactly like the tree walker's growing globals map.
-    for (const auto& variable : program->variables) {
+    for (const auto& variable : program->variables()) {
       if (variable.scope != uml::VariableScope::Global) {
         continue;
       }
@@ -585,11 +189,11 @@ struct Interpreter::Impl final : expr::UserFunctions {
   sim::Process run_process(ModelContext ctx) {
     // Per-process locals, initialized in declaration order; the storage
     // lives in this coroutine frame for the process's whole lifetime.
-    std::vector<double> local_values(program->nslots, 0.0);
+    std::vector<double> local_values(program->slot_count(), 0.0);
     Scope scope;
     scope.frame = run_frame;
     scope.locals = local_values.data();
-    for (const auto& variable : program->variables) {
+    for (const auto& variable : program->variables()) {
       if (variable.scope != uml::VariableScope::Local) {
         continue;
       }
@@ -677,11 +281,11 @@ struct Interpreter::Impl final : expr::UserFunctions {
           }
           continue;
         }
-        const auto guard_it = program->guards.find(edge);
-        if (guard_it == program->guards.end()) {
+        const expr::Compiled* guard = program->guard(*edge);
+        if (guard == nullptr) {
           continue;  // unguarded edge out of a decision: never taken
         }
-        if (expr::truthy(guard_it->second.eval(
+        if (expr::truthy(guard->eval(
                 make_context(scope.frame, ctx.pid, ctx.tid, uid)))) {
           chosen = edge;
           break;
@@ -766,14 +370,14 @@ struct Interpreter::Impl final : expr::UserFunctions {
 
   sim::Process execute_action(ModelContext ctx, const Node& node,
                               Scope& scope) {
-    const Program::NodePrograms& programs = program->at(node);
+    const NodePrograms& programs = program->at(node);
     run_fragment(programs, node, scope, ctx);
     const int uid = programs.uid;
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
       double cost = 0;
-      if (programs.cost.has_value()) {
-        cost = eval_tag(programs.cost, uml::tag::kCost, node, uid, scope,
+      if (programs.cost().has_value()) {
+        cost = eval_tag(programs.cost(), uml::tag::kCost, node, uid, scope,
                         ctx);
       } else if (auto time = node.tag_number(uml::tag::kTime)) {
         cost = *time;
@@ -782,8 +386,8 @@ struct Interpreter::Impl final : expr::UserFunctions {
       co_await element.execute(uid, ctx.pid, ctx.tid, cost);
     } else if (stereotype == uml::stereo::kSend) {
       const int dest = static_cast<int>(eval_tag(
-          programs.dest, uml::tag::kDest, node, uid, scope, ctx));
-      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+          programs.dest(), uml::tag::kDest, node, uid, scope, ctx));
+      const double bytes = eval_tag(programs.size(), uml::tag::kSize, node,
                                     uid, scope, ctx);
       const int tag = static_cast<int>(
           node.tag_number(uml::tag::kMsgTag).value_or(0));
@@ -791,8 +395,8 @@ struct Interpreter::Impl final : expr::UserFunctions {
       co_await element.execute(uid, ctx.pid, ctx.tid, dest, bytes, tag);
     } else if (stereotype == uml::stereo::kRecv) {
       const int source = static_cast<int>(eval_tag(
-          programs.source, uml::tag::kSource, node, uid, scope, ctx));
-      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+          programs.source(), uml::tag::kSource, node, uid, scope, ctx));
+      const double bytes = eval_tag(programs.size(), uml::tag::kSize, node,
                                     uid, scope, ctx);
       const int tag = static_cast<int>(
           node.tag_number(uml::tag::kMsgTag).value_or(0));
@@ -806,11 +410,11 @@ struct Interpreter::Impl final : expr::UserFunctions {
                stereotype == uml::stereo::kAllReduce ||
                stereotype == uml::stereo::kScatter ||
                stereotype == uml::stereo::kGather) {
-      const double bytes = eval_tag(programs.size, uml::tag::kSize, node,
+      const double bytes = eval_tag(programs.size(), uml::tag::kSize, node,
                                     uid, scope, ctx);
       const int root =
           node.has_tag(uml::tag::kRoot)
-              ? static_cast<int>(eval_tag(programs.root, uml::tag::kRoot,
+              ? static_cast<int>(eval_tag(programs.root(), uml::tag::kRoot,
                                           node, uid, scope, ctx))
               : 0;
       workload::CollectiveElement element(ctx, node.name(),
@@ -818,9 +422,9 @@ struct Interpreter::Impl final : expr::UserFunctions {
       co_await element.execute(uid, ctx.pid, ctx.tid, bytes, root);
     } else if (stereotype == uml::stereo::kOmpFor) {
       const double iterations = eval_tag(
-          programs.iterations, uml::tag::kIterations, node, uid, scope, ctx);
+          programs.iterations(), uml::tag::kIterations, node, uid, scope, ctx);
       const double itercost = eval_tag(
-          programs.itercost, uml::tag::kIterCost, node, uid, scope, ctx);
+          programs.itercost(), uml::tag::kIterCost, node, uid, scope, ctx);
       std::string schedule = node.tag_string(uml::tag::kSchedule);
       if (schedule.empty()) {
         schedule = "static";
@@ -858,15 +462,15 @@ struct Interpreter::Impl final : expr::UserFunctions {
 
   sim::Process execute_activity(ModelContext ctx, const Node& node,
                                 Scope& scope) {
-    const Program::NodePrograms& programs = program->at(node);
+    const NodePrograms& programs = program->at(node);
     run_fragment(programs, node, scope, ctx);
     const int uid = programs.uid;
     const ActivityDiagram* sub = model->diagram(node.subdiagram_id());
     const std::string& stereotype = node.stereotype();
     if (stereotype == uml::stereo::kOmpParallel) {
       const int threads =
-          programs.num_threads.has_value()
-              ? static_cast<int>(eval_tag(programs.num_threads,
+          programs.num_threads().has_value()
+              ? static_cast<int>(eval_tag(programs.num_threads(),
                                           uml::tag::kNumThreads, node, uid,
                                           scope, ctx))
               : static_cast<int>(nt);
@@ -902,10 +506,10 @@ struct Interpreter::Impl final : expr::UserFunctions {
 
   sim::Process execute_loop(ModelContext ctx, const Node& node,
                             Scope& scope) {
-    const Program::NodePrograms& programs = program->at(node);
+    const NodePrograms& programs = program->at(node);
     run_fragment(programs, node, scope, ctx);
     const ActivityDiagram* body = model->diagram(node.subdiagram_id());
-    const double raw = eval_tag(programs.iterations, uml::tag::kIterations,
+    const double raw = eval_tag(programs.iterations(), uml::tag::kIterations,
                                 node, programs.uid, scope, ctx);
     if (std::isnan(raw) || raw < 0) {
       throw InterpretError("loop " + node.id() +
@@ -927,23 +531,20 @@ struct Interpreter::Impl final : expr::UserFunctions {
 
 std::shared_ptr<const Interpreter::Program> Interpreter::compile(
     const uml::Model& model) {
-  return std::make_shared<const Program>(model);
+  try {
+    return lower::lower(model);
+  } catch (const lower::LowerError& error) {
+    throw InterpretError(error.what());
+  }
 }
 
 std::shared_ptr<const Interpreter::Program> Interpreter::compile(
     uml::Model&& model) {
-  // Parse first (borrowing), then move the model in.  The compiled state
-  // keys nodes and edges by pointer; both are heap-allocated and owned
-  // through the model's diagram list, so they are stable across the
-  // move, and re-pointing the model itself after the move is safe.
-  auto program = std::make_shared<Program>(model);
-  program->owned.emplace(std::move(model));
-  program->model = &*program->owned;
-  return program;
-}
-
-Interpreter::ProgramStats Interpreter::stats(const Program& program) {
-  return {program.expr_compile_seconds, program.expr_programs};
+  try {
+    return lower::lower(std::move(model));
+  } catch (const lower::LowerError& error) {
+    throw InterpretError(error.what());
+  }
 }
 
 Interpreter::Interpreter(const uml::Model& model)
@@ -970,7 +571,7 @@ sim::Process Interpreter::process_main(workload::ModelContext ctx) {
 }
 
 double Interpreter::global(const std::string& name) const {
-  for (const auto& variable : impl_->program->variables) {
+  for (const auto& variable : impl_->program->variables()) {
     if (variable.scope == uml::VariableScope::Global &&
         variable.name == name &&
         impl_->run_frame[variable.slot] ==
@@ -989,19 +590,19 @@ double Interpreter::call_cost_function(const std::string& name,
   (void)pid;
   (void)tid;
   (void)uid;
-  const auto it = impl_->program->function_ids.find(name);
-  if (it == impl_->program->function_ids.end()) {
+  const auto id = impl_->program->function_id(name);
+  if (!id.has_value()) {
     throw InterpretError("unknown cost function '" + name + "'");
   }
-  return impl_->call(it->second, args);
+  return impl_->call(*id, args);
 }
 
 int Interpreter::uid_of(const std::string& node_id) const {
-  const auto it = impl_->program->uids.find(node_id);
-  if (it == impl_->program->uids.end()) {
-    throw InterpretError("unknown node id '" + node_id + "'");
+  try {
+    return impl_->program->uid_of(node_id);
+  } catch (const lower::LowerError& error) {
+    throw InterpretError(error.what());
   }
-  return it->second;
 }
 
 }  // namespace prophet::interp

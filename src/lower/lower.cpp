@@ -1,0 +1,393 @@
+#include "prophet/lower/lower.hpp"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "prophet/expr/eval.hpp"
+#include "prophet/expr/parser.hpp"
+#include "prophet/uml/sysparams.hpp"
+
+namespace prophet::lower {
+namespace {
+
+using uml::Model;
+using uml::Node;
+using uml::NodeKind;
+
+/// One `name = expression;` assignment of an associated code fragment
+/// (parse-time form; lowered to a CompiledAssignment).
+struct Assignment {
+  std::string target;
+  expr::ExprPtr value;
+};
+
+/// The tag-name -> TagKind dispatch table.  Adding an expression tag is
+/// one row here (plus its TagKind value) — both backends pick it up
+/// through the shared NodePrograms array, no per-backend edits.
+struct TagRow {
+  std::string_view name;
+  TagKind kind;
+};
+
+constexpr TagRow kTagTable[] = {
+    {uml::tag::kCost, TagKind::Cost},
+    {uml::tag::kDest, TagKind::Dest},
+    {uml::tag::kSource, TagKind::Source},
+    {uml::tag::kSize, TagKind::Size},
+    {uml::tag::kRoot, TagKind::Root},
+    {uml::tag::kIterations, TagKind::Iterations},
+    {uml::tag::kIterCost, TagKind::IterCost},
+    {uml::tag::kNumThreads, TagKind::NumThreads},
+};
+static_assert(std::size(kTagTable) == kTagKindCount,
+              "every TagKind needs exactly one table row");
+
+/// Splits a code fragment into `name = expr` assignments.
+std::vector<Assignment> parse_code_fragment(const std::string& text,
+                                            const std::string& where) {
+  std::vector<Assignment> assignments;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find(';', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string statement = text.substr(start, end - start);
+    start = end + 1;
+    // Trim whitespace.
+    const auto first = statement.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const auto last = statement.find_last_not_of(" \t\r\n");
+    statement = statement.substr(first, last - first + 1);
+    const auto equals = statement.find('=');
+    // Reject '==' and missing '='.
+    if (equals == std::string::npos || equals + 1 >= statement.size() ||
+        statement[equals + 1] == '=') {
+      throw LowerError("code fragment at " + where + ": statement '" +
+                       statement + "' is not an assignment");
+    }
+    std::string target = statement.substr(0, equals);
+    const auto target_end = target.find_last_not_of(" \t\r\n");
+    target = target.substr(0, target_end + 1);
+    try {
+      assignments.push_back(
+          {target, expr::parse(statement.substr(equals + 1))});
+    } catch (const expr::SyntaxError& error) {
+      throw LowerError("code fragment at " + where + ": " + error.what());
+    }
+  }
+  return assignments;
+}
+
+/// The loop-variable name bound by a <<loop+>> node ("i" by default).
+std::string loop_var_name(const Node& node) {
+  std::string var = node.tag_string(uml::tag::kLoopVar);
+  if (var.empty()) {
+    var = "i";
+  }
+  return var;
+}
+
+expr::ExprPtr parse_checked(const std::string& text,
+                            const std::string& where) {
+  try {
+    return expr::parse(text);
+  } catch (const expr::SyntaxError& error) {
+    throw LowerError(where + ": " + error.what());
+  }
+}
+
+}  // namespace
+
+std::optional<TagKind> tag_kind(std::string_view name) {
+  for (const auto& row : kTagTable) {
+    if (row.name == name) {
+      return row.kind;
+    }
+  }
+  return std::nullopt;  // no evaluation site reads other expression tags
+}
+
+std::string_view tag_name(TagKind kind) {
+  for (const auto& row : kTagTable) {
+    if (row.kind == kind) {
+      return row.name;
+    }
+  }
+  return {};  // unreachable: the static_assert pins full coverage
+}
+
+ModelProgram::ModelProgram(const uml::Model& model) : model_(&model) {
+  const Model& m = model;
+
+  // Times one expr::compile call and folds it into the stats.
+  const auto compile_timed = [this](const expr::Expr& ast,
+                                    const expr::SymbolTable& table) {
+    const auto start = std::chrono::steady_clock::now();
+    expr::Compiled program = expr::compile(ast, table);
+    stats_.expr_compile_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ++stats_.expr_programs;
+    stats_.bytecode_bytes += program.size() * sizeof(expr::Instr);
+    return program;
+  };
+
+  // ---- Phase 1: parse (error order matches the historical builds).
+  struct ParsedVariable {
+    const uml::Variable* decl = nullptr;
+    expr::ExprPtr initializer;
+  };
+  std::vector<ParsedVariable> parsed_variables;
+  for (const auto& variable : m.variables()) {
+    ParsedVariable parsed;
+    parsed.decl = &variable;
+    if (!variable.initializer.empty()) {
+      parsed.initializer = parse_checked(
+          variable.initializer, "initializer of variable " + variable.name);
+    }
+    parsed_variables.push_back(std::move(parsed));
+  }
+  struct ParsedFunction {
+    const uml::CostFunction* decl = nullptr;
+    expr::ExprPtr body;
+  };
+  std::vector<ParsedFunction> parsed_functions;
+  for (const auto& fn : m.cost_functions()) {
+    parsed_functions.push_back(
+        {&fn, parse_checked(fn.body, "cost function " + fn.name)});
+  }
+  // uid assignment: explicit `id` tags win; the rest get sequential
+  // numbers skipping claimed values.
+  std::set<int> claimed;
+  for (const auto& diagram : m.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      if (auto id = node->tag(uml::tag::kId)) {
+        if (const auto* value = std::get_if<std::int64_t>(&*id)) {
+          uids_[node->id()] = static_cast<int>(*value);
+          claimed.insert(static_cast<int>(*value));
+        }
+      }
+    }
+  }
+  int next = 1;
+  std::map<const uml::ControlFlow*, expr::ExprPtr> parsed_guards;
+  for (const auto& diagram : m.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      if (uids_.find(node->id()) == uids_.end()) {
+        while (claimed.find(next) != claimed.end()) {
+          ++next;
+        }
+        uids_[node->id()] = next;
+        claimed.insert(next);
+      }
+    }
+    for (const auto& edge : diagram->edges()) {
+      if (edge->has_guard() && !edge->is_else()) {
+        parsed_guards.emplace(edge.get(),
+                              parse_checked(edge->guard(),
+                                            "guard of edge " + edge->id()));
+      }
+    }
+  }
+  struct ParsedTag {
+    TagKind kind = TagKind::Cost;
+    expr::ExprPtr value;
+  };
+  std::map<const Node*, std::vector<ParsedTag>> parsed_tags;
+  std::map<const Node*, std::vector<Assignment>> parsed_fragments;
+  for (const auto& diagram : m.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      for (const auto name : uml::expression_tags(node->stereotype())) {
+        if (!node->has_tag(name)) {
+          continue;
+        }
+        const std::string text = node->tag_string(name);
+        if (text.empty()) {
+          continue;
+        }
+        expr::ExprPtr parsed =
+            parse_checked(text, "tag '" + std::string(name) + "' of node " +
+                                    node->id());
+        if (const auto kind = tag_kind(name)) {
+          parsed_tags[node.get()].push_back({*kind, std::move(parsed)});
+        }
+      }
+      if (node->has_tag(uml::tag::kCode)) {
+        const std::string code = node->tag_string(uml::tag::kCode);
+        if (!code.empty()) {
+          parsed_fragments.emplace(
+              node.get(), parse_code_fragment(code, "node " + node->id()));
+        }
+      }
+      // Composite nodes must reference existing diagrams.
+      if ((node->kind() == NodeKind::Activity ||
+           node->kind() == NodeKind::Loop) &&
+          m.diagram(node->subdiagram_id()) == nullptr) {
+        throw LowerError("node " + node->id() +
+                         " references unknown diagram '" +
+                         node->subdiagram_id() + "'");
+      }
+    }
+  }
+  if (m.main_diagram() == nullptr) {
+    throw LowerError("model has no resolvable main diagram");
+  }
+
+  // ---- Phase 2: build the slot space.  Every name that any dynamic
+  // scope could bind gets exactly one slot; resolution precedence is
+  // realized by which storage a frame entry points at.
+  expr::SymbolTable base;
+  slot_np_ = base.add_variable(std::string(uml::sysparam::kProcesses));
+  slot_nt_ = base.add_variable(std::string(uml::sysparam::kThreads));
+  slot_nn_ = base.add_variable(std::string(uml::sysparam::kNodes));
+  slot_ppn_ =
+      base.add_variable(std::string(uml::sysparam::kProcessorsPerNode));
+  for (const auto& variable : m.variables()) {
+    base.add_variable(variable.name);
+  }
+  for (const auto& diagram : m.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      if (node->kind() == NodeKind::Loop) {
+        base.add_variable(loop_var_name(*node));
+      }
+    }
+  }
+  for (const auto& fn : m.cost_functions()) {
+    function_ids_[fn.name] = base.add_function(fn.name);
+  }
+  nslots_ = base.slot_count();
+
+  node_table_ = base;
+  node_table_.bind_ambient(std::string(uml::sysparam::kProcessId),
+                           expr::Ambient::Pid);
+  node_table_.bind_ambient(std::string(uml::sysparam::kThreadId),
+                           expr::Ambient::Tid);
+  node_table_.bind_ambient(std::string(uml::sysparam::kElementUid),
+                           expr::Ambient::Uid);
+
+  // ---- Phase 3: lower everything to bytecode.
+  for (auto& parsed : parsed_variables) {
+    CompiledVariable compiled;
+    compiled.name = parsed.decl->name;
+    compiled.slot = *base.slot_of(parsed.decl->name);
+    compiled.scope = parsed.decl->scope;
+    compiled.type = parsed.decl->type;
+    if (parsed.initializer != nullptr) {
+      compiled.initializer = compile_timed(*parsed.initializer, node_table_);
+    }
+    variables_.push_back(std::move(compiled));
+  }
+  functions_.reserve(parsed_functions.size());
+  for (auto& parsed : parsed_functions) {
+    // Function bodies see their parameters, globals and the structural
+    // system parameters — never pid/tid/uid or locals, mirroring the
+    // file-scope C++ functions of Fig. 8a.
+    expr::SymbolTable fn_table = base;
+    for (const auto& parameter : parsed.decl->parameters) {
+      fn_table.add_parameter(parameter);
+    }
+    functions_.push_back(compile_timed(*parsed.body, fn_table));
+  }
+  for (auto& [edge, guard] : parsed_guards) {
+    guards_.emplace(edge, compile_timed(*guard, node_table_));
+  }
+  for (const auto& diagram : m.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      NodePrograms programs;
+      programs.uid = uids_.at(node->id());
+      if (node->kind() == NodeKind::Loop) {
+        programs.loop_var_slot = *base.slot_of(loop_var_name(*node));
+      }
+      if (const auto tags = parsed_tags.find(node.get());
+          tags != parsed_tags.end()) {
+        for (auto& [kind, value] : tags->second) {
+          programs.tags[static_cast<std::size_t>(kind)] =
+              compile_timed(*value, node_table_);
+        }
+      }
+      if (const auto fragment = parsed_fragments.find(node.get());
+          fragment != parsed_fragments.end()) {
+        for (auto& assignment : fragment->second) {
+          CompiledAssignment compiled;
+          compiled.name = assignment.target;
+          compiled.value = compile_timed(*assignment.value, node_table_);
+          // Static write-target resolution: the tree walker consulted
+          // the per-process locals map first, then the globals map —
+          // both hold exactly the declared variables of that scope.
+          bool local = false;
+          bool global = false;
+          for (const auto& variable : m.variables()) {
+            if (variable.name != assignment.target) {
+              continue;
+            }
+            local = local || variable.scope == uml::VariableScope::Local;
+            global = global || variable.scope == uml::VariableScope::Global;
+          }
+          if (local || global) {
+            compiled.target = local ? CompiledAssignment::Target::Local
+                                    : CompiledAssignment::Target::Global;
+            compiled.slot = *base.slot_of(assignment.target);
+          }
+          if (const uml::Variable* declared =
+                  m.variable(assignment.target)) {
+            compiled.coerce_int =
+                declared->type == uml::VariableType::Integer;
+          }
+          ++stats_.fragment_assignments;
+          programs.fragment.push_back(std::move(compiled));
+        }
+      }
+      nodes_.emplace(node.get(), std::move(programs));
+    }
+  }
+
+  stats_.nodes = nodes_.size();
+  stats_.slots = nslots_;
+  stats_.guards = guards_.size();
+  stats_.functions = functions_.size();
+  stats_.variables = variables_.size();
+}
+
+std::optional<int> ModelProgram::function_id(std::string_view name) const {
+  const auto it = function_ids_.find(name);
+  if (it == function_ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const expr::Compiled* ModelProgram::guard(
+    const uml::ControlFlow& edge) const {
+  const auto it = guards_.find(&edge);
+  return it == guards_.end() ? nullptr : &it->second;
+}
+
+int ModelProgram::uid_of(const std::string& node_id) const {
+  const auto it = uids_.find(node_id);
+  if (it == uids_.end()) {
+    throw LowerError("unknown node id '" + node_id + "'");
+  }
+  return it->second;
+}
+
+ModelProgramPtr lower(const uml::Model& model) {
+  return std::make_shared<const ModelProgram>(model);
+}
+
+ModelProgramPtr lower(uml::Model&& model) {
+  // Lower first (borrowing), then move the model in.  The lowered state
+  // keys nodes and edges by pointer; both are heap-allocated and owned
+  // through the model's diagram list, so they are stable across the
+  // move, and re-pointing the model itself after the move is safe.
+  auto program = std::make_shared<ModelProgram>(model);
+  program->owned_.emplace(std::move(model));
+  program->model_ = &*program->owned_;
+  return program;
+}
+
+}  // namespace prophet::lower

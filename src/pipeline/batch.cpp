@@ -16,6 +16,7 @@
 #include "prophet/check/checker.hpp"
 #include "prophet/codegen/transformer.hpp"
 #include "prophet/estimator/estimator.hpp"
+#include "prophet/lower/lower.hpp"
 #include "prophet/models/registry.hpp"
 #include "prophet/xmi/xmi.hpp"
 
@@ -355,25 +356,39 @@ std::string BatchRunner::run_model_stages(
 namespace {
 
 /// Backend::prepare for the selected engine(s); either backend pointer
-/// may be null.  Returns a stage-prefixed error ("" on success) with the
-/// same stage names estimate failures use, so a model defect reports the
-/// same stage whether it surfaces at prepare or at evaluate, cached or
-/// isolated.
+/// may be null.  The model is lowered exactly once (lower::lower) and
+/// the shared lower::ModelProgram fans out to every selected backend —
+/// `--backend=both` pays one lowering, not two.  Returns a
+/// stage-prefixed error ("" on success) with the same stage names
+/// estimate failures use, so a model defect reports the same stage
+/// whether it surfaces at prepare or at evaluate, cached or isolated.
 std::string prepare_backends(
     const uml::Model& model, const estimator::Backend* sim_backend,
     const estimator::Backend* analytic_backend,
     std::unique_ptr<estimator::PreparedModel>* sim,
     std::unique_ptr<estimator::PreparedModel>* analytic) {
+  if (sim_backend == nullptr && analytic_backend == nullptr) {
+    return "";
+  }
+  lower::ModelProgramPtr program;
+  try {
+    program = lower::lower(model);
+  } catch (const std::exception& error) {
+    // Lowering failures report under the first selected engine's stage
+    // name (matching the per-backend prepare order this replaced).
+    const char* stage = sim_backend != nullptr ? "simulate: " : "analytic: ";
+    return std::string(stage) + error.what();
+  }
   if (sim_backend != nullptr) {
     try {
-      *sim = sim_backend->prepare(model);
+      *sim = sim_backend->prepare(program);
     } catch (const std::exception& error) {
       return std::string("simulate: ") + error.what();
     }
   }
   if (analytic_backend != nullptr) {
     try {
-      *analytic = analytic_backend->prepare(model);
+      *analytic = analytic_backend->prepare(program);
     } catch (const std::exception& error) {
       return std::string("analytic: ") + error.what();
     }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -121,8 +122,12 @@ TEST(ProphetcCli, EstimateResolvesRegistryDefaults) {
 }
 
 TEST(ProphetcCli, EstimateTimingsReportsExpressionCompileSplit) {
-  // Every backend line reports the prepare/evaluate split with the
-  // expression-compile share of prepare.
+  // Every backend reports the prepare/evaluate split with the
+  // expression-compile share of prepare, plus a lowering-counts line
+  // derived from the shared lower::ModelProgram.  Because the counts
+  // come from one lowering layer, every backend mode must report the
+  // same "lowering ..." suffix for the same model.
+  std::set<std::string> lowering_counts;
   for (const char* backend : {"sim", "analytic", "both"}) {
     const auto result = run_command(prophetc() + " estimate @kernel6 " +
                                     "--backend " + backend + " --timings");
@@ -136,12 +141,26 @@ TEST(ProphetcCli, EstimateTimingsReportsExpressionCompileSplit) {
     if (std::string(backend) != "sim") {
       EXPECT_NE(result.output.find("analytic: prepare"), std::string::npos)
           << result.output;
+      EXPECT_NE(result.output.find("analytic: lowering"), std::string::npos)
+          << result.output;
     }
     if (std::string(backend) != "analytic") {
       EXPECT_NE(result.output.find("sim: prepare"), std::string::npos)
           << result.output;
+      EXPECT_NE(result.output.find("sim: lowering"), std::string::npos)
+          << result.output;
+    }
+    for (const auto& line : lines_of(result.output)) {
+      const auto at = line.find(": lowering ");
+      if (at != std::string::npos) {
+        lowering_counts.insert(line.substr(at));
+      }
     }
   }
+  // sim, analytic and both produced four lowering lines between them;
+  // all must carry identical counts (nodes, slots, bytecode bytes).
+  EXPECT_EQ(lowering_counts.size(), 1u)
+      << "backends disagree on lowering counts";
   // The timed sim path must stay bit-identical to the default path.
   const auto timed = run_command(prophetc() + " estimate @kernel6 --timings");
   const auto plain = run_command(prophetc() + " estimate @kernel6");

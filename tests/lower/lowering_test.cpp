@@ -1,0 +1,225 @@
+// lower::ModelProgram: the shared lowering layer behind every backend.
+// Differential coverage: for every registry workload both backends must
+// observe the *same* lowering (pointer-equal when shared, count-equal
+// when lowered independently) and predict bit-identically whether
+// prepared from a model or from a shared lowering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/analytic/backend.hpp"
+#include "prophet/estimator/backend.hpp"
+#include "prophet/interp/interpreter.hpp"
+#include "prophet/lower/lower.hpp"
+#include "prophet/models/builtins.hpp"
+#include "prophet/models/registry.hpp"
+#include "prophet/uml/builder.hpp"
+
+namespace analytic = prophet::analytic;
+namespace estimator = prophet::estimator;
+namespace interp = prophet::interp;
+namespace lower = prophet::lower;
+namespace machine = prophet::machine;
+namespace models = prophet::models;
+namespace uml = prophet::uml;
+
+namespace {
+
+machine::SystemParameters params_np(int np, int nodes = 1, int ppn = 1) {
+  machine::SystemParameters params;
+  params.processes = np;
+  params.nodes = nodes;
+  params.processors_per_node = ppn;
+  return params;
+}
+
+// --- TagKind table -----------------------------------------------------------
+
+TEST(TagKind, RoundTripsThroughNameAndBack) {
+  for (std::size_t i = 0; i < lower::kTagKindCount; ++i) {
+    const auto kind = static_cast<lower::TagKind>(i);
+    const auto back = lower::tag_kind(lower::tag_name(kind));
+    ASSERT_TRUE(back.has_value()) << lower::tag_name(kind);
+    EXPECT_EQ(*back, kind);
+  }
+}
+
+TEST(TagKind, UnknownTagNamesAreNotExpressionTags) {
+  EXPECT_FALSE(lower::tag_kind("code").has_value());
+  EXPECT_FALSE(lower::tag_kind("id").has_value());
+  EXPECT_FALSE(lower::tag_kind("").has_value());
+  EXPECT_FALSE(lower::tag_kind("costs").has_value());
+}
+
+TEST(TagKind, NamedAccessorsAliasTheTagArray) {
+  const uml::Model model = models::sample_model();
+  const auto program = lower::lower(model);
+  for (const auto& diagram : model.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      const lower::NodePrograms& programs = program->at(*node);
+      EXPECT_EQ(&programs.cost(), &programs.tag(lower::TagKind::Cost));
+      EXPECT_EQ(&programs.dest(), &programs.tag(lower::TagKind::Dest));
+      EXPECT_EQ(&programs.source(), &programs.tag(lower::TagKind::Source));
+      EXPECT_EQ(&programs.size(), &programs.tag(lower::TagKind::Size));
+      EXPECT_EQ(&programs.root(), &programs.tag(lower::TagKind::Root));
+      EXPECT_EQ(&programs.iterations(),
+                &programs.tag(lower::TagKind::Iterations));
+      EXPECT_EQ(&programs.itercost(), &programs.tag(lower::TagKind::IterCost));
+      EXPECT_EQ(&programs.num_threads(),
+                &programs.tag(lower::TagKind::NumThreads));
+    }
+  }
+}
+
+// --- ModelProgram structure --------------------------------------------------
+
+TEST(ModelProgram, CoversEveryNodeOfEveryDiagram) {
+  const uml::Model model = models::sample_model();
+  const auto program = lower::lower(model);
+  EXPECT_EQ(&program->model(), &model);
+  std::size_t nodes = 0;
+  for (const auto& diagram : model.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      EXPECT_GT(program->at(*node).uid, 0);
+      ++nodes;
+    }
+  }
+  EXPECT_EQ(program->stats().nodes, nodes);
+  // np/nt/nn/ppn occupy the first slots of every model's slot space.
+  EXPECT_GE(program->slot_count(), 4u);
+  EXPECT_EQ(program->stats().slots, program->slot_count());
+}
+
+TEST(ModelProgram, ForeignNodeIsRejected) {
+  const auto program = lower::lower(models::sample_model());
+  const uml::Model other = models::sample_model();
+  const uml::Node& foreign = **other.main_diagram()->nodes().begin();
+  EXPECT_THROW((void)program->at(foreign), std::out_of_range);
+}
+
+TEST(ModelProgram, UidOfMatchesInterpreterAndRejectsUnknownIds) {
+  const uml::Model model = models::sample_model();
+  const auto program = lower::lower(model);
+  const interp::Interpreter interpreter(model);
+  for (const auto& diagram : model.diagrams()) {
+    for (const auto& node : diagram->nodes()) {
+      EXPECT_EQ(program->uid_of(node->id()), interpreter.uid_of(node->id()));
+    }
+  }
+  EXPECT_THROW((void)program->uid_of("zz"), lower::LowerError);
+}
+
+TEST(ModelProgram, OwningLowerKeepsTheModelAlive) {
+  lower::ModelProgramPtr program = lower::lower(models::sample_model());
+  // The temporary is gone; the program's model reference must not dangle.
+  EXPECT_NE(program->model().main_diagram(), nullptr);
+  EXPECT_GT(program->stats().nodes, 0u);
+  EXPECT_GT(program->stats().expr_programs, 0u);
+  EXPECT_GT(program->stats().bytecode_bytes, 0u);
+}
+
+TEST(ModelProgram, LoweringErrorsCarryTheBackendMessageText) {
+  uml::ModelBuilder mb("bad");
+  uml::DiagramBuilder d = mb.diagram("main");
+  uml::NodeRef init = d.initial();
+  uml::NodeRef a = d.action("A").cost("1 +");
+  uml::NodeRef fin = d.final_node();
+  d.sequence({init, a, fin});
+  const std::string node_id = a.id();
+  const uml::Model model = std::move(mb).build();
+  try {
+    (void)lower::lower(model);
+    FAIL() << "expected LowerError";
+  } catch (const lower::LowerError& error) {
+    // The same text InterpretError/AnalyticError carried before the
+    // shared layer existed — wrapping preserves what() verbatim.
+    EXPECT_NE(
+        std::string(error.what()).find("tag 'cost' of node " + node_id),
+        std::string::npos)
+        << error.what();
+  }
+}
+
+// --- One lowering behind every backend ---------------------------------------
+
+TEST(SharedLowering, BothBackendsConsumeTheSameProgramInstance) {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    const uml::Model model = entry.make();
+    const lower::ModelProgramPtr program = lower::lower(model);
+    const auto sim = analytic::SimulationBackend().prepare(program);
+    const auto ana = analytic::AnalyticBackend().prepare(program);
+    // The API contract of the redesign: backends do not lower, so a
+    // future backend shares this exact instance too.
+    EXPECT_EQ(sim->lowering().get(), program.get()) << entry.name;
+    EXPECT_EQ(ana->lowering().get(), program.get()) << entry.name;
+  }
+}
+
+TEST(SharedLowering, IndependentPreparesReportIdenticalCounts) {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    const uml::Model model = entry.make();
+    const auto sim = analytic::SimulationBackend().prepare(model);
+    const auto ana = analytic::AnalyticBackend().prepare(model);
+    const estimator::PrepareStats a = sim->prepare_stats();
+    const estimator::PrepareStats b = ana->prepare_stats();
+    EXPECT_EQ(a.expr_programs, b.expr_programs) << entry.name;
+    EXPECT_EQ(a.nodes, b.nodes) << entry.name;
+    EXPECT_EQ(a.slots, b.slots) << entry.name;
+    EXPECT_EQ(a.bytecode_bytes, b.bytecode_bytes) << entry.name;
+    // And both agree with a third, direct lowering.
+    const auto direct = lower::lower(model);
+    EXPECT_EQ(a.nodes, direct->stats().nodes) << entry.name;
+    EXPECT_EQ(a.slots, direct->stats().slots) << entry.name;
+    EXPECT_EQ(a.expr_programs, direct->stats().expr_programs) << entry.name;
+    EXPECT_EQ(a.bytecode_bytes, direct->stats().bytecode_bytes) << entry.name;
+  }
+}
+
+TEST(SharedLowering, PredictionsAreBitIdenticalToPerBackendLowering) {
+  for (const auto& entry : models::Registry::builtin().entries()) {
+    const uml::Model model = entry.make();
+    const lower::ModelProgramPtr program = lower::lower(model);
+    const auto params = entry.default_params;
+    for (const estimator::BackendKind kind :
+         {estimator::BackendKind::Simulation,
+          estimator::BackendKind::Analytic}) {
+      const auto backend = analytic::make_backend(kind);
+      const auto shared = backend->prepare(program);
+      const auto own = backend->prepare(model);
+      const auto from_shared = shared->estimate(params);
+      const auto from_own = own->estimate(params);
+      EXPECT_EQ(from_shared.predicted_time, from_own.predicted_time)
+          << entry.name << " @ " << backend->name();
+      EXPECT_EQ(from_shared.events, from_own.events) << entry.name;
+      EXPECT_EQ(from_shared.per_process_finish, from_own.per_process_finish)
+          << entry.name;
+    }
+  }
+}
+
+TEST(SharedLowering, EstimatorConstructedFromSharedLoweringMatchesDirect) {
+  const uml::Model model = models::kernel6_model(64, 16, 1e-8);
+  const auto program = lower::lower(model);
+  const analytic::AnalyticEstimator from_program(program);
+  const analytic::AnalyticEstimator from_model(model);
+  EXPECT_EQ(from_program.lowering().get(), program.get());
+  const auto params = params_np(4, 2, 2);
+  EXPECT_EQ(from_program.evaluate(params).predicted_time,
+            from_model.evaluate(params).predicted_time);
+  EXPECT_EQ(from_program.expr_program_count(), from_model.expr_program_count());
+}
+
+TEST(SharedLowering, NullProgramsAreRejected) {
+  EXPECT_THROW(analytic::AnalyticEstimator(lower::ModelProgramPtr()),
+               analytic::AnalyticError);
+  EXPECT_THROW((void)analytic::SimulationBackend().prepare(
+                   lower::ModelProgramPtr()),
+               interp::InterpretError);
+}
+
+}  // namespace

@@ -218,17 +218,22 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// One `--timings` line: the prepare/evaluate split of a backend, with
-/// the expression-compile share of prepare.
+/// Two `--timings` lines per backend: the prepare/evaluate split (with
+/// the expression-compile share of prepare) and the lowering counts from
+/// the shared lower::ModelProgram.  Every backend consuming one lowering
+/// reports identical counts on its second line.
 std::string timings_line(std::string_view backend, double prepare_s,
                          const estimator::PrepareStats& stats,
                          double estimate_s) {
-  char line[160];
+  char line[288];
   std::snprintf(line, sizeof(line),
                 "%s: prepare %.6f s (expr compile %.6f s, %zu programs), "
-                "estimate %.6f s\n",
+                "estimate %.6f s\n"
+                "%s: lowering %zu nodes, %zu slots, %zu bytecode bytes\n",
                 std::string(backend).c_str(), prepare_s,
-                stats.expr_compile_seconds, stats.expr_programs, estimate_s);
+                stats.expr_compile_seconds, stats.expr_programs, estimate_s,
+                std::string(backend).c_str(), stats.nodes, stats.slots,
+                stats.bytecode_bytes);
   return line;
 }
 
