@@ -1,0 +1,86 @@
+// Observability overhead: what instrumentation costs when it is off —
+// the number that licenses threading obs handles through the hot paths.
+//
+// The disabled path is a nullable-pointer check per counter bump (the
+// engines hold obs::Counter handles whose cell pointer is null), so the
+// contract is "free when off".  BM_CounterDisabled vs BM_CounterEnabled
+// measures the raw handle cost both ways; BM_EstimateGrid_{Plain,
+// Metrics} measures the end-to-end estimation path with and without a
+// live registry — the pair CI's perf smoke compares.
+#include <benchmark/benchmark.h>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/analytic/backend.hpp"
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/obs/obs.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/prophet.hpp"
+
+#include "json_args.hpp"
+
+namespace {
+
+namespace machine = prophet::machine;
+namespace obs = prophet::obs;
+
+std::vector<machine::SystemParameters> acceptance_grid() {
+  return prophet::pipeline::ScenarioGrid::parse("np=1..8:*2").expand();
+}
+
+// --- Raw handle cost ---------------------------------------------------------
+
+void BM_CounterDisabled(benchmark::State& state) {
+  obs::Counter counter;  // default-constructed: null cell, the off path
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter counter = registry.counter("bench.count");
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CounterEnabled);
+
+// --- End-to-end estimation, instrumentation off vs on ------------------------
+
+void run_grid(const prophet::estimator::Backend& backend,
+              benchmark::State& state, obs::Registry* metrics) {
+  const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const auto prepared = backend.prepare(model);
+  const auto grid = acceptance_grid();
+  const prophet::estimator::EstimationOptions options{
+      .collect_trace = false,
+      .collect_machine_report = false,
+      .metrics = metrics};
+  double checksum = 0;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      checksum += prepared->estimate(params, options).predicted_time;
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+
+void BM_EstimateGrid_Plain(benchmark::State& state) {
+  run_grid(prophet::analytic::AnalyticBackend(), state, nullptr);
+}
+BENCHMARK(BM_EstimateGrid_Plain);
+
+void BM_EstimateGrid_Metrics(benchmark::State& state) {
+  obs::Registry registry;
+  run_grid(prophet::analytic::AnalyticBackend(), state, &registry);
+}
+BENCHMARK(BM_EstimateGrid_Metrics);
+
+}  // namespace
+
+PROPHET_BENCHMARK_MAIN()

@@ -39,6 +39,7 @@
 
 #include "prophet/lower/lower.hpp"
 #include "prophet/machine/machine.hpp"
+#include "prophet/obs/obs.hpp"
 #include "prophet/uml/model.hpp"
 
 namespace prophet::analytic {
@@ -106,6 +107,15 @@ class AnalyticEstimator {
   /// analytic Backend::prepare() handle exposes).
   [[nodiscard]] AnalyticReport evaluate(
       const machine::SystemParameters& params) const;
+
+  /// Like evaluate(params), additionally counting the evaluation's
+  /// activity (loop collapses, SPMD sharing, replayed events, which
+  /// bound set the makespan, VM instructions) into `counters` when
+  /// non-null.  Counters never feed back into the prediction: the report
+  /// is bit-identical to the uncounted overload's.
+  [[nodiscard]] AnalyticReport evaluate(
+      const machine::SystemParameters& params,
+      obs::AnalyticCounters* counters) const;
 
   /// The shared lowering this estimator evaluates (never null).
   [[nodiscard]] lower::ModelProgramPtr lowering() const;

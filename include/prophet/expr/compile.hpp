@@ -40,6 +40,10 @@
 #include "prophet/expr/ast.hpp"
 #include "prophet/expr/eval.hpp"
 
+namespace prophet::obs {
+struct ExprCounters;
+}  // namespace prophet::obs
+
 namespace prophet::expr {
 
 /// Index of a variable slot in an evaluation frame.
@@ -222,6 +226,11 @@ struct EvalContext {
   double pid = 0;                        ///< ambient process id
   double tid = 0;                        ///< ambient thread id
   double uid = 0;                        ///< ambient element uid
+  /// Optional VM activity counters (instructions dispatched, evals,
+  /// lazy-error throws).  Null — the default — disables counting; the
+  /// counted values never feed back into evaluation, so results are
+  /// bit-identical either way.
+  obs::ExprCounters* counters = nullptr;
 };
 
 /// A compiled expression: flat postfix bytecode plus the static metadata

@@ -92,6 +92,10 @@ class Interpreter final : public estimator::ProgramModel {
   void on_run_start(const machine::SystemParameters& params) override;
   [[nodiscard]] sim::Process process_main(
       workload::ModelContext ctx) override;
+  /// Routes VM activity of every subsequent expression evaluation (tags,
+  /// guards, fragments, cost-function bodies) into `counters`; null
+  /// disables.  The block must outlive its installation.
+  void set_expr_counters(obs::ExprCounters* counters) override;
 
   // --- Introspection ---------------------------------------------------------
 

@@ -31,11 +31,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "prophet/estimator/backend.hpp"
 #include "prophet/machine/machine.hpp"
+#include "prophet/obs/obs.hpp"
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/uml/model.hpp"
 
@@ -145,17 +147,47 @@ struct BatchReport {
   /// One-time prepare-phase host time; includes models whose compile
   /// failed.  Zero in isolated runs.
   double prepare_seconds = 0;
+  /// The batch metric document: batch.* counts/timers derived from the
+  /// results (always), lower.* lowering stats (cached runs) and engine
+  /// counters — expr.*, sim.*, analytic.* — when the run had
+  /// BatchOptions::collect_metrics on.  summary() formats its aggregate
+  /// line from this registry, so the printed counts and the exported
+  /// JSON (`--metrics`) can never disagree.
+  obs::Registry metrics;
+  /// Host worker spans (and one representative simulated timeline per
+  /// model); populated when BatchOptions::collect_trace is on.
+  obs::TraceLog trace;
 
   [[nodiscard]] BatchStats stats() const;
 
   /// Wall-clock throughput of the whole batch.
   [[nodiscard]] double jobs_per_second() const;
 
-  /// Human-readable table: one line per scenario plus the aggregate.
+  /// The batch.* cells of `metrics`, re-derived from the results — what
+  /// run() merges into `metrics`, exposed so hand-built reports (tests)
+  /// can populate theirs the same way.
+  [[nodiscard]] obs::Registry derived_metrics() const;
+
+  /// Human-readable table: one line per scenario plus the aggregate
+  /// (read from `metrics`).
   [[nodiscard]] std::string summary() const;
 
   /// Machine-readable CSV (header + one row per scenario).
   [[nodiscard]] std::string to_csv() const;
+};
+
+/// One progress heartbeat of a running batch (BatchOptions::on_progress).
+struct BatchProgress {
+  std::size_t done = 0;        ///< Jobs finished so far.
+  std::size_t total = 0;       ///< Jobs in the batch.
+  double elapsed_seconds = 0;  ///< Since run() started.
+  double jobs_per_second = 0;  ///< done / elapsed.
+  double eta_seconds = 0;      ///< (total - done) / jobs_per_second.
+  /// Worst analytic-vs-sim deviation over the finished both-mode jobs
+  /// (0 until one finishes).
+  double worst_rel_error = 0;
+  /// True for the one guaranteed callback after the last job.
+  bool final = false;
 };
 
 /// Knobs for one batch run.
@@ -180,6 +212,23 @@ struct BatchOptions {
   /// workloads that want per-job fault containment of the pipeline
   /// stages themselves).  Predictions are bit-identical either way.
   bool isolate_jobs = false;
+  /// Collect engine counters (expr.*, sim.*, analytic.*, lower.*) into
+  /// BatchReport::metrics.  Each worker counts into its own registry and
+  /// the registries are merged after the pool joins, so the hot path
+  /// never synchronizes.  Predictions are bit-identical either way.
+  bool collect_metrics = false;
+  /// Record host spans — per-model compile stages and per-job estimates,
+  /// one lane per worker thread — plus one representative simulated
+  /// timeline per model (sim/both backends) into BatchReport::trace.
+  /// Predictions are bit-identical either way.
+  bool collect_trace = false;
+  /// Progress heartbeat, called from a monitor thread roughly every
+  /// `progress_interval_seconds` while jobs run, plus one guaranteed
+  /// final call after the last job.  The callback must be thread-safe
+  /// with respect to the caller; it never runs concurrently with itself.
+  std::function<void(const BatchProgress&)> on_progress = nullptr;
+  /// Heartbeat period in seconds (used only when on_progress is set).
+  double progress_interval_seconds = 0.5;
 };
 
 /// Expands sweeps into jobs and runs them on a worker pool.
@@ -240,22 +289,29 @@ class BatchRunner {
 
   /// Isolated-mode job: the full chain on the job's own model copy.  The
   /// backends are constructed once per worker and passed in (either may
-  /// be null when the selected BackendKind does not need it).
+  /// be null when the selected BackendKind does not need it).  `metrics`
+  /// (nullable) receives the job's engine counters; `sim_trace`
+  /// (nullable) receives the job's simulated timeline.
   [[nodiscard]] ScenarioResult run_job(
       const BatchJob& job, const estimator::Backend* sim_backend,
-      const estimator::Backend* analytic_backend) const;
+      const estimator::Backend* analytic_backend, obs::Registry* metrics,
+      trace::Trace* sim_trace) const;
 
   /// Cached-mode job: parameter-only evaluation against the shared
   /// compiled entry of the job's model.
-  [[nodiscard]] ScenarioResult run_job_cached(
-      const BatchJob& job, const CompiledEntry& entry) const;
+  [[nodiscard]] ScenarioResult run_job_cached(const BatchJob& job,
+                                              const CompiledEntry& entry,
+                                              obs::Registry* metrics,
+                                              trace::Trace* sim_trace) const;
 
   /// Compiles every model referenced by at least one job (parse -> check
   /// -> transform -> prepare) on up to `threads` workers; per-model
   /// failures land in the entry, not as exceptions.  `compiled` counts
-  /// the models that compiled successfully.
+  /// the models that compiled successfully.  `trace_log` (nullable)
+  /// receives one "compile <model>" span per model on the compiling
+  /// worker's lane.
   [[nodiscard]] std::vector<CompiledEntry> compile_models(
-      int threads, int* compiled) const;
+      int threads, int* compiled, obs::TraceLog* trace_log) const;
 
   /// One model's compile chain; writes the outcome into *out.
   void compile_one(std::size_t m, CompiledEntry* out) const;

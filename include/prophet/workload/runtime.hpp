@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "prophet/machine/machine.hpp"
+#include "prophet/obs/obs.hpp"
 #include "prophet/sim/engine.hpp"
 #include "prophet/sim/facility.hpp"
 #include "prophet/sim/mailbox.hpp"
@@ -42,6 +43,7 @@ struct ModelContext {
   machine::MachineModel* machine = nullptr;
   Communicator* comm = nullptr;
   trace::Trace* trace = nullptr;  // nullable: tracing is optional
+  obs::SimCounters* counters = nullptr;  // nullable: metrics are optional
   int pid = 0;
   int tid = 0;
   RegionState* region = nullptr;  // non-null inside a parallel region

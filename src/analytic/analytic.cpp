@@ -128,6 +128,7 @@ struct AnalyticEstimator::Impl {
     std::uint64_t fragments_executed = 0;
     bool pid_queried = false;  // pid/tid reachable by an evaluated program
     int call_depth = 0;
+    obs::AnalyticCounters* counters = nullptr;  // null: counting disabled
   };
 
   /// expr::UserFunctions adapter: cost-function bodies evaluate against
@@ -146,6 +147,7 @@ struct AnalyticEstimator::Impl {
       ctx.frame = st->run_frame;
       ctx.args = args;
       ctx.functions = this;
+      ctx.counters = st->counters != nullptr ? &st->counters->expr : nullptr;
       const double result =
           impl->program->functions()[static_cast<std::size_t>(id)].eval(ctx);
       --st->call_depth;
@@ -156,7 +158,8 @@ struct AnalyticEstimator::Impl {
   explicit Impl(lower::ModelProgramPtr p)
       : program(std::move(p)), model(&program->model()) {}
 
-  AnalyticReport evaluate(const machine::SystemParameters& params) const;
+  AnalyticReport evaluate(const machine::SystemParameters& params,
+                          obs::AnalyticCounters* counters) const;
 };
 
 
@@ -246,6 +249,7 @@ struct Walker {
     ctx.pid = static_cast<double>(pid);
     ctx.tid = static_cast<double>(tid);
     ctx.uid = static_cast<double>(uid);
+    ctx.counters = st.counters != nullptr ? &st.counters->expr : nullptr;
     return program.eval(ctx);
   }
 
@@ -768,6 +772,9 @@ struct Walker {
     const bool collapsible = !bindings->back().read &&
                              st.fragments_executed == fragments_before &&
                              compute_only(first.events);
+    if (collapsible && st.counters != nullptr) {
+      ++st.counters->loop_collapses;
+    }
     for (const auto& event : first.events) {
       append_event(event);
     }
@@ -835,6 +842,7 @@ struct Walker {
 struct ReplayOutcome {
   std::vector<double> finish;       // per-process clock
   std::vector<double> node_demand;  // contended CPU seconds per node
+  std::uint64_t events = 0;         // events consumed across all cursors
 };
 
 ReplayOutcome replay(const machine::SystemParameters& params,
@@ -905,6 +913,7 @@ ReplayOutcome replay(const machine::SystemParameters& params,
                   per_pid[static_cast<std::size_t>(other)]->events;
               peer.clock = release + peer_events[peer.cursor].elapsed;
               ++peer.cursor;
+              ++outcome.events;
               peer.at_barrier = false;
             }
             waiting = 0;
@@ -915,6 +924,7 @@ ReplayOutcome replay(const machine::SystemParameters& params,
           break;  // parked until the last participant arrives
         }
         ++proc.cursor;
+        ++outcome.events;
         progressed = true;
       }
       if (!proc.at_barrier && proc.cursor >= events.size() &&
@@ -962,9 +972,11 @@ ReplayOutcome replay(const machine::SystemParameters& params,
 // ---------------------------------------------------------------------------
 
 AnalyticReport AnalyticEstimator::Impl::evaluate(
-    const machine::SystemParameters& params) const {
+    const machine::SystemParameters& params,
+    obs::AnalyticCounters* counters) const {
   params.validate();
   EvalState st;
+  st.counters = counters;
   st.params = params;
   st.np = static_cast<double>(params.processes);
   st.nt = static_cast<double>(params.threads_per_process);
@@ -995,6 +1007,7 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
       expr::EvalContext ctx;
       ctx.frame = st.run_frame;
       ctx.functions = &functions;
+      ctx.counters = counters != nullptr ? &counters->expr : nullptr;
       try {
         value = variable.initializer->eval(ctx);
       } catch (const expr::EvalError& error) {
@@ -1036,6 +1049,9 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
     // The walk is process-independent (no pid/tid reads, no state
     // mutation): every process repeats the same timeline, so one walk
     // serves all np — the SPMD fast path that makes grid sweeps cheap.
+    if (counters != nullptr) {
+      ++counters->spmd_fast_path;
+    }
     for (int pid = 0; pid < np; ++pid) {
       per_pid[static_cast<std::size_t>(pid)] = &storage[0];
     }
@@ -1054,11 +1070,11 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
   AnalyticReport report;
   report.processes = np;
   report.evaluated_elements = st.elements;
-  double makespan = 0;
+  double schedule_bound = 0;
   for (int pid = 0; pid < np; ++pid) {
     const double finish = outcome.finish[static_cast<std::size_t>(pid)];
     report.per_process_finish[pid] = finish;
-    makespan = std::max(makespan, finish);
+    schedule_bound = std::max(schedule_bound, finish);
   }
 
   // Contention correction: a node's processors can serve at most
@@ -1067,8 +1083,9 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
   // M/M/k heavy-traffic limit).  Named critical sections serialize their
   // total lock-held demand the same way.
   const auto servers = static_cast<double>(params.processors_per_node);
+  double capacity_bound = 0;
   for (const double demand : outcome.node_demand) {
-    makespan = std::max(makespan, demand / servers);
+    capacity_bound = std::max(capacity_bound, demand / servers);
   }
   std::map<std::string, double> critical_totals;
   for (const auto* result : per_pid) {
@@ -1076,10 +1093,27 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
       critical_totals[name] += demand;
     }
   }
+  double critical_bound = 0;
   for (const auto& [name, demand] : critical_totals) {
-    makespan = std::max(makespan, demand);
+    critical_bound = std::max(critical_bound, demand);
   }
+  const double makespan =
+      std::max(schedule_bound, std::max(capacity_bound, critical_bound));
   report.predicted_time = makespan;
+
+  if (counters != nullptr) {
+    counters->events_replayed += outcome.events;
+    // Which bound set the prediction; ties resolve toward the replayed
+    // schedule (the capacity/critical corrections only "win" when they
+    // exceed it).
+    if (makespan <= schedule_bound) {
+      ++counters->schedule_wins;
+    } else if (capacity_bound >= critical_bound) {
+      ++counters->capacity_wins;
+    } else {
+      ++counters->critical_wins;
+    }
+  }
 
   report.node_loads.reserve(outcome.node_demand.size());
   for (std::size_t n = 0; n < outcome.node_demand.size(); ++n) {
@@ -1159,7 +1193,13 @@ AnalyticEstimator::~AnalyticEstimator() = default;
 
 AnalyticReport AnalyticEstimator::evaluate(
     const machine::SystemParameters& params) const {
-  return impl_->evaluate(params);
+  return impl_->evaluate(params, nullptr);
+}
+
+AnalyticReport AnalyticEstimator::evaluate(
+    const machine::SystemParameters& params,
+    obs::AnalyticCounters* counters) const {
+  return impl_->evaluate(params, counters);
 }
 
 lower::ModelProgramPtr AnalyticEstimator::lowering() const {

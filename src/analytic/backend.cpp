@@ -5,6 +5,7 @@
 
 #include "prophet/analytic/analytic.hpp"
 #include "prophet/interp/interpreter.hpp"
+#include "prophet/obs/obs.hpp"
 
 namespace prophet::analytic {
 
@@ -60,7 +61,10 @@ class AnalyticPrepared final : public estimator::PreparedModel {
       const machine::SystemParameters& params,
       const estimator::EstimationOptions& options) const override {
     // No trace to collect: nothing is simulated.
-    AnalyticReport analytic = estimator_.evaluate(params);
+    obs::AnalyticCounters counters;
+    const bool metrics = options.metrics != nullptr;
+    AnalyticReport analytic =
+        estimator_.evaluate(params, metrics ? &counters : nullptr);
     estimator::PredictionReport report;
     report.predicted_time = analytic.predicted_time;
     report.per_process_finish = std::move(analytic.per_process_finish);
@@ -68,6 +72,13 @@ class AnalyticPrepared final : public estimator::PreparedModel {
     report.events = 0;
     if (options.collect_machine_report) {
       report.machine_report = analytic.machine_report();
+    }
+    if (metrics) {
+      options.metrics->fold("analytic.", counters);
+      options.metrics->counter("analytic.elements")
+          .add(analytic.evaluated_elements);
+      options.metrics->counter("analytic.runs").add(1);
+      options.metrics->fold("expr.", counters.expr);
     }
     return report;
   }

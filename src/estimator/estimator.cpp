@@ -33,6 +33,25 @@ PredictionReport SimulationManager::run(ProgramModel& model) const {
   PredictionReport report;
   report.processes = params_.processes;
 
+  // Per-run counter blocks, folded into the registry at the end.  The
+  // expr block is installed on the model for the run's duration; the
+  // guard resets it even when the run throws (the model outlives this
+  // call and must not keep a pointer into our stack).
+  obs::SimCounters sim_counters;
+  obs::ExprCounters expr_counters;
+  const bool metrics = options_.metrics != nullptr;
+  struct ResetExprCounters {
+    ProgramModel* model;
+    ~ResetExprCounters() {
+      if (model != nullptr) {
+        model->set_expr_counters(nullptr);
+      }
+    }
+  } reset{metrics ? &model : nullptr};
+  if (metrics) {
+    model.set_expr_counters(&expr_counters);
+  }
+
   model.on_run_start(params_);
 
   // One wrapper process per modeled process records its finish time.
@@ -50,6 +69,7 @@ PredictionReport SimulationManager::run(ProgramModel& model) const {
     ctx.machine = &machine;
     ctx.comm = &comm;
     ctx.trace = options_.collect_trace ? &report.trace : nullptr;
+    ctx.counters = metrics ? &sim_counters : nullptr;
     ctx.pid = pid;
     ctx.tid = 0;
     engine.spawn(wrapper(ctx));
@@ -62,6 +82,14 @@ PredictionReport SimulationManager::run(ProgramModel& model) const {
   report.events = engine.events_processed();
   if (options_.collect_machine_report) {
     report.machine_report = machine.utilization_report();
+  }
+  if (metrics) {
+    // Every engine event is one coroutine resumption — the simulated
+    // analogue of a context switch.
+    sim_counters.context_switches = engine.events_processed();
+    options_.metrics->fold("sim.", sim_counters);
+    options_.metrics->counter("sim.runs").add(1);
+    options_.metrics->fold("expr.", expr_counters);
   }
   return report;
 }

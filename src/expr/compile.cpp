@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "builtins.hpp"
+#include "prophet/obs/obs.hpp"
 
 namespace prophet::expr {
 
@@ -643,7 +644,22 @@ double Compiled::eval(const EvalContext& ctx) const {
   const Instr* code = code_.data();
   const std::size_t n = code_.size();
   std::size_t ip = 0;
+  // Instruction counting stays off the dispatch loop's memory traffic: a
+  // register-resident tally, flushed once per eval (throwing paths
+  // included) and only when a counter block is installed.
+  std::uint64_t dispatched = 0;
+  struct FlushCounters {
+    obs::ExprCounters* counters;
+    const std::uint64_t* dispatched;
+    ~FlushCounters() {
+      if (counters != nullptr) {
+        counters->instructions += *dispatched;
+        ++counters->evals;
+      }
+    }
+  } flush{ctx.counters, &dispatched};
   while (ip < n) {
+    ++dispatched;
     const Instr& in = code[ip];
     switch (in.op) {
       case Op::PushConst:
@@ -652,6 +668,9 @@ double Compiled::eval(const EvalContext& ctx) const {
       case Op::LoadSlot: {
         const double* bound = ctx.frame[static_cast<std::size_t>(in.a)];
         if (bound == nullptr) {
+          if (ctx.counters != nullptr) {
+            ++ctx.counters->lazy_errors;
+          }
           throw_eval(strings_[in.b]);
         }
         stack[sp++] = *bound;
@@ -765,6 +784,9 @@ double Compiled::eval(const EvalContext& ctx) const {
         break;
       }
       case Op::Throw:
+        if (ctx.counters != nullptr) {
+          ++ctx.counters->lazy_errors;
+        }
         throw_eval(strings_[static_cast<std::size_t>(in.a)]);
       case Op::Abs:
         stack[sp - 1] = std::fabs(stack[sp - 1]);

@@ -56,6 +56,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
   std::vector<double*> run_frame;
   double np = 1, nt = 1, nn = 1, ppn = 1;
   mutable int call_depth = 0;
+  obs::ExprCounters* expr_counters = nullptr;  // null: counting disabled
 
   explicit Impl(std::shared_ptr<const Program> p)
       : program(std::move(p)), model(&program->model()) {
@@ -82,6 +83,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     ctx.pid = static_cast<double>(pid);
     ctx.tid = static_cast<double>(tid);
     ctx.uid = static_cast<double>(uid);
+    ctx.counters = expr_counters;
     return ctx;
   }
 
@@ -98,6 +100,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     ctx.frame = run_frame;
     ctx.args = args;
     ctx.functions = this;
+    ctx.counters = expr_counters;
     const double result = program->functions()[static_cast<std::size_t>(id)]
                               .eval(ctx);
     --call_depth;
@@ -568,6 +571,10 @@ void Interpreter::on_run_start(const machine::SystemParameters& params) {
 
 sim::Process Interpreter::process_main(workload::ModelContext ctx) {
   return impl_->run_process(std::move(ctx));
+}
+
+void Interpreter::set_expr_counters(obs::ExprCounters* counters) {
+  impl_->expr_counters = counters;
 }
 
 double Interpreter::global(const std::string& name) const {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -28,6 +31,30 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Simulated lanes get pid `base + rank` per model; 1000 keeps models'
+// rank groups apart and clear of the host lane (pid 0) for any
+// realistic process count.
+constexpr int kSimPidStride = 1000;
+
+int sim_pid_base(int model_index) {
+  return kSimPidStride * (model_index + 1);
+}
+
+/// Folds a prepared model's lowering statistics under "lower.".
+void fold_lowering(obs::Registry* metrics, const lower::LoweringStats& stats) {
+  metrics->counter("lower.expr_programs").add(stats.expr_programs);
+  metrics->counter("lower.nodes").add(stats.nodes);
+  metrics->counter("lower.slots").add(stats.slots);
+  metrics->counter("lower.guards").add(stats.guards);
+  metrics->counter("lower.functions").add(stats.functions);
+  metrics->counter("lower.variables").add(stats.variables);
+  metrics->counter("lower.fragment_assignments")
+      .add(stats.fragment_assignments);
+  metrics->counter("lower.bytecode_bytes").add(stats.bytecode_bytes);
+  metrics->timer("lower.expr_compile_seconds")
+      .add_seconds(stats.expr_compile_seconds);
 }
 
 }  // namespace
@@ -87,18 +114,68 @@ double BatchReport::jobs_per_second() const {
   return static_cast<double>(results.size()) / wall_seconds;
 }
 
+obs::Registry BatchReport::derived_metrics() const {
+  obs::Registry reg;
+  const BatchStats stats = this->stats();
+  reg.counter("batch.jobs").add(stats.total);
+  reg.counter("batch.jobs_ok").add(stats.ok);
+  reg.counter("batch.jobs_failed").add(stats.failed);
+  reg.counter("batch.compared").add(stats.compared);
+  reg.counter("batch.events").add(stats.total_events);
+  reg.counter("batch.models_prepared")
+      .add(static_cast<std::uint64_t>(std::max(models_prepared, 0)));
+  reg.gauge("batch.threads").set(threads_used);
+  reg.gauge("batch.jobs_per_second").set(jobs_per_second());
+  reg.gauge("batch.predicted_min_s").set(stats.min_predicted);
+  reg.gauge("batch.predicted_mean_s").set(stats.mean_predicted);
+  reg.gauge("batch.predicted_max_s").set(stats.max_predicted);
+  reg.gauge("batch.rel_error_mean").set(stats.mean_rel_error);
+  reg.gauge("batch.rel_error_max").set(stats.max_rel_error);
+  reg.timer("batch.wall_seconds").add_seconds(wall_seconds);
+  reg.timer("batch.prepare_seconds").add_seconds(prepare_seconds);
+  reg.timer("batch.job_seconds").add_seconds(stats.total_job_seconds);
+  double parse = 0;
+  double check = 0;
+  double transform = 0;
+  double estimate = 0;
+  for (const auto& result : results) {
+    parse += result.parse_seconds;
+    check += result.check_seconds;
+    transform += result.transform_seconds;
+    estimate += result.estimate_seconds;
+  }
+  reg.timer("batch.parse_seconds").add_seconds(parse);
+  reg.timer("batch.check_seconds").add_seconds(check);
+  reg.timer("batch.transform_seconds").add_seconds(transform);
+  reg.timer("batch.estimate_seconds").add_seconds(estimate);
+  return reg;
+}
+
 std::string BatchReport::summary() const {
+  // The aggregate lines read from the metric registry — the same cells
+  // `--metrics` exports — so the printed counts and the JSON document
+  // cannot drift apart.  Hand-built reports (tests) that never ran run()
+  // get the registry re-derived on the fly.
+  obs::Registry local;
+  const obs::Registry* m = &metrics;
+  if (metrics.empty()) {
+    local = derived_metrics();
+    m = &local;
+  }
   std::ostringstream out;
   out.setf(std::ios::fixed);
   out.precision(6);
-  out << "scenario sweep: " << results.size() << " job(s), " << threads_used
-      << " thread(s), " << wall_seconds << " s wall ("
-      << jobs_per_second() << " jobs/s)\n";
+  out << "scenario sweep: " << m->counter_value("batch.jobs") << " job(s), "
+      << static_cast<int>(m->gauge_value("batch.threads")) << " thread(s), "
+      << m->timer_seconds("batch.wall_seconds") << " s wall ("
+      << m->gauge_value("batch.jobs_per_second") << " jobs/s)\n";
   // prepare_seconds > 0 identifies a cached run even when every model
   // failed to compile (models_prepared == 0).
-  if (models_prepared > 0 || prepare_seconds > 0) {
-    out << "compiled-model cache: prepared " << models_prepared
-        << " model(s) in " << prepare_seconds << " s\n";
+  if (m->counter_value("batch.models_prepared") > 0 ||
+      m->timer_seconds("batch.prepare_seconds") > 0) {
+    out << "compiled-model cache: prepared "
+        << m->counter_value("batch.models_prepared") << " model(s) in "
+        << m->timer_seconds("batch.prepare_seconds") << " s\n";
   }
   for (const auto& result : results) {
     out << "  [" << result.job_id << "] " << result.model_name << " np="
@@ -123,16 +200,17 @@ std::string BatchReport::summary() const {
     }
     out << '\n';
   }
-  const BatchStats stats = this->stats();
-  out << "ok " << stats.ok << " / failed " << stats.failed;
-  if (stats.ok > 0) {
-    out << "; predicted min " << stats.min_predicted << " s, mean "
-        << stats.mean_predicted << " s, max " << stats.max_predicted
-        << " s; " << stats.total_events << " events";
+  out << "ok " << m->counter_value("batch.jobs_ok") << " / failed "
+      << m->counter_value("batch.jobs_failed");
+  if (m->counter_value("batch.jobs_ok") > 0) {
+    out << "; predicted min " << m->gauge_value("batch.predicted_min_s")
+        << " s, mean " << m->gauge_value("batch.predicted_mean_s")
+        << " s, max " << m->gauge_value("batch.predicted_max_s") << " s; "
+        << m->counter_value("batch.events") << " events";
   }
-  if (stats.compared > 0) {
-    out << "; analytic rel err mean " << stats.mean_rel_error << ", max "
-        << stats.max_rel_error;
+  if (m->counter_value("batch.compared") > 0) {
+    out << "; analytic rel err mean " << m->gauge_value("batch.rel_error_mean")
+        << ", max " << m->gauge_value("batch.rel_error_max");
   }
   out << '\n';
   return out.str();
@@ -247,7 +325,7 @@ struct BatchRunner::CompiledEntry {
 };
 
 std::vector<BatchRunner::CompiledEntry> BatchRunner::compile_models(
-    int threads, int* compiled) const {
+    int threads, int* compiled, obs::TraceLog* trace_log) const {
   std::vector<CompiledEntry> entries(models_.size());
   std::vector<char> referenced(models_.size(), 0);
   for (const auto& job : jobs_) {
@@ -261,31 +339,56 @@ std::vector<BatchRunner::CompiledEntry> BatchRunner::compile_models(
     // Unreferenced entries stay empty; no job ever reads them.
   }
 
+  threads = std::max(
+      1, std::min<int>(threads, static_cast<int>(to_compile.size())));
+
+  // TraceLog is not thread-safe: each compile worker records into its own
+  // log (sharing the parent's epoch) and the logs merge after the join.
+  std::vector<obs::TraceLog> worker_logs;
+  if (trace_log != nullptr) {
+    worker_logs.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      worker_logs.emplace_back(trace_log->epoch());
+    }
+  }
+
   // Models compile independently (each entry is written by exactly one
   // worker), so the prepare phase parallelizes like the jobs do — a
   // many-model sweep is not serialized behind one compiling thread.
   std::atomic<std::size_t> next{0};
-  const auto compile_worker = [this, &entries, &to_compile, &next] {
+  const auto compile_worker = [this, &entries, &to_compile, &next,
+                               &worker_logs](int worker_id) {
+    obs::TraceLog* log =
+        worker_logs.empty()
+            ? nullptr
+            : &worker_logs[static_cast<std::size_t>(worker_id)];
     for (;;) {
       const std::size_t ticket = next.fetch_add(1);
       if (ticket >= to_compile.size()) {
         return;
       }
-      compile_one(to_compile[ticket], &entries[to_compile[ticket]]);
+      const std::size_t m = to_compile[ticket];
+      const obs::TraceLog::HostSpan span(log, 0, worker_id,
+                                         "compile " + models_[m].name,
+                                         "host.compile");
+      compile_one(m, &entries[m]);
     }
   };
-  threads = std::max(
-      1, std::min<int>(threads, static_cast<int>(to_compile.size())));
   if (threads == 1) {
-    compile_worker();
+    compile_worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(compile_worker);
+      pool.emplace_back(compile_worker, t);
     }
     for (auto& thread : pool) {
       thread.join();
+    }
+  }
+  if (trace_log != nullptr) {
+    for (auto& log : worker_logs) {
+      trace_log->merge(std::move(log));
     }
   }
   *compiled = static_cast<int>(
@@ -398,21 +501,28 @@ std::string prepare_backends(
 
 /// Stage 4, shared by both modes: run the selected backend(s) and fill
 /// the prediction fields.  Returns a stage-prefixed error ("" on
-/// success).
+/// success).  `metrics` (nullable) receives the engines' activity
+/// counters; `sim_trace` (nullable) receives the simulated timeline.
+/// Neither feeds back into the prediction.
 std::string estimate_stage(const estimator::PreparedModel* sim,
                            const estimator::PreparedModel* analytic,
                            estimator::BackendKind kind,
                            const machine::SystemParameters& params,
+                           obs::Registry* metrics, trace::Trace* sim_trace,
                            ScenarioResult* result) {
   const estimator::EstimationOptions estimation{
-      .collect_trace = false, .collect_machine_report = false};
+      .collect_trace = sim != nullptr && sim_trace != nullptr,
+      .collect_machine_report = false,
+      .metrics = metrics};
   if (sim != nullptr) {
     try {
-      const estimator::PredictionReport report =
-          sim->estimate(params, estimation);
+      estimator::PredictionReport report = sim->estimate(params, estimation);
       result->predicted_time = report.predicted_time;
       result->events = report.events;
       result->processes = report.processes;
+      if (sim_trace != nullptr) {
+        *sim_trace = std::move(report.trace);
+      }
     } catch (const std::exception& error) {
       return std::string("simulate: ") + error.what();
     }
@@ -484,7 +594,8 @@ void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
 
 ScenarioResult BatchRunner::run_job(
     const BatchJob& job, const estimator::Backend* sim_backend,
-    const estimator::Backend* analytic_backend) const {
+    const estimator::Backend* analytic_backend, obs::Registry* metrics,
+    trace::Trace* sim_trace) const {
   ScenarioResult result = result_for(job);
   result.backend = options_.backend;
 
@@ -518,8 +629,14 @@ ScenarioResult BatchRunner::run_job(
   error = prepare_backends(model, sim_backend, analytic_backend, &sim,
                            &analytic);
   if (error.empty()) {
+    if (metrics != nullptr) {
+      // Isolated mode lowers per job, so the lowering work is counted
+      // per job too (cached mode counts it once per model instead).
+      const auto& prepared = sim != nullptr ? sim : analytic;
+      fold_lowering(metrics, prepared->lowering()->stats());
+    }
     error = estimate_stage(sim.get(), analytic.get(), options_.backend,
-                           job.params, &result);
+                           job.params, metrics, sim_trace, &result);
   }
   result.estimate_seconds = seconds_since(stage_start);
   if (!error.empty()) {
@@ -532,7 +649,9 @@ ScenarioResult BatchRunner::run_job(
 }
 
 ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
-                                           const CompiledEntry& entry) const {
+                                           const CompiledEntry& entry,
+                                           obs::Registry* metrics,
+                                           trace::Trace* sim_trace) const {
   ScenarioResult result = result_for(job);
   result.backend = options_.backend;
 
@@ -553,7 +672,7 @@ ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
 
   const std::string error = estimate_stage(
       entry.sim.get(), entry.analytic.get(), options_.backend, job.params,
-      &result);
+      metrics, sim_trace, &result);
   result.estimate_seconds = seconds_since(start);
   if (!error.empty()) {
     result.ok = false;
@@ -582,6 +701,15 @@ BatchReport BatchRunner::run() const {
   threads = std::max(threads, 1);
   report.threads_used = threads;
 
+  const bool collect_metrics = options_.collect_metrics;
+  const bool collect_trace = options_.collect_trace;
+  if (collect_trace) {
+    report.trace.name_process(0, "batch host");
+    for (int t = 0; t < threads; ++t) {
+      report.trace.name_thread(0, t, "worker " + std::to_string(t));
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
 
   // Prepare phase (cached mode): compile every referenced model once —
@@ -589,14 +717,65 @@ BatchReport BatchRunner::run() const {
   // The entries are immutable from here on; workers only read them.
   std::vector<CompiledEntry> cache;
   if (!options_.isolate_jobs) {
-    cache = compile_models(threads, &report.models_prepared);
+    cache = compile_models(threads, &report.models_prepared,
+                           collect_trace ? &report.trace : nullptr);
     report.prepare_seconds = seconds_since(start);
+    if (collect_metrics) {
+      // Cached mode pays the lowering once per model; count it here
+      // rather than per job (isolated mode counts it inside run_job).
+      for (const auto& entry : cache) {
+        if (!entry.ok) {
+          continue;
+        }
+        const auto& prepared =
+            entry.sim != nullptr ? entry.sim : entry.analytic;
+        fold_lowering(&report.metrics, prepared->lowering()->stats());
+      }
+    }
   }
+
+  // The first job of each model doubles as that model's representative
+  // simulated timeline when tracing is on (one timeline per model keeps
+  // the trace readable; every further job would repeat the same shape).
+  std::vector<char> trace_job(jobs_.size(), 0);
+  if (collect_trace &&
+      options_.backend != estimator::BackendKind::Analytic) {
+    std::vector<char> seen(models_.size(), 0);
+    for (std::size_t index = 0; index < jobs_.size(); ++index) {
+      const auto m = static_cast<std::size_t>(jobs_[index].model_index);
+      if (seen[m] == 0) {
+        seen[m] = 1;
+        trace_job[index] = 1;
+      }
+    }
+  }
+
+  // Neither Registry nor TraceLog is thread-safe: each worker owns one
+  // of each (trace logs share the report's epoch) and they merge after
+  // the join — the hot path never synchronizes on instrumentation.
+  std::vector<obs::Registry> worker_metrics(
+      collect_metrics ? static_cast<std::size_t>(threads) : 0);
+  std::vector<obs::TraceLog> worker_traces;
+  if (collect_trace) {
+    worker_traces.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      worker_traces.emplace_back(report.trace.epoch());
+    }
+  }
+
+  // Progress state: plain atomics the workers bump and a monitor thread
+  // samples — heartbeats never block the pool.  The worst relative
+  // error maxes via CAS on the double's bit pattern (rel errors are
+  // non-negative, so the integer order matches the double order).
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> worst_rel_bits{0};
 
   // Work-stealing by atomic ticket: results land at their job's slot, so
   // the report order is job order no matter which worker ran what.
   std::atomic<std::size_t> next{0};
-  const auto worker = [this, &next, &report, &cache] {
+  const auto worker = [this, &next, &report, &cache, &worker_metrics,
+                       &worker_traces, &trace_job, &done,
+                       &worst_rel_bits](int worker_id) {
     // Isolated mode constructs the (stateless) backends once per worker
     // thread, not once per job.
     std::unique_ptr<estimator::Backend> sim_backend;
@@ -611,34 +790,138 @@ BatchReport BatchRunner::run() const {
             analytic::make_backend(estimator::BackendKind::Analytic);
       }
     }
+    obs::Registry* metrics =
+        worker_metrics.empty()
+            ? nullptr
+            : &worker_metrics[static_cast<std::size_t>(worker_id)];
+    obs::TraceLog* log =
+        worker_traces.empty()
+            ? nullptr
+            : &worker_traces[static_cast<std::size_t>(worker_id)];
     for (;;) {
       const std::size_t index = next.fetch_add(1);
       if (index >= jobs_.size()) {
         return;
       }
       const BatchJob& job = jobs_[index];
-      report.results[index] =
-          options_.isolate_jobs
-              ? run_job(job, sim_backend.get(), analytic_backend.get())
-              : run_job_cached(
-                    job,
-                    cache[static_cast<std::size_t>(job.model_index)]);
+      trace::Trace sim_trace;
+      trace::Trace* sim_trace_out =
+          (log != nullptr && trace_job[index] != 0) ? &sim_trace : nullptr;
+      {
+        const obs::TraceLog::HostSpan span(
+            log, 0, worker_id,
+            "estimate " + job.model_name + " #" + std::to_string(job.id),
+            "host.estimate");
+        report.results[index] =
+            options_.isolate_jobs
+                ? run_job(job, sim_backend.get(), analytic_backend.get(),
+                          metrics, sim_trace_out)
+                : run_job_cached(
+                      job, cache[static_cast<std::size_t>(job.model_index)],
+                      metrics, sim_trace_out);
+      }
+      if (sim_trace_out != nullptr) {
+        log->append_simulated(sim_trace, sim_pid_base(job.model_index),
+                              job.model_name);
+      }
+      const ScenarioResult& result = report.results[index];
+      if (result.ok && result.backend == estimator::BackendKind::Both) {
+        const double rel = result.relative_error;
+        std::uint64_t seen = worst_rel_bits.load(std::memory_order_relaxed);
+        while (std::bit_cast<double>(seen) < rel &&
+               !worst_rel_bits.compare_exchange_weak(
+                   seen, std::bit_cast<std::uint64_t>(rel),
+                   std::memory_order_relaxed)) {
+        }
+      }
+      done.fetch_add(1, std::memory_order_release);
     }
   };
 
+  const auto make_progress = [this, &done, &worst_rel_bits,
+                              start](bool final) {
+    BatchProgress progress;
+    progress.done = done.load(std::memory_order_acquire);
+    progress.total = jobs_.size();
+    progress.elapsed_seconds = seconds_since(start);
+    progress.jobs_per_second =
+        progress.elapsed_seconds > 0
+            ? static_cast<double>(progress.done) / progress.elapsed_seconds
+            : 0;
+    progress.eta_seconds =
+        progress.jobs_per_second > 0
+            ? static_cast<double>(progress.total - progress.done) /
+                  progress.jobs_per_second
+            : 0;
+    progress.worst_rel_error =
+        std::bit_cast<double>(worst_rel_bits.load(std::memory_order_relaxed));
+    progress.final = final;
+    return progress;
+  };
+
+  // Heartbeat monitor: wakes every interval until the pool finishes, then
+  // stops so the guaranteed final callback never overlaps a periodic one.
+  std::thread monitor;
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  if (options_.on_progress) {
+    const auto interval = std::chrono::duration<double>(
+        std::max(options_.progress_interval_seconds, 0.01));
+    monitor = std::thread([this, &monitor_mutex, &monitor_cv, &monitor_stop,
+                           &make_progress, interval] {
+      std::unique_lock<std::mutex> lock(monitor_mutex);
+      while (!monitor_cv.wait_for(lock, interval,
+                                  [&monitor_stop] { return monitor_stop; })) {
+        options_.on_progress(make_progress(false));
+      }
+    });
+  }
+
   if (threads == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
+      pool.emplace_back(worker, t);
     }
     for (auto& thread : pool) {
       thread.join();
     }
   }
+  if (monitor.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(monitor_mutex);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_all();
+    monitor.join();
+  }
   report.wall_seconds = seconds_since(start);
+
+  for (const auto& registry : worker_metrics) {
+    report.metrics.merge(registry);
+  }
+  for (auto& log : worker_traces) {
+    report.trace.merge(std::move(log));
+  }
+  if (!options_.isolate_jobs) {
+    // A cache hit is a job answered from a successfully compiled shared
+    // entry (its model's one-time compile served it).
+    std::uint64_t hits = 0;
+    for (const auto& job : jobs_) {
+      if (cache[static_cast<std::size_t>(job.model_index)].ok) {
+        ++hits;
+      }
+    }
+    report.metrics.counter("batch.cache_hits").add(hits);
+  }
+  report.metrics.merge(report.derived_metrics());
+
+  if (options_.on_progress) {
+    options_.on_progress(make_progress(true));
+  }
   return report;
 }
 

@@ -38,6 +38,64 @@ int parse_int(std::string_view text) {
   return static_cast<int>(parse_double(text));
 }
 
+// Element names are free text (model authors pick them) but the trace
+// format is line- and tab-structured, so the element field — the only
+// free-text one — travels backslash-escaped.
+std::string escape_element(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_element(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      switch (text[++i]) {
+        case 't':
+          out += '\t';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        default:
+          // Unknown escape: keep the character (tolerates pre-escaping
+          // files, which never wrote backslash pairs on purpose).
+          out += text[i];
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string_view to_string(EventKind kind) {
@@ -153,9 +211,13 @@ std::string Trace::summary() const {
 
 std::string Trace::gantt(std::size_t width) const {
   const double total = makespan();
-  if (total <= 0 || events_.empty()) {
+  if (events_.empty()) {
     return "(empty trace)\n";
   }
+  // A populated trace whose events all sit at time zero (instantaneous
+  // barriers, zero-cost compute) still renders: every event lands in the
+  // first column instead of dividing by a zero makespan.
+  const double scale = total > 0 ? total : 1.0;
   // Lanes keyed by (pid, tid).
   std::map<std::pair<int, int>, std::string> lanes;
   for (const auto& event : events_) {
@@ -187,7 +249,7 @@ std::string Trace::gantt(std::size_t width) const {
     auto clamp = [&](double t) {
       return std::min<std::size_t>(
           width - 1,
-          static_cast<std::size_t>(t / total * static_cast<double>(width)));
+          static_cast<std::size_t>(t / scale * static_cast<double>(width)));
     };
     const std::size_t from = clamp(event.start);
     const std::size_t to = std::max(from, clamp(event.end));
@@ -224,7 +286,7 @@ std::string Trace::serialize() const {
   for (const auto& event : events_) {
     out << event.start << '\t' << event.end << '\t' << event.pid << '\t'
         << event.tid << '\t' << event.uid << '\t' << to_string(event.kind)
-        << '\t' << event.element << '\n';
+        << '\t' << escape_element(event.element) << '\n';
   }
   return out.str();
 }
@@ -267,7 +329,7 @@ Trace Trace::deserialize(std::string_view text) {
                                std::string(fields[5]) + "'");
     }
     event.kind = *kind;
-    event.element = std::string(fields[6]);
+    event.element = unescape_element(fields[6]);
     trace.add(std::move(event));
   }
   return trace;

@@ -84,6 +84,9 @@ sim::Process SendElement::execute(int uid, int pid, int tid, int dest,
                                   double bytes, int tag) {
   sim::Engine& engine = *ctx_->engine;
   const double start = engine.now();
+  if (ctx_->counters != nullptr) {
+    ++ctx_->counters->messages;
+  }
   // Sender-side CPU overhead (the `o` of LogGP).
   co_await engine.hold(ctx_->machine->send_overhead());
   sim::Message message;
@@ -121,6 +124,9 @@ BarrierElement::BarrierElement(ModelContext& ctx, std::string name)
 sim::Process BarrierElement::execute(int uid, int pid, int tid) {
   sim::Engine& engine = *ctx_->engine;
   const double start = engine.now();
+  if (ctx_->counters != nullptr) {
+    ++ctx_->counters->barriers;
+  }
   co_await ctx_->comm->process_barrier().arrive();
   const double rounds = tree_rounds(ctx_->np());
   co_await engine.hold(rounds * ctx_->machine->params().barrier_latency);
@@ -180,6 +186,9 @@ sim::Process CollectiveElement::execute(int uid, int pid, int tid,
                                         double bytes, int root) {
   sim::Engine& engine = *ctx_->engine;
   const double start = engine.now();
+  if (ctx_->counters != nullptr) {
+    ++ctx_->counters->messages;
+  }
   co_await ctx_->comm->process_barrier().arrive();
   co_await engine.hold(
       model_time(*ctx_->machine, kind_, ctx_->np(), bytes));
@@ -293,6 +302,9 @@ OmpBarrierElement::OmpBarrierElement(ModelContext& ctx, std::string name)
 sim::Process OmpBarrierElement::execute(int uid, int pid, int tid) {
   sim::Engine& engine = *ctx_->engine;
   const double start = engine.now();
+  if (ctx_->counters != nullptr) {
+    ++ctx_->counters->barriers;
+  }
   if (ctx_->region != nullptr) {
     co_await ctx_->region->barrier->arrive();
   }

@@ -115,6 +115,7 @@ TEST(Pipeline, GeneratedCodeCompilesAndMatchesInterpreter) {
       "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
       "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +
       "/src/machine/libprophet_machine.a " + PROPHET_BINARY_DIR +
+      "/src/obs/libprophet_obs.a " + PROPHET_BINARY_DIR +
       "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
       "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
       "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";

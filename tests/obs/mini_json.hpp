@@ -1,0 +1,289 @@
+// Minimal recursive-descent JSON reader for test assertions over the
+// observability exports (--metrics, --trace-json).  Tests only: strict
+// enough to reject malformed output, small enough to need no library.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mini_json {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data =
+      nullptr;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(data);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(data);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(data);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data);
+  }
+
+  [[nodiscard]] const Object& object() const {
+    if (!is_object()) {
+      throw std::runtime_error("mini_json: not an object");
+    }
+    return std::get<Object>(data);
+  }
+  [[nodiscard]] const Array& array() const {
+    if (!is_array()) {
+      throw std::runtime_error("mini_json: not an array");
+    }
+    return std::get<Array>(data);
+  }
+  [[nodiscard]] double number() const {
+    if (!is_number()) {
+      throw std::runtime_error("mini_json: not a number");
+    }
+    return std::get<double>(data);
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (!is_string()) {
+      throw std::runtime_error("mini_json: not a string");
+    }
+    return std::get<std::string>(data);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return object().count(key) != 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const auto it = object().find(key);
+    if (it == object().end()) {
+      throw std::runtime_error("mini_json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    const Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("mini_json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      return Value{parse_string()};
+    }
+    if (consume("true")) {
+      return Value{true};
+    }
+    if (consume("false")) {
+      return Value{false};
+    }
+    if (consume("null")) {
+      return Value{nullptr};
+    }
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{object};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{object};
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{array};
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{array};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out += escape;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The exporters only emit \u00XX control escapes; anything
+          // wider decodes to '?' (tests never assert on it).
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) {
+      fail("bad number '" + token + "'");
+    }
+    return Value{value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace mini_json

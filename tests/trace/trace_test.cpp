@@ -97,6 +97,39 @@ TEST(Trace, GanttOnEmptyTrace) {
   EXPECT_EQ(trace::Trace().gantt(), "(empty trace)\n");
 }
 
+TEST(Trace, GanttOnZeroMakespanTrace) {
+  // Instantaneous events (zero-cost compute, immediate barriers) give a
+  // zero makespan but a populated trace; it must still render, with
+  // every event in the first column, not divide by zero or pretend the
+  // trace is empty.
+  trace::Trace t;
+  t.add({0.0, 0.0, 0, 0, 1, "Instant", trace::EventKind::Compute});
+  t.add({0.0, 0.0, 1, 0, 2, "Sync", trace::EventKind::Barrier});
+  const std::string gantt = t.gantt(20);
+  EXPECT_EQ(gantt.find("(empty trace)"), std::string::npos);
+  EXPECT_NE(gantt.find("p0.t0 [#"), std::string::npos);
+  EXPECT_NE(gantt.find("p1.t0 [|"), std::string::npos);
+}
+
+TEST(Trace, SerializeRoundTripsElementNamesWithSeparators) {
+  // Element names are free text chosen by model authors; the tab- and
+  // line-structured trace format must round-trip names containing its
+  // own separators.
+  trace::Trace original;
+  original.add({0.0, 1.0, 0, 0, 1, "name with spaces",
+                trace::EventKind::Compute});
+  original.add({1.0, 2.0, 0, 0, 2, "tab\tseparated", trace::EventKind::Send});
+  original.add({2.0, 3.0, 0, 0, 3, "line\nbreak", trace::EventKind::Receive});
+  original.add({3.0, 4.0, 0, 0, 4, "back\\slash\r", trace::EventKind::Barrier});
+  const trace::Trace reloaded =
+      trace::Trace::deserialize(original.serialize());
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded.events()[i].element, original.events()[i].element);
+    EXPECT_EQ(reloaded.events()[i].kind, original.events()[i].kind);
+  }
+}
+
 TEST(Trace, CsvExport) {
   const std::string csv = sample_trace().to_csv();
   EXPECT_NE(csv.find("start,end,pid,tid,uid,element,kind"),

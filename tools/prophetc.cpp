@@ -5,12 +5,14 @@
 //   prophetc estimate <model> [--sp <sp.xml>] [--np N] [--nodes N]
 //                     [--ppn N] [--nt N] [--backend sim|analytic|both]
 //                     [--trace out.tf] [--gantt] [--timings]
+//                     [--metrics out.json] [--trace-json out.json]
 //   prophetc outline <model>
 //   prophetc models [--names] [--grid @name]
 //   prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>]
 //                  [--backend sim|analytic|both] [--max-rel-error X]
 //                  [--threads N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen] [--isolate]
+//                  [--metrics out.json] [--trace-json out.json] [--progress]
 //   prophetc --version
 //
 // <model> is an XMI file (see prophet/xmi) or a registry reference
@@ -31,6 +33,14 @@
 // including the time prepare spent compiling cost expressions to
 // bytecode.
 //
+// Observability: --metrics exports the run's metric registry (engine
+// counters, lowering stats, host timers) as prophet-metrics-1 JSON;
+// --trace-json exports a Chrome trace-event file (load in Perfetto or
+// chrome://tracing) with host spans on worker lanes plus the simulated
+// timeline mapped to one pid per rank; sweep --progress prints a
+// heartbeat to stderr.  None of it changes predictions: instrumented
+// and uninstrumented runs are bit-identical.
+//
 // Every parse error prints usage and exits non-zero; flags are accepted
 // as `--flag value` or `--flag=value`.
 #include <cerrno>
@@ -47,7 +57,9 @@
 
 #include "prophet/analytic/backend.hpp"
 #include "prophet/estimator/backend.hpp"
+#include "prophet/lower/lower.hpp"
 #include "prophet/models/registry.hpp"
+#include "prophet/obs/obs.hpp"
 #include "prophet/pipeline/batch.hpp"
 #include "prophet/pipeline/scenario.hpp"
 #include "prophet/prophet.hpp"
@@ -71,12 +83,14 @@ int usage() {
       "  prophetc generate <model> [-o out.cpp] [--main]\n"
       "  prophetc estimate <model> [--sp <sp.xml>] [--np N] "
       "[--nodes N] [--ppn N] [--nt N] [--backend sim|analytic|both] "
-      "[--trace out.tf] [--gantt] [--timings]\n"
+      "[--trace out.tf] [--gantt] [--timings] [--metrics out.json] "
+      "[--trace-json out.json]\n"
       "  prophetc outline <model>\n"
       "  prophetc models [--names] [--grid @name]\n"
       "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
       "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
-      "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate]\n"
+      "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate] "
+      "[--metrics out.json] [--trace-json out.json] [--progress]\n"
       "  prophetc --version\n"
       "\n"
       "<model> is an XMI file or a built-in reference "
@@ -218,29 +232,72 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Two `--timings` lines per backend: the prepare/evaluate split (with
-/// the expression-compile share of prepare) and the lowering counts from
-/// the shared lower::ModelProgram.  Every backend consuming one lowering
+/// Folds a prepared model's lowering statistics under "lower." — the
+/// cells `--timings` formats and `--metrics` exports.
+void fold_lowering(prophet::obs::Registry& registry,
+                   const prophet::lower::LoweringStats& stats) {
+  registry.counter("lower.expr_programs").add(stats.expr_programs);
+  registry.counter("lower.nodes").add(stats.nodes);
+  registry.counter("lower.slots").add(stats.slots);
+  registry.counter("lower.guards").add(stats.guards);
+  registry.counter("lower.functions").add(stats.functions);
+  registry.counter("lower.variables").add(stats.variables);
+  registry.counter("lower.fragment_assignments")
+      .add(stats.fragment_assignments);
+  registry.counter("lower.bytecode_bytes").add(stats.bytecode_bytes);
+  registry.timer("lower.expr_compile_seconds")
+      .add_seconds(stats.expr_compile_seconds);
+}
+
+/// Two `--timings` lines per backend, formatted from the metric
+/// registry — the same cells `--metrics` exports, so the printed numbers
+/// and the JSON document cannot disagree.  The lowering counts are the
+/// shared lower::ModelProgram's; every backend consuming one lowering
 /// reports identical counts on its second line.
-std::string timings_line(std::string_view backend, double prepare_s,
-                         const estimator::PrepareStats& stats,
-                         double estimate_s) {
+std::string timings_line(const prophet::obs::Registry& registry,
+                         std::string_view backend) {
+  const std::string prefix = "host." + std::string(backend);
   char line[288];
   std::snprintf(line, sizeof(line),
                 "%s: prepare %.6f s (expr compile %.6f s, %zu programs), "
                 "estimate %.6f s\n"
                 "%s: lowering %zu nodes, %zu slots, %zu bytecode bytes\n",
-                std::string(backend).c_str(), prepare_s,
-                stats.expr_compile_seconds, stats.expr_programs, estimate_s,
-                std::string(backend).c_str(), stats.nodes, stats.slots,
-                stats.bytecode_bytes);
+                std::string(backend).c_str(),
+                registry.timer_seconds(prefix + ".prepare_seconds"),
+                registry.timer_seconds("lower.expr_compile_seconds"),
+                static_cast<std::size_t>(
+                    registry.counter_value("lower.expr_programs")),
+                registry.timer_seconds(prefix + ".estimate_seconds"),
+                std::string(backend).c_str(),
+                static_cast<std::size_t>(
+                    registry.counter_value("lower.nodes")),
+                static_cast<std::size_t>(
+                    registry.counter_value("lower.slots")),
+                static_cast<std::size_t>(
+                    registry.counter_value("lower.bytecode_bytes")));
   return line;
+}
+
+/// Writes `text` to `path`; reports and returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
 }
 
 int cmd_estimate(const prophet::Prophet& prophet,
                  const std::vector<std::string>& args,
-                 prophet::machine::SystemParameters params) {
+                 prophet::machine::SystemParameters params,
+                 const std::string& model_name,
+                 std::chrono::steady_clock::time_point epoch,
+                 double load_seconds) {
   std::string trace_path;
+  std::string metrics_path;
+  std::string trace_json_path;
   bool gantt = false;
   bool timings = false;
   auto backend = estimator::BackendKind::Simulation;
@@ -289,6 +346,18 @@ int cmd_estimate(const prophet::Prophet& prophet,
       gantt = true;
     } else if (args[i] == "--timings") {
       timings = true;
+    } else if (args[i] == "--metrics") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--metrics requires a value");
+      }
+      metrics_path = *value;
+    } else if (args[i] == "--trace-json") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--trace-json requires a value");
+      }
+      trace_json_path = *value;
     } else {
       return parse_error("estimate: unexpected argument '" + args[i] + "'");
     }
@@ -301,58 +370,135 @@ int cmd_estimate(const prophet::Prophet& prophet,
           "--trace/--gantt need a simulation (use --backend sim)");
     }
   }
+
+  // One registry backs --metrics and --timings (the printed numbers are
+  // the exported ones); one trace log backs --trace-json.  Neither feeds
+  // back into the engines: predictions are bit-identical either way.
+  prophet::obs::Registry registry;
+  prophet::obs::TraceLog trace_log(epoch);
+  prophet::obs::Registry* metrics =
+      (!metrics_path.empty() || timings) ? &registry : nullptr;
+  prophet::obs::TraceLog* log =
+      trace_json_path.empty() ? nullptr : &trace_log;
+  const bool want_sim_timeline =
+      log != nullptr && backend != estimator::BackendKind::Analytic;
+  if (log != nullptr) {
+    trace_log.name_process(0, "prophetc estimate (host)");
+    trace_log.name_thread(0, 0, "main");
+    trace_log.complete(0.0, load_seconds * 1e6, 0, 0, "parse " + model_name,
+                       "host.parse");
+  }
+
+  const auto write_outputs = [&]() -> bool {
+    bool ok = true;
+    if (!metrics_path.empty()) {
+      ok = write_file(metrics_path, registry.to_json()) && ok;
+      if (ok) {
+        std::printf("metrics written to %s (%zu cells)\n",
+                    metrics_path.c_str(), registry.size());
+      }
+    }
+    if (!trace_json_path.empty()) {
+      ok = write_file(trace_json_path, trace_log.to_chrome_json()) && ok;
+      if (ok) {
+        std::printf("trace json written to %s (%zu spans)\n",
+                    trace_json_path.c_str(), trace_log.span_count());
+      }
+    }
+    return ok;
+  };
+
   std::string timing_report;
   if (backend == estimator::BackendKind::Analytic) {
     // The prepare-once/evaluate-many path; with one evaluation it is
     // equivalent to the one-shot Backend::estimate.
     const auto prepare_started = std::chrono::steady_clock::now();
-    const auto prepared =
-        prophet::analytic::AnalyticBackend().prepare(prophet.model());
-    const double prepare_s = seconds_since(prepare_started);
+    std::unique_ptr<estimator::PreparedModel> prepared;
+    {
+      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
+                                                  "prepare analytic",
+                                                  "host.prepare");
+      prepared = prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    }
+    registry.timer("host.analytic.prepare_seconds")
+        .add_seconds(seconds_since(prepare_started));
+    fold_lowering(registry, prepared->lowering()->stats());
+    const estimator::EstimationOptions options{.metrics = metrics};
     const auto estimate_started = std::chrono::steady_clock::now();
-    const auto report = prepared->estimate(params);
-    const double estimate_s = seconds_since(estimate_started);
+    estimator::PredictionReport report;
+    {
+      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
+                                                  "estimate analytic",
+                                                  "host.estimate");
+      report = prepared->estimate(params, options);
+    }
+    registry.timer("host.analytic.estimate_seconds")
+        .add_seconds(seconds_since(estimate_started));
     std::printf("%s", report.summary().c_str());
     if (timings) {
       std::printf("-- timings --\n%s",
-                  timings_line("analytic", prepare_s,
-                               prepared->prepare_stats(), estimate_s)
-                      .c_str());
+                  timings_line(registry, "analytic").c_str());
     }
-    return 0;
+    return write_outputs() ? 0 : 1;
   }
 
   const estimator::EstimationOptions options{
-      .collect_trace = !trace_path.empty() || gantt};
+      .collect_trace = !trace_path.empty() || gantt || want_sim_timeline,
+      .metrics = metrics};
+  // Route through the Backend prepare()/estimate() split (bit-identical
+  // to the one-shot path per the PreparedModel contract) so the prepare
+  // cost — expression compilation included — is measurable.
+  const auto prepare_started = std::chrono::steady_clock::now();
+  std::unique_ptr<estimator::PreparedModel> prepared;
+  {
+    const prophet::obs::TraceLog::HostSpan span(log, 0, 0, "prepare sim",
+                                                "host.prepare");
+    prepared = prophet::analytic::SimulationBackend().prepare(prophet.model());
+  }
+  registry.timer("host.sim.prepare_seconds")
+      .add_seconds(seconds_since(prepare_started));
+  fold_lowering(registry, prepared->lowering()->stats());
+  const auto estimate_started = std::chrono::steady_clock::now();
   estimator::PredictionReport report;
-  if (timings) {
-    // Route through the Backend prepare()/estimate() split (bit-identical
-    // to the one-shot path per the PreparedModel contract) so the
-    // prepare cost — expression compilation included — is measurable.
-    const auto prepare_started = std::chrono::steady_clock::now();
-    const auto prepared =
-        prophet::analytic::SimulationBackend().prepare(prophet.model());
-    const double prepare_s = seconds_since(prepare_started);
-    const auto estimate_started = std::chrono::steady_clock::now();
+  {
+    const prophet::obs::TraceLog::HostSpan span(log, 0, 0, "estimate sim",
+                                                "host.estimate");
     report = prepared->estimate(params, options);
-    const double estimate_s = seconds_since(estimate_started);
-    timing_report = timings_line("sim", prepare_s, prepared->prepare_stats(),
-                                 estimate_s);
-  } else {
-    report = prophet.estimate(params, options);
+  }
+  registry.timer("host.sim.estimate_seconds")
+      .add_seconds(seconds_since(estimate_started));
+  if (timings) {
+    timing_report = timings_line(registry, "sim");
   }
   std::printf("%s", report.summary().c_str());
   if (backend == estimator::BackendKind::Both) {
-    const auto prepare_started = std::chrono::steady_clock::now();
-    const auto prepared =
-        prophet::analytic::AnalyticBackend().prepare(prophet.model());
-    const double prepare_s = seconds_since(prepare_started);
-    const auto estimate_started = std::chrono::steady_clock::now();
-    const auto analytic = prepared->estimate(params);
-    const double estimate_s = seconds_since(estimate_started);
+    const auto analytic_prepare_started = std::chrono::steady_clock::now();
+    std::unique_ptr<estimator::PreparedModel> analytic_prepared;
+    {
+      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
+                                                  "prepare analytic",
+                                                  "host.prepare");
+      analytic_prepared =
+          prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    }
+    registry.timer("host.analytic.prepare_seconds")
+        .add_seconds(seconds_since(analytic_prepare_started));
+    const estimator::EstimationOptions analytic_options{
+        .collect_trace = false,
+        .collect_machine_report = false,
+        .metrics = metrics};
+    const auto analytic_estimate_started = std::chrono::steady_clock::now();
+    estimator::PredictionReport analytic;
+    {
+      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
+                                                  "estimate analytic",
+                                                  "host.estimate");
+      analytic = analytic_prepared->estimate(params, analytic_options);
+    }
+    registry.timer("host.analytic.estimate_seconds")
+        .add_seconds(seconds_since(analytic_estimate_started));
     if (timings) {
-      timing_report += timings_line("analytic", prepare_s,
-                                    prepared->prepare_stats(), estimate_s);
+      timing_report += timings_line(registry, "analytic");
     }
     // Same convention as the batch pipeline: a zero simulated time with a
     // nonzero analytic prediction is total disagreement, not zero error.
@@ -378,7 +524,10 @@ int cmd_estimate(const prophet::Prophet& prophet,
   if (gantt) {
     std::printf("%s", report.trace.gantt().c_str());
   }
-  return 0;
+  if (want_sim_timeline) {
+    trace_log.append_simulated(report.trace, 1000, model_name);
+  }
+  return write_outputs() ? 0 : 1;
 }
 
 // Registers one sweep input — an XMI file path or a registry reference
@@ -445,8 +594,11 @@ int cmd_sweep(const std::vector<std::string>& args) {
   prophet::pipeline::BatchOptions options;
   prophet::machine::SystemParameters base;
   bool have_sp = false;
+  bool progress = false;
   std::string grid_spec;
   std::string csv_path;
+  std::string metrics_path;
+  std::string trace_json_path;
   std::optional<double> max_rel_error;
   std::vector<std::string> inputs;
   std::string error;
@@ -517,6 +669,20 @@ int cmd_sweep(const std::vector<std::string>& args) {
       options.run_codegen = false;
     } else if (args[i] == "--isolate") {
       options.isolate_jobs = true;
+    } else if (args[i] == "--metrics") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--metrics requires a value");
+      }
+      metrics_path = *value;
+    } else if (args[i] == "--trace-json") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--trace-json requires a value");
+      }
+      trace_json_path = *value;
+    } else if (args[i] == "--progress") {
+      progress = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       return parse_error("sweep: unknown flag '" + args[i] + "'");
     } else {
@@ -529,6 +695,23 @@ int cmd_sweep(const std::vector<std::string>& args) {
   if (max_rel_error.has_value() &&
       options.backend != estimator::BackendKind::Both) {
     return parse_error("--max-rel-error requires --backend both");
+  }
+  options.collect_metrics = !metrics_path.empty();
+  options.collect_trace = !trace_json_path.empty();
+  if (progress) {
+    // Heartbeat on stderr (stdout stays machine-readable): jobs done,
+    // throughput, ETA and — in cross-validation sweeps — the worst
+    // relative error seen so far.
+    options.on_progress =
+        [](const prophet::pipeline::BatchProgress& progress) {
+          std::fprintf(stderr,
+                       "\rsweep: %zu/%zu job(s), %.1f jobs/s, eta %.1f s, "
+                       "worst rel err %.6f%s",
+                       progress.done, progress.total,
+                       progress.jobs_per_second, progress.eta_seconds,
+                       progress.worst_rel_error, progress.final ? "\n" : "");
+          std::fflush(stderr);
+        };
   }
 
   prophet::pipeline::BatchRunner runner(options);
@@ -559,6 +742,20 @@ int cmd_sweep(const std::vector<std::string>& args) {
     }
     out << report.to_csv();
     std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path, report.metrics.to_json())) {
+      return 1;
+    }
+    std::printf("metrics written to %s (%zu cells)\n", metrics_path.c_str(),
+                report.metrics.size());
+  }
+  if (!trace_json_path.empty()) {
+    if (!write_file(trace_json_path, report.trace.to_chrome_json())) {
+      return 1;
+    }
+    std::printf("trace json written to %s (%zu spans)\n",
+                trace_json_path.c_str(), report.trace.span_count());
   }
   const auto stats = report.stats();
   if (max_rel_error.has_value() && stats.max_rel_error > *max_rel_error) {
@@ -625,7 +822,11 @@ int main(int argc, char** argv) {
     const std::vector<std::string> args =
         normalize({raw.begin() + 2, raw.end()});
     prophet::machine::SystemParameters base_params;
+    // The epoch anchors estimate's --trace-json time base before the
+    // model loads, so the load/parse stage appears as the first span.
+    const auto epoch = std::chrono::steady_clock::now();
     const prophet::Prophet prophet = load_model(model_path, &base_params);
+    const double load_seconds = seconds_since(epoch);
     if (command == "check") {
       return cmd_check(prophet, args);
     }
@@ -633,7 +834,8 @@ int main(int argc, char** argv) {
       return cmd_generate(prophet, args);
     }
     if (command == "estimate") {
-      return cmd_estimate(prophet, args, base_params);
+      return cmd_estimate(prophet, args, base_params, model_path, epoch,
+                          load_seconds);
     }
     return cmd_outline(prophet, args);
   } catch (const std::exception& error) {
