@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "prophet/guard/guard.hpp"
 #include "prophet/lower/lower.hpp"
 #include "prophet/machine/machine.hpp"
 #include "prophet/obs/obs.hpp"
@@ -116,6 +117,15 @@ class AnalyticEstimator {
   [[nodiscard]] AnalyticReport evaluate(
       const machine::SystemParameters& params,
       obs::AnalyticCounters* counters) const;
+
+  /// Like evaluate(params, counters), additionally charging the walk
+  /// (steps + VM instructions), non-collapsed loop trips and the replay
+  /// (delivered events) against `budget` when non-null.  Tripping raises
+  /// guard::ResourceExhausted / guard::Cancelled; a null budget adds no
+  /// checks and the report stays bit-identical.
+  [[nodiscard]] AnalyticReport evaluate(const machine::SystemParameters& params,
+                                        obs::AnalyticCounters* counters,
+                                        guard::Budget* budget) const;
 
   /// The shared lowering this estimator evaluates (never null).
   [[nodiscard]] lower::ModelProgramPtr lowering() const;

@@ -40,6 +40,10 @@
 #include "prophet/expr/ast.hpp"
 #include "prophet/expr/eval.hpp"
 
+namespace prophet::guard {
+class Budget;
+}  // namespace prophet::guard
+
 namespace prophet::obs {
 struct ExprCounters;
 }  // namespace prophet::obs
@@ -231,6 +235,13 @@ struct EvalContext {
   /// counted values never feed back into evaluation, so results are
   /// bit-identical either way.
   obs::ExprCounters* counters = nullptr;
+  /// Optional execution budget.  When set, the dispatch loop charges
+  /// executed instructions against it every
+  /// guard::Budget::kDeadlineStride dispatches and raises
+  /// guard::ResourceExhausted / guard::Cancelled when a limit trips.
+  /// Null — the default — disables the checks; like `counters`, a budget
+  /// never feeds values into evaluation.
+  guard::Budget* budget = nullptr;
 };
 
 /// A compiled expression: flat postfix bytecode plus the static metadata

@@ -96,6 +96,12 @@ class Interpreter final : public estimator::ProgramModel {
   /// guards, fragments, cost-function bodies) into `counters`; null
   /// disables.  The block must outlive its installation.
   void set_expr_counters(obs::ExprCounters* counters) override;
+  /// Charges subsequent evaluation — loop iterations and expression-VM
+  /// instructions — against `budget`; null disables.  Guard errors
+  /// (guard::ResourceExhausted / guard::Cancelled) propagate out of the
+  /// simulation run.  Loops are charged per iteration, so a zero-cost
+  /// spin loop (which never yields an engine event) still trips.
+  void set_budget(guard::Budget* budget) override;
 
   // --- Introspection ---------------------------------------------------------
 

@@ -85,4 +85,13 @@ namespace prophet::models {
                                         double stage_cost,
                                         double item_bytes);
 
+/// Deliberately runaway diagnostic model: one counted loop of `trips`
+/// iterations whose body cost depends on the loop variable, so neither
+/// backend can collapse it — evaluation time is proportional to `trips`.
+/// With trips like 1e12 it runs effectively forever; the guard layer's
+/// budgets (`--job-timeout`, `--limit-loop-trips`) are what stop it.
+/// Registered hidden as "@spin" (resolvable by exact reference, absent
+/// from catalogue listings so automated sweeps never pick it up).
+[[nodiscard]] uml::Model spin_model(double trips);
+
 }  // namespace prophet::models

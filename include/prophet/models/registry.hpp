@@ -62,6 +62,11 @@ struct ModelInfo {
   /// Builds the model from a complete knob assignment (defaults merged
   /// with any overrides).
   std::function<uml::Model(const KnobValues&)> factory;
+  /// Hidden entries resolve by exact "@name" reference but are omitted
+  /// from names(), available() and describe() — for diagnostic
+  /// workloads (e.g. the deliberately runaway "@spin") that automated
+  /// sweeps over the listed catalogue must not pick up.
+  bool hidden = false;
 
   /// Instantiates the workload.  `overrides` may assign any subset of
   /// `knobs`; unknown names throw std::invalid_argument listing the

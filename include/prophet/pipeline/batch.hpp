@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "prophet/estimator/backend.hpp"
+#include "prophet/guard/guard.hpp"
 #include "prophet/machine/machine.hpp"
 #include "prophet/obs/obs.hpp"
 #include "prophet/pipeline/scenario.hpp"
@@ -78,6 +79,10 @@ struct ScenarioResult {
   bool ok = false;
   /// Stage-prefixed failure message, e.g. "check: 2 error(s)".
   std::string error;
+  /// Name of the guard bound that failed the job — "wall_clock",
+  /// "sim_events", "vm_instructions", "replay_events", "loop_trips", or
+  /// "cancelled" — empty for successes and non-guard failures.
+  std::string tripped_limit;
 
   /// Which backend(s) evaluated the job.  With BackendKind::Both,
   /// `predicted_time` is the simulator's reference prediction,
@@ -119,6 +124,8 @@ struct BatchStats {
   std::size_t total = 0;         ///< Number of jobs in the batch.
   std::size_t ok = 0;            ///< Jobs whose every stage succeeded.
   std::size_t failed = 0;        ///< Jobs with a failed stage.
+  std::size_t timed_out = 0;     ///< Failed jobs that tripped a wall clock.
+  std::size_t cancelled = 0;     ///< Failed jobs that were cancelled.
   double min_predicted = 0;      ///< Smallest successful prediction.
   double max_predicted = 0;      ///< Largest successful prediction.
   double mean_predicted = 0;     ///< Mean successful prediction.
@@ -229,6 +236,30 @@ struct BatchOptions {
   std::function<void(const BatchProgress&)> on_progress = nullptr;
   /// Heartbeat period in seconds (used only when on_progress is set).
   double progress_interval_seconds = 0.5;
+  /// Per-job resource limits (guard::Limits).  A job that trips a bound
+  /// is marked failed with ScenarioResult::tripped_limit naming it; the
+  /// rest of the sweep completes.  Default bounds nothing and the
+  /// evaluation path stays bit-identical.
+  guard::Limits limits;
+  /// Per-job wall-clock timeout in seconds (0: none).  Composed with
+  /// `limits.wall_seconds` — the tighter bound wins.  Timed-out jobs
+  /// count into the `batch.jobs_timed_out` metric.
+  double job_timeout_seconds = 0;
+  /// Whole-sweep deadline in seconds measured from run() (0: none).
+  /// When it passes, running jobs are cancelled cooperatively, unclaimed
+  /// jobs are marked failed, and the report — partial CSV, metrics, the
+  /// guaranteed final progress callback — is still produced.
+  double deadline_seconds = 0;
+  /// Caller-owned sweep-wide cancellation token (nullable).  cancel() —
+  /// e.g. from a SIGINT handler — drains the pool like a passed
+  /// deadline: cooperative, partial results preserved.  Outlives run().
+  guard::Budget* sweep_budget = nullptr;
+  /// Deterministic fault plan (nullable, caller-owned, see
+  /// guard::FaultPlan).  Sites visited: "parse", "check", "transform",
+  /// "lower", "prepare" (once per compile chain — per model when cached,
+  /// per job when isolated) and "estimate" (per job); a "cancel@E" rule
+  /// arms a mid-simulation cancellation after E engine events.
+  guard::FaultPlan* fault_plan = nullptr;
 };
 
 /// Expands sweeps into jobs and runs them on a worker pool.
@@ -295,14 +326,13 @@ class BatchRunner {
   [[nodiscard]] ScenarioResult run_job(
       const BatchJob& job, const estimator::Backend* sim_backend,
       const estimator::Backend* analytic_backend, obs::Registry* metrics,
-      trace::Trace* sim_trace) const;
+      trace::Trace* sim_trace, const guard::Budget* sweep) const;
 
   /// Cached-mode job: parameter-only evaluation against the shared
   /// compiled entry of the job's model.
-  [[nodiscard]] ScenarioResult run_job_cached(const BatchJob& job,
-                                              const CompiledEntry& entry,
-                                              obs::Registry* metrics,
-                                              trace::Trace* sim_trace) const;
+  [[nodiscard]] ScenarioResult run_job_cached(
+      const BatchJob& job, const CompiledEntry& entry, obs::Registry* metrics,
+      trace::Trace* sim_trace, const guard::Budget* sweep) const;
 
   /// Compiles every model referenced by at least one job (parse -> check
   /// -> transform -> prepare) on up to `threads` workers; per-model

@@ -30,6 +30,10 @@
 #include <stdexcept>
 #include <vector>
 
+namespace prophet::guard {
+class Budget;
+}  // namespace prophet::guard
+
 namespace prophet::sim {
 
 /// Simulated time, in seconds.
@@ -249,6 +253,15 @@ class Engine {
   /// True when no events are pending.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Installs an execution budget (null detaches).  The run loop then
+  /// charges one sim event per dispatched event and lets the budget's
+  /// guard::ResourceExhausted / guard::Cancelled escape run() — a bounded
+  /// simulation can never spin past its limits between events.  The
+  /// budget never alters scheduling: an unlimited budget is bit-identical
+  /// to none.
+  void set_budget(guard::Budget* budget) { budget_ = budget; }
+  [[nodiscard]] guard::Budget* budget() const { return budget_; }
+
   // --- internal hooks (used by the Process machinery) ----------------------
   void defer_destroy(std::coroutine_handle<> handle);
   void record_error(std::exception_ptr error) {
@@ -279,6 +292,7 @@ class Engine {
   std::vector<std::coroutine_handle<>> to_destroy_;
   std::vector<std::coroutine_handle<>> live_;  // spawned, unfinished
   std::exception_ptr pending_error_;
+  guard::Budget* budget_ = nullptr;
 };
 
 }  // namespace prophet::sim

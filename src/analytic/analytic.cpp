@@ -129,6 +129,7 @@ struct AnalyticEstimator::Impl {
     bool pid_queried = false;  // pid/tid reachable by an evaluated program
     int call_depth = 0;
     obs::AnalyticCounters* counters = nullptr;  // null: counting disabled
+    guard::Budget* budget = nullptr;            // null: unguarded
   };
 
   /// expr::UserFunctions adapter: cost-function bodies evaluate against
@@ -148,6 +149,7 @@ struct AnalyticEstimator::Impl {
       ctx.args = args;
       ctx.functions = this;
       ctx.counters = st->counters != nullptr ? &st->counters->expr : nullptr;
+      ctx.budget = st->budget;
       const double result =
           impl->program->functions()[static_cast<std::size_t>(id)].eval(ctx);
       --st->call_depth;
@@ -159,7 +161,8 @@ struct AnalyticEstimator::Impl {
       : program(std::move(p)), model(&program->model()) {}
 
   AnalyticReport evaluate(const machine::SystemParameters& params,
-                          obs::AnalyticCounters* counters) const;
+                          obs::AnalyticCounters* counters,
+                          guard::Budget* budget) const;
 };
 
 
@@ -250,6 +253,7 @@ struct Walker {
     ctx.tid = static_cast<double>(tid);
     ctx.uid = static_cast<double>(uid);
     ctx.counters = st.counters != nullptr ? &st.counters->expr : nullptr;
+    ctx.budget = st.budget;
     return program.eval(ctx);
   }
 
@@ -371,6 +375,11 @@ struct Walker {
         throw AnalyticError("diagram " + diagram.id() +
                             ": walk exceeded step limit (unstructured "
                             "cycle without <<loop+>>?)");
+      }
+      // Piggyback the cooperative deadline/cancel check on the existing
+      // step counter so a long symbolic walk stays interruptible.
+      if (st.budget != nullptr && (*steps & 1023U) == 0) {
+        st.budget->checkpoint("analytic-walk");
       }
       if (stop != nullptr && stop_kind.has_value() &&
           node->kind() == *stop_kind) {
@@ -786,6 +795,12 @@ struct Walker {
       merge_criticals(first, rest);
     } else {
       for (std::int64_t k = 1; k < iterations; ++k) {
+        // Collapsed loops are O(1) and exempt; a non-collapsible body
+        // replays per trip, so each trip is charged — this is where a
+        // runaway trip count trips max_loop_trips (or the deadline).
+        if (st.budget != nullptr) {
+          st.budget->charge_loop_trips(1, "analytic-loop");
+        }
         loop_value = static_cast<double>(k);
         run_diagram(*body);
       }
@@ -846,7 +861,8 @@ struct ReplayOutcome {
 };
 
 ReplayOutcome replay(const machine::SystemParameters& params,
-                     const std::vector<const WalkResult*>& per_pid) {
+                     const std::vector<const WalkResult*>& per_pid,
+                     guard::Budget* budget) {
   const int np = params.processes;
   struct Proc {
     std::size_t cursor = 0;
@@ -926,6 +942,11 @@ ReplayOutcome replay(const machine::SystemParameters& params,
         ++proc.cursor;
         ++outcome.events;
         progressed = true;
+        // One charge per delivered event keeps a huge (but deadlock-free)
+        // replay bounded by max_replay_events and the deadline.
+        if (budget != nullptr) {
+          budget->charge_replay_events(1, "analytic-replay");
+        }
       }
       if (!proc.at_barrier && proc.cursor >= events.size() &&
           !proc.finished) {
@@ -972,11 +993,12 @@ ReplayOutcome replay(const machine::SystemParameters& params,
 // ---------------------------------------------------------------------------
 
 AnalyticReport AnalyticEstimator::Impl::evaluate(
-    const machine::SystemParameters& params,
-    obs::AnalyticCounters* counters) const {
+    const machine::SystemParameters& params, obs::AnalyticCounters* counters,
+    guard::Budget* budget) const {
   params.validate();
   EvalState st;
   st.counters = counters;
+  st.budget = budget;
   st.params = params;
   st.np = static_cast<double>(params.processes);
   st.nt = static_cast<double>(params.threads_per_process);
@@ -1008,6 +1030,7 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
       ctx.frame = st.run_frame;
       ctx.functions = &functions;
       ctx.counters = counters != nullptr ? &counters->expr : nullptr;
+      ctx.budget = budget;
       try {
         value = variable.initializer->eval(ctx);
       } catch (const expr::EvalError& error) {
@@ -1065,7 +1088,7 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
     }
   }
 
-  const ReplayOutcome outcome = replay(params, per_pid);
+  const ReplayOutcome outcome = replay(params, per_pid, budget);
 
   AnalyticReport report;
   report.processes = np;
@@ -1193,13 +1216,19 @@ AnalyticEstimator::~AnalyticEstimator() = default;
 
 AnalyticReport AnalyticEstimator::evaluate(
     const machine::SystemParameters& params) const {
-  return impl_->evaluate(params, nullptr);
+  return impl_->evaluate(params, nullptr, nullptr);
 }
 
 AnalyticReport AnalyticEstimator::evaluate(
     const machine::SystemParameters& params,
     obs::AnalyticCounters* counters) const {
-  return impl_->evaluate(params, counters);
+  return impl_->evaluate(params, counters, nullptr);
+}
+
+AnalyticReport AnalyticEstimator::evaluate(
+    const machine::SystemParameters& params, obs::AnalyticCounters* counters,
+    guard::Budget* budget) const {
+  return impl_->evaluate(params, counters, budget);
 }
 
 lower::ModelProgramPtr AnalyticEstimator::lowering() const {

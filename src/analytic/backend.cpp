@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "prophet/analytic/analytic.hpp"
+#include "prophet/guard/guard.hpp"
 #include "prophet/interp/interpreter.hpp"
 #include "prophet/obs/obs.hpp"
 
@@ -63,8 +64,15 @@ class AnalyticPrepared final : public estimator::PreparedModel {
     // No trace to collect: nothing is simulated.
     obs::AnalyticCounters counters;
     const bool metrics = options.metrics != nullptr;
+    // Same guard resolution as the SimulationManager: a caller-owned
+    // budget wins, active limits get an evaluation-local one, neither
+    // means unguarded.
+    guard::Budget local_budget(options.limits);
+    guard::Budget* budget = options.budget != nullptr ? options.budget
+                            : options.limits.any()    ? &local_budget
+                                                      : nullptr;
     AnalyticReport analytic =
-        estimator_.evaluate(params, metrics ? &counters : nullptr);
+        estimator_.evaluate(params, metrics ? &counters : nullptr, budget);
     estimator::PredictionReport report;
     report.predicted_time = analytic.predicted_time;
     report.per_process_finish = std::move(analytic.per_process_finish);

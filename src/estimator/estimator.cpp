@@ -52,6 +52,28 @@ PredictionReport SimulationManager::run(ProgramModel& model) const {
     model.set_expr_counters(&expr_counters);
   }
 
+  // Execution guard: a caller-owned budget wins; otherwise any active
+  // limits get a run-local one.  It is installed on both cooperative
+  // layers — the engine (per-event charge) and the model (loop trips,
+  // expression-VM instructions) — and detached from the model before
+  // returning, throwing paths included.
+  guard::Budget local_budget(options_.limits);
+  guard::Budget* budget = options_.budget != nullptr ? options_.budget
+                          : options_.limits.any()    ? &local_budget
+                                                     : nullptr;
+  struct ResetBudget {
+    ProgramModel* model;
+    ~ResetBudget() {
+      if (model != nullptr) {
+        model->set_budget(nullptr);
+      }
+    }
+  } reset_budget{budget != nullptr ? &model : nullptr};
+  if (budget != nullptr) {
+    engine.set_budget(budget);
+    model.set_budget(budget);
+  }
+
   model.on_run_start(params_);
 
   // One wrapper process per modeled process records its finish time.

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "builtins.hpp"
+#include "prophet/guard/guard.hpp"
 #include "prophet/obs/obs.hpp"
 
 namespace prophet::expr {
@@ -658,8 +659,16 @@ double Compiled::eval(const EvalContext& ctx) const {
       }
     }
   } flush{ctx.counters, &dispatched};
+  // Budget stride: one pointer test per dispatch when disabled; when a
+  // budget is installed, charge whole strides as they complete (the tail
+  // is charged after the loop) so runaway expressions trip within ~1k
+  // instructions while the hot path stays branch-cheap.
+  constexpr std::uint64_t kBudgetStride = 1024;
   while (ip < n) {
     ++dispatched;
+    if (ctx.budget != nullptr && (dispatched & (kBudgetStride - 1)) == 0) {
+      ctx.budget->charge_vm_instructions(kBudgetStride, "expr-vm");
+    }
     const Instr& in = code[ip];
     switch (in.op) {
       case Op::PushConst:
@@ -841,6 +850,10 @@ double Compiled::eval(const EvalContext& ctx) const {
         break;
     }
     ++ip;
+  }
+  if (ctx.budget != nullptr && (dispatched & (kBudgetStride - 1)) != 0) {
+    ctx.budget->charge_vm_instructions(dispatched & (kBudgetStride - 1),
+                                       "expr-vm");
   }
   return stack[sp - 1];
 }

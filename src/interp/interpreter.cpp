@@ -57,6 +57,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
   double np = 1, nt = 1, nn = 1, ppn = 1;
   mutable int call_depth = 0;
   obs::ExprCounters* expr_counters = nullptr;  // null: counting disabled
+  guard::Budget* budget = nullptr;             // null: unguarded
 
   explicit Impl(std::shared_ptr<const Program> p)
       : program(std::move(p)), model(&program->model()) {
@@ -84,6 +85,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     ctx.tid = static_cast<double>(tid);
     ctx.uid = static_cast<double>(uid);
     ctx.counters = expr_counters;
+    ctx.budget = budget;
     return ctx;
   }
 
@@ -101,6 +103,7 @@ struct Interpreter::Impl final : expr::UserFunctions {
     ctx.args = args;
     ctx.functions = this;
     ctx.counters = expr_counters;
+    ctx.budget = budget;
     const double result = program->functions()[static_cast<std::size_t>(id)]
                               .eval(ctx);
     --call_depth;
@@ -526,6 +529,12 @@ struct Interpreter::Impl final : expr::UserFunctions {
     Scope iteration_scope = scope;
     iteration_scope.frame[programs.loop_var_slot] = &loop_value;
     for (std::int64_t k = 0; k < iterations; ++k) {
+      // Charge every trip: a zero-cost body never yields to the engine
+      // (hold(0) is ready immediately), so without this charge a spin
+      // loop would be invisible to the event budget and the deadline.
+      if (budget != nullptr) {
+        budget->charge_loop_trips(1, "interp-loop");
+      }
       loop_value = static_cast<double>(k);
       co_await run_diagram(ctx, *body, iteration_scope);
     }
@@ -575,6 +584,10 @@ sim::Process Interpreter::process_main(workload::ModelContext ctx) {
 
 void Interpreter::set_expr_counters(obs::ExprCounters* counters) {
   impl_->expr_counters = counters;
+}
+
+void Interpreter::set_budget(guard::Budget* budget) {
+  impl_->budget = budget;
 }
 
 double Interpreter::global(const std::string& name) const {

@@ -443,6 +443,22 @@ uml::Model pipeline_model(std::int64_t items, double stage_cost,
   return std::move(mb).build();
 }
 
+uml::Model spin_model(double trips) {
+  uml::ModelBuilder mb("Spin");
+  mb.global("TRIPS", uml::VariableType::Real, number_literal(trips));
+
+  // The body cost references the loop variable, so the analytic walker
+  // cannot prove iteration-independence and collapse the loop to O(1) —
+  // both backends pay per trip, which is the point: this model exists to
+  // exercise execution budgets, not to predict anything.
+  uml::StepBuilder main(mb, "main");
+  main.begin_loop("SpinLoop", "TRIPS", "it")
+      .compute("Burn", "1e-12 * it")
+      .end_loop()
+      .done();
+  return std::move(mb).build();
+}
+
 // --- Registration ---------------------------------------------------------
 
 namespace {
@@ -651,6 +667,23 @@ Registry make_builtin_registry() {
             return pipeline_model(int_knob(k, "items"),
                                   knob(k, "stage_cost"), knob(k, "bytes"));
           },
+  });
+  registry.add({
+      .name = "spin",
+      .description = "diagnostic runaway loop (hidden): `trips` "
+                     "iterations whose cost depends on the loop variable, "
+                     "so no backend can collapse it — exercise for "
+                     "execution budgets and timeouts",
+      .comm_pattern = "none",
+      .scaling = "evaluation time proportional to trips; with trips=1e12 "
+                 "it only terminates by tripping a guard limit",
+      .knobs = {{"trips", 1000, "loop iteration count"}},
+      .default_params = {},
+      .default_grid = "np=1",
+      .factory = [](const KnobValues& k) {
+        return spin_model(knob(k, "trips"));
+      },
+      .hidden = true,
   });
   return registry;
 }

@@ -165,6 +165,9 @@ std::vector<std::string> Registry::names() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const ModelInfo& entry : entries_) {
+    if (entry.hidden) {
+      continue;
+    }
     out.push_back(entry.name);
   }
   return out;
@@ -178,6 +181,9 @@ uml::Model Registry::make(std::string_view reference) const {
 std::string Registry::available() const {
   std::string out;
   for (const ModelInfo& entry : entries_) {
+    if (entry.hidden) {
+      continue;
+    }
     if (!out.empty()) {
       out += ", ";
     }
@@ -189,6 +195,9 @@ std::string Registry::available() const {
 std::string Registry::describe() const {
   std::ostringstream out;
   for (const ModelInfo& entry : entries_) {
+    if (entry.hidden) {
+      continue;
+    }
     out << "@" << entry.name << "\n";
     out << "  " << entry.description << "\n";
     out << "  comm:    " << entry.comm_pattern << "\n";

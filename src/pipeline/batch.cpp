@@ -77,6 +77,11 @@ BatchStats BatchReport::stats() const {
     stats.total_job_seconds += result.wall_seconds;
     if (!result.ok) {
       ++stats.failed;
+      if (result.tripped_limit == "wall_clock") {
+        ++stats.timed_out;
+      } else if (result.tripped_limit == "cancelled") {
+        ++stats.cancelled;
+      }
       continue;
     }
     if (stats.ok == 0) {
@@ -120,6 +125,8 @@ obs::Registry BatchReport::derived_metrics() const {
   reg.counter("batch.jobs").add(stats.total);
   reg.counter("batch.jobs_ok").add(stats.ok);
   reg.counter("batch.jobs_failed").add(stats.failed);
+  reg.counter("batch.jobs_timed_out").add(stats.timed_out);
+  reg.counter("batch.jobs_cancelled").add(stats.cancelled);
   reg.counter("batch.compared").add(stats.compared);
   reg.counter("batch.events").add(stats.total_events);
   reg.counter("batch.models_prepared")
@@ -202,6 +209,12 @@ std::string BatchReport::summary() const {
   }
   out << "ok " << m->counter_value("batch.jobs_ok") << " / failed "
       << m->counter_value("batch.jobs_failed");
+  if (m->counter_value("batch.jobs_timed_out") > 0) {
+    out << " (" << m->counter_value("batch.jobs_timed_out") << " timed out)";
+  }
+  if (m->counter_value("batch.jobs_cancelled") > 0) {
+    out << " (" << m->counter_value("batch.jobs_cancelled") << " cancelled)";
+  }
   if (m->counter_value("batch.jobs_ok") > 0) {
     out << "; predicted min " << m->gauge_value("batch.predicted_min_s")
         << " s, mean " << m->gauge_value("batch.predicted_mean_s")
@@ -224,17 +237,31 @@ std::string BatchReport::to_csv() const {
   // error is free text and stays last.
   out << "job,model,np,nn,ppn,nt,cpu_speed,seed,backend,ok,predicted_s,"
          "analytic_s,rel_error,events,warnings,generated_bytes,wall_s,"
-         "parse_s,check_s,transform_s,estimate_s,error\n";
-  // Free-text fields (the model name may be a file path) must not break
-  // the column layout.
-  const auto sanitize = [](std::string text) {
-    std::replace(text.begin(), text.end(), ',', ';');
-    std::replace(text.begin(), text.end(), '\n', ' ');
-    return text;
+         "parse_s,check_s,transform_s,estimate_s,tripped_limit,error\n";
+  // Free-text fields (the model name may be a file path; error messages
+  // quote model content) are escaped per RFC 4180: a field containing a
+  // comma, quote or line break is wrapped in quotes with embedded quotes
+  // doubled.  Clean fields pass through byte-identical, so determinism
+  // diffs over the fixed-format columns are unaffected.
+  const auto field = [](const std::string& text) {
+    if (text.find_first_of(",\"\r\n") == std::string::npos) {
+      return text;
+    }
+    std::string quoted;
+    quoted.reserve(text.size() + 2);
+    quoted += '"';
+    for (const char c : text) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
   };
   for (const auto& result : results) {
-    const std::string error = sanitize(result.error);
-    out << result.job_id << ',' << sanitize(result.model_name) << ','
+    const std::string error = field(result.error);
+    out << result.job_id << ',' << field(result.model_name) << ','
         << result.params.processes << ',' << result.params.nodes << ','
         << result.params.processors_per_node << ','
         << result.params.threads_per_process << ','
@@ -246,7 +273,7 @@ std::string BatchReport::to_csv() const {
         << result.generated_bytes << ',' << result.wall_seconds << ','
         << result.parse_seconds << ',' << result.check_seconds << ','
         << result.transform_seconds << ',' << result.estimate_seconds << ','
-        << error << '\n';
+        << result.tripped_limit << ',' << error << '\n';
   }
   return out.str();
 }
@@ -415,6 +442,9 @@ std::string BatchRunner::run_model_stages(
   // Stage 1: XMI parse.
   auto stage_start = std::chrono::steady_clock::now();
   try {
+    if (options_.fault_plan != nullptr) {
+      options_.fault_plan->visit("parse");
+    }
     *model = xmi::from_xml(models_[model_index].xmi);
   } catch (const std::exception& error) {
     record(parse_seconds, stage_start);
@@ -426,6 +456,9 @@ std::string BatchRunner::run_model_stages(
   if (options_.run_checker) {
     stage_start = std::chrono::steady_clock::now();
     try {
+      if (options_.fault_plan != nullptr) {
+        options_.fault_plan->visit("check");
+      }
       const check::ModelChecker checker;
       const check::Diagnostics diagnostics = checker.check(*model);
       *warnings = diagnostics.warning_count();
@@ -445,6 +478,9 @@ std::string BatchRunner::run_model_stages(
   if (options_.run_codegen) {
     stage_start = std::chrono::steady_clock::now();
     try {
+      if (options_.fault_plan != nullptr) {
+        options_.fault_plan->visit("transform");
+      }
       const codegen::Transformer transformer;
       *generated_bytes = transformer.transform(*model).size();
     } catch (const std::exception& error) {
@@ -469,12 +505,16 @@ std::string prepare_backends(
     const uml::Model& model, const estimator::Backend* sim_backend,
     const estimator::Backend* analytic_backend,
     std::unique_ptr<estimator::PreparedModel>* sim,
-    std::unique_ptr<estimator::PreparedModel>* analytic) {
+    std::unique_ptr<estimator::PreparedModel>* analytic,
+    guard::FaultPlan* fault_plan) {
   if (sim_backend == nullptr && analytic_backend == nullptr) {
     return "";
   }
   lower::ModelProgramPtr program;
   try {
+    if (fault_plan != nullptr) {
+      fault_plan->visit("lower");
+    }
     program = lower::lower(model);
   } catch (const std::exception& error) {
     // Lowering failures report under the first selected engine's stage
@@ -484,6 +524,9 @@ std::string prepare_backends(
   }
   if (sim_backend != nullptr) {
     try {
+      if (fault_plan != nullptr) {
+        fault_plan->visit("prepare");
+      }
       *sim = sim_backend->prepare(program);
     } catch (const std::exception& error) {
       return std::string("simulate: ") + error.what();
@@ -491,12 +534,25 @@ std::string prepare_backends(
   }
   if (analytic_backend != nullptr) {
     try {
+      // One "prepare" visit per compile chain: when the sim backend
+      // already visited, the analytic prepare rides the same chain.
+      if (fault_plan != nullptr && sim_backend == nullptr) {
+        fault_plan->visit("prepare");
+      }
       *analytic = analytic_backend->prepare(program);
     } catch (const std::exception& error) {
       return std::string("analytic: ") + error.what();
     }
   }
   return "";
+}
+
+/// CSV/metrics name of the bound a guard error tripped.
+std::string limit_name(const guard::GuardError& error) {
+  if (dynamic_cast<const guard::Cancelled*>(&error) != nullptr) {
+    return "cancelled";
+  }
+  return std::string(guard::to_string(error.limit()));
 }
 
 /// Stage 4, shared by both modes: run the selected backend(s) and fill
@@ -509,11 +565,21 @@ std::string estimate_stage(const estimator::PreparedModel* sim,
                            estimator::BackendKind kind,
                            const machine::SystemParameters& params,
                            obs::Registry* metrics, trace::Trace* sim_trace,
+                           guard::Budget* budget, guard::FaultPlan* fault_plan,
                            ScenarioResult* result) {
-  const estimator::EstimationOptions estimation{
-      .collect_trace = sim != nullptr && sim_trace != nullptr,
-      .collect_machine_report = false,
-      .metrics = metrics};
+  estimator::EstimationOptions estimation;
+  estimation.collect_trace = sim != nullptr && sim_trace != nullptr;
+  estimation.collect_machine_report = false;
+  estimation.metrics = metrics;
+  estimation.budget = budget;
+  if (fault_plan != nullptr) {
+    try {
+      fault_plan->visit("estimate");
+    } catch (const std::exception& error) {
+      const char* stage = sim != nullptr ? "simulate: " : "analytic: ";
+      return std::string(stage) + error.what();
+    }
+  }
   if (sim != nullptr) {
     try {
       estimator::PredictionReport report = sim->estimate(params, estimation);
@@ -523,6 +589,9 @@ std::string estimate_stage(const estimator::PreparedModel* sim,
       if (sim_trace != nullptr) {
         *sim_trace = std::move(report.trace);
       }
+    } catch (const guard::GuardError& error) {
+      result->tripped_limit = limit_name(error);
+      return std::string("simulate: ") + error.what();
     } catch (const std::exception& error) {
       return std::string("simulate: ") + error.what();
     }
@@ -545,11 +614,26 @@ std::string estimate_stage(const estimator::PreparedModel* sim,
                 ? std::numeric_limits<double>::infinity()
                 : 0;
       }
+    } catch (const guard::GuardError& error) {
+      result->tripped_limit = limit_name(error);
+      return std::string("analytic: ") + error.what();
     } catch (const std::exception& error) {
       return std::string("analytic: ") + error.what();
     }
   }
   return "";
+}
+
+/// The per-job limit set: options.limits with `--job-timeout` folded
+/// into the wall clock (the tighter bound wins).
+guard::Limits job_limits(const BatchOptions& options) {
+  guard::Limits limits = options.limits;
+  if (options.job_timeout_seconds > 0 &&
+      (limits.wall_seconds <= 0 ||
+       options.job_timeout_seconds < limits.wall_seconds)) {
+    limits.wall_seconds = options.job_timeout_seconds;
+  }
+  return limits;
 }
 
 ScenarioResult result_for(const BatchJob& job) {
@@ -585,7 +669,7 @@ void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
       options_.backend != estimator::BackendKind::Simulation
           ? &analytic_backend
           : nullptr,
-      &entry.sim, &entry.analytic);
+      &entry.sim, &entry.analytic, options_.fault_plan);
   if (!entry.error.empty()) {
     return;
   }
@@ -595,9 +679,26 @@ void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
 ScenarioResult BatchRunner::run_job(
     const BatchJob& job, const estimator::Backend* sim_backend,
     const estimator::Backend* analytic_backend, obs::Registry* metrics,
-    trace::Trace* sim_trace) const {
+    trace::Trace* sim_trace, const guard::Budget* sweep) const {
   ScenarioResult result = result_for(job);
   result.backend = options_.backend;
+
+  // The job's budget: its deadline starts here, so `--job-timeout`
+  // covers the whole per-job chain; chaining to the sweep budget makes a
+  // sweep deadline / SIGINT cancel the job at its next check site.  The
+  // budget is only passed down when something actually bounds the run,
+  // so unguarded sweeps keep the engines' zero-check fast path.
+  const guard::Limits limits = job_limits(options_);
+  guard::Budget budget(limits, sweep);
+  const bool guarded = limits.any() || sweep != nullptr;
+  bool armed = false;
+  if (options_.fault_plan != nullptr) {
+    if (const auto event = options_.fault_plan->cancel_at_event()) {
+      budget.cancel_at_sim_event(*event);
+      armed = true;
+    }
+  }
+  guard::Budget* job_budget = guarded || armed ? &budget : nullptr;
 
   const auto start = std::chrono::steady_clock::now();
   const auto fail = [&](const std::string& error) -> ScenarioResult {
@@ -627,7 +728,7 @@ ScenarioResult BatchRunner::run_job(
   std::unique_ptr<estimator::PreparedModel> sim;
   std::unique_ptr<estimator::PreparedModel> analytic;
   error = prepare_backends(model, sim_backend, analytic_backend, &sim,
-                           &analytic);
+                           &analytic, options_.fault_plan);
   if (error.empty()) {
     if (metrics != nullptr) {
       // Isolated mode lowers per job, so the lowering work is counted
@@ -636,7 +737,8 @@ ScenarioResult BatchRunner::run_job(
       fold_lowering(metrics, prepared->lowering()->stats());
     }
     error = estimate_stage(sim.get(), analytic.get(), options_.backend,
-                           job.params, metrics, sim_trace, &result);
+                           job.params, metrics, sim_trace, job_budget,
+                           options_.fault_plan, &result);
   }
   result.estimate_seconds = seconds_since(stage_start);
   if (!error.empty()) {
@@ -651,9 +753,23 @@ ScenarioResult BatchRunner::run_job(
 ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
                                            const CompiledEntry& entry,
                                            obs::Registry* metrics,
-                                           trace::Trace* sim_trace) const {
+                                           trace::Trace* sim_trace,
+                                           const guard::Budget* sweep) const {
   ScenarioResult result = result_for(job);
   result.backend = options_.backend;
+
+  // Same guard resolution as the isolated path (see run_job).
+  const guard::Limits limits = job_limits(options_);
+  guard::Budget budget(limits, sweep);
+  const bool guarded = limits.any() || sweep != nullptr;
+  bool armed = false;
+  if (options_.fault_plan != nullptr) {
+    if (const auto event = options_.fault_plan->cancel_at_event()) {
+      budget.cancel_at_sim_event(*event);
+      armed = true;
+    }
+  }
+  guard::Budget* job_budget = guarded || armed ? &budget : nullptr;
 
   const auto start = std::chrono::steady_clock::now();
   // Per-model facts are shared verbatim — also for failed entries, where
@@ -672,7 +788,7 @@ ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
 
   const std::string error = estimate_stage(
       entry.sim.get(), entry.analytic.get(), options_.backend, job.params,
-      metrics, sim_trace, &result);
+      metrics, sim_trace, job_budget, options_.fault_plan, &result);
   result.estimate_seconds = seconds_since(start);
   if (!error.empty()) {
     result.ok = false;
@@ -711,6 +827,19 @@ BatchReport BatchRunner::run() const {
   }
 
   const auto start = std::chrono::steady_clock::now();
+
+  // Sweep-wide guard: a `--deadline` becomes a run-local budget chained
+  // to the caller's sweep_budget (the SIGINT token), so either signal
+  // drains the pool — workers stop claiming tickets, running jobs are
+  // cancelled at their next check site, and the partial report is still
+  // assembled and flushed below.
+  guard::Limits sweep_limits;
+  sweep_limits.wall_seconds = options_.deadline_seconds;
+  const guard::Budget deadline_budget(sweep_limits, options_.sweep_budget);
+  const guard::Budget* sweep =
+      options_.deadline_seconds > 0
+          ? &deadline_budget
+          : static_cast<const guard::Budget*>(options_.sweep_budget);
 
   // Prepare phase (cached mode): compile every referenced model once —
   // parse, check, transform, Backend::prepare — before the pool starts.
@@ -772,10 +901,14 @@ BatchReport BatchRunner::run() const {
 
   // Work-stealing by atomic ticket: results land at their job's slot, so
   // the report order is job order no matter which worker ran what.
+  // `claimed` marks slots a worker actually ran (each written by exactly
+  // one worker); jobs left unclaimed by a sweep deadline/cancellation
+  // are marked failed after the join.
+  std::vector<char> claimed(jobs_.size(), 0);
   std::atomic<std::size_t> next{0};
   const auto worker = [this, &next, &report, &cache, &worker_metrics,
-                       &worker_traces, &trace_job, &done,
-                       &worst_rel_bits](int worker_id) {
+                       &worker_traces, &trace_job, &done, &worst_rel_bits,
+                       &claimed, sweep](int worker_id) {
     // Isolated mode constructs the (stateless) backends once per worker
     // thread, not once per job.
     std::unique_ptr<estimator::Backend> sim_backend;
@@ -799,10 +932,16 @@ BatchReport BatchRunner::run() const {
             ? nullptr
             : &worker_traces[static_cast<std::size_t>(worker_id)];
     for (;;) {
+      // Stop claiming work once the sweep is cancelled or past its
+      // deadline; already-claimed jobs finish (or trip) on their own.
+      if (sweep != nullptr && sweep->exhausted()) {
+        return;
+      }
       const std::size_t index = next.fetch_add(1);
       if (index >= jobs_.size()) {
         return;
       }
+      claimed[index] = 1;
       const BatchJob& job = jobs_[index];
       trace::Trace sim_trace;
       trace::Trace* sim_trace_out =
@@ -815,10 +954,10 @@ BatchReport BatchRunner::run() const {
         report.results[index] =
             options_.isolate_jobs
                 ? run_job(job, sim_backend.get(), analytic_backend.get(),
-                          metrics, sim_trace_out)
+                          metrics, sim_trace_out, sweep)
                 : run_job_cached(
                       job, cache[static_cast<std::size_t>(job.model_index)],
-                      metrics, sim_trace_out);
+                      metrics, sim_trace_out, sweep);
       }
       if (sim_trace_out != nullptr) {
         log->append_simulated(sim_trace, sim_pid_base(job.model_index),
@@ -897,6 +1036,25 @@ BatchReport BatchRunner::run() const {
     }
     monitor_cv.notify_all();
     monitor.join();
+  }
+
+  // Jobs the drained pool never claimed still get a structured row —
+  // the report keeps one result per job under every outcome.
+  if (sweep != nullptr) {
+    const bool was_cancelled = sweep->cancel_requested();
+    for (std::size_t index = 0; index < jobs_.size(); ++index) {
+      if (claimed[index] != 0) {
+        continue;
+      }
+      ScenarioResult& result = report.results[index];
+      result = result_for(jobs_[index]);
+      result.backend = options_.backend;
+      result.ok = false;
+      result.error = was_cancelled
+                         ? "sweep: cancelled before the job started"
+                         : "sweep: deadline exceeded before the job started";
+      result.tripped_limit = was_cancelled ? "cancelled" : "wall_clock";
+    }
   }
   report.wall_seconds = seconds_since(start);
 

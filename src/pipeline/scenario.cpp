@@ -13,6 +13,12 @@ namespace {
                               "': " + why);
 }
 
+/// Hard cap on one axis's expanded value count.  Generous for real
+/// sweeps (full grids multiply axes, so even 10^6 on one axis is
+/// enormous) and small enough that a runaway range cannot exhaust
+/// memory before the error fires.
+constexpr std::size_t kMaxAxisValues = 1000000;
+
 int to_count(std::string_view name, double value) {
   // All range checks in the double domain: llround / static_cast on an
   // out-of-range double is undefined behavior.
@@ -50,6 +56,15 @@ std::string_view canonical_parameter(std::string_view name) {
     return "nt";
   }
   return name;
+}
+
+/// Axes bound to integer count fields (process/node/thread counts) get
+/// their values range-checked at parse time, so an overflowing spec
+/// fails as one structured parse error instead of per-job failures.
+bool is_count_parameter(std::string_view name) {
+  const std::string_view canonical = canonical_parameter(name);
+  return canonical == "np" || canonical == "nn" || canonical == "ppn" ||
+         canonical == "nt";
 }
 
 }  // namespace
@@ -173,9 +188,22 @@ ScenarioGrid ScenarioGrid::parse(std::string_view spec,
       if ((geometric && (step <= 1 || lo <= 0)) || (!geometric && step <= 0)) {
         bad_spec(spec, "axis '" + name + "' has a non-advancing step");
       }
-      for (double v = lo; v <= hi + 1e-9;
-           v = geometric ? v * step : v + step) {
+      for (double v = lo; v <= hi + 1e-9;) {
         values.push_back(v);
+        // An overflowing range ("np=1..9e18:+1") must become a parse
+        // error, not an absurd job count or an infinite loop: bound the
+        // expansion, and catch the iteration stalling when the step
+        // underflows the value's ulp (v + step == v at large magnitudes).
+        if (values.size() > kMaxAxisValues) {
+          bad_spec(spec, "axis '" + name + "' expands to more than " +
+                             std::to_string(kMaxAxisValues) + " values");
+        }
+        const double next = geometric ? v * step : v + step;
+        if (!(next > v) || !std::isfinite(next)) {
+          bad_spec(spec, "axis '" + name +
+                             "' step stops advancing (overflowing range?)");
+        }
+        v = next;
       }
     } else {
       // Comma-list form.
@@ -191,6 +219,16 @@ ScenarioGrid ScenarioGrid::parse(std::string_view spec,
         values.push_back(
             parse_number(spec, values_text.substr(item, comma - item)));
         item = comma + 1;
+      }
+    }
+    if (is_count_parameter(name)) {
+      for (const double v : values) {
+        const double rounded = std::floor(v + 0.5);
+        if (!(rounded >= 1) || rounded > 2147483647.0) {
+          bad_spec(spec, "axis '" + name + "' value " + std::to_string(v) +
+                             " overflows the parameter (must be an integer "
+                             "in [1, 2^31))");
+        }
       }
     }
     grid.axis(name, std::move(values));

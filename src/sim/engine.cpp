@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prophet/guard/guard.hpp"
+
 namespace prophet::sim {
 
 std::coroutine_handle<> Process::promise_type::FinalAwaiter::await_suspend(
@@ -82,6 +84,11 @@ std::uint64_t Engine::run(Time until) {
       pending_error_ = nullptr;
       std::rethrow_exception(error);
     }
+    // Cooperative guard: every dispatched event is charged, so a bounded
+    // run can exceed its event budget or deadline by at most one event.
+    if (budget_ != nullptr) {
+      budget_->charge_sim_events(1, "sim-engine");
+    }
   }
   return count;
 }
@@ -100,6 +107,9 @@ bool Engine::step() {
     std::exception_ptr error = pending_error_;
     pending_error_ = nullptr;
     std::rethrow_exception(error);
+  }
+  if (budget_ != nullptr) {
+    budget_->charge_sim_events(1, "sim-engine");
   }
   return true;
 }

@@ -1,5 +1,6 @@
 #include "prophet/xmi/xmi.hpp"
 
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -251,6 +252,22 @@ uml::Model from_document(const xml::Document& doc) {
     fail("not a prophet model document (root must be <prophet:model>)");
   }
   const auto& root = doc.root();
+  // A declared schema must be a version this reader understands: a
+  // malformed or future value would otherwise be silently ignored and
+  // misread as schema 1.  Absent means 1 (pre-versioning documents).
+  if (auto schema = root.attr("schema"); schema && !schema->empty()) {
+    char* end = nullptr;
+    const std::string text(*schema);
+    const long version = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || version < 1) {
+      fail("malformed schema version '" + text + "'");
+    }
+    if (version > kSchemaVersion) {
+      fail("document schema version " + text +
+           " is newer than this reader (max " +
+           std::to_string(kSchemaVersion) + ")");
+    }
+  }
   uml::Model model(root.attr_or("name", ""));
 
   if (const auto* profile = root.child("profile")) {

@@ -270,6 +270,14 @@ class Parser {
 
   std::unique_ptr<Element> parse_element() {
     // Caller guarantees cursor is at '<'.
+    // Element nesting recurses through parse_content(); a hostile
+    // document of the form "<a><a><a>..." would otherwise turn parser
+    // recursion into stack exhaustion (a crash, not an error).  No sane
+    // model comes near the bound.
+    if (++depth_ > kMaxDepth) {
+      cursor_.fail("element nesting deeper than " +
+                   std::to_string(kMaxDepth) + " levels");
+    }
     cursor_.advance();  // '<'
     auto element = std::make_unique<Element>(parse_name());
     // Attributes.
@@ -295,10 +303,12 @@ class Parser {
     }
     if (cursor_.starts_with("/>")) {
       cursor_.skip(2);
+      --depth_;
       return element;
     }
     cursor_.advance();  // '>'
     parse_content(*element);
+    --depth_;
     return element;
   }
 
@@ -365,7 +375,12 @@ class Parser {
     }
   }
 
+  /// Maximum element nesting depth; generous for real models, small
+  /// enough that recursion stays far from the thread's stack limit.
+  static constexpr std::size_t kMaxDepth = 256;
+
   Cursor cursor_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -333,8 +333,9 @@ TEST(Backend, PrepareOnceMatchesOneShotEstimate) {
 TEST(Backend, PreparedEstimateSkipsMachineReportOnRequest) {
   const uml::Model model = prophet::models::sample_model();
   const auto prepared = analytic::AnalyticBackend().prepare(model);
-  const estimator::EstimationOptions lean{.collect_trace = false,
-                                          .collect_machine_report = false};
+  estimator::EstimationOptions lean;
+  lean.collect_trace = false;
+  lean.collect_machine_report = false;
   EXPECT_TRUE(prepared->estimate(params_np(2), lean).machine_report.empty());
   EXPECT_FALSE(prepared->estimate(params_np(2)).machine_report.empty());
   // Skipping the report never changes the prediction.

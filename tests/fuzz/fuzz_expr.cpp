@@ -1,0 +1,17 @@
+// libFuzzer harness for the cost-expression parser.  Arbitrary bytes
+// must parse or raise expr::SyntaxError — nothing else.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "prophet/expr/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)prophet::expr::parse(text);
+  } catch (const prophet::expr::SyntaxError&) {
+  }
+  return 0;
+}

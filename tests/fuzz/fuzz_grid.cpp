@@ -1,0 +1,22 @@
+// libFuzzer harness for the sweep grid-spec parser.  Arbitrary bytes
+// must expand to a grid or raise std::invalid_argument — in particular
+// overflowing ranges ("np=1..9e18:*2") and absurd axis sizes must be
+// rejected, not ground through.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "prophet/machine/machine.hpp"
+#include "prophet/pipeline/scenario.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)prophet::pipeline::ScenarioGrid::parse(
+        text, prophet::machine::SystemParameters{});
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

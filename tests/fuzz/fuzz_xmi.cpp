@@ -1,0 +1,22 @@
+// libFuzzer harness for the XMI reader.  Arbitrary bytes must only ever
+// exit through the structured parse errors (xml::ParseError for
+// malformed markup, xmi::XmiError for well-formed XML that is not a
+// valid model document) — any crash, hang, unexpected exception type or
+// sanitizer report is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "prophet/xmi/xmi.hpp"
+#include "prophet/xml/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)prophet::xmi::from_xml(text);
+  } catch (const prophet::xml::ParseError&) {
+  } catch (const prophet::xmi::XmiError&) {
+  }
+  return 0;
+}

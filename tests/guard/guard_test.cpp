@@ -1,0 +1,254 @@
+// Unit tests for the guard module: limit bookkeeping, cooperative
+// cancellation, budget chaining and deterministic fault injection.
+#include "prophet/guard/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace guard = prophet::guard;
+
+TEST(Limits, DefaultBoundsNothing) {
+  const guard::Limits limits;
+  EXPECT_FALSE(limits.any());
+}
+
+TEST(Limits, AnyDetectsEachBound) {
+  guard::Limits limits;
+  limits.wall_seconds = 1;
+  EXPECT_TRUE(limits.any());
+  limits = {};
+  limits.max_sim_events = 1;
+  EXPECT_TRUE(limits.any());
+  limits = {};
+  limits.max_vm_instructions = 1;
+  EXPECT_TRUE(limits.any());
+  limits = {};
+  limits.max_replay_events = 1;
+  EXPECT_TRUE(limits.any());
+  limits = {};
+  limits.max_loop_trips = 1;
+  EXPECT_TRUE(limits.any());
+}
+
+TEST(Limits, LimitNames) {
+  EXPECT_EQ(guard::to_string(guard::LimitKind::WallClock), "wall_clock");
+  EXPECT_EQ(guard::to_string(guard::LimitKind::SimEvents), "sim_events");
+  EXPECT_EQ(guard::to_string(guard::LimitKind::VmInstructions),
+            "vm_instructions");
+  EXPECT_EQ(guard::to_string(guard::LimitKind::ReplayEvents),
+            "replay_events");
+  EXPECT_EQ(guard::to_string(guard::LimitKind::LoopTrips), "loop_trips");
+}
+
+TEST(Budget, UnlimitedBudgetNeverTrips) {
+  guard::Budget budget;
+  for (int i = 0; i < 10000; ++i) {
+    budget.charge_sim_events(1, "sim-engine");
+    budget.charge_vm_instructions(10, "expr-vm");
+    budget.charge_replay_events(1, "analytic-replay");
+    budget.charge_loop_trips(1, "interp-loop");
+    budget.checkpoint("test");
+  }
+  const guard::Usage usage = budget.usage();
+  EXPECT_EQ(usage.sim_events, 10000u);
+  EXPECT_EQ(usage.vm_instructions, 100000u);
+  EXPECT_EQ(usage.replay_events, 10000u);
+  EXPECT_EQ(usage.loop_trips, 10000u);
+}
+
+TEST(Budget, SimEventLimitTrips) {
+  guard::Limits limits;
+  limits.max_sim_events = 100;
+  guard::Budget budget(limits);
+  for (int i = 0; i < 100; ++i) {
+    budget.charge_sim_events(1, "sim-engine");
+  }
+  try {
+    budget.charge_sim_events(1, "sim-engine");
+    FAIL() << "expected ResourceExhausted";
+  } catch (const guard::ResourceExhausted& error) {
+    EXPECT_EQ(error.limit(), guard::LimitKind::SimEvents);
+    EXPECT_EQ(error.stage(), "sim-engine");
+    EXPECT_EQ(error.usage().sim_events, 101u);
+    EXPECT_NE(std::string(error.what()).find("sim_events"),
+              std::string::npos);
+  }
+}
+
+TEST(Budget, VmInstructionLimitTrips) {
+  guard::Limits limits;
+  limits.max_vm_instructions = 50;
+  guard::Budget budget(limits);
+  EXPECT_THROW(budget.charge_vm_instructions(51, "expr-vm"),
+               guard::ResourceExhausted);
+}
+
+TEST(Budget, ReplayAndLoopLimitsTrip) {
+  guard::Limits limits;
+  limits.max_replay_events = 5;
+  limits.max_loop_trips = 7;
+  guard::Budget budget(limits);
+  EXPECT_THROW(budget.charge_replay_events(6, "analytic-replay"),
+               guard::ResourceExhausted);
+  EXPECT_THROW(budget.charge_loop_trips(8, "interp-loop"),
+               guard::ResourceExhausted);
+}
+
+TEST(Budget, WallClockDeadlineTrips) {
+  guard::Limits limits;
+  limits.wall_seconds = 0.05;
+  guard::Budget budget(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  try {
+    // checkpoint() reads the clock unconditionally, so one call suffices.
+    budget.checkpoint("sim-engine");
+    FAIL() << "expected ResourceExhausted";
+  } catch (const guard::ResourceExhausted& error) {
+    EXPECT_EQ(error.limit(), guard::LimitKind::WallClock);
+    EXPECT_GE(error.usage().elapsed_seconds, 0.05);
+  }
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(Budget, CancelTripsNextCharge) {
+  guard::Budget budget;
+  budget.charge_sim_events(1, "sim-engine");
+  budget.cancel();
+  EXPECT_TRUE(budget.cancel_requested());
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_THROW(budget.charge_sim_events(1, "sim-engine"), guard::Cancelled);
+  EXPECT_THROW(budget.checkpoint("sim-engine"), guard::Cancelled);
+}
+
+TEST(Budget, ParentCancellationPropagates) {
+  guard::Budget sweep;
+  guard::Budget job({}, &sweep);
+  EXPECT_FALSE(job.cancel_requested());
+  sweep.cancel();
+  EXPECT_TRUE(job.cancel_requested());
+  EXPECT_TRUE(job.exhausted());
+  EXPECT_THROW(job.charge_sim_events(1, "sim-engine"), guard::Cancelled);
+}
+
+TEST(Budget, ParentDeadlinePropagatesAsWallClock) {
+  guard::Limits sweep_limits;
+  sweep_limits.wall_seconds = 0.05;
+  guard::Budget sweep(sweep_limits);
+  guard::Budget job({}, &sweep);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  try {
+    job.checkpoint("sim-engine");
+    FAIL() << "expected ResourceExhausted";
+  } catch (const guard::ResourceExhausted& error) {
+    EXPECT_EQ(error.limit(), guard::LimitKind::WallClock);
+    EXPECT_EQ(error.stage(), "sim-engine");
+  }
+  EXPECT_TRUE(job.exhausted());
+}
+
+TEST(Budget, CancelAtSimEventFiresDeterministically) {
+  guard::Budget budget;
+  budget.cancel_at_sim_event(10);
+  for (int i = 0; i < 9; ++i) {
+    budget.charge_sim_events(1, "sim-engine");
+  }
+  EXPECT_THROW(budget.charge_sim_events(1, "sim-engine"), guard::Cancelled);
+}
+
+TEST(Budget, GuardErrorsAreNotCaughtAsLogicError) {
+  // Guard errors derive from std::runtime_error so that evaluation-layer
+  // catch blocks for domain errors do not swallow them.
+  guard::Limits limits;
+  limits.max_loop_trips = 1;
+  guard::Budget budget(limits);
+  try {
+    budget.charge_loop_trips(2, "interp-loop");
+    FAIL();
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FaultPlan, EmptyPlan) {
+  guard::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.visit("parse");  // no rules: never fires
+  EXPECT_TRUE(guard::FaultPlan::parse("").empty());
+  EXPECT_FALSE(plan.cancel_at_event().has_value());
+}
+
+TEST(FaultPlan, EveryVisitRule) {
+  guard::FaultPlan plan = guard::FaultPlan::parse("parse");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_THROW(plan.visit("parse"), guard::FaultInjected);
+  EXPECT_THROW(plan.visit("parse"), guard::FaultInjected);
+  plan.visit("estimate");  // other sites unaffected
+}
+
+TEST(FaultPlan, NthVisitRule) {
+  guard::FaultPlan plan = guard::FaultPlan::parse("estimate@3");
+  plan.visit("estimate");
+  plan.visit("estimate");
+  try {
+    plan.visit("estimate");
+    FAIL() << "expected FaultInjected";
+  } catch (const guard::FaultInjected& fault) {
+    EXPECT_EQ(fault.site(), "estimate");
+    EXPECT_EQ(fault.visit(), 3u);
+  }
+  plan.visit("estimate");  // fires on the third visit only
+}
+
+TEST(FaultPlan, ProbabilisticRuleIsSeedDeterministic) {
+  // The same seed must fail the same visits; different seeds should
+  // (with overwhelming probability over 200 visits) differ somewhere.
+  const auto fire_pattern = [](std::uint64_t seed) {
+    guard::FaultPlan plan = guard::FaultPlan::parse("estimate%0.5", seed);
+    std::string pattern;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        plan.visit("estimate");
+        pattern += '.';
+      } catch (const guard::FaultInjected&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  EXPECT_EQ(fire_pattern(1), fire_pattern(1));
+  EXPECT_NE(fire_pattern(1), fire_pattern(2));
+  const std::string pattern = fire_pattern(7);
+  EXPECT_NE(pattern.find('X'), std::string::npos);
+  EXPECT_NE(pattern.find('.'), std::string::npos);
+}
+
+TEST(FaultPlan, CancelRule) {
+  const guard::FaultPlan plan = guard::FaultPlan::parse("cancel@500");
+  ASSERT_TRUE(plan.cancel_at_event().has_value());
+  EXPECT_EQ(*plan.cancel_at_event(), 500u);
+  const guard::FaultPlan bare = guard::FaultPlan::parse("cancel");
+  ASSERT_TRUE(bare.cancel_at_event().has_value());
+  EXPECT_EQ(*bare.cancel_at_event(), 1u);
+}
+
+TEST(FaultPlan, MultipleRules) {
+  guard::FaultPlan plan = guard::FaultPlan::parse("parse@2, lower");
+  plan.visit("parse");
+  EXPECT_THROW(plan.visit("lower"), guard::FaultInjected);
+  EXPECT_THROW(plan.visit("parse"), guard::FaultInjected);
+}
+
+TEST(FaultPlan, MalformedSpecsRejected) {
+  EXPECT_THROW((void)guard::FaultPlan::parse("estimate@"),
+               std::invalid_argument);
+  EXPECT_THROW((void)guard::FaultPlan::parse("estimate@zero"),
+               std::invalid_argument);
+  EXPECT_THROW((void)guard::FaultPlan::parse("estimate%2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)guard::FaultPlan::parse("estimate%-1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)guard::FaultPlan::parse("@1"), std::invalid_argument);
+}

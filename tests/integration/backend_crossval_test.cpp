@@ -38,8 +38,9 @@ void expect_cross_validated(const std::string& name,
   const analytic::AnalyticEstimator analyzer(model);
   const auto predicted = analyzer.evaluate(params).predicted_time;
   prophet::interp::Interpreter interpreter(model);
-  const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+  prophet::estimator::EstimationOptions no_trace;
+  no_trace.collect_trace = false;
+  const prophet::estimator::SimulationManager manager(params, no_trace);
   const auto reference = manager.run(interpreter).predicted_time;
   EXPECT_LT(relative_error(predicted, reference), envelope)
       << name << " np=" << params.processes << " nn=" << params.nodes

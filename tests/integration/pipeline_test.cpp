@@ -118,6 +118,7 @@ TEST(Pipeline, GeneratedCodeCompilesAndMatchesInterpreter) {
       "/src/obs/libprophet_obs.a " + PROPHET_BINARY_DIR +
       "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
       "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
+      "/src/guard/libprophet_guard.a " + PROPHET_BINARY_DIR +
       "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   ASSERT_NE(pipe, nullptr);

@@ -14,8 +14,9 @@ namespace {
 double estimate(const uml::Model& model,
                 prophet::machine::SystemParameters params = {}) {
   interp::Interpreter interpreter(model);
-  const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+  prophet::estimator::EstimationOptions no_trace;
+  no_trace.collect_trace = false;
+  const prophet::estimator::SimulationManager manager(params, no_trace);
   return manager.run(interpreter).predicted_time;
 }
 
@@ -292,8 +293,9 @@ TEST(Interpreter, GlobalsSharedAcrossProcessesWithinRun) {
   params.processes = 2;
   params.nodes = 2;
   interp::Interpreter interpreter(std::move(mb).build());
-  const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+  prophet::estimator::EstimationOptions no_trace;
+  no_trace.collect_trace = false;
+  const prophet::estimator::SimulationManager manager(params, no_trace);
   (void)manager.run(interpreter);
   EXPECT_DOUBLE_EQ(interpreter.global("GV"), 5.0);
 }
@@ -301,8 +303,9 @@ TEST(Interpreter, GlobalsSharedAcrossProcessesWithinRun) {
 TEST(Interpreter, GlobalsResetBetweenRuns) {
   const uml::Model model = prophet::models::sample_model();
   interp::Interpreter interpreter(model);
-  const prophet::estimator::SimulationManager manager(
-      {}, {.collect_trace = false});
+  prophet::estimator::EstimationOptions no_trace;
+  no_trace.collect_trace = false;
+  const prophet::estimator::SimulationManager manager({}, no_trace);
   const double first = manager.run(interpreter).predicted_time;
   const double second = manager.run(interpreter).predicted_time;
   EXPECT_DOUBLE_EQ(first, second);

@@ -112,7 +112,9 @@ TEST(BatchRunner, OneBadModelDoesNotPoisonTheBatch) {
 }
 
 TEST(BatchRunner, InvalidParametersFailOnlyTheirJob) {
-  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 2});
+  pipeline::BatchOptions options;
+  options.threads = 2;
+  pipeline::BatchRunner runner(options);
   const int m = runner.add_model("sample", prophet::models::sample_model());
   machine::SystemParameters broken;
   broken.network_bandwidth = -1;  // rejected by SystemParameters::validate
@@ -153,7 +155,9 @@ TEST(BatchRunner, SweepAllCoversEveryModel) {
 }
 
 TEST(BatchRunner, ReportFormatsSummaryAndCsv) {
-  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 1});
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  pipeline::BatchRunner runner(options);
   const int m = runner.add_model("sample", prophet::models::sample_model());
   runner.add_sweep(m, pipeline::ScenarioGrid::parse("np=1,2"));
   const auto report = runner.run();
@@ -169,21 +173,21 @@ TEST(BatchRunner, ReportFormatsSummaryAndCsv) {
   EXPECT_NE(csv.find("job,model,np"), std::string::npos);
 }
 
-TEST(BatchRunner, CsvSanitizesModelNamesWithCommas) {
-  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 1});
+TEST(BatchRunner, CsvQuotesModelNamesWithCommas) {
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  pipeline::BatchRunner runner(options);
   // File-registered models use the path as the name; a comma in it must
-  // not shift the CSV columns.
+  // not shift the CSV columns.  Per RFC 4180 the field is quoted — the
+  // name survives byte-exact instead of being rewritten.
   const int m =
       runner.add_model("models/v2,final.xml", prophet::models::sample_model());
   runner.add_scenario(m, {});
   const auto report = runner.run();
 
   const std::string csv = report.to_csv();
-  const std::size_t header_end = csv.find('\n');
-  const std::string row = csv.substr(header_end + 1);
-  EXPECT_EQ(std::count(csv.begin(), csv.begin() + header_end, ','),
-            std::count(row.begin(), row.end(), ','));
-  EXPECT_NE(csv.find("models/v2;final.xml"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"models/v2,final.xml\""), std::string::npos) << csv;
+  EXPECT_EQ(csv.find(';'), std::string::npos) << csv;
 }
 
 TEST(BatchRunner, AnalyticBackendRunsWithoutSimulation) {
@@ -418,11 +422,14 @@ TEST(BatchRunner, StageTimingsFollowTheMode) {
 }
 
 TEST(BatchRunner, CsvCarriesStageTimingColumns) {
-  pipeline::BatchRunner runner(pipeline::BatchOptions{.threads = 1});
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  pipeline::BatchRunner runner(options);
   const int m = runner.add_model("sample", prophet::models::sample_model());
   runner.add_scenario(m, {});
   const std::string csv = runner.run().to_csv();
-  EXPECT_NE(csv.find(",wall_s,parse_s,check_s,transform_s,estimate_s,error"),
+  EXPECT_NE(csv.find(",wall_s,parse_s,check_s,transform_s,estimate_s,"
+                     "tripped_limit,error"),
             std::string::npos)
       << csv;
 }

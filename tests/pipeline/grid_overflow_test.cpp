@@ -1,0 +1,62 @@
+// Hostile grid specs: overflowing ranges, absurd axis sizes and
+// out-of-domain count parameters must raise structured parse errors
+// instead of spinning or silently wrapping.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "prophet/pipeline/scenario.hpp"
+
+namespace {
+
+using prophet::pipeline::ScenarioGrid;
+
+std::string parse_error_of(const std::string& spec) {
+  try {
+    (void)ScenarioGrid::parse(spec);
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(GridOverflow, GeometricRangeToIntMaxRejected) {
+  const std::string message =
+      parse_error_of("np=1..9223372036854775807:*2");
+  ASSERT_FALSE(message.empty());
+  EXPECT_NE(message.find("np"), std::string::npos);
+}
+
+TEST(GridOverflow, HugeLinearAxisRejected) {
+  const std::string message = parse_error_of("np=1..300000000");
+  ASSERT_FALSE(message.empty());
+}
+
+TEST(GridOverflow, NonAdvancingGeometricStepRejected) {
+  EXPECT_NE(parse_error_of("nn=1..10:*1").find("advanc"),
+            std::string::npos);
+}
+
+TEST(GridOverflow, CountParameterAboveIntRangeRejected) {
+  const std::string message = parse_error_of("np=2147483646..2147483650");
+  ASSERT_FALSE(message.empty());
+  EXPECT_NE(message.find("overflow"), std::string::npos);
+}
+
+TEST(GridOverflow, ZeroCountParameterRejected) {
+  EXPECT_FALSE(parse_error_of("np=0..4").empty());
+}
+
+TEST(GridOverflow, NonCountAxesMayRangeWide) {
+  // cpu_speed is not a process count: wide geometric ranges are fine.
+  const auto grid = ScenarioGrid::parse("cpu_speed=1..1048576:*2");
+  EXPECT_EQ(grid.size(), 21u);
+}
+
+TEST(GridOverflow, SaneGridsStillParse) {
+  const auto grid = ScenarioGrid::parse("np=1..8:*2 nodes=1,2");
+  EXPECT_EQ(grid.size(), 8u);
+}
+
+}  // namespace

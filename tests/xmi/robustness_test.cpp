@@ -1,0 +1,103 @@
+// The malformed-document regression corpus (tests/xmi/malformed/) and
+// the schema-version gate.  Contract: hostile input only ever exits the
+// reader through xml::ParseError or xmi::XmiError — never a crash,
+// never another exception type.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "prophet/xmi/xmi.hpp"
+#include "prophet/xml/parser.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kCorpusDir =
+    fs::path(PROPHET_SOURCE_DIR) / "tests" / "xmi" / "malformed";
+
+// Which structured exit a file takes: "parse-error", "xmi-error", or
+// "accepted".  Any other exception propagates and fails the test.
+std::string outcome_of(const fs::path& file) {
+  try {
+    (void)prophet::xmi::load(file.string());
+  } catch (const prophet::xml::ParseError&) {
+    return "parse-error";
+  } catch (const prophet::xmi::XmiError&) {
+    return "xmi-error";
+  }
+  return "accepted";
+}
+
+TEST(XmiMalformedCorpus, OnlyStructuredErrorsEscape) {
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(kCorpusDir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    ++files;
+    // outcome_of lets only the two structured error types through; any
+    // other exception type propagates out of the harness and fails.
+    const std::string outcome = outcome_of(entry.path());
+    EXPECT_FALSE(outcome.empty()) << entry.path();
+  }
+  EXPECT_GE(files, 10u) << "corpus went missing from " << kCorpusDir;
+}
+
+TEST(XmiMalformedCorpus, HostileFilesAreRejected) {
+  const std::set<std::string> must_reject = {
+      "truncated.xml",   "unclosed.xml",     "deep_nesting.xml",
+      "invalid_utf8.xml", "wrong_root.xml",  "empty.xml",
+      "future_schema.xml", "bad_schema.xml",
+  };
+  for (const auto& name : must_reject) {
+    const std::string outcome = outcome_of(kCorpusDir / name);
+    EXPECT_NE(outcome, "accepted") << name;
+  }
+}
+
+TEST(XmiSchema, CurrentVersionRoundTrips) {
+  const std::string text =
+      "<prophet:model name=\"M\" main=\"d1\" schema=\"1\">"
+      "<diagrams><diagram id=\"d1\" name=\"main\"/></diagrams>"
+      "</prophet:model>";
+  EXPECT_EQ(prophet::xmi::from_xml(text).name(), "M");
+}
+
+TEST(XmiSchema, MissingSchemaAttributeAccepted) {
+  const std::string text =
+      "<prophet:model name=\"M\" main=\"d1\">"
+      "<diagrams><diagram id=\"d1\" name=\"main\"/></diagrams>"
+      "</prophet:model>";
+  EXPECT_EQ(prophet::xmi::from_xml(text).name(), "M");
+}
+
+TEST(XmiSchema, FutureVersionRejectedWithVersionInMessage) {
+  const std::string text =
+      "<prophet:model name=\"M\" main=\"d1\" schema=\"2\">"
+      "<diagrams><diagram id=\"d1\" name=\"main\"/></diagrams>"
+      "</prophet:model>";
+  try {
+    (void)prophet::xmi::from_xml(text);
+    FAIL() << "expected XmiError";
+  } catch (const prophet::xmi::XmiError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("schema version 2"), std::string::npos);
+    EXPECT_NE(what.find("max 1"), std::string::npos);
+  }
+}
+
+TEST(XmiSchema, GarbageVersionRejected) {
+  for (const std::string version : {"banana", "-3", "1x", "0"}) {
+    const std::string text = "<prophet:model name=\"M\" main=\"d1\" schema=\"" +
+                             version +
+                             "\"><diagrams><diagram id=\"d1\" name=\"main\"/>"
+                             "</diagrams></prophet:model>";
+    EXPECT_THROW((void)prophet::xmi::from_xml(text), prophet::xmi::XmiError)
+        << version;
+  }
+}
+
+}  // namespace

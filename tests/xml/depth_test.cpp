@@ -1,0 +1,36 @@
+// The parser bounds element nesting so pathological documents cannot
+// blow the recursion stack.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "prophet/xml/parser.hpp"
+
+namespace {
+
+std::string nested(int depth) {
+  std::string text;
+  for (int i = 0; i < depth; ++i) {
+    text += "<a>";
+  }
+  for (int i = 0; i < depth; ++i) {
+    text += "</a>";
+  }
+  return text;
+}
+
+TEST(XmlDepth, NestingBeyondLimitRejected) {
+  try {
+    (void)prophet::xml::parse(nested(300));
+    FAIL() << "expected ParseError";
+  } catch (const prophet::xml::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(XmlDepth, NestingWithinLimitAccepted) {
+  const auto doc = prophet::xml::parse(nested(200));
+  EXPECT_EQ(doc.root().name(), "a");
+}
+
+}  // namespace

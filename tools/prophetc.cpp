@@ -13,6 +13,10 @@
 //                  [--threads N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen] [--isolate]
 //                  [--metrics out.json] [--trace-json out.json] [--progress]
+//                  [--job-timeout S] [--deadline S] [--limit-sim-events N]
+//                  [--limit-vm-instructions N] [--limit-replay-events N]
+//                  [--limit-loop-trips N] [--inject-faults SPEC]
+//                  [--fault-seed S]
 //   prophetc --version
 //
 // <model> is an XMI file (see prophet/xmi) or a registry reference
@@ -41,11 +45,27 @@
 // heartbeat to stderr.  None of it changes predictions: instrumented
 // and uninstrumented runs are bit-identical.
 //
+// Guardrails: --job-timeout bounds each job's wall clock, --deadline the
+// whole sweep, and the --limit-* flags the cooperative evaluation loops
+// (DES events, expression-VM instructions, analytic replay events, loop
+// trips).  A job that trips a bound is marked failed — the CSV's
+// tripped_limit column names it — while the rest of the sweep completes;
+// Ctrl-C cancels cooperatively, draining workers and still writing the
+// partial CSV, metrics and the final progress line.  Unlimited runs pay
+// nothing and stay bit-identical.  --inject-faults "site[@N|%P], ..."
+// deterministically fails pipeline stages (parse, check, transform,
+// lower, prepare, estimate; "cancel@E" arms a mid-simulation
+// cancellation at event E) to exercise error paths; --fault-seed selects
+// the probabilistic-rule stream.
+//
 // Every parse error prints usage and exits non-zero; flags are accepted
 // as `--flag value` or `--flag=value`.
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +77,7 @@
 
 #include "prophet/analytic/backend.hpp"
 #include "prophet/estimator/backend.hpp"
+#include "prophet/guard/guard.hpp"
 #include "prophet/lower/lower.hpp"
 #include "prophet/models/registry.hpp"
 #include "prophet/obs/obs.hpp"
@@ -90,7 +111,10 @@ int usage() {
       "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
       "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
       "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate] "
-      "[--metrics out.json] [--trace-json out.json] [--progress]\n"
+      "[--metrics out.json] [--trace-json out.json] [--progress] "
+      "[--job-timeout S] [--deadline S] [--limit-sim-events N] "
+      "[--limit-vm-instructions N] [--limit-replay-events N] "
+      "[--limit-loop-trips N] [--inject-faults SPEC] [--fault-seed S]\n"
       "  prophetc --version\n"
       "\n"
       "<model> is an XMI file or a built-in reference "
@@ -170,6 +194,60 @@ bool take_int(const std::vector<std::string>& args, std::size_t& i,
   }
   target = *parsed;
   return true;
+}
+
+/// Common handler for `--flag <count>` updating a 64-bit unsigned
+/// `target`; returns false on a reported parse error.
+bool take_uint64(const std::vector<std::string>& args, std::size_t& i,
+                 std::uint64_t& target, std::string* error) {
+  const std::string flag = args[i];
+  const auto value = flag_value(args, i);
+  if (!value) {
+    *error = flag + " requires a value";
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t parsed = std::strtoull(value->c_str(), &end, 10);
+  // strtoull wraps negative input instead of failing; reject it.
+  if (end == value->c_str() || *end != '\0' || errno == ERANGE ||
+      value->find('-') != std::string::npos) {
+    *error = flag + ": '" + *value + "' is not a 64-bit unsigned integer";
+    return false;
+  }
+  target = parsed;
+  return true;
+}
+
+/// Common handler for `--flag <seconds>` updating `target`; requires a
+/// strictly positive value, returns false on a reported parse error.
+bool take_seconds(const std::vector<std::string>& args, std::size_t& i,
+                  double& target, std::string* error) {
+  const std::string flag = args[i];
+  const auto value = flag_value(args, i);
+  if (!value) {
+    *error = flag + " requires a value";
+    return false;
+  }
+  const auto parsed = parse_double(*value);
+  if (!parsed || !(*parsed > 0)) {
+    *error = flag + ": '" + *value + "' is not a positive number of seconds";
+    return false;
+  }
+  target = *parsed;
+  return true;
+}
+
+/// Sweep-scoped cancellation target of the SIGINT handler.  The handler
+/// only flips the budget's atomic cancel flag (async-signal-safe); the
+/// workers observe it at their next check site and the sweep drains,
+/// still flushing the partial CSV, metrics and final progress callback.
+std::atomic<prophet::guard::Budget*> g_interrupt_budget{nullptr};
+
+void handle_interrupt(int /*signum*/) {
+  if (auto* budget = g_interrupt_budget.load(std::memory_order_relaxed)) {
+    budget->cancel();
+  }
 }
 
 int cmd_check(const prophet::Prophet& prophet,
@@ -423,7 +501,8 @@ int cmd_estimate(const prophet::Prophet& prophet,
     registry.timer("host.analytic.prepare_seconds")
         .add_seconds(seconds_since(prepare_started));
     fold_lowering(registry, prepared->lowering()->stats());
-    const estimator::EstimationOptions options{.metrics = metrics};
+    estimator::EstimationOptions options;
+    options.metrics = metrics;
     const auto estimate_started = std::chrono::steady_clock::now();
     estimator::PredictionReport report;
     {
@@ -442,9 +521,9 @@ int cmd_estimate(const prophet::Prophet& prophet,
     return write_outputs() ? 0 : 1;
   }
 
-  const estimator::EstimationOptions options{
-      .collect_trace = !trace_path.empty() || gantt || want_sim_timeline,
-      .metrics = metrics};
+  estimator::EstimationOptions options;
+  options.collect_trace = !trace_path.empty() || gantt || want_sim_timeline;
+  options.metrics = metrics;
   // Route through the Backend prepare()/estimate() split (bit-identical
   // to the one-shot path per the PreparedModel contract) so the prepare
   // cost — expression compilation included — is measurable.
@@ -483,10 +562,10 @@ int cmd_estimate(const prophet::Prophet& prophet,
     }
     registry.timer("host.analytic.prepare_seconds")
         .add_seconds(seconds_since(analytic_prepare_started));
-    const estimator::EstimationOptions analytic_options{
-        .collect_trace = false,
-        .collect_machine_report = false,
-        .metrics = metrics};
+    estimator::EstimationOptions analytic_options;
+    analytic_options.collect_trace = false;
+    analytic_options.collect_machine_report = false;
+    analytic_options.metrics = metrics;
     const auto analytic_estimate_started = std::chrono::steady_clock::now();
     estimator::PredictionReport analytic;
     {
@@ -601,6 +680,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   std::string trace_json_path;
   std::optional<double> max_rel_error;
   std::vector<std::string> inputs;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0;
   std::string error;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--grid") {
@@ -683,6 +764,40 @@ int cmd_sweep(const std::vector<std::string>& args) {
       trace_json_path = *value;
     } else if (args[i] == "--progress") {
       progress = true;
+    } else if (args[i] == "--job-timeout") {
+      if (!take_seconds(args, i, options.job_timeout_seconds, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--deadline") {
+      if (!take_seconds(args, i, options.deadline_seconds, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--limit-sim-events") {
+      if (!take_uint64(args, i, options.limits.max_sim_events, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--limit-vm-instructions") {
+      if (!take_uint64(args, i, options.limits.max_vm_instructions, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--limit-replay-events") {
+      if (!take_uint64(args, i, options.limits.max_replay_events, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--limit-loop-trips") {
+      if (!take_uint64(args, i, options.limits.max_loop_trips, &error)) {
+        return parse_error(error);
+      }
+    } else if (args[i] == "--inject-faults") {
+      const auto value = flag_value(args, i);
+      if (!value) {
+        return parse_error("--inject-faults requires a value");
+      }
+      fault_spec = *value;
+    } else if (args[i] == "--fault-seed") {
+      if (!take_uint64(args, i, fault_seed, &error)) {
+        return parse_error(error);
+      }
     } else if (!args[i].empty() && args[i][0] == '-') {
       return parse_error("sweep: unknown flag '" + args[i] + "'");
     } else {
@@ -698,6 +813,21 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
   options.collect_metrics = !metrics_path.empty();
   options.collect_trace = !trace_json_path.empty();
+  // Both outlive runner.run(): options holds raw pointers to them.
+  prophet::guard::FaultPlan fault_plan;
+  prophet::guard::Budget interrupt_budget;
+  if (!fault_spec.empty()) {
+    try {
+      fault_plan = prophet::guard::FaultPlan::parse(fault_spec, fault_seed);
+    } catch (const std::invalid_argument& bad_spec) {
+      return parse_error(std::string("--inject-faults: ") + bad_spec.what());
+    }
+    options.fault_plan = &fault_plan;
+  }
+  // Ctrl-C cancels cooperatively: the handler flips this budget's atomic
+  // flag, every job inherits it through the sweep chain, and the run
+  // drains instead of dying mid-write.
+  options.sweep_budget = &interrupt_budget;
   if (progress) {
     // Heartbeat on stderr (stdout stays machine-readable): jobs done,
     // throughput, ETA and — in cross-validation sweeps — the worst
@@ -732,7 +862,14 @@ int cmd_sweep(const std::vector<std::string>& args) {
         index, prophet::pipeline::ScenarioGrid::parse(grid_spec, model_base));
   }
 
+  g_interrupt_budget.store(&interrupt_budget, std::memory_order_relaxed);
+  std::signal(SIGINT, handle_interrupt);
   const auto report = runner.run();
+  std::signal(SIGINT, SIG_DFL);
+  g_interrupt_budget.store(nullptr, std::memory_order_relaxed);
+  if (interrupt_budget.cancel_requested()) {
+    std::fprintf(stderr, "sweep: interrupted; partial results follow\n");
+  }
   std::printf("%s", report.summary().c_str());
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
