@@ -32,8 +32,20 @@ std::vector<machine::SystemParameters> acceptance_grid() {
   return prophet::pipeline::ScenarioGrid::parse("np=1..8:*2").expand();
 }
 
-constexpr prophet::estimator::EstimationOptions kLean{
-    .collect_trace = false, .collect_machine_report = false};
+// EstimationOptions now carries guard fields (limits, budget); partial
+// designated initializers would trip -Wmissing-field-initializers, so
+// the option sets are built by hand.
+prophet::estimator::EstimationOptions no_trace() {
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  return options;
+}
+
+const prophet::estimator::EstimationOptions kLean = [] {
+  auto options = no_trace();
+  options.collect_machine_report = false;
+  return options;
+}();
 
 // --- Per-scenario estimation cost, steady state (prepared handles) -----------
 
@@ -103,7 +115,7 @@ void BM_AnalyticSpeedup(benchmark::State& state) {
     for (const auto& params : grid) {
       const auto sim_start = clock::now();
       const prophet::estimator::SimulationManager manager(
-          params, {.collect_trace = false});
+          params, no_trace());
       const auto sim_report = manager.run(interpreter);
       sim_seconds +=
           std::chrono::duration<double>(clock::now() - sim_start).count();
@@ -155,7 +167,7 @@ void BM_Estimate_PingPong(benchmark::State& state) {
       benchmark::DoNotOptimize(report);
     } else {
       const prophet::estimator::SimulationManager manager(
-          params, {.collect_trace = false});
+          params, no_trace());
       const auto report = manager.run(interpreter);
       benchmark::DoNotOptimize(report);
     }

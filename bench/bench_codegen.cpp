@@ -1,0 +1,174 @@
+// Codegen backend vs the in-process VM (the simulation backend):
+// prepare cost — a cold prepare pays the host toolchain, a cache-hit
+// prepare only the dlopen — and steady-state per-scenario estimation
+// through prepared handles, the shape the batch pipeline's
+// compiled-model cache serves.
+//
+// BM_CodegenSpeedup reports the measured native-vs-VM ratio as the
+// `speedup` counter on the detailed kernel6 loop nest (Fig. 3b) — the
+// number CI's Release perf smoke gates at >= 1.5x — and checks the two
+// engines stay bit-identical while we are at it.
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "prophet/analytic/backend.hpp"
+#include "prophet/cgen/backend.hpp"
+#include "prophet/estimator/estimator.hpp"
+#include "prophet/lower/lower.hpp"
+#include "prophet/pipeline/scenario.hpp"
+#include "prophet/prophet.hpp"
+
+#include "json_args.hpp"
+
+namespace {
+
+namespace analytic = prophet::analytic;
+namespace cgen = prophet::cgen;
+namespace machine = prophet::machine;
+
+std::vector<machine::SystemParameters> acceptance_grid() {
+  return prophet::pipeline::ScenarioGrid::parse("np=1..8:*2").expand();
+}
+
+const prophet::estimator::EstimationOptions kLean = [] {
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  options.collect_machine_report = false;
+  return options;
+}();
+
+prophet::lower::ModelProgramPtr detailed_program() {
+  return prophet::lower::lower(
+      prophet::models::kernel6_detailed_model(64, 16, 1e-8));
+}
+
+// --- Prepare cost ------------------------------------------------------------
+
+// Cold prepare: emission + toolchain + dlopen against an empty cache.
+// This is the one-time cost a model pays before the native evaluator
+// serves scenarios for free.
+void BM_CodegenPrepare_Cold(benchmark::State& state) {
+  const auto program = detailed_program();
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "prophet-bench-cgen-cold")
+          .string();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cgen::CodegenOptions options;
+    options.toolchain.cache_dir = root + "/" + std::to_string(round++);
+    const cgen::CodegenBackend backend(options);
+    state.ResumeTiming();
+    auto prepared = backend.prepare(program);
+    benchmark::DoNotOptimize(prepared);
+  }
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_CodegenPrepare_Cold)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Cache-hit prepare: the content-addressed cache already holds the
+// object, so prepare is emission + hash + dlopen — what every job after
+// the first pays across sweeps and processes sharing the cache.
+void BM_CodegenPrepare_CacheHit(benchmark::State& state) {
+  const auto program = detailed_program();
+  cgen::CodegenOptions options;
+  options.toolchain.cache_dir =
+      (std::filesystem::temp_directory_path() / "prophet-bench-cgen-warm")
+          .string();
+  const cgen::CodegenBackend backend(options);
+  { auto warm = backend.prepare(program); }  // populate the cache
+  for (auto _ : state) {
+    auto prepared = backend.prepare(program);
+    benchmark::DoNotOptimize(prepared);
+  }
+}
+BENCHMARK(BM_CodegenPrepare_CacheHit)->Unit(benchmark::kMillisecond);
+
+// --- Steady-state estimation -------------------------------------------------
+
+// Mirrors BM_EstimateGrid_Sim / BM_EstimateGrid_Analytic in
+// bench_analytic_vs_sim.cpp: same model, same grid, prepared handle.
+void BM_EstimateGrid_Codegen(benchmark::State& state) {
+  const auto grid = acceptance_grid();
+  const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const auto prepared = cgen::CodegenBackend().prepare(
+      prophet::lower::lower(model));
+  double last = 0;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      const auto report = prepared->estimate(params, kLean);
+      last = report.predicted_time;
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["predicted_np8_s"] = last;
+}
+BENCHMARK(BM_EstimateGrid_Codegen)->Unit(benchmark::kMicrosecond);
+
+// --- The headline number -----------------------------------------------------
+
+// One iteration = the acceptance grid through the VM and the generated
+// native evaluator from one shared lowering.  `speedup` is (VM time /
+// native time) for identical work; `bit_identical` must stay 1 — the
+// speedup is worthless if the native walk diverges.
+void BM_CodegenSpeedup(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  const bool detailed = state.range(0) != 0;
+  const auto program = detailed
+                           ? detailed_program()
+                           : prophet::lower::lower(
+                                 prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto grid = acceptance_grid();
+  const auto vm = analytic::SimulationBackend().prepare(program);
+  const auto native = cgen::CodegenBackend().prepare(program);
+  double vm_seconds = 0;
+  double native_seconds = 0;
+  bool bit_identical = true;
+  for (auto _ : state) {
+    for (const auto& params : grid) {
+      const auto vm_start = clock::now();
+      const auto vm_report = vm->estimate(params, kLean);
+      vm_seconds +=
+          std::chrono::duration<double>(clock::now() - vm_start).count();
+
+      const auto native_start = clock::now();
+      const auto native_report = native->estimate(params, kLean);
+      native_seconds +=
+          std::chrono::duration<double>(clock::now() - native_start).count();
+
+      bit_identical =
+          bit_identical &&
+          std::bit_cast<std::uint64_t>(vm_report.predicted_time) ==
+              std::bit_cast<std::uint64_t>(native_report.predicted_time);
+      benchmark::DoNotOptimize(vm_report);
+      benchmark::DoNotOptimize(native_report);
+    }
+  }
+  state.counters["speedup"] =
+      native_seconds > 0 ? vm_seconds / native_seconds : 0;
+  state.counters["vm_us_per_scenario"] =
+      1e6 * vm_seconds /
+      static_cast<double>(state.iterations() * grid.size());
+  state.counters["codegen_us_per_scenario"] =
+      1e6 * native_seconds /
+      static_cast<double>(state.iterations() * grid.size());
+  state.counters["bit_identical"] = bit_identical ? 1 : 0;
+}
+BENCHMARK(BM_CodegenSpeedup)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"detailed"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+PROPHET_BENCHMARK_MAIN()

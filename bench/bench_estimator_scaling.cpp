@@ -9,6 +9,12 @@
 
 namespace {
 
+prophet::estimator::EstimationOptions no_trace() {
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  return options;
+}
+
 void BM_Estimate_SampleModel_ProcessSweep(benchmark::State& state) {
   const int np = static_cast<int>(state.range(0));
   const prophet::uml::Model model = prophet::models::sample_model();
@@ -17,7 +23,7 @@ void BM_Estimate_SampleModel_ProcessSweep(benchmark::State& state) {
   params.processes = np;
   params.nodes = np;
   const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+      params, no_trace());
   double predicted = 0;
   for (auto _ : state) {
     predicted = manager.run(interpreter).predicted_time;
@@ -41,7 +47,7 @@ void BM_Estimate_PingPong_MessageSizeSweep(benchmark::State& state) {
   params.processes = 2;
   params.nodes = 2;
   const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+      params, no_trace());
   double predicted = 0;
   for (auto _ : state) {
     predicted = manager.run(interpreter).predicted_time;
@@ -66,7 +72,7 @@ void BM_Estimate_Oversubscription(benchmark::State& state) {
   params.nodes = 1;
   params.processors_per_node = 2;
   const prophet::estimator::SimulationManager manager(
-      params, {.collect_trace = false});
+      params, no_trace());
   double predicted = 0;
   for (auto _ : state) {
     predicted = manager.run(interpreter).predicted_time;

@@ -26,6 +26,12 @@ prophet::estimator::FunctionModel prophet_program();
 
 namespace {
 
+prophet::estimator::EstimationOptions no_trace() {
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  return options;
+}
+
 prophet::machine::SystemParameters bench_params() {
   prophet::machine::SystemParameters params;
   params.nodes = 2;
@@ -38,7 +44,7 @@ void BM_Evaluate_InterpretedUml(benchmark::State& state) {
   const prophet::uml::Model model = prophet::models::sample_model();
   prophet::interp::Interpreter interpreter(model);
   const prophet::estimator::SimulationManager manager(
-      bench_params(), {.collect_trace = false});
+      bench_params(), no_trace());
   double predicted = 0;
   for (auto _ : state) {
     predicted = manager.run(interpreter).predicted_time;
@@ -51,7 +57,7 @@ BENCHMARK(BM_Evaluate_InterpretedUml);
 void BM_Evaluate_GeneratedCpp(benchmark::State& state) {
   auto program = prophet_program();
   const prophet::estimator::SimulationManager manager(
-      bench_params(), {.collect_trace = false});
+      bench_params(), no_trace());
   double predicted = 0;
   for (auto _ : state) {
     predicted = manager.run(program).predicted_time;
@@ -67,7 +73,7 @@ void BM_Evaluate_InterpretedKernel6Detailed(benchmark::State& state) {
       prophet::models::kernel6_detailed_model(48, 2, 1e-9);
   prophet::interp::Interpreter interpreter(model);
   const prophet::estimator::SimulationManager manager(
-      {}, {.collect_trace = false});
+      {}, no_trace());
   for (auto _ : state) {
     benchmark::DoNotOptimize(manager.run(interpreter).predicted_time);
   }
@@ -80,7 +86,7 @@ void verify_agreement() {
   prophet::interp::Interpreter interpreter(model);
   auto program = prophet_program();
   const prophet::estimator::SimulationManager manager(
-      bench_params(), {.collect_trace = false});
+      bench_params(), no_trace());
   const double interpreted = manager.run(interpreter).predicted_time;
   const double generated = manager.run(program).predicted_time;
   if (std::abs(interpreted - generated) > 1e-12) {

@@ -55,10 +55,10 @@ void run_grid(const prophet::estimator::Backend& backend,
   const auto model = prophet::models::kernel6_model(64, 16, 1e-8);
   const auto prepared = backend.prepare(model);
   const auto grid = acceptance_grid();
-  const prophet::estimator::EstimationOptions options{
-      .collect_trace = false,
-      .collect_machine_report = false,
-      .metrics = metrics};
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  options.collect_machine_report = false;
+  options.metrics = metrics;
   double checksum = 0;
   for (auto _ : state) {
     for (const auto& params : grid) {

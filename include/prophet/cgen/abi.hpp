@@ -1,0 +1,115 @@
+// The C ABI between the host process and a dlopen'd generated evaluator.
+//
+// The cgen backend compiles a specialized C++ evaluator (emitter.hpp)
+// into a shared object and loads it with dlopen.  Host and shared object
+// are built by the same toolchain from the same headers, but the contract
+// between them is deliberately a *C* ABI over POD structs: no C++ types,
+// no exceptions and no ownership cross the boundary.  The shared object
+// catches everything internally and reports structured status codes; the
+// host maps them back onto the typed errors (guard::ResourceExhausted,
+// guard::Cancelled) the in-process backends throw, so `tripped_limit`
+// accounting is identical across engines.
+//
+// Versioning: `prophet_cgen_abi_version()` must return kCgenAbiVersion or
+// the host refuses the object.  The version also participates in the
+// compile-cache key (toolchain.hpp), so a stale cached .so from an older
+// ABI is never loaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prophet::cgen {
+
+/// Bump on any change to the structs or entry points below.
+inline constexpr std::uint32_t kCgenAbiVersion = 1;
+
+/// Status codes of prophet_cgen_run().
+enum CgenRunStatus : std::int32_t {
+  kCgenOk = 0,                 ///< result is valid
+  kCgenError = 1,              ///< evaluation failed (message set)
+  kCgenResourceExhausted = 2,  ///< a guard limit tripped (limit/stage set)
+  kCgenCancelled = 3,          ///< cancellation observed (stage set)
+};
+
+/// One estimation request: machine::SystemParameters flattened to PODs,
+/// guard::Limits numbers, and an optional host cancellation poll.
+struct CgenParams {
+  // machine::SystemParameters, field for field.
+  std::int32_t nodes = 1;
+  std::int32_t processors_per_node = 1;
+  std::int32_t processes = 1;
+  std::int32_t threads_per_process = 1;
+  double cpu_speed = 1.0;
+  double network_latency = 50e-6;
+  double network_bandwidth = 125e6;
+  double network_overhead = 5e-6;
+  double memory_latency = 0.5e-6;
+  double memory_bandwidth = 2e9;
+  double barrier_latency = 2e-6;
+
+  // guard::Limits for the budget the evaluator constructs on its side of
+  // the boundary.  Zero disables a bound, exactly like guard::Limits.
+  double wall_seconds = 0;
+  std::uint64_t max_sim_events = 0;
+  std::uint64_t max_vm_instructions = 0;
+  std::uint64_t max_replay_events = 0;
+  std::uint64_t max_loop_trips = 0;
+
+  /// Non-zero arms Budget::cancel_at_sim_event (fault injection parity).
+  std::uint64_t cancel_at_sim_event = 0;
+
+  /// Optional host cancellation source, polled via
+  /// guard::Budget::bind_external_cancel.  Returns non-zero to cancel.
+  int (*cancel_poll)(void* context) = nullptr;
+  void* cancel_context = nullptr;
+
+  /// Non-zero: format the per-node utilization report (PredictionReport::
+  /// machine_report); sweeps keep it off.
+  std::int32_t collect_machine_report = 1;
+};
+
+/// One estimation result.  Array/string pointers point into storage owned
+/// by the shared object (`owner`); the host copies out and then calls
+/// prophet_cgen_free exactly once, before dlclose.
+struct CgenResult {
+  std::int32_t status = kCgenError;  ///< CgenRunStatus
+  double predicted_time = 0;
+  std::uint64_t events = 0;
+  std::int32_t processes = 0;
+
+  // Per-process finish times (parallel arrays, `finish_count` entries).
+  const std::int32_t* finish_pids = nullptr;
+  const double* finish_times = nullptr;
+  std::size_t finish_count = 0;
+
+  /// NUL-terminated utilization report ("" unless requested), and the
+  /// error message for non-ok statuses.
+  const char* machine_report = nullptr;
+  const char* message = nullptr;
+
+  // Guard trip details (status 2/3): guard::LimitKind as int, the check
+  // site that observed the trip, and the usage counters at failure.
+  std::int32_t limit = 0;
+  const char* stage = nullptr;
+  std::uint64_t usage_sim_events = 0;
+  std::uint64_t usage_vm_instructions = 0;
+  std::uint64_t usage_replay_events = 0;
+  std::uint64_t usage_loop_trips = 0;
+  double usage_elapsed_seconds = 0;
+
+  /// Opaque storage handle; released by prophet_cgen_free.
+  void* owner = nullptr;
+};
+
+/// Entry-point names and signatures every generated object exports.
+inline constexpr const char* kCgenAbiVersionSymbol =
+    "prophet_cgen_abi_version";
+inline constexpr const char* kCgenRunSymbol = "prophet_cgen_run";
+inline constexpr const char* kCgenFreeSymbol = "prophet_cgen_free";
+
+using CgenAbiVersionFn = std::uint32_t (*)();
+using CgenRunFn = std::int32_t (*)(const CgenParams*, CgenResult*);
+using CgenFreeFn = void (*)(CgenResult*);
+
+}  // namespace prophet::cgen

@@ -25,20 +25,61 @@
 
 namespace prophet::estimator {
 
-/// Which evaluation engine(s) to run.  `Both` is a selection, not a
-/// backend: it runs the simulator as the reference and the analytic
-/// estimator as the candidate and reports their relative error.
+/// Which evaluation engine(s) to run.  The first three are single
+/// engines; the rest are *selections*, not backends: they run two or
+/// three engines per scenario, take one as the reference, and report the
+/// worst candidate-vs-reference relative error (cross-validation).
 enum class BackendKind {
-  Simulation,  ///< The paper's discrete-event simulation path.
-  Analytic,    ///< The closed-form analytic estimator.
-  Both,        ///< Simulator as reference, analytic as candidate.
+  Simulation,       ///< The paper's discrete-event simulation path.
+  Analytic,         ///< The closed-form analytic estimator.
+  Codegen,          ///< Native code generated from the shared lowering.
+  Both,             ///< sim (reference) + analytic.
+  SimCodegen,       ///< sim (reference) + codegen.
+  AnalyticCodegen,  ///< codegen (reference) + analytic.
+  All,              ///< sim (reference) + analytic + codegen.
 };
 
-/// The `--backend` spelling of a kind ("sim", "analytic", "both").
+/// The set of engines a BackendKind selects, plus which one serves as the
+/// cross-validation reference.  This is the single N>2-safe enumeration
+/// every backend-iterating code path (pipeline, prophetc, CI) consumes —
+/// adding an engine means extending this struct, not every switch.
+struct BackendSet {
+  bool sim = false;       ///< run the discrete-event simulator
+  bool analytic = false;  ///< run the analytic estimator
+  bool codegen = false;   ///< run the generated-code evaluator
+
+  /// Number of selected engines.
+  [[nodiscard]] int count() const {
+    return static_cast<int>(sim) + static_cast<int>(analytic) +
+           static_cast<int>(codegen);
+  }
+  /// True when more than one engine runs (relative errors are reported).
+  [[nodiscard]] bool cross_validates() const { return count() > 1; }
+  /// The engine whose prediction is the scenario's reference result:
+  /// the simulator when selected, else codegen (bit-identical simulation
+  /// semantics), else the analytic estimator.
+  [[nodiscard]] BackendKind reference() const {
+    if (sim) {
+      return BackendKind::Simulation;
+    }
+    if (codegen) {
+      return BackendKind::Codegen;
+    }
+    return BackendKind::Analytic;
+  }
+};
+
+/// The engines `kind` selects (single kinds select themselves).
+[[nodiscard]] BackendSet backends_of(BackendKind kind);
+
+/// The `--backend` spelling of a kind ("sim", "analytic", "codegen",
+/// "both", "sim+codegen", "analytic+codegen", "all").
 [[nodiscard]] std::string_view to_string(BackendKind kind);
 
-/// Parses "sim"/"simulation", "analytic", "both" (the `--backend` flag
-/// vocabulary); nullopt for anything else.
+/// Parses the `--backend` flag vocabulary: "sim"/"simulation",
+/// "analytic", "codegen", "both" (== "sim+analytic"), "sim+codegen",
+/// "analytic+codegen"/"codegen+analytic", "all"; nullopt for anything
+/// else.
 [[nodiscard]] std::optional<BackendKind> backend_from_string(
     std::string_view text);
 

@@ -280,6 +280,13 @@ class Compiled {
   /// The instructions (exposed for tests and the disassembler).
   [[nodiscard]] std::span<const Instr> code() const { return code_; }
 
+  /// The lazy-error message table LoadSlot (index `b`) and Throw
+  /// (index `a`) reference — exposed so code generators consuming the
+  /// bytecode can reproduce the VM's exact EvalError messages.
+  [[nodiscard]] std::span<const std::string> strings() const {
+    return strings_;
+  }
+
   /// Worst-case operand-stack depth, computed at compile time.
   [[nodiscard]] std::size_t max_stack() const { return max_stack_; }
 

@@ -84,18 +84,22 @@ struct ScenarioResult {
   /// "cancelled" — empty for successes and non-guard failures.
   std::string tripped_limit;
 
-  /// Which backend(s) evaluated the job.  With BackendKind::Both,
-  /// `predicted_time` is the simulator's reference prediction,
-  /// `analytic_predicted` the analytic candidate and `relative_error`
-  /// their relative deviation |analytic - sim| / sim.
+  /// Which backend(s) evaluated the job.  Cross-validating kinds (Both,
+  /// SimCodegen, AnalyticCodegen, All) put the reference engine's
+  /// prediction in `predicted_time`, each candidate's in its own field,
+  /// and the worst candidate-vs-reference deviation in `relative_error`.
   estimator::BackendKind backend = estimator::BackendKind::Simulation;
-  /// Predicted seconds (makespan).
+  /// Predicted seconds (makespan) of the reference engine.
   double predicted_time = 0;
-  /// The analytic prediction; valid for Analytic and Both.
+  /// The analytic prediction; valid whenever the analytic engine ran.
   double analytic_predicted = 0;
-  /// |analytic - sim| / sim; valid for Both.
+  /// The generated-code prediction; valid whenever the codegen engine
+  /// ran (bit-identical to the simulator's by contract).
+  double codegen_predicted = 0;
+  /// Worst |candidate - reference| / reference across the candidates;
+  /// valid for cross-validating kinds.
   double relative_error = 0;
-  /// Engine events processed (simulation only).
+  /// Engine events processed (simulation and codegen engines).
   std::uint64_t events = 0;
   /// Number of modeled processes.
   int processes = 0;
@@ -131,11 +135,11 @@ struct BatchStats {
   double mean_predicted = 0;     ///< Mean successful prediction.
   std::uint64_t total_events = 0;  ///< Engine events across all jobs.
   double total_job_seconds = 0;  ///< Sum of per-job wall times.
-  /// \name Cross-validation (jobs run with BackendKind::Both only)
+  /// \name Cross-validation (jobs run with a cross-validating kind)
   ///@{
   std::size_t compared = 0;      ///< Jobs carrying a relative error.
-  double max_rel_error = 0;      ///< Worst analytic-vs-sim deviation.
-  double mean_rel_error = 0;     ///< Mean analytic-vs-sim deviation.
+  double max_rel_error = 0;      ///< Worst candidate-vs-reference deviation.
+  double mean_rel_error = 0;     ///< Mean candidate-vs-reference deviation.
   ///@}
 };
 
@@ -205,9 +209,11 @@ struct BatchOptions {
   bool run_checker = true;
   /// Run the UML -> C++ transformation per job.
   bool run_codegen = true;
-  /// Evaluation engine per job: simulation (the paper's estimator),
-  /// analytic (closed-form), or both (sim as reference, analytic as
-  /// candidate, relative error recorded per scenario).
+  /// Evaluation engine(s) per job: any single engine (simulation — the
+  /// paper's estimator —, analytic, codegen) or a cross-validating
+  /// selection (both, sim+codegen, analytic+codegen, all) that runs
+  /// several engines and records the worst candidate-vs-reference
+  /// relative error per scenario (estimator::BackendSet).
   estimator::BackendKind backend = estimator::BackendKind::Simulation;
   /// Base of the per-job seed derivation (see derive_seed).
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;
@@ -319,13 +325,14 @@ class BatchRunner {
   struct CompiledEntry;
 
   /// Isolated-mode job: the full chain on the job's own model copy.  The
-  /// backends are constructed once per worker and passed in (either may
-  /// be null when the selected BackendKind does not need it).  `metrics`
+  /// backends are constructed once per worker and passed in (any may be
+  /// null when the selected BackendKind does not need it).  `metrics`
   /// (nullable) receives the job's engine counters; `sim_trace`
   /// (nullable) receives the job's simulated timeline.
   [[nodiscard]] ScenarioResult run_job(
       const BatchJob& job, const estimator::Backend* sim_backend,
-      const estimator::Backend* analytic_backend, obs::Registry* metrics,
+      const estimator::Backend* analytic_backend,
+      const estimator::Backend* codegen_backend, obs::Registry* metrics,
       trace::Trace* sim_trace, const guard::Budget* sweep) const;
 
   /// Cached-mode job: parameter-only evaluation against the shared

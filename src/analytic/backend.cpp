@@ -117,11 +117,19 @@ std::unique_ptr<estimator::Backend> make_backend(estimator::BackendKind kind) {
       return std::make_unique<SimulationBackend>();
     case estimator::BackendKind::Analytic:
       return std::make_unique<AnalyticBackend>();
+    case estimator::BackendKind::Codegen:
+      throw std::invalid_argument(
+          "make_backend: the codegen backend lives in prophet/cgen (use "
+          "cgen::make_backend)");
     case estimator::BackendKind::Both:
+    case estimator::BackendKind::SimCodegen:
+    case estimator::BackendKind::AnalyticCodegen:
+    case estimator::BackendKind::All:
       break;
   }
   throw std::invalid_argument(
-      "make_backend: 'both' selects cross-validation, not a single backend");
+      "make_backend: '" + std::string(estimator::to_string(kind)) +
+      "' selects cross-validation, not a single backend");
 }
 
 }  // namespace prophet::analytic

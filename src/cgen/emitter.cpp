@@ -1,0 +1,1350 @@
+#include "prophet/cgen/emitter.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prophet/cgen/abi.hpp"
+#include "prophet/uml/model.hpp"
+
+namespace prophet::cgen {
+namespace {
+
+using expr::Op;
+using uml::ActivityDiagram;
+using uml::Node;
+using uml::NodeKind;
+
+/// A double as a C++ literal that round-trips bit-exactly (hexfloat; the
+/// NaN/infinity special cases have no literal spelling).
+std::string double_literal(double value) {
+  if (std::isnan(value)) {
+    return "std::numeric_limits<double>::quiet_NaN()";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "std::numeric_limits<double>::infinity()"
+                     : "(-std::numeric_limits<double>::infinity())";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  if (buffer[0] == '-') {
+    return "(" + std::string(buffer) + ")";
+  }
+  return buffer;
+}
+
+/// Escapes text into a C++ string-literal body.  Control bytes use
+/// three-digit octal escapes (always exactly three digits, so a
+/// following literal digit can never be absorbed into the escape).
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20 || c == 0x7f) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\%03o", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+/// The evaluation environment a transliterated expression runs in: which
+/// frame expression C++ slots load through, and the ambient pid/tid/uid
+/// expressions (mirroring interp's make_context call sites).
+struct ExprEnv {
+  std::string frame;        // e.g. "f.s" or "g_run_frame"
+  std::string pid = "0.0";  // C++ expression yielding double
+  std::string tid = "0.0";
+  std::string uid = "0.0";
+  bool has_args = false;  // inside a cost-function body (args/nargs)
+};
+
+/// Net stack effect of one instruction (operands popped -> result
+/// pushed), mirroring the VM's documented [-pop +push] contract.
+int stack_delta(const expr::Instr& instr) {
+  switch (instr.op) {
+    case Op::PushConst:
+    case Op::LoadSlot:
+    case Op::LoadSlotOrPid:
+    case Op::LoadSlotOrTid:
+    case Op::LoadSlotOrUid:
+    case Op::LoadArg:
+    case Op::LoadPid:
+    case Op::LoadTid:
+    case Op::LoadUid:
+      return 1;
+    case Op::Neg:
+    case Op::Not:
+    case Op::ToBool:
+    case Op::Abs:
+    case Op::Ceil:
+    case Op::Cos:
+    case Op::Exp:
+    case Op::Floor:
+    case Op::Log:
+    case Op::Log10:
+    case Op::Log2:
+    case Op::Round:
+    case Op::Sin:
+    case Op::Sqrt:
+    case Op::Tan:
+    case Op::Tanh:
+    case Op::Jump:
+      return 0;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Max:
+    case Op::Min:
+    case Op::Pow:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      return -1;
+    case Op::CallUser:
+      return 1 - static_cast<int>(instr.b);
+    case Op::Throw:
+      return 0;  // no successors
+  }
+  return 0;
+}
+
+/// Transliterates one compiled expression into a C++ expression string:
+/// either the folded constant literal, or an immediately-invoked lambda
+/// whose body is the bytecode as straight-line statements — one operand
+/// stack local per compile-time stack position, `goto` for the VM's jump
+/// targets.  The arithmetic reproduces the VM operation for operation,
+/// so results (and EvalError messages) are bit-identical.
+class ExprTransliterator {
+ public:
+  ExprTransliterator(const expr::Compiled& program, const ExprEnv& env,
+                     std::string indent)
+      : program_(program), env_(env), indent_(std::move(indent)) {}
+
+  [[nodiscard]] std::string emit() {
+    if (const auto folded = program_.constant()) {
+      return double_literal(*folded);
+    }
+    compute_heights();
+    std::ostringstream body;
+    const std::string inner = indent_ + "  ";
+    body << "[&]() -> double {\n";
+    for (std::size_t k = 0; k < program_.max_stack(); ++k) {
+      body << inner << "double s" << k << " = 0.0;\n";
+    }
+    const auto code = program_.code();
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (target_[i]) {
+        body << indent_ << " L" << i << ":;\n";
+      }
+      if (height_[i] < 0) {
+        continue;  // unreachable (dead code behind Throw/Jump)
+      }
+      body << inner << statement(code[i], i, height_[i]) << "\n";
+    }
+    if (target_[code.size()]) {
+      body << indent_ << " L" << code.size() << ":;\n";
+    }
+    if (height_[code.size()] > 0) {
+      body << inner << "return s" << (height_[code.size()] - 1) << ";\n";
+    } else {
+      body << inner << "return 0.0;  // unreachable: program always throws\n";
+    }
+    body << indent_ << "}()";
+    return body.str();
+  }
+
+ private:
+  /// Abstract interpretation of stack heights: the VM's compiler emits
+  /// programs where every instruction has one consistent entry height,
+  /// so a single flow-propagation pass assigns each its stack locals.
+  void compute_heights() {
+    const auto code = program_.code();
+    height_.assign(code.size() + 1, -1);
+    target_.assign(code.size() + 1, false);
+    std::vector<std::size_t> work;
+    height_[0] = 0;
+    if (!code.empty()) {
+      work.push_back(0);
+    }
+    auto relax = [&](std::size_t index, int h) {
+      if (index > code.size()) {
+        return;
+      }
+      if (height_[index] < 0) {
+        height_[index] = h;
+        if (index < code.size()) {
+          work.push_back(index);
+        }
+      }
+    };
+    while (!work.empty()) {
+      const std::size_t i = work.back();
+      work.pop_back();
+      const expr::Instr& instr = code[i];
+      const int out = height_[i] + stack_delta(instr);
+      switch (instr.op) {
+        case Op::Jump:
+          target_[static_cast<std::size_t>(instr.a)] = true;
+          relax(static_cast<std::size_t>(instr.a), out);
+          break;
+        case Op::JumpIfFalse:
+        case Op::JumpIfTrue:
+          target_[static_cast<std::size_t>(instr.a)] = true;
+          relax(static_cast<std::size_t>(instr.a), out);
+          relax(i + 1, out);
+          break;
+        case Op::Throw:
+          break;  // terminates this path
+        default:
+          relax(i + 1, out);
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string slot_ref(std::int32_t slot) const {
+    return env_.frame + "[" + std::to_string(slot) + "]";
+  }
+
+  [[nodiscard]] static std::string stack(int k) {
+    return "s" + std::to_string(k);
+  }
+
+  [[nodiscard]] std::string unary(int h, std::string_view fn) const {
+    return stack(h - 1) + " = std::" + std::string(fn) + "(" + stack(h - 1) +
+           ");";
+  }
+
+  [[nodiscard]] std::string binary_op(int h, std::string_view op) const {
+    return stack(h - 2) + " = " + stack(h - 2) + " " + std::string(op) + " " +
+           stack(h - 1) + ";";
+  }
+
+  [[nodiscard]] std::string binary_fn(int h, std::string_view fn) const {
+    return stack(h - 2) + " = std::" + std::string(fn) + "(" + stack(h - 2) +
+           ", " + stack(h - 1) + ");";
+  }
+
+  [[nodiscard]] std::string compare(int h, std::string_view op) const {
+    return stack(h - 2) + " = " + stack(h - 2) + " " + std::string(op) + " " +
+           stack(h - 1) + " ? 1.0 : 0.0;";
+  }
+
+  [[nodiscard]] std::string load_fallback(const expr::Instr& instr, int h,
+                                          const std::string& ambient) const {
+    return "{ const double* p = " + slot_ref(instr.a) + "; " + stack(h) +
+           " = p != nullptr ? *p : " + ambient + "; }";
+  }
+
+  /// The C++ statement for one instruction entered at stack height `h`.
+  [[nodiscard]] std::string statement(const expr::Instr& instr,
+                                      std::size_t index, int h) const {
+    const auto strings = program_.strings();
+    switch (instr.op) {
+      case Op::PushConst:
+        return stack(h) + " = " + double_literal(instr.value) + ";";
+      case Op::LoadSlot:
+        return stack(h) + " = load_slot(" + slot_ref(instr.a) + ", \"" +
+               escape(strings[instr.b]) + "\");";
+      case Op::LoadSlotOrPid:
+        return load_fallback(instr, h, env_.pid);
+      case Op::LoadSlotOrTid:
+        return load_fallback(instr, h, env_.tid);
+      case Op::LoadSlotOrUid:
+        return load_fallback(instr, h, env_.uid);
+      case Op::LoadArg:
+        if (!env_.has_args) {
+          // Node-scope evaluations pass no argument span: every LoadArg
+          // falls past the arity, exactly like the VM.
+          return stack(h) + " = 0.0;";
+        }
+        return stack(h) + " = static_cast<std::size_t>(" +
+               std::to_string(instr.a) + ") < nargs ? args[" +
+               std::to_string(instr.a) + "] : 0.0;";
+      case Op::LoadPid:
+        return stack(h) + " = " + env_.pid + ";";
+      case Op::LoadTid:
+        return stack(h) + " = " + env_.tid + ";";
+      case Op::LoadUid:
+        return stack(h) + " = " + env_.uid + ";";
+      case Op::Neg:
+        return stack(h - 1) + " = -" + stack(h - 1) + ";";
+      case Op::Not:
+        return stack(h - 1) + " = " + stack(h - 1) +
+               " != 0.0 ? 0.0 : 1.0;";
+      case Op::Add:
+        return binary_op(h, "+");
+      case Op::Sub:
+        return binary_op(h, "-");
+      case Op::Mul:
+        return binary_op(h, "*");
+      case Op::Div:
+        return binary_op(h, "/");
+      case Op::Mod:
+        return binary_fn(h, "fmod");
+      case Op::Lt:
+        return compare(h, "<");
+      case Op::Le:
+        return compare(h, "<=");
+      case Op::Gt:
+        return compare(h, ">");
+      case Op::Ge:
+        return compare(h, ">=");
+      case Op::Eq:
+        return compare(h, "==");
+      case Op::Ne:
+        return compare(h, "!=");
+      case Op::ToBool:
+        return stack(h - 1) + " = " + stack(h - 1) +
+               " != 0.0 ? 1.0 : 0.0;";
+      case Op::Jump:
+        return "goto L" + std::to_string(instr.a) + ";";
+      case Op::JumpIfFalse:
+        return "if (!(" + stack(h - 1) + " != 0.0)) goto L" +
+               std::to_string(instr.a) + ";";
+      case Op::JumpIfTrue:
+        return "if (" + stack(h - 1) + " != 0.0) goto L" +
+               std::to_string(instr.a) + ";";
+      case Op::CallUser: {
+        const int argc = instr.b;
+        if (argc == 0) {
+          return stack(h) + " = fn" + std::to_string(instr.a) +
+                 "(nullptr, 0);";
+        }
+        std::string args;
+        for (int k = 0; k < argc; ++k) {
+          if (k != 0) {
+            args += ", ";
+          }
+          args += stack(h - argc + k);
+        }
+        return "{ const double call_args[] = {" + args + "}; " +
+               stack(h - argc) + " = fn" + std::to_string(instr.a) +
+               "(call_args, " + std::to_string(argc) + "); }";
+      }
+      case Op::Throw:
+        return "throw_eval(\"" + escape(strings[instr.a]) + "\");";
+      case Op::Abs:
+        return unary(h, "fabs");
+      case Op::Ceil:
+        return unary(h, "ceil");
+      case Op::Cos:
+        return unary(h, "cos");
+      case Op::Exp:
+        return unary(h, "exp");
+      case Op::Floor:
+        return unary(h, "floor");
+      case Op::Log:
+        return unary(h, "log");
+      case Op::Log10:
+        return unary(h, "log10");
+      case Op::Log2:
+        return unary(h, "log2");
+      case Op::Max:
+        return binary_fn(h, "fmax");
+      case Op::Min:
+        return binary_fn(h, "fmin");
+      case Op::Pow:
+        return binary_fn(h, "pow");
+      case Op::Round:
+        return unary(h, "round");
+      case Op::Sin:
+        return unary(h, "sin");
+      case Op::Sqrt:
+        return unary(h, "sqrt");
+      case Op::Tan:
+        return unary(h, "tan");
+      case Op::Tanh:
+        return unary(h, "tanh");
+    }
+    (void)index;
+    return ";";
+  }
+
+  const expr::Compiled& program_;
+  const ExprEnv& env_;
+  std::string indent_;
+  std::vector<int> height_;
+  std::vector<bool> target_;
+};
+
+std::string emit_expr(const expr::Compiled& program, const ExprEnv& env,
+                      const std::string& indent) {
+  return ExprTransliterator(program, env, indent).emit();
+}
+
+/// Emits the full evaluator translation unit for one lowered model.
+class Emitter {
+ public:
+  explicit Emitter(const lower::ModelProgram& program)
+      : program_(program), model_(program.model()) {
+    const auto& diagrams = model_.diagrams();
+    for (std::size_t d = 0; d < diagrams.size(); ++d) {
+      const ActivityDiagram* diagram = diagrams[d].get();
+      diagram_index_[diagram->id()] = static_cast<int>(d);
+      auto& nodes = node_index_[diagram];
+      const auto& list = diagram->nodes();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        nodes[list[i]->id()] = static_cast<int>(i);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string emit() {
+    preamble();
+    forward_declarations();
+    cost_functions();
+    for (std::size_t d = 0; d < model_.diagrams().size(); ++d) {
+      diagram_walker(static_cast<int>(d), *model_.diagrams()[d]);
+    }
+    run_entry_points();
+    abi_glue();
+    return out_.str();
+  }
+
+ private:
+  /// The walker-scope expression environment (interp's make_context for
+  /// node-scope evaluations: process frame + ambient pid/tid + node uid).
+  [[nodiscard]] ExprEnv node_env(int uid) const {
+    ExprEnv env;
+    env.frame = "f.s";
+    env.pid = "static_cast<double>(ctx.pid)";
+    env.tid = "static_cast<double>(ctx.tid)";
+    env.uid = std::to_string(uid) + ".0";
+    return env;
+  }
+
+  /// Run-frame environment (global initializers, cost-function bodies:
+  /// pid/tid/uid all zero, exactly like interp's run-scope contexts).
+  [[nodiscard]] static ExprEnv run_env(bool has_args) {
+    ExprEnv env;
+    env.frame = "g_run_frame";
+    env.has_args = has_args;
+    return env;
+  }
+
+  [[nodiscard]] int node_index(const ActivityDiagram& diagram,
+                               std::string_view id) const {
+    const auto& nodes = node_index_.at(&diagram);
+    const auto it = nodes.find(std::string(id));
+    return it == nodes.end() ? -1 : it->second;
+  }
+
+  [[nodiscard]] int diagram_of(std::string_view id) const {
+    const auto it = diagram_index_.find(std::string(id));
+    return it == diagram_index_.end() ? -1 : it->second;
+  }
+
+  void preamble() {
+    out_ << "// Generated by the Performance Prophet cgen backend.  "
+            "Do not edit.\n"
+         << "//\n"
+         << "// Specialized evaluator for model '" << escape(model_.name())
+         << "': every diagram\n"
+         << "// is a switch-based coroutine state machine and every "
+            "expression program is\n"
+         << "// transliterated bytecode — semantics (and bits) match the "
+            "interpreter.\n"
+         << "#include <cmath>\n"
+         << "#include <cstddef>\n"
+         << "#include <cstdint>\n"
+         << "#include <limits>\n"
+         << "#include <new>\n"
+         << "#include <optional>\n"
+         << "#include <stdexcept>\n"
+         << "#include <string>\n"
+         << "#include <vector>\n"
+         << "\n"
+         << "#include \"prophet/cgen/abi.hpp\"\n"
+         << "#include \"prophet/estimator/estimator.hpp\"\n"
+         << "#include \"prophet/guard/guard.hpp\"\n"
+         << "#include \"prophet/machine/machine.hpp\"\n"
+         << "#include \"prophet/sim/engine.hpp\"\n"
+         << "#include \"prophet/workload/runtime.hpp\"\n"
+         << "\n"
+         << "namespace {\n"
+         << "\n"
+         << "constexpr std::size_t kSlots = " << program_.slot_count()
+         << ";\n"
+         << "\n"
+         << "/// Stand-in for expr::EvalError: nothing in this unit runs "
+            "the VM, so the\n"
+         << "/// lazily-compiled resolution errors are thrown (and caught "
+            "at tag sites)\n"
+         << "/// as this local type with the VM's exact messages.\n"
+         << "struct CgenEvalError : std::runtime_error {\n"
+         << "  using std::runtime_error::runtime_error;\n"
+         << "};\n"
+         << "\n"
+         << "[[noreturn]] void throw_eval(const char* message) {\n"
+         << "  throw CgenEvalError(message);\n"
+         << "}\n"
+         << "\n"
+         << "double load_slot(const double* bound, const char* message) {\n"
+         << "  if (bound == nullptr) {\n"
+         << "    throw_eval(message);\n"
+         << "  }\n"
+         << "  return *bound;\n"
+         << "}\n"
+         << "\n"
+         << "/// Slot frame, copied by value so fork branches and loop "
+            "bodies snapshot\n"
+         << "/// their bindings (interp's Scope).\n"
+         << "struct Frame {\n"
+         << "  double* s[kSlots];\n"
+         << "};\n"
+         << "\n"
+         << "// Per-run state.  thread_local so concurrent estimate() "
+            "calls (each on its\n"
+         << "// own thread) share nothing mutable.\n"
+         << "thread_local double g_np = 1, g_nt = 1, g_nn = 1, g_ppn = 1;\n"
+         << "thread_local double g_globals[kSlots];\n"
+         << "thread_local double* g_run_frame[kSlots];\n"
+         << "thread_local prophet::guard::Budget* g_budget = nullptr;\n"
+         << "thread_local int g_call_depth = 0;\n"
+         << "\n";
+  }
+
+  void forward_declarations() {
+    for (std::size_t id = 0; id < program_.functions().size(); ++id) {
+      out_ << "double fn" << id
+           << "(const double* args, std::size_t nargs);\n";
+    }
+    for (std::size_t d = 0; d < model_.diagrams().size(); ++d) {
+      out_ << "prophet::sim::Process walk_d" << d
+           << "(prophet::workload::ModelContext ctx, Frame f, double* "
+              "locals, int start, int* stop);\n"
+           << "prophet::sim::Process run_d" << d
+           << "(prophet::workload::ModelContext ctx, Frame f, double* "
+              "locals);\n";
+    }
+    out_ << "\n";
+  }
+
+  void cost_functions() {
+    const auto functions = program_.functions();
+    const ExprEnv env = run_env(/*has_args=*/true);
+    for (std::size_t id = 0; id < functions.size(); ++id) {
+      out_ << "double fn" << id
+           << "(const double* args, std::size_t nargs) {\n"
+           << "  (void)args;\n"
+           << "  (void)nargs;\n"
+           << "  if (g_call_depth > 64) {\n"
+           << "    throw std::runtime_error(\n"
+           << "        \"cost-function call depth exceeded (cycle?)\");\n"
+           << "  }\n"
+           << "  ++g_call_depth;\n"
+           << "  const double result = " << emit_expr(functions[id], env, "  ")
+           << ";\n"
+           << "  --g_call_depth;\n"
+           << "  return result;\n"
+           << "}\n\n";
+    }
+  }
+
+  /// One statement block evaluating optional tag `kind` of `node` into
+  /// `variable` (declared by the caller), with interp's eval_tag error
+  /// wrapping; absent tags leave the variable at 0.0.
+  void tag_eval(const Node& node, const lower::NodePrograms& programs,
+                lower::TagKind kind, std::string_view tag_name,
+                const std::string& variable, const std::string& indent) {
+    const auto& tag = programs.tag(kind);
+    if (!tag.has_value()) {
+      return;
+    }
+    if (tag->constant().has_value()) {
+      out_ << indent << variable << " = "
+           << double_literal(*tag->constant()) << ";\n";
+      return;
+    }
+    const ExprEnv env = node_env(programs.uid);
+    out_ << indent << "try {\n"
+         << indent << "  " << variable << " = "
+         << emit_expr(*tag, env, indent + "  ") << ";\n"
+         << indent << "} catch (const CgenEvalError& error) {\n"
+         << indent << "  throw std::runtime_error(std::string(\"node "
+         << escape(node.id()) << ", tag '" << escape(tag_name)
+         << "': \") + error.what());\n"
+         << indent << "}\n";
+  }
+
+  /// The node's code fragment (interp's run_fragment), statement for
+  /// statement: evaluate, coerce, store by resolved target.
+  void fragment(const Node& node, const lower::NodePrograms& programs,
+                const std::string& indent) {
+    for (const auto& assignment : programs.fragment) {
+      const ExprEnv env = node_env(programs.uid);
+      out_ << indent << "{\n"
+           << indent << "  double value = 0.0;\n"
+           << indent << "  try {\n"
+           << indent << "    value = "
+           << emit_expr(assignment.value, env, indent + "    ") << ";\n"
+           << indent << "  } catch (const CgenEvalError& error) {\n"
+           << indent
+           << "    throw std::runtime_error(std::string(\"code fragment at "
+              "node "
+           << escape(node.id()) << ": \") + error.what());\n"
+           << indent << "  }\n";
+      if (assignment.coerce_int) {
+        out_ << indent << "  value = std::trunc(value);\n";
+      }
+      using Target = lower::CompiledAssignment::Target;
+      switch (assignment.target) {
+        case Target::Local:
+          out_ << indent << "  locals[" << assignment.slot
+               << "] = value;\n";
+          break;
+        case Target::Global:
+          out_ << indent << "  g_globals[" << assignment.slot
+               << "] = value;\n";
+          break;
+        case Target::Undeclared:
+          out_ << indent << "  (void)value;\n"
+               << indent
+               << "  throw std::runtime_error(\"code fragment at node "
+               << escape(node.id()) << " assigns undeclared variable '"
+               << escape(assignment.name) << "'\");\n";
+          break;
+      }
+      out_ << indent << "}\n";
+    }
+  }
+
+  /// Successor dispatch for non-decision nodes (interp's next_node).
+  void next_node(const ActivityDiagram& diagram, const Node& node,
+                 const std::string& indent) {
+    const auto outgoing = diagram.outgoing(node.id());
+    if (outgoing.empty()) {
+      out_ << indent << "node = -1;  // dead end\n" << indent << "break;\n";
+      return;
+    }
+    if (outgoing.size() > 1) {
+      out_ << indent << "throw std::runtime_error(\"node "
+           << escape(node.id())
+           << " has multiple unguarded outgoing edges\");\n";
+      return;
+    }
+    out_ << indent
+         << "node = " << node_index(diagram, outgoing[0]->target()) << ";\n"
+         << indent << "break;\n";
+  }
+
+  /// Guarded successor dispatch for Decision nodes: compiled guards in
+  /// edge order, first else edge as fallback (interp's next_node).
+  void decision_dispatch(const ActivityDiagram& diagram, const Node& node,
+                         const std::string& indent) {
+    const auto outgoing = diagram.outgoing(node.id());
+    const int uid = program_.at(node).uid;
+    const uml::ControlFlow* fallback = nullptr;
+    for (const auto* edge : outgoing) {
+      if (edge->is_else()) {
+        if (fallback == nullptr) {
+          fallback = edge;
+        }
+        continue;
+      }
+      const expr::Compiled* guard = program_.guard(*edge);
+      if (guard == nullptr) {
+        continue;  // unguarded edge out of a decision: never taken
+      }
+      out_ << indent << "if ((" << emit_expr(*guard, node_env(uid), indent)
+           << ") != 0.0) {\n"
+           << indent
+           << "  node = " << node_index(diagram, edge->target()) << ";\n"
+           << indent << "  break;\n" << indent << "}\n";
+    }
+    if (fallback != nullptr) {
+      out_ << indent
+           << "node = " << node_index(diagram, fallback->target()) << ";\n"
+           << indent << "break;\n";
+    } else {
+      out_ << indent << "throw std::runtime_error(\"decision "
+           << escape(node.id())
+           << ": no guard holds and no 'else' edge\");\n";
+    }
+  }
+
+  void action_case(const ActivityDiagram& diagram, const Node& node,
+                   const std::string& indent) {
+    const lower::NodePrograms& programs = program_.at(node);
+    const int uid = programs.uid;
+    fragment(node, programs, indent);
+    const std::string& stereotype = node.stereotype();
+    const std::string name = "\"" + escape(node.name()) + "\"";
+    const std::string exec_prefix =
+        "co_await element.execute(" + std::to_string(uid) +
+        ", ctx.pid, ctx.tid";
+    if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
+      out_ << indent << "double cost = 0.0;\n";
+      if (programs.cost().has_value()) {
+        tag_eval(node, programs, lower::TagKind::Cost, uml::tag::kCost,
+                 "cost", indent);
+      } else if (const auto time = node.tag_number(uml::tag::kTime)) {
+        out_ << indent << "cost = " << double_literal(*time) << ";\n";
+      }
+      out_ << indent << "prophet::workload::ActionPlus element(ctx, " << name
+           << ");\n"
+           << indent << exec_prefix << ", cost);\n";
+    } else if (stereotype == uml::stereo::kSend) {
+      out_ << indent << "double dest = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Dest, uml::tag::kDest, "dest",
+               indent);
+      out_ << indent << "double bytes = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Size, uml::tag::kSize, "bytes",
+               indent);
+      const auto tag = static_cast<int>(
+          node.tag_number(uml::tag::kMsgTag).value_or(0));
+      out_ << indent << "prophet::workload::SendElement element(ctx, " << name
+           << ");\n"
+           << indent << exec_prefix << ", static_cast<int>(dest), bytes, "
+           << tag << ");\n";
+    } else if (stereotype == uml::stereo::kRecv) {
+      out_ << indent << "double source = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Source, uml::tag::kSource,
+               "source", indent);
+      out_ << indent << "double bytes = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Size, uml::tag::kSize, "bytes",
+               indent);
+      const auto tag = static_cast<int>(
+          node.tag_number(uml::tag::kMsgTag).value_or(0));
+      out_ << indent << "prophet::workload::RecvElement element(ctx, " << name
+           << ");\n"
+           << indent << exec_prefix << ", static_cast<int>(source), bytes, "
+           << tag << ");\n";
+    } else if (stereotype == uml::stereo::kBarrier) {
+      out_ << indent << "prophet::workload::BarrierElement element(ctx, "
+           << name << ");\n"
+           << indent << exec_prefix << ");\n";
+    } else if (stereotype == uml::stereo::kBroadcast ||
+               stereotype == uml::stereo::kReduce ||
+               stereotype == uml::stereo::kAllReduce ||
+               stereotype == uml::stereo::kScatter ||
+               stereotype == uml::stereo::kGather) {
+      out_ << indent << "double bytes = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Size, uml::tag::kSize, "bytes",
+               indent);
+      out_ << indent << "double root = 0.0;\n";
+      if (node.has_tag(uml::tag::kRoot)) {
+        tag_eval(node, programs, lower::TagKind::Root, uml::tag::kRoot,
+                 "root", indent);
+      }
+      out_ << indent << "prophet::workload::CollectiveElement element(ctx, "
+           << name << ", prophet::workload::CollectiveKind::"
+           << collective_kind(stereotype) << ");\n"
+           << indent << exec_prefix
+           << ", bytes, static_cast<int>(root));\n";
+    } else if (stereotype == uml::stereo::kOmpFor) {
+      out_ << indent << "double iterations = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::Iterations,
+               uml::tag::kIterations, "iterations", indent);
+      out_ << indent << "double itercost = 0.0;\n";
+      tag_eval(node, programs, lower::TagKind::IterCost, uml::tag::kIterCost,
+               "itercost", indent);
+      std::string schedule = node.tag_string(uml::tag::kSchedule);
+      if (schedule.empty()) {
+        schedule = "static";
+      }
+      const auto chunk = static_cast<std::int64_t>(
+          node.tag_number(uml::tag::kChunk).value_or(0));
+      out_ << indent << "prophet::workload::WorkshareElement element(ctx, "
+           << name << ");\n"
+           << indent << exec_prefix << ", iterations, itercost, \""
+           << escape(schedule) << "\", " << chunk << "LL);\n";
+    } else if (stereotype == uml::stereo::kOmpBarrier) {
+      out_ << indent << "prophet::workload::OmpBarrierElement element(ctx, "
+           << name << ");\n"
+           << indent << exec_prefix << ");\n";
+    } else {
+      out_ << indent << "throw std::runtime_error(\"node "
+           << escape(node.id()) << ": unsupported stereotype <<"
+           << escape(stereotype) << ">> on an action node\");\n";
+      return;  // unreachable successor
+    }
+    next_node(diagram, node, indent);
+  }
+
+  [[nodiscard]] static std::string_view collective_kind(
+      const std::string& stereotype) {
+    if (stereotype == uml::stereo::kBroadcast) {
+      return "Broadcast";
+    }
+    if (stereotype == uml::stereo::kReduce) {
+      return "Reduce";
+    }
+    if (stereotype == uml::stereo::kAllReduce) {
+      return "AllReduce";
+    }
+    if (stereotype == uml::stereo::kScatter) {
+      return "Scatter";
+    }
+    return "Gather";
+  }
+
+  void activity_case(const ActivityDiagram& diagram, const Node& node,
+                     const std::string& indent) {
+    const lower::NodePrograms& programs = program_.at(node);
+    const int uid = programs.uid;
+    fragment(node, programs, indent);
+    const int sub = diagram_of(node.subdiagram_id());
+    if (sub < 0) {
+      // lower() rejects unresolvable references; defensive for direct use.
+      out_ << indent << "throw std::runtime_error(\"node "
+           << escape(node.id()) << ": unresolved sub-diagram '"
+           << escape(node.subdiagram_id()) << "'\");\n";
+      return;
+    }
+    const std::string& stereotype = node.stereotype();
+    const std::string name = "\"" + escape(node.name()) + "\"";
+    if (stereotype == uml::stereo::kOmpParallel) {
+      if (programs.num_threads().has_value()) {
+        out_ << indent << "double threads_value = 0.0;\n";
+        tag_eval(node, programs, lower::TagKind::NumThreads,
+                 uml::tag::kNumThreads, "threads_value", indent);
+        out_ << indent
+             << "const int threads = static_cast<int>(threads_value);\n";
+      } else {
+        out_ << indent << "const int threads = static_cast<int>(g_nt);\n";
+      }
+      out_ << indent << "co_await prophet::workload::parallel_region(\n"
+           << indent << "    ctx, threads, " << uid << ", " << name << ",\n"
+           << indent
+           << "    [f, locals](prophet::workload::ModelContext tctx)\n"
+           << indent << "        -> prophet::sim::Process {\n"
+           << indent << "      return run_d" << sub
+           << "(tctx, f, locals);\n"
+           << indent << "    });\n";
+    } else if (stereotype == uml::stereo::kOmpCritical) {
+      std::string lock = node.tag_string(uml::tag::kCriticalName);
+      if (lock.empty()) {
+        lock = "default";
+      }
+      out_ << indent << "prophet::workload::CriticalElement element(ctx, "
+           << name << ", \"" << escape(lock) << "\");\n"
+           << indent << "prophet::workload::ModelContext body_ctx = ctx;\n"
+           << indent << "co_await element.execute(" << uid
+           << ", ctx.pid, ctx.tid,\n"
+           << indent
+           << "    [f, locals, body_ctx]() -> prophet::sim::Process {\n"
+           << indent << "      return run_d" << sub
+           << "(body_ctx, f, locals);\n"
+           << indent << "    });\n";
+    } else {
+      out_ << indent << "prophet::workload::ActivityPlus element(ctx, "
+           << name << ");\n"
+           << indent << "const double started = element.begin(" << uid
+           << ");\n"
+           << indent << "co_await run_d" << sub << "(ctx, f, locals);\n"
+           << indent << "element.end(" << uid << ", started);\n";
+    }
+    next_node(diagram, node, indent);
+  }
+
+  void loop_case(const ActivityDiagram& diagram, const Node& node,
+                 const std::string& indent) {
+    const lower::NodePrograms& programs = program_.at(node);
+    fragment(node, programs, indent);
+    const int body = diagram_of(node.subdiagram_id());
+    if (body < 0) {
+      out_ << indent << "throw std::runtime_error(\"node "
+           << escape(node.id()) << ": unresolved sub-diagram '"
+           << escape(node.subdiagram_id()) << "'\");\n";
+      return;
+    }
+    out_ << indent << "double raw = 0.0;\n";
+    tag_eval(node, programs, lower::TagKind::Iterations,
+             uml::tag::kIterations, "raw", indent);
+    out_ << indent << "if (std::isnan(raw) || raw < 0) {\n"
+         << indent << "  throw std::runtime_error(\"loop "
+         << escape(node.id()) << ": iteration count is negative or NaN\");\n"
+         << indent << "}\n"
+         << indent
+         << "const auto iterations = static_cast<std::int64_t>(raw);\n"
+         << indent << "double loop_value = 0;\n"
+         << indent << "Frame lf = f;\n"
+         << indent << "lf.s[" << programs.loop_var_slot
+         << "] = &loop_value;\n"
+         << indent
+         << "for (std::int64_t k = 0; k < iterations; ++k) {\n"
+         << indent << "  if (g_budget != nullptr) {\n"
+         << indent << "    g_budget->charge_loop_trips(1, \"cgen-loop\");\n"
+         << indent << "  }\n"
+         << indent << "  loop_value = static_cast<double>(k);\n"
+         << indent << "  co_await run_d" << body << "(ctx, lf, locals);\n"
+         << indent << "}\n";
+    next_node(diagram, node, indent);
+  }
+
+  void fork_case(const ActivityDiagram& diagram, const Node& node, int di,
+                 const std::string& indent) {
+    const auto outgoing = diagram.outgoing(node.id());
+    const std::size_t branches = outgoing.size();
+    if (branches == 0) {
+      out_ << indent << "throw std::runtime_error(\"fork "
+           << escape(node.id()) << ": branches do not reach a join\");\n";
+      return;
+    }
+    out_ << indent << "int joins[" << branches << "];\n"
+         << indent << "for (std::size_t b = 0; b < " << branches
+         << "; ++b) {\n"
+         << indent << "  joins[b] = -1;\n" << indent << "}\n"
+         << indent << "{\n"
+         << indent << "  std::vector<prophet::sim::ProcessRef> branches;\n"
+         << indent << "  branches.reserve(" << branches << ");\n";
+    for (std::size_t b = 0; b < branches; ++b) {
+      const int target = node_index(diagram, outgoing[b]->target());
+      if (target < 0) {
+        out_ << indent << "  throw std::runtime_error(\"fork "
+             << escape(node.id()) << ": dangling edge\");\n";
+        break;  // interp throws here; later branches never spawn
+      }
+      out_ << indent << "  branches.push_back(ctx.engine->spawn(walk_d" << di
+           << "(ctx, f, locals, " << target << ", &joins[" << b
+           << "])));\n";
+    }
+    out_ << indent << "  for (const auto& branch : branches) {\n"
+         << indent << "    co_await branch;\n"
+         << indent << "  }\n"
+         << indent << "}\n";
+    for (std::size_t b = 1; b < branches; ++b) {
+      out_ << indent << "if (joins[" << b << "] != joins[0]) {\n"
+           << indent << "  throw std::runtime_error(std::string(\"fork "
+           << escape(node.id())
+           << ": branches reach different joins ('\") + node_id_d" << di
+           << "(joins[0]) + \"' vs '\" + node_id_d" << di << "(joins[" << b
+           << "]) + \"')\");\n"
+           << indent << "}\n";
+    }
+    out_ << indent << "if (joins[0] < 0) {\n"
+         << indent << "  throw std::runtime_error(\"fork "
+         << escape(node.id()) << ": branches do not reach a join\");\n"
+         << indent << "}\n"
+         << indent << "switch (joins[0]) {\n";
+    const auto& nodes = diagram.nodes();
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (nodes[j]->kind() != NodeKind::Join) {
+        continue;
+      }
+      const auto after = diagram.outgoing(nodes[j]->id());
+      out_ << indent << "  case " << j << ":\n";
+      if (after.empty()) {
+        out_ << indent << "    co_return;\n";
+      } else if (after.size() > 1) {
+        out_ << indent << "    throw std::runtime_error(\"join "
+             << escape(nodes[j]->id()) << " has multiple outgoing edges\");\n";
+      } else {
+        out_ << indent
+             << "    node = " << node_index(diagram, after[0]->target())
+             << ";\n"
+             << indent << "    break;\n";
+      }
+    }
+    out_ << indent << "  default:\n"
+         << indent << "    node = -1;\n"
+         << indent << "    break;\n"
+         << indent << "}\n"
+         << indent << "break;\n";
+  }
+
+  void diagram_walker(int di, const ActivityDiagram& diagram) {
+    const auto& nodes = diagram.nodes();
+    // Node-id lookup for fork/join diagnostics (indices back to element
+    // ids, so generated messages match the interpreter's).
+    out_ << "const char* node_id_d" << di << "(int node) {\n"
+         << "  switch (node) {\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out_ << "    case " << i << ":\n"
+           << "      return \"" << escape(nodes[i]->id()) << "\";\n";
+    }
+    out_ << "    default:\n"
+         << "      return \"\";\n"
+         << "  }\n"
+         << "}\n\n";
+
+    const std::uint64_t limit = 1000000ULL + 1000ULL * diagram.node_count();
+    out_ << "// Diagram '" << escape(diagram.id())
+         << "': interp::Interpreter's walk, specialized.\n"
+         << "prophet::sim::Process walk_d" << di
+         << "(prophet::workload::ModelContext ctx, Frame f, double* locals, "
+            "int start, int* stop) {\n"
+         << "  (void)locals;\n"
+         << "  (void)stop;\n"
+         << "  int node = start;\n"
+         << "  std::uint64_t steps = 0;\n"
+         << "  while (node >= 0) {\n"
+         << "    if (++steps > " << limit << "ULL) {\n"
+         << "      throw std::runtime_error(\n"
+         << "          \"diagram " << escape(diagram.id())
+         << ": walk exceeded step limit (unstructured \"\n"
+         << "          \"cycle without <<loop+>>?)\");\n"
+         << "    }\n"
+         << "    switch (node) {\n";
+    const std::string indent = "        ";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Node& node = *nodes[i];
+      out_ << "      case " << i << ": {  // " << kind_name(node.kind())
+           << " '" << escape(node.id()) << "'\n";
+      switch (node.kind()) {
+        case NodeKind::Initial:
+        case NodeKind::Merge:
+          next_node(diagram, node, indent);
+          break;
+        case NodeKind::Final:
+          out_ << indent << "co_return;\n";
+          break;
+        case NodeKind::Join:
+          out_ << indent << "if (stop != nullptr) {\n"
+               << indent << "  *stop = " << i << ";\n"
+               << indent << "  co_return;\n"
+               << indent << "}\n";
+          next_node(diagram, node, indent);
+          break;
+        case NodeKind::Decision:
+          decision_dispatch(diagram, node, indent);
+          break;
+        case NodeKind::Fork:
+          fork_case(diagram, node, di, indent);
+          break;
+        case NodeKind::Action:
+          action_case(diagram, node, indent);
+          break;
+        case NodeKind::Activity:
+          activity_case(diagram, node, indent);
+          break;
+        case NodeKind::Loop:
+          loop_case(diagram, node, indent);
+          break;
+      }
+      out_ << "      }\n";
+    }
+    out_ << "      default:\n"
+         << "        node = -1;\n"
+         << "        break;\n"
+         << "    }\n"
+         << "  }\n"
+         << "  co_return;\n"
+         << "}\n\n";
+
+    out_ << "prophet::sim::Process run_d" << di
+         << "(prophet::workload::ModelContext ctx, Frame f, double* locals) "
+            "{\n";
+    const Node* initial = diagram.initial();
+    if (initial == nullptr) {
+      out_ << "  throw std::runtime_error(\"diagram "
+           << escape(diagram.id()) << " has no initial node\");\n"
+           << "  co_return;  // unreachable; makes this a coroutine\n";
+    } else {
+      out_ << "  co_await walk_d" << di << "(ctx, f, locals, "
+           << node_index(diagram, initial->id()) << ", nullptr);\n";
+    }
+    out_ << "}\n\n";
+  }
+
+  [[nodiscard]] static std::string_view kind_name(NodeKind kind) {
+    switch (kind) {
+      case NodeKind::Initial:
+        return "initial";
+      case NodeKind::Final:
+        return "final";
+      case NodeKind::Action:
+        return "action";
+      case NodeKind::Activity:
+        return "activity";
+      case NodeKind::Decision:
+        return "decision";
+      case NodeKind::Merge:
+        return "merge";
+      case NodeKind::Fork:
+        return "fork";
+      case NodeKind::Join:
+        return "join";
+      case NodeKind::Loop:
+        return "loop";
+    }
+    return "node";
+  }
+
+  void run_entry_points() {
+    // start_run: interp's run-start, specialized — bind structural
+    // slots, zero globals, initialize in declaration order (each global
+    // becomes visible to the next initializer).
+    out_ << "void start_run(const prophet::machine::SystemParameters& "
+            "params) {\n"
+         << "  g_np = static_cast<double>(params.processes);\n"
+         << "  g_nt = static_cast<double>(params.threads_per_process);\n"
+         << "  g_nn = static_cast<double>(params.nodes);\n"
+         << "  g_ppn = static_cast<double>(params.processors_per_node);\n"
+         << "  for (std::size_t i = 0; i < kSlots; ++i) {\n"
+         << "    g_globals[i] = 0.0;\n"
+         << "    g_run_frame[i] = nullptr;\n"
+         << "  }\n"
+         << "  g_run_frame[" << program_.np_slot() << "] = &g_np;\n"
+         << "  g_run_frame[" << program_.nt_slot() << "] = &g_nt;\n"
+         << "  g_run_frame[" << program_.nn_slot() << "] = &g_nn;\n"
+         << "  g_run_frame[" << program_.ppn_slot() << "] = &g_ppn;\n";
+    const ExprEnv globals_env = run_env(/*has_args=*/false);
+    for (const auto& variable : program_.variables()) {
+      if (variable.scope != uml::VariableScope::Global) {
+        continue;
+      }
+      out_ << "  {  // global '" << escape(variable.name) << "'\n"
+           << "    double value = 0.0;\n";
+      if (variable.initializer.has_value()) {
+        out_ << "    value = "
+             << emit_expr(*variable.initializer, globals_env, "    ")
+             << ";\n";
+      }
+      if (variable.type == uml::VariableType::Integer) {
+        out_ << "    value = std::trunc(value);\n";
+      }
+      out_ << "    g_globals[" << variable.slot << "] = value;\n"
+           << "    g_run_frame[" << variable.slot << "] = &g_globals["
+           << variable.slot << "];\n"
+           << "  }\n";
+    }
+    out_ << "}\n\n";
+
+    // run_process: per-process locals in this coroutine frame,
+    // initialized in declaration order, then walk the main diagram.
+    const int main_diagram = diagram_of(model_.main_diagram_id());
+    out_ << "prophet::sim::Process run_process("
+            "prophet::workload::ModelContext ctx) {\n"
+         << "  double local_values[kSlots] = {};\n"
+         << "  (void)local_values;\n"
+         << "  Frame f;\n"
+         << "  for (std::size_t i = 0; i < kSlots; ++i) {\n"
+         << "    f.s[i] = g_run_frame[i];\n"
+         << "  }\n";
+    ExprEnv locals_env = run_env(/*has_args=*/false);
+    locals_env.frame = "f.s";
+    locals_env.pid = "static_cast<double>(ctx.pid)";
+    locals_env.tid = "static_cast<double>(ctx.tid)";
+    for (const auto& variable : program_.variables()) {
+      if (variable.scope != uml::VariableScope::Local) {
+        continue;
+      }
+      out_ << "  {  // local '" << escape(variable.name) << "'\n"
+           << "    double value = 0.0;\n";
+      if (variable.initializer.has_value()) {
+        out_ << "    value = "
+             << emit_expr(*variable.initializer, locals_env, "    ")
+             << ";\n";
+      }
+      if (variable.type == uml::VariableType::Integer) {
+        out_ << "    value = std::trunc(value);\n";
+      }
+      out_ << "    local_values[" << variable.slot << "] = value;\n"
+           << "    f.s[" << variable.slot << "] = &local_values["
+           << variable.slot << "];\n"
+           << "  }\n";
+    }
+    out_ << "  co_await run_d" << main_diagram
+         << "(ctx, f, local_values);\n"
+         << "}\n\n";
+  }
+
+  void abi_glue() {
+    out_ << R"(class GeneratedModel final : public prophet::estimator::ProgramModel {
+ public:
+  void on_run_start(
+      const prophet::machine::SystemParameters& params) override {
+    start_run(params);
+  }
+
+  [[nodiscard]] prophet::sim::Process process_main(
+      prophet::workload::ModelContext ctx) override {
+    return run_process(ctx);
+  }
+
+  void set_budget(prophet::guard::Budget* budget) override {
+    g_budget = budget;
+  }
+};
+
+/// Heap storage behind CgenResult's pointers; freed by prophet_cgen_free.
+struct ResultStorage {
+  std::vector<std::int32_t> pids;
+  std::vector<double> times;
+  std::string machine_report;
+  std::string message;
+  std::string stage;
+};
+
+void fill_usage(prophet::cgen::CgenResult* result,
+                const prophet::guard::Usage& usage) {
+  result->usage_sim_events = usage.sim_events;
+  result->usage_vm_instructions = usage.vm_instructions;
+  result->usage_replay_events = usage.replay_events;
+  result->usage_loop_trips = usage.loop_trips;
+  result->usage_elapsed_seconds = usage.elapsed_seconds;
+}
+
+}  // namespace
+
+// The TU compiles with -fvisibility=hidden; only these three entry
+// points opt back into the dynamic symbol table.
+#define PROPHET_CGEN_EXPORT extern "C" __attribute__((visibility("default")))
+
+PROPHET_CGEN_EXPORT std::uint32_t prophet_cgen_abi_version() {
+  return prophet::cgen::kCgenAbiVersion;
+}
+
+PROPHET_CGEN_EXPORT void prophet_cgen_free(prophet::cgen::CgenResult* result) {
+  if (result != nullptr && result->owner != nullptr) {
+    delete static_cast<ResultStorage*>(result->owner);
+    result->owner = nullptr;
+  }
+}
+
+PROPHET_CGEN_EXPORT std::int32_t prophet_cgen_run(
+    const prophet::cgen::CgenParams* params,
+    prophet::cgen::CgenResult* result) {
+  if (params == nullptr || result == nullptr) {
+    return prophet::cgen::kCgenError;
+  }
+  *result = prophet::cgen::CgenResult{};
+  auto* storage = new (std::nothrow) ResultStorage;
+  if (storage == nullptr) {
+    return prophet::cgen::kCgenError;
+  }
+  result->owner = storage;
+  const auto fail = [&](std::int32_t status, const char* message) {
+    storage->message = message;
+    result->message = storage->message.c_str();
+    result->stage = storage->stage.c_str();
+    result->status = status;
+    return status;
+  };
+  try {
+    prophet::machine::SystemParameters system;
+    system.nodes = params->nodes;
+    system.processors_per_node = params->processors_per_node;
+    system.processes = params->processes;
+    system.threads_per_process = params->threads_per_process;
+    system.cpu_speed = params->cpu_speed;
+    system.network_latency = params->network_latency;
+    system.network_bandwidth = params->network_bandwidth;
+    system.network_overhead = params->network_overhead;
+    system.memory_latency = params->memory_latency;
+    system.memory_bandwidth = params->memory_bandwidth;
+    system.barrier_latency = params->barrier_latency;
+
+    prophet::guard::Limits limits;
+    limits.wall_seconds = params->wall_seconds;
+    limits.max_sim_events = params->max_sim_events;
+    limits.max_vm_instructions = params->max_vm_instructions;
+    limits.max_replay_events = params->max_replay_events;
+    limits.max_loop_trips = params->max_loop_trips;
+
+    std::optional<prophet::guard::Budget> budget;
+    if (limits.any() || params->cancel_poll != nullptr ||
+        params->cancel_at_sim_event != 0) {
+      budget.emplace(limits);
+      if (params->cancel_poll != nullptr) {
+        budget->bind_external_cancel(params->cancel_poll,
+                                     params->cancel_context);
+      }
+      if (params->cancel_at_sim_event != 0) {
+        budget->cancel_at_sim_event(params->cancel_at_sim_event);
+      }
+    }
+
+    prophet::estimator::EstimationOptions options;
+    options.collect_trace = false;
+    options.collect_machine_report = params->collect_machine_report != 0;
+    if (budget.has_value()) {
+      options.budget = &*budget;
+    }
+
+    g_call_depth = 0;
+    GeneratedModel model;
+    const prophet::estimator::SimulationManager manager(system, options);
+    prophet::estimator::PredictionReport report = manager.run(model);
+
+    storage->pids.reserve(report.per_process_finish.size());
+    storage->times.reserve(report.per_process_finish.size());
+    for (const auto& [pid, finish] : report.per_process_finish) {
+      storage->pids.push_back(pid);
+      storage->times.push_back(finish);
+    }
+    storage->machine_report = report.machine_report;
+    result->predicted_time = report.predicted_time;
+    result->events = report.events;
+    result->processes = report.processes;
+    result->finish_pids = storage->pids.data();
+    result->finish_times = storage->times.data();
+    result->finish_count = storage->pids.size();
+    result->machine_report = storage->machine_report.c_str();
+    result->message = "";
+    result->status = prophet::cgen::kCgenOk;
+    return result->status;
+  } catch (const prophet::guard::ResourceExhausted& error) {
+    result->limit = static_cast<std::int32_t>(error.limit());
+    storage->stage = error.stage();
+    fill_usage(result, error.usage());
+    return fail(prophet::cgen::kCgenResourceExhausted, error.what());
+  } catch (const prophet::guard::Cancelled& error) {
+    result->limit = static_cast<std::int32_t>(error.limit());
+    storage->stage = error.stage();
+    fill_usage(result, error.usage());
+    return fail(prophet::cgen::kCgenCancelled, error.what());
+  } catch (const std::exception& error) {
+    return fail(prophet::cgen::kCgenError, error.what());
+  } catch (...) {
+    return fail(prophet::cgen::kCgenError,
+                "unknown error in generated evaluator");
+  }
+}
+)";
+  }
+
+  const lower::ModelProgram& program_;
+  const uml::Model& model_;
+  std::ostringstream out_;
+  std::map<std::string, int, std::less<>> diagram_index_;
+  std::map<const ActivityDiagram*, std::map<std::string, int, std::less<>>>
+      node_index_;
+};
+
+}  // namespace
+
+std::string emit_evaluator(const lower::ModelProgram& program) {
+  return Emitter(program).emit();
+}
+
+}  // namespace prophet::cgen

@@ -2,14 +2,50 @@
 
 namespace prophet::estimator {
 
+BackendSet backends_of(BackendKind kind) {
+  BackendSet set;
+  switch (kind) {
+    case BackendKind::Simulation:
+      set.sim = true;
+      break;
+    case BackendKind::Analytic:
+      set.analytic = true;
+      break;
+    case BackendKind::Codegen:
+      set.codegen = true;
+      break;
+    case BackendKind::Both:
+      set.sim = set.analytic = true;
+      break;
+    case BackendKind::SimCodegen:
+      set.sim = set.codegen = true;
+      break;
+    case BackendKind::AnalyticCodegen:
+      set.analytic = set.codegen = true;
+      break;
+    case BackendKind::All:
+      set.sim = set.analytic = set.codegen = true;
+      break;
+  }
+  return set;
+}
+
 std::string_view to_string(BackendKind kind) {
   switch (kind) {
     case BackendKind::Simulation:
       return "sim";
     case BackendKind::Analytic:
       return "analytic";
+    case BackendKind::Codegen:
+      return "codegen";
     case BackendKind::Both:
       return "both";
+    case BackendKind::SimCodegen:
+      return "sim+codegen";
+    case BackendKind::AnalyticCodegen:
+      return "analytic+codegen";
+    case BackendKind::All:
+      return "all";
   }
   return "unknown";
 }
@@ -21,8 +57,20 @@ std::optional<BackendKind> backend_from_string(std::string_view text) {
   if (text == "analytic") {
     return BackendKind::Analytic;
   }
-  if (text == "both") {
+  if (text == "codegen") {
+    return BackendKind::Codegen;
+  }
+  if (text == "both" || text == "sim+analytic" || text == "analytic+sim") {
     return BackendKind::Both;
+  }
+  if (text == "sim+codegen" || text == "codegen+sim") {
+    return BackendKind::SimCodegen;
+  }
+  if (text == "analytic+codegen" || text == "codegen+analytic") {
+    return BackendKind::AnalyticCodegen;
+  }
+  if (text == "all") {
+    return BackendKind::All;
   }
   return std::nullopt;
 }

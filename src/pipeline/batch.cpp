@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "prophet/analytic/backend.hpp"
+#include "prophet/cgen/backend.hpp"
 #include "prophet/check/checker.hpp"
 #include "prophet/codegen/transformer.hpp"
 #include "prophet/estimator/estimator.hpp"
@@ -57,6 +58,21 @@ void fold_lowering(obs::Registry* metrics, const lower::LoweringStats& stats) {
       .add_seconds(stats.expr_compile_seconds);
 }
 
+/// Folds a codegen handle's prepare cost (emit + compile + dlopen) and
+/// compile-cache hit under "codegen.".  No-op for other backends.
+void fold_codegen(obs::Registry* metrics,
+                  const estimator::PreparedModel* prepared) {
+  const auto* handle = dynamic_cast<const cgen::CodegenPrepared*>(prepared);
+  if (handle == nullptr) {
+    return;
+  }
+  metrics->timer("codegen.prepare_seconds")
+      .add_seconds(handle->prepare_seconds());
+  if (handle->cache_hit()) {
+    metrics->counter("codegen.cache_hits").add(1);
+  }
+}
+
 }  // namespace
 
 std::uint64_t derive_seed(std::uint64_t base_seed, int job_id) {
@@ -95,7 +111,7 @@ BatchStats BatchReport::stats() const {
     }
     stats.mean_predicted += result.predicted_time;
     stats.total_events += result.events;
-    if (result.backend == estimator::BackendKind::Both) {
+    if (estimator::backends_of(result.backend).cross_validates()) {
       ++stats.compared;
       stats.max_rel_error = std::max(stats.max_rel_error,
                                      result.relative_error);
@@ -191,11 +207,24 @@ std::string BatchReport::summary() const {
         << result.params.threads_per_process;
     if (result.ok) {
       out << " -> " << result.predicted_time << " s";
-      if (result.backend == estimator::BackendKind::Both) {
-        out << " (analytic " << result.analytic_predicted << " s, rel err "
-            << result.relative_error << ")";
+      const estimator::BackendSet set =
+          estimator::backends_of(result.backend);
+      if (set.cross_validates()) {
+        // Candidates (every selected non-reference engine) then the
+        // worst deviation, e.g. "(analytic 1.5 s, rel err 0.02)".
+        const estimator::BackendKind reference = set.reference();
+        out << " (";
+        if (set.analytic && reference != estimator::BackendKind::Analytic) {
+          out << "analytic " << result.analytic_predicted << " s, ";
+        }
+        if (set.codegen && reference != estimator::BackendKind::Codegen) {
+          out << "codegen " << result.codegen_predicted << " s, ";
+        }
+        out << "rel err " << result.relative_error << ")";
       } else if (result.backend == estimator::BackendKind::Analytic) {
         out << " (analytic)";
+      } else if (result.backend == estimator::BackendKind::Codegen) {
+        out << " (codegen, " << result.events << " events)";
       } else {
         out << " (" << result.events << " events)";
       }
@@ -222,8 +251,9 @@ std::string BatchReport::summary() const {
         << m->counter_value("batch.events") << " events";
   }
   if (m->counter_value("batch.compared") > 0) {
-    out << "; analytic rel err mean " << m->gauge_value("batch.rel_error_mean")
-        << ", max " << m->gauge_value("batch.rel_error_max");
+    out << "; cross-validation rel err mean "
+        << m->gauge_value("batch.rel_error_mean") << ", max "
+        << m->gauge_value("batch.rel_error_max");
   }
   out << '\n';
   return out.str();
@@ -232,12 +262,13 @@ std::string BatchReport::summary() const {
 std::string BatchReport::to_csv() const {
   std::ostringstream out;
   out.precision(12);
-  // Columns 1-16 are deterministic (CI diffs them across thread counts
+  // Columns 1-17 are deterministic (CI diffs them across thread counts
   // and cache modes); wall_s and the per-stage timings are host times,
   // error is free text and stays last.
   out << "job,model,np,nn,ppn,nt,cpu_speed,seed,backend,ok,predicted_s,"
-         "analytic_s,rel_error,events,warnings,generated_bytes,wall_s,"
-         "parse_s,check_s,transform_s,estimate_s,tripped_limit,error\n";
+         "analytic_s,codegen_s,rel_error,events,warnings,generated_bytes,"
+         "wall_s,parse_s,check_s,transform_s,estimate_s,tripped_limit,"
+         "error\n";
   // Free-text fields (the model name may be a file path; error messages
   // quote model content) are escaped per RFC 4180: a field containing a
   // comma, quote or line break is wrapped in quotes with embedded quotes
@@ -268,7 +299,8 @@ std::string BatchReport::to_csv() const {
         << result.params.cpu_speed << ',' << result.seed << ','
         << estimator::to_string(result.backend) << ','
         << (result.ok ? 1 : 0) << ',' << result.predicted_time << ','
-        << result.analytic_predicted << ',' << result.relative_error << ','
+        << result.analytic_predicted << ',' << result.codegen_predicted << ','
+        << result.relative_error << ','
         << result.events << ',' << result.check_warnings << ','
         << result.generated_bytes << ',' << result.wall_seconds << ','
         << result.parse_seconds << ',' << result.check_seconds << ','
@@ -349,6 +381,7 @@ struct BatchRunner::CompiledEntry {
   std::unique_ptr<uml::Model> model;
   std::unique_ptr<estimator::PreparedModel> sim;
   std::unique_ptr<estimator::PreparedModel> analytic;
+  std::unique_ptr<estimator::PreparedModel> codegen;
 };
 
 std::vector<BatchRunner::CompiledEntry> BatchRunner::compile_models(
@@ -494,20 +527,56 @@ std::string BatchRunner::run_model_stages(
 
 namespace {
 
-/// Backend::prepare for the selected engine(s); either backend pointer
-/// may be null.  The model is lowered exactly once (lower::lower) and
-/// the shared lower::ModelProgram fans out to every selected backend —
-/// `--backend=both` pays one lowering, not two.  Returns a
-/// stage-prefixed error ("" on success) with the same stage names
-/// estimate failures use, so a model defect reports the same stage
-/// whether it surfaces at prepare or at evaluate, cached or isolated.
+/// Stable stage prefix of each engine, used by prepare and estimate
+/// failures alike so a model defect reports the same stage wherever it
+/// surfaces.
+const char* engine_stage(estimator::BackendKind kind) {
+  switch (kind) {
+    case estimator::BackendKind::Simulation:
+      return "simulate: ";
+    case estimator::BackendKind::Codegen:
+      return "cgen: ";
+    default:
+      return "analytic: ";
+  }
+}
+
+/// Backend::prepare for the selected engine(s); any backend pointer may
+/// be null.  The model is lowered exactly once (lower::lower) and the
+/// shared lower::ModelProgram fans out to every selected backend —
+/// cross-validating kinds pay one lowering, not one per engine.
+/// Returns a stage-prefixed error ("" on success) with the same stage
+/// names estimate failures use, so a model defect reports the same
+/// stage whether it surfaces at prepare or at evaluate, cached or
+/// isolated.
 std::string prepare_backends(
     const uml::Model& model, const estimator::Backend* sim_backend,
     const estimator::Backend* analytic_backend,
+    const estimator::Backend* codegen_backend,
     std::unique_ptr<estimator::PreparedModel>* sim,
     std::unique_ptr<estimator::PreparedModel>* analytic,
+    std::unique_ptr<estimator::PreparedModel>* codegen,
     guard::FaultPlan* fault_plan) {
-  if (sim_backend == nullptr && analytic_backend == nullptr) {
+  struct Engine {
+    const estimator::Backend* backend;
+    std::unique_ptr<estimator::PreparedModel>* prepared;
+    estimator::BackendKind kind;
+  };
+  // Reference-priority order (sim, codegen, analytic): lowering failures
+  // report under the first selected engine's stage name.
+  const Engine engines[] = {
+      {sim_backend, sim, estimator::BackendKind::Simulation},
+      {codegen_backend, codegen, estimator::BackendKind::Codegen},
+      {analytic_backend, analytic, estimator::BackendKind::Analytic},
+  };
+  const char* first_stage = nullptr;
+  for (const Engine& engine : engines) {
+    if (engine.backend != nullptr) {
+      first_stage = engine_stage(engine.kind);
+      break;
+    }
+  }
+  if (first_stage == nullptr) {
     return "";
   }
   lower::ModelProgramPtr program;
@@ -517,31 +586,23 @@ std::string prepare_backends(
     }
     program = lower::lower(model);
   } catch (const std::exception& error) {
-    // Lowering failures report under the first selected engine's stage
-    // name (matching the per-backend prepare order this replaced).
-    const char* stage = sim_backend != nullptr ? "simulate: " : "analytic: ";
-    return std::string(stage) + error.what();
+    return std::string(first_stage) + error.what();
   }
-  if (sim_backend != nullptr) {
-    try {
-      if (fault_plan != nullptr) {
-        fault_plan->visit("prepare");
-      }
-      *sim = sim_backend->prepare(program);
-    } catch (const std::exception& error) {
-      return std::string("simulate: ") + error.what();
+  // One "prepare" fault visit per compile chain, however many engines
+  // ride it.
+  bool visited_prepare = false;
+  for (const Engine& engine : engines) {
+    if (engine.backend == nullptr) {
+      continue;
     }
-  }
-  if (analytic_backend != nullptr) {
     try {
-      // One "prepare" visit per compile chain: when the sim backend
-      // already visited, the analytic prepare rides the same chain.
-      if (fault_plan != nullptr && sim_backend == nullptr) {
+      if (fault_plan != nullptr && !visited_prepare) {
+        visited_prepare = true;
         fault_plan->visit("prepare");
       }
-      *analytic = analytic_backend->prepare(program);
+      *engine.prepared = engine.backend->prepare(program);
     } catch (const std::exception& error) {
-      return std::string("analytic: ") + error.what();
+      return std::string(engine_stage(engine.kind)) + error.what();
     }
   }
   return "";
@@ -556,69 +617,98 @@ std::string limit_name(const guard::GuardError& error) {
 }
 
 /// Stage 4, shared by both modes: run the selected backend(s) and fill
-/// the prediction fields.  Returns a stage-prefixed error ("" on
-/// success).  `metrics` (nullable) receives the engines' activity
-/// counters; `sim_trace` (nullable) receives the simulated timeline.
-/// Neither feeds back into the prediction.
+/// the prediction fields.  The reference engine (BackendSet::reference)
+/// runs first and fills `predicted_time`; every other selected engine is
+/// a candidate filling its own field plus the worst-case
+/// `relative_error`.  Returns a stage-prefixed error ("" on success).
+/// `metrics` (nullable) receives the engines' activity counters;
+/// `sim_trace` (nullable) receives the simulated timeline.  Neither
+/// feeds back into the prediction.
 std::string estimate_stage(const estimator::PreparedModel* sim,
                            const estimator::PreparedModel* analytic,
+                           const estimator::PreparedModel* codegen,
                            estimator::BackendKind kind,
                            const machine::SystemParameters& params,
                            obs::Registry* metrics, trace::Trace* sim_trace,
                            guard::Budget* budget, guard::FaultPlan* fault_plan,
                            ScenarioResult* result) {
+  const estimator::BackendKind reference =
+      estimator::backends_of(kind).reference();
   estimator::EstimationOptions estimation;
-  estimation.collect_trace = sim != nullptr && sim_trace != nullptr;
+  estimation.collect_trace = false;
   estimation.collect_machine_report = false;
   estimation.metrics = metrics;
   estimation.budget = budget;
+
+  struct Engine {
+    const estimator::PreparedModel* prepared;
+    estimator::BackendKind kind;
+    double* candidate;  // engine-specific prediction field (null for sim)
+  };
+  // Reference first: candidates compare against its prediction.
+  Engine engines[3];
+  std::size_t count = 0;
+  const auto add = [&](const estimator::PreparedModel* prepared,
+                       estimator::BackendKind engine_kind,
+                       double* candidate) {
+    if (prepared == nullptr) {
+      return;
+    }
+    engines[count++] = Engine{prepared, engine_kind, candidate};
+    if (engine_kind == reference && count > 1) {
+      std::swap(engines[0], engines[count - 1]);
+    }
+  };
+  add(sim, estimator::BackendKind::Simulation, nullptr);
+  add(analytic, estimator::BackendKind::Analytic,
+      &result->analytic_predicted);
+  add(codegen, estimator::BackendKind::Codegen, &result->codegen_predicted);
+  if (count == 0) {
+    return "";
+  }
+
   if (fault_plan != nullptr) {
     try {
       fault_plan->visit("estimate");
     } catch (const std::exception& error) {
-      const char* stage = sim != nullptr ? "simulate: " : "analytic: ";
-      return std::string(stage) + error.what();
+      return std::string(engine_stage(engines[0].kind)) + error.what();
     }
   }
-  if (sim != nullptr) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Engine& engine = engines[i];
+    const char* stage = engine_stage(engine.kind);
     try {
-      estimator::PredictionReport report = sim->estimate(params, estimation);
-      result->predicted_time = report.predicted_time;
-      result->events = report.events;
-      result->processes = report.processes;
-      if (sim_trace != nullptr) {
-        *sim_trace = std::move(report.trace);
+      estimator::EstimationOptions options = estimation;
+      options.collect_trace = engine.kind ==
+                                  estimator::BackendKind::Simulation &&
+                              sim_trace != nullptr;
+      estimator::PredictionReport report =
+          engine.prepared->estimate(params, options);
+      if (engine.candidate != nullptr) {
+        *engine.candidate = report.predicted_time;
       }
-    } catch (const guard::GuardError& error) {
-      result->tripped_limit = limit_name(error);
-      return std::string("simulate: ") + error.what();
-    } catch (const std::exception& error) {
-      return std::string("simulate: ") + error.what();
-    }
-  }
-  if (analytic != nullptr) {
-    try {
-      const estimator::PredictionReport report =
-          analytic->estimate(params, estimation);
-      result->analytic_predicted = report.predicted_time;
-      result->processes = report.processes;
-      if (kind == estimator::BackendKind::Analytic) {
+      if (engine.kind == reference) {
         result->predicted_time = report.predicted_time;
+        result->processes = report.processes;
+        if (engine.kind != estimator::BackendKind::Analytic) {
+          result->events = report.events;
+        }
+        if (options.collect_trace) {
+          *sim_trace = std::move(report.trace);
+        }
       } else if (result->predicted_time > 0) {
-        result->relative_error =
-            std::abs(result->analytic_predicted - result->predicted_time) /
-            result->predicted_time;
-      } else {
-        result->relative_error =
-            result->analytic_predicted > 0
-                ? std::numeric_limits<double>::infinity()
-                : 0;
+        result->relative_error = std::max(
+            result->relative_error,
+            std::abs(report.predicted_time - result->predicted_time) /
+                result->predicted_time);
+      } else if (report.predicted_time > 0) {
+        result->relative_error = std::numeric_limits<double>::infinity();
       }
     } catch (const guard::GuardError& error) {
       result->tripped_limit = limit_name(error);
-      return std::string("analytic: ") + error.what();
+      return std::string(stage) + error.what();
     } catch (const std::exception& error) {
-      return std::string("analytic: ") + error.what();
+      return std::string(stage) + error.what();
     }
   }
   return "";
@@ -660,16 +750,17 @@ void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
   if (!entry.error.empty()) {
     return;
   }
+  const estimator::BackendSet set = estimator::backends_of(options_.backend);
   const analytic::SimulationBackend sim_backend;
   const analytic::AnalyticBackend analytic_backend;
+  cgen::CodegenOptions cgen_options;
+  cgen_options.toolchain.fault_plan = options_.fault_plan;
+  const cgen::CodegenBackend codegen_backend(cgen_options);
   entry.error = prepare_backends(
-      *entry.model,
-      options_.backend != estimator::BackendKind::Analytic ? &sim_backend
-                                                           : nullptr,
-      options_.backend != estimator::BackendKind::Simulation
-          ? &analytic_backend
-          : nullptr,
-      &entry.sim, &entry.analytic, options_.fault_plan);
+      *entry.model, set.sim ? &sim_backend : nullptr,
+      set.analytic ? &analytic_backend : nullptr,
+      set.codegen ? &codegen_backend : nullptr, &entry.sim, &entry.analytic,
+      &entry.codegen, options_.fault_plan);
   if (!entry.error.empty()) {
     return;
   }
@@ -678,7 +769,8 @@ void BatchRunner::compile_one(std::size_t m, CompiledEntry* out) const {
 
 ScenarioResult BatchRunner::run_job(
     const BatchJob& job, const estimator::Backend* sim_backend,
-    const estimator::Backend* analytic_backend, obs::Registry* metrics,
+    const estimator::Backend* analytic_backend,
+    const estimator::Backend* codegen_backend, obs::Registry* metrics,
     trace::Trace* sim_trace, const guard::Budget* sweep) const {
   ScenarioResult result = result_for(job);
   result.backend = options_.backend;
@@ -727,18 +819,22 @@ ScenarioResult BatchRunner::run_job(
   const auto stage_start = std::chrono::steady_clock::now();
   std::unique_ptr<estimator::PreparedModel> sim;
   std::unique_ptr<estimator::PreparedModel> analytic;
-  error = prepare_backends(model, sim_backend, analytic_backend, &sim,
-                           &analytic, options_.fault_plan);
+  std::unique_ptr<estimator::PreparedModel> codegen;
+  error = prepare_backends(model, sim_backend, analytic_backend,
+                           codegen_backend, &sim, &analytic, &codegen,
+                           options_.fault_plan);
   if (error.empty()) {
     if (metrics != nullptr) {
       // Isolated mode lowers per job, so the lowering work is counted
       // per job too (cached mode counts it once per model instead).
-      const auto& prepared = sim != nullptr ? sim : analytic;
+      const auto& prepared =
+          sim != nullptr ? sim : analytic != nullptr ? analytic : codegen;
       fold_lowering(metrics, prepared->lowering()->stats());
+      fold_codegen(metrics, codegen.get());
     }
-    error = estimate_stage(sim.get(), analytic.get(), options_.backend,
-                           job.params, metrics, sim_trace, job_budget,
-                           options_.fault_plan, &result);
+    error = estimate_stage(sim.get(), analytic.get(), codegen.get(),
+                           options_.backend, job.params, metrics, sim_trace,
+                           job_budget, options_.fault_plan, &result);
   }
   result.estimate_seconds = seconds_since(stage_start);
   if (!error.empty()) {
@@ -787,8 +883,9 @@ ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
   }
 
   const std::string error = estimate_stage(
-      entry.sim.get(), entry.analytic.get(), options_.backend, job.params,
-      metrics, sim_trace, job_budget, options_.fault_plan, &result);
+      entry.sim.get(), entry.analytic.get(), entry.codegen.get(),
+      options_.backend, job.params, metrics, sim_trace, job_budget,
+      options_.fault_plan, &result);
   result.estimate_seconds = seconds_since(start);
   if (!error.empty()) {
     result.ok = false;
@@ -850,15 +947,18 @@ BatchReport BatchRunner::run() const {
                            collect_trace ? &report.trace : nullptr);
     report.prepare_seconds = seconds_since(start);
     if (collect_metrics) {
-      // Cached mode pays the lowering once per model; count it here
-      // rather than per job (isolated mode counts it inside run_job).
+      // Cached mode pays the lowering (and any codegen compile) once per
+      // model; count it here rather than per job (isolated mode counts
+      // it inside run_job).
       for (const auto& entry : cache) {
         if (!entry.ok) {
           continue;
         }
-        const auto& prepared =
-            entry.sim != nullptr ? entry.sim : entry.analytic;
+        const auto& prepared = entry.sim != nullptr        ? entry.sim
+                               : entry.analytic != nullptr ? entry.analytic
+                                                           : entry.codegen;
         fold_lowering(&report.metrics, prepared->lowering()->stats());
+        fold_codegen(&report.metrics, entry.codegen.get());
       }
     }
   }
@@ -867,8 +967,7 @@ BatchReport BatchRunner::run() const {
   // simulated timeline when tracing is on (one timeline per model keeps
   // the trace readable; every further job would repeat the same shape).
   std::vector<char> trace_job(jobs_.size(), 0);
-  if (collect_trace &&
-      options_.backend != estimator::BackendKind::Analytic) {
+  if (collect_trace && estimator::backends_of(options_.backend).sim) {
     std::vector<char> seen(models_.size(), 0);
     for (std::size_t index = 0; index < jobs_.size(); ++index) {
       const auto m = static_cast<std::size_t>(jobs_[index].model_index);
@@ -913,14 +1012,23 @@ BatchReport BatchRunner::run() const {
     // thread, not once per job.
     std::unique_ptr<estimator::Backend> sim_backend;
     std::unique_ptr<estimator::Backend> analytic_backend;
+    std::unique_ptr<estimator::Backend> codegen_backend;
     if (options_.isolate_jobs) {
-      if (options_.backend != estimator::BackendKind::Analytic) {
+      const estimator::BackendSet set =
+          estimator::backends_of(options_.backend);
+      if (set.sim) {
         sim_backend =
             analytic::make_backend(estimator::BackendKind::Simulation);
       }
-      if (options_.backend != estimator::BackendKind::Simulation) {
+      if (set.analytic) {
         analytic_backend =
             analytic::make_backend(estimator::BackendKind::Analytic);
+      }
+      if (set.codegen) {
+        cgen::CodegenOptions cgen_options;
+        cgen_options.toolchain.fault_plan = options_.fault_plan;
+        codegen_backend = std::make_unique<cgen::CodegenBackend>(
+            std::move(cgen_options));
       }
     }
     obs::Registry* metrics =
@@ -954,7 +1062,8 @@ BatchReport BatchRunner::run() const {
         report.results[index] =
             options_.isolate_jobs
                 ? run_job(job, sim_backend.get(), analytic_backend.get(),
-                          metrics, sim_trace_out, sweep)
+                          codegen_backend.get(), metrics, sim_trace_out,
+                          sweep)
                 : run_job_cached(
                       job, cache[static_cast<std::size_t>(job.model_index)],
                       metrics, sim_trace_out, sweep);
@@ -964,7 +1073,8 @@ BatchReport BatchRunner::run() const {
                               job.model_name);
       }
       const ScenarioResult& result = report.results[index];
-      if (result.ok && result.backend == estimator::BackendKind::Both) {
+      if (result.ok &&
+          estimator::backends_of(result.backend).cross_validates()) {
         const double rel = result.relative_error;
         std::uint64_t seen = worst_rel_bits.load(std::memory_order_relaxed);
         while (std::bit_cast<double>(seen) < rel &&

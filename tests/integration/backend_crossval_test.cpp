@@ -1,16 +1,22 @@
-// Backend cross-validation: the analytic estimator against the
-// discrete-event simulator on the deterministic built-in models, over the
-// parameter grids the paper's evaluation (Sec. 5) sweeps.  The acceptance
-// envelope is 15% relative error; the deterministic built-ins land far
-// inside it (the walk/replay reproduces the simulator's timeline, and the
+// Backend cross-validation, three ways: for every deterministic built-in
+// model, over the parameter grids the paper's evaluation (Sec. 5)
+// sweeps, one shared lowering feeds all three engines.  The analytic
+// estimator must land inside the 15% acceptance envelope against the
+// discrete-event simulator (the deterministic built-ins land far inside
+// it: the walk/replay reproduces the simulator's timeline, and the
 // node-bottleneck bound reproduces facility serialization exactly for
-// SPMD phases).
+// SPMD phases); the generated-code evaluator must reproduce the
+// simulator bit for bit — no envelope, equality of the underlying
+// 64-bit patterns.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <string>
 #include <vector>
 
-#include "prophet/analytic/analytic.hpp"
+#include "prophet/analytic/backend.hpp"
+#include "prophet/cgen/backend.hpp"
 #include "prophet/interp/interpreter.hpp"
 #include "prophet/models/registry.hpp"
 #include "prophet/pipeline/scenario.hpp"
@@ -35,17 +41,38 @@ void expect_cross_validated(const std::string& name,
                             const prophet::uml::Model& model,
                             const machine::SystemParameters& params,
                             double envelope = kEnvelope) {
-  const analytic::AnalyticEstimator analyzer(model);
-  const auto predicted = analyzer.evaluate(params).predicted_time;
-  prophet::interp::Interpreter interpreter(model);
+  const auto scenario = [&] {
+    return name + " np=" + std::to_string(params.processes) +
+           " nn=" + std::to_string(params.nodes) +
+           " ppn=" + std::to_string(params.processors_per_node);
+  };
+  const auto program = prophet::lower::lower(model);
   prophet::estimator::EstimationOptions no_trace;
   no_trace.collect_trace = false;
-  const prophet::estimator::SimulationManager manager(params, no_trace);
-  const auto reference = manager.run(interpreter).predicted_time;
-  EXPECT_LT(relative_error(predicted, reference), envelope)
-      << name << " np=" << params.processes << " nn=" << params.nodes
-      << " ppn=" << params.processors_per_node
-      << ": analytic " << predicted << " vs sim " << reference;
+  no_trace.collect_machine_report = false;
+
+  const auto reference = analytic::SimulationBackend()
+                             .prepare(program)
+                             ->estimate(params, no_trace);
+  const auto predicted = analytic::AnalyticBackend()
+                             .prepare(program)
+                             ->estimate(params, no_trace)
+                             .predicted_time;
+  EXPECT_LT(relative_error(predicted, reference.predicted_time), envelope)
+      << scenario() << ": analytic " << predicted << " vs sim "
+      << reference.predicted_time;
+
+  // Grid sweeps re-prepare per scenario; the content-addressed compile
+  // cache makes every repeat a dlopen of the already-built object.
+  const auto compiled = prophet::cgen::CodegenBackend()
+                            .prepare(program)
+                            ->estimate(params, no_trace);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(compiled.predicted_time),
+            std::bit_cast<std::uint64_t>(reference.predicted_time))
+      << scenario() << ": codegen " << compiled.predicted_time << " vs sim "
+      << reference.predicted_time;
+  EXPECT_EQ(compiled.events, reference.events) << scenario();
+  EXPECT_EQ(compiled.processes, reference.processes) << scenario();
 }
 
 machine::SystemParameters sp(int np, int nodes, int ppn) {
@@ -98,8 +125,9 @@ TEST(BackendCrossValidation, PingPongWithinEnvelope) {
 TEST(BackendCrossValidation, EveryRegisteredModelOverItsDefaultGrid) {
   // The registry contract: every built-in workload cross-validates over
   // its own default grid — the same sweep CI gates with
-  // `prophetc sweep @name --backend=both --max-rel-error`.  A new
-  // registry entry buys this coverage automatically.
+  // `prophetc sweep @name --backend=all --max-rel-error`.  A new
+  // registry entry buys this coverage automatically, three engines
+  // included.
   for (const auto& entry : prophet::models::Registry::builtin().entries()) {
     const auto model = entry.make();
     const auto grid = prophet::pipeline::ScenarioGrid::parse(

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "prophet/cgen/toolchain.hpp"
 #include "prophet/interp/interpreter.hpp"
 #include "prophet/prophet.hpp"
 #include "prophet/xmi/xmi.hpp"
@@ -108,18 +109,16 @@ TEST(Pipeline, GeneratedCodeCompilesAndMatchesInterpreter) {
     ASSERT_TRUE(out.is_open());
     out << cpp;
   }
-  const std::string command =
-      std::string("g++ -std=c++20 -O1 " PROPHET_EXTRA_CXX_FLAGS " -I") +
-      PROPHET_SOURCE_DIR +
-      "/include " + source + " " + PROPHET_BINARY_DIR +
-      "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
-      "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +
-      "/src/machine/libprophet_machine.a " + PROPHET_BINARY_DIR +
-      "/src/obs/libprophet_obs.a " + PROPHET_BINARY_DIR +
-      "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
-      "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
-      "/src/guard/libprophet_guard.a " + PROPHET_BINARY_DIR +
-      "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";
+  // The cgen module's command builder honors $CXX and
+  // $PROPHET_EXTRA_CXX_FLAGS here exactly as in the codegen backend.
+  prophet::cgen::CompileSpec spec;
+  spec.source_path = source;
+  spec.output_path = binary;
+  spec.include_dir = std::string(PROPHET_SOURCE_DIR) + "/include";
+  spec.archives = prophet::cgen::runtime_archives(PROPHET_BINARY_DIR);
+  spec.optimization = "-O1";
+  spec.extra_flags_fallback = PROPHET_EXTRA_CXX_FLAGS;
+  const std::string command = prophet::cgen::compile_command(spec);
   FILE* pipe = popen(command.c_str(), "r");
   ASSERT_NE(pipe, nullptr);
   std::string compiler_output;

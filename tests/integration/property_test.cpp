@@ -6,10 +6,16 @@
 // transformation).
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
+#include "prophet/analytic/backend.hpp"
+#include "prophet/cgen/backend.hpp"
+#include "prophet/cgen/toolchain.hpp"
 #include "prophet/interp/interpreter.hpp"
+#include "prophet/lower/lower.hpp"
 #include "prophet/prophet.hpp"
 #include "prophet/traverse/handlers.hpp"
 #include "prophet/xmi/xmi.hpp"
@@ -107,18 +113,16 @@ TEST_P(RandomModelDifferential, GeneratedCodeMatchesInterpreter) {
     ASSERT_TRUE(out.is_open());
     out << cpp;
   }
-  const std::string command =
-      std::string("g++ -std=c++20 -O1 " PROPHET_EXTRA_CXX_FLAGS " -I") +
-      PROPHET_SOURCE_DIR +
-      "/include " + source + " " + PROPHET_BINARY_DIR +
-      "/src/estimator/libprophet_estimator.a " + PROPHET_BINARY_DIR +
-      "/src/workload/libprophet_workload.a " + PROPHET_BINARY_DIR +
-      "/src/machine/libprophet_machine.a " + PROPHET_BINARY_DIR +
-      "/src/obs/libprophet_obs.a " + PROPHET_BINARY_DIR +
-      "/src/trace/libprophet_trace.a " + PROPHET_BINARY_DIR +
-      "/src/sim/libprophet_sim.a " + PROPHET_BINARY_DIR +
-      "/src/guard/libprophet_guard.a " + PROPHET_BINARY_DIR +
-      "/src/xml/libprophet_xml.a -o " + binary + " 2>&1";
+  // The cgen module's command builder honors $CXX and
+  // $PROPHET_EXTRA_CXX_FLAGS here exactly as in the codegen backend.
+  prophet::cgen::CompileSpec spec;
+  spec.source_path = source;
+  spec.output_path = binary;
+  spec.include_dir = std::string(PROPHET_SOURCE_DIR) + "/include";
+  spec.archives = prophet::cgen::runtime_archives(PROPHET_BINARY_DIR);
+  spec.optimization = "-O1";
+  spec.extra_flags_fallback = PROPHET_EXTRA_CXX_FLAGS;
+  const std::string command = prophet::cgen::compile_command(spec);
   FILE* pipe = popen(command.c_str(), "r");
   ASSERT_NE(pipe, nullptr);
   std::string output;
@@ -155,6 +159,62 @@ TEST_P(RandomModelDifferential, GeneratedCodeMatchesInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelDifferential,
                          ::testing::Values(7u, 42u, 1234u));
+
+/// In-process three-backend differential: every random structured model
+/// is lowered once and estimated through the simulator, the generated
+/// native evaluator and the analytic estimator.  Sim and codegen must
+/// agree to the bit; analytic stays inside the cross-validation
+/// envelope.  Failures log the seed for replay.
+class RandomModelThreeWay : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomModelThreeWay, BackendsAgreeFromOneLowering) {
+  const std::uint64_t seed = GetParam();
+  const auto model = prophet::models::random_model(seed, 24);
+  const auto program = prophet::lower::lower(model);
+  // The same parameter point the cross-validation suite pins the
+  // analytic envelope at for these seeds.
+  prophet::machine::SystemParameters params;
+  params.processes = 3;
+  params.nodes = 2;
+  prophet::estimator::EstimationOptions options;
+  options.collect_trace = false;
+  options.collect_machine_report = false;
+
+  const auto sim = prophet::analytic::SimulationBackend()
+                       .prepare(program)
+                       ->estimate(params, options);
+  const auto compiled = prophet::cgen::CodegenBackend()
+                            .prepare(program)
+                            ->estimate(params, options);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sim.predicted_time),
+            std::bit_cast<std::uint64_t>(compiled.predicted_time))
+      << "seed " << seed << ": sim " << sim.predicted_time << " vs codegen "
+      << compiled.predicted_time;
+  EXPECT_EQ(sim.events, compiled.events) << "seed " << seed;
+  EXPECT_EQ(sim.processes, compiled.processes) << "seed " << seed;
+  for (const auto& [pid, finish] : sim.per_process_finish) {
+    const auto at = compiled.per_process_finish.find(pid);
+    ASSERT_NE(at, compiled.per_process_finish.end())
+        << "seed " << seed << " pid " << pid;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(finish),
+              std::bit_cast<std::uint64_t>(at->second))
+        << "seed " << seed << " pid " << pid;
+  }
+
+  const auto analytic = prophet::analytic::AnalyticBackend()
+                            .prepare(program)
+                            ->estimate(params, options);
+  ASSERT_GT(sim.predicted_time, 0.0) << "seed " << seed;
+  EXPECT_LT(std::abs(analytic.predicted_time - sim.predicted_time) /
+                sim.predicted_time,
+            0.15)
+      << "seed " << seed << ": analytic " << analytic.predicted_time
+      << " vs sim " << sim.predicted_time;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelThreeWay,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
 
 /// Statistics handler sanity over random models.
 TEST(StatisticsHandler, CountsMatchModel) {

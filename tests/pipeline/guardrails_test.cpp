@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -222,6 +224,71 @@ TEST(BatchFaults, MidSimulationCancelFault) {
   ASSERT_EQ(report.results.size(), 1u);
   EXPECT_FALSE(report.results[0].ok);
   EXPECT_EQ(report.results[0].tripped_limit, "cancelled");
+}
+
+TEST(BatchGuards, CodegenRunawayTripsWallClockNotHang) {
+  // The guard contract crosses the C ABI: a runaway model evaluated by
+  // the generated native code must trip the per-job wall clock from
+  // inside its compiled loops — and the error carries the codegen
+  // stage prefix.
+  BatchOptions options;
+  options.threads = 1;
+  options.backend = BackendKind::Codegen;
+  options.job_timeout_seconds = 0.3;
+  BatchRunner runner(options);
+  const int spin = runner.add_model("spin", prophet::models::spin_model(1e12));
+  runner.add_sweep(spin, ScenarioGrid::parse("np=1", {}));
+
+  const BatchReport report = runner.run();
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_FALSE(report.results[0].ok);
+  EXPECT_EQ(report.results[0].tripped_limit, "wall_clock");
+  EXPECT_EQ(report.results[0].error.rfind("cgen: ", 0), 0u)
+      << report.results[0].error;
+  const auto stats = report.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+}
+
+TEST(BatchFaults, CgenCompileFaultFailsOneModelNotTheBatch) {
+  // A failing toolchain invocation is a per-model, stage-prefixed job
+  // error; later models still compile and evaluate.  A fresh cache
+  // directory guarantees the toolchain actually runs (cache hits skip
+  // the fault site by design).
+  const std::string cache =
+      ::testing::TempDir() + "/cgen-fault-batch-cache";
+  std::filesystem::remove_all(cache);
+  const char* saved = std::getenv("PROPHET_CGEN_CACHE");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("PROPHET_CGEN_CACHE", cache.c_str(), 1);
+
+  guard::FaultPlan plan = guard::FaultPlan::parse("cgen-compile@1");
+  BatchOptions options;
+  options.threads = 1;
+  options.backend = BackendKind::Codegen;
+  options.fault_plan = &plan;
+  BatchRunner runner(options);
+  const int sample =
+      runner.add_model("sample", prophet::models::sample_model());
+  const int kernel6 =
+      runner.add_model("kernel6", prophet::models::kernel6_model(8, 1, 1e-8));
+  runner.add_sweep(sample, ScenarioGrid::parse("np=1", {}));
+  runner.add_sweep(kernel6, ScenarioGrid::parse("np=1", {}));
+
+  const BatchReport report = runner.run();
+  if (saved != nullptr) {
+    ::setenv("PROPHET_CGEN_CACHE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("PROPHET_CGEN_CACHE");
+  }
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_FALSE(report.results[0].ok);
+  EXPECT_NE(report.results[0].error.find(
+                "cgen: injected fault at site 'cgen-compile'"),
+            std::string::npos)
+      << report.results[0].error;
+  EXPECT_TRUE(report.results[0].tripped_limit.empty());
+  EXPECT_TRUE(report.results[1].ok) << report.results[1].error;
+  EXPECT_GT(report.results[1].codegen_predicted, 0.0);
 }
 
 TEST(BatchGuards, HiddenSpinModelResolvesButIsUnlisted) {

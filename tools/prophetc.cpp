@@ -3,13 +3,13 @@
 //   prophetc check <model> [--mcf <mcf.xml>]
 //   prophetc generate <model> [-o out.cpp] [--main]
 //   prophetc estimate <model> [--sp <sp.xml>] [--np N] [--nodes N]
-//                     [--ppn N] [--nt N] [--backend sim|analytic|both]
+//                     [--ppn N] [--nt N] [--backend KIND]
 //                     [--trace out.tf] [--gantt] [--timings]
 //                     [--metrics out.json] [--trace-json out.json]
 //   prophetc outline <model>
 //   prophetc models [--names] [--grid @name]
 //   prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>]
-//                  [--backend sim|analytic|both] [--max-rel-error X]
+//                  [--backend KIND] [--max-rel-error X]
 //                  [--threads N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen] [--isolate]
 //                  [--metrics out.json] [--trace-json out.json] [--progress]
@@ -25,10 +25,15 @@
 // element of Fig. 2 from XML, the individual flags override it.  sweep
 // expands --grid cross-products like "np=1..8:*2 nodes=1,2" over every
 // input model; without --sp, a registry reference's grid expands over
-// the entry's default system parameters (estimate does the same).  --backend selects the estimation engine: the
-// discrete-event simulator (default), the closed-form analytic
-// estimator, or both — which runs the simulator as reference and reports
-// the analytic model's relative error (--max-rel-error fails a sweep
+// the entry's default system parameters (estimate does the same).
+// --backend selects the estimation engines: the discrete-event
+// simulator (default), the closed-form analytic estimator, the
+// compiled-code evaluator (codegen: prepare emits specialized C++ from
+// the shared lowering, builds it with the host toolchain and dlopen's
+// it), or any cross-validating combination — both (sim+analytic),
+// sim+codegen, analytic+codegen, all.  Cross-validating kinds run one
+// engine as reference (sim when selected, else codegen) and report
+// every other engine's relative error (--max-rel-error fails a sweep
 // whose worst error exceeds the bound).  Sweeps compile each model once
 // (parse, check, transform, prepare) and evaluate all its scenarios
 // against the cached result; --isolate restores the
@@ -76,6 +81,7 @@
 #include <vector>
 
 #include "prophet/analytic/backend.hpp"
+#include "prophet/cgen/backend.hpp"
 #include "prophet/estimator/backend.hpp"
 #include "prophet/guard/guard.hpp"
 #include "prophet/lower/lower.hpp"
@@ -103,13 +109,17 @@ int usage() {
       "  prophetc check <model> [--mcf <mcf.xml>]\n"
       "  prophetc generate <model> [-o out.cpp] [--main]\n"
       "  prophetc estimate <model> [--sp <sp.xml>] [--np N] "
-      "[--nodes N] [--ppn N] [--nt N] [--backend sim|analytic|both] "
+      "[--nodes N] [--ppn N] [--nt N] "
+      "[--backend sim|analytic|codegen|both|sim+codegen|analytic+codegen|"
+      "all] "
       "[--trace out.tf] [--gantt] [--timings] [--metrics out.json] "
       "[--trace-json out.json]\n"
       "  prophetc outline <model>\n"
       "  prophetc models [--names] [--grid @name]\n"
       "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
-      "[--backend sim|analytic|both] [--max-rel-error X] [--threads N] "
+      "[--backend sim|analytic|codegen|both|sim+codegen|analytic+codegen|"
+      "all] "
+      "[--max-rel-error X] [--threads N] "
       "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate] "
       "[--metrics out.json] [--trace-json out.json] [--progress] "
       "[--job-timeout S] [--deadline S] [--limit-sim-events N] "
@@ -411,7 +421,8 @@ int cmd_estimate(const prophet::Prophet& prophet,
       const auto kind = estimator::backend_from_string(*value);
       if (!kind) {
         return parse_error("--backend: unknown backend '" + *value +
-                           "' (expected sim, analytic or both)");
+                           "' (expected sim, analytic, codegen, both, "
+                           "sim+codegen, analytic+codegen or all)");
       }
       backend = *kind;
     } else if (args[i] == "--trace") {
@@ -441,12 +452,11 @@ int cmd_estimate(const prophet::Prophet& prophet,
     }
   }
 
-  if (backend == estimator::BackendKind::Analytic ||
-      backend == estimator::BackendKind::Both) {
-    if (!trace_path.empty() || gantt) {
-      return parse_error(
-          "--trace/--gantt need a simulation (use --backend sim)");
-    }
+  const estimator::BackendSet selected = estimator::backends_of(backend);
+  if (backend != estimator::BackendKind::Simulation &&
+      (!trace_path.empty() || gantt)) {
+    return parse_error(
+        "--trace/--gantt need a simulation (use --backend sim)");
   }
 
   // One registry backs --metrics and --timings (the printed numbers are
@@ -458,8 +468,7 @@ int cmd_estimate(const prophet::Prophet& prophet,
       (!metrics_path.empty() || timings) ? &registry : nullptr;
   prophet::obs::TraceLog* log =
       trace_json_path.empty() ? nullptr : &trace_log;
-  const bool want_sim_timeline =
-      log != nullptr && backend != estimator::BackendKind::Analytic;
+  const bool want_sim_timeline = log != nullptr && selected.sim;
   if (log != nullptr) {
     trace_log.name_process(0, "prophetc estimate (host)");
     trace_log.name_thread(0, 0, "main");
@@ -487,111 +496,111 @@ int cmd_estimate(const prophet::Prophet& prophet,
   };
 
   std::string timing_report;
-  if (backend == estimator::BackendKind::Analytic) {
-    // The prepare-once/evaluate-many path; with one evaluation it is
-    // equivalent to the one-shot Backend::estimate.
+
+  // The selected engines evaluate reference-first: the reference prints
+  // the full summary (and owns the event trace when it is the
+  // simulator), every other backend reports its relative error against
+  // it.  All consume one shared lowering — backends only differ in how
+  // they evaluate the lower::ModelProgram — so `--timings` reports one
+  // expression-compile cost and identical lowering counts per backend.
+  struct Engine {
+    estimator::BackendKind kind;
+    const char* name;
+  };
+  std::vector<Engine> engines;
+  const estimator::BackendKind reference = selected.reference();
+  const auto add = [&](bool on, estimator::BackendKind kind,
+                       const char* name) {
+    if (!on) {
+      return;
+    }
+    if (kind == reference) {
+      engines.insert(engines.begin(), Engine{kind, name});
+    } else {
+      engines.push_back(Engine{kind, name});
+    }
+  };
+  add(selected.sim, estimator::BackendKind::Simulation, "sim");
+  add(selected.codegen, estimator::BackendKind::Codegen, "codegen");
+  add(selected.analytic, estimator::BackendKind::Analytic, "analytic");
+
+  prophet::lower::ModelProgramPtr program;
+  {
+    const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
+                                                "lower " + model_name,
+                                                "host.lower");
+    program = prophet::lower::lower(prophet.model());
+  }
+  fold_lowering(registry, program->stats());
+
+  estimator::PredictionReport report;  // the reference engine's
+  std::string candidate_lines;
+  for (std::size_t index = 0; index < engines.size(); ++index) {
+    const Engine& engine = engines[index];
+    const bool is_reference = index == 0;
+    const auto factory = prophet::cgen::make_backend(engine.kind);
+    // Route through the Backend prepare()/estimate() split
+    // (bit-identical to the one-shot path per the PreparedModel
+    // contract) so the prepare cost — expression compilation, and for
+    // codegen the toolchain run — is measurable.
     const auto prepare_started = std::chrono::steady_clock::now();
     std::unique_ptr<estimator::PreparedModel> prepared;
     {
-      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
-                                                  "prepare analytic",
-                                                  "host.prepare");
-      prepared = prophet::analytic::AnalyticBackend().prepare(prophet.model());
+      const prophet::obs::TraceLog::HostSpan span(
+          log, 0, 0, std::string("prepare ") + engine.name, "host.prepare");
+      prepared = factory->prepare(program);
     }
-    registry.timer("host.analytic.prepare_seconds")
+    registry.timer("host." + std::string(engine.name) + ".prepare_seconds")
         .add_seconds(seconds_since(prepare_started));
-    fold_lowering(registry, prepared->lowering()->stats());
+    if (const auto* codegen =
+            dynamic_cast<const prophet::cgen::CodegenPrepared*>(
+                prepared.get())) {
+      registry.timer("codegen.prepare_seconds")
+          .add_seconds(codegen->prepare_seconds());
+      registry.counter("codegen.cache_hits")
+          .add(codegen->cache_hit() ? 1 : 0);
+    }
     estimator::EstimationOptions options;
     options.metrics = metrics;
+    options.collect_trace =
+        is_reference && engine.kind == estimator::BackendKind::Simulation &&
+        (!trace_path.empty() || gantt || want_sim_timeline);
+    options.collect_machine_report = is_reference;
     const auto estimate_started = std::chrono::steady_clock::now();
-    estimator::PredictionReport report;
+    estimator::PredictionReport engine_report;
     {
-      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
-                                                  "estimate analytic",
-                                                  "host.estimate");
-      report = prepared->estimate(params, options);
+      const prophet::obs::TraceLog::HostSpan span(
+          log, 0, 0, std::string("estimate ") + engine.name, "host.estimate");
+      engine_report = prepared->estimate(params, options);
     }
-    registry.timer("host.analytic.estimate_seconds")
+    registry.timer("host." + std::string(engine.name) + ".estimate_seconds")
         .add_seconds(seconds_since(estimate_started));
-    std::printf("%s", report.summary().c_str());
     if (timings) {
-      std::printf("-- timings --\n%s",
-                  timings_line(registry, "analytic").c_str());
+      timing_report += timings_line(registry, engine.name);
     }
-    return write_outputs() ? 0 : 1;
-  }
-
-  estimator::EstimationOptions options;
-  options.collect_trace = !trace_path.empty() || gantt || want_sim_timeline;
-  options.metrics = metrics;
-  // Route through the Backend prepare()/estimate() split (bit-identical
-  // to the one-shot path per the PreparedModel contract) so the prepare
-  // cost — expression compilation included — is measurable.
-  const auto prepare_started = std::chrono::steady_clock::now();
-  std::unique_ptr<estimator::PreparedModel> prepared;
-  {
-    const prophet::obs::TraceLog::HostSpan span(log, 0, 0, "prepare sim",
-                                                "host.prepare");
-    prepared = prophet::analytic::SimulationBackend().prepare(prophet.model());
-  }
-  registry.timer("host.sim.prepare_seconds")
-      .add_seconds(seconds_since(prepare_started));
-  fold_lowering(registry, prepared->lowering()->stats());
-  const auto estimate_started = std::chrono::steady_clock::now();
-  estimator::PredictionReport report;
-  {
-    const prophet::obs::TraceLog::HostSpan span(log, 0, 0, "estimate sim",
-                                                "host.estimate");
-    report = prepared->estimate(params, options);
-  }
-  registry.timer("host.sim.estimate_seconds")
-      .add_seconds(seconds_since(estimate_started));
-  if (timings) {
-    timing_report = timings_line(registry, "sim");
-  }
-  std::printf("%s", report.summary().c_str());
-  if (backend == estimator::BackendKind::Both) {
-    const auto analytic_prepare_started = std::chrono::steady_clock::now();
-    std::unique_ptr<estimator::PreparedModel> analytic_prepared;
-    {
-      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
-                                                  "prepare analytic",
-                                                  "host.prepare");
-      analytic_prepared =
-          prophet::analytic::AnalyticBackend().prepare(prophet.model());
+    if (is_reference) {
+      report = std::move(engine_report);
+      continue;
     }
-    registry.timer("host.analytic.prepare_seconds")
-        .add_seconds(seconds_since(analytic_prepare_started));
-    estimator::EstimationOptions analytic_options;
-    analytic_options.collect_trace = false;
-    analytic_options.collect_machine_report = false;
-    analytic_options.metrics = metrics;
-    const auto analytic_estimate_started = std::chrono::steady_clock::now();
-    estimator::PredictionReport analytic;
-    {
-      const prophet::obs::TraceLog::HostSpan span(log, 0, 0,
-                                                  "estimate analytic",
-                                                  "host.estimate");
-      analytic = analytic_prepared->estimate(params, analytic_options);
-    }
-    registry.timer("host.analytic.estimate_seconds")
-        .add_seconds(seconds_since(analytic_estimate_started));
-    if (timings) {
-      timing_report += timings_line(registry, "analytic");
-    }
-    // Same convention as the batch pipeline: a zero simulated time with a
-    // nonzero analytic prediction is total disagreement, not zero error.
+    // Same convention as the batch pipeline: a zero reference time with
+    // a nonzero candidate prediction is total disagreement, not zero
+    // error.
     double rel_error = 0;
     if (report.predicted_time > 0) {
       rel_error =
-          std::abs(analytic.predicted_time - report.predicted_time) /
+          std::abs(engine_report.predicted_time - report.predicted_time) /
           report.predicted_time;
-    } else if (analytic.predicted_time > 0) {
+    } else if (engine_report.predicted_time > 0) {
       rel_error = std::numeric_limits<double>::infinity();
     }
-    std::printf("analytic time:  %.12f s (relative error %.6f)\n",
-                analytic.predicted_time, rel_error);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s time:  %.12f s (relative error %.6f)\n", engine.name,
+                  engine_report.predicted_time, rel_error);
+    candidate_lines += line;
   }
+  std::printf("%s", report.summary().c_str());
+  std::printf("%s", candidate_lines.c_str());
   if (!timing_report.empty()) {
     std::printf("-- timings --\n%s", timing_report.c_str());
   }
@@ -729,7 +738,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       const auto kind = estimator::backend_from_string(*value);
       if (!kind) {
         return parse_error("--backend: unknown backend '" + *value +
-                           "' (expected sim, analytic or both)");
+                           "' (expected sim, analytic, codegen, both, "
+                           "sim+codegen, analytic+codegen or all)");
       }
       options.backend = *kind;
     } else if (args[i] == "--max-rel-error") {
@@ -808,8 +818,10 @@ int cmd_sweep(const std::vector<std::string>& args) {
     return parse_error("sweep: no input models");
   }
   if (max_rel_error.has_value() &&
-      options.backend != estimator::BackendKind::Both) {
-    return parse_error("--max-rel-error requires --backend both");
+      !estimator::backends_of(options.backend).cross_validates()) {
+    return parse_error(
+        "--max-rel-error requires a cross-validating --backend "
+        "(both, sim+codegen, analytic+codegen or all)");
   }
   options.collect_metrics = !metrics_path.empty();
   options.collect_trace = !trace_json_path.empty();
@@ -897,8 +909,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   const auto stats = report.stats();
   if (max_rel_error.has_value() && stats.max_rel_error > *max_rel_error) {
     std::fprintf(stderr,
-                 "prophetc sweep: analytic relative error %.6f exceeds "
-                 "--max-rel-error %.6f\n",
+                 "prophetc sweep: cross-validation relative error %.6f "
+                 "exceeds --max-rel-error %.6f\n",
                  stats.max_rel_error, *max_rel_error);
     return 1;
   }
