@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -126,6 +127,30 @@ class AnalyticEstimator {
   [[nodiscard]] AnalyticReport evaluate(const machine::SystemParameters& params,
                                         obs::AnalyticCounters* counters,
                                         guard::Budget* budget) const;
+
+  /// Evaluates the model under every parameter set in `params` at once,
+  /// returning one report per entry, in order.  Each report is
+  /// bit-identical to what the scalar evaluate(params[i], counters,
+  /// budget) loop would produce.
+  ///
+  /// When the model's walk is parameter-structure-independent (the SPMD
+  /// fast path: uniform control flow across lanes, no pid/tid reads, no
+  /// fragments, no fork/parallel-region/probabilistic constructs), one
+  /// *batched* walk serves every lane — cost expressions evaluate
+  /// through the vectorized expr VM (Compiled::eval_batch) with one
+  /// value per lane — and only the cheap replay/bound assembly runs per
+  /// lane.  Anything else (lane-divergent guards or trip counts,
+  /// unsupported constructs, any evaluation error) falls back to the
+  /// scalar loop, adding the abandoned lane count to `*lanes_fallback`
+  /// when non-null.  Errors then propagate from the scalar path with
+  /// their exact per-lane messages.  Counter totals may differ between
+  /// the batched and scalar paths (batched dispatch counts instructions
+  /// once per lane group); predictions never do.
+  [[nodiscard]] std::vector<AnalyticReport> evaluate_batch(
+      std::span<const machine::SystemParameters> params,
+      obs::AnalyticCounters* counters = nullptr,
+      guard::Budget* budget = nullptr,
+      std::size_t* lanes_fallback = nullptr) const;
 
   /// The shared lowering this estimator evaluates (never null).
   [[nodiscard]] lower::ModelProgramPtr lowering() const;

@@ -18,7 +18,9 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "prophet/estimator/estimator.hpp"
 #include "prophet/lower/lower.hpp"
@@ -128,6 +130,20 @@ class PreparedModel {
   [[nodiscard]] virtual PredictionReport estimate(
       const machine::SystemParameters& params,
       const EstimationOptions& options = {}) const = 0;
+
+  /// Evaluates the prepared model under every parameter set in `params`
+  /// at once, returning one report per entry, in order.  Each report is
+  /// bit-identical to the one the scalar estimate(params[i], options)
+  /// loop would produce — batching is an execution strategy, never a
+  /// semantic change.  The default implementation IS that scalar loop,
+  /// so every backend is conformant by construction; backends with a
+  /// vectorized evaluation path (the analytic estimator) override it.
+  /// Throws on the first unevaluable scenario — callers needing per-lane
+  /// error attribution (the sweep pipeline) catch and re-run each lane
+  /// through estimate().
+  [[nodiscard]] virtual std::vector<PredictionReport> estimate_batch(
+      std::span<const machine::SystemParameters> params,
+      const EstimationOptions& options = {}) const;
 
   /// The shared lowering this handle consumes (never null).  Two
   /// handles prepared from the same lower::ModelProgramPtr return the

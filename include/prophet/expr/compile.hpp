@@ -80,6 +80,32 @@ class UserFunctions {
                                     std::span<const double> args) const = 0;
 };
 
+/// User-defined cost functions callable from batched programs
+/// (Compiled::eval_batch).  Hosts that feed batched evaluation implement
+/// both entry points: `call_batch` evaluates one function across all
+/// lanes at once (the fast path), `call_lane` evaluates it for a single
+/// lane with scalar semantics (used by the VM's lane-by-lane fallback,
+/// which must reproduce Compiled::eval bit-for-bit, including error
+/// ordering).
+class BatchUserFunctions {
+ public:
+  virtual ~BatchUserFunctions() = default;
+
+  /// Invokes function `id` across `width` lanes.  `args[i]` points at
+  /// argument i's lane array (`width` contiguous doubles); results go to
+  /// `out[0..width)`.  `out` never aliases the argument arrays.  May
+  /// throw; the VM catches and re-runs lane-by-lane so the surfaced
+  /// error matches the scalar loop's (lowest erroring lane wins).
+  virtual void call_batch(int id, std::span<const double* const> args,
+                          double* out, std::size_t width) const = 0;
+
+  /// Invokes function `id` for one lane with scalar arguments.  Must be
+  /// bit-identical to what UserFunctions::call would produce for that
+  /// lane's bindings (same value or same exception).
+  [[nodiscard]] virtual double call_lane(int id, std::span<const double> args,
+                                         std::size_t lane) const = 0;
+};
+
 /// Compile-time name resolution: maps identifiers to slots, per-call
 /// ambients, constants, positional parameters and user-function ids.
 ///
@@ -244,6 +270,34 @@ struct EvalContext {
   guard::Budget* budget = nullptr;
 };
 
+/// Everything one *batched* evaluation needs: the structure-of-arrays
+/// frame (each bound slot points at `width` contiguous per-lane values),
+/// lane-array positional arguments, the batched user-function table and
+/// the lane-uniform ambients.
+///
+/// The contract mirrors EvalContext lane-wise: `eval_batch(ctx, out)`
+/// leaves `out[l]` bit-identical to what `eval` would return for lane
+/// l's view (frame pointers offset by l, `args[i][l]`, same ambients).
+/// When any lane raises, the exception thrown is the one the scalar
+/// loop would surface: the lowest erroring lane's, with its exact
+/// message.  Counter and budget accounting is batched (instructions
+/// count once per batched dispatch, `evals` advances by `width`);
+/// counted values never feed back into evaluation.
+struct BatchEvalContext {
+  /// slot -> lane array (`width` contiguous doubles), or null when the
+  /// slot is unbound in every lane.  Lanes of one slot may not be bound
+  /// selectively — bindings are frame-uniform, values are per-lane.
+  std::span<double* const> frame = {};
+  std::size_t width = 1;                   ///< number of scenario lanes
+  std::span<const double* const> args = {};  ///< arg -> lane array
+  const BatchUserFunctions* functions = nullptr;
+  double pid = 0;                          ///< lane-uniform ambient
+  double tid = 0;                          ///< lane-uniform ambient
+  double uid = 0;                          ///< lane-uniform ambient
+  obs::ExprCounters* counters = nullptr;   ///< optional VM counters
+  guard::Budget* budget = nullptr;         ///< optional execution budget
+};
+
 /// A compiled expression: flat postfix bytecode plus the static metadata
 /// hosts use to skip work (constant programs, referenced slots, pid/tid
 /// dependence).  Immutable after compile(); evaluation is const and
@@ -254,6 +308,20 @@ class Compiled {
   /// errors (unknown variable/function, built-in arity mismatch) or
   /// whatever a user function throws.
   [[nodiscard]] double eval(const EvalContext& ctx) const;
+
+  /// Runs the program across `ctx.width` scenario lanes at once, writing
+  /// one result per lane to `out[0..width)`.  Bit-identical to a scalar
+  /// eval() loop over the per-lane views (see BatchEvalContext).
+  ///
+  /// Branchless programs execute instruction-at-a-time across all lanes
+  /// — arithmetic and compare opcodes through runtime-dispatched SIMD
+  /// kernels (AVX2 when the CPU has it, a generic loop otherwise; both
+  /// IEEE-exact), libm built-ins and fmod lane-by-lane through the same
+  /// std:: calls the scalar VM makes.  Programs with jumps (short
+  /// circuits, conditionals — lane-divergent control) fall back to
+  /// lane-by-lane scalar evaluation, as does any lane-raised error, so
+  /// error lane order and messages always match the scalar loop.
+  void eval_batch(const BatchEvalContext& ctx, double* out) const;
 
   /// The folded constant value when the whole program reduced to one —
   /// hosts can skip the VM dispatch entirely.
@@ -273,6 +341,17 @@ class Compiled {
   /// as an unbound-slot fallback) — the static analogue of the analytic
   /// walker's "pid queried" tracking.
   [[nodiscard]] bool may_read_pid_tid() const { return uses_pid_tid_; }
+
+  /// True when the program contains no jump instructions (no
+  /// short-circuit or conditional control flow) — the precondition for
+  /// eval_batch's instruction-stepped fast path.  Computed at compile
+  /// time.
+  [[nodiscard]] bool branchless() const { return branchless_; }
+
+  /// True when the program contains CallUser instructions — batched
+  /// evaluation then needs a BatchUserFunctions table.  Computed at
+  /// compile time.
+  [[nodiscard]] bool calls_user_functions() const { return calls_user_; }
 
   /// Instruction count (post folding).
   [[nodiscard]] std::size_t size() const { return code_.size(); }
@@ -300,6 +379,10 @@ class Compiled {
   std::vector<Slot> slots_;           // referenced slots, sorted
   std::size_t max_stack_ = 0;
   bool uses_pid_tid_ = false;
+  bool branchless_ = true;   // no Jump/JumpIfFalse/JumpIfTrue emitted
+  bool calls_user_ = false;  // contains CallUser
+
+  void eval_batch_lanes(const BatchEvalContext& ctx, double* out) const;
 };
 
 /// Lowers `expr` to bytecode under `table`.  Never throws for resolution
@@ -340,6 +423,71 @@ class SlotFrame {
  private:
   std::vector<double> values_;
   std::vector<double*> pointers_;
+};
+
+/// Owning structure-of-arrays frame for batched evaluation: `width`
+/// scenario lanes of storage per slot, laid out slot-major
+/// (`values[slot * width + lane]`) so each slot's lanes are the
+/// contiguous array BatchEvalContext::frame expects — and so lane l's
+/// scalar view is simply every lane array offset by l.
+///
+/// The batched analogue of SlotFrame: every slot bound to owned
+/// zero-initialized storage by default, rebindable to external lane
+/// arrays or unbindable per slot (bindings are frame-uniform across
+/// lanes, values are per-lane).
+class SlotBlock {
+ public:
+  /// Builds a `width`-lane frame covering every slot of `table`.
+  SlotBlock(const SymbolTable& table, std::size_t width)
+      : SlotBlock(table.slot_count(), width) {}
+
+  /// Builds a `width`-lane frame with `slot_count` slots.
+  SlotBlock(std::size_t slot_count, std::size_t width)
+      : width_(width),
+        values_(slot_count * width, 0.0),
+        pointers_(slot_count) {
+    for (std::size_t slot = 0; slot < slot_count; ++slot) {
+      pointers_[slot] = values_.data() + slot * width_;
+    }
+  }
+
+  /// Number of scenario lanes.
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Number of slots.
+  [[nodiscard]] std::size_t slot_count() const { return pointers_.size(); }
+
+  /// Writes lane `lane` of `slot`'s owned storage.
+  void set(Slot slot, std::size_t lane, double value) {
+    values_[slot * width_ + lane] = value;
+  }
+
+  /// Reads lane `lane` of `slot`'s current binding (must be bound).
+  [[nodiscard]] double get(Slot slot, std::size_t lane) const {
+    return pointers_[slot][lane];
+  }
+
+  /// The owned lane array of `slot` (`width` doubles), regardless of the
+  /// current binding.
+  [[nodiscard]] double* lanes(Slot slot) {
+    return values_.data() + slot * width_;
+  }
+
+  /// Rebinds `slot` to an external lane array of `width` doubles (null
+  /// unbinds: loads fall back to the slot's ambient or raise "unknown
+  /// variable", like SlotFrame).
+  void bind(Slot slot, double* lane_array) { pointers_[slot] = lane_array; }
+
+  /// Unbinds `slot` (see bind()).
+  void unbind(Slot slot) { pointers_[slot] = nullptr; }
+
+  /// The pointer view BatchEvalContext::frame expects.
+  [[nodiscard]] std::span<double* const> frame() const { return pointers_; }
+
+ private:
+  std::size_t width_;
+  std::vector<double> values_;     // slot-major: [slot * width + lane]
+  std::vector<double*> pointers_;  // slot -> lane array (or external/null)
 };
 
 }  // namespace prophet::expr

@@ -45,6 +45,10 @@ struct ExprCounters {
   std::uint64_t instructions = 0;  ///< bytecode instructions dispatched
   std::uint64_t evals = 0;         ///< eval() calls completed or thrown
   std::uint64_t lazy_errors = 0;   ///< compile-time-deferred errors thrown
+  /// eval_batch fast-path executions (each one advances `evals` by its
+  /// lane width but `instructions` once per batched dispatch) — CI
+  /// asserts this is nonzero when a sweep claims to have vectorized.
+  std::uint64_t batch_evals = 0;
 };
 
 /// Counted by the workload elements and the simulation manager.

@@ -225,6 +225,17 @@ struct BatchOptions {
   /// workloads that want per-job fault containment of the pipeline
   /// stages themselves).  Predictions are bit-identical either way.
   bool isolate_jobs = false;
+  /// Lane width for batched estimation (cached runs): consecutive
+  /// same-model jobs are grouped into chunks of up to this many lanes
+  /// and evaluated through one PreparedModel::estimate_batch call — one
+  /// batched analytic walk instead of N scalar ones.  0 picks the
+  /// default width (8); 1 disables batching.  Batching engages only on
+  /// the unlimited fast path (cached mode, no per-job limits or timeout,
+  /// no fault plan); a chunk that fails or is cancelled falls back to
+  /// per-job evaluation (counted in `batch.lanes_fallback`), so per-job
+  /// error isolation, budgets and tripped_limit reporting are unchanged.
+  /// Predictions are bit-identical at any lane width.
+  int batch_lanes = 0;
   /// Collect engine counters (expr.*, sim.*, analytic.*, lower.*) into
   /// BatchReport::metrics.  Each worker counts into its own registry and
   /// the registries are merged after the pool joins, so the hot path
@@ -340,6 +351,16 @@ class BatchRunner {
   [[nodiscard]] ScenarioResult run_job_cached(
       const BatchJob& job, const CompiledEntry& entry, obs::Registry* metrics,
       trace::Trace* sim_trace, const guard::Budget* sweep) const;
+
+  /// Cached-mode lane chunk: `count` consecutive same-model jobs
+  /// (`jobs[0..count)`) evaluated through one
+  /// PreparedModel::estimate_batch call, writing `results[0..count)`.
+  /// Any failure abandons the chunk and re-runs every lane through
+  /// run_job_cached for exact per-job error attribution.
+  void run_chunk_cached(const BatchJob* jobs, std::size_t count,
+                        const CompiledEntry& entry, obs::Registry* metrics,
+                        const guard::Budget* sweep,
+                        ScenarioResult* results) const;
 
   /// Compiles every model referenced by at least one job (parse -> check
   /// -> transform -> prepare) on up to `threads` workers; per-model

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "prophet/xml/intern.hpp"
+
 namespace prophet::xml {
 
 class Element;
@@ -106,8 +108,12 @@ class CDataNode final : public Node {
 };
 
 /// A single name="value" attribute. Order within an element is preserved.
+/// The name is a view into the process-wide intern pool (attribute
+/// vocabularies are tiny and endlessly repeated across elements), so an
+/// element's attributes own only their values.  Equality compares
+/// content, not pool identity.
 struct Attribute {
-  std::string name;
+  std::string_view name;  ///< interned — valid for the process lifetime
   std::string value;
 
   friend bool operator==(const Attribute&, const Attribute&) = default;
@@ -116,11 +122,14 @@ struct Attribute {
 /// An XML element: name, ordered attributes, ordered children.
 class Element final : public Node {
  public:
-  explicit Element(std::string name)
-      : Node(NodeKind::Element), name_(std::move(name)) {}
+  /// The tag name is interned: constructing many elements with the same
+  /// name stores it once, process-wide, and repeated constructions
+  /// allocate nothing for the name.
+  explicit Element(std::string_view name)
+      : Node(NodeKind::Element), name_(&intern(name)) {}
 
-  [[nodiscard]] const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return *name_; }
+  void set_name(std::string_view name) { name_ = &intern(name); }
 
   // --- Attributes -------------------------------------------------------
 
@@ -155,7 +164,7 @@ class Element final : public Node {
   Node& add_child(std::unique_ptr<Node> child);
 
   /// Creates, appends, and returns a new child element.
-  Element& add_element(std::string name);
+  Element& add_element(std::string_view name);
 
   /// Appends a text child.
   TextNode& add_text(std::string text);
@@ -193,7 +202,7 @@ class Element final : public Node {
   [[nodiscard]] std::unique_ptr<Node> clone() const override;
 
  private:
-  std::string name_;
+  const std::string* name_;  ///< interned — never null
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Node>> children_;
 };
@@ -205,7 +214,7 @@ class Document {
   explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
 
   /// Creates a document with a fresh root element of the given name.
-  static Document with_root(std::string root_name);
+  static Document with_root(std::string_view root_name);
 
   [[nodiscard]] bool has_root() const { return root_ != nullptr; }
   [[nodiscard]] const Element& root() const { return *root_; }

@@ -1,0 +1,34 @@
+// Process-wide string interning for the XML substrate.
+//
+// XML documents repeat a tiny vocabulary endlessly: tag names and
+// attribute names recur once per element across models that reach tens
+// of thousands of elements (an XMI export uses the same handful of
+// qualified names — "prophet:model", "taggedValue", "stereotype" — on
+// every row).  Storing each occurrence as its own std::string made the
+// DOM's memory footprint proportional to the *document*, not the
+// *vocabulary*, and made every Element construction pay an allocation
+// for names past the small-string optimisation.
+//
+// intern() maps any string to its single canonical std::string with
+// process lifetime.  The pool is append-only and deliberately leaked:
+// callers hold plain references/views into it, so no destruction order
+// may ever invalidate them.  Lookup takes a shared lock (the common
+// case — a parse after the first touches only existing entries);
+// inserting a new spelling takes the exclusive lock once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace prophet::xml {
+
+/// Returns the canonical std::string equal to `text`.  The reference is
+/// valid for the remainder of the process; equal inputs return the same
+/// object, so interned strings can be compared by address.  Thread-safe.
+[[nodiscard]] const std::string& intern(std::string_view text);
+
+/// Number of distinct strings currently interned (diagnostics/tests).
+[[nodiscard]] std::size_t intern_count();
+
+}  // namespace prophet::xml

@@ -157,12 +157,108 @@ struct AnalyticEstimator::Impl {
     }
   };
 
+  /// Mutable state of one evaluate_batch() call: the lane-structured
+  /// analogue of EvalState.  Slot storage is slot-major (one lane array
+  /// of `width` doubles per slot), so the run frame is exactly what
+  /// expr::BatchEvalContext expects — and lane l's scalar view is every
+  /// bound pointer offset by l.
+  struct BatchState {
+    std::span<const machine::SystemParameters> lanes;
+    std::size_t width = 0;
+    // Structural parameters as lane arrays (np/nt/nn/ppn per scenario).
+    std::vector<double> np_lanes, nt_lanes, nn_lanes, ppn_lanes;
+    std::vector<double> global_values;  // [slot * width + lane]
+    std::vector<double*> run_frame;     // slot -> lane array
+    std::uint64_t elements = 0;  // model elements walked (lane-uniform)
+    int call_depth = 0;
+    obs::AnalyticCounters* counters = nullptr;
+    guard::Budget* budget = nullptr;
+  };
+
+  /// expr::BatchUserFunctions adapter: cost-function bodies evaluate
+  /// against the batch run frame, batched when the vectorized VM can
+  /// (call_batch) and against a single lane's scalar view when it falls
+  /// back (call_lane).  Same recursion guard as FunctionCaller.
+  struct BatchFunctionCaller final : expr::BatchUserFunctions {
+    const Impl* impl = nullptr;
+    BatchState* st = nullptr;
+
+    void call_batch(int id, std::span<const double* const> args, double* out,
+                    std::size_t width) const override {
+      if (st->call_depth > 64) {
+        throw AnalyticError("cost-function call depth exceeded (cycle?)");
+      }
+      ++st->call_depth;
+      expr::BatchEvalContext ctx;
+      ctx.frame = st->run_frame;
+      ctx.width = width;
+      ctx.args = args;
+      ctx.functions = this;
+      ctx.counters = st->counters != nullptr ? &st->counters->expr : nullptr;
+      ctx.budget = st->budget;
+      impl->program->functions()[static_cast<std::size_t>(id)].eval_batch(
+          ctx, out);
+      --st->call_depth;
+    }
+
+    [[nodiscard]] double call_lane(int id, std::span<const double> args,
+                                   std::size_t lane) const override {
+      if (st->call_depth > 64) {
+        throw AnalyticError("cost-function call depth exceeded (cycle?)");
+      }
+      ++st->call_depth;
+      // Lane view of the batch run frame: every bound slot offset by
+      // `lane`, so the scalar VM sees exactly that lane's bindings.
+      std::vector<double*> frame(st->run_frame.size());
+      for (std::size_t slot = 0; slot < frame.size(); ++slot) {
+        frame[slot] = st->run_frame[slot] != nullptr
+                          ? st->run_frame[slot] + lane
+                          : nullptr;
+      }
+      struct LaneFunctions final : expr::UserFunctions {
+        const BatchFunctionCaller* parent;
+        std::size_t lane;
+        LaneFunctions(const BatchFunctionCaller* parent_in,
+                      std::size_t lane_in)
+            : parent(parent_in), lane(lane_in) {}
+        [[nodiscard]] double call(
+            int inner_id, std::span<const double> inner_args) const override {
+          return parent->call_lane(inner_id, inner_args, lane);
+        }
+      };
+      const LaneFunctions lane_functions(this, lane);
+      expr::EvalContext ctx;
+      ctx.frame = frame;
+      ctx.args = args;
+      ctx.functions = &lane_functions;
+      ctx.counters = st->counters != nullptr ? &st->counters->expr : nullptr;
+      ctx.budget = st->budget;
+      const double result =
+          impl->program->functions()[static_cast<std::size_t>(id)].eval(ctx);
+      --st->call_depth;
+      return result;
+    }
+  };
+
   explicit Impl(lower::ModelProgramPtr p)
       : program(std::move(p)), model(&program->model()) {}
 
   AnalyticReport evaluate(const machine::SystemParameters& params,
                           obs::AnalyticCounters* counters,
                           guard::Budget* budget) const;
+
+  std::vector<AnalyticReport> evaluate_batch(
+      std::span<const machine::SystemParameters> lanes,
+      obs::AnalyticCounters* counters, guard::Budget* budget,
+      std::size_t* lanes_fallback) const;
+
+  /// The all-lanes-at-once attempt: one batched SPMD walk, per-lane
+  /// replay/bounds.  Throws BatchDivergence (or any evaluation error)
+  /// when the batch cannot proceed; evaluate_batch catches and falls
+  /// back to the scalar loop.
+  std::vector<AnalyticReport> evaluate_batch_fast(
+      std::span<const machine::SystemParameters> lanes,
+      obs::AnalyticCounters* counters, guard::Budget* budget) const;
 };
 
 
@@ -860,27 +956,100 @@ struct ReplayOutcome {
   std::uint64_t events = 0;         // events consumed across all cursors
 };
 
-ReplayOutcome replay(const machine::SystemParameters& params,
-                     const std::vector<const WalkResult*>& per_pid,
-                     guard::Budget* budget) {
+struct ReplayProc {
+  std::size_t cursor = 0;
+  double clock = 0;
+  bool at_barrier = false;
+  bool finished = false;
+};
+
+/// Reusable replay state.  One evaluation needs a handful of scratch
+/// vectors whose sizes repeat from lane to lane; threading one scratch
+/// through the batched per-lane finalize turns those per-lane heap
+/// round-trips into capacity reuse.  Holds no results across calls —
+/// replay() fully re-initializes every member it reads.
+struct ReplayScratch {
+  std::vector<ReplayProc> procs;
+  std::vector<int> node;
+  std::map<std::tuple<int, int, int>, std::deque<std::pair<double, double>>>
+      ledger;
+  ReplayOutcome outcome;
+};
+
+const ReplayOutcome& replay(const machine::SystemParameters& params,
+                            const std::vector<const WalkResult*>& per_pid,
+                            guard::Budget* budget, ReplayScratch& scratch) {
   const int np = params.processes;
-  struct Proc {
-    std::size_t cursor = 0;
-    double clock = 0;
-    bool at_barrier = false;
-    bool finished = false;
-  };
-  std::vector<Proc> procs(static_cast<std::size_t>(np));
-  std::vector<int> node(static_cast<std::size_t>(np));
+  using Proc = ReplayProc;
+  std::vector<Proc>& procs = scratch.procs;
+  procs.assign(static_cast<std::size_t>(np), Proc{});
+  std::vector<int>& node = scratch.node;
+  node.resize(static_cast<std::size_t>(np));
   for (int pid = 0; pid < np; ++pid) {
     node[static_cast<std::size_t>(pid)] = machine::node_of(params, pid);
   }
-  ReplayOutcome outcome;
+  ReplayOutcome& outcome = scratch.outcome;
+  outcome.finish.clear();
+  outcome.events = 0;
   outcome.node_demand.assign(static_cast<std::size_t>(params.nodes), 0.0);
 
   // FIFO per (dst, src, tag) — the simulator's mailbox matching rule.
-  std::map<std::tuple<int, int, int>, std::deque<std::pair<double, double>>>
-      ledger;
+  // Keys recur from lane to lane, so the previous call's (emptied)
+  // queues are kept and only their contents dropped.
+  auto& ledger = scratch.ledger;
+  for (auto& [key, queue] : ledger) {
+    queue.clear();
+  }
+
+  // Uniform fast path: the SPMD walks hand every process the same
+  // timeline.  When that shared timeline is also communication-free
+  // (compute and busy only — no sends, receives, or barriers), the
+  // cursor loop below degenerates to np independent replays of the same
+  // list: every clock is the same in-order sum of elapsed times, and
+  // node demands accumulate pid-major, event-minor.  Doing exactly
+  // those additions in exactly that order as two tight loops is
+  // bit-identical to the general machinery at a fraction of its cost.
+  if (np > 0) {
+    bool uniform = true;
+    for (int pid = 1; pid < np && uniform; ++pid) {
+      uniform = per_pid[static_cast<std::size_t>(pid)] == per_pid[0];
+    }
+    if (uniform) {
+      const auto& events = per_pid[0]->events;
+      bool comm_free = true;
+      for (const Event& event : events) {
+        if (event.kind != EvKind::Compute && event.kind != EvKind::Busy) {
+          comm_free = false;
+          break;
+        }
+      }
+      if (comm_free) {
+        const std::uint64_t total =
+            static_cast<std::uint64_t>(np) * events.size();
+        if (budget != nullptr) {
+          // Same total as the per-event charges below; a trip raises the
+          // same GuardError from the same site.
+          budget->charge_replay_events(total, "analytic-replay");
+        }
+        double clock = 0;
+        for (const Event& event : events) {
+          clock += event.elapsed;
+        }
+        outcome.finish.assign(static_cast<std::size_t>(np), clock);
+        for (int pid = 0; pid < np; ++pid) {
+          double& cell = outcome.node_demand[static_cast<std::size_t>(
+              node[static_cast<std::size_t>(pid)])];
+          for (const Event& event : events) {
+            if (event.kind == EvKind::Compute) {
+              cell += event.demand;
+            }
+          }
+        }
+        outcome.events = total;
+        return outcome;
+      }
+    }
+  }
 
   int waiting = 0;
   int finished = 0;
@@ -986,6 +1155,620 @@ ReplayOutcome replay(const machine::SystemParameters& params,
   return outcome;
 }
 
+// ---------------------------------------------------------------------------
+// Report assembly: replay + bounds
+// ---------------------------------------------------------------------------
+
+/// Everything downstream of the symbolic walks: dependency replay, the
+/// capacity/critical contention bounds, and the report itself.  Shared
+/// verbatim by the scalar evaluate() and the batched per-lane finalize,
+/// which is what makes batched predictions bit-identical to scalar ones
+/// by construction.
+AnalyticReport assemble_report(const machine::SystemParameters& params,
+                               const std::vector<const WalkResult*>& per_pid,
+                               std::uint64_t elements,
+                               obs::AnalyticCounters* counters,
+                               guard::Budget* budget, ReplayScratch& scratch) {
+  const int np = params.processes;
+  const ReplayOutcome& outcome = replay(params, per_pid, budget, scratch);
+
+  AnalyticReport report;
+  report.processes = np;
+  report.evaluated_elements = elements;
+  double schedule_bound = 0;
+  for (int pid = 0; pid < np; ++pid) {
+    const double finish = outcome.finish[static_cast<std::size_t>(pid)];
+    // Pids arrive in ascending order: the end hint makes each insert O(1).
+    report.per_process_finish.emplace_hint(report.per_process_finish.end(),
+                                           pid, finish);
+    schedule_bound = std::max(schedule_bound, finish);
+  }
+
+  // Contention correction: a node's processors can serve at most
+  // `processors_per_node` compute-seconds per second, so its total demand
+  // divided by the server count lower-bounds the makespan (deterministic
+  // M/M/k heavy-traffic limit).  Named critical sections serialize their
+  // total lock-held demand the same way.
+  const auto servers = static_cast<double>(params.processors_per_node);
+  double capacity_bound = 0;
+  for (const double demand : outcome.node_demand) {
+    capacity_bound = std::max(capacity_bound, demand / servers);
+  }
+  std::map<std::string, double> critical_totals;
+  for (const auto* result : per_pid) {
+    for (const auto& [name, demand] : result->critical_demand) {
+      critical_totals[name] += demand;
+    }
+  }
+  double critical_bound = 0;
+  for (const auto& [name, demand] : critical_totals) {
+    critical_bound = std::max(critical_bound, demand);
+  }
+  const double makespan =
+      std::max(schedule_bound, std::max(capacity_bound, critical_bound));
+  report.predicted_time = makespan;
+
+  if (counters != nullptr) {
+    counters->events_replayed += outcome.events;
+    // Which bound set the prediction; ties resolve toward the replayed
+    // schedule (the capacity/critical corrections only "win" when they
+    // exceed it).
+    if (makespan <= schedule_bound) {
+      ++counters->schedule_wins;
+    } else if (capacity_bound >= critical_bound) {
+      ++counters->capacity_wins;
+    } else {
+      ++counters->critical_wins;
+    }
+  }
+
+  report.node_loads.reserve(outcome.node_demand.size());
+  for (std::size_t n = 0; n < outcome.node_demand.size(); ++n) {
+    NodeLoad load;
+    load.compute_demand = outcome.node_demand[n];
+    load.utilization = makespan > 0
+                           ? outcome.node_demand[n] / (servers * makespan)
+                           : 0;
+    load.processes = 0;
+    report.node_loads.push_back(load);
+  }
+  for (int pid = 0; pid < np; ++pid) {
+    ++report
+          .node_loads[static_cast<std::size_t>(machine::node_of(params, pid))]
+          .processes;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Batched symbolic walk
+// ---------------------------------------------------------------------------
+
+/// Internal control-flow signal: the batched walk hit lane-divergent
+/// control, a construct outside the batched subset, or a condition the
+/// scalar walker would diagnose with an error.  evaluate_batch catches
+/// it (along with any evaluation error) and re-runs every lane through
+/// the scalar path, which is always exact — errors included.  Never
+/// escapes the analytic layer.
+struct BatchDivergence {};
+
+/// Walks one process's control flow across all scenario lanes at once,
+/// emitting one structurally identical Event per lane per step — the
+/// batched analogue of Walker, restricted to the rank-independent SPMD
+/// shared walk (pid 0, every rank identical).  Transient values are lane
+/// arrays; cost expressions evaluate through the vectorized expr VM
+/// against the slot-major batch frame.
+///
+/// Supported: plain/<<action+>> compute, send/recv/barrier/collectives
+/// with lane-uniform peers, <<ompfor>>/<<ompbarrier>>, guard-resolved
+/// decisions with lane-uniform truthiness, <<loop+>> (lane-uniform trip
+/// counts; lane-varying counts allowed when the body collapses and every
+/// lane iterates at least once), and inlined <<activity+>> composites.
+/// Everything else — forks, parallel regions, critical sections,
+/// probabilistic decisions, code fragments, pid/tid-reading expressions
+/// — raises BatchDivergence.
+struct BatchWalker {
+  using Impl = AnalyticEstimator::Impl;
+  using BatchState = Impl::BatchState;
+  using NodePrograms = Impl::NodePrograms;
+
+  BatchWalker(const Impl& impl_in, BatchState& st_in,
+              std::vector<WalkResult>& out_in)
+      : impl(impl_in), st(st_in), out(out_in) {}
+
+  const Impl& impl;
+  BatchState& st;
+  std::vector<WalkResult>& out;  // one per lane, lockstep structure
+  std::vector<double*>* frame = nullptr;  // slot -> lane array
+  double* locals = nullptr;               // slot-major local storage
+  std::vector<LoopBinding>* bindings = nullptr;
+  const Impl::BatchFunctionCaller* functions = nullptr;
+  bool allow_comm = true;
+  std::uint64_t* steps = nullptr;
+  std::uint64_t step_limit = 0;
+
+  [[nodiscard]] std::size_t width() const { return st.width; }
+
+  /// A sub-walker for loop bodies: shares the lexical state, writes to
+  /// its own lane results, and may not communicate (mirrors Walker::sub).
+  [[nodiscard]] BatchWalker sub(std::vector<WalkResult>& sub_out) const {
+    BatchWalker walker(impl, st, sub_out);
+    walker.frame = frame;
+    walker.locals = locals;
+    walker.bindings = bindings;
+    walker.functions = functions;
+    walker.allow_comm = false;
+    walker.steps = steps;
+    walker.step_limit = step_limit;
+    return walker;
+  }
+
+  // --- Expression evaluation ---------------------------------------------
+
+  void mark_loop_reads(const expr::Compiled& program) const {
+    for (auto it = bindings->rbegin(); it != bindings->rend(); ++it) {
+      bool shadowed = false;
+      for (auto inner = bindings->rbegin(); inner != it; ++inner) {
+        if (inner->slot == it->slot) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed && program.references_slot(it->slot)) {
+        it->read = true;
+      }
+    }
+  }
+
+  /// Evaluates `program` across all lanes into `out_lanes` (width
+  /// doubles).  pid/tid-reading programs diverge: the batch only covers
+  /// the rank-independent SPMD walk.
+  void eval_program(const expr::Compiled& program, int uid,
+                    double* out_lanes) const {
+    if (program.may_read_pid_tid()) {
+      throw BatchDivergence{};
+    }
+    mark_loop_reads(program);
+    expr::BatchEvalContext ctx;
+    ctx.frame = *frame;
+    ctx.width = st.width;
+    ctx.functions = functions;
+    ctx.uid = static_cast<double>(uid);
+    ctx.counters = st.counters != nullptr ? &st.counters->expr : nullptr;
+    ctx.budget = st.budget;
+    program.eval_batch(ctx, out_lanes);
+  }
+
+  [[nodiscard]] const NodePrograms& programs_of(const Node& node) const {
+    return impl.program->at(node);
+  }
+
+  /// Optional tag program across lanes; absent tags are 0.0 in every
+  /// lane.  Evaluation errors propagate raw — the fallback re-runs the
+  /// lanes through the scalar walker, which re-raises them with their
+  /// exact node/tag context.
+  void eval_tag(const std::optional<expr::Compiled>& tag, int uid,
+                double* out_lanes) const {
+    if (!tag.has_value()) {
+      std::fill_n(out_lanes, width(), 0.0);
+      return;
+    }
+    eval_program(*tag, uid, out_lanes);
+  }
+
+  void require_fragment_free(const NodePrograms& programs) const {
+    if (!programs.fragment.empty()) {
+      throw BatchDivergence{};  // fragments mutate run state per walk
+    }
+  }
+
+  /// A lane-uniform integer tag (message peers must match across lanes
+  /// for the lockstep event structure to hold).
+  [[nodiscard]] int uniform_int(const double* lanes) const {
+    const int value = static_cast<int>(lanes[0]);
+    for (std::size_t lane = 1; lane < width(); ++lane) {
+      if (static_cast<int>(lanes[lane]) != value) {
+        throw BatchDivergence{};
+      }
+    }
+    return value;
+  }
+
+  // --- Event emission: lockstep across lanes ------------------------------
+
+  void emit_compute(const double* elapsed, const double* demand) {
+    for (std::size_t lane = 0; lane < width(); ++lane) {
+      if (std::isnan(elapsed[lane]) || elapsed[lane] < 0) {
+        throw BatchDivergence{};  // scalar path raises the exact error
+      }
+    }
+    // Every lane shares one event structure, so one coalescing decision
+    // covers all of them (mirrors Walker::emit_compute per lane).
+    if (!out[0].events.empty() &&
+        out[0].events.back().kind == EvKind::Compute) {
+      for (std::size_t lane = 0; lane < width(); ++lane) {
+        out[lane].events.back().elapsed += elapsed[lane];
+        out[lane].events.back().demand += demand[lane];
+      }
+      return;
+    }
+    for (std::size_t lane = 0; lane < width(); ++lane) {
+      out[lane].events.push_back(
+          {EvKind::Compute, elapsed[lane], demand[lane], 0, 0, 0});
+    }
+  }
+
+  void emit_busy(const double* elapsed) {
+    if (!out[0].events.empty() && out[0].events.back().kind == EvKind::Busy) {
+      for (std::size_t lane = 0; lane < width(); ++lane) {
+        out[lane].events.back().elapsed += elapsed[lane];
+      }
+      return;
+    }
+    for (std::size_t lane = 0; lane < width(); ++lane) {
+      out[lane].events.push_back({EvKind::Busy, elapsed[lane], 0, 0, 0, 0});
+    }
+  }
+
+  /// Splices per-lane sub-results, re-coalescing Compute/Busy runs like
+  /// Walker::append_event (sub-results are lockstep, so event i has the
+  /// same kind in every lane).
+  void append_events(const std::vector<WalkResult>& from) {
+    std::vector<double> elapsed(width());
+    std::vector<double> demand(width());
+    for (std::size_t i = 0; i < from[0].events.size(); ++i) {
+      const EvKind kind = from[0].events[i].kind;
+      if (kind == EvKind::Compute) {
+        for (std::size_t lane = 0; lane < width(); ++lane) {
+          elapsed[lane] = from[lane].events[i].elapsed;
+          demand[lane] = from[lane].events[i].demand;
+        }
+        emit_compute(elapsed.data(), demand.data());
+      } else if (kind == EvKind::Busy) {
+        for (std::size_t lane = 0; lane < width(); ++lane) {
+          elapsed[lane] = from[lane].events[i].elapsed;
+        }
+        emit_busy(elapsed.data());
+      } else {
+        for (std::size_t lane = 0; lane < width(); ++lane) {
+          out[lane].events.push_back(from[lane].events[i]);
+        }
+      }
+    }
+  }
+
+  // --- Control flow -------------------------------------------------------
+
+  void run_diagram(const ActivityDiagram& diagram) {
+    const Node* initial = diagram.initial();
+    if (initial == nullptr) {
+      throw BatchDivergence{};  // scalar reports the missing initial node
+    }
+    walk(diagram, *initial);
+  }
+
+  /// Walks from `start` to a Final node.  Forks and probabilistic
+  /// decisions diverge, so no stop-kind machinery is needed here.
+  void walk(const ActivityDiagram& diagram, const Node& start) {
+    const Node* node = &start;
+    while (node != nullptr) {
+      if (++*steps > step_limit) {
+        throw BatchDivergence{};  // scalar raises the step-limit error
+      }
+      if (st.budget != nullptr && (*steps & 1023U) == 0) {
+        st.budget->checkpoint("analytic-walk");
+      }
+      if (node->kind() == NodeKind::Fork) {
+        throw BatchDivergence{};
+      }
+      if (node->kind() == NodeKind::Decision &&
+          decision_is_probabilistic(diagram, *node)) {
+        throw BatchDivergence{};
+      }
+      execute_node(*node);
+      if (node->kind() == NodeKind::Final) {
+        return;
+      }
+      node = next_node(diagram, *node);
+    }
+  }
+
+  [[nodiscard]] bool decision_is_probabilistic(const ActivityDiagram& diagram,
+                                               const Node& node) const {
+    for (const auto* edge : diagram.outgoing(node.id())) {
+      if (edge->tag_number(uml::tag::kProb).has_value()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const Node* next_node(const ActivityDiagram& diagram,
+                                      const Node& node) const {
+    const auto outgoing = diagram.outgoing(node.id());
+    if (node.kind() == NodeKind::Decision) {
+      const uml::ControlFlow* chosen = nullptr;
+      const uml::ControlFlow* fallback = nullptr;
+      const int uid = programs_of(node).uid;
+      std::vector<double> value(width());
+      for (const auto* edge : outgoing) {
+        if (edge->is_else()) {
+          if (fallback == nullptr) {
+            fallback = edge;
+          }
+          continue;
+        }
+        const expr::Compiled* guard = impl.program->guard(*edge);
+        if (guard == nullptr) {
+          continue;  // unguarded edge out of a decision: never taken
+        }
+        eval_program(*guard, uid, value.data());
+        const bool taken = expr::truthy(value[0]);
+        for (std::size_t lane = 1; lane < width(); ++lane) {
+          if (expr::truthy(value[lane]) != taken) {
+            throw BatchDivergence{};  // lanes branch apart
+          }
+        }
+        if (taken) {
+          chosen = edge;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        chosen = fallback;
+      }
+      if (chosen == nullptr) {
+        throw BatchDivergence{};  // scalar raises the no-guard error
+      }
+      return diagram.node(chosen->target());
+    }
+    if (outgoing.empty()) {
+      return nullptr;
+    }
+    if (outgoing.size() > 1) {
+      throw BatchDivergence{};
+    }
+    return diagram.node(outgoing[0]->target());
+  }
+
+  void execute_node(const Node& node) {
+    ++st.elements;
+    switch (node.kind()) {
+      case NodeKind::Initial:
+      case NodeKind::Final:
+      case NodeKind::Merge:
+      case NodeKind::Join:
+      case NodeKind::Decision:
+        return;
+      case NodeKind::Fork:  // diverged by walk() before reaching here
+        throw BatchDivergence{};
+      case NodeKind::Action:
+        execute_action(node);
+        return;
+      case NodeKind::Activity:
+        execute_activity(node);
+        return;
+      case NodeKind::Loop:
+        execute_loop(node);
+        return;
+    }
+  }
+
+  void execute_action(const Node& node) {
+    const NodePrograms& programs = programs_of(node);
+    require_fragment_free(programs);
+    const int uid = programs.uid;
+    const std::string& stereotype = node.stereotype();
+    const std::size_t w = width();
+    std::vector<double> value(w);
+    std::vector<double> seconds(w);
+    if (stereotype == uml::stereo::kActionPlus || stereotype.empty()) {
+      if (programs.cost().has_value()) {
+        eval_tag(programs.cost(), uid, value.data());
+      } else if (const auto time = node.tag_number(uml::tag::kTime)) {
+        std::fill(value.begin(), value.end(), *time);
+      } else {
+        std::fill(value.begin(), value.end(), 0.0);
+      }
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        seconds[lane] = machine::compute_time(st.lanes[lane], value[lane]);
+      }
+      emit_compute(seconds.data(), seconds.data());
+    } else if (stereotype == uml::stereo::kSend) {
+      if (!allow_comm) {
+        throw BatchDivergence{};
+      }
+      eval_tag(programs.dest(), uid, value.data());
+      const int dest = uniform_int(value.data());
+      eval_tag(programs.size(), uid, value.data());  // bytes may vary
+      const int tag =
+          static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        seconds[lane] = st.lanes[lane].network_overhead;
+      }
+      emit_busy(seconds.data());
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        out[lane].events.push_back(
+            {EvKind::Send, 0, 0, value[lane], dest, tag});
+      }
+    } else if (stereotype == uml::stereo::kRecv) {
+      if (!allow_comm) {
+        throw BatchDivergence{};
+      }
+      eval_tag(programs.source(), uid, value.data());
+      const int source = uniform_int(value.data());
+      const int tag =
+          static_cast<int>(node.tag_number(uml::tag::kMsgTag).value_or(0));
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        out[lane].events.push_back({EvKind::Recv, 0, 0, 0, source, tag});
+      }
+    } else if (stereotype == uml::stereo::kBarrier) {
+      if (!allow_comm) {
+        throw BatchDivergence{};
+      }
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        out[lane].events.push_back(
+            {EvKind::Barrier, machine::barrier_time(st.lanes[lane]), 0, 0, 0,
+             0});
+      }
+    } else if (stereotype == uml::stereo::kBroadcast ||
+               stereotype == uml::stereo::kReduce ||
+               stereotype == uml::stereo::kAllReduce ||
+               stereotype == uml::stereo::kScatter ||
+               stereotype == uml::stereo::kGather) {
+      if (!allow_comm) {
+        throw BatchDivergence{};
+      }
+      eval_tag(programs.size(), uid, value.data());
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        const double hold = workload::CollectiveElement::model_time(
+            st.lanes[lane], collective_kind(stereotype),
+            st.lanes[lane].processes, value[lane]);
+        out[lane].events.push_back({EvKind::Barrier, hold, 0, 0, 0, 0});
+      }
+    } else if (stereotype == uml::stereo::kOmpFor) {
+      std::vector<double> itercost(w);
+      eval_tag(programs.iterations(), uid, value.data());
+      eval_tag(programs.itercost(), uid, itercost.data());
+      std::string schedule = node.tag_string(uml::tag::kSchedule);
+      if (schedule.empty()) {
+        schedule = "static";
+      }
+      const auto chunk = static_cast<std::int64_t>(
+          node.tag_number(uml::tag::kChunk).value_or(0));
+      // Parallel regions diverge, so a batched <<ompfor>> is always
+      // outside one: threads = 1, tid = 0 — the scalar walker's values.
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        const double compute = workload::WorkshareElement::model_compute(
+            value[lane], itercost[lane], schedule, chunk, /*threads=*/1,
+            /*tid=*/0);
+        seconds[lane] = machine::compute_time(st.lanes[lane], compute);
+      }
+      emit_compute(seconds.data(), seconds.data());
+    } else if (stereotype == uml::stereo::kOmpBarrier) {
+      // No cost, exactly like the scalar walker.
+    } else {
+      throw BatchDivergence{};  // scalar raises the unsupported-stereotype error
+    }
+  }
+
+  void execute_activity(const Node& node) {
+    const NodePrograms& programs = programs_of(node);
+    require_fragment_free(programs);
+    const std::string& stereotype = node.stereotype();
+    if (stereotype == uml::stereo::kOmpParallel ||
+        stereotype == uml::stereo::kOmpCritical) {
+      throw BatchDivergence{};
+    }
+    const ActivityDiagram* sub_diagram =
+        impl.model->diagram(node.subdiagram_id());
+    if (sub_diagram == nullptr) {
+      throw BatchDivergence{};
+    }
+    // <<activity+>> (or unstereotyped composite): inline content.
+    run_diagram(*sub_diagram);
+  }
+
+  void execute_loop(const Node& node) {
+    const NodePrograms& programs = programs_of(node);
+    require_fragment_free(programs);
+    const ActivityDiagram* body = impl.model->diagram(node.subdiagram_id());
+    if (body == nullptr) {
+      throw BatchDivergence{};
+    }
+    const std::size_t w = width();
+    std::vector<double> raw(w);
+    eval_tag(programs.iterations(), programs.uid, raw.data());
+    std::vector<std::int64_t> iterations(w);
+    bool uniform = true;
+    for (std::size_t lane = 0; lane < w; ++lane) {
+      if (std::isnan(raw[lane]) || raw[lane] < 0) {
+        throw BatchDivergence{};  // scalar raises the exact loop error
+      }
+      iterations[lane] = static_cast<std::int64_t>(raw[lane]);
+      uniform = uniform && iterations[lane] == iterations[0];
+    }
+    if (uniform && iterations[0] == 0) {
+      return;
+    }
+    if (!uniform) {
+      for (const auto trips : iterations) {
+        if (trips == 0) {
+          throw BatchDivergence{};  // zero/nonzero mix: structure diverges
+        }
+      }
+    }
+    bindings->push_back({programs.loop_var_slot, false});
+    std::vector<double> loop_lanes(w, 0.0);
+    double* const saved = (*frame)[programs.loop_var_slot];
+    (*frame)[programs.loop_var_slot] = loop_lanes.data();
+
+    // First iteration into capture buffers, exactly like the scalar
+    // walker: when the body never reads the trip variable and is pure
+    // compute, the remaining per-lane iterations are the first one times
+    // (n_lane - 1) — which also covers lane-varying trip counts, the one
+    // place batched control flow may differ per lane.
+    std::vector<WalkResult> first(w);
+    {
+      BatchWalker walker = sub(first);
+      walker.allow_comm = allow_comm;
+      walker.run_diagram(*body);
+    }
+    const bool collapsible =
+        !bindings->back().read && compute_only(first[0].events);
+    if (!uniform && !collapsible) {
+      throw BatchDivergence{};  // per-trip replay needs one shared count
+    }
+    if (collapsible && st.counters != nullptr) {
+      ++st.counters->loop_collapses;
+    }
+    append_events(first);
+    if (collapsible) {
+      std::vector<double> elapsed(w);
+      std::vector<double> demand(w);
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        const auto rest = static_cast<double>(iterations[lane] - 1);
+        elapsed[lane] = rest * sum_elapsed(first[lane].events);
+        demand[lane] = rest * sum_demand(first[lane].events);
+      }
+      emit_compute(elapsed.data(), demand.data());
+    } else {
+      for (std::int64_t k = 1; k < iterations[0]; ++k) {
+        if (st.budget != nullptr) {
+          st.budget->charge_loop_trips(1, "analytic-loop");
+        }
+        std::fill(loop_lanes.begin(), loop_lanes.end(),
+                  static_cast<double>(k));
+        run_diagram(*body);
+      }
+    }
+    (*frame)[programs.loop_var_slot] = saved;
+    bindings->pop_back();
+  }
+
+  void walk_process() {
+    // Per-process locals, initialized in declaration order across lanes
+    // and bound into the frame one by one (scalar walk_process order).
+    std::vector<double> value(width());
+    for (const auto& variable : impl.program->variables()) {
+      if (variable.scope != uml::VariableScope::Local) {
+        continue;
+      }
+      if (variable.initializer.has_value()) {
+        eval_program(*variable.initializer, 0, value.data());
+      } else {
+        std::fill(value.begin(), value.end(), 0.0);
+      }
+      for (std::size_t lane = 0; lane < width(); ++lane) {
+        locals[variable.slot * width() + lane] =
+            coerce(variable.type, value[lane]);
+      }
+      (*frame)[variable.slot] = &locals[variable.slot * width()];
+    }
+    run_diagram(*impl.model->main_diagram());
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1088,72 +1871,139 @@ AnalyticReport AnalyticEstimator::Impl::evaluate(
     }
   }
 
-  const ReplayOutcome outcome = replay(params, per_pid, budget);
+  ReplayScratch scratch;
+  return assemble_report(params, per_pid, st.elements, counters, budget,
+                         scratch);
+}
 
-  AnalyticReport report;
-  report.processes = np;
-  report.evaluated_elements = st.elements;
-  double schedule_bound = 0;
-  for (int pid = 0; pid < np; ++pid) {
-    const double finish = outcome.finish[static_cast<std::size_t>(pid)];
-    report.per_process_finish[pid] = finish;
-    schedule_bound = std::max(schedule_bound, finish);
-  }
+// ---------------------------------------------------------------------------
+// Impl::evaluate_batch — one batched walk, per-lane finalize
+// ---------------------------------------------------------------------------
 
-  // Contention correction: a node's processors can serve at most
-  // `processors_per_node` compute-seconds per second, so its total demand
-  // divided by the server count lower-bounds the makespan (deterministic
-  // M/M/k heavy-traffic limit).  Named critical sections serialize their
-  // total lock-held demand the same way.
-  const auto servers = static_cast<double>(params.processors_per_node);
-  double capacity_bound = 0;
-  for (const double demand : outcome.node_demand) {
-    capacity_bound = std::max(capacity_bound, demand / servers);
-  }
-  std::map<std::string, double> critical_totals;
-  for (const auto* result : per_pid) {
-    for (const auto& [name, demand] : result->critical_demand) {
-      critical_totals[name] += demand;
+std::vector<AnalyticReport> AnalyticEstimator::Impl::evaluate_batch(
+    std::span<const machine::SystemParameters> lanes,
+    obs::AnalyticCounters* counters, guard::Budget* budget,
+    std::size_t* lanes_fallback) const {
+  if (lanes.size() > 1) {
+    try {
+      return evaluate_batch_fast(lanes, counters, budget);
+    } catch (const guard::GuardError&) {
+      throw;  // tripped budgets propagate — retrying would double-charge
+    } catch (...) {
+      // Divergence or a lane error: the scalar loop below re-evaluates
+      // every lane exactly, raising any error with its scalar message.
+      if (lanes_fallback != nullptr) {
+        *lanes_fallback += lanes.size();
+      }
     }
   }
-  double critical_bound = 0;
-  for (const auto& [name, demand] : critical_totals) {
-    critical_bound = std::max(critical_bound, demand);
+  std::vector<AnalyticReport> reports;
+  reports.reserve(lanes.size());
+  for (const auto& params : lanes) {
+    reports.push_back(evaluate(params, counters, budget));
   }
-  const double makespan =
-      std::max(schedule_bound, std::max(capacity_bound, critical_bound));
-  report.predicted_time = makespan;
+  return reports;
+}
 
-  if (counters != nullptr) {
-    counters->events_replayed += outcome.events;
-    // Which bound set the prediction; ties resolve toward the replayed
-    // schedule (the capacity/critical corrections only "win" when they
-    // exceed it).
-    if (makespan <= schedule_bound) {
-      ++counters->schedule_wins;
-    } else if (capacity_bound >= critical_bound) {
-      ++counters->capacity_wins;
+std::vector<AnalyticReport> AnalyticEstimator::Impl::evaluate_batch_fast(
+    std::span<const machine::SystemParameters> lanes,
+    obs::AnalyticCounters* counters, guard::Budget* budget) const {
+  const std::size_t width = lanes.size();
+  for (const auto& params : lanes) {
+    params.validate();
+  }
+  BatchState st;
+  st.lanes = lanes;
+  st.width = width;
+  st.counters = counters;
+  st.budget = budget;
+  st.np_lanes.resize(width);
+  st.nt_lanes.resize(width);
+  st.nn_lanes.resize(width);
+  st.ppn_lanes.resize(width);
+  for (std::size_t lane = 0; lane < width; ++lane) {
+    st.np_lanes[lane] = static_cast<double>(lanes[lane].processes);
+    st.nt_lanes[lane] =
+        static_cast<double>(lanes[lane].threads_per_process);
+    st.nn_lanes[lane] = static_cast<double>(lanes[lane].nodes);
+    st.ppn_lanes[lane] =
+        static_cast<double>(lanes[lane].processors_per_node);
+  }
+  st.global_values.assign(program->slot_count() * width, 0.0);
+  st.run_frame.assign(program->slot_count(), nullptr);
+  st.run_frame[program->np_slot()] = st.np_lanes.data();
+  st.run_frame[program->nt_slot()] = st.nt_lanes.data();
+  st.run_frame[program->nn_slot()] = st.nn_lanes.data();
+  st.run_frame[program->ppn_slot()] = st.ppn_lanes.data();
+  BatchFunctionCaller functions;
+  functions.impl = this;
+  functions.st = &st;
+
+  std::size_t total_nodes = 0;
+  for (const auto& diagram : model->diagrams()) {
+    total_nodes += diagram->node_count();
+  }
+
+  // Global variables across lanes, initialized in declaration order and
+  // bound one by one (identical semantics to the scalar init loop; the
+  // scalar path evaluates them with pid = tid = 0 too).
+  std::vector<double> value(width);
+  for (const auto& variable : program->variables()) {
+    if (variable.scope != uml::VariableScope::Global) {
+      continue;
+    }
+    if (variable.initializer.has_value()) {
+      expr::BatchEvalContext ctx;
+      ctx.frame = st.run_frame;
+      ctx.width = width;
+      ctx.functions = &functions;
+      ctx.counters = counters != nullptr ? &counters->expr : nullptr;
+      ctx.budget = budget;
+      variable.initializer->eval_batch(ctx, value.data());
     } else {
-      ++counters->critical_wins;
+      std::fill(value.begin(), value.end(), 0.0);
     }
+    for (std::size_t lane = 0; lane < width; ++lane) {
+      st.global_values[variable.slot * width + lane] =
+          coerce(variable.type, value[lane]);
+    }
+    st.run_frame[variable.slot] = &st.global_values[variable.slot * width];
   }
 
-  report.node_loads.reserve(outcome.node_demand.size());
-  for (std::size_t n = 0; n < outcome.node_demand.size(); ++n) {
-    NodeLoad load;
-    load.compute_demand = outcome.node_demand[n];
-    load.utilization = makespan > 0
-                           ? outcome.node_demand[n] / (servers * makespan)
-                           : 0;
-    load.processes = 0;
-    report.node_loads.push_back(load);
+  // One batched walk covers every lane AND every rank: pid/tid reads and
+  // fragments diverge inside, so a walk that completes is exactly the
+  // walk the scalar SPMD fast path would share across all processes.
+  std::vector<WalkResult> lane_results(width);
+  std::vector<double> locals(program->slot_count() * width, 0.0);
+  std::vector<double*> frame = st.run_frame;
+  std::vector<LoopBinding> bindings;
+  std::uint64_t steps = 0;
+  BatchWalker walker(*this, st, lane_results);
+  walker.frame = &frame;
+  walker.locals = locals.data();
+  walker.bindings = &bindings;
+  walker.functions = &functions;
+  walker.steps = &steps;
+  walker.step_limit = 1000000ULL + 1000ULL * total_nodes;
+  walker.walk_process();
+
+  std::vector<AnalyticReport> reports;
+  reports.reserve(width);
+  // One scratch (and one per-pid pointer table) serves every lane's
+  // finalize — the replay working set recurs, so after the first lane
+  // the per-lane heap traffic is just the report itself.
+  ReplayScratch scratch;
+  std::vector<const WalkResult*> per_pid;
+  for (std::size_t lane = 0; lane < width; ++lane) {
+    if (counters != nullptr) {
+      ++counters->spmd_fast_path;  // one shared walk per lane, as scalar
+    }
+    per_pid.assign(static_cast<std::size_t>(lanes[lane].processes),
+                   &lane_results[lane]);
+    reports.push_back(assemble_report(lanes[lane], per_pid, st.elements,
+                                      counters, budget, scratch));
   }
-  for (int pid = 0; pid < np; ++pid) {
-    ++report
-          .node_loads[static_cast<std::size_t>(machine::node_of(params, pid))]
-          .processes;
-  }
-  return report;
+  return reports;
 }
 
 // ---------------------------------------------------------------------------
@@ -1229,6 +2079,13 @@ AnalyticReport AnalyticEstimator::evaluate(
     const machine::SystemParameters& params, obs::AnalyticCounters* counters,
     guard::Budget* budget) const {
   return impl_->evaluate(params, counters, budget);
+}
+
+std::vector<AnalyticReport> AnalyticEstimator::evaluate_batch(
+    std::span<const machine::SystemParameters> params,
+    obs::AnalyticCounters* counters, guard::Budget* budget,
+    std::size_t* lanes_fallback) const {
+  return impl_->evaluate_batch(params, counters, budget, lanes_fallback);
 }
 
 lower::ModelProgramPtr AnalyticEstimator::lowering() const {

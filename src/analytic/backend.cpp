@@ -91,6 +91,49 @@ class AnalyticPrepared final : public estimator::PreparedModel {
     return report;
   }
 
+  [[nodiscard]] std::vector<estimator::PredictionReport> estimate_batch(
+      std::span<const machine::SystemParameters> params,
+      const estimator::EstimationOptions& options) const override {
+    obs::AnalyticCounters counters;
+    const bool metrics = options.metrics != nullptr;
+    // Same guard resolution as the scalar estimate(): a caller-owned
+    // budget wins, active limits get an evaluation-local one, neither
+    // means unguarded.
+    guard::Budget local_budget(options.limits);
+    guard::Budget* budget = options.budget != nullptr ? options.budget
+                            : options.limits.any()    ? &local_budget
+                                                      : nullptr;
+    std::size_t lanes_fallback = 0;
+    std::vector<AnalyticReport> analytic = estimator_.evaluate_batch(
+        params, metrics ? &counters : nullptr, budget, &lanes_fallback);
+    std::vector<estimator::PredictionReport> reports;
+    reports.reserve(analytic.size());
+    for (auto& lane : analytic) {
+      estimator::PredictionReport report;
+      report.predicted_time = lane.predicted_time;
+      report.per_process_finish = std::move(lane.per_process_finish);
+      report.processes = lane.processes;
+      report.events = 0;
+      if (options.collect_machine_report) {
+        report.machine_report = lane.machine_report();
+      }
+      if (metrics) {
+        options.metrics->counter("analytic.elements")
+            .add(lane.evaluated_elements);
+      }
+      reports.push_back(std::move(report));
+    }
+    if (metrics) {
+      options.metrics->fold("analytic.", counters);
+      options.metrics->counter("analytic.runs").add(params.size());
+      options.metrics->fold("expr.", counters.expr);
+      if (lanes_fallback > 0) {
+        options.metrics->counter("batch.lanes_fallback").add(lanes_fallback);
+      }
+    }
+    return reports;
+  }
+
   [[nodiscard]] lower::ModelProgramPtr lowering() const override {
     return estimator_.lowering();
   }

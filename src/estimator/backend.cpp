@@ -75,6 +75,17 @@ std::optional<BackendKind> backend_from_string(std::string_view text) {
   return std::nullopt;
 }
 
+std::vector<PredictionReport> PreparedModel::estimate_batch(
+    std::span<const machine::SystemParameters> params,
+    const EstimationOptions& options) const {
+  std::vector<PredictionReport> reports;
+  reports.reserve(params.size());
+  for (const auto& lane : params) {
+    reports.push_back(estimate(lane, options));
+  }
+  return reports;
+}
+
 PredictionReport Backend::estimate(const uml::Model& model,
                                    const machine::SystemParameters& params,
                                    const EstimationOptions& options) const {

@@ -1,0 +1,128 @@
+// Generic lane kernels and the runtime CPU dispatch for the batched
+// expression VM.  See batch_kernels.hpp for the bit-identity contract.
+#include "batch_kernels.hpp"
+
+namespace prophet::expr::detail {
+
+namespace {
+
+// The portable loops: plain double expressions, so the compiler may
+// auto-vectorize them with whatever the build's baseline ISA offers —
+// every lane still goes through the exact scalar-VM operation.
+
+void add_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] + b[i];
+  }
+}
+
+void sub_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] - b[i];
+  }
+}
+
+void mul_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] * b[i];
+  }
+}
+
+void div_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] / b[i];
+  }
+}
+
+void lt_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] < b[i] ? 1.0 : 0.0;
+  }
+}
+
+void le_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] <= b[i] ? 1.0 : 0.0;
+  }
+}
+
+void gt_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] > b[i] ? 1.0 : 0.0;
+  }
+}
+
+void ge_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] >= b[i] ? 1.0 : 0.0;
+  }
+}
+
+void eq_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] == b[i] ? 1.0 : 0.0;
+  }
+}
+
+void ne_generic(double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] != b[i] ? 1.0 : 0.0;
+  }
+}
+
+void neg_generic(double* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = -a[i];
+  }
+}
+
+void not_generic(double* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] != 0.0 ? 0.0 : 1.0;
+  }
+}
+
+void to_bool_generic(double* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] != 0.0 ? 1.0 : 0.0;
+  }
+}
+
+void fill_generic(double* dst, double value, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = value;
+  }
+}
+
+constexpr BatchKernels kGeneric = {
+    add_generic, sub_generic, mul_generic, div_generic,
+    lt_generic,  le_generic,  gt_generic,  ge_generic,
+    eq_generic,  ne_generic,  neg_generic, not_generic,
+    to_bool_generic, fill_generic,
+};
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const BatchKernels& generic_batch_kernels() { return kGeneric; }
+
+const BatchKernels& batch_kernels() {
+  static const BatchKernels* const chosen = [] {
+    const BatchKernels* simd = avx2_batch_kernels();
+    return simd != nullptr && cpu_has_avx2() ? simd : &kGeneric;
+  }();
+  return *chosen;
+}
+
+std::string_view batch_kernel_name() {
+  return &batch_kernels() == &kGeneric ? "generic" : "avx2";
+}
+
+}  // namespace prophet::expr::detail

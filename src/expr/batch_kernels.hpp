@@ -1,0 +1,65 @@
+// Internal: lane-array kernels for the batched expression VM
+// (Compiled::eval_batch).  Each kernel applies one opcode across a
+// contiguous array of scenario lanes.  Two implementations exist — a
+// portable loop and an AVX2 version built with a per-function target
+// attribute — selected once per process by runtime CPU probe, the way
+// oryx picks lexer-sse4_1.c over the generic lexer.
+//
+// Both implementations are IEEE-exact and bit-identical to the scalar
+// VM: packed add/sub/mul/div are the same IEEE-754 operations as their
+// scalar forms, negation is a sign-bit flip either way, and the ordered
+// (OQ) / unordered (UQ) compare predicates are chosen to reproduce C's
+// NaN behavior for each operator.  fmax/fmin, fmod and the libm
+// built-ins are deliberately *not* kernelized: _mm256_max_pd's NaN
+// semantics differ from std::fmax, so those opcodes stay lane-by-lane
+// scalar calls in the VM.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace prophet::expr::detail {
+
+/// In-place binary kernel: a[i] = a[i] OP b[i] for i in [0, n).
+using BinaryKernel = void (*)(double* a, const double* b, std::size_t n);
+
+/// In-place unary kernel: a[i] = OP a[i] for i in [0, n).
+using UnaryKernel = void (*)(double* a, std::size_t n);
+
+/// One function pointer per kernelized opcode.  Comparisons yield
+/// 1.0 / 0.0 like the scalar VM.
+struct BatchKernels {
+  BinaryKernel add;
+  BinaryKernel sub;
+  BinaryKernel mul;
+  BinaryKernel div;
+  BinaryKernel lt;
+  BinaryKernel le;
+  BinaryKernel gt;
+  BinaryKernel ge;
+  BinaryKernel eq;
+  BinaryKernel ne;
+  UnaryKernel neg;
+  UnaryKernel logical_not;  // x != 0.0 ? 0.0 : 1.0
+  UnaryKernel to_bool;      // x != 0.0 ? 1.0 : 0.0
+  void (*fill)(double* dst, double value, std::size_t n);
+};
+
+/// The kernel set for this process: AVX2 when the CPU supports it, the
+/// generic loops otherwise.  Probed once; thread-safe.
+[[nodiscard]] const BatchKernels& batch_kernels();
+
+/// Which set batch_kernels() selected: "avx2" or "generic".  Exposed
+/// for docs, tests and the vectorization doc's measured table.
+[[nodiscard]] std::string_view batch_kernel_name();
+
+/// The portable loop implementations (differential tests compare the
+/// dispatched set against these).
+[[nodiscard]] const BatchKernels& generic_batch_kernels();
+
+/// The AVX2 implementations, or null when this build targets a
+/// non-x86-64 architecture.  Callers must still check the CPU at run
+/// time (batch_kernels() does both).
+[[nodiscard]] const BatchKernels* avx2_batch_kernels();
+
+}  // namespace prophet::expr::detail

@@ -1,0 +1,177 @@
+// AVX2 lane kernels for the batched expression VM.  Built with
+// per-function `target("avx2")` attributes so the translation unit
+// compiles under the project's baseline flags; batch_kernels() only
+// dispatches here after __builtin_cpu_supports("avx2") says the CPU can
+// run them.
+//
+// Bit-identity notes (the reason each kernel is safe):
+//   - vaddpd/vsubpd/vmulpd/vdivpd are the same correctly-rounded
+//     IEEE-754 operations as their scalar forms — identical results for
+//     every input, NaN payloads included.
+//   - negation is a sign-bit XOR, exactly what scalar `-x` compiles to.
+//   - compares use the ordered-quiet (OQ) predicates so NaN operands
+//     compare false like C's <, <=, >, >=, ==; != uses unordered-quiet
+//     (UQ) so NaN != x is true like C.  The mask is ANDed with 1.0 to
+//     produce the VM's exact 1.0 / 0.0 encoding.
+//   - fmax/fmin/fmod and the libm built-ins are NOT implemented here:
+//     _mm256_max_pd propagates NaN differently from std::fmax, so the
+//     VM keeps those opcodes on scalar std:: calls per lane.
+#include "batch_kernels.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+namespace prophet::expr::detail {
+
+namespace {
+
+#define PROPHET_AVX2 __attribute__((target("avx2")))
+
+PROPHET_AVX2 void add_avx2(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] + b[i];
+  }
+}
+
+PROPHET_AVX2 void sub_avx2(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] - b[i];
+  }
+}
+
+PROPHET_AVX2 void mul_avx2(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] * b[i];
+  }
+}
+
+PROPHET_AVX2 void div_avx2(double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_div_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] / b[i];
+  }
+}
+
+// Compare kernels: mask = cmp(a, b, PRED); result = mask & 1.0.  The
+// scalar tails spell out the same C comparison the predicate encodes.
+#define PROPHET_AVX2_CMP(NAME, PRED, OPER)                                \
+  PROPHET_AVX2 void NAME(double* a, const double* b, std::size_t n) {     \
+    const __m256d ones = _mm256_set1_pd(1.0);                             \
+    std::size_t i = 0;                                                    \
+    for (; i + 4 <= n; i += 4) {                                          \
+      const __m256d mask =                                                \
+          _mm256_cmp_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),   \
+                        (PRED));                                          \
+      _mm256_storeu_pd(a + i, _mm256_and_pd(mask, ones));                 \
+    }                                                                     \
+    for (; i < n; ++i) {                                                  \
+      a[i] = a[i] OPER b[i] ? 1.0 : 0.0;                                  \
+    }                                                                     \
+  }
+
+PROPHET_AVX2_CMP(lt_avx2, _CMP_LT_OQ, <)
+PROPHET_AVX2_CMP(le_avx2, _CMP_LE_OQ, <=)
+PROPHET_AVX2_CMP(gt_avx2, _CMP_GT_OQ, >)
+PROPHET_AVX2_CMP(ge_avx2, _CMP_GE_OQ, >=)
+PROPHET_AVX2_CMP(eq_avx2, _CMP_EQ_OQ, ==)
+PROPHET_AVX2_CMP(ne_avx2, _CMP_NEQ_UQ, !=)
+
+#undef PROPHET_AVX2_CMP
+
+PROPHET_AVX2 void neg_avx2(double* a, std::size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(a + i, _mm256_xor_pd(_mm256_loadu_pd(a + i), sign));
+  }
+  for (; i < n; ++i) {
+    a[i] = -a[i];
+  }
+}
+
+PROPHET_AVX2 void not_avx2(double* a, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d ones = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // x != 0.0 ? 0.0 : 1.0  ==  (x == 0.0) & 1.0; NaN == 0.0 is false,
+    // so NaN maps to 0.0 exactly like the scalar VM.
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(a + i), zero, _CMP_EQ_OQ);
+    _mm256_storeu_pd(a + i, _mm256_and_pd(mask, ones));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] != 0.0 ? 0.0 : 1.0;
+  }
+}
+
+PROPHET_AVX2 void to_bool_avx2(double* a, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d ones = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // x != 0.0 ? 1.0 : 0.0 with NaN != 0.0 true — hence NEQ_UQ.
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(a + i), zero, _CMP_NEQ_UQ);
+    _mm256_storeu_pd(a + i, _mm256_and_pd(mask, ones));
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] != 0.0 ? 1.0 : 0.0;
+  }
+}
+
+PROPHET_AVX2 void fill_avx2(double* dst, double value, std::size_t n) {
+  const __m256d v = _mm256_set1_pd(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, v);
+  }
+  for (; i < n; ++i) {
+    dst[i] = value;
+  }
+}
+
+#undef PROPHET_AVX2
+
+constexpr BatchKernels kAvx2 = {
+    add_avx2, sub_avx2, mul_avx2, div_avx2,
+    lt_avx2,  le_avx2,  gt_avx2,  ge_avx2,
+    eq_avx2,  ne_avx2,  neg_avx2, not_avx2,
+    to_bool_avx2, fill_avx2,
+};
+
+}  // namespace
+
+const BatchKernels* avx2_batch_kernels() { return &kAvx2; }
+
+}  // namespace prophet::expr::detail
+
+#else  // non-x86-64 build: no AVX2 kernel set.
+
+namespace prophet::expr::detail {
+
+const BatchKernels* avx2_batch_kernels() { return nullptr; }
+
+}  // namespace prophet::expr::detail
+
+#endif

@@ -108,6 +108,17 @@ class Compiler {
     out_.slots_.erase(std::unique(out_.slots_.begin(), out_.slots_.end()),
                       out_.slots_.end());
     out_.max_stack_ = max_depth_;
+    // Batched-evaluation classification: eval_batch's instruction-stepped
+    // fast path requires straight-line code, and a CallUser anywhere
+    // means the host must supply a BatchUserFunctions table.
+    for (const Instr& in : out_.code_) {
+      if (in.op == Op::Jump || in.op == Op::JumpIfFalse ||
+          in.op == Op::JumpIfTrue) {
+        out_.branchless_ = false;
+      } else if (in.op == Op::CallUser) {
+        out_.calls_user_ = true;
+      }
+    }
     return std::move(out_);
   }
 

@@ -115,6 +115,7 @@ void Registry::fold(std::string_view prefix, const ExprCounters& counters) {
   counter(key.with("instructions")).add(counters.instructions);
   counter(key.with("evals")).add(counters.evals);
   counter(key.with("lazy_errors")).add(counters.lazy_errors);
+  counter(key.with("batch_evals")).add(counters.batch_evals);
 }
 
 void Registry::fold(std::string_view prefix, const SimCounters& counters) {

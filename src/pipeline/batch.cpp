@@ -10,6 +10,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -714,6 +715,93 @@ std::string estimate_stage(const estimator::PreparedModel* sim,
   return "";
 }
 
+/// Stage 4 for a lane chunk: run the selected backend(s) once over the
+/// whole parameter span via PreparedModel::estimate_batch and fill each
+/// lane's prediction fields — the same reference/candidate logic as
+/// estimate_stage, applied per lane.  Any failure aborts the whole
+/// chunk (stage-prefixed error); the caller re-runs the lanes one by
+/// one, which attributes the error (and any tripped bound) to exactly
+/// the right job.
+std::string estimate_stage_batch(
+    const estimator::PreparedModel* sim,
+    const estimator::PreparedModel* analytic,
+    const estimator::PreparedModel* codegen, estimator::BackendKind kind,
+    std::span<const machine::SystemParameters> params, obs::Registry* metrics,
+    guard::Budget* budget, ScenarioResult* results) {
+  const estimator::BackendKind reference =
+      estimator::backends_of(kind).reference();
+  estimator::EstimationOptions estimation;
+  estimation.collect_trace = false;
+  estimation.collect_machine_report = false;
+  estimation.metrics = metrics;
+  estimation.budget = budget;
+
+  struct Engine {
+    const estimator::PreparedModel* prepared;
+    estimator::BackendKind kind;
+    double ScenarioResult::*candidate;  // per-engine field (null for sim)
+  };
+  // Reference first: candidates compare against its prediction.
+  Engine engines[3];
+  std::size_t count = 0;
+  const auto add = [&](const estimator::PreparedModel* prepared,
+                       estimator::BackendKind engine_kind,
+                       double ScenarioResult::*candidate) {
+    if (prepared == nullptr) {
+      return;
+    }
+    engines[count++] = Engine{prepared, engine_kind, candidate};
+    if (engine_kind == reference && count > 1) {
+      std::swap(engines[0], engines[count - 1]);
+    }
+  };
+  add(sim, estimator::BackendKind::Simulation, nullptr);
+  add(analytic, estimator::BackendKind::Analytic,
+      &ScenarioResult::analytic_predicted);
+  add(codegen, estimator::BackendKind::Codegen,
+      &ScenarioResult::codegen_predicted);
+  if (count == 0) {
+    return "";
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Engine& engine = engines[i];
+    const char* stage = engine_stage(engine.kind);
+    try {
+      const std::vector<estimator::PredictionReport> reports =
+          engine.prepared->estimate_batch(params, estimation);
+      if (reports.size() != params.size()) {
+        return std::string(stage) +
+               "estimate_batch returned a wrong lane count";
+      }
+      for (std::size_t lane = 0; lane < reports.size(); ++lane) {
+        ScenarioResult& result = results[lane];
+        const estimator::PredictionReport& report = reports[lane];
+        if (engine.candidate != nullptr) {
+          result.*engine.candidate = report.predicted_time;
+        }
+        if (engine.kind == reference) {
+          result.predicted_time = report.predicted_time;
+          result.processes = report.processes;
+          if (engine.kind != estimator::BackendKind::Analytic) {
+            result.events = report.events;
+          }
+        } else if (result.predicted_time > 0) {
+          result.relative_error = std::max(
+              result.relative_error,
+              std::abs(report.predicted_time - result.predicted_time) /
+                  result.predicted_time);
+        } else if (report.predicted_time > 0) {
+          result.relative_error = std::numeric_limits<double>::infinity();
+        }
+      }
+    } catch (const std::exception& error) {
+      return std::string(stage) + error.what();
+    }
+  }
+  return "";
+}
+
 /// The per-job limit set: options.limits with `--job-timeout` folded
 /// into the wall clock (the tighter bound wins).
 guard::Limits job_limits(const BatchOptions& options) {
@@ -899,6 +987,59 @@ ScenarioResult BatchRunner::run_job_cached(const BatchJob& job,
   return result;
 }
 
+void BatchRunner::run_chunk_cached(const BatchJob* jobs, std::size_t count,
+                                   const CompiledEntry& entry,
+                                   obs::Registry* metrics,
+                                   const guard::Budget* sweep,
+                                   ScenarioResult* results) const {
+  // Chunks exist only on the unlimited fast path (see run()): no per-job
+  // limits, no timeout, no fault plan — so the chunk budget's only duty
+  // is cooperative sweep cancellation, which is safe to share across the
+  // lanes (a trip abandons the chunk and the per-lane fallback below
+  // re-attributes it with per-job budgets).
+  const guard::Limits limits = job_limits(options_);
+  guard::Budget budget(limits, sweep);
+  guard::Budget* job_budget =
+      limits.any() || sweep != nullptr ? &budget : nullptr;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<machine::SystemParameters> params;
+  params.reserve(count);
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    results[lane] = result_for(jobs[lane]);
+    results[lane].backend = options_.backend;
+    results[lane].check_warnings = entry.check_warnings;
+    results[lane].generated_bytes = entry.generated_bytes;
+    params.push_back(jobs[lane].params);
+  }
+
+  const std::string error = estimate_stage_batch(
+      entry.sim.get(), entry.analytic.get(), entry.codegen.get(),
+      options_.backend, params, metrics, job_budget, results);
+  if (!error.empty()) {
+    // Any lane failure (or a sweep cancellation) abandons the chunk:
+    // every lane re-runs through the scalar per-job path, which reports
+    // errors, budgets and tripped_limit for exactly the right job.
+    if (metrics != nullptr) {
+      metrics->counter("batch.lanes_fallback").add(count);
+    }
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      results[lane] =
+          run_job_cached(jobs[lane], entry, metrics, nullptr, sweep);
+    }
+    return;
+  }
+  // Host times are the chunk's elapsed time split evenly — the lanes
+  // were evaluated together, so no finer attribution exists.  (These are
+  // the non-deterministic CSV columns; predictions are per lane.)
+  const double share = seconds_since(start) / static_cast<double>(count);
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    results[lane].ok = true;
+    results[lane].estimate_seconds = share;
+    results[lane].wall_seconds = share;
+  }
+}
+
 BatchReport BatchRunner::run() const {
   BatchReport report;
   report.results.resize(jobs_.size());
@@ -978,6 +1119,40 @@ BatchReport BatchRunner::run() const {
     }
   }
 
+  // Lane chunking (cached mode): consecutive same-model jobs grouped up
+  // to the batch width evaluate through one PreparedModel::estimate_batch
+  // call per chunk.  Chunks form only on the unlimited fast path —
+  // per-job limits, timeouts and fault plans need per-job budgets, and a
+  // model's representative trace job needs its own estimate call —
+  // everything else stays a singleton.  A sweep deadline/cancellation
+  // does NOT disable chunking: it is checked between chunks, and a
+  // mid-chunk trip falls back to the per-lane path.
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t size = 1;
+  };
+  const int lanes = options_.batch_lanes == 0 ? 8 : options_.batch_lanes;
+  const bool batching = !options_.isolate_jobs && lanes >= 2 &&
+                        !job_limits(options_).any() &&
+                        options_.fault_plan == nullptr;
+  std::vector<Chunk> chunks;
+  chunks.reserve(jobs_.size());
+  for (std::size_t index = 0; index < jobs_.size();) {
+    Chunk chunk{index, 1};
+    if (batching && trace_job[index] == 0 &&
+        cache[static_cast<std::size_t>(jobs_[index].model_index)].ok) {
+      while (chunk.size < static_cast<std::size_t>(lanes) &&
+             index + chunk.size < jobs_.size() &&
+             jobs_[index + chunk.size].model_index ==
+                 jobs_[index].model_index &&
+             trace_job[index + chunk.size] == 0) {
+        ++chunk.size;
+      }
+    }
+    chunks.push_back(chunk);
+    index += chunk.size;
+  }
+
   // Neither Registry nor TraceLog is thread-safe: each worker owns one
   // of each (trace logs share the report's epoch) and they merge after
   // the join — the hot path never synchronizes on instrumentation.
@@ -1007,7 +1182,7 @@ BatchReport BatchRunner::run() const {
   std::atomic<std::size_t> next{0};
   const auto worker = [this, &next, &report, &cache, &worker_metrics,
                        &worker_traces, &trace_job, &done, &worst_rel_bits,
-                       &claimed, sweep](int worker_id) {
+                       &claimed, &chunks, sweep](int worker_id) {
     // Isolated mode constructs the (stateless) backends once per worker
     // thread, not once per job.
     std::unique_ptr<estimator::Backend> sim_backend;
@@ -1039,17 +1214,58 @@ BatchReport BatchRunner::run() const {
         worker_traces.empty()
             ? nullptr
             : &worker_traces[static_cast<std::size_t>(worker_id)];
+    // Worst-rel-error bookkeeping shared by the singleton and chunk
+    // paths: max via CAS on the double's bit pattern (rel errors are
+    // non-negative, so the integer order matches the double order).
+    const auto note_result = [&worst_rel_bits](const ScenarioResult& result) {
+      if (!result.ok ||
+          !estimator::backends_of(result.backend).cross_validates()) {
+        return;
+      }
+      const double rel = result.relative_error;
+      std::uint64_t seen = worst_rel_bits.load(std::memory_order_relaxed);
+      while (std::bit_cast<double>(seen) < rel &&
+             !worst_rel_bits.compare_exchange_weak(
+                 seen, std::bit_cast<std::uint64_t>(rel),
+                 std::memory_order_relaxed)) {
+      }
+    };
     for (;;) {
       // Stop claiming work once the sweep is cancelled or past its
       // deadline; already-claimed jobs finish (or trip) on their own.
       if (sweep != nullptr && sweep->exhausted()) {
         return;
       }
-      const std::size_t index = next.fetch_add(1);
-      if (index >= jobs_.size()) {
+      const std::size_t ticket = next.fetch_add(1);
+      if (ticket >= chunks.size()) {
         return;
       }
-      claimed[index] = 1;
+      const Chunk chunk = chunks[ticket];
+      for (std::size_t k = 0; k < chunk.size; ++k) {
+        claimed[chunk.begin + k] = 1;
+      }
+      if (chunk.size > 1) {
+        // Lane chunk: one estimate_batch call covers every job.
+        const BatchJob& first = jobs_[chunk.begin];
+        {
+          const obs::TraceLog::HostSpan span(
+              log, 0, worker_id,
+              "estimate " + first.model_name + " #" +
+                  std::to_string(first.id) + "-#" +
+                  std::to_string(jobs_[chunk.begin + chunk.size - 1].id),
+              "host.estimate");
+          run_chunk_cached(
+              &jobs_[chunk.begin], chunk.size,
+              cache[static_cast<std::size_t>(first.model_index)], metrics,
+              sweep, &report.results[chunk.begin]);
+        }
+        for (std::size_t k = 0; k < chunk.size; ++k) {
+          note_result(report.results[chunk.begin + k]);
+        }
+        done.fetch_add(chunk.size, std::memory_order_release);
+        continue;
+      }
+      const std::size_t index = chunk.begin;
       const BatchJob& job = jobs_[index];
       trace::Trace sim_trace;
       trace::Trace* sim_trace_out =
@@ -1072,17 +1288,7 @@ BatchReport BatchRunner::run() const {
         log->append_simulated(sim_trace, sim_pid_base(job.model_index),
                               job.model_name);
       }
-      const ScenarioResult& result = report.results[index];
-      if (result.ok &&
-          estimator::backends_of(result.backend).cross_validates()) {
-        const double rel = result.relative_error;
-        std::uint64_t seen = worst_rel_bits.load(std::memory_order_relaxed);
-        while (std::bit_cast<double>(seen) < rel &&
-               !worst_rel_bits.compare_exchange_weak(
-                   seen, std::bit_cast<std::uint64_t>(rel),
-                   std::memory_order_relaxed)) {
-        }
-      }
+      note_result(report.results[index]);
       done.fetch_add(1, std::memory_order_release);
     }
   };
@@ -1170,6 +1376,12 @@ BatchReport BatchRunner::run() const {
 
   for (const auto& registry : worker_metrics) {
     report.metrics.merge(registry);
+  }
+  if (collect_metrics && batching) {
+    // The configured lane width; `expr.batch_evals` (folded from the
+    // engine counters above) tells whether the vectorized VM actually
+    // ran, `batch.lanes_fallback` how many lanes dropped to scalar.
+    report.metrics.gauge("expr.batch_width").set(static_cast<double>(lanes));
   }
   for (auto& log : worker_traces) {
     report.trace.merge(std::move(log));

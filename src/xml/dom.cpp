@@ -23,11 +23,17 @@ std::string_view to_string(NodeKind kind) {
 void Element::set_attr(std::string_view name, std::string_view value) {
   for (auto& attribute : attributes_) {
     if (attribute.name == name) {
-      attribute.value = std::string(value);
+      // assign() reuses the existing buffer when it is large enough.
+      attribute.value.assign(value);
       return;
     }
   }
-  attributes_.push_back({std::string(name), std::string(value)});
+  if (attributes_.empty()) {
+    // Real-world elements carry a handful of attributes (id, kind, name,
+    // ...); one up-front reservation replaces the 1→2→4 growth series.
+    attributes_.reserve(4);
+  }
+  attributes_.push_back({intern(name), std::string(value)});
 }
 
 std::optional<std::string_view> Element::attr(std::string_view name) const {
@@ -66,8 +72,8 @@ Node& Element::add_child(std::unique_ptr<Node> child) {
   return *children_.back();
 }
 
-Element& Element::add_element(std::string name) {
-  auto& node = add_child(std::make_unique<Element>(std::move(name)));
+Element& Element::add_element(std::string_view name) {
+  auto& node = add_child(std::make_unique<Element>(name));
   return static_cast<Element&>(node);
 }
 
@@ -184,7 +190,7 @@ const Element* Element::find(std::string_view path) const {
 }
 
 std::unique_ptr<Node> Element::clone() const {
-  auto copy = std::make_unique<Element>(name_);
+  auto copy = std::make_unique<Element>(*name_);
   copy->attributes_ = attributes_;
   copy->children_.reserve(children_.size());
   for (const auto& node : children_) {
@@ -193,8 +199,8 @@ std::unique_ptr<Node> Element::clone() const {
   return copy;
 }
 
-Document Document::with_root(std::string root_name) {
-  return Document(std::make_unique<Element>(std::move(root_name)));
+Document Document::with_root(std::string_view root_name) {
+  return Document(std::make_unique<Element>(root_name));
 }
 
 Document Document::clone() const {

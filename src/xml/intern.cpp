@@ -1,0 +1,58 @@
+#include "prophet/xml/intern.hpp"
+
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+
+namespace prophet::xml {
+namespace {
+
+/// Transparent hashing so lookups take string_views without building a
+/// temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view text) const noexcept {
+    return std::hash<std::string_view>{}(text);
+  }
+  std::size_t operator()(const std::string& text) const noexcept {
+    return std::hash<std::string_view>{}(text);
+  }
+};
+
+struct Pool {
+  std::shared_mutex mutex;
+  // Node-based buckets: element addresses survive rehashing, which is
+  // what lets intern() hand out references into the set.
+  std::unordered_set<std::string, StringHash, std::equal_to<>> strings;
+};
+
+Pool& pool() {
+  // Leaked on purpose: interned strings have process lifetime, so the
+  // pool must never be destroyed while a static destructor elsewhere
+  // could still read one.
+  static Pool* instance = new Pool;
+  return *instance;
+}
+
+}  // namespace
+
+const std::string& intern(std::string_view text) {
+  Pool& p = pool();
+  {
+    std::shared_lock lock(p.mutex);
+    if (const auto it = p.strings.find(text); it != p.strings.end()) {
+      return *it;
+    }
+  }
+  std::unique_lock lock(p.mutex);
+  return *p.strings.emplace(text).first;
+}
+
+std::size_t intern_count() {
+  Pool& p = pool();
+  std::shared_lock lock(p.mutex);
+  return p.strings.size();
+}
+
+}  // namespace prophet::xml

@@ -43,10 +43,34 @@ class Cursor {
     return c;
   }
 
+  /// Everything not yet consumed.  Views returned from here stay valid
+  /// for the parse (the cursor never mutates the input), which is what
+  /// lets the parser hand out names/values without copying them first.
+  [[nodiscard]] std::string_view rest() const { return text_.substr(pos_); }
+
   void skip(std::size_t n) {
-    for (std::size_t i = 0; i < n && !at_end(); ++i) {
-      advance();
+    advance_by(std::min(n, text_.size() - pos_));
+  }
+
+  /// Advances over the next `n` characters (which must exist) in one
+  /// step, updating line/column by scanning the run for newlines instead
+  /// of dispatching per character.
+  void advance_by(std::size_t n) {
+    const std::string_view run = text_.substr(pos_, n);
+    std::size_t newlines = 0;
+    std::size_t last_newline = 0;
+    for (std::size_t at = run.find('\n'); at != std::string_view::npos;
+         at = run.find('\n', at + 1)) {
+      ++newlines;
+      last_newline = at;
     }
+    if (newlines > 0) {
+      line_ += newlines;
+      column_ = run.size() - last_newline;
+    } else {
+      column_ += run.size();
+    }
+    pos_ += run.size();
   }
 
   void skip_space() {
@@ -56,18 +80,18 @@ class Cursor {
   }
 
   /// Consumes up to (and including) `terminator`; returns the consumed
-  /// prefix excluding the terminator. Throws when the terminator is absent.
-  std::string consume_until(std::string_view terminator,
-                            std::string_view what) {
-    std::string out;
-    while (!at_end()) {
-      if (starts_with(terminator)) {
-        skip(terminator.size());
-        return out;
-      }
-      out += advance();
+  /// prefix excluding the terminator, as a view over the input.  Throws
+  /// when the terminator is absent.
+  std::string_view consume_until(std::string_view terminator,
+                                 std::string_view what) {
+    const std::size_t at = text_.find(terminator, pos_);
+    if (at == std::string_view::npos) {
+      advance_by(text_.size() - pos_);
+      fail(std::string("unterminated ") + std::string(what));
     }
-    fail(std::string("unterminated ") + std::string(what));
+    const std::string_view out = text_.substr(pos_, at - pos_);
+    advance_by(out.size() + terminator.size());
+    return out;
   }
 
   [[noreturn]] void fail(const std::string& message) const {
@@ -110,23 +134,24 @@ class Parser {
       return;
     }
     cursor_.skip(5);
-    const std::string decl = cursor_.consume_until("?>", "XML declaration");
+    const std::string_view decl =
+        cursor_.consume_until("?>", "XML declaration");
     // Extract version/encoding pseudo-attributes, tolerantly.
     auto extract = [&decl](std::string_view key) -> std::string {
       const auto pos = decl.find(key);
-      if (pos == std::string::npos) {
+      if (pos == std::string_view::npos) {
         return {};
       }
       auto quote = decl.find_first_of("\"'", pos);
-      if (quote == std::string::npos) {
+      if (quote == std::string_view::npos) {
         return {};
       }
       const char q = decl[quote];
       const auto end = decl.find(q, quote + 1);
-      if (end == std::string::npos) {
+      if (end == std::string_view::npos) {
         return {};
       }
-      return decl.substr(quote + 1, end - quote - 1);
+      return std::string(decl.substr(quote + 1, end - quote - 1));
     };
     if (auto v = extract("version"); !v.empty()) {
       doc.set_version(v);
@@ -155,16 +180,18 @@ class Parser {
     }
   }
 
-  std::string parse_name() {
-    if (cursor_.at_end() || !is_name_start(cursor_.peek())) {
+  /// Zero-copy: the returned view aliases the input text.
+  std::string_view parse_name() {
+    const std::string_view rest = cursor_.rest();
+    if (rest.empty() || !is_name_start(rest.front())) {
       cursor_.fail("expected name");
     }
-    std::string name;
-    name += cursor_.advance();
-    while (!cursor_.at_end() && is_name_char(cursor_.peek())) {
-      name += cursor_.advance();
+    std::size_t length = 1;
+    while (length < rest.size() && is_name_char(rest[length])) {
+      ++length;
     }
-    return name;
+    cursor_.advance_by(length);
+    return rest.substr(0, length);
   }
 
   std::string parse_attribute_value() {
@@ -173,22 +200,29 @@ class Parser {
       cursor_.fail("expected quoted attribute value");
     }
     const char quote = cursor_.advance();
-    std::string raw;
-    while (!cursor_.at_end() && cursor_.peek() != quote) {
-      const char c = cursor_.peek();
-      if (c == '<') {
-        cursor_.fail("'<' in attribute value");
-      }
-      raw += cursor_.advance();
-    }
-    if (cursor_.at_end()) {
+    // The raw value is a contiguous run of the input ending at the
+    // closing quote; find it in one scan instead of copying per char.
+    const std::string_view rest = cursor_.rest();
+    const std::size_t close = rest.find(quote);
+    if (close == std::string_view::npos) {
+      cursor_.advance_by(rest.size());
       cursor_.fail("unterminated attribute value");
     }
-    cursor_.advance();  // closing quote
+    const std::string_view raw = rest.substr(0, close);
+    if (const std::size_t lt = raw.find('<'); lt != std::string_view::npos) {
+      cursor_.advance_by(lt);
+      cursor_.fail("'<' in attribute value");
+    }
+    cursor_.advance_by(close + 1);  // value + closing quote
     return decode_entities(raw);
   }
 
   std::string decode_entities(std::string_view raw) {
+    // Fast path: values and text runs almost never contain entity
+    // references — one scan, one copy, no per-character dispatch.
+    if (raw.find('&') == std::string_view::npos) {
+      return std::string(raw);
+    }
     std::string out;
     out.reserve(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -289,15 +323,16 @@ class Parser {
       if (cursor_.peek() == '>' || cursor_.starts_with("/>")) {
         break;
       }
-      const std::string attr_name = parse_name();
+      const std::string_view attr_name = parse_name();
       cursor_.skip_space();
       if (cursor_.at_end() || cursor_.peek() != '=') {
-        cursor_.fail("expected '=' after attribute name '" + attr_name + "'");
+        cursor_.fail("expected '=' after attribute name '" +
+                     std::string(attr_name) + "'");
       }
       cursor_.advance();
       cursor_.skip_space();
       if (element->has_attr(attr_name)) {
-        cursor_.fail("duplicate attribute '" + attr_name + "'");
+        cursor_.fail("duplicate attribute '" + std::string(attr_name) + "'");
       }
       element->set_attr(attr_name, parse_attribute_value());
     }
@@ -336,10 +371,10 @@ class Parser {
       if (cursor_.starts_with("</")) {
         flush_text();
         cursor_.skip(2);
-        const std::string closing = parse_name();
+        const std::string_view closing = parse_name();
         if (closing != element.name()) {
-          cursor_.fail("mismatched end tag </" + closing + ">, expected </" +
-                       element.name() + ">");
+          cursor_.fail("mismatched end tag </" + std::string(closing) +
+                       ">, expected </" + element.name() + ">");
         }
         cursor_.skip_space();
         if (cursor_.at_end() || cursor_.peek() != '>') {
@@ -351,13 +386,15 @@ class Parser {
       if (cursor_.starts_with("<!--")) {
         flush_text();
         cursor_.skip(4);
-        element.add_comment(cursor_.consume_until("-->", "comment"));
+        element.add_comment(
+            std::string(cursor_.consume_until("-->", "comment")));
         continue;
       }
       if (cursor_.starts_with("<![CDATA[")) {
         flush_text();
         cursor_.skip(9);
-        element.add_cdata(cursor_.consume_until("]]>", "CDATA section"));
+        element.add_cdata(
+            std::string(cursor_.consume_until("]]>", "CDATA section")));
         continue;
       }
       if (cursor_.starts_with("<?")) {
@@ -371,7 +408,17 @@ class Parser {
         element.add_child(parse_element());
         continue;
       }
-      pending_text += cursor_.advance();
+      // Bulk text run: everything up to the next markup (or input end —
+      // the unterminated-element error fires on the next iteration).
+      // peek() != '<' here, so the run is non-empty and the loop makes
+      // progress.
+      const std::string_view rest = cursor_.rest();
+      std::size_t run = rest.find('<');
+      if (run == std::string_view::npos) {
+        run = rest.size();
+      }
+      pending_text.append(rest.substr(0, run));
+      cursor_.advance_by(run);
     }
   }
 
@@ -401,9 +448,17 @@ Document parse_file(const std::string& path) {
   if (!in) {
     throw std::runtime_error("cannot open file: " + path);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse(buffer.str());
+  // Read straight into the final buffer (sized up front) instead of
+  // growing through a stringstream and copying out of it.
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  std::string text;
+  if (size > 0) {
+    text.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(text.data(), size);
+  }
+  return parse(text);
 }
 
 }  // namespace prophet::xml

@@ -1,0 +1,153 @@
+// AnalyticEstimator::evaluate_batch and the estimate_batch backend
+// contract: batched evaluation must be bit-identical to the scalar loop
+// (reports, per-process finish times, replayed-element counts), fall
+// back cleanly on models whose lanes diverge, and report the fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "prophet/analytic/analytic.hpp"
+#include "prophet/analytic/backend.hpp"
+#include "prophet/estimator/backend.hpp"
+#include "prophet/models/registry.hpp"
+#include "prophet/obs/obs.hpp"
+#include "prophet/prophet.hpp"
+
+namespace analytic = prophet::analytic;
+namespace estimator = prophet::estimator;
+namespace machine = prophet::machine;
+namespace obs = prophet::obs;
+
+namespace {
+
+machine::SystemParameters params_np(int np, int nodes = 1, int ppn = 1) {
+  machine::SystemParameters params;
+  params.processes = np;
+  params.nodes = nodes;
+  params.processors_per_node = ppn;
+  return params;
+}
+
+std::vector<machine::SystemParameters> lane_grid() {
+  std::vector<machine::SystemParameters> lanes;
+  for (const int np : {1, 2, 4, 8}) {
+    for (const int nodes : {1, 2}) {
+      lanes.push_back(params_np(np, nodes, 2));
+    }
+  }
+  return lanes;
+}
+
+void expect_reports_identical(const analytic::AnalyticReport& a,
+                              const analytic::AnalyticReport& b) {
+  // Bit-exact, not approximately equal.
+  EXPECT_EQ(a.predicted_time, b.predicted_time);
+  EXPECT_EQ(a.processes, b.processes);
+  EXPECT_EQ(a.evaluated_elements, b.evaluated_elements);
+  EXPECT_EQ(a.per_process_finish, b.per_process_finish);
+  ASSERT_EQ(a.node_loads.size(), b.node_loads.size());
+  for (std::size_t i = 0; i < a.node_loads.size(); ++i) {
+    EXPECT_EQ(a.node_loads[i].utilization, b.node_loads[i].utilization) << i;
+  }
+}
+
+TEST(AnalyticBatch, MatchesScalarLoopBitExactly) {
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto lanes = lane_grid();
+  const auto batched = analyzer.evaluate_batch(lanes);
+  ASSERT_EQ(batched.size(), lanes.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    expect_reports_identical(batched[lane], analyzer.evaluate(lanes[lane]));
+  }
+}
+
+TEST(AnalyticBatch, SpmdFastPathTakesOneBatchedWalk) {
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::kernel6_model(64, 16, 1e-8));
+  const auto lanes = lane_grid();
+  obs::AnalyticCounters counters;
+  std::size_t lanes_fallback = 0;
+  const auto batched =
+      analyzer.evaluate_batch(lanes, &counters, nullptr, &lanes_fallback);
+  ASSERT_EQ(batched.size(), lanes.size());
+  EXPECT_EQ(lanes_fallback, 0u);
+  // Every lane finalized through the shared batched walk.
+  EXPECT_EQ(counters.spmd_fast_path, lanes.size());
+  EXPECT_GT(counters.expr.batch_evals, 0u);
+}
+
+TEST(AnalyticBatch, DivergentModelsFallBackToScalarLanes) {
+  // The random workload takes probabilistic decisions — lanes cannot
+  // stay in lockstep, so the batched walk must bail out and the scalar
+  // loop must produce the results (bit-identical by construction; the
+  // fallback count reports the bail-out).
+  const prophet::models::Registry& registry =
+      prophet::models::Registry::builtin();
+  const analytic::AnalyticEstimator analyzer(registry.make("@random"));
+  std::vector<machine::SystemParameters> lanes;
+  for (const int np : {1, 2, 4, 8}) {
+    lanes.push_back(params_np(np));
+  }
+  std::size_t lanes_fallback = 0;
+  const auto batched =
+      analyzer.evaluate_batch(lanes, nullptr, nullptr, &lanes_fallback);
+  ASSERT_EQ(batched.size(), lanes.size());
+  EXPECT_EQ(lanes_fallback, lanes.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    expect_reports_identical(batched[lane], analyzer.evaluate(lanes[lane]));
+  }
+}
+
+TEST(AnalyticBatch, SingleLaneUsesTheScalarPath) {
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::kernel6_model(8, 2, 1e-8));
+  const std::vector<machine::SystemParameters> one = {params_np(4, 2, 2)};
+  const auto batched = analyzer.evaluate_batch(one);
+  ASSERT_EQ(batched.size(), 1u);
+  expect_reports_identical(batched[0], analyzer.evaluate(one[0]));
+}
+
+TEST(AnalyticBatch, EmptySpanYieldsNoReports) {
+  const analytic::AnalyticEstimator analyzer(
+      prophet::models::kernel6_model(8, 2, 1e-8));
+  EXPECT_TRUE(analyzer.evaluate_batch({}).empty());
+}
+
+// --- PreparedModel::estimate_batch ------------------------------------------
+
+TEST(AnalyticBatch, PreparedEstimateBatchMatchesScalarEstimates) {
+  const prophet::uml::Model model = prophet::models::kernel6_model(64, 16, 1e-8);
+  const analytic::AnalyticBackend backend;
+  const auto prepared = backend.prepare(model);
+  const auto lanes = lane_grid();
+  const auto batched = prepared->estimate_batch(lanes);
+  ASSERT_EQ(batched.size(), lanes.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const auto scalar = prepared->estimate(lanes[lane]);
+    EXPECT_EQ(batched[lane].predicted_time, scalar.predicted_time) << lane;
+    EXPECT_EQ(batched[lane].processes, scalar.processes) << lane;
+    EXPECT_EQ(batched[lane].per_process_finish, scalar.per_process_finish)
+        << lane;
+  }
+}
+
+TEST(AnalyticBatch, DefaultEstimateBatchIsTheScalarLoop) {
+  // The simulation backend does not override estimate_batch: the base
+  // implementation must loop estimate() and stay bit-identical to it.
+  const prophet::uml::Model model = prophet::models::kernel6_model(8, 2, 1e-8);
+  const analytic::SimulationBackend backend;
+  const auto prepared = backend.prepare(model);
+  const std::vector<machine::SystemParameters> lanes = {params_np(1),
+                                                        params_np(2, 2, 1)};
+  const auto batched = prepared->estimate_batch(lanes);
+  ASSERT_EQ(batched.size(), lanes.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const auto scalar = prepared->estimate(lanes[lane]);
+    EXPECT_EQ(batched[lane].predicted_time, scalar.predicted_time) << lane;
+    EXPECT_EQ(batched[lane].events, scalar.events) << lane;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,492 @@
+// Batched expression VM: SlotBlock layout, the eval_batch fast path and
+// its lane-by-lane fallback, and the randomized differential suite
+// pinning bit-identity against per-lane Compiled::eval at several lane
+// widths — including NaN/inf/signed-zero lanes and lazy-error lanes
+// (the error must fire for the lowest erroring lane, with the scalar
+// loop's exact message).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "prophet/expr/compile.hpp"
+#include "prophet/expr/parser.hpp"
+#include "prophet/obs/obs.hpp"
+
+namespace expr = prophet::expr;
+namespace obs = prophet::obs;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A scalar evaluation outcome: the result's bit pattern, or the error
+/// message.  Comparing bit patterns (not values) pins NaN payloads and
+/// signed zeros.
+using Outcome = std::variant<std::uint64_t, std::string>;
+
+Outcome scalar_outcome(const expr::Compiled& program,
+                       const expr::EvalContext& ctx) {
+  try {
+    return std::bit_cast<std::uint64_t>(program.eval(ctx));
+  } catch (const expr::EvalError& error) {
+    return std::string(error.what());
+  }
+}
+
+// --- SlotBlock --------------------------------------------------------------
+
+TEST(SlotBlock, LaysLanesOutSlotMajor) {
+  expr::SymbolTable table;
+  const expr::Slot a = table.add_variable("a");
+  const expr::Slot b = table.add_variable("b");
+  expr::SlotBlock block(table, 4);
+  ASSERT_EQ(block.width(), 4u);
+  ASSERT_EQ(block.slot_count(), 2u);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    block.set(a, lane, 10.0 + static_cast<double>(lane));
+    block.set(b, lane, 20.0 + static_cast<double>(lane));
+  }
+  // Each slot's lanes are one contiguous array...
+  EXPECT_EQ(block.lanes(a)[0], 10.0);
+  EXPECT_EQ(block.lanes(a)[3], 13.0);
+  EXPECT_EQ(block.lanes(b)[2], 22.0);
+  // ...and lane arrays of consecutive slots are adjacent (slot-major).
+  EXPECT_EQ(block.lanes(b), block.lanes(a) + 4);
+  EXPECT_EQ(block.get(b, 1), 21.0);
+}
+
+TEST(SlotBlock, BindAndUnbindMirrorSlotFrame) {
+  expr::SymbolTable table;
+  const expr::Slot a = table.add_variable("a");
+  expr::SlotBlock block(table, 2);
+  double external[2] = {7.0, 8.0};
+  block.bind(a, external);
+  EXPECT_EQ(block.get(a, 1), 8.0);
+  EXPECT_EQ(block.frame()[a], external);
+  block.unbind(a);
+  EXPECT_EQ(block.frame()[a], nullptr);
+  // Owned storage survives rebinding.
+  block.bind(a, block.lanes(a));
+  block.set(a, 0, 1.5);
+  EXPECT_EQ(block.get(a, 0), 1.5);
+}
+
+// --- Directed eval_batch cases ----------------------------------------------
+
+/// Compiles `text` against a table with variables a, b, c.
+struct Abc {
+  expr::SymbolTable table;
+  expr::Slot a, b, c;
+  expr::Compiled program;
+
+  explicit Abc(const std::string& text)
+      : a(table.add_variable("a")),
+        b(table.add_variable("b")),
+        c(table.add_variable("c")),
+        program(expr::compile(*expr::parse(text), table)) {}
+};
+
+TEST(ExprBatch, EvaluatesAllLanesOfABranchlessProgram) {
+  Abc m("a + b * c");
+  ASSERT_TRUE(m.program.branchless());
+  expr::SlotBlock block(m.table, 8);
+  for (std::size_t lane = 0; lane < 8; ++lane) {
+    const double x = static_cast<double>(lane);
+    block.set(m.a, lane, x);
+    block.set(m.b, lane, x + 1);
+    block.set(m.c, lane, 2.0);
+  }
+  expr::BatchEvalContext ctx;
+  ctx.frame = block.frame();
+  ctx.width = 8;
+  double out[8];
+  m.program.eval_batch(ctx, out);
+  for (std::size_t lane = 0; lane < 8; ++lane) {
+    const double x = static_cast<double>(lane);
+    EXPECT_EQ(out[lane], x + (x + 1) * 2.0) << lane;
+  }
+}
+
+TEST(ExprBatch, SpecialValuesArePropagatedBitExactly) {
+  Abc m("a / b - c");
+  expr::SlotBlock block(m.table, 4);
+  const double as[] = {0.0, 1.0, kNan, kInf};
+  const double bs[] = {-0.0, 0.0, 2.0, -kInf};
+  const double cs[] = {-0.0, -kInf, 0.5, kNan};
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    block.set(m.a, lane, as[lane]);
+    block.set(m.b, lane, bs[lane]);
+    block.set(m.c, lane, cs[lane]);
+  }
+  expr::BatchEvalContext ctx;
+  ctx.frame = block.frame();
+  ctx.width = 4;
+  double out[4];
+  m.program.eval_batch(ctx, out);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    const double expected = as[lane] / bs[lane] - cs[lane];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[lane]),
+              std::bit_cast<std::uint64_t>(expected))
+        << lane;
+  }
+}
+
+TEST(ExprBatch, WidthOneMatchesScalarEval) {
+  Abc m("max(a, b) + min(b, c) % a");
+  expr::SlotBlock block(m.table, 1);
+  block.set(m.a, 0, 3.5);
+  block.set(m.b, 0, -2.0);
+  block.set(m.c, 0, 7.0);
+  expr::BatchEvalContext batch;
+  batch.frame = block.frame();
+  batch.width = 1;
+  double out = 0;
+  m.program.eval_batch(batch, &out);
+
+  expr::SlotFrame frame(m.table);
+  frame.set(m.a, 3.5);
+  frame.set(m.b, -2.0);
+  frame.set(m.c, 7.0);
+  expr::EvalContext scalar;
+  scalar.frame = frame.frame();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out),
+            std::bit_cast<std::uint64_t>(m.program.eval(scalar)));
+}
+
+TEST(ExprBatch, LazyErrorFiresOnTheLowestErroringLane) {
+  // "ghost" is never bound: the load errors only in lanes where the
+  // conditional takes the error branch.
+  expr::SymbolTable table;
+  const expr::Slot a = table.add_variable("a");
+  table.add_variable("ghost");
+  const expr::Compiled program =
+      expr::compile(*expr::parse("a > 0 ? a : ghost"), table);
+
+  expr::SlotBlock block(table, 4);
+  const double as[] = {1.0, -1.0, -2.0, 3.0};  // lanes 1 and 2 error
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    block.set(a, lane, as[lane]);
+  }
+  block.unbind(table.slot_of("ghost").value());
+  expr::BatchEvalContext ctx;
+  ctx.frame = block.frame();
+  ctx.width = 4;
+  double out[4] = {};
+
+  // The scalar loop evaluates lane 0 fine and throws on lane 1; the
+  // batch entry must surface that lane's exact message.
+  std::string scalar_message;
+  {
+    expr::SlotFrame frame(table);
+    frame.set(a, -1.0);
+    frame.unbind(table.slot_of("ghost").value());
+    expr::EvalContext scalar;
+    scalar.frame = frame.frame();
+    try {
+      (void)program.eval(scalar);
+      FAIL() << "scalar eval should have thrown";
+    } catch (const expr::EvalError& error) {
+      scalar_message = error.what();
+    }
+  }
+  try {
+    program.eval_batch(ctx, out);
+    FAIL() << "eval_batch should have thrown";
+  } catch (const expr::EvalError& error) {
+    EXPECT_EQ(std::string(error.what()), scalar_message);
+  }
+  // Lanes before the erroring one were evaluated with scalar semantics.
+  EXPECT_EQ(out[0], 1.0);
+}
+
+TEST(ExprBatch, FastPathCountsOneBatchEval) {
+  Abc m("a * b + c");
+  ASSERT_TRUE(m.program.branchless());
+  expr::SlotBlock block(m.table, 8);
+  expr::BatchEvalContext ctx;
+  ctx.frame = block.frame();
+  ctx.width = 8;
+  obs::ExprCounters counters;
+  ctx.counters = &counters;
+  double out[8];
+  m.program.eval_batch(ctx, out);
+  EXPECT_EQ(counters.batch_evals, 1u);
+  EXPECT_EQ(counters.evals, 8u);  // one per lane, like the scalar loop
+}
+
+// --- Batched user functions -------------------------------------------------
+
+/// One set of callables behind both the scalar and the batched function
+/// interfaces, so differential runs feed identical semantics.
+double shadow_log(std::span<const double> args) {
+  return args.empty() ? -1.0 : args[0] * 3.0 + 1.0;
+}
+double blend(std::span<const double> args) {
+  double total = 0.5;
+  for (const double arg : args) {
+    total = total * 0.5 + arg;
+  }
+  return total;
+}
+double dispatch(int id, std::span<const double> args) {
+  return id == 0 ? shadow_log(args) : blend(args);
+}
+
+struct ScalarFunctions final : expr::UserFunctions {
+  double call(int id, std::span<const double> args) const override {
+    return dispatch(id, args);
+  }
+};
+
+struct BatchFunctions final : expr::BatchUserFunctions {
+  void call_batch(int id, std::span<const double* const> args, double* out,
+                  std::size_t width) const override {
+    std::vector<double> lane_args(args.size());
+    for (std::size_t lane = 0; lane < width; ++lane) {
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        lane_args[i] = args[i][lane];
+      }
+      out[lane] = dispatch(id, lane_args);
+    }
+  }
+  double call_lane(int id, std::span<const double> args,
+                   std::size_t /*lane*/) const override {
+    return dispatch(id, args);
+  }
+};
+
+TEST(ExprBatch, UserFunctionCallsGoThroughTheBatchInterface) {
+  expr::SymbolTable table;
+  const expr::Slot a = table.add_variable("a");
+  ASSERT_EQ(table.add_function("log"), 0);
+  ASSERT_EQ(table.add_function("blend"), 1);
+  const expr::Compiled program =
+      expr::compile(*expr::parse("log(a) + blend(a, 2)"), table);
+  ASSERT_TRUE(program.calls_user_functions());
+
+  expr::SlotBlock block(table, 3);
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    block.set(a, lane, static_cast<double>(lane) + 0.5);
+  }
+  const BatchFunctions functions;
+  expr::BatchEvalContext ctx;
+  ctx.frame = block.frame();
+  ctx.width = 3;
+  ctx.functions = &functions;
+  double out[3];
+  program.eval_batch(ctx, out);
+
+  const ScalarFunctions scalar_functions;
+  expr::SlotFrame frame(table);
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    frame.set(a, static_cast<double>(lane) + 0.5);
+    expr::EvalContext scalar;
+    scalar.frame = frame.frame();
+    scalar.functions = &scalar_functions;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[lane]),
+              std::bit_cast<std::uint64_t>(program.eval(scalar)))
+        << lane;
+  }
+}
+
+// --- Randomized differential suite ------------------------------------------
+
+/// Structured random expression source (the batched sibling of the one
+/// in compile_test.cpp): every operator, bound/unbound variables,
+/// built-ins with right and wrong arity, user functions.
+class RandomExpr {
+ public:
+  explicit RandomExpr(std::mt19937& rng) : rng_(&rng) {}
+
+  [[nodiscard]] expr::ExprPtr gen(int depth) {
+    const int pick = depth <= 0 ? next(2) : next(10);
+    switch (pick) {
+      case 0:
+        return std::make_unique<expr::NumberExpr>(number());
+      case 1: {
+        const char* names[] = {"a", "b", "c", "ghost"};
+        return std::make_unique<expr::VariableExpr>(names[next(4)]);
+      }
+      case 2:
+        return std::make_unique<expr::UnaryExpr>(
+            next(2) == 0 ? expr::UnaryOp::Negate : expr::UnaryOp::Not,
+            gen(depth - 1));
+      case 3:
+      case 4:
+      case 5:
+      case 6: {
+        const expr::BinaryOp ops[] = {
+            expr::BinaryOp::Add, expr::BinaryOp::Sub, expr::BinaryOp::Mul,
+            expr::BinaryOp::Div, expr::BinaryOp::Mod, expr::BinaryOp::Lt,
+            expr::BinaryOp::Le,  expr::BinaryOp::Gt,  expr::BinaryOp::Ge,
+            expr::BinaryOp::Eq,  expr::BinaryOp::Ne,  expr::BinaryOp::And,
+            expr::BinaryOp::Or};
+        return std::make_unique<expr::BinaryExpr>(
+            ops[next(13)], gen(depth - 1), gen(depth - 1));
+      }
+      case 7:
+      case 8:
+        return call(depth);
+      default:
+        return std::make_unique<expr::ConditionalExpr>(
+            gen(depth - 1), gen(depth - 1), gen(depth - 1));
+    }
+  }
+
+ private:
+  [[nodiscard]] int next(int bound) {
+    return static_cast<int>((*rng_)() % static_cast<unsigned>(bound));
+  }
+
+  [[nodiscard]] double number() {
+    const double interesting[] = {0.0,   -0.0, 1.0,    -1.0,  2.0,
+                                  0.5,   -3.5, 1e300,  -1e-3, 1e-300,
+                                  kNan,  kInf, -kInf,  7.25,  42.0};
+    return interesting[next(15)];
+  }
+
+  [[nodiscard]] expr::ExprPtr call(int depth) {
+    std::vector<expr::ExprPtr> args;
+    switch (next(6)) {
+      case 0: {  // unary built-in, correct arity
+        const char* names[] = {"sqrt", "abs", "floor", "ceil", "log2",
+                               "exp"};
+        args.push_back(gen(depth - 1));
+        return std::make_unique<expr::CallExpr>(names[next(6)],
+                                                std::move(args));
+      }
+      case 1: {  // binary built-in, correct arity
+        const char* names[] = {"pow", "min", "max"};
+        args.push_back(gen(depth - 1));
+        args.push_back(gen(depth - 1));
+        return std::make_unique<expr::CallExpr>(names[next(3)],
+                                                std::move(args));
+      }
+      case 2: {  // built-in, wrong arity (lazy error path)
+        args.push_back(gen(depth - 1));
+        args.push_back(gen(depth - 1));
+        return std::make_unique<expr::CallExpr>("sqrt", std::move(args));
+      }
+      case 3: {  // unknown function (lazy error path)
+        args.push_back(gen(depth - 1));
+        return std::make_unique<expr::CallExpr>("mystery", std::move(args));
+      }
+      case 4: {  // user function shadowing a built-in
+        args.push_back(gen(depth - 1));
+        return std::make_unique<expr::CallExpr>("log", std::move(args));
+      }
+      default: {  // user function, variable arity
+        const int argc = next(3);
+        for (int i = 0; i < argc; ++i) {
+          args.push_back(gen(depth - 1));
+        }
+        return std::make_unique<expr::CallExpr>("blend", std::move(args));
+      }
+    }
+  }
+
+  std::mt19937* rng_;
+};
+
+TEST(ExprBatchDifferential, BitIdenticalToPerLaneEvalAtEveryWidth) {
+  std::mt19937 rng(20260808);
+  RandomExpr source(rng);
+
+  expr::SymbolTable table;
+  const expr::Slot slot_a = table.add_variable("a");
+  const expr::Slot slot_b = table.add_variable("b");
+  const expr::Slot slot_c = table.add_variable("c");
+  const expr::Slot slot_ghost = table.add_variable("ghost");
+  ASSERT_EQ(table.add_function("log"), 0);
+  ASSERT_EQ(table.add_function("blend"), 1);
+  const ScalarFunctions scalar_functions;
+  const BatchFunctions batch_functions;
+
+  const double values[] = {0.0,  -0.0,  1.0,   -2.5, 1e300, -1e300,
+                           kNan, kInf, -kInf, 0.125, 3.0,   -1.0};
+  const std::size_t widths[] = {1, 2, 7, 8, 33};
+  int errors_seen = 0;
+  int values_seen = 0;
+  for (int trial = 0; trial < 420; ++trial) {
+    const expr::ExprPtr e = source.gen(4);
+    const expr::Compiled program = expr::compile(*e, table);
+    const std::size_t width = widths[trial % 5];
+
+    expr::SlotBlock block(table, width);
+    block.unbind(slot_ghost);  // "ghost" loads raise the lazy error
+    for (std::size_t lane = 0; lane < width; ++lane) {
+      block.set(slot_a, lane, values[rng() % 12]);
+      block.set(slot_b, lane, values[rng() % 12]);
+      block.set(slot_c, lane, values[rng() % 12]);
+    }
+
+    // Expected: the scalar loop over per-lane frames.  The first
+    // erroring lane's message is the loop's outcome.
+    std::vector<Outcome> expected;
+    Outcome loop_outcome = std::uint64_t{0};
+    bool loop_errored = false;
+    for (std::size_t lane = 0; lane < width && !loop_errored; ++lane) {
+      expr::SlotFrame frame(table);
+      frame.set(slot_a, block.get(slot_a, lane));
+      frame.set(slot_b, block.get(slot_b, lane));
+      frame.set(slot_c, block.get(slot_c, lane));
+      frame.unbind(slot_ghost);
+      expr::EvalContext scalar;
+      scalar.frame = frame.frame();
+      scalar.functions = &scalar_functions;
+      Outcome outcome = scalar_outcome(program, scalar);
+      if (std::holds_alternative<std::string>(outcome)) {
+        loop_outcome = outcome;
+        loop_errored = true;
+      }
+      expected.push_back(std::move(outcome));
+    }
+
+    expr::BatchEvalContext ctx;
+    ctx.frame = block.frame();
+    ctx.width = width;
+    ctx.functions = &batch_functions;
+    std::vector<double> out(width, 0.0);
+    Outcome actual = std::uint64_t{0};
+    bool batch_errored = false;
+    try {
+      program.eval_batch(ctx, out.data());
+    } catch (const expr::EvalError& error) {
+      actual = std::string(error.what());
+      batch_errored = true;
+    }
+
+    ASSERT_EQ(loop_errored, batch_errored)
+        << "trial " << trial << " width " << width << "\n"
+        << program.disassemble();
+    if (loop_errored) {
+      ASSERT_EQ(loop_outcome, actual)
+          << "trial " << trial << " width " << width << "\n"
+          << program.disassemble();
+      ++errors_seen;
+    } else {
+      for (std::size_t lane = 0; lane < width; ++lane) {
+        ASSERT_EQ(std::get<std::uint64_t>(expected[lane]),
+                  std::bit_cast<std::uint64_t>(out[lane]))
+            << "trial " << trial << " width " << width << " lane " << lane
+            << "\n"
+            << program.disassemble();
+      }
+      ++values_seen;
+    }
+  }
+  // The generator must exercise both regimes; fail loudly if a change
+  // to it silently drops one.
+  EXPECT_GT(errors_seen, 40);
+  EXPECT_GT(values_seen, 40);
+}
+
+}  // namespace

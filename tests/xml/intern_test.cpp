@@ -1,0 +1,88 @@
+// The process-wide string intern pool and its use by the DOM: canonical
+// identity, thread safety, and interned element/attribute names.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prophet/xml/dom.hpp"
+#include "prophet/xml/intern.hpp"
+#include "prophet/xml/parser.hpp"
+
+namespace xml = prophet::xml;
+
+namespace {
+
+TEST(Intern, EqualInputsShareOneCanonicalString) {
+  const std::string& a = xml::intern("prophet:model");
+  const std::string& b = xml::intern(std::string("prophet:") + "model");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a, "prophet:model");
+  const std::string& c = xml::intern("prophet:model2");
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Intern, CountGrowsOnlyForNewSpellings) {
+  const std::size_t before = xml::intern_count();
+  (void)xml::intern("intern-count-probe-1");
+  (void)xml::intern("intern-count-probe-2");
+  (void)xml::intern("intern-count-probe-1");
+  EXPECT_EQ(xml::intern_count(), before + 2);
+}
+
+TEST(Intern, ConcurrentInterningYieldsOneIdentityPerString) {
+  // Many threads intern the same small vocabulary; every thread must
+  // observe the same canonical addresses.
+  constexpr int kThreads = 8;
+  std::vector<std::vector<const std::string*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      for (int round = 0; round < 200; ++round) {
+        const std::string name =
+            "concurrent-intern-" + std::to_string(round % 10);
+        seen[t].push_back(&xml::intern(name));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t], seen[0]) << "thread " << t;
+  }
+}
+
+TEST(Intern, ElementNamesAreInterned) {
+  const xml::Element a("interned-tag-name");
+  const xml::Element b("interned-tag-name");
+  // Same canonical storage, element-owned nothing.
+  EXPECT_EQ(&a.name(), &b.name());
+}
+
+TEST(Intern, AttributeNamesAreViewsIntoThePool) {
+  xml::Element element("e");
+  element.set_attr("id", "1");
+  element.set_attr("id", "2");  // overwrite keeps one attribute
+  element.set_attr("kind", "action");
+  ASSERT_EQ(element.attributes().size(), 2u);
+  EXPECT_EQ(element.attributes()[0].name.data(),
+            xml::intern("id").data());
+  EXPECT_EQ(element.attributes()[0].value, "2");
+  EXPECT_EQ(*element.attr("kind"), "action");
+}
+
+TEST(Intern, ParsedDocumentsShareNameStorage) {
+  const xml::Document doc = xml::parse(
+      "<root><node id=\"1\" kind=\"a\"/><node id=\"2\" kind=\"b\"/></root>");
+  const auto nodes = doc.root().children_named("node");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(&nodes[0]->name(), &nodes[1]->name());
+  EXPECT_EQ(nodes[0]->attributes()[0].name.data(),
+            nodes[1]->attributes()[0].name.data());
+  EXPECT_EQ(*nodes[1]->attr("id"), "2");
+}
+
+}  // namespace

@@ -10,7 +10,7 @@
 //   prophetc models [--names] [--grid @name]
 //   prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>]
 //                  [--backend KIND] [--max-rel-error X]
-//                  [--threads N] [--csv out.csv] [--seed S]
+//                  [--threads N] [--batch-lanes N] [--csv out.csv] [--seed S]
 //                  [--no-check] [--no-codegen] [--isolate]
 //                  [--metrics out.json] [--trace-json out.json] [--progress]
 //                  [--job-timeout S] [--deadline S] [--limit-sim-events N]
@@ -38,9 +38,13 @@
 // (parse, check, transform, prepare) and evaluate all its scenarios
 // against the cached result; --isolate restores the
 // re-run-everything-per-job pipeline.  Predictions are bit-identical
-// either way.  estimate --timings reports the prepare/evaluate split,
-// including the time prepare spent compiling cost expressions to
-// bytecode.
+// either way.  --batch-lanes sets the sweep's lane width: same-model
+// scenario runs are grouped into chunks of N and evaluated through the
+// backends' batched path (0, the default, picks the width
+// automatically; 1 disables batching).  Batched and scalar sweeps are
+// bit-identical on every deterministic CSV column.  estimate --timings
+// reports the prepare/evaluate split, including the time prepare spent
+// compiling cost expressions to bytecode.
 //
 // Observability: --metrics exports the run's metric registry (engine
 // counters, lowering stats, host timers) as prophet-metrics-1 JSON;
@@ -119,7 +123,7 @@ int usage() {
       "  prophetc sweep <model>... [--grid SPEC] [--sp <sp.xml>] "
       "[--backend sim|analytic|codegen|both|sim+codegen|analytic+codegen|"
       "all] "
-      "[--max-rel-error X] [--threads N] "
+      "[--max-rel-error X] [--threads N] [--batch-lanes N] "
       "[--csv out.csv] [--seed S] [--no-check] [--no-codegen] [--isolate] "
       "[--metrics out.json] [--trace-json out.json] [--progress] "
       "[--job-timeout S] [--deadline S] [--limit-sim-events N] "
@@ -709,6 +713,14 @@ int cmd_sweep(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads") {
       if (!take_int(args, i, options.threads, &error)) {
         return parse_error(error);
+      }
+    } else if (args[i] == "--batch-lanes") {
+      if (!take_int(args, i, options.batch_lanes, &error)) {
+        return parse_error(error);
+      }
+      if (options.batch_lanes < 0 || options.batch_lanes > 64) {
+        return parse_error("--batch-lanes: expected 0 (auto) or 1..64, got " +
+                           std::to_string(options.batch_lanes));
       }
     } else if (args[i] == "--csv") {
       const auto value = flag_value(args, i);
